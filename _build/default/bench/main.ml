@@ -1,0 +1,751 @@
+(* Benchmark harness: one experiment per quantitative claim of the paper
+   (see DESIGN.md section 4 and EXPERIMENTS.md).
+
+   Run all:      dune exec bench/main.exe
+   Run some:     dune exec bench/main.exe -- E3 E7
+   Quick mode:   dune exec bench/main.exe -- --quick        (smaller sweeps) *)
+
+let quick = ref false
+
+(* --- timing helpers ------------------------------------------------------ *)
+
+(* One-shot wall-clock measurement for long-running searches. *)
+let oneshot_ms f =
+  let t0 = Monotonic_clock.now () in
+  let result = f () in
+  let t1 = Monotonic_clock.now () in
+  (result, Int64.to_float (Int64.sub t1 t0) /. 1e6)
+
+(* Bechamel OLS estimate (ns/run) for short operations. *)
+let bechamel_ns ~name f =
+  let open Bechamel in
+  let test = Test.make ~name (Staged.stage f) in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second (if !quick then 0.1 else 0.3)) ()
+  in
+  let raw = Benchmark.all cfg instances test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  match Hashtbl.fold (fun _ v acc -> v :: acc) results [] with
+  | [ est ] -> (
+      match Analyze.OLS.estimates est with
+      | Some [ ns ] -> ns
+      | Some _ | None -> Float.nan)
+  | _ -> Float.nan
+
+let check name ok =
+  Printf.printf "  [%s] %s\n" (if ok then "OK " else "FAIL") name
+
+let header id title =
+  Printf.printf "\n=== %s: %s ===\n" id title
+
+(* ======================================================================== *)
+(* E1: the paper's worked examples on the bank graphs (Ex. 12, 13, 16, 17,
+   and the Section 6.4 PMR example).                                        *)
+(* ======================================================================== *)
+
+let e1 () =
+  header "E1" "worked examples on the bank graph (Figures 2-3)";
+  let g = Generators.bank_elg () in
+  let id = Elg.node_id g in
+  let name = Elg.node_name g in
+
+  (* Example 12. *)
+  let pairs = Rpq_eval.pairs g (Rpq_parse.parse "Transfer*") in
+  let accounts = [ "a1"; "a2"; "a3"; "a4"; "a5"; "a6" ] in
+  let all36 =
+    List.for_all
+      (fun u -> List.for_all (fun v -> List.mem (id u, id v) pairs) accounts)
+      accounts
+  in
+  check "Ex.12: Transfer* yields all 36 account pairs" all36;
+
+  (* Example 13, q1. *)
+  let t = Regex.atom (Sym.Lbl "Transfer") in
+  let q1 =
+    Crpq.make ~head:[ "x1"; "x2"; "x3" ]
+      ~atoms:
+        [
+          { Crpq.re = t; x = Crpq.TVar "x1"; y = Crpq.TVar "x2" };
+          { Crpq.re = t; x = Crpq.TVar "x1"; y = Crpq.TVar "x3" };
+          { Crpq.re = t; x = Crpq.TVar "x2"; y = Crpq.TVar "x3" };
+        ]
+  in
+  let rows = Crpq.eval g q1 in
+  let row_str = List.map (fun r -> String.concat "," (List.map name r)) rows in
+  check "Ex.13 q1 = {(a3,a2,a4), (a6,a3,a5)}"
+    (List.sort compare row_str = [ "a3,a2,a4"; "a6,a3,a5" ]);
+
+  (* Example 13, q2 membership. *)
+  let q2 =
+    Crpq.make ~head:[ "x"; "x1"; "x2" ]
+      ~atoms:
+        [
+          { Crpq.re = Rpq_parse.parse "owner"; x = Crpq.TVar "y"; y = Crpq.TVar "x1" };
+          { Crpq.re = Rpq_parse.parse "isBlocked"; x = Crpq.TVar "y"; y = Crpq.TVar "x2" };
+          { Crpq.re = Rpq_parse.parse "Transfer.Transfer?"; x = Crpq.TVar "x"; y = Crpq.TVar "y" };
+        ]
+  in
+  check "Ex.13 q2 contains (a4, Rebecca, no)"
+    (List.mem [ id "a4"; id "Rebecca"; id "no" ] (Crpq.eval g q2));
+
+  (* Example 16: l-RPQ bindings. *)
+  let r16 =
+    Regex.seq (Regex.star (Lrpq.cap "Transfer" "z")) (Lrpq.lbl "isBlocked")
+  in
+  let results = Lrpq.enumerate_from g r16 ~src:(id "a3") ~max_len:4 in
+  let find edges =
+    List.find_opt
+      (fun (p, _) -> List.map (Elg.edge_name g) (Path.edges p) = edges)
+      results
+  in
+  check "Ex.16: mu3(z) = list(t2,t3)"
+    (match find [ "t2"; "t3"; "r10" ] with
+    | Some (_, mu) ->
+        Lbinding.get mu "z" = [ Path.E (Elg.edge_id g "t2"); Path.E (Elg.edge_id g "t3") ]
+    | None -> false);
+  check "Ex.16: parallel edge t5 distinguishes mu4" (find [ "t5"; "t3"; "r10" ] <> None);
+  check "Ex.16: mu5(z) = list() on path(a3,r9,no)"
+    (match find [ "r9" ] with
+    | Some (_, mu) -> Lbinding.get mu "z" = []
+    | None -> false);
+
+  (* Example 17: grouping by endpoint pairs. *)
+  let q17 =
+    Lcrpq.make ~head:[ "x1"; "x2"; "z" ]
+      ~atoms:
+        [
+          { Lcrpq.mode = Path_modes.All; re = Lrpq.lbl "owner";
+            x = Lcrpq.TVar "y1"; y = Lcrpq.TVar "x1" };
+          { Lcrpq.mode = Path_modes.All; re = Lrpq.lbl "owner";
+            x = Lcrpq.TVar "y2"; y = Lcrpq.TVar "x2" };
+          { Lcrpq.mode = Path_modes.Shortest;
+            re = Regex.plus (Lrpq.cap "Transfer" "z");
+            x = Lcrpq.TVar "y1"; y = Lcrpq.TVar "y2" };
+        ]
+  in
+  let rows = List.map (Lcrpq.row_to_string g) (Lcrpq.eval g q17) in
+  check "Ex.17: (Jay, Rebecca, list(t10))" (List.mem "(Jay, Rebecca, list(t10))" rows);
+  check "Ex.17: (Mike, Megan, list(t7, t4))" (List.mem "(Mike, Megan, list(t7, t4))" rows);
+
+  (* Section 6.4 PMR example: unblocked transfer cycles at a3 loop through
+     t7, t4, t1. *)
+  let unblocked_edges =
+    List.filter_map
+      (fun e ->
+        let s = name (Elg.src g e) and t' = name (Elg.tgt g e) in
+        if s <> "a4" && t' <> "a4" && Elg.label g e = "Transfer" then
+          Some (Elg.edge_name g e, s, "Transfer", t')
+        else None)
+      (List.init (Elg.nb_edges g) Fun.id)
+  in
+  let g' =
+    Elg.make
+      ~nodes:(List.filter (fun n -> n <> "a4") (List.init (Elg.nb_nodes g) name))
+      ~edges:unblocked_edges
+  in
+  let a3 = Elg.node_id g' "a3" in
+  let pmr = Pmr.of_rpq g' (Rpq_parse.parse "Transfer+") ~src:a3 ~tgt:a3 in
+  check "Sec 6.4: unblocked-cycle PMR is finite but represents infinitely many paths"
+    (Pmr.count_paths pmr = `Infinite && Pmr.size pmr <= 12);
+  check "Sec 6.4: length-3 unrolling is t7,t4,t1"
+    (match Pmr.spaths_upto g' pmr ~max_len:3 with
+    | [ p ] -> List.map (Elg.edge_name g') (Path.edges p) = [ "t7"; "t4"; "t1" ]
+    | _ -> false)
+
+(* ======================================================================== *)
+(* E2: bag semantics + Kleene star = boom (Section 6.1).                    *)
+(* ======================================================================== *)
+
+let e2 () =
+  header "E2" "bag semantics + nested stars on the 6-clique (Section 6.1)";
+  let g = Generators.clique 6 "a" in
+  let rec nest k =
+    if k = 0 then Regex.Atom (Sym.Lbl "a") else Regex.Star (nest (k - 1))
+  in
+  let set_answers d =
+    List.length (Rpq_eval.pairs g (nest d))
+  in
+  Printf.printf "  %-10s %-14s %-22s %s\n" "nesting" "set answers" "bag solutions" "digits";
+  let protons = Nat_big.pow (Nat_big.of_int 10) 80 in
+  let exceeded = ref false in
+  for d = 1 to 4 do
+    let bag = Rpq_count.bag_count_total g (nest d) in
+    if Nat_big.compare bag protons > 0 then exceeded := true;
+    Printf.printf "  %-10d %-14d %-22s %d\n" d (set_answers d)
+      (Nat_big.to_scientific bag)
+      (Nat_big.decimal_digits bag)
+  done;
+  check "set semantics stays at 36 answers for every nesting depth"
+    (List.for_all (fun d -> set_answers d = 36) [ 2; 3; 4 ]);
+  check "some nesting depth exceeds the #protons in the observable universe (1e80)"
+    !exceeded;
+  (* The automata view: all these expressions are equivalent to a*, and
+     the rewriter finds the normal form syntactically. *)
+  check "automata normalization: (((a*)*)*)* = a*"
+    (Dfa.equiv (Nfa.of_regex (nest 4)) (Nfa.of_regex (nest 1)));
+  check "syntactic rewriting: simplify((((a*)*)*)*) = a*"
+    (Regex_simplify.simplify (nest 4) = Regex.Star (Regex.Atom (Sym.Lbl "a")))
+
+(* ======================================================================== *)
+(* E3: Figure 5 — exponentially many paths, linear-size PMR.                *)
+(* ======================================================================== *)
+
+let e3 () =
+  header "E3" "2^n shortest paths vs O(n)-size PMRs (Figure 5, Section 6.4)";
+  Printf.printf "  %-4s %-12s %-16s %-10s %s\n" "n" "graph size" "paths s->t" "PMR size" "PMR/graph";
+  let ns = if !quick then [ 2; 6; 10 ] else [ 2; 4; 8; 12; 16; 20; 24 ] in
+  let ok = ref true in
+  List.iter
+    (fun n ->
+      let g = Generators.diamonds n in
+      let pmr =
+        Pmr.of_rpq g (Rpq_parse.parse "a*") ~src:(Elg.node_id g "s")
+          ~tgt:(Elg.node_id g "t")
+      in
+      let paths =
+        match Pmr.count_paths pmr with
+        | `Finite c -> c
+        | `Infinite -> Nat_big.zero
+      in
+      let gsize = Elg.nb_nodes g + Elg.nb_edges g in
+      if not (Nat_big.equal paths (Nat_big.pow Nat_big.two n)) then ok := false;
+      Printf.printf "  %-4d %-12d %-16s %-10d %.2f\n" n gsize
+        (Nat_big.to_string paths) (Pmr.size pmr)
+        (float_of_int (Pmr.size pmr) /. float_of_int gsize))
+    ns;
+  check "path count is exactly 2^n for every n" !ok
+
+(* ======================================================================== *)
+(* E4: list variables: 2^n bindings on one path, linear annotated PMR.      *)
+(* ======================================================================== *)
+
+let e4 () =
+  header "E4" "(a a^z + a^z a)* on a 2n-edge path: 2^n bindings (Section 6.3)";
+  let expr =
+    Regex.star
+      (Regex.alt
+         (Regex.seq (Lrpq.lbl "a") (Lrpq.cap "a" "z"))
+         (Regex.seq (Lrpq.cap "a" "z") (Lrpq.lbl "a")))
+  in
+  Printf.printf "  %-4s %-16s %-16s %-10s\n" "n" "bindings (runs)" "expected 2^n" "PMR size";
+  let ns = if !quick then [ 2; 4; 6 ] else [ 2; 4; 6; 8; 10; 12; 14; 16 ] in
+  let ok = ref true in
+  List.iter
+    (fun n ->
+      let g = Generators.line (2 * n) "a" in
+      let src = Elg.node_id g "v0" and tgt = Elg.node_id g (Printf.sprintf "v%d" (2 * n)) in
+      let pmr = Lrpq.to_pmr g expr ~src ~tgt in
+      let runs =
+        match Pmr.count_paths pmr with
+        | `Finite c -> c
+        | `Infinite -> Nat_big.zero
+      in
+      let expected = Nat_big.pow Nat_big.two n in
+      if not (Nat_big.equal runs expected) then ok := false;
+      (* Cross-check against explicit enumeration on small instances. *)
+      if n <= 6 then begin
+        let bindings =
+          Lrpq.eval_mode g expr ~mode:Path_modes.All ~max_len:(2 * n) ~src ~tgt
+        in
+        if List.length bindings <> (1 lsl n) then ok := false
+      end;
+      Printf.printf "  %-4d %-16s %-16s %-10d\n" n (Nat_big.to_string runs)
+        (Nat_big.to_string expected) (Pmr.size pmr))
+    ns;
+  check "binding count = 2^n (and matches explicit enumeration when feasible)" !ok
+
+(* ======================================================================== *)
+(* E5: path modes: NP-hard simple-path search vs polynomial product BFS.    *)
+(* ======================================================================== *)
+
+let e5 () =
+  header "E5" "simple/trail search explodes; product reachability stays cheap (Sec 6.3)";
+  let r = Rpq_parse.parse "a*" in
+  Printf.printf "  %-14s %-4s %-18s %-14s %-14s\n" "family" "n" "#simple paths" "reach (us)" "simple (ms)";
+  let sizes = if !quick then [ 5; 6; 7 ] else [ 5; 6; 7; 8; 9 ] in
+  List.iter
+    (fun n ->
+      let g = Generators.clique n "a" in
+      let reach_ns = bechamel_ns ~name:"reach" (fun () -> Rpq_eval.from_source g r ~src:0) in
+      let count, ms =
+        oneshot_ms (fun () ->
+            Path_modes.count g r ~mode:Path_modes.Simple ~max_len:n ~src:0 ~tgt:1)
+      in
+      Printf.printf "  %-14s %-4d %-18s %-14.1f %-14.2f\n" "clique" n
+        (Nat_big.to_string count) (reach_ns /. 1e3) ms)
+    sizes;
+  (* The benign family ([41,110]'s observation): diamonds have 2^n paths
+     but finding ONE simple path / deciding existence is easy. *)
+  let g = Generators.diamonds 12 in
+  let _, ms =
+    oneshot_ms (fun () ->
+        Path_modes.exists_simple g r ~src:(Elg.node_id g "s") ~tgt:(Elg.node_id g "t"))
+  in
+  Printf.printf "  well-behaved: exists_simple on diamonds(12): %.2f ms\n" ms;
+  check "simple-path existence on the benign family is fast (< 100 ms)" (ms < 100.0)
+
+(* ======================================================================== *)
+(* E6: data filters force looking beyond shortest paths (Section 6.3).      *)
+(* ======================================================================== *)
+
+let e6 () =
+  header "E6" "shortest + data filters on the bank graph (Section 6.3)";
+  let pg = Generators.bank_pg () in
+  let g = Pg.elg pg in
+  let id = Elg.node_id g in
+  let transfer = Dlrpq.edge_lbl "Transfer" in
+  let hop = Regex.seq Dlrpq.node_any transfer in
+  let small_hop thr =
+    Regex.seq (Regex.seq Dlrpq.node_any transfer)
+      (Dlrpq.edge_test (Etest.Cmp_const ("amount", Value.Lt, Value.Real thr)))
+  in
+  let one_small thr =
+    Regex.seq Dlrpq.node_any
+      (Regex.seq (Regex.star hop)
+         (Regex.seq (small_hop thr) (Regex.seq (Regex.star hop) Dlrpq.node_any)))
+  in
+  Printf.printf "  %-28s %-10s %-10s\n" "query (a3 -> a5)" "length" "configs";
+  let plain =
+    Regex.seq Dlrpq.node_any (Regex.seq (Regex.plus hop) Dlrpq.node_any)
+  in
+  let report name q =
+    let len, explored = Dlrpq.shortest_len_stats pg q ~src:(id "a3") ~tgt:(id "a5") in
+    Printf.printf "  %-28s %-10s %-10d\n" name
+      (match len with Some d -> string_of_int d | None -> "-")
+      explored;
+    len
+  in
+  let l0 = report "no filter" plain in
+  let l45 = report "one amount < 4.5M" (one_small 4.5) in
+  let l15 = report "one amount < 1.5M" (one_small 1.5) in
+  let two_small thr =
+    Regex.seq Dlrpq.node_any
+      (Regex.seq (Regex.star hop)
+         (Regex.seq (small_hop thr)
+            (Regex.seq (Regex.star hop)
+               (Regex.seq (small_hop thr) (Regex.seq (Regex.star hop) Dlrpq.node_any)))))
+  in
+  let l2 = report "two amounts < 4.5M" (two_small 4.5) in
+  check "unfiltered shortest has length 1 (the direct t7)" (l0 = Some 1);
+  check "amount < 4.5M forces the length-3 detour t6 t9 t10" (l45 = Some 3);
+  check "amount < 1.5M forces an even longer route (via t2)" (match l15 with Some d -> d > 3 | None -> false);
+  check "two small amounts force a cycle (length 6 witness)"
+    (match l2 with Some d -> d >= 6 | None -> false)
+
+(* ======================================================================== *)
+(* E7: reduce encodes SUBSET-SUM: exponential on tiny graphs (Section 5.2). *)
+(* ======================================================================== *)
+
+let e7 () =
+  header "E7" "reduce-based subset-sum: exponential blowup on tiny graphs (Sec 5.2)";
+  Printf.printf "  %-4s %-12s %-14s %-12s\n" "m" "#paths" "reduce (ms)" "DP (us)";
+  let sizes = if !quick then [ 6; 10; 14 ] else [ 6; 10; 14; 16; 18; 20 ] in
+  let times = ref [] in
+  List.iter
+    (fun m ->
+      let items = List.init m (fun i -> i + 1) in
+      let total = List.fold_left ( + ) 0 items in
+      let pg = Generators.subset_sum items in
+      (* An unsatisfiable target forces exploring every path. *)
+      let _, reduce_ms =
+        oneshot_ms (fun () -> Reduce.subset_sum_via_reduce pg ~target:(total + 1))
+      in
+      let dp_ns =
+        bechamel_ns ~name:"dp" (fun () -> Reduce.subset_sum_dp items ~target:(total + 1))
+      in
+      times := (m, reduce_ms) :: !times;
+      Printf.printf "  %-4d %-12s %-14.2f %-12.1f\n" m
+        (Nat_big.to_string (Nat_big.pow Nat_big.two m))
+        reduce_ms (dp_ns /. 1e3))
+    sizes;
+  (* Growth check: time at the largest size dwarfs the smallest. *)
+  (match (List.assoc_opt (List.nth sizes 0) (List.rev !times),
+          List.assoc_opt (List.nth sizes (List.length sizes - 1)) (List.rev !times)) with
+  | Some t_small, Some t_big ->
+      check "reduce-query time grows superpolynomially (>= 20x across the sweep)"
+        (t_big > 20.0 *. t_small || t_big > 50.0)
+  | _ -> check "timing collected" false)
+
+(* ======================================================================== *)
+(* E8: the EXCEPT workaround vs direct dl-RPQ evaluation (Section 5.2).     *)
+(* ======================================================================== *)
+
+(* A chain of [m] positions with two parallel dated edges per position. *)
+let parallel_dated_chain ~seed m =
+  let st = Random.State.make [| seed |] in
+  let name i = Printf.sprintf "v%d" i in
+  let nodes = List.init (m + 1) (fun i -> (name i, "V", [])) in
+  let edges =
+    List.concat
+      (List.init m (fun i ->
+           [
+             ( Printf.sprintf "up%d" i, name i, "a", name (i + 1),
+               [ ("date", Value.Int (Random.State.int st 100)) ] );
+             ( Printf.sprintf "dn%d" i, name i, "a", name (i + 1),
+               [ ("date", Value.Int (Random.State.int st 100)) ] );
+           ]))
+  in
+  Pg.make ~nodes ~edges
+
+let increasing_dl =
+  Regex.seq Dlrpq.node_any
+    (Regex.seq (Dlrpq.edge_any_cap "z")
+       (Regex.seq
+          (Dlrpq.edge_test (Etest.Assign ("x", "date")))
+          (Regex.seq
+             (Regex.star
+                (Regex.seq Dlrpq.node_any
+                   (Regex.seq (Dlrpq.edge_any_cap "z")
+                      (Regex.seq
+                         (Dlrpq.edge_test (Etest.Cmp_var ("date", Value.Gt, "x")))
+                         (Dlrpq.edge_test (Etest.Assign ("x", "date")))))))
+             Dlrpq.node_any)))
+
+let e8 () =
+  header "E8" "increasing edge values: direct dl-RPQ vs EXCEPT over trails (Sec 5.2)";
+  Printf.printf "  %-4s %-10s %-14s %-14s %-8s\n" "m" "#answers" "direct (ms)" "except (ms)" "equal?";
+  let sizes = if !quick then [ 3; 5 ] else [ 3; 5; 7; 9 ] in
+  let all_equal = ref true and all_faster = ref true in
+  List.iter
+    (fun m ->
+      let pg = parallel_dated_chain ~seed:(42 + m) m in
+      let g = Pg.elg pg in
+      let key p = List.map (Elg.edge_name g) (Path.edges p) in
+      let direct, direct_ms =
+        oneshot_ms (fun () ->
+            List.concat_map
+              (fun src ->
+                Dlrpq.enumerate_from pg increasing_dl ~src ~max_len:m ())
+              (List.init (Elg.nb_nodes g) Fun.id)
+            |> List.map fst
+            |> List.filter (fun p -> Path.is_trail p && Path.len p >= 1)
+            |> List.map key
+            |> List.sort_uniq compare)
+      in
+      let any_path =
+        Coregql.(
+          Pconcat
+            ( Pnode (Some "x"),
+              Pconcat (Prepeat (Pedge None, 1, None), Pnode (Some "y")) ))
+      in
+      let bad_window =
+        Coregql.(
+          Pconcat
+            ( Pnode None,
+              Pconcat
+                ( Prepeat (Pedge None, 0, None),
+                  Pconcat
+                    ( Pcond
+                        ( Pconcat
+                            (Pedge (Some "u"), Pconcat (Pnode None, Pedge (Some "v"))),
+                          Cnot (Ckey ("u", "date", Value.Lt, "v", "date")) ),
+                      Pconcat (Prepeat (Pedge None, 0, None), Pnode None) ) ) ))
+      in
+      let via_except, except_ms =
+        oneshot_ms (fun () ->
+            let all = Coregql_paths.matching_trails pg any_path in
+            let bad = Coregql_paths.matching_trails pg bad_window in
+            Coregql_paths.except all bad
+            |> List.map key |> List.sort_uniq compare)
+      in
+      let equal = direct = via_except in
+      if not equal then all_equal := false;
+      if except_ms < direct_ms then all_faster := false;
+      Printf.printf "  %-4d %-10d %-14.2f %-14.2f %-8b\n" m (List.length direct)
+        direct_ms except_ms equal)
+    sizes;
+  check "both strategies agree on every instance" !all_equal;
+  check "the compositional difference strategy is slower (paper: poor performance)"
+    !all_faster
+
+(* ======================================================================== *)
+(* E9: Proposition 22 — (ll)* is not Cypher-expressible.                    *)
+(* ======================================================================== *)
+
+let e9 () =
+  header "E9" "Cypher patterns cannot express (ll)* (Proposition 22)";
+  let target = Rpq_parse.parse "(l.l)*" in
+  Printf.printf "  %-10s %-22s %-10s\n" "max size" "distinct languages" "witness?";
+  let sizes = if !quick then [ 5; 7 ] else [ 5; 7; 9 ] in
+  let none = ref true in
+  List.iter
+    (fun max_size ->
+      let witness, examined = Cypher.search_equivalent ~labels:[ "l" ] ~max_size target in
+      if witness <> None then none := false;
+      Printf.printf "  %-10d %-22d %-10s\n" max_size examined
+        (match witness with Some p -> Cypher.to_string p | None -> "none"))
+    sizes;
+  check "exhaustive search finds no equivalent pattern" !none;
+  (* The decision procedure, on a family of targets. *)
+  Printf.printf "  %-14s %-14s %s\n" "target" "expressible" "expected";
+  let cases =
+    [ ("l*", true); ("(l.l)*", false); ("(l.l.l)*", false); ("l.(l.l)*", false);
+      ("l{2,4}", true); ("l|l.l.l*", true) ]
+  in
+  let all_ok =
+    List.for_all
+      (fun (src, expected) ->
+        let got = Cypher.expressible_unary ~lbl:"l" (Nfa.of_regex (Rpq_parse.parse src)) in
+        Printf.printf "  %-14s %-14b %b\n" src got expected;
+        got = expected)
+      cases
+  in
+  check "decision procedure matches the theory on all targets" all_ok
+
+(* ======================================================================== *)
+(* E10: unambiguous automata are no larger than real-life expressions.      *)
+(* ======================================================================== *)
+
+let e10 () =
+  header "E10" "unambiguous automaton sizes for a realistic RPQ workload (Sec 6.2, [62])";
+  (* Shapes mirroring the SPARQL-log study: stars of labels, short
+     concatenations, small disjunctions, wildcards, mild nesting. *)
+  let workload =
+    [ "a*"; "a+"; "a?"; "a.b"; "a.b.c"; "a|b"; "a|b|c"; "(a|b)*"; "a.b*";
+      "a*.b"; "a.(b|c)"; "(a.b)+"; "a{1,3}"; "_*"; "a._*"; "_*.a"; "!{a}*";
+      "a.!{a,b}"; "(a|b).c*"; "a*.b.c?" ]
+  in
+  Printf.printf "  %-12s %-6s %-10s %-12s %-12s\n" "expression" "size" "glushkov"
+    "ambiguous?" "unambig size";
+  let inter a b = Sym.inter a b <> None in
+  let max_ratio = ref 0.0 in
+  List.iter
+    (fun src ->
+      let r = Rpq_parse.parse src in
+      let nfa = Nfa.of_regex r in
+      let ambiguous = Nfa.is_ambiguous ~inter nfa in
+      let unambig_size =
+        if ambiguous then (Dfa.minimize (Dfa.of_nfa nfa)).Dfa.nb_states
+        else nfa.Nfa.nb_states
+      in
+      let ratio = float_of_int unambig_size /. float_of_int (Regex.size r) in
+      if ratio > !max_ratio then max_ratio := ratio;
+      Printf.printf "  %-12s %-6d %-10d %-12b %-12d\n" src (Regex.size r)
+        nfa.Nfa.nb_states ambiguous unambig_size)
+    workload;
+  Printf.printf "  max (unambiguous automaton / expression size) ratio: %.2f\n" !max_ratio;
+  check "no workload expression needs an unambiguous automaton larger than itself"
+    (!max_ratio <= 1.0 +. 1e-9)
+
+(* ======================================================================== *)
+(* E11: product-construction evaluation scales with |G| x |A| (Sec 6.2).    *)
+(* ======================================================================== *)
+
+let e11 () =
+  header "E11" "RPQ evaluation time vs product size (Section 6.2)";
+  let r = Rpq_parse.parse "(a.b)*|c+" in
+  let nfa = Nfa.of_regex r in
+  Printf.printf "  %-8s %-8s %-14s %-14s %-12s\n" "nodes" "edges" "product edges"
+    "BFS (us)" "ns/productedge";
+  let sizes = if !quick then [ 50; 100 ] else [ 50; 100; 200; 400; 800 ] in
+  let ratios = ref [] in
+  List.iter
+    (fun n ->
+      let g =
+        Generators.random_graph ~seed:7 ~nodes:n ~edges:(4 * n)
+          ~labels:[ "a"; "b"; "c" ]
+      in
+      let product = Product.make g nfa in
+      let pe = Product.nb_product_edges product in
+      let ns =
+        bechamel_ns ~name:"bfs" (fun () -> Rpq_eval.pairs_nfa g nfa)
+      in
+      (* All-pairs = one BFS per source: normalize per source per edge. *)
+      let per = ns /. float_of_int n /. float_of_int (max 1 pe) in
+      ratios := per :: !ratios;
+      Printf.printf "  %-8d %-8d %-14d %-14.1f %-12.3f\n" n (4 * n) pe (ns /. 1e3) per)
+    sizes;
+  let mn = List.fold_left min infinity !ratios
+  and mx = List.fold_left max 0.0 !ratios in
+  Printf.printf "  per-unit cost spread (max/min): %.2f\n" (mx /. mn);
+  check "per-unit cost is flat within an order of magnitude (polynomial scaling)"
+    (mx /. mn < 10.0)
+
+(* ======================================================================== *)
+(* E12: pi{2,2} vs pi pi in GQL; the l-RPQ law fixes it (Ex. 1, Sec 4.2).   *)
+(* ======================================================================== *)
+
+let e12 () =
+  header "E12" "GQL: repetition is not unfolding; l-RPQs restore the law (Ex. 1)";
+  let pg =
+    Pg.make
+      ~nodes:[ ("u", "V", []); ("v", "V", []); ("w", "V", []); ("s", "V", []) ]
+      ~edges:
+        [ ("e1", "u", "a", "v", []); ("e2", "v", "a", "w", []);
+          ("loop", "s", "a", "s", []) ]
+  in
+  let quant = Gql_parse.parse "(()-[z:a]->()){2}" in
+  let unfold = Gql_parse.parse "()-[z:a]->()()-[z:a]->()" in
+  let nq = List.length (Gql.matches pg quant ~max_len:4) in
+  let nu = List.length (Gql.matches pg unfold ~max_len:4) in
+  Printf.printf "  GQL pi{2}: %d matches (z grouped); GQL pi pi: %d matches (z joined)\n"
+    nq nu;
+  check "GQL: pi{2,2} and pi pi differ" (nq <> nu);
+  (* l-RPQs: [[R]]^2 = [[R R]] by definition; check on random graphs. *)
+  let ok = ref true in
+  for seed = 1 to 10 do
+    let g = Generators.random_graph ~seed ~nodes:4 ~edges:6 ~labels:[ "a"; "b" ] in
+    let r = Regex.alt (Lrpq.cap "a" "z") (Lrpq.lbl "b") in
+    let singles = Lrpq.enumerate g r ~max_len:1 in
+    let composed =
+      List.concat_map
+        (fun (p1, m1) ->
+          List.filter_map
+            (fun (p2, m2) ->
+              match Path.concat g p1 p2 with
+              | Some p -> Some (p, Lbinding.concat m1 m2)
+              | None -> None)
+            singles)
+        singles
+      |> List.sort_uniq compare
+    in
+    let direct =
+      Lrpq.enumerate g (Regex.Seq (r, r)) ~max_len:2
+    in
+    if List.sort compare direct <> composed then ok := false
+  done;
+  check "l-RPQs: [[R.R]] = [[R]] o [[R]] on 10 random graphs" !ok
+
+(* ======================================================================== *)
+(* E13 (ablation): compiling patterns to automata beats pattern-walking.    *)
+(* ======================================================================== *)
+
+let e13 () =
+  header "E13" "ablation: GQL pattern engine vs compiled automaton (Sec 6.2)";
+  let pat = Gql_parse.parse "(x)(()-[:a]->()){1,}(y)" in
+  let rpq =
+    match Gql_compile.to_rpq pat with
+    | Some r -> r
+    | None -> failwith "pattern should compile"
+  in
+  Printf.printf "  pattern: (x)(()-[:a]->()){1,}(y)   compiled RPQ: %s\n"
+    (Regex.to_string Sym.to_string rpq);
+  Printf.printf "  %-4s %-16s %-16s %-10s\n" "n" "engine (ms)" "automaton (ms)" "agree?";
+  let sizes = if !quick then [ 4; 8 ] else [ 4; 8; 12 ] in
+  let all_agree = ref true and automaton_wins = ref true in
+  List.iter
+    (fun n ->
+      let g = Generators.diamonds n in
+      let pg =
+        Pg.make
+          ~nodes:(List.init (Elg.nb_nodes g) (fun i -> (Elg.node_name g i, "V", [])))
+          ~edges:
+            (List.init (Elg.nb_edges g) (fun e ->
+                 ( Elg.edge_name g e,
+                   Elg.node_name g (Elg.src g e),
+                   Elg.label g e,
+                   Elg.node_name g (Elg.tgt g e),
+                   [] )))
+      in
+      let g = Pg.elg pg in
+      (* The engine enumerates every path; the automaton does one BFS per
+         source over the product graph. *)
+      let engine_pairs, engine_ms =
+        oneshot_ms (fun () ->
+            Gql.matches pg pat ~max_len:(2 * n)
+            |> List.filter_map (fun (p, _) ->
+                   match (Path.src g p, Path.tgt g p) with
+                   | Some u, Some v -> Some (u, v)
+                   | _ -> None)
+            |> List.sort_uniq compare)
+      in
+      let auto_pairs, auto_ms = oneshot_ms (fun () -> Rpq_eval.pairs g rpq) in
+      let agree = engine_pairs = auto_pairs in
+      if not agree then all_agree := false;
+      if engine_ms < auto_ms then automaton_wins := false;
+      Printf.printf "  %-4d %-16.2f %-16.2f %-10b\n" n engine_ms auto_ms agree)
+    sizes;
+  check "engine and compiled automaton agree on endpoints" !all_agree;
+  check "the automaton evaluation is faster on every instance" !automaton_wins
+
+(* ======================================================================== *)
+(* E14: SPARQL 1.1's non-uniform bag/set semantics (Section 6.1).           *)
+(* ======================================================================== *)
+
+let e14 () =
+  header "E14" "SPARQL 1.1 non-uniform semantics: star silently deduplicates (Sec 6.1)";
+  let g = Generators.line 1 "a" in
+  let k4 = Generators.clique 4 "a" in
+  let p = Rpq_parse.parse in
+  Printf.printf "  %-16s %-10s %-24s\n" "expression" "graph" "multiplicity of one pair";
+  let show expr graph gname src tgt =
+    let m = Sparql_paths.multiplicity graph (p expr) ~src ~tgt in
+    Printf.printf "  %-16s %-10s %-24s\n" expr gname (Nat_big.to_string m);
+    m
+  in
+  let m1 = show "a|a" g "line" 0 1 in
+  let m2 = show "(a|a)*" g "line" 0 1 in
+  let _ = show "(a|a).(a|a)" k4 "K4" 0 1 in
+  let m3 = show "(((a*)*)*)*" k4 "K4" 0 1 in
+  let alp = Rpq_count.bag_count k4 (p "(((a*)*)*)*") ~src:0 ~tgt:1 in
+  Printf.printf "  (the same nested star under the pre-standard draft semantics: %s)\n"
+    (Nat_big.to_scientific alp);
+  check "union duplicates: (a|a) has multiplicity 2"
+    (Nat_big.to_int m1 = Some 2);
+  check "star deduplicates: (a|a)* has multiplicity 1 (the paper's oddity)"
+    (Nat_big.to_int m2 = Some 1);
+  check "nested stars stay at 1 under SPARQL 1.1 (vs the draft explosion)"
+    (Nat_big.to_int m3 = Some 1 && Nat_big.compare alp (Nat_big.of_int 1000) > 0)
+
+(* ======================================================================== *)
+(* E15 (ablation): generic join vs pairwise joins for CRPQs (Sec 7.1).      *)
+(* ======================================================================== *)
+
+let e15 () =
+  header "E15" "ablation: generic join vs pairwise joins on triangle CRPQs (Sec 7.1)";
+  let t = Regex.atom (Sym.Lbl "a") in
+  let triangle =
+    Crpq.make ~head:[ "x"; "y"; "z" ]
+      ~atoms:
+        [
+          { Crpq.re = t; x = Crpq.TVar "x"; y = Crpq.TVar "y" };
+          { Crpq.re = t; x = Crpq.TVar "y"; y = Crpq.TVar "z" };
+          { Crpq.re = t; x = Crpq.TVar "z"; y = Crpq.TVar "x" };
+        ]
+  in
+  Printf.printf "  %-8s %-8s %-10s %-16s %-16s %-14s %-14s\n" "nodes" "edges"
+    "answers" "generic tuples" "binary peak" "generic (ms)" "binary (ms)";
+  let sizes = if !quick then [ (30, 150) ] else [ (30, 150); (60, 420); (90, 810) ] in
+  let all_agree = ref true in
+  let generic_cheaper = ref true in
+  List.iter
+    (fun (nodes, edges) ->
+      let g = Generators.random_graph ~seed:3 ~nodes ~edges ~labels:[ "a" ] in
+      let generic, generic_ms = oneshot_ms (fun () -> Crpq_wcoj.eval g triangle) in
+      let binary, binary_ms = oneshot_ms (fun () -> Crpq.eval g triangle) in
+      let explored, peak = Crpq_wcoj.compare_costs g triangle in
+      if generic <> binary then all_agree := false;
+      if explored > peak then generic_cheaper := false;
+      Printf.printf "  %-8d %-8d %-10d %-16d %-16d %-14.2f %-14.2f\n" nodes edges
+        (List.length generic) explored peak generic_ms binary_ms)
+    sizes;
+  check "both join strategies return the same triangles" !all_agree;
+  check "generic join explores fewer tuples than the binary-join peak" !generic_cheaper
+
+let experiments =
+  [
+    ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
+    ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
+    ("E13", e13); ("E14", e14); ("E15", e15);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let ids, flags = List.partition (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
+  if List.mem "--quick" flags then quick := true;
+  let selected =
+    if ids = [] then experiments
+    else
+      List.filter (fun (id, _) -> List.mem id ids) experiments
+  in
+  if selected = [] then begin
+    Printf.eprintf "unknown experiment id; available: %s\n"
+      (String.concat " " (List.map fst experiments));
+    exit 1
+  end;
+  List.iter (fun (_, run) -> run ()) selected;
+  print_endline "\nAll selected experiments completed."

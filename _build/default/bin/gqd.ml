@@ -1,0 +1,267 @@
+(* gqd: a small command-line front end for the graph-querying library.
+
+   Graphs are loaded from the textual format of [Graph_io]:
+     node <name> [<label>] [key=value ...]
+     edge <name> <src> <label> <tgt> [key=value ...]
+
+   Subcommands: info, rpq, shortest, gql, pmr, static, typecheck,
+   estimate, demo. *)
+
+open Cmdliner
+
+let load path =
+  try Graph_io.parse_file path with
+  | Graph_io.Parse_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+  | Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+
+let node_id_or_die g name =
+  match Elg.node_id g name with
+  | id -> id
+  | exception Not_found ->
+      Printf.eprintf "error: unknown node %s\n" name;
+      exit 1
+
+let parse_rpq_or_die src =
+  match Rpq_parse.parse_opt src with
+  | Ok r -> r
+  | Error msg ->
+      Printf.eprintf "error: cannot parse RPQ %S: %s\n" src msg;
+      exit 1
+
+(* --- arguments ---------------------------------------------------------- *)
+
+let graph_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"GRAPH" ~doc:"Graph file.")
+
+let regex_pos n =
+  Arg.(required & pos n (some string) None & info [] ~docv:"RPQ" ~doc:"Regular path query.")
+
+(* --- info --------------------------------------------------------------- *)
+
+let info_cmd =
+  let run path =
+    let pg = load path in
+    let g = Pg.elg pg in
+    Printf.printf "nodes:  %d\nedges:  %d\nlabels: %s\n" (Elg.nb_nodes g)
+      (Elg.nb_edges g)
+      (String.concat ", " (Elg.labels g))
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Print graph statistics.")
+    Term.(const run $ graph_arg)
+
+(* --- rpq ---------------------------------------------------------------- *)
+
+let rpq_cmd =
+  let run path regex from =
+    let pg = load path in
+    let g = Pg.elg pg in
+    let r = parse_rpq_or_die regex in
+    match from with
+    | Some src_name ->
+        let src = node_id_or_die g src_name in
+        List.iter
+          (fun v -> print_endline (Elg.node_name g v))
+          (Rpq_eval.from_source g r ~src)
+    | None ->
+        List.iter
+          (fun (u, v) ->
+            Printf.printf "%s -> %s\n" (Elg.node_name g u) (Elg.node_name g v))
+          (Rpq_eval.pairs g r)
+  in
+  let from =
+    Arg.(value & opt (some string) None & info [ "from" ] ~docv:"NODE"
+           ~doc:"Only report nodes reachable from $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "rpq" ~doc:"Evaluate a regular path query (endpoint pairs).")
+    Term.(const run $ graph_arg $ regex_pos 1 $ from)
+
+(* --- shortest ------------------------------------------------------------ *)
+
+let shortest_cmd =
+  let run path regex src_name tgt_name =
+    let pg = load path in
+    let g = Pg.elg pg in
+    let r = parse_rpq_or_die regex in
+    let src = node_id_or_die g src_name and tgt = node_id_or_die g tgt_name in
+    match Path_modes.shortest g r ~src ~tgt with
+    | [] ->
+        print_endline "no matching path";
+        exit 2
+    | paths -> List.iter (fun p -> print_endline (Path.to_string g p)) paths
+  in
+  let src = Arg.(required & pos 2 (some string) None & info [] ~docv:"SRC") in
+  let tgt = Arg.(required & pos 3 (some string) None & info [] ~docv:"TGT") in
+  Cmd.v
+    (Cmd.info "shortest" ~doc:"All shortest paths matching an RPQ between two nodes.")
+    Term.(const run $ graph_arg $ regex_pos 1 $ src $ tgt)
+
+(* --- gql ----------------------------------------------------------------- *)
+
+let gql_cmd =
+  let run path pattern max_len =
+    let pg = load path in
+    let g = Pg.elg pg in
+    match Gql_parse.parse_opt pattern with
+    | Error msg ->
+        Printf.eprintf "error: cannot parse pattern %S: %s\n" pattern msg;
+        exit 1
+    | Ok pat ->
+        List.iter
+          (fun (p, b) ->
+            Printf.printf "%s  %s\n" (Path.to_string g p) (Gql.binding_to_string g b))
+          (Gql.matches pg pat ~max_len)
+  in
+  let max_len =
+    Arg.(value & opt int 8 & info [ "max-len" ] ~docv:"N"
+           ~doc:"Bound on path length (default 8).")
+  in
+  let pattern =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"PATTERN"
+           ~doc:"ASCII-art pattern, e.g. '(x)-[z:a]->(y)'.")
+  in
+  Cmd.v
+    (Cmd.info "gql" ~doc:"Match a GQL-style ASCII-art pattern.")
+    Term.(const run $ graph_arg $ pattern $ max_len)
+
+(* --- pmr ----------------------------------------------------------------- *)
+
+let pmr_cmd =
+  let run path regex src_name tgt_name max_len =
+    let pg = load path in
+    let g = Pg.elg pg in
+    let r = parse_rpq_or_die regex in
+    let src = node_id_or_die g src_name and tgt = node_id_or_die g tgt_name in
+    let pmr = Pmr.of_rpq g r ~src ~tgt in
+    Printf.printf "PMR: %d nodes, %d edges; paths: %s\n" pmr.Pmr.nb_nodes
+      (Array.length pmr.Pmr.edges)
+      (match Pmr.count_paths pmr with
+      | `Infinite -> "infinite"
+      | `Finite n -> Nat_big.to_string n);
+    List.iter
+      (fun p -> print_endline (Path.to_string g p))
+      (Pmr.spaths_upto g pmr ~max_len)
+  in
+  let src = Arg.(required & pos 2 (some string) None & info [] ~docv:"SRC") in
+  let tgt = Arg.(required & pos 3 (some string) None & info [] ~docv:"TGT") in
+  let max_len =
+    Arg.(value & opt int 6 & info [ "max-len" ] ~docv:"N"
+           ~doc:"Enumeration bound for the listed sample (default 6).")
+  in
+  Cmd.v
+    (Cmd.info "pmr" ~doc:"Build the path multiset representation of an RPQ result.")
+    Term.(const run $ graph_arg $ regex_pos 1 $ src $ tgt $ max_len)
+
+(* --- query ----------------------------------------------------------------- *)
+
+let query_cmd =
+  let run path src max_len =
+    let pg = load path in
+    let g = Pg.elg pg in
+    match Gql_query.parse src with
+    | exception Gql_query.Parse_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+    | q -> (
+        match Gql_query.eval ~max_len pg q with
+        | rel -> print_endline (Relation.to_string g rel)
+        | exception Gql_query.Eval_error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            exit 2)
+  in
+  let src =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY"
+           ~doc:"MATCH ... RETURN ... query.")
+  in
+  let max_len =
+    Arg.(value & opt int 8 & info [ "max-len" ] ~docv:"N"
+           ~doc:"Bound on matched path length (default 8).")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Run a MATCH/RETURN query (with aggregation).")
+    Term.(const run $ graph_arg $ src $ max_len)
+
+(* --- static -------------------------------------------------------------- *)
+
+let static_cmd =
+  let run r1_src r2_src =
+    let r1 = parse_rpq_or_die r1_src and r2 = parse_rpq_or_die r2_src in
+    let dir a b sa sb =
+      match Rpq_static.containment_counterexample a b with
+      | None -> Printf.printf "%s  is contained in  %s\n" sa sb
+      | Some w ->
+          Printf.printf "%s  is NOT contained in  %s  (witness word: %s)\n" sa sb
+            (if w = [] then "<empty>" else String.concat "." w)
+    in
+    dir r1 r2 r1_src r2_src;
+    dir r2 r1 r2_src r1_src;
+    Printf.printf "disjoint: %b\n" (Rpq_static.disjoint r1 r2)
+  in
+  let r1 = Arg.(required & pos 0 (some string) None & info [] ~docv:"RPQ1") in
+  let r2 = Arg.(required & pos 1 (some string) None & info [] ~docv:"RPQ2") in
+  Cmd.v
+    (Cmd.info "static" ~doc:"Containment / equivalence / disjointness of two RPQs.")
+    Term.(const run $ r1 $ r2)
+
+(* --- typecheck ------------------------------------------------------------ *)
+
+let typecheck_cmd =
+  let run pattern =
+    match Gql_parse.parse_opt pattern with
+    | Error msg ->
+        Printf.eprintf "error: cannot parse pattern %S: %s\n" pattern msg;
+        exit 1
+    | Ok pat -> (
+        match Gql_typing.infer pat with
+        | Error (Gql_typing.Degree_conflict x) ->
+            Printf.printf "ill-typed: variable %s is both an element and a list\n" x;
+            exit 2
+        | Ok env ->
+            if env = [] then print_endline "well-typed (no variables)"
+            else
+              List.iter
+                (fun (x, ty) ->
+                  Printf.printf "%s : %s\n" x (Gql_typing.ty_to_string ty))
+                env)
+  in
+  let pattern = Arg.(required & pos 0 (some string) None & info [] ~docv:"PATTERN") in
+  Cmd.v
+    (Cmd.info "typecheck" ~doc:"Infer GQL variable types (element/list, nullable).")
+    Term.(const run $ pattern)
+
+(* --- estimate -------------------------------------------------------------- *)
+
+let estimate_cmd =
+  let run path regex samples =
+    let pg = load path in
+    let g = Pg.elg pg in
+    let r = parse_rpq_or_die regex in
+    let est = Rpq_estimate.estimate_pairs g r ~samples ~seed:42 in
+    Printf.printf "estimated answers: %.0f (from %d samples)\n" est samples
+  in
+  let samples =
+    Arg.(value & opt int 30 & info [ "samples" ] ~docv:"N" ~doc:"Sample count.")
+  in
+  Cmd.v
+    (Cmd.info "estimate" ~doc:"Estimate |answers| of an RPQ by source sampling.")
+    Term.(const run $ graph_arg $ regex_pos 1 $ samples)
+
+(* --- demo ---------------------------------------------------------------- *)
+
+let demo_cmd =
+  let run () = print_string (Graph_io.to_string (Generators.bank_pg ())) in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Print the paper's bank graph in gqd's file format.")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "Query graph data: RPQs, path modes, PMRs, GQL-style patterns." in
+  let cmd =
+    Cmd.group (Cmd.info "gqd" ~version:"1.0.0" ~doc)
+      [ info_cmd; rpq_cmd; shortest_cmd; gql_cmd; query_cmd; pmr_cmd; static_cmd; typecheck_cmd; estimate_cmd; demo_cmd ]
+  in
+  exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/fraud_detection.ml: Array Crpq Dlrpq Elg Etest Fun Generators List Nat_big Path Path_modes Pg Pmr Printf Regex Rpq_parse String Sym Value

@@ -1,0 +1,1 @@
+examples/language_tour.ml: Coregql Crpq Cypher Dlrpq Elg Etest Generators Gql Gql_parse Lcrpq List Lrpq Path Path_modes Pg Printf Reduce Regex Relation Rpq_eval Rpq_parse Stdlib String Value

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Crpq Dlrpq Elg Etest Fun Generators List Path Path_modes Pg Printf Regex Rpq_eval Rpq_parse String Sym Value

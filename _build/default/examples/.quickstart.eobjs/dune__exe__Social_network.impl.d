@@ -1,0 +1,1 @@
+examples/social_network.ml: Array Coregql Dlrpq Dlrpq_parse Elg Fun Lbinding Lcrpq List Lrpq Nat_big Path Path_modes Pg Pmr Printf Random Regex Relation Rpq_estimate Rpq_eval Rpq_parse Value

@@ -1,0 +1,1 @@
+examples/temporal_paths.ml: Coregql Coregql_paths Dlrpq Elg Etest Fun Generators Gql Gql_parse Lbinding List Path Pg Printf Regex Value

@@ -1,0 +1,115 @@
+(* A tour of the language zoo (Figure 1): one task — "accounts reachable
+   from Mike's account by 1-2 transfers" — phrased in every formalism the
+   library implements, plus each language's distinctive extra.
+
+   Run with: dune exec examples/language_tour.exe *)
+
+let () =
+  let pg = Generators.bank_pg () in
+  let g = Pg.elg pg in
+  let id = Elg.node_id g in
+  let name = Elg.node_name g in
+
+  (* --- RPQ (Section 3.1.1) ----------------------------------------------- *)
+  let rpq = Rpq_parse.parse "Transfer.Transfer?" in
+  Printf.printf "RPQ  Transfer.Transfer?  from a3: %s\n"
+    (String.concat ", " (List.map name (Rpq_eval.from_source g rpq ~src:(id "a3"))));
+
+  (* --- CRPQ (3.1.2): also require the target to be unblocked ------------ *)
+  let q =
+    Crpq.make ~head:[ "y" ]
+      ~atoms:
+        [
+          { Crpq.re = rpq; x = Crpq.TConst "a3"; y = Crpq.TVar "y" };
+          { Crpq.re = Rpq_parse.parse "isBlocked"; x = Crpq.TVar "y"; y = Crpq.TConst "no" };
+        ]
+  in
+  let bank = Generators.bank_elg () in
+  Printf.printf "CRPQ (and unblocked):           %s\n"
+    (String.concat ", "
+       (List.map (fun row -> name (List.hd row)) (Crpq.eval bank q)));
+
+  (* --- l-CRPQ (3.1.5): return the shortest witnessing edge lists -------- *)
+  let lq =
+    Lcrpq.make ~head:[ "y"; "z" ]
+      ~atoms:
+        [
+          {
+            Lcrpq.mode = Path_modes.Shortest;
+            re = Regex.repeat 1 2 (Lrpq.cap "Transfer" "z");
+            x = Lcrpq.TConst "a3";
+            y = Lcrpq.TVar "y";
+          };
+        ]
+  in
+  print_endline "l-CRPQ shortest witnesses:";
+  List.iter
+    (fun row -> Printf.printf "  %s\n" (Lcrpq.row_to_string bank row))
+    (Lcrpq.eval bank lq);
+
+  (* --- dl-RPQ (3.2.1): amounts along the way must exceed 4M ------------- *)
+  let big_hop =
+    Regex.seq (Regex.seq Dlrpq.node_any (Dlrpq.edge_lbl "Transfer"))
+      (Dlrpq.edge_test (Etest.Cmp_const ("amount", Value.Gt, Value.Real 4.0)))
+  in
+  let dl = Regex.seq (Regex.repeat 1 2 big_hop) Dlrpq.node_any in
+  let dl_results =
+    Dlrpq.enumerate_from pg dl ~src:(id "a3") ~max_len:2 ()
+    |> List.filter_map (fun (p, _) -> Path.tgt g p)
+    |> List.sort_uniq Stdlib.compare
+  in
+  Printf.printf "dl-RPQ (amounts > 4M):          %s\n"
+    (String.concat ", " (List.map name dl_results));
+
+  (* --- CoreGQL (Section 4): pattern + relational algebra ---------------- *)
+  let pi =
+    Coregql.(
+      Pconcat
+        ( Pcond (Pnode (Some "x"), Clabel ("Account", "x")),
+          Pconcat (Prepeat (Pedge None, 1, Some 2), Pnode (Some "y")) ))
+  in
+  let rel = Coregql.output pg pi [ Coregql.Ovar "x"; Coregql.Ovar "y"; Coregql.Oprop ("y", "owner") ] in
+  let mike_rows =
+    Relation.select rel (fun get -> get "x" = Relation.Cnode (id "a3"))
+  in
+  print_endline "CoreGQL relation (x = a3):";
+  print_endline (Relation.to_string g (Relation.project mike_rows [ "y"; "y.owner" ]));
+
+  (* --- GQL-style pattern with a group variable --------------------------- *)
+  let gql = Gql_parse.parse "(x:Account)(()-[z:Transfer]->()){1,2}(y:Account)" in
+  let gql_results =
+    Gql.matches_between pg gql ~max_len:2 ~src:(id "a3") ~tgt:(id "a1")
+  in
+  print_endline "GQL pattern matches a3 -> a1 (z is a group variable):";
+  List.iter
+    (fun (p, b) ->
+      Printf.printf "  %s  %s\n" (Path.to_string g p) (Gql.binding_to_string g b))
+    gql_results;
+
+  (* --- Cypher fragment (Section 5.1) ------------------------------------- *)
+  let cypher =
+    Cypher.Concat
+      ( Cypher.Node (Some "x", None),
+        Cypher.Concat (Cypher.Edge_star (Some [ "Transfer" ]), Cypher.Node (Some "y", None)) )
+  in
+  Printf.printf "Cypher %s from a3 reaches %d nodes\n"
+    (Cypher.to_string cypher)
+    (List.length
+       (List.filter (fun (u, _) -> u = id "a3") (Cypher.eval bank cypher)));
+
+  (* --- reduce (Section 5.2): sum of amounts along each shortest route --- *)
+  let sum = Reduce.sum_reducer pg ~prop:"amount" in
+  ignore sum;
+  let paths = Path_modes.shortest bank (Rpq_parse.parse "Transfer+") ~src:(id "a3") ~tgt:(id "a5") in
+  List.iter
+    (fun p ->
+      let total =
+        List.fold_left
+          (fun acc e ->
+            match Pg.edge_prop pg e "amount" with
+            | Some (Value.Real a) -> acc +. a
+            | _ -> acc)
+          0.0 (Path.edges p)
+      in
+      Printf.printf "reduce-style aggregate: %s carries %.1fM\n" (Path.to_string g p) total)
+    paths

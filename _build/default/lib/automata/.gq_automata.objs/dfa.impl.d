@@ -1,0 +1,1 @@
+lib/automata/dfa.ml: Array Buffer Format Hashtbl List Nfa Queue Stdlib String Sym

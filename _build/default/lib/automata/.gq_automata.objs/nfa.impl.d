@@ -1,0 +1,1 @@
+lib/automata/nfa.ml: Array Format List Queue Regex Stdlib String

@@ -1,0 +1,279 @@
+type t = {
+  nb_states : int;
+  init : int;
+  finals : bool array;
+  next : int array array;
+  class_labels : string array;
+}
+
+let nb_classes dfa = Array.length dfa.class_labels + 1
+
+(* A label no real graph or query contains, used as the representative of
+   the "other" class during construction. *)
+let other_witness = "\x00other"
+
+let of_nfa ?(extra_labels = []) (nfa : Sym.t Nfa.t) =
+  let class_labels =
+    Array.fold_left
+      (fun acc ts ->
+        List.fold_left (fun acc (sym, _) -> Sym.mentioned sym @ acc) acc ts)
+      extra_labels nfa.Nfa.delta
+    |> List.sort_uniq String.compare |> Array.of_list
+  in
+  let k = Array.length class_labels in
+  let representative c = if c < k then class_labels.(c) else other_witness in
+  (* Subset construction over the k+1 classes. *)
+  let key states = List.sort_uniq Stdlib.compare states in
+  let ids : (int list, int) Hashtbl.t = Hashtbl.create 64 in
+  let states_of = ref [] in
+  let count = ref 0 in
+  let intern set =
+    let set = key set in
+    match Hashtbl.find_opt ids set with
+    | Some id -> id
+    | None ->
+        let id = !count in
+        incr count;
+        Hashtbl.add ids set id;
+        states_of := (id, set) :: !states_of;
+        id
+  in
+  let init = intern nfa.Nfa.initials in
+  let next_rows = ref [] in
+  let final_flags = ref [] in
+  let queue = Queue.create () in
+  Queue.add init queue;
+  let processed = Hashtbl.create 64 in
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    if not (Hashtbl.mem processed id) then begin
+      Hashtbl.add processed id ();
+      let set = List.assoc id !states_of in
+      let row = Array.make (k + 1) 0 in
+      for c = 0 to k do
+        let letter = representative c in
+        let succ =
+          List.concat_map
+            (fun q ->
+              List.filter_map
+                (fun (sym, p) -> if Sym.matches sym letter then Some p else None)
+                nfa.Nfa.delta.(q))
+            set
+        in
+        let id' = intern succ in
+        row.(c) <- id';
+        if not (Hashtbl.mem processed id') then Queue.add id' queue
+      done;
+      let final = List.exists (fun q -> nfa.Nfa.finals.(q)) set in
+      next_rows := (id, row) :: !next_rows;
+      final_flags := (id, final) :: !final_flags
+    end
+  done;
+  let nb_states = !count in
+  let next = Array.make nb_states [||] in
+  List.iter (fun (id, row) -> next.(id) <- row) !next_rows;
+  let finals = Array.make nb_states false in
+  List.iter (fun (id, f) -> finals.(id) <- f) !final_flags;
+  { nb_states; init; finals; next; class_labels }
+
+let class_of_label dfa label =
+  let k = Array.length dfa.class_labels in
+  let rec find i =
+    if i >= k then k
+    else if String.equal dfa.class_labels.(i) label then i
+    else find (i + 1)
+  in
+  find 0
+
+let accepts dfa word =
+  let q =
+    List.fold_left
+      (fun q label -> dfa.next.(q).(class_of_label dfa label))
+      dfa.init word
+  in
+  dfa.finals.(q)
+
+let complement dfa = { dfa with finals = Array.map not dfa.finals }
+
+let minimize dfa =
+  let n = dfa.nb_states in
+  let k = nb_classes dfa in
+  let block = Array.make n 0 in
+  Array.iteri (fun q f -> block.(q) <- (if f then 1 else 0)) dfa.finals;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* Signature of a state: its block plus the blocks of its successors. *)
+    let signature q =
+      block.(q) :: List.init k (fun c -> block.(dfa.next.(q).(c)))
+    in
+    let table = Hashtbl.create n in
+    let fresh = ref 0 in
+    let new_block = Array.make n 0 in
+    for q = 0 to n - 1 do
+      let s = signature q in
+      match Hashtbl.find_opt table s with
+      | Some b -> new_block.(q) <- b
+      | None ->
+          Hashtbl.add table s !fresh;
+          new_block.(q) <- !fresh;
+          incr fresh
+    done;
+    if new_block <> block then begin
+      Array.blit new_block 0 block 0 n;
+      changed := true
+    end
+  done;
+  let nb_states = 1 + Array.fold_left max 0 block in
+  let next = Array.make_matrix nb_states k 0 in
+  let finals = Array.make nb_states false in
+  for q = 0 to n - 1 do
+    finals.(block.(q)) <- dfa.finals.(q);
+    for c = 0 to k - 1 do
+      next.(block.(q)).(c) <- block.(dfa.next.(q).(c))
+    done
+  done;
+  {
+    nb_states;
+    init = block.(dfa.init);
+    finals;
+    next;
+    class_labels = dfa.class_labels;
+  }
+
+let is_empty dfa =
+  let seen = Array.make dfa.nb_states false in
+  let rec visit q =
+    if not seen.(q) then begin
+      seen.(q) <- true;
+      Array.iter visit dfa.next.(q)
+    end
+  in
+  visit dfa.init;
+  not (Array.exists2 ( && ) seen dfa.finals)
+
+let all_labels (nfa : Sym.t Nfa.t) =
+  Array.fold_left
+    (fun acc ts ->
+      List.fold_left (fun acc (sym, _) -> Sym.mentioned sym @ acc) acc ts)
+    [] nfa.Nfa.delta
+
+let equiv nfa1 nfa2 =
+  let labels = all_labels nfa1 @ all_labels nfa2 in
+  let d1 = of_nfa ~extra_labels:labels nfa1 in
+  let d2 = of_nfa ~extra_labels:labels nfa2 in
+  (* Same label set, hence identical class structure: compare by product
+     search for a state pair with different acceptance. *)
+  let k = nb_classes d1 in
+  assert (k = nb_classes d2);
+  let seen = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  Queue.add (d1.init, d2.init) queue;
+  Hashtbl.add seen (d1.init, d2.init) ();
+  let distinct = ref false in
+  while (not !distinct) && not (Queue.is_empty queue) do
+    let p, q = Queue.pop queue in
+    if d1.finals.(p) <> d2.finals.(q) then distinct := true
+    else
+      for c = 0 to k - 1 do
+        let p' = d1.next.(p).(c) and q' = d2.next.(q).(c) in
+        if not (Hashtbl.mem seen (p', q')) then begin
+          Hashtbl.add seen (p', q') ();
+          Queue.add (p', q') queue
+        end
+      done
+  done;
+  not !distinct
+
+let enumerate dfa ~max_len =
+  let k = nb_classes dfa in
+  let label_of_class c =
+    if c < Array.length dfa.class_labels then dfa.class_labels.(c)
+    else "<other>"
+  in
+  let results = ref [] in
+  let rec go q word len =
+    if dfa.finals.(q) then results := List.rev word :: !results;
+    if len < max_len then
+      for c = 0 to k - 1 do
+        go dfa.next.(q).(c) (label_of_class c :: word) (len + 1)
+      done
+  in
+  go dfa.init [] 0;
+  List.sort
+    (fun w1 w2 ->
+      match Stdlib.compare (List.length w1) (List.length w2) with
+      | 0 -> Stdlib.compare w1 w2
+      | c -> c)
+    !results
+
+let canonical_key dfa =
+  let k = nb_classes dfa in
+  let renum = Array.make dfa.nb_states (-1) in
+  let order = ref [] in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  renum.(dfa.init) <- 0;
+  count := 1;
+  Queue.add dfa.init queue;
+  while not (Queue.is_empty queue) do
+    let q = Queue.pop queue in
+    order := q :: !order;
+    for c = 0 to k - 1 do
+      let q' = dfa.next.(q).(c) in
+      if renum.(q') < 0 then begin
+        renum.(q') <- !count;
+        incr count;
+        Queue.add q' queue
+      end
+    done
+  done;
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun q ->
+      Buffer.add_string buf (if dfa.finals.(q) then "F" else ".");
+      for c = 0 to k - 1 do
+        Buffer.add_string buf (string_of_int renum.(dfa.next.(q).(c)));
+        Buffer.add_char buf ','
+      done;
+      Buffer.add_char buf ';')
+    (List.rev !order);
+  Buffer.contents buf
+
+let to_nfa dfa =
+  let k = Array.length dfa.class_labels in
+  let delta =
+    Array.map
+      (fun row ->
+        List.init (k + 1) (fun c ->
+            let sym =
+              if c < k then Sym.Lbl dfa.class_labels.(c)
+              else Sym.Not (Array.to_list dfa.class_labels)
+            in
+            (sym, row.(c))))
+      dfa.next
+  in
+  Nfa.trim
+    {
+      Nfa.nb_states = dfa.nb_states;
+      initials = [ dfa.init ];
+      finals = dfa.finals;
+      delta;
+    }
+
+let pp fmt dfa =
+  Format.fprintf fmt "@[<v>dfa (%d states, %d classes)@," dfa.nb_states
+    (nb_classes dfa);
+  Array.iteri
+    (fun q row ->
+      Array.iteri
+        (fun c q' ->
+          let lbl =
+            if c < Array.length dfa.class_labels then dfa.class_labels.(c)
+            else "<other>"
+          in
+          Format.fprintf fmt "%d -%s-> %d@," q lbl q')
+        row;
+      if dfa.finals.(q) then Format.fprintf fmt "%d final@," q)
+    dfa.next;
+  Format.fprintf fmt "@]"

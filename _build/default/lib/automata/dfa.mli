@@ -1,0 +1,56 @@
+(** Deterministic automata over the symbolic label alphabet.
+
+    Labels come from a countably infinite set (Section 2), so
+    determinization works over {e minterms}: the finitely many labels
+    mentioned by the automaton each form a singleton class, and all other
+    labels form one "rest" class (sound because {!Sym.t} denotations are
+    unions of such classes).  This is what makes the standard toolbox —
+    complement, minimization, equivalence — available to RPQs with
+    wildcards, per Remark 11. *)
+
+type t = {
+  nb_states : int;
+  init : int;
+  finals : bool array;
+  next : int array array;  (** [next.(q).(c)]: total transition function *)
+  class_labels : string array;
+      (** the mentioned labels; class [Array.length class_labels] is the
+          implicit "any other label" class *)
+}
+
+(** Number of label classes including the "other" class. *)
+val nb_classes : t -> int
+
+(** Subset construction.  [extra_labels] forces additional singleton
+    classes (needed to compare automata that mention different labels). *)
+val of_nfa : ?extra_labels:string list -> Sym.t Nfa.t -> t
+
+val class_of_label : t -> string -> int
+val accepts : t -> string list -> bool
+val complement : t -> t
+
+(** Moore's partition-refinement minimization (the DFA must be total,
+    which {!of_nfa} guarantees). *)
+val minimize : t -> t
+
+val is_empty : t -> bool
+
+(** Language equivalence of two symbolic NFAs. *)
+val equiv : Sym.t Nfa.t -> Sym.t Nfa.t -> bool
+
+(** A canonical fingerprint of the automaton: BFS-renumbered transition
+    table and acceptance flags.  Two {e minimized} DFAs over the same
+    class structure have equal keys iff they accept the same language —
+    the dedup device of the Proposition 22 search. *)
+val canonical_key : t -> string
+
+(** Words of length at most [max_len], using one representative label per
+    class (the "other" class is rendered as ["<other>"]). *)
+val enumerate : t -> max_len:int -> string list list
+
+(** Back to NFA form (trimmed of useless states).  The result is
+    deterministic, hence unambiguous — this is how path-enumeration code
+    obtains a one-run-per-path automaton (Section 6.2). *)
+val to_nfa : t -> Sym.t Nfa.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,240 @@
+type 'a t = {
+  nb_states : int;
+  initials : int list;
+  finals : bool array;
+  delta : ('a * int) list array;
+}
+
+(* --- Glushkov construction -------------------------------------------- *)
+
+(* Annotate each atom occurrence with a position 1..m. *)
+let annotate r =
+  let count = ref 0 in
+  let rec go = function
+    | Regex.Eps -> Regex.Eps
+    | Regex.Atom a ->
+        incr count;
+        Regex.Atom (!count, a)
+    | Regex.Seq (r1, r2) ->
+        let r1 = go r1 in
+        Regex.Seq (r1, go r2)
+    | Regex.Alt (r1, r2) ->
+        let r1 = go r1 in
+        Regex.Alt (r1, go r2)
+    | Regex.Star r -> Regex.Star (go r)
+  in
+  let annotated = go r in
+  (annotated, !count)
+
+let of_regex r =
+  let annotated, m = annotate r in
+  let atom_of = Array.make (m + 1) None in
+  List.iter
+    (fun (i, a) -> atom_of.(i) <- Some a)
+    (Regex.atoms annotated);
+  (* (nullable, first, last, follow) — the classical quadruple. *)
+  let cross xs ys = List.concat_map (fun x -> List.map (fun y -> (x, y)) ys) xs in
+  let rec go = function
+    | Regex.Eps -> (true, [], [], [])
+    | Regex.Atom (i, _) -> (false, [ i ], [ i ], [])
+    | Regex.Seq (r1, r2) ->
+        let n1, f1, l1, fo1 = go r1 in
+        let n2, f2, l2, fo2 = go r2 in
+        ( n1 && n2,
+          f1 @ (if n1 then f2 else []),
+          l2 @ (if n2 then l1 else []),
+          fo1 @ fo2 @ cross l1 f2 )
+    | Regex.Alt (r1, r2) ->
+        let n1, f1, l1, fo1 = go r1 in
+        let n2, f2, l2, fo2 = go r2 in
+        (n1 || n2, f1 @ f2, l1 @ l2, fo1 @ fo2)
+    | Regex.Star r ->
+        let _, f, l, fo = go r in
+        (true, f, l, fo @ cross l f)
+  in
+  let nullable, first, last, follow = go annotated in
+  let finals = Array.make (m + 1) false in
+  finals.(0) <- nullable;
+  List.iter (fun i -> finals.(i) <- true) last;
+  let delta = Array.make (m + 1) [] in
+  let edges =
+    List.map (fun p -> (0, p)) first @ follow
+    |> List.sort_uniq Stdlib.compare
+  in
+  List.iter
+    (fun (q, p) ->
+      match atom_of.(p) with
+      | Some a -> delta.(q) <- (a, p) :: delta.(q)
+      | None -> assert false)
+    edges;
+  Array.iteri (fun q ts -> delta.(q) <- List.rev ts) delta;
+  { nb_states = m + 1; initials = [ 0 ]; finals; delta }
+
+(* --- Generic operations ------------------------------------------------ *)
+
+let transitions nfa =
+  let acc = ref [] in
+  for q = nfa.nb_states - 1 downto 0 do
+    List.iter (fun (a, p) -> acc := (q, a, p) :: !acc) (List.rev nfa.delta.(q))
+  done;
+  !acc
+
+let nb_transitions nfa =
+  Array.fold_left (fun n ts -> n + List.length ts) 0 nfa.delta
+
+let is_final nfa q = nfa.finals.(q)
+
+let map_atoms f nfa =
+  { nfa with delta = Array.map (List.map (fun (a, p) -> (f a, p))) nfa.delta }
+
+let accepts ~matches nfa word =
+  let current = Array.make nfa.nb_states false in
+  List.iter (fun i -> current.(i) <- true) nfa.initials;
+  let step current letter =
+    let next = Array.make nfa.nb_states false in
+    Array.iteri
+      (fun q active ->
+        if active then
+          List.iter
+            (fun (a, p) -> if matches a letter then next.(p) <- true)
+            nfa.delta.(q))
+      current;
+    next
+  in
+  let final_set = List.fold_left step current word in
+  Array.exists2 ( && ) final_set nfa.finals
+
+let reachable nfa =
+  let seen = Array.make nfa.nb_states false in
+  let rec visit q =
+    if not seen.(q) then begin
+      seen.(q) <- true;
+      List.iter (fun (_, p) -> visit p) nfa.delta.(q)
+    end
+  in
+  List.iter visit nfa.initials;
+  seen
+
+let coreachable nfa =
+  let rev = Array.make nfa.nb_states [] in
+  Array.iteri
+    (fun q ts -> List.iter (fun (_, p) -> rev.(p) <- q :: rev.(p)) ts)
+    nfa.delta;
+  let seen = Array.make nfa.nb_states false in
+  let rec visit q =
+    if not seen.(q) then begin
+      seen.(q) <- true;
+      List.iter visit rev.(q)
+    end
+  in
+  Array.iteri (fun q final -> if final then visit q) nfa.finals;
+  seen
+
+let trim nfa =
+  let reach = reachable nfa and coreach = coreachable nfa in
+  let useful q = reach.(q) && coreach.(q) in
+  let renum = Array.make nfa.nb_states (-1) in
+  let count = ref 0 in
+  for q = 0 to nfa.nb_states - 1 do
+    if useful q then begin
+      renum.(q) <- !count;
+      incr count
+    end
+  done;
+  let nb_states = !count in
+  let finals = Array.make nb_states false in
+  let delta = Array.make nb_states [] in
+  for q = 0 to nfa.nb_states - 1 do
+    if useful q then begin
+      finals.(renum.(q)) <- nfa.finals.(q);
+      delta.(renum.(q)) <-
+        List.filter_map
+          (fun (a, p) -> if useful p then Some (a, renum.(p)) else None)
+          nfa.delta.(q)
+    end
+  done;
+  let initials = List.filter_map (fun i -> if useful i then Some renum.(i) else None) nfa.initials in
+  { nb_states; initials; finals; delta }
+
+let is_empty nfa =
+  let reach = reachable nfa in
+  not (Array.exists2 ( && ) reach nfa.finals)
+
+let product combine a b =
+  let idx p q = (p * b.nb_states) + q in
+  let nb_states = a.nb_states * b.nb_states in
+  let finals = Array.make nb_states false in
+  let delta = Array.make nb_states [] in
+  for p = 0 to a.nb_states - 1 do
+    for q = 0 to b.nb_states - 1 do
+      finals.(idx p q) <- a.finals.(p) && b.finals.(q);
+      delta.(idx p q) <-
+        List.concat_map
+          (fun (x, p') ->
+            List.filter_map
+              (fun (y, q') ->
+                match combine x y with
+                | Some z -> Some (z, idx p' q')
+                | None -> None)
+              b.delta.(q))
+          a.delta.(p)
+    done
+  done;
+  let initials =
+    List.concat_map (fun i -> List.map (fun j -> idx i j) b.initials) a.initials
+  in
+  { nb_states; initials; finals; delta }
+
+let is_ambiguous ~inter nfa =
+  (* Search the self-product for an accepting state reachable through a pair
+     of runs that have diverged (different start states, different states at
+     some point, or different parallel transitions).  The "diverged" bit is
+     part of the search state, so parallel transitions between the same pair
+     of states are handled correctly. *)
+  let nfa = trim nfa in
+  let n = nfa.nb_states in
+  if n = 0 then false
+  else begin
+    let idx p q flag = (((p * n) + q) * 2) + if flag then 1 else 0 in
+    let seen = Array.make (n * n * 2) false in
+    let queue = Queue.create () in
+    let push p q flag =
+      if not seen.(idx p q flag) then begin
+        seen.(idx p q flag) <- true;
+        Queue.add (p, q, flag) queue
+      end
+    in
+    List.iter
+      (fun i -> List.iter (fun j -> push i j (i <> j)) nfa.initials)
+      nfa.initials;
+    let ambiguous = ref false in
+    while (not !ambiguous) && not (Queue.is_empty queue) do
+      let p, q, flag = Queue.pop queue in
+      if flag && nfa.finals.(p) && nfa.finals.(q) then ambiguous := true
+      else
+        List.iteri
+          (fun i (x, p') ->
+            List.iteri
+              (fun j (y, q') ->
+                if inter x y then
+                  let flag' = flag || p <> q || (p = q && i <> j) in
+                  push p' q' flag')
+              nfa.delta.(q))
+          nfa.delta.(p)
+    done;
+    !ambiguous
+  end
+
+let pp atom_to_string fmt nfa =
+  Format.fprintf fmt "@[<v>nfa (%d states)@," nfa.nb_states;
+  Format.fprintf fmt "initials: %s@,"
+    (String.concat "," (List.map string_of_int nfa.initials));
+  Array.iteri
+    (fun q ts ->
+      List.iter
+        (fun (a, p) ->
+          Format.fprintf fmt "%d -%s-> %d%s@," q (atom_to_string a) p
+            (if nfa.finals.(p) then " (final)" else ""))
+        ts)
+    nfa.delta;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,51 @@
+(** Nondeterministic finite automata over an arbitrary atom type.
+
+    ε-free by construction: {!of_regex} is the Glushkov construction the
+    paper appeals to in Section 6.2 ("an equivalent NFA without
+    ε-transitions can be constructed efficiently").  The automaton is
+    polymorphic in its transition atoms so that the same machinery drives
+    plain RPQs ({!Sym.t} atoms), l-RPQs (capture-annotated atoms) and
+    dl-RPQs (node/edge/data-test atoms). *)
+
+type 'a t = {
+  nb_states : int;
+  initials : int list;
+  finals : bool array;
+  delta : ('a * int) list array;  (** outgoing transitions per state *)
+}
+
+(** Glushkov construction: state 0 is initial, one state per atom
+    occurrence, no ε-transitions.  Size is [1 + number of atoms]. *)
+val of_regex : 'a Regex.t -> 'a t
+
+val transitions : 'a t -> (int * 'a * int) list
+val nb_transitions : 'a t -> int
+val is_final : 'a t -> int -> bool
+val map_atoms : ('a -> 'b) -> 'a t -> 'b t
+
+(** Subset-simulation membership test; [matches] relates atoms to
+    letters. *)
+val accepts : matches:('a -> 'l -> bool) -> 'a t -> 'l list -> bool
+
+(** States reachable from the initial states. *)
+val reachable : 'a t -> bool array
+
+(** States from which a final state is reachable. *)
+val coreachable : 'a t -> bool array
+
+(** Restriction to useful (reachable and co-reachable) states. *)
+val trim : 'a t -> 'a t
+
+val is_empty : 'a t -> bool
+
+(** [product combine a b] pairs transitions whose atoms [combine]; used for
+    intersections and for the self-product in {!is_ambiguous}. *)
+val product : ('a -> 'b -> 'c option) -> 'a t -> 'b t -> 'c t
+
+(** [is_ambiguous ~inter a]: does some word admit two distinct accepting
+    runs?  [inter] must say whether two atoms can match a common letter.
+    Uses the classical criterion: the trimmed self-product contains a
+    useful off-diagonal state. *)
+val is_ambiguous : inter:('a -> 'a -> bool) -> 'a t -> bool
+
+val pp : ('a -> string) -> Format.formatter -> 'a t -> unit

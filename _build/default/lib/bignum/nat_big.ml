@@ -1,0 +1,169 @@
+(* Little-endian limbs in base 10^9; the invariant is: no trailing zero limb,
+   so [ [||] ] uniquely represents zero.  Base 10^9 keeps limb products below
+   2^60 (safe in 63-bit native ints) and makes decimal printing a matter of
+   zero-padded chunks. *)
+
+let base = 1_000_000_000
+let base_digits = 9
+
+type t = int array
+
+let zero : t = [||]
+
+let normalize (a : int array) : t =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int n =
+  if n < 0 then invalid_arg "Nat_big.of_int: negative";
+  let rec limbs n = if n = 0 then [] else (n mod base) :: limbs (n / base) in
+  Array.of_list (limbs n)
+
+let one = of_int 1
+let two = of_int 2
+let is_zero a = Array.length a = 0
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+
+let equal a b = compare a b = 0
+let max a b = if compare a b >= 0 then a else b
+
+let add (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  let lr = Stdlib.max la lb + 1 in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let s =
+      !carry + (if i < la then a.(i) else 0) + if i < lb then b.(i) else 0
+    in
+    r.(i) <- s mod base;
+    carry := s / base
+  done;
+  normalize r
+
+let sub (a : t) (b : t) : t =
+  if compare a b < 0 then invalid_arg "Nat_big.sub: would be negative";
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - !borrow - if i < lb then b.(i) else 0 in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  normalize r
+
+let mul (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      for j = 0 to lb - 1 do
+        let cur = r.(i + j) + (a.(i) * b.(j)) + !carry in
+        r.(i + j) <- cur mod base;
+        carry := cur / base
+      done;
+      let k = ref (i + lb) in
+      while !carry > 0 do
+        let cur = r.(!k) + !carry in
+        r.(!k) <- cur mod base;
+        carry := cur / base;
+        incr k
+      done
+    done;
+    normalize r
+  end
+
+let mul_int a n = mul a (of_int n)
+let succ a = add a one
+
+let pow a n =
+  if n < 0 then invalid_arg "Nat_big.pow: negative exponent";
+  let rec go acc b n =
+    if n = 0 then acc
+    else
+      let acc = if n land 1 = 1 then mul acc b else acc in
+      go acc (mul b b) (n asr 1)
+  in
+  go one a n
+
+let to_int (a : t) =
+  let rec go i acc =
+    if i < 0 then Some acc
+    else if acc > (max_int - a.(i)) / base then None
+    else go (i - 1) ((acc * base) + a.(i))
+  in
+  match Array.length a with
+  | 0 -> Some 0
+  | la ->
+      (* Quick size cut-off: 3 limbs can exceed max_int. *)
+      if la > 3 then None else go (la - 1) 0
+
+let to_string (a : t) =
+  match Array.length a with
+  | 0 -> "0"
+  | la ->
+      let buf = Buffer.create (la * base_digits) in
+      Buffer.add_string buf (string_of_int a.(la - 1));
+      for i = la - 2 downto 0 do
+        Buffer.add_string buf (Printf.sprintf "%09d" a.(i))
+      done;
+      Buffer.contents buf
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Nat_big.of_string: empty";
+  String.iter
+    (fun c ->
+      if c < '0' || c > '9' then
+        invalid_arg "Nat_big.of_string: non-digit character")
+    s;
+  let nlimbs = (len + base_digits - 1) / base_digits in
+  let r = Array.make nlimbs 0 in
+  let hi = ref len in
+  for i = 0 to nlimbs - 1 do
+    let lo = Stdlib.max 0 (!hi - base_digits) in
+    r.(i) <- int_of_string (String.sub s lo (!hi - lo));
+    hi := lo
+  done;
+  normalize r
+
+let decimal_digits a = String.length (to_string a)
+
+let to_float (a : t) =
+  Array.to_list a
+  |> List.mapi (fun i limb -> float_of_int limb *. (1e9 ** float_of_int i))
+  |> List.fold_left ( +. ) 0.
+
+let to_scientific (a : t) =
+  let s = to_string a in
+  let n = String.length s in
+  if n <= 4 then s
+  else
+    let mantissa =
+      Printf.sprintf "%c.%c%c" s.[0] s.[1] (if n > 2 then s.[2] else '0')
+    in
+    Printf.sprintf "%se%d" mantissa (n - 1)
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)

@@ -1,0 +1,52 @@
+(** Arbitrary-precision natural numbers.
+
+    Vendored substrate: the sealed build environment has no [zarith], and the
+    reproduction needs exact counts far beyond 2{^62} (e.g. the bag-semantics
+    solution counts of Section 6.1, which exceed 10{^79}).  Only naturals are
+    needed: every quantity we count (paths, bindings, solutions) is
+    non-negative. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+
+(** [of_int n] converts a non-negative [n].  Raises [Invalid_argument] on
+    negative input. *)
+val of_int : int -> t
+
+(** [to_int n] is [Some i] when [n] fits an OCaml [int]. *)
+val to_int : t -> int option
+
+val add : t -> t -> t
+
+(** [sub a b] is [a - b].  Raises [Invalid_argument] when [b > a]. *)
+val sub : t -> t -> t
+
+val mul : t -> t -> t
+val mul_int : t -> int -> t
+val pow : t -> int -> t
+val succ : t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+val max : t -> t -> t
+
+(** Decimal rendering, e.g. ["123456789123456789"]. *)
+val to_string : t -> string
+
+(** Parses a decimal string.  Raises [Invalid_argument] on malformed input. *)
+val of_string : string -> t
+
+(** Number of decimal digits ([1] for zero). *)
+val decimal_digits : t -> int
+
+(** Approximate scientific rendering, e.g. ["6.74e103"]. *)
+val to_scientific : t -> string
+
+(** Approximate conversion; may be [infinity] for very large values. *)
+val to_float : t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/crpq.ml: Elg List Option Printf Regex Relation Rpq_eval Stdlib String Sym

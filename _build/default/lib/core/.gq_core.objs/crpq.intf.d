@@ -1,0 +1,1 @@
+lib/core/crpq.mli: Elg Regex Relation Sym

@@ -1,0 +1,1 @@
+lib/core/crpq_wcoj.ml: Crpq Elg Hashtbl List Option Rpq_eval String

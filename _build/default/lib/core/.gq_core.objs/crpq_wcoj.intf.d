@@ -1,0 +1,1 @@
+lib/core/crpq_wcoj.mli: Crpq Elg

@@ -1,0 +1,1 @@
+lib/core/dlcrpq.ml: Dlrpq Elg Fun Lbinding List Option Path Path_modes Pg Printf Stdlib String

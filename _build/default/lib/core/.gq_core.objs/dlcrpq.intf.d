@@ -1,0 +1,1 @@
+lib/core/dlcrpq.mli: Dlrpq Elg Path Path_modes Pg

@@ -1,0 +1,1 @@
+lib/core/dlrpq.ml: Array Elg Etest Hashtbl Lbinding List Nfa Path Path_modes Pg Regex String Sym Value

@@ -1,0 +1,1 @@
+lib/core/dlrpq.mli: Etest Lbinding Path Path_modes Pg Regex Sym

@@ -1,0 +1,1 @@
+lib/core/dlrpq_parse.ml: Dlrpq Etest List Printf Regex String Sym Value

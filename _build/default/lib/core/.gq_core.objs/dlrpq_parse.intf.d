@@ -1,0 +1,1 @@
+lib/core/dlrpq_parse.mli: Dlrpq

@@ -1,0 +1,1 @@
+lib/core/etest.mli: Value

@@ -1,0 +1,1 @@
+lib/core/lbinding.ml: Elg Format List Path Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/core/lbinding.mli: Elg Format Path

@@ -1,0 +1,1 @@
+lib/core/lcrpq.ml: Elg Lbinding List Lrpq Option Path Path_modes Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/core/lcrpq.mli: Elg Lrpq Path Path_modes

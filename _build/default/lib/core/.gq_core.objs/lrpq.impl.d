@@ -1,0 +1,1 @@
+lib/core/lrpq.ml: Array Elg Lbinding List Nfa Path Path_modes Pmr Printf Regex Rpq_eval String Sym

@@ -1,0 +1,1 @@
+lib/core/lrpq.mli: Elg Lbinding Path Path_modes Pmr Regex Sym

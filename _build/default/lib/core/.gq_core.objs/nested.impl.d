@@ -1,0 +1,1 @@
+lib/core/nested.ml: Crpq Elg List Printf Regex String Sym

@@ -1,0 +1,1 @@
+lib/core/nested.mli: Elg Regex Sym

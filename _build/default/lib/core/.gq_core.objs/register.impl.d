@@ -1,0 +1,1 @@
+lib/core/register.ml: Array Elg Fun Hashtbl List Pg Queue Stdlib Sym Value

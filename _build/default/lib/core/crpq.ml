@@ -1,0 +1,129 @@
+type term = TVar of string | TConst of string
+type atom = { re : Sym.t Regex.t; x : term; y : term }
+type t = { head : string list; atoms : atom list }
+
+let term_vars = function TVar x -> [ x ] | TConst _ -> []
+
+let endpoint_vars atoms =
+  List.concat_map (fun a -> term_vars a.x @ term_vars a.y) atoms
+  |> List.sort_uniq String.compare
+
+let make ~head ~atoms =
+  if atoms = [] then invalid_arg "Crpq.make: no atoms";
+  let vars = endpoint_vars atoms in
+  List.iter
+    (fun x ->
+      if not (List.mem x vars) then
+        invalid_arg
+          (Printf.sprintf "Crpq.make: head variable %s is not an endpoint" x))
+    head;
+  { head; atoms }
+
+let head q = q.head
+let atoms q = q.atoms
+
+(* Assignments are sorted association lists, variable -> node. *)
+let lookup asg x = List.assoc_opt x asg
+
+let bind asg x v =
+  let rec go = function
+    | [] -> Some [ (x, v) ]
+    | (y, w) :: rest ->
+        let c = String.compare x y in
+        if c < 0 then Some ((x, v) :: (y, w) :: rest)
+        else if c = 0 then if w = v then Some ((y, w) :: rest) else None
+        else Option.map (fun r -> (y, w) :: r) (go rest)
+  in
+  go asg
+
+let bind_term g asg term node =
+  match term with
+  | TVar x -> bind asg x node
+  | TConst name -> if Elg.node_id g name = node then Some asg else None
+
+let homomorphisms g q =
+  (* Evaluate every atom's pair set, join smallest-first. *)
+  let atom_pairs =
+    List.map (fun a -> (a, Rpq_eval.pairs g a.re)) q.atoms
+    |> List.sort (fun (_, p1) (_, p2) ->
+           Stdlib.compare (List.length p1) (List.length p2))
+  in
+  List.fold_left
+    (fun assignments (a, pairs) ->
+      List.concat_map
+        (fun asg ->
+          List.filter_map
+            (fun (u, v) ->
+              match bind_term g asg a.x u with
+              | None -> None
+              | Some asg -> bind_term g asg a.y v)
+            pairs)
+        assignments
+      |> List.sort_uniq Stdlib.compare)
+    [ [] ] atom_pairs
+
+let eval g q =
+  homomorphisms g q
+  |> List.map (fun asg ->
+         List.map
+           (fun x ->
+             match lookup asg x with
+             | Some v -> v
+             | None -> assert false (* safety checked in [make] *))
+           q.head)
+  |> List.sort_uniq Stdlib.compare
+
+let holds g q = homomorphisms g q <> []
+
+(* Relational-algebra pipeline: one binary relation per atom, natural
+   joins on shared variables, projection onto the head. *)
+let eval_relational g q =
+  let fresh =
+    let counter = ref 0 in
+    fun () ->
+      incr counter;
+      Printf.sprintf "#c%d" !counter
+  in
+  let atom_relation a =
+    let pairs = Rpq_eval.pairs g a.re in
+    (* Constants become fresh columns filtered to the constant node, then
+       projected away. *)
+    let col_x, keep_x =
+      match a.x with TVar x -> (x, true) | TConst _ -> (fresh (), false)
+    in
+    let col_y, keep_y =
+      match a.y with TVar y -> (y, true) | TConst _ -> (fresh (), false)
+    in
+    if col_x = col_y then
+      (* Self-join within the atom: R(x, x). *)
+      Relation.make ~schema:[ col_x ]
+        ~rows:
+          (List.filter_map
+             (fun (u, v) -> if u = v then Some [ Relation.Cnode u ] else None)
+             pairs)
+    else begin
+      let rel =
+        Relation.make ~schema:[ col_x; col_y ]
+          ~rows:(List.map (fun (u, v) -> [ Relation.Cnode u; Relation.Cnode v ]) pairs)
+      in
+      let filter_const term col rel =
+        match term with
+        | TConst name ->
+            let n = Elg.node_id g name in
+            Relation.select rel (fun get -> get col = Relation.Cnode n)
+        | TVar _ -> rel
+      in
+      let rel = filter_const a.x col_x rel in
+      let rel = filter_const a.y col_y rel in
+      let keep =
+        (if keep_x then [ col_x ] else []) @ if keep_y then [ col_y ] else []
+      in
+      Relation.project rel keep
+    end
+  in
+  let joined =
+    match List.map atom_relation q.atoms with
+    | [] -> invalid_arg "Crpq.eval_relational: no atoms"
+    | first :: rest -> List.fold_left Relation.join first rest
+  in
+  Relation.project joined q.head

@@ -1,0 +1,36 @@
+(** Conjunctive regular path queries (Section 3.1.2).
+
+    [q(x1..xk) :- R1(y1,y1'), ..., Rn(yn,yn')] with node homomorphism
+    semantics: output tuples are images of the head variables under
+    mappings h with [(h(yi), h(yi')) ∈ ⟦Ri⟧_G] for every atom.
+
+    Following footnote 3, atom endpoints may also be constants (graph
+    nodes), which map to themselves. *)
+
+type term = TVar of string | TConst of string  (** variable or node name *)
+
+type atom = { re : Sym.t Regex.t; x : term; y : term }
+type t
+
+(** Raises [Invalid_argument] if the query is unsafe (a head variable not
+    appearing as an endpoint) or has no atoms. *)
+val make : head:string list -> atoms:atom list -> t
+
+val head : t -> string list
+val atoms : t -> atom list
+
+(** Output tuples (rows of node identifiers), set semantics, sorted. *)
+val eval : Elg.t -> t -> int list list
+
+(** Boolean evaluation: is the output non-empty? *)
+val holds : Elg.t -> t -> bool
+
+(** All satisfying assignments over every endpoint variable (not just the
+    head); used by the l-CRPQ layer and by tests. *)
+val homomorphisms : Elg.t -> t -> (string * int) list list
+
+(** Alternative engine: evaluate each atom to a binary relation and join
+    with the relational-algebra substrate — the "relational operations
+    over pattern matching" pipeline of Sections 4 and 7.1.  Must agree
+    with {!eval} (tested). *)
+val eval_relational : Elg.t -> t -> Relation.t

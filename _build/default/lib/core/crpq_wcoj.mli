@@ -1,0 +1,22 @@
+(** Generic (worst-case-optimal-style) join evaluation for CRPQs.
+
+    Section 7.1: "over the last decade we have seen impressive progress on
+    worst-case optimal evaluation of conjunctive queries ... For CRPQs we
+    have seen little progress so far".  This module is the natural first
+    step the paper gestures at: evaluate every atom's RPQ to a binary
+    relation (the pattern-matching layer), then join all atoms with a
+    {e generic join} — variables are assigned one at a time, and each
+    candidate set is the intersection of the constraints from every atom
+    touching the variable — rather than with a fixed binary-join plan
+    whose intermediate results can exceed the AGM bound.
+
+    Benchmark E15 compares this against {!Crpq.eval}'s pairwise joins on
+    triangle queries, where the intermediate-result gap is the classical
+    worst case. *)
+
+(** Same specification as {!Crpq.eval}. *)
+val eval : Elg.t -> Crpq.t -> int list list
+
+(** Intermediate-result sizes: [(tuples_explored_generic,
+    max_intermediate_binary)] for cost reporting in E15. *)
+val compare_costs : Elg.t -> Crpq.t -> int * int

@@ -1,0 +1,122 @@
+type term = TVar of string | TConst of string
+type atom = { mode : Path_modes.mode; re : Dlrpq.t; x : term; y : term }
+type t = { head : string list; atoms : atom list }
+type entry = Enode of int | Elist of Path.obj list
+
+let term_vars = function TVar x -> [ x ] | TConst _ -> []
+
+let make ~head ~atoms =
+  if atoms = [] then invalid_arg "Dlcrpq.make: no atoms";
+  let endpoint_vars =
+    List.concat_map (fun a -> term_vars a.x @ term_vars a.y) atoms
+    |> List.sort_uniq String.compare
+  in
+  let all_list_vars = List.concat_map (fun a -> Dlrpq.list_vars a.re) atoms in
+  List.iter
+    (fun z ->
+      if List.mem z endpoint_vars then
+        invalid_arg
+          (Printf.sprintf "Dlcrpq.make: %s is both list and endpoint variable" z))
+    all_list_vars;
+  let sorted = List.sort String.compare all_list_vars in
+  let rec check_dup = function
+    | a :: (b :: _ as rest) ->
+        if String.equal a b then
+          invalid_arg
+            (Printf.sprintf "Dlcrpq.make: list variable %s shared by two atoms" a)
+        else check_dup rest
+    | [ _ ] | [] -> ()
+  in
+  check_dup sorted;
+  List.iter
+    (fun x ->
+      if not (List.mem x endpoint_vars || List.mem x all_list_vars) then
+        invalid_arg (Printf.sprintf "Dlcrpq.make: unsafe head variable %s" x))
+    head;
+  { head; atoms }
+
+let head q = q.head
+let atoms q = q.atoms
+
+let bind asg x v =
+  let rec go = function
+    | [] -> Some [ (x, v) ]
+    | (y, w) :: rest ->
+        let c = String.compare x y in
+        if c < 0 then Some ((x, v) :: (y, w) :: rest)
+        else if c = 0 then if w = v then Some ((y, w) :: rest) else None
+        else Option.map (fun r -> (y, w) :: r) (go rest)
+  in
+  go asg
+
+let bind_term g asg term node =
+  match term with
+  | TVar x -> bind asg x (Enode node)
+  | TConst name -> if Elg.node_id g name = node then Some asg else None
+
+(* Rows contributed by one atom: data tests preclude a cheap endpoint
+   precomputation, so we evaluate per candidate pair. *)
+let atom_rows pg ~max_len a =
+  let g = Pg.elg pg in
+  let nodes n =
+    match n with
+    | TConst name -> [ Elg.node_id g name ]
+    | TVar _ -> List.init (Elg.nb_nodes g) Fun.id
+  in
+  List.concat_map
+    (fun u ->
+      List.concat_map
+        (fun v ->
+          Dlrpq.eval_mode pg a.re ~mode:a.mode ~max_len ~src:u ~tgt:v ()
+          |> List.map (fun (_p, mu) -> (u, v, mu))
+          |> List.sort_uniq Stdlib.compare)
+        (nodes a.y))
+    (nodes a.x)
+
+let eval ?(max_len = 12) pg q =
+  let g = Pg.elg pg in
+  let all_rows = List.map (fun a -> (a, atom_rows pg ~max_len a)) q.atoms in
+  let assignments =
+    List.fold_left
+      (fun assignments (a, rows) ->
+        List.concat_map
+          (fun asg ->
+            List.filter_map
+              (fun (u, v, mu) ->
+                match bind_term g asg a.x u with
+                | None -> None
+                | Some asg -> (
+                    match bind_term g asg a.y v with
+                    | None -> None
+                    | Some asg ->
+                        List.fold_left
+                          (fun acc (z, objs) ->
+                            Option.bind acc (fun asg ->
+                                bind asg z (Elist objs)))
+                          (Some asg) (Lbinding.to_list mu)))
+              rows)
+          assignments
+        |> List.sort_uniq Stdlib.compare)
+      [ [] ] all_rows
+  in
+  assignments
+  |> List.map (fun asg ->
+         List.map
+           (fun x ->
+             match List.assoc_opt x asg with
+             | Some e -> e
+             | None -> Elist [])
+           q.head)
+  |> List.sort_uniq Stdlib.compare
+
+let entry_to_string g = function
+  | Enode n -> Elg.node_name g n
+  | Elist objs ->
+      let name = function
+        | Path.N u -> Elg.node_name g u
+        | Path.E e -> Elg.edge_name g e
+      in
+      "list(" ^ String.concat ", " (List.map name objs) ^ ")"
+
+let row_to_string g row =
+  "(" ^ String.concat ", " (List.map (entry_to_string g) row) ^ ")"

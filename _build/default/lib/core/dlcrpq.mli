@@ -1,0 +1,26 @@
+(** CRPQs with data tests and list variables — dl-CRPQs (Section 3.2.2).
+
+    Identical to l-CRPQs except that atoms are dl-RPQs over a property
+    graph; the semantics is verbatim that of Section 3.1.5.  This is the
+    paper's endpoint language: joins live here (at the conjunctive
+    level), while list collection and data filtering live inside the
+    atoms — the separation of roles the paper argues Example 1 and 2 call
+    for. *)
+
+type term = TVar of string | TConst of string
+
+type atom = { mode : Path_modes.mode; re : Dlrpq.t; x : term; y : term }
+type t
+
+type entry = Enode of int | Elist of Path.obj list
+
+val make : head:string list -> atoms:atom list -> t
+val head : t -> string list
+val atoms : t -> atom list
+
+(** Output tuples under set semantics, sorted; [max_len] bounds non-
+    shortest modes (default 12). *)
+val eval : ?max_len:int -> Pg.t -> t -> entry list list
+
+val entry_to_string : Elg.t -> entry -> string
+val row_to_string : Elg.t -> entry list -> string

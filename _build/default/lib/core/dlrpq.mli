@@ -1,0 +1,104 @@
+(** RPQs with data tests and list variables — dl-RPQs (Section 3.2.1).
+
+    Atoms come in node form [(·)] and edge form [[·]], each either a label
+    (possibly capturing into a list variable) or an element test; nodes
+    and edges are treated {e symmetrically}, which is what makes
+    "increasing values on edges" as easy as on nodes (Example 21, versus
+    Proposition 23 for GQL-style patterns).
+
+    The semantics is the paper's configuration relation
+    [(p, ν, μ) ⊢_R (p', ν', μ')]: each atom appends an object to the
+    path, where appending the {e current last object again collapses}
+    ([p · path(o) = p] when p ends in o).  Hence several consecutive
+    atoms can constrain the same node or edge —
+    [(a^z)(date < x)(x := date)] matches a single node.  Value
+    assignments ν filter paths but are not part of the output
+    (Remark 19): results are (path, list-binding) pairs.
+
+    Because collapsing atoms ("stutters") do not lengthen the path, a
+    starred capturing atom can produce unboundedly many bindings on a
+    fixed path; enumeration therefore bounds the number of {e atom
+    applications} with [max_steps] (default: [(max_len + 2) ×
+    (expression size + 2)], enough for any expression that does not
+    stutter-capture in a loop). *)
+
+type kind = Knode | Kedge
+
+type atom =
+  | Lbl of kind * Sym.t * string option
+      (** [(a)], [(a^z)], [[a]], [[a^z]] and their wildcard forms *)
+  | Test of kind * Etest.t  (** [(et)], [[et]] *)
+
+type t = atom Regex.t
+
+(** {1 Constructors} *)
+
+val node_lbl : string -> t
+val node_cap : string -> string -> t
+val node_test : Etest.t -> t
+
+(** [(_)]: any node. *)
+val node_any : t
+
+val node_any_cap : string -> t
+val edge_lbl : string -> t
+val edge_cap : string -> string -> t
+val edge_test : Etest.t -> t
+
+(** [[_]]: any edge. *)
+val edge_any : t
+
+val edge_any_cap : string -> t
+
+(** {1 Static information} *)
+
+(** List variables (Var(R)). *)
+val list_vars : t -> string list
+
+(** Data variables (from element tests). *)
+val data_vars : t -> string list
+
+val to_string : t -> string
+val atom_to_string : atom -> string
+
+(** {1 Evaluation} *)
+
+(** All (p, μ) ∈ ⟦R⟧_G with src(p) = [src] and len(p) ≤ [max_len].  The
+    empty path is never reported (its endpoints are undefined, so no
+    σ_{u,v} selects it). *)
+val enumerate_from :
+  Pg.t -> t -> src:int -> max_len:int -> ?max_steps:int -> unit ->
+  (Path.t * Lbinding.t) list
+
+(** [m(σ_{src,tgt}(⟦R⟧_G))].  [Shortest] determines the geodesic length
+    exactly (0/1-BFS over configurations, so data filters are honoured:
+    the Section 6.3 example where the answer is longer than the shortest
+    path works out of the box); the other modes are bounded by
+    [max_len]. *)
+val eval_mode :
+  Pg.t ->
+  t ->
+  mode:Path_modes.mode ->
+  max_len:int ->
+  ?max_steps:int ->
+  src:int ->
+  tgt:int ->
+  unit ->
+  (Path.t * Lbinding.t) list
+
+(** Length of the shortest matching path from [src] to [tgt], data tests
+    included; [None] if there is none. *)
+val shortest_len : Pg.t -> t -> src:int -> tgt:int -> int option
+
+(** Number of configurations explored by {!shortest_len}'s search — the
+    cost measure of experiment E6. *)
+val shortest_len_stats : Pg.t -> t -> src:int -> tgt:int -> int option * int
+
+(** Bindings of matches of [R] against exactly the given path (used to
+    replay the paper's fixed-path examples).  [max_steps] bounds the
+    number of atom applications, as in {!enumerate_from}; the default
+    allows each object to be constrained by several consecutive atoms. *)
+val check_path : ?max_steps:int -> Pg.t -> t -> Path.t -> Lbinding.t list
+
+(** Does [R] match the path exactly? *)
+val matches_path : Pg.t -> t -> Path.t -> bool

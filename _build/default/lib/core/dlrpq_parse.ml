@@ -1,0 +1,247 @@
+exception Parse_error of string
+
+type token =
+  | Tlpar
+  | Trpar
+  | Tlbrack
+  | Trbrack
+  | Tbar
+  | Tstar
+  | Tplus
+  | Topt
+  | Tlbrace
+  | Trbrace
+  | Tcomma
+  | Tcaret
+  | Tassign  (* := *)
+  | Tbang
+  | Tident of string
+  | Tint of int
+  | Treal of float
+  | Tstring of string
+  | Top of Value.op
+
+let fail msg = raise (Parse_error msg)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+let tokenize s =
+  let n = String.length s in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let push t = tokens := t :: !tokens in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' then incr i
+    else if c = '(' then (incr i; push Tlpar)
+    else if c = ')' then (incr i; push Trpar)
+    else if c = '[' then (incr i; push Tlbrack)
+    else if c = ']' then (incr i; push Trbrack)
+    else if c = '|' then (incr i; push Tbar)
+    else if c = '*' then (incr i; push Tstar)
+    else if c = '+' then (incr i; push Tplus)
+    else if c = '?' then (incr i; push Topt)
+    else if c = '{' then (incr i; push Tlbrace)
+    else if c = '}' then (incr i; push Trbrace)
+    else if c = ',' then (incr i; push Tcomma)
+    else if c = '^' then (incr i; push Tcaret)
+    else if c = '!' then (incr i; push Tbang)
+    else if c = ':' && !i + 1 < n && s.[!i + 1] = '=' then (i := !i + 2; push Tassign)
+    else if c = '<' && !i + 1 < n && s.[!i + 1] = '=' then (i := !i + 2; push (Top Value.Le))
+    else if c = '<' && !i + 1 < n && s.[!i + 1] = '>' then (i := !i + 2; push (Top Value.Neq))
+    else if c = '<' then (incr i; push (Top Value.Lt))
+    else if c = '>' && !i + 1 < n && s.[!i + 1] = '=' then (i := !i + 2; push (Top Value.Ge))
+    else if c = '>' then (incr i; push (Top Value.Gt))
+    else if c = '=' then (incr i; push (Top Value.Eq))
+    else if c = '\'' then begin
+      let j =
+        try String.index_from s (!i + 1) '\''
+        with Not_found -> fail "unterminated string"
+      in
+      push (Tstring (String.sub s (!i + 1) (j - !i - 1)));
+      i := j + 1
+    end
+    else if c >= '0' && c <= '9' then begin
+      let start = !i in
+      while !i < n && ((s.[!i] >= '0' && s.[!i] <= '9') || s.[!i] = '.') do
+        incr i
+      done;
+      let text = String.sub s start (!i - start) in
+      if String.contains text '.' then push (Treal (float_of_string text))
+      else push (Tint (int_of_string text))
+    end
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char s.[!i] do
+        incr i
+      done;
+      push (Tident (String.sub s start (!i - start)))
+    end
+    else fail (Printf.sprintf "unexpected character %c" c)
+  done;
+  List.rev !tokens
+
+let parse src =
+  let toks = ref (tokenize src) in
+  let save () = !toks in
+  let restore saved = toks := saved in
+  let peek () = match !toks with [] -> None | t :: _ -> Some t in
+  let advance () = match !toks with [] -> () | _ :: rest -> toks := rest in
+  let expect t msg = if peek () = Some t then advance () else fail msg in
+
+  (* The interior of a node or edge atom; [kind] chooses the wrapper. *)
+  let atom_interior kind close close_msg =
+    let finish a =
+      expect close close_msg;
+      Regex.atom a
+    in
+    let wildcard_sym () =
+      (* '_' lexes as an identifier. *)
+      match peek () with
+      | Some (Tident "_") ->
+          advance ();
+          Some Sym.Any
+      | Some Tbang -> (
+          advance ();
+          expect Tlbrace "expected { after !";
+          let rec labels acc =
+            match peek () with
+            | Some (Tident l) -> (
+                advance ();
+                match peek () with
+                | Some Tcomma ->
+                    advance ();
+                    labels (l :: acc)
+                | _ -> List.rev (l :: acc))
+            | _ -> fail "expected label in !{...}"
+          in
+          let set = labels [] in
+          expect Trbrace "expected } after !{...";
+          Some (Sym.Not set))
+      | _ -> None
+    in
+    match wildcard_sym () with
+    | Some sym -> (
+        match peek () with
+        | Some Tcaret -> (
+            advance ();
+            match peek () with
+            | Some (Tident z) ->
+                advance ();
+                finish (Dlrpq.Lbl (kind, sym, Some z))
+            | _ -> fail "expected variable after ^")
+        | _ -> finish (Dlrpq.Lbl (kind, sym, None)))
+    | None -> (
+        match peek () with
+        | Some (Tident word) -> (
+            advance ();
+            match peek () with
+            | Some Tcaret -> (
+                advance ();
+                match peek () with
+                | Some (Tident z) ->
+                    advance ();
+                    finish (Dlrpq.Lbl (kind, Sym.Lbl word, Some z))
+                | _ -> fail "expected variable after ^")
+            | Some Tassign -> (
+                advance ();
+                match peek () with
+                | Some (Tident prop) ->
+                    advance ();
+                    finish (Dlrpq.Test (kind, Etest.Assign (word, prop)))
+                | _ -> fail "expected property name after :=")
+            | Some (Top op) -> (
+                advance ();
+                match peek () with
+                | Some (Tint v) ->
+                    advance ();
+                    finish (Dlrpq.Test (kind, Etest.Cmp_const (word, op, Value.Int v)))
+                | Some (Treal v) ->
+                    advance ();
+                    finish (Dlrpq.Test (kind, Etest.Cmp_const (word, op, Value.Real v)))
+                | Some (Tstring v) ->
+                    advance ();
+                    finish (Dlrpq.Test (kind, Etest.Cmp_const (word, op, Value.Text v)))
+                | Some (Tident x) ->
+                    advance ();
+                    finish (Dlrpq.Test (kind, Etest.Cmp_var (word, op, x)))
+                | _ -> fail "expected a constant or variable after the operator")
+            | _ -> finish (Dlrpq.Lbl (kind, Sym.Lbl word, None)))
+        | _ when peek () = Some close ->
+            (* Bare () / []: wildcards, as in Example 21. *)
+            finish (Dlrpq.Lbl (kind, Sym.Any, None))
+        | _ -> fail "expected an atom")
+  in
+  let rec expr () =
+    let t = term () in
+    match peek () with
+    | Some Tbar ->
+        advance ();
+        Regex.alt t (expr ())
+    | _ -> t
+  and term () =
+    let f = factor () in
+    match peek () with
+    | Some (Tlpar | Tlbrack) -> Regex.seq f (term ())
+    | _ -> f
+  and factor () =
+    let base = ref (base_item ()) in
+    let continue = ref true in
+    while !continue do
+      match peek () with
+      | Some Tstar ->
+          advance ();
+          base := Regex.Star !base
+      | Some Tplus ->
+          advance ();
+          base := Regex.plus !base
+      | Some Topt ->
+          advance ();
+          base := Regex.opt !base
+      | Some Tlbrace -> (
+          advance ();
+          match peek () with
+          | Some (Tint n) -> (
+              advance ();
+              match peek () with
+              | Some Trbrace ->
+                  advance ();
+                  base := Regex.repeat n n !base
+              | Some Tcomma -> (
+                  advance ();
+                  match peek () with
+                  | Some (Tint m) ->
+                      advance ();
+                      expect Trbrace "expected } in repetition";
+                      base := Regex.repeat n m !base
+                  | _ -> fail "expected upper bound in repetition")
+              | _ -> fail "expected , or } in repetition")
+          | _ -> fail "expected a number in repetition")
+      | _ -> continue := false
+    done;
+    !base
+  and base_item () =
+    match peek () with
+    | Some Tlbrack ->
+        advance ();
+        atom_interior Dlrpq.Kedge Trbrack "expected ]"
+    | Some Tlpar -> (
+        let saved = save () in
+        advance ();
+        match atom_interior Dlrpq.Knode Trpar "expected )" with
+        | atom -> atom
+        | exception Parse_error _ ->
+            restore saved;
+            advance ();
+            let inner = expr () in
+            expect Trpar "expected ) closing the group";
+            inner)
+    | _ -> fail "expected ( or ["
+  in
+  let result = expr () in
+  if !toks <> [] then fail "trailing input";
+  result
+
+let parse_opt src =
+  match parse src with r -> Ok r | exception Parse_error msg -> Error msg

@@ -1,0 +1,27 @@
+(** Parser for the paper's dl-RPQ notation (Section 3.2.1):
+
+    {v
+    expr    ::= term ('|' term)*
+    term    ::= factor+
+    factor  ::= atom ('*' | '+' | '?' | '{n}' | '{n,m}')* | '(' expr ')' ...
+    atom    ::= '(' inner ')'          node atom
+              | '[' inner ']'          edge atom
+    inner   ::= label | label '^' var | '_' | '_' '^' var
+              | var ':=' prop
+              | prop op (const | var)
+    v}
+
+    where [op ∈ {=, <>, <, >, <=, >=}] and constants are numbers or
+    ['quoted strings'].  Examples from the paper parse verbatim:
+
+    - ["(a^z)(x := date)([_](a^z)(date > x)(x := date))*"] (Example 21,
+      node version),
+    - ["[a^z][x := date]((_)[a^z][date > x][x := date])*"] (edge version).
+
+    A parenthesized group containing a full expression is disambiguated
+    from a node atom by attempting the atom parse first. *)
+
+exception Parse_error of string
+
+val parse : string -> Dlrpq.t
+val parse_opt : string -> (Dlrpq.t, string) result

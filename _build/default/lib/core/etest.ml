@@ -1,0 +1,16 @@
+type t =
+  | Assign of string * string
+  | Cmp_const of string * Value.op * Value.t
+  | Cmp_var of string * Value.op * string
+
+let vars = function
+  | Assign (x, _) -> [ x ]
+  | Cmp_const _ -> []
+  | Cmp_var (_, _, x) -> [ x ]
+
+let to_string = function
+  | Assign (x, pname) -> Printf.sprintf "%s := %s" x pname
+  | Cmp_const (pname, op, c) ->
+      Printf.sprintf "%s %s %s" pname (Value.op_to_string op) (Value.to_string c)
+  | Cmp_var (pname, op, x) ->
+      Printf.sprintf "%s %s %s" pname (Value.op_to_string op) x

@@ -1,0 +1,19 @@
+(** Element tests (Section 3.2.1):
+
+    {v ETest ::= x := pname | pname op c | pname op x v}
+
+    where [op ∈ {=, ≠, <, >}] (we also allow [<=] and [>=]), [pname] is a
+    property name, [c] a constant and [x] a data variable.  Tests read the
+    property assignment ρ of a property graph; an undefined property makes
+    the test fail (and an assignment from an undefined property fails —
+    there is no null). *)
+
+type t =
+  | Assign of string * string  (** [x := pname] *)
+  | Cmp_const of string * Value.op * Value.t  (** [pname op c] *)
+  | Cmp_var of string * Value.op * string  (** [pname op x] *)
+
+(** Data variables read or written by the test. *)
+val vars : t -> string list
+
+val to_string : t -> string

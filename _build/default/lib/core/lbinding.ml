@@ -1,0 +1,41 @@
+(* Sorted association list, no empty-list entries: a canonical form, so
+   structural comparison is semantic equality. *)
+type t = (string * Path.obj list) list
+
+let empty : t = []
+let singleton z o = [ (z, [ o ]) ]
+
+let rec concat (m1 : t) (m2 : t) : t =
+  match (m1, m2) with
+  | [], m | m, [] -> m
+  | (z1, l1) :: r1, (z2, l2) :: r2 ->
+      let c = String.compare z1 z2 in
+      if c < 0 then (z1, l1) :: concat r1 m2
+      else if c > 0 then (z2, l2) :: concat m1 r2
+      else (z1, l1 @ l2) :: concat r1 r2
+
+let get (m : t) z = match List.assoc_opt z m with Some l -> l | None -> []
+let domain (m : t) = List.map fst m
+let equal (m1 : t) (m2 : t) = m1 = m2
+let compare (m1 : t) (m2 : t) = Stdlib.compare m1 m2
+let restrict (m : t) vars = List.filter (fun (z, _) -> List.mem z vars) m
+
+let of_list entries =
+  entries
+  |> List.filter (fun (_, l) -> l <> [])
+  |> List.sort (fun (z1, _) (z2, _) -> String.compare z1 z2)
+
+let to_list (m : t) = m
+
+let obj_name g = function
+  | Path.N u -> Elg.node_name g u
+  | Path.E e -> Elg.edge_name g e
+
+let to_string g (m : t) =
+  let entry (z, objs) =
+    Printf.sprintf "%s -> list(%s)" z
+      (String.concat ", " (List.map (obj_name g) objs))
+  in
+  "{" ^ String.concat "; " (List.map entry m) ^ "}"
+
+let pp g fmt m = Format.pp_print_string fmt (to_string g m)

@@ -1,0 +1,35 @@
+(** Bindings of list variables (Section 3.1.4).
+
+    A binding μ maps every variable to a list of graph objects; all but
+    finitely many variables map to the empty list.  Concatenation is
+    pointwise: [(μ1 · μ2)(z) = μ1(z) · μ2(z)] — this definition is what
+    makes [⟦R⟧² = ⟦R·R⟧] hold for l-RPQs, fixing the Example 1
+    disconnect. *)
+
+type t
+
+(** μ0: every variable maps to list(). *)
+val empty : t
+
+(** μ_{z↦o}. *)
+val singleton : string -> Path.obj -> t
+
+(** Pointwise concatenation μ1 · μ2. *)
+val concat : t -> t -> t
+
+(** The bound list; [[]] for unbound variables. *)
+val get : t -> string -> Path.obj list
+
+(** Variables with non-empty lists, sorted. *)
+val domain : t -> string list
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Restriction to a set of variables. *)
+val restrict : t -> string list -> t
+
+val of_list : (string * Path.obj list) list -> t
+val to_list : t -> (string * Path.obj list) list
+val to_string : Elg.t -> t -> string
+val pp : Elg.t -> Format.formatter -> t -> unit

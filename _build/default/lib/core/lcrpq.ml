@@ -1,0 +1,134 @@
+type term = TVar of string | TConst of string
+type atom = { mode : Path_modes.mode; re : Lrpq.t; x : term; y : term }
+type t = { head : string list; atoms : atom list }
+type entry = Enode of int | Elist of Path.obj list
+
+let term_vars = function TVar x -> [ x ] | TConst _ -> []
+
+let make ~head ~atoms =
+  if atoms = [] then invalid_arg "Lcrpq.make: no atoms";
+  let endpoint_vars =
+    List.concat_map (fun a -> term_vars a.x @ term_vars a.y) atoms
+    |> List.sort_uniq String.compare
+  in
+  let list_var_sets = List.map (fun a -> Lrpq.vars a.re) atoms in
+  let all_list_vars = List.concat list_var_sets in
+  (* Condition (3): list variables disjoint from endpoint variables. *)
+  List.iter
+    (fun z ->
+      if List.mem z endpoint_vars then
+        invalid_arg
+          (Printf.sprintf "Lcrpq.make: %s is both list and endpoint variable" z))
+    all_list_vars;
+  (* Condition (4): list variables disjoint across atoms. *)
+  let sorted = List.sort String.compare all_list_vars in
+  let rec check_dup = function
+    | a :: (b :: _ as rest) ->
+        if String.equal a b then
+          invalid_arg
+            (Printf.sprintf "Lcrpq.make: list variable %s shared by two atoms" a)
+        else check_dup rest
+    | [ _ ] | [] -> ()
+  in
+  check_dup sorted;
+  (* Condition (5): head from endpoint or list variables. *)
+  List.iter
+    (fun x ->
+      if not (List.mem x endpoint_vars || List.mem x all_list_vars) then
+        invalid_arg (Printf.sprintf "Lcrpq.make: unsafe head variable %s" x))
+    head;
+  { head; atoms }
+
+let head q = q.head
+let atoms q = q.atoms
+
+(* Partial assignments: variable -> entry, sorted association list. *)
+let bind asg x v =
+  let rec go = function
+    | [] -> Some [ (x, v) ]
+    | (y, w) :: rest ->
+        let c = String.compare x y in
+        if c < 0 then Some ((x, v) :: (y, w) :: rest)
+        else if c = 0 then if w = v then Some ((y, w) :: rest) else None
+        else Option.map (fun r -> (y, w) :: r) (go rest)
+  in
+  go asg
+
+let bind_term g asg term node =
+  match term with
+  | TVar x -> bind asg x (Enode node)
+  | TConst name -> if Elg.node_id g name = node then Some asg else None
+
+(* Rows contributed by one atom: (u, v, one binding per witness). *)
+let atom_rows g ~max_len a =
+  let has_list_vars = Lrpq.vars a.re <> [] in
+  let endpoint_pairs = Lrpq.pairs g a.re in
+  let constrain term pairs proj =
+    match term with
+    | TVar _ -> pairs
+    | TConst name ->
+        let n = Elg.node_id g name in
+        List.filter (fun p -> proj p = n) pairs
+  in
+  let endpoint_pairs = constrain a.x endpoint_pairs fst in
+  let endpoint_pairs = constrain a.y endpoint_pairs snd in
+  List.concat_map
+    (fun (u, v) ->
+      if not has_list_vars then
+        (* No list variables: the mode constrains nothing (it only fixes
+           the values of list variables), so the pair itself suffices. *)
+        [ (u, v, Lbinding.empty) ]
+      else
+        Lrpq.eval_mode g a.re ~mode:a.mode ~max_len ~src:u ~tgt:v
+        |> List.map (fun (_p, mu) -> (u, v, mu))
+        |> List.sort_uniq Stdlib.compare)
+    endpoint_pairs
+
+let eval ?(max_len = 12) g q =
+  let all_rows = List.map (fun a -> (a, atom_rows g ~max_len a)) q.atoms in
+  let assignments =
+    List.fold_left
+      (fun assignments (a, rows) ->
+        List.concat_map
+          (fun asg ->
+            List.filter_map
+              (fun (u, v, mu) ->
+                match bind_term g asg a.x u with
+                | None -> None
+                | Some asg -> (
+                    match bind_term g asg a.y v with
+                    | None -> None
+                    | Some asg ->
+                        (* List variables are atom-local (condition 4), so
+                           binds cannot clash. *)
+                        List.fold_left
+                          (fun acc (z, objs) ->
+                            Option.bind acc (fun asg ->
+                                bind asg z (Elist objs)))
+                          (Some asg) (Lbinding.to_list mu)))
+              rows)
+          assignments
+        |> List.sort_uniq Stdlib.compare)
+      [ [] ] all_rows
+  in
+  assignments
+  |> List.map (fun asg ->
+         List.map
+           (fun x ->
+             match List.assoc_opt x asg with
+             | Some e -> e
+             | None -> Elist [] (* list variable that captured nothing *))
+           q.head)
+  |> List.sort_uniq Stdlib.compare
+
+let entry_to_string g = function
+  | Enode n -> Elg.node_name g n
+  | Elist objs ->
+      let name = function
+        | Path.N u -> Elg.node_name g u
+        | Path.E e -> Elg.edge_name g e
+      in
+      "list(" ^ String.concat ", " (List.map name objs) ^ ")"
+
+let row_to_string g row =
+  "(" ^ String.concat ", " (List.map (entry_to_string g) row) ^ ")"

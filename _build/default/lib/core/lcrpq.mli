@@ -1,0 +1,37 @@
+(** CRPQs with list variables — l-CRPQs (Section 3.1.5).
+
+    [q(x̄) :- m1 R1(y1,y1'), ..., mn Rn(yn,yn')] where each [mi] is a path
+    mode, each [Ri] an l-RPQ, list variables are disjoint from endpoint
+    variables and across atoms (conditions 3–4), and head entries come
+    from either set (condition 5).
+
+    Semantics: restricted path homomorphisms.  Crucially the mode applies
+    {e after} endpoint selection — [mi(σ_{h(yi),h(yi')}(⟦Ri⟧_G))] — which
+    gives [shortest] its per-endpoint-pair grouping (Example 17).  Each
+    atom contributes, for each endpoint pair, one witness (p, μ) whose
+    list values extend the homomorphism.
+
+    [All]-mode atoms have infinite result sets on cyclic graphs, so
+    evaluation takes a length bound that applies to them (and to
+    simple/trail searches as a cap); [Shortest] is exact. *)
+
+type term = TVar of string | TConst of string
+
+type atom = { mode : Path_modes.mode; re : Lrpq.t; x : term; y : term }
+type t
+
+(** An output value: a node or a list of graph objects. *)
+type entry = Enode of int | Elist of Path.obj list
+
+(** Validates conditions (1)–(5) of Section 3.1.5. *)
+val make : head:string list -> atoms:atom list -> t
+
+val head : t -> string list
+val atoms : t -> atom list
+
+(** Output tuples under set semantics, sorted.  [max_len] bounds
+    [All]-mode atoms (default 12). *)
+val eval : ?max_len:int -> Elg.t -> t -> entry list list
+
+val entry_to_string : Elg.t -> entry -> string
+val row_to_string : Elg.t -> entry list -> string

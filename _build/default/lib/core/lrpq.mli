@@ -1,0 +1,69 @@
+(** RPQs with list variables — l-RPQs (Section 3.1.4).
+
+    An l-RPQ is a regular expression over [Labels ∪ {a^z}]: an atom [a^z]
+    matches an [a]-labeled edge {e and} appends its identifier to the list
+    bound to [z].  We additionally allow wildcard symbols in atoms
+    (Remark 11 says extending the definitions with wildcards is routine).
+
+    ⟦R⟧_G is a set of (path, binding) pairs over node-to-node paths and
+    may be infinite (Example 16); the evaluation functions therefore take
+    explicit length bounds, while {!to_pmr} gives the finite annotated
+    representation of the possibly-infinite result (Section 6.3-6.4).
+
+    By construction, list variables do not join: [⟦R⟧²_G = ⟦R·R⟧_G] holds
+    by definition — the test suite checks this as a qcheck property
+    (experiment E12). *)
+
+type atom = { sym : Sym.t; capture : string option }
+type t = atom Regex.t
+
+(** [a]: plain label atom. *)
+val lbl : string -> t
+
+(** [a^z]: capturing label atom. *)
+val cap : string -> string -> t
+
+(** Capturing wildcard [_^z]. *)
+val cap_any : string -> t
+
+(** Wildcard [_]. *)
+val any : t
+
+val atom : ?capture:string -> Sym.t -> t
+
+(** List variables occurring in the expression (Var(R)), sorted. *)
+val vars : t -> string list
+
+(** Forgets captures, yielding the underlying RPQ. *)
+val strip : t -> Sym.t Regex.t
+
+(** All (p, μ) ∈ ⟦R⟧_G with len(p) ≤ max_len.  Set semantics: duplicates
+    arising from distinct runs with equal (p, μ) are eliminated. *)
+val enumerate : Elg.t -> t -> max_len:int -> (Path.t * Lbinding.t) list
+
+(** As {!enumerate}, restricted to paths from [src]. *)
+val enumerate_from :
+  Elg.t -> t -> src:int -> max_len:int -> (Path.t * Lbinding.t) list
+
+(** [m(σ_{src,tgt}(⟦R⟧_G))]: endpoint selection first, then the path mode
+    — the order that gives shortest its grouping-by-endpoint-pair
+    semantics (Example 17).  [max_len] bounds [All]; [Shortest] computes
+    the true geodesic length itself. *)
+val eval_mode :
+  Elg.t ->
+  t ->
+  mode:Path_modes.mode ->
+  max_len:int ->
+  src:int ->
+  tgt:int ->
+  (Path.t * Lbinding.t) list
+
+(** Endpoint pairs with at least one matching path (of any length). *)
+val pairs : Elg.t -> t -> (int * int) list
+
+(** Annotated-PMR representation of σ_{src,tgt}(⟦R⟧_G): one PMR path per
+    run, i.e. per (path, binding) derivation.  Finite even when the result
+    set is infinite. *)
+val to_pmr : Elg.t -> t -> src:int -> tgt:int -> Pmr.t
+
+val to_string : t -> string

@@ -1,0 +1,121 @@
+type nre_atom = Base of Sym.t | Nested of query
+and nre = nre_atom Regex.t
+and nre_query_atom = { re : nre; x : string; y : string }
+and query = { hx : string; hy : string; body : nre_query_atom list }
+
+let rec depth q =
+  List.fold_left
+    (fun acc a ->
+      List.fold_left
+        (fun acc atom ->
+          match atom with
+          | Base _ -> acc
+          | Nested inner -> max acc (1 + depth inner))
+        acc (Regex.atoms a.re))
+    0 q.body
+
+let make ~hx ~hy ~body =
+  if body = [] then invalid_arg "Nested.make: no atoms";
+  let endpoint_vars =
+    List.concat_map (fun a -> [ a.x; a.y ]) body
+    |> List.sort_uniq String.compare
+  in
+  List.iter
+    (fun v ->
+      if not (List.mem v endpoint_vars) then
+        invalid_arg (Printf.sprintf "Nested.make: unsafe head variable %s" v))
+    [ hx; hy ];
+  let q = { hx; hy; body } in
+  let nested_present = depth q > 0 in
+  if nested_present then
+    List.iter
+      (fun a ->
+        List.iter
+          (function
+            | Base (Sym.Any | Sym.Not _) ->
+                invalid_arg
+                  "Nested.make: wildcards cannot be mixed with nested queries"
+            | Base (Sym.Lbl _) | Nested _ -> ())
+          (Regex.atoms a.re))
+      q.body;
+  q
+
+(* Saturation: evaluate nested queries, materialize their pairs as virtual
+   edges, then run the outer level as a plain CRPQ. *)
+let rec eval g q =
+  (* Collect nested subqueries of the outer level, left to right. *)
+  let nested = ref [] in
+  List.iter
+    (fun a ->
+      List.iter
+        (function Base _ -> () | Nested inner -> nested := inner :: !nested)
+        (Regex.atoms a.re))
+    q.body;
+  let nested = List.rev !nested in
+  if nested = [] then eval_flat g q
+  else begin
+    let virtuals =
+      List.mapi
+        (fun i inner -> (inner, Printf.sprintf "#vq%d" i, eval g inner))
+        nested
+    in
+    (* Rebuild the graph with one fresh label per nested query. *)
+    let nodes = List.init (Elg.nb_nodes g) (Elg.node_name g) in
+    let base_edges =
+      List.init (Elg.nb_edges g) (fun e ->
+          ( Elg.edge_name g e,
+            Elg.node_name g (Elg.src g e),
+            Elg.label g e,
+            Elg.node_name g (Elg.tgt g e) ))
+    in
+    let virtual_edges =
+      List.concat_map
+        (fun (_, lbl, pairs) ->
+          List.mapi
+            (fun j (u, v) ->
+              ( Printf.sprintf "%s_e%d" lbl j,
+                Elg.node_name g u,
+                lbl,
+                Elg.node_name g v ))
+            pairs)
+        virtuals
+    in
+    let g' = Elg.make ~nodes ~edges:(base_edges @ virtual_edges) in
+    (* Replace nested atoms by their virtual labels, matching structurally
+       (structurally equal nested queries share a label, which is sound:
+       they have the same pairs). *)
+    let replace_atom = function
+      | Base sym -> sym
+      | Nested inner -> (
+          match List.find_opt (fun (q', _, _) -> q' = inner) virtuals with
+          | Some (_, lbl, _) -> Sym.Lbl lbl
+          | None -> assert false)
+    in
+    let body' =
+      List.map
+        (fun a -> { a with re = Regex.map (fun at -> Base (replace_atom at)) a.re })
+        q.body
+    in
+    eval_flat g' { q with body = body' }
+  end
+
+and eval_flat g q =
+  (* All atoms are Base symbols here. *)
+  let to_sym = function
+    | Base sym -> sym
+    | Nested _ -> assert false
+  in
+  let crpq =
+    Crpq.make ~head:[ q.hx; q.hy ]
+      ~atoms:
+        (List.map
+           (fun a ->
+             {
+               Crpq.re = Regex.map to_sym a.re;
+               x = Crpq.TVar a.x;
+               y = Crpq.TVar a.y;
+             })
+           q.body)
+  in
+  Crpq.eval g crpq
+  |> List.map (function [ u; v ] -> (u, v) | _ -> assert false)

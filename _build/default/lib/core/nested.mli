@@ -1,0 +1,34 @@
+(** Nested CRPQs / regular queries (Section 3.1.3, Examples 14–15).
+
+    CRPQs are not compositional: a binary CRPQ defines virtual edges, but
+    plain CRPQs cannot take the Kleene closure of those.  Nested CRPQs fix
+    this by allowing a binary query [(q)[x,y]] wherever an edge label may
+    appear, as in
+
+    [q2(u,v) :- ((Transfer(x,y), Transfer(y,x))[x,y])*(u,v)].
+
+    Evaluation is by saturation: inner queries are evaluated recursively
+    and materialized as virtual edges with fresh labels, then the outer
+    level runs as a plain CRPQ.  Wildcard symbols in outer expressions
+    would also match the virtual labels, so wildcards are rejected at
+    construction time for nested queries. *)
+
+type nre_atom = Base of Sym.t | Nested of query
+and nre = nre_atom Regex.t
+and nre_query_atom = { re : nre; x : string; y : string }
+
+and query = {
+  hx : string;
+  hy : string;  (** binary head (x, y) *)
+  body : nre_query_atom list;
+}
+
+(** Checks that heads are endpoint variables, and that queries containing
+    nested atoms use no wildcard symbols. *)
+val make : hx:string -> hy:string -> body:nre_query_atom list -> query
+
+(** Output pairs, set semantics, sorted. *)
+val eval : Elg.t -> query -> (int * int) list
+
+(** Nesting depth (0 for a plain CRPQ). *)
+val depth : query -> int

@@ -1,0 +1,63 @@
+(** Register automata on data graphs (Section 6.4, "Data Filters").
+
+    The evaluation results for RPQs with data tests [78, 79] "use a
+    variation of register automata [69] that operate on paths in a graph,
+    and a modification of the product construction".  This module is that
+    machine: an automaton with finitely many registers walking a property
+    graph, reading one designated data value per node, comparing it to
+    registers and optionally storing it.
+
+    Evaluation is a BFS over configurations (node, state, register
+    contents); the register contents range over the graph's active domain,
+    so the configuration space is finite and no length bound is needed —
+    the NLOGSPACE data-complexity upper bound of [78] in executable form.
+    The test suite checks the machine against the dl-RPQ evaluator on the
+    increasing-values query. *)
+
+(** Comparison of the current node's value against register [i]. *)
+type cond = Eq of int | Neq of int | Lt of int | Gt of int
+
+type transition = {
+  source : int;
+  label : Sym.t;  (** label of the edge being traversed *)
+  conds : cond list;  (** tests on the value of the node arrived at *)
+  store : int option;  (** register receiving that value *)
+  target : int;
+}
+
+type t = {
+  nb_states : int;
+  nb_registers : int;
+  initial : int;
+  init_store : int option;
+      (** register receiving the start node's value before any step *)
+  finals : bool array;
+  transitions : transition list;
+}
+
+(** Validates state and register indices. *)
+val make :
+  nb_states:int ->
+  nb_registers:int ->
+  initial:int ->
+  ?init_store:int ->
+  finals:int list ->
+  transitions:transition list ->
+  unit ->
+  t
+
+(** Nodes reachable from [src] by an accepting run; [prop] selects the
+    data value of each node (nodes without it fail every condition and
+    store nothing). *)
+val eval_from : Pg.t -> prop:string -> t -> src:int -> int list
+
+val pairs : Pg.t -> prop:string -> t -> (int * int) list
+val check : Pg.t -> prop:string -> t -> src:int -> tgt:int -> bool
+
+(** Number of configurations explored by the last {!eval_from}-style call
+    (for cost reporting). *)
+val eval_from_stats : Pg.t -> prop:string -> t -> src:int -> int list * int
+
+(** The one-register machine accepting paths with strictly increasing node
+    values — the workhorse example. *)
+val increasing : label:Sym.t -> t

@@ -1,0 +1,1 @@
+lib/coregql/coregql.ml: Elg List Option Path Pg Printf Relation Stdlib String Value

@@ -1,0 +1,1 @@
+lib/coregql/coregql.mli: Path Pg Relation Value

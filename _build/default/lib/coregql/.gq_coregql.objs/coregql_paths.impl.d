@@ -1,0 +1,1 @@
+lib/coregql/coregql_paths.ml: Array Coregql Elg List Option Path Pg Stdlib

@@ -1,0 +1,1 @@
+lib/coregql/coregql_paths.mli: Coregql Path Pg

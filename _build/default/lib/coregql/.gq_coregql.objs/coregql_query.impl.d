@@ -1,0 +1,1 @@
+lib/coregql/coregql_query.ml: Coregql Relation Value

@@ -1,0 +1,1 @@
+lib/coregql/coregql_query.mli: Coregql Pg Relation Value

@@ -1,0 +1,197 @@
+type cond =
+  | Ckey of string * string * Value.op * string * string
+  | Ckey_const of string * string * Value.op * Value.t
+  | Clabel of string * string
+  | Cand of cond * cond
+  | Cor of cond * cond
+  | Cnot of cond
+  | Cforall of pattern * cond
+
+and pattern =
+  | Pnode of string option
+  | Pedge of string option
+  | Pconcat of pattern * pattern
+  | Pdisj of pattern * pattern
+  | Prepeat of pattern * int * int option
+  | Pcond of pattern * cond
+
+let rec free_vars = function
+  | Pnode (Some x) | Pedge (Some x) -> [ x ]
+  | Pnode None | Pedge None -> []
+  | Pconcat (p1, p2) ->
+      List.sort_uniq String.compare (free_vars p1 @ free_vars p2)
+  | Pdisj (p1, _) -> free_vars p1
+  | Prepeat _ -> []
+  | Pcond (p, _) -> free_vars p
+
+let rec validate = function
+  | Pnode _ | Pedge _ -> ()
+  | Pconcat (p1, p2) ->
+      validate p1;
+      validate p2
+  | Pdisj (p1, p2) ->
+      validate p1;
+      validate p2;
+      if
+        List.sort String.compare (free_vars p1)
+        <> List.sort String.compare (free_vars p2)
+      then invalid_arg "Coregql: disjuncts must have equal free variables"
+  | Prepeat (p, n, m) ->
+      validate p;
+      if n < 0 then invalid_arg "Coregql: negative repetition";
+      (match m with
+      | Some m when m < n -> invalid_arg "Coregql: empty repetition range"
+      | Some _ | None -> ())
+  | Pcond (p, _) -> validate p
+
+type binding = (string * Path.obj) list
+
+(* Merge of compatible bindings (both sorted); None when they disagree on a
+   shared variable. *)
+let rec merge (m1 : binding) (m2 : binding) : binding option =
+  match (m1, m2) with
+  | [], m | m, [] -> Some m
+  | (x1, o1) :: r1, (x2, o2) :: r2 ->
+      let c = String.compare x1 x2 in
+      if c < 0 then Option.map (fun r -> (x1, o1) :: r) (merge r1 m2)
+      else if c > 0 then Option.map (fun r -> (x2, o2) :: r) (merge m1 r2)
+      else if o1 = o2 then Option.map (fun r -> (x1, o1) :: r) (merge r1 r2)
+      else None
+
+let rec cond_holds pg (mu : binding) = function
+  | Ckey (x, k, op, y, k') -> (
+      match (List.assoc_opt x mu, List.assoc_opt y mu) with
+      | Some ox, Some oy -> (
+          match (Pg.prop pg ox k, Pg.prop pg oy k') with
+          | Some vx, Some vy -> Value.test op vx vy
+          | _, _ -> false)
+      | _, _ -> false)
+  | Ckey_const (x, k, op, c) -> (
+      match List.assoc_opt x mu with
+      | Some ox -> (
+          match Pg.prop pg ox k with
+          | Some vx -> Value.test op vx c
+          | None -> false)
+      | None -> false)
+  | Clabel (lbl, x) -> (
+      match List.assoc_opt x mu with
+      | Some ox -> String.equal (Pg.obj_label pg ox) lbl
+      | None -> false)
+  | Cand (t1, t2) -> cond_holds pg mu t1 && cond_holds pg mu t2
+  | Cor (t1, t2) -> cond_holds pg mu t1 || cond_holds pg mu t2
+  | Cnot t -> not (cond_holds pg mu t)
+  | Cforall _ ->
+      invalid_arg
+        "Coregql.cond_holds: matched-path conditions need the path-level \
+         evaluator (Coregql_paths)"
+
+let dedup triples = List.sort_uniq Stdlib.compare triples
+
+(* Endpoint relation composition for repetitions. *)
+let compose pairs1 pairs2 =
+  List.concat_map
+    (fun (u, w) ->
+      List.filter_map (fun (w', v) -> if w = w' then Some (u, v) else None) pairs2)
+    pairs1
+  |> List.sort_uniq Stdlib.compare
+
+let transitive_closure_with_identity g pairs =
+  (* Reflexive-transitive closure over all graph nodes. *)
+  let identity = List.init (Elg.nb_nodes g) (fun v -> (v, v)) in
+  let rec fix acc =
+    let next = List.sort_uniq Stdlib.compare (acc @ compose acc pairs) in
+    if List.length next = List.length acc then acc else fix next
+  in
+  fix (List.sort_uniq Stdlib.compare identity)
+
+let rec eval pg pattern =
+  let g = Pg.elg pg in
+  match pattern with
+  | Pnode var ->
+      List.init (Elg.nb_nodes g) (fun n ->
+          let mu = match var with Some x -> [ (x, Path.N n) ] | None -> [] in
+          (n, n, mu))
+  | Pedge var ->
+      List.init (Elg.nb_edges g) (fun e ->
+          let mu = match var with Some x -> [ (x, Path.E e) ] | None -> [] in
+          (Elg.src g e, Elg.tgt g e, mu))
+  | Pconcat (p1, p2) ->
+      let r1 = eval pg p1 and r2 = eval pg p2 in
+      List.concat_map
+        (fun (u, w, m1) ->
+          List.filter_map
+            (fun (w', v, m2) ->
+              if w = w' then
+                Option.map (fun m -> (u, v, m)) (merge m1 m2)
+              else None)
+            r2)
+        r1
+      |> dedup
+  | Pdisj (p1, p2) -> dedup (eval pg p1 @ eval pg p2)
+  | Prepeat (p, n, m) ->
+      let base =
+        eval pg p |> List.map (fun (u, v, _) -> (u, v)) |> List.sort_uniq Stdlib.compare
+      in
+      let identity = List.init (Elg.nb_nodes g) (fun v -> (v, v)) in
+      let rec power k = if k = 0 then identity else compose (power (k - 1)) base in
+      let exact_n = power n in
+      let result =
+        match m with
+        | None -> compose exact_n (transitive_closure_with_identity g base)
+        | Some m ->
+            let rec upto k acc cur =
+              if k > m then acc
+              else
+                let acc = List.sort_uniq Stdlib.compare (acc @ cur) in
+                upto (k + 1) acc (compose cur base)
+            in
+            upto n [] exact_n
+      in
+      List.map (fun (u, v) -> (u, v, [])) result
+  | Pcond (p, theta) ->
+      List.filter (fun (_, _, mu) -> cond_holds pg mu theta) (eval pg p)
+
+type omega_item = Ovar of string | Oprop of string * string
+
+let output pg pattern omega =
+  let triples = eval pg pattern in
+  let attr = function
+    | Ovar x -> x
+    | Oprop (x, k) -> x ^ "." ^ k
+  in
+  let schema = List.map attr omega in
+  let cell_of mu = function
+    | Ovar x -> (
+        match List.assoc_opt x mu with
+        | Some (Path.N n) -> Some (Relation.Cnode n)
+        | Some (Path.E e) -> Some (Relation.Cedge e)
+        | None -> None)
+    | Oprop (x, k) -> (
+        match List.assoc_opt x mu with
+        | Some obj ->
+            Option.map (fun v -> Relation.Cval v) (Pg.prop pg obj k)
+        | None -> None)
+  in
+  let rows =
+    List.filter_map
+      (fun (_, _, mu) ->
+        let cells = List.map (cell_of mu) omega in
+        if List.for_all Option.is_some cells then
+          Some (List.map Option.get cells)
+        else None)
+      triples
+  in
+  Relation.make ~schema ~rows
+
+let rec pattern_to_string = function
+  | Pnode (Some x) -> "(" ^ x ^ ")"
+  | Pnode None -> "()"
+  | Pedge (Some x) -> "-[" ^ x ^ "]->"
+  | Pedge None -> "-[]->"
+  | Pconcat (p1, p2) -> pattern_to_string p1 ^ pattern_to_string p2
+  | Pdisj (p1, p2) ->
+      "(" ^ pattern_to_string p1 ^ " + " ^ pattern_to_string p2 ^ ")"
+  | Prepeat (p, n, None) -> Printf.sprintf "(%s){%d,}" (pattern_to_string p) n
+  | Prepeat (p, n, Some m) ->
+      Printf.sprintf "(%s){%d,%d}" (pattern_to_string p) n m
+  | Pcond (p, _) -> "(" ^ pattern_to_string p ^ ")<θ>"

@@ -1,0 +1,69 @@
+(** CoreGQL patterns and their relational semantics (Section 4.1, Fig. 4).
+
+    Patterns are node/edge atoms with optional variables, concatenation,
+    disjunction, bounded/unbounded repetition, and conditions θ.  Free
+    variables follow the paper's definition — in particular
+    [FV(π^{n..m}) = ∅], which is exactly what guarantees first-normal-form
+    outputs (no lists), and disjuncts must have equal free variables (no
+    nulls).
+
+    [⟦π⟧_G] is a set of (path, binding) pairs and can be infinite under
+    repetition; since repetition discards bindings, the {e relational}
+    image is finite, and {!eval} computes the set of
+    (source, target, binding) triples directly, with a reachability
+    fixpoint for unbounded repetition.  Path-level evaluation (needed for
+    Section 5.2's EXCEPT workaround and matched-path conditions) lives in
+    {!Coregql_paths}. *)
+
+type cond =
+  | Ckey of string * string * Value.op * string * string
+      (** [x.k op y.k']; the paper's grammar has [=] and [<], we allow all
+          operators *)
+  | Ckey_const of string * string * Value.op * Value.t  (** [x.k op c] *)
+  | Clabel of string * string  (** ℓ(x) *)
+  | Cand of cond * cond
+  | Cor of cond * cond
+  | Cnot of cond
+  | Cforall of pattern * cond
+      (** matched-path condition ∀π′ ⇒ θ (Section 5.2); only supported by
+          the path-level evaluator *)
+
+and pattern =
+  | Pnode of string option  (** (x) or () *)
+  | Pedge of string option  (** −[x]→ or −[]→ *)
+  | Pconcat of pattern * pattern
+  | Pdisj of pattern * pattern
+  | Prepeat of pattern * int * int option  (** π^{n..m}, [None] = ∞ *)
+  | Pcond of pattern * cond  (** π⟨θ⟩ *)
+
+(** Free variables, per Section 4.1.1. *)
+val free_vars : pattern -> string list
+
+(** Checks the disjunction side condition FV(π1) = FV(π2); raises
+    [Invalid_argument] on violation. *)
+val validate : pattern -> unit
+
+(** A binding of free variables to graph elements. *)
+type binding = (string * Path.obj) list
+
+(** μ1 ⋈ μ2 when compatible (μ1 ∼ μ2), [None] otherwise. *)
+val merge : binding -> binding -> binding option
+
+(** [μ ⊨ θ] (Fig. 4).  Raises [Invalid_argument] on [Cforall] — that
+    condition needs the matched path, see {!Coregql_paths}. *)
+val cond_holds : Pg.t -> binding -> cond -> bool
+
+(** The finite relational image of ⟦π⟧_G: all (source, target, μ)
+    triples such that some path p from source to target has
+    [(p, μ) ∈ ⟦π⟧_G]. *)
+val eval : Pg.t -> pattern -> (int * int * binding) list
+
+(** Output specification Ω: variables and property accesses. *)
+type omega_item = Ovar of string | Oprop of string * string
+
+(** [⟦π_Ω⟧_G] as a first-normal-form relation; attribute names are ["x"]
+    and ["x.k"].  Mappings not compatible with Ω (an entry undefined) are
+    dropped, per Section 4.1.2. *)
+val output : Pg.t -> pattern -> omega_item list -> Relation.t
+
+val pattern_to_string : pattern -> string

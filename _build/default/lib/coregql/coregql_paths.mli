@@ -1,0 +1,37 @@
+(** Path-level evaluation of CoreGQL patterns (Section 5.2).
+
+    The relational evaluator ({!Coregql.eval}) only keeps endpoints and
+    bindings; the workarounds the paper discusses in "Dangers of Ad-Hoc
+    Solutions" need the paths themselves:
+
+    - {e path variables + EXCEPT}: materialize the paths matched by two
+      patterns and subtract ({!except});
+    - {e matched-path conditions} [∀π′ ⇒ θ]: for every match of π′ on an
+      infix of the already-matched path, θ must hold.
+
+    Pattern matching against a fixed path is positional: a CoreGQL path is
+    node-to-node, so a match is an interval of node positions.  Matching a
+    pattern against all trails of a graph is the deliberately expensive
+    evaluation strategy the paper warns about; experiment E8 measures it
+    against the direct dl-RPQ evaluation. *)
+
+(** Bindings of π matched against exactly the whole path. *)
+val match_on_path : Pg.t -> Coregql.pattern -> Path.t -> Coregql.binding list
+
+(** Does π match the whole path? *)
+val matches_path : Pg.t -> Coregql.pattern -> Path.t -> bool
+
+(** All matches on infixes: (start position, end position, binding);
+    positions index the path's nodes. *)
+val match_positions :
+  Pg.t -> Coregql.pattern -> Path.t -> (int * int * Coregql.binding) list
+
+(** All trails of the graph (node-to-node, every endpoint pair) that match
+    π — the brute-force strategy behind the EXCEPT workaround. *)
+val matching_trails : Pg.t -> Coregql.pattern -> Path.t list
+
+(** All matching paths of length at most [max_len]. *)
+val matching_paths_upto : Pg.t -> Coregql.pattern -> max_len:int -> Path.t list
+
+(** Set difference on path lists (the p = π ... EXCEPT construction). *)
+val except : Path.t list -> Path.t list -> Path.t list

@@ -1,0 +1,43 @@
+type pred =
+  | Peq of string * string
+  | Plt of string * string
+  | Pconst of string * Value.op * Value.t
+  | Pand of pred * pred
+  | Por of pred * pred
+  | Pnot of pred
+
+type t =
+  | Rel of Coregql.pattern * Coregql.omega_item list
+  | Select of pred * t
+  | Project of string list * t
+  | Join of t * t
+  | Union of t * t
+  | Diff of t * t
+  | Rename of (string * string) list * t
+
+let cell_value = function
+  | Relation.Cval v -> Some v
+  | Relation.Cnode _ | Relation.Cedge _ -> None
+
+let rec pred_holds get = function
+  | Peq (a, b) -> Relation.compare_cell (get a) (get b) = 0
+  | Plt (a, b) -> (
+      match (cell_value (get a), cell_value (get b)) with
+      | Some v1, Some v2 -> Value.test Value.Lt v1 v2
+      | _, _ -> Relation.compare_cell (get a) (get b) < 0)
+  | Pconst (a, op, c) -> (
+      match cell_value (get a) with
+      | Some v -> Value.test op v c
+      | None -> false)
+  | Pand (p1, p2) -> pred_holds get p1 && pred_holds get p2
+  | Por (p1, p2) -> pred_holds get p1 || pred_holds get p2
+  | Pnot p -> not (pred_holds get p)
+
+let rec eval pg = function
+  | Rel (pattern, omega) -> Coregql.output pg pattern omega
+  | Select (pred, q) -> Relation.select (eval pg q) (fun get -> pred_holds get pred)
+  | Project (attrs, q) -> Relation.project (eval pg q) attrs
+  | Join (q1, q2) -> Relation.join (eval pg q1) (eval pg q2)
+  | Union (q1, q2) -> Relation.union (eval pg q1) (eval pg q2)
+  | Diff (q1, q2) -> Relation.diff (eval pg q1) (eval pg q2)
+  | Rename (mapping, q) -> Relation.rename (eval pg q) mapping

@@ -1,0 +1,33 @@
+(** CoreGQL queries: relational algebra over pattern outputs
+    (Section 4.1.3).
+
+    "CoreGQL is defined as the set of relational algebra queries over all
+    relations R^π_Ω."  This module gives that language an AST: leaves are
+    patterns-with-output, internal nodes are σ, π, ⋈, ∪, −, ρ.  The
+    Section 4.1.3 example query is expressible verbatim (see the test
+    suite):
+
+    {v π_{x,x.s} ( σ_{x1≠x2 ∧ x1.p=x2.p} ( R^π1_Ω1 ⋈ R^π2_Ω2 ) ) v} *)
+
+(** Selection predicates over a row, by attribute name. *)
+type pred =
+  | Peq of string * string  (** attr = attr *)
+  | Plt of string * string
+  | Pconst of string * Value.op * Value.t  (** attr op constant *)
+  | Pand of pred * pred
+  | Por of pred * pred
+  | Pnot of pred
+
+type t =
+  | Rel of Coregql.pattern * Coregql.omega_item list  (** R^π_Ω *)
+  | Select of pred * t
+  | Project of string list * t
+  | Join of t * t
+  | Union of t * t
+  | Diff of t * t
+  | Rename of (string * string) list * t
+
+(** Evaluate to a first-normal-form relation.  Raises [Invalid_argument]
+    on schema errors (propagated from {!Relation}) and [Not_found] on
+    predicates over unknown attributes. *)
+val eval : Pg.t -> t -> Relation.t

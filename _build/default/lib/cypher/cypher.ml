@@ -1,0 +1,121 @@
+type labels = string list option
+
+type pattern =
+  | Node of string option * labels
+  | Edge of string option * labels
+  | Edge_star of labels
+  | Concat of pattern * pattern
+  | Disj of pattern * pattern
+
+let label_regex = function
+  | None -> Regex.atom Sym.Any
+  | Some [] -> invalid_arg "Cypher: empty label disjunction"
+  | Some ls -> Regex.alt_list (List.map (fun l -> Regex.atom (Sym.Lbl l)) ls)
+
+let rec to_rpq = function
+  | Node _ -> Regex.Eps
+  | Edge (_, ls) -> label_regex ls
+  | Edge_star ls -> Regex.star (label_regex ls)
+  | Concat (p1, p2) -> Regex.seq (to_rpq p1) (to_rpq p2)
+  | Disj (p1, p2) -> Regex.alt (to_rpq p1) (to_rpq p2)
+
+let rec size = function
+  | Node _ | Edge _ | Edge_star _ -> 1
+  | Concat (p1, p2) | Disj (p1, p2) -> 1 + size p1 + size p2
+
+let labels_to_string = function
+  | None -> ""
+  | Some ls -> ":" ^ String.concat "|" ls
+
+let rec to_string = function
+  | Node (v, ls) ->
+      Printf.sprintf "(%s%s)" (Option.value v ~default:"") (labels_to_string ls)
+  | Edge (v, ls) ->
+      Printf.sprintf "-[%s%s]->" (Option.value v ~default:"") (labels_to_string ls)
+  | Edge_star ls -> Printf.sprintf "-[%s*]->" (labels_to_string ls)
+  | Concat (p1, p2) -> to_string p1 ^ to_string p2
+  | Disj (p1, p2) -> "(" ^ to_string p1 ^ " + " ^ to_string p2 ^ ")"
+
+let eval g p = Rpq_eval.pairs g (to_rpq p)
+
+(* --- Unary decision procedure ------------------------------------------- *)
+
+let expressible_unary ~lbl nfa =
+  let dfa = Dfa.of_nfa ~extra_labels:[ lbl ] nfa in
+  let c = Dfa.class_of_label dfa lbl in
+  (* Walk the unary transition function until a state repeats: lasso. *)
+  let seen = Array.make dfa.Dfa.nb_states (-1) in
+  let rec walk q step trace =
+    if seen.(q) >= 0 then (List.rev trace, seen.(q))
+    else begin
+      seen.(q) <- step;
+      walk dfa.Dfa.next.(q).(c) (step + 1) (q :: trace)
+    end
+  in
+  let trace, cycle_start = walk dfa.Dfa.init 0 [] in
+  let cycle = List.filteri (fun i _ -> i >= cycle_start) trace in
+  let accepting q = dfa.Dfa.finals.(q) in
+  List.for_all accepting cycle || List.for_all (fun q -> not (accepting q)) cycle
+
+(* --- Bounded exhaustive search ------------------------------------------ *)
+
+let rec label_subsets = function
+  | [] -> [ [] ]
+  | l :: rest ->
+      let subs = label_subsets rest in
+      subs @ List.map (fun s -> l :: s) subs
+
+let enumerate_patterns ~labels ~max_size =
+  let label_sets =
+    (None :: List.filter_map (fun s -> if s = [] then None else Some (Some s)) (label_subsets labels))
+  in
+  let atoms =
+    (Node (None, None)
+    :: List.concat_map
+         (fun ls -> [ Edge (None, ls); Edge_star ls ])
+         label_sets)
+  in
+  (* Patterns by size, built bottom-up. *)
+  let by_size = Array.make (max_size + 1) [] in
+  if max_size >= 1 then by_size.(1) <- atoms;
+  for s = 2 to max_size do
+    let combos = ref [] in
+    for s1 = 1 to s - 2 do
+      let s2 = s - 1 - s1 in
+      List.iter
+        (fun p1 ->
+          List.iter
+            (fun p2 ->
+              combos := Concat (p1, p2) :: Disj (p1, p2) :: !combos)
+            by_size.(s2))
+        by_size.(s1)
+    done;
+    by_size.(s) <- !combos
+  done;
+  List.concat (Array.to_list by_size)
+
+let language_key ~all_labels regex =
+  Dfa.canonical_key
+    (Dfa.minimize (Dfa.of_nfa ~extra_labels:all_labels (Nfa.of_regex regex)))
+
+let search_equivalent ~labels ~max_size target =
+  let target_labels =
+    List.concat_map Sym.mentioned (Regex.atoms target)
+  in
+  let all_labels = List.sort_uniq String.compare (labels @ target_labels) in
+  let target_key = language_key ~all_labels target in
+  let seen = Hashtbl.create 1024 in
+  let examined = ref 0 in
+  let witness = ref None in
+  List.iter
+    (fun p ->
+      if !witness = None then begin
+        let key = language_key ~all_labels (to_rpq p) in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.add seen key ();
+          incr examined;
+          if String.equal key target_key then witness := Some p
+        end
+      end)
+    (enumerate_patterns ~labels ~max_size);
+  (!witness, !examined)

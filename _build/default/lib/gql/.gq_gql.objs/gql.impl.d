@@ -1,0 +1,1 @@
+lib/gql/gql.ml: Elg List Option Path Pg Printf Stdlib String Value

@@ -1,0 +1,1 @@
+lib/gql/gql.mli: Elg Path Pg Value

@@ -1,0 +1,1 @@
+lib/gql/gql_compile.ml: Dlrpq Etest Gql List Printf Regex String Sym Value

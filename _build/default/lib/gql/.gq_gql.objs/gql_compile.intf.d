@@ -1,0 +1,1 @@
+lib/gql/gql_compile.mli: Dlrpq Gql Regex Sym

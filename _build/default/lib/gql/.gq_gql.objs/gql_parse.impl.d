@@ -1,0 +1,1 @@
+lib/gql/gql_parse.ml: Gql List Printf String Value

@@ -1,0 +1,1 @@
+lib/gql/gql_parse.mli: Gql

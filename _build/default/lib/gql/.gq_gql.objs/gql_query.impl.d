@@ -1,0 +1,1 @@
+lib/gql/gql_query.ml: Buffer Gql Gql_parse Hashtbl List Option Path Pg Printf Relation String Value

@@ -1,0 +1,1 @@
+lib/gql/gql_query.mli: Gql Pg Relation

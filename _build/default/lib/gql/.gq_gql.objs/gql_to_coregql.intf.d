@@ -1,0 +1,1 @@
+lib/gql/gql_to_coregql.mli: Coregql Gql

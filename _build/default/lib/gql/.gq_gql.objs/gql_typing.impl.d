@@ -1,0 +1,1 @@
+lib/gql/gql_typing.ml: Gql List String

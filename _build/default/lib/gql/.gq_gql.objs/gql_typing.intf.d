@@ -1,0 +1,1 @@
+lib/gql/gql_typing.mli: Gql

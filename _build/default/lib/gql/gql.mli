@@ -1,0 +1,68 @@
+(** GQL-style patterns with singleton and group variables — the behaviour
+    the paper's Examples 1–3 dissect.
+
+    This engine deliberately implements the {e GQL} variable rules rather
+    than the paper's cleaner l-RPQ design, so that the paper's criticisms
+    can be replayed and measured:
+
+    - multiple occurrences of a variable outside iteration are {e joins}
+      (they must bind the same element);
+    - when matching crosses an iteration (quantifier), every variable
+      bound inside becomes a {e group variable} collecting a list, one
+      entry per iteration;
+    - consecutive node patterns bind the same node (paths are glued on
+      nodes), e.g. [()-[z:a]->()()-[z:a]->()] forces its two inner nodes
+      together — which is why Example 1's join variant only matches
+      self-loops;
+    - a quantified pattern is {e not} the same as its unfolding:
+      [π{2}] groups while [ππ] joins (experiment E12);
+    - disjunction permits partial bindings (GQL's nulls, Section 4.2);
+    - WHERE conditions are evaluated per match of their subpattern — per
+      iteration inside a quantifier (Example 3).
+
+    Mixing degrees (one occurrence singleton, a joined occurrence grouped)
+    raises {!Degree_conflict}. *)
+
+type operand = Prop of string * string  (** x.k *) | Const of Value.t
+
+type cond =
+  | Cmp of operand * Value.op * operand
+  | And of cond * cond
+  | Or of cond * cond
+  | Not of cond
+
+type node_pat = { nvar : string option; nlbl : string option }
+type edge_pat = { evar : string option; elbl : string option }
+
+type pattern =
+  | Pnode of node_pat
+  | Pedge of edge_pat
+  | Pseq of pattern * pattern
+  | Palt of pattern * pattern
+  | Pquant of pattern * int * int option  (** {n,m}; [None] = unbounded *)
+  | Pwhere of pattern * cond
+
+(** A variable's value: a single element or a collected list. *)
+type gvalue = Single of Path.obj | Group of Path.obj list
+
+type binding = (string * gvalue) list
+
+exception Degree_conflict of string
+
+(** All matches anywhere in the graph: (path, binding) pairs.  [max_len]
+    bounds path length (unbounded quantifiers are capped by it).  With
+    [dedup:false] the engine works like GQL's bag semantics and returns
+    one row per derivation. *)
+val matches : ?dedup:bool -> Pg.t -> pattern -> max_len:int -> (Path.t * binding) list
+
+(** Matches whose path runs from [src] to [tgt]. *)
+val matches_between :
+  ?dedup:bool -> Pg.t -> pattern -> max_len:int -> src:int -> tgt:int ->
+  (Path.t * binding) list
+
+(** Variables of the pattern. *)
+val vars : pattern -> string list
+
+val gvalue_to_string : Elg.t -> gvalue -> string
+val binding_to_string : Elg.t -> binding -> string
+val pattern_to_string : pattern -> string

@@ -1,0 +1,162 @@
+(* --- plain-RPQ target ---------------------------------------------------- *)
+
+let rec to_rpq (p : Gql.pattern) =
+  match p with
+  | Gql.Pnode { nvar = _; nlbl = None } -> Some Regex.eps
+  | Gql.Pnode { nlbl = Some _; _ } ->
+      (* RPQ words are edge labels only; node label tests are not regular
+         over elab(p). *)
+      None
+  | Gql.Pedge { evar = _; elbl } ->
+      Some
+        (Regex.atom (match elbl with Some l -> Sym.Lbl l | None -> Sym.Any))
+  | Gql.Pseq (p1, p2) -> (
+      match (to_rpq p1, to_rpq p2) with
+      | Some r1, Some r2 -> Some (Regex.seq r1 r2)
+      | _, _ -> None)
+  | Gql.Palt (p1, p2) -> (
+      match (to_rpq p1, to_rpq p2) with
+      | Some r1, Some r2 -> Some (Regex.alt r1 r2)
+      | _, _ -> None)
+  | Gql.Pquant (p1, n, m) -> (
+      match to_rpq p1 with
+      | Some r -> (
+          match m with
+          | Some m -> Some (Regex.repeat n m r)
+          | None -> Some (Regex.seq (Regex.repeat n n r) (Regex.star r)))
+      | None -> None)
+  | Gql.Pwhere _ -> None
+
+(* --- dl-RPQ target -------------------------------------------------------- *)
+
+(* Intermediate form: a sequence of items, where conditions can still be
+   attached after the atom binding a given variable. *)
+type item =
+  | Atom of Dlrpq.atom * string option  (* the atom and its pattern variable *)
+  | Opaque of Dlrpq.t
+
+exception Unsupported
+
+let fresh_register =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Printf.sprintf "#r%d" !counter
+
+let flip_op : Value.op -> Value.op = function
+  | Value.Lt -> Value.Gt
+  | Value.Gt -> Value.Lt
+  | Value.Le -> Value.Ge
+  | Value.Ge -> Value.Le
+  | Value.Eq -> Value.Eq
+  | Value.Neq -> Value.Neq
+
+let kind_of_item = function
+  | Atom (Dlrpq.Lbl (kind, _, _), _) | Atom (Dlrpq.Test (kind, _), _) -> kind
+  | Opaque _ -> raise Unsupported
+
+(* Insert [extra] right after the (unique) atom bound to [x]. *)
+let attach_after items x extra =
+  let rec go = function
+    | [] -> raise Unsupported
+    | (Atom (_, Some y) as item) :: rest when String.equal x y ->
+        (item :: List.map (fun a -> Atom (Dlrpq.Test (kind_of_item item, a), None)) extra)
+        @ rest
+    | item :: rest -> item :: go rest
+  in
+  go items
+
+let var_position items x =
+  let rec go i = function
+    | [] -> None
+    | Atom (_, Some y) :: _ when String.equal x y -> Some i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 items
+
+let rec conjuncts = function
+  | Gql.And (c1, c2) -> conjuncts c1 @ conjuncts c2
+  | c -> [ c ]
+
+let apply_cond items cond =
+  match cond with
+  | Gql.Cmp (Gql.Prop (x, k), op, Gql.Const c) ->
+      attach_after items x [ Etest.Cmp_const (k, op, c) ]
+  | Gql.Cmp (Gql.Const c, op, Gql.Prop (x, k)) ->
+      attach_after items x [ Etest.Cmp_const (k, flip_op op, c) ]
+  | Gql.Cmp (Gql.Prop (x, k), op, Gql.Prop (y, k')) ->
+      if String.equal x y then
+        (* Same element: store one property, compare the other in place. *)
+        let reg = fresh_register () in
+        attach_after items x
+          [ Etest.Assign (reg, k); Etest.Cmp_var (k', flip_op op, reg) ]
+      else begin
+        (* Register idiom: store at the earlier element, compare at the
+           later one (Example 21). *)
+        match (var_position items x, var_position items y) with
+        | Some i, Some j when i < j ->
+            let reg = fresh_register () in
+            let items = attach_after items x [ Etest.Assign (reg, k) ] in
+            attach_after items y [ Etest.Cmp_var (k', flip_op op, reg) ]
+        | Some i, Some j when j < i ->
+            let reg = fresh_register () in
+            let items = attach_after items y [ Etest.Assign (reg, k') ] in
+            attach_after items x [ Etest.Cmp_var (k, op, reg) ]
+        | _, _ -> raise Unsupported
+      end
+  | Gql.Cmp (Gql.Const _, _, Gql.Const _) | Gql.Or _ | Gql.Not _ | Gql.And _ ->
+      raise Unsupported
+
+let rec compile_items (p : Gql.pattern) : item list =
+  match p with
+  | Gql.Pnode { nvar; nlbl } ->
+      let sym = match nlbl with Some l -> Sym.Lbl l | None -> Sym.Any in
+      [ Atom (Dlrpq.Lbl (Dlrpq.Knode, sym, nvar), nvar) ]
+  | Gql.Pedge { evar; elbl } ->
+      let sym = match elbl with Some l -> Sym.Lbl l | None -> Sym.Any in
+      [ Atom (Dlrpq.Lbl (Dlrpq.Kedge, sym, evar), evar) ]
+  | Gql.Pseq (p1, p2) -> compile_items p1 @ compile_items p2
+  | Gql.Palt (p1, p2) ->
+      [ Opaque (Regex.alt (fold (compile_items p1)) (fold (compile_items p2))) ]
+  | Gql.Pquant (p1, n, m) ->
+      let body = fold (compile_items p1) in
+      let re =
+        match m with
+        | Some m -> Regex.repeat n m body
+        | None -> Regex.seq (Regex.repeat n n body) (Regex.star body)
+      in
+      [ Opaque re ]
+  | Gql.Pwhere (p1, cond) ->
+      let items = compile_items p1 in
+      List.fold_left apply_cond items (conjuncts cond)
+
+and fold items =
+  Regex.seq_list
+    (List.map
+       (function Atom (a, _) -> Regex.atom a | Opaque re -> re)
+       items)
+
+let check_unique_vars p =
+  let vars = ref [] in
+  let rec collect (p : Gql.pattern) =
+    match p with
+    | Gql.Pnode { nvar = v; _ } | Gql.Pedge { evar = v; _ } -> (
+        match v with
+        | Some x ->
+            if List.mem x !vars then raise Unsupported;
+            vars := x :: !vars
+        | None -> ())
+    | Gql.Pseq (p1, p2) | Gql.Palt (p1, p2) ->
+        collect p1;
+        collect p2
+    | Gql.Pquant (p1, _, _) | Gql.Pwhere (p1, _) -> collect p1
+  in
+  collect p
+
+let to_dlrpq p =
+  match
+    check_unique_vars p;
+    fold (compile_items p)
+  with
+  | re -> Some re
+  | exception Unsupported -> None

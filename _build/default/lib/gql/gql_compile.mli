@@ -1,0 +1,30 @@
+(** Compiling GQL-style patterns to automata-compatible queries — the
+    paper's core optimization thesis made executable (Section 6.2:
+    "automata-based approaches are your friend", and the Example 1/2
+    discussion of making pattern design compatible with automata).
+
+    Two targets:
+
+    - {!to_rpq}: patterns without variables-as-joins, node labels, or data
+      tests compile to a plain RPQ, whose evaluation is a polynomial
+      product-graph BFS — versus the pattern engine's exponential
+      enumeration (benchmark E13).
+
+    - {!to_dlrpq}: patterns whose WHERE conditions are label tests,
+      constant comparisons, or two-variable property comparisons compile
+      to a dl-RPQ; per-variable conditions become collapsing element
+      tests, and cross-element comparisons use the register idiom of
+      Example 21 ([x := k] then [k' > x]).  Variables become list-variable
+      captures (one occurrence per variable only; repeated variables are
+      joins, which regular expressions cannot express — those return
+      [None], as do disjunctions/negations inside WHERE).
+
+    Both translations are {e partial}: [None] means the pattern genuinely
+    uses a non-regular feature, not a translator gap we paper over. *)
+
+(** Plain-RPQ translation (endpoint semantics). *)
+val to_rpq : Gql.pattern -> Sym.t Regex.t option
+
+(** dl-RPQ translation (endpoints, captures as list variables, local and
+    register-encoded WHERE conditions). *)
+val to_dlrpq : Gql.pattern -> Dlrpq.t option

@@ -1,0 +1,293 @@
+exception Parse_error of string
+
+type token =
+  | Tlpar
+  | Trpar
+  | Tedge_open  (* -[ *)
+  | Tedge_close  (* ]-> *)
+  | Tbar
+  | Tstar
+  | Tplus
+  | Topt
+  | Tlbrace
+  | Trbrace
+  | Tcomma
+  | Tcolon
+  | Tdot
+  | Tident of string
+  | Tint of int
+  | Treal of float
+  | Tstring of string
+  | Top of Value.op
+  | Twhere
+  | Tand
+  | Tor
+  | Tnot
+
+let fail msg = raise (Parse_error msg)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+let tokenize s =
+  let n = String.length s in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let push t = tokens := t :: !tokens in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' then incr i
+    else if c = '(' then (incr i; push Tlpar)
+    else if c = ')' then (incr i; push Trpar)
+    else if c = '-' && !i + 1 < n && s.[!i + 1] = '[' then begin
+      i := !i + 2;
+      push Tedge_open
+    end
+    else if c = ']' && !i + 2 < n && s.[!i + 1] = '-' && s.[!i + 2] = '>' then begin
+      i := !i + 3;
+      push Tedge_close
+    end
+    else if c = '|' then (incr i; push Tbar)
+    else if c = '*' then (incr i; push Tstar)
+    else if c = '+' then (incr i; push Tplus)
+    else if c = '?' then (incr i; push Topt)
+    else if c = '{' then (incr i; push Tlbrace)
+    else if c = '}' then (incr i; push Trbrace)
+    else if c = ',' then (incr i; push Tcomma)
+    else if c = ':' then (incr i; push Tcolon)
+    else if c = '.' then (incr i; push Tdot)
+    else if c = '<' && !i + 1 < n && s.[!i + 1] = '=' then (i := !i + 2; push (Top Value.Le))
+    else if c = '<' && !i + 1 < n && s.[!i + 1] = '>' then (i := !i + 2; push (Top Value.Neq))
+    else if c = '<' then (incr i; push (Top Value.Lt))
+    else if c = '>' && !i + 1 < n && s.[!i + 1] = '=' then (i := !i + 2; push (Top Value.Ge))
+    else if c = '>' then (incr i; push (Top Value.Gt))
+    else if c = '=' then (incr i; push (Top Value.Eq))
+    else if c = '!' && !i + 1 < n && s.[!i + 1] = '=' then (i := !i + 2; push (Top Value.Neq))
+    else if c = '\'' then begin
+      let j = try String.index_from s (!i + 1) '\'' with Not_found -> fail "unterminated string" in
+      push (Tstring (String.sub s (!i + 1) (j - !i - 1)));
+      i := j + 1
+    end
+    else if c >= '0' && c <= '9' then begin
+      let start = !i in
+      while !i < n && ((s.[!i] >= '0' && s.[!i] <= '9') || s.[!i] = '.') do
+        incr i
+      done;
+      let text = String.sub s start (!i - start) in
+      if String.contains text '.' then push (Treal (float_of_string text))
+      else push (Tint (int_of_string text))
+    end
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char s.[!i] do
+        incr i
+      done;
+      let word = String.sub s start (!i - start) in
+      match String.uppercase_ascii word with
+      | "WHERE" -> push Twhere
+      | "AND" -> push Tand
+      | "OR" -> push Tor
+      | "NOT" -> push Tnot
+      | _ -> push (Tident word)
+    end
+    else fail (Printf.sprintf "unexpected character %c" c)
+  done;
+  List.rev !tokens
+
+(* Recursive descent with backtracking over an immutable token list held in
+   a mutable cursor. *)
+let parse s =
+  let toks = ref (tokenize s) in
+  let save () = !toks in
+  let restore saved = toks := saved in
+  let peek () = match !toks with [] -> None | t :: _ -> Some t in
+  let advance () = match !toks with [] -> () | _ :: rest -> toks := rest in
+  let expect t msg = if peek () = Some t then advance () else fail msg in
+
+  (* --- conditions --- *)
+  let operand () =
+    match peek () with
+    | Some (Tident x) -> (
+        advance ();
+        match peek () with
+        | Some Tdot -> (
+            advance ();
+            match peek () with
+            | Some (Tident k) ->
+                advance ();
+                Gql.Prop (x, k)
+            | _ -> fail "expected property name after '.'")
+        | _ -> Gql.Const (Value.Text x))
+    | Some (Tint v) ->
+        advance ();
+        Gql.Const (Value.Int v)
+    | Some (Treal v) ->
+        advance ();
+        Gql.Const (Value.Real v)
+    | Some (Tstring v) ->
+        advance ();
+        Gql.Const (Value.Text v)
+    | _ -> fail "expected an operand"
+  in
+  let rec cond_or () =
+    let left = cond_and () in
+    match peek () with
+    | Some Tor ->
+        advance ();
+        Gql.Or (left, cond_or ())
+    | _ -> left
+  and cond_and () =
+    let left = cond_atom () in
+    match peek () with
+    | Some Tand ->
+        advance ();
+        Gql.And (left, cond_and ())
+    | _ -> left
+  and cond_atom () =
+    match peek () with
+    | Some Tnot ->
+        advance ();
+        Gql.Not (cond_atom ())
+    | Some Tlpar ->
+        advance ();
+        let c = cond_or () in
+        expect Trpar "expected ) in condition";
+        c
+    | _ -> (
+        let o1 = operand () in
+        match peek () with
+        | Some (Top op) ->
+            advance ();
+            let o2 = operand () in
+            Gql.Cmp (o1, op, o2)
+        | _ -> fail "expected comparison operator")
+  in
+
+  (* --- quantifiers --- *)
+  let quant_suffix p =
+    match peek () with
+    | Some Tstar ->
+        advance ();
+        Some (Gql.Pquant (p, 0, None))
+    | Some Tplus ->
+        advance ();
+        Some (Gql.Pquant (p, 1, None))
+    | Some Topt ->
+        advance ();
+        Some (Gql.Pquant (p, 0, Some 1))
+    | Some Tlbrace -> (
+        advance ();
+        match peek () with
+        | Some (Tint n) -> (
+            advance ();
+            match peek () with
+            | Some Trbrace ->
+                advance ();
+                Some (Gql.Pquant (p, n, Some n))
+            | Some Tcomma -> (
+                advance ();
+                match peek () with
+                | Some (Tint m) ->
+                    advance ();
+                    expect Trbrace "expected } after repetition";
+                    Some (Gql.Pquant (p, n, Some m))
+                | Some Trbrace ->
+                    advance ();
+                    Some (Gql.Pquant (p, n, None))
+                | _ -> fail "expected upper bound or } in repetition")
+            | _ -> fail "expected , or } in repetition")
+        | _ -> fail "expected a number in repetition")
+    | _ -> None
+  in
+  let with_quant p = match quant_suffix p with Some q -> q | None -> p in
+
+  (* --- patterns --- *)
+  let var_label_where close_msg =
+    (* [var] [: label] [WHERE cond] *)
+    let var =
+      match peek () with
+      | Some (Tident x) ->
+          advance ();
+          Some x
+      | _ -> None
+    in
+    let lbl =
+      match peek () with
+      | Some Tcolon -> (
+          advance ();
+          match peek () with
+          | Some (Tident l) ->
+              advance ();
+              Some l
+          | _ -> fail ("expected label " ^ close_msg))
+      | _ -> None
+    in
+    let where =
+      match peek () with
+      | Some Twhere ->
+          advance ();
+          Some (cond_or ())
+      | _ -> None
+    in
+    (var, lbl, where)
+  in
+  let rec pattern () =
+    let left = sequence () in
+    match peek () with
+    | Some Tbar ->
+        advance ();
+        Gql.Palt (left, pattern ())
+    | _ -> left
+  and sequence () =
+    let first = element () in
+    match peek () with
+    | Some (Tlpar | Tedge_open) -> Gql.Pseq (first, sequence ())
+    | _ -> first
+  and element () =
+    match peek () with
+    | Some Tedge_open ->
+        advance ();
+        let var, lbl, where = var_label_where "in edge pattern" in
+        expect Tedge_close "expected ]->";
+        let base = Gql.Pedge { evar = var; elbl = lbl } in
+        let base = match where with Some c -> Gql.Pwhere (base, c) | None -> base in
+        with_quant base
+    | Some Tlpar -> (
+        (* Try a node pattern first; fall back to a parenthesized group. *)
+        let saved = save () in
+        advance ();
+        match node_interior () with
+        | Some node -> with_quant node
+        | None ->
+            restore saved;
+            advance ();
+            let inner = pattern () in
+            let inner =
+              match peek () with
+              | Some Twhere ->
+                  advance ();
+                  Gql.Pwhere (inner, cond_or ())
+              | _ -> inner
+            in
+            expect Trpar "expected )";
+            with_quant inner)
+    | _ -> fail "expected a node, edge, or ( pattern )"
+  and node_interior () =
+    match
+      (let var, lbl, where = var_label_where "in node pattern" in
+       match peek () with
+       | Some Trpar ->
+           advance ();
+           let base = Gql.Pnode { nvar = var; nlbl = lbl } in
+           Some (match where with Some c -> Gql.Pwhere (base, c) | None -> base)
+       | _ -> None)
+    with
+    | result -> result
+    | exception Parse_error _ -> None
+  in
+  let p = pattern () in
+  if !toks <> [] then fail "trailing input";
+  p
+
+let parse_opt s =
+  match parse s with p -> Ok p | exception Parse_error msg -> Error msg

@@ -1,0 +1,22 @@
+(** Parser for the "ASCII art" pattern syntax of Cypher/GQL/SQL-PGQ used
+    throughout the paper:
+
+    {v
+    pattern  ::= seq ('|' seq)*
+    seq      ::= element+
+    element  ::= node | edge | '(' pattern ')' quant?
+    node     ::= '(' [var] [':' label] [WHERE cond] ')'
+    edge     ::= '-[' [var] [':' label] [WHERE cond] ']->' quant?
+    quant    ::= '*' | '+' | '?' | '{' n [',' [m]] '}'
+    cond     ::= comparison of var.prop / numbers / 'strings',
+                 with AND, OR, NOT, parentheses
+    v}
+
+    Examples from the paper that parse directly:
+    ["(x) ( ()-[z:a]->() ){2} (y)"] (Example 1),
+    ["(x) ( (u)-[:a]->(v) WHERE u.date < v.date )* (y)"] (Example 3). *)
+
+exception Parse_error of string
+
+val parse : string -> Gql.pattern
+val parse_opt : string -> (Gql.pattern, string) result

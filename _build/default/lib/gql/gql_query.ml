@@ -1,0 +1,294 @@
+type agg =
+  | Count_star
+  | Count of string
+  | Sum of string * string
+  | Min of string * string
+  | Max of string * string
+
+type item =
+  | Ivar of string
+  | Iprop of string * string
+  | Isize of string
+  | Iagg of agg
+
+type t = { pattern : Gql.pattern; distinct : bool; items : item list }
+
+exception Parse_error of string
+exception Eval_error of string
+
+(* --- parsing -------------------------------------------------------------- *)
+
+let strip s =
+  let is_space c = c = ' ' || c = '\t' || c = '\n' in
+  let n = String.length s in
+  let i = ref 0 and j = ref (n - 1) in
+  while !i < n && is_space s.[!i] do incr i done;
+  while !j >= !i && is_space s.[!j] do decr j done;
+  if !j < !i then "" else String.sub s !i (!j - !i + 1)
+
+(* Case-insensitive search for a top-level keyword (not inside quotes or
+   parentheses). *)
+let find_keyword s kw =
+  let n = String.length s and k = String.length kw in
+  let depth = ref 0 and in_string = ref false in
+  let result = ref None in
+  let i = ref 0 in
+  while !result = None && !i <= n - k do
+    let c = s.[!i] in
+    if !in_string then begin
+      if c = '\'' then in_string := false
+    end
+    else if c = '\'' then in_string := true
+    else if c = '(' || c = '[' || c = '{' then incr depth
+    else if c = ')' || c = ']' || c = '}' then decr depth
+    else if
+      !depth = 0
+      && String.uppercase_ascii (String.sub s !i k) = kw
+      && (!i = 0 || s.[!i - 1] = ' ')
+      && (!i + k = n || s.[!i + k] = ' ')
+    then result := Some !i;
+    incr i
+  done;
+  !result
+
+let split_top_commas s =
+  let parts = ref [] and buf = Buffer.create 16 in
+  let depth = ref 0 and in_string = ref false in
+  String.iter
+    (fun c ->
+      if !in_string then begin
+        if c = '\'' then in_string := false;
+        Buffer.add_char buf c
+      end
+      else
+        match c with
+        | '\'' ->
+            in_string := true;
+            Buffer.add_char buf c
+        | '(' | '[' | '{' ->
+            incr depth;
+            Buffer.add_char buf c
+        | ')' | ']' | '}' ->
+            decr depth;
+            Buffer.add_char buf c
+        | ',' when !depth = 0 ->
+            parts := Buffer.contents buf :: !parts;
+            Buffer.clear buf
+        | c -> Buffer.add_char buf c)
+    s;
+  parts := Buffer.contents buf :: !parts;
+  List.rev_map strip !parts
+
+let parse_prop_ref src what =
+  match String.index_opt src '.' with
+  | Some i ->
+      (String.sub src 0 i, String.sub src (i + 1) (String.length src - i - 1))
+  | None -> raise (Parse_error (what ^ ": expected var.prop, got " ^ src))
+
+let parse_item src =
+  let src = strip src in
+  let call prefix =
+    let p = prefix ^ "(" in
+    if
+      String.length src > String.length p + 1
+      && String.lowercase_ascii (String.sub src 0 (String.length p)) = p
+      && src.[String.length src - 1] = ')'
+    then
+      Some (strip (String.sub src (String.length p) (String.length src - String.length p - 1)))
+    else None
+  in
+  match call "count" with
+  | Some "*" -> Iagg Count_star
+  | Some arg -> Iagg (Count arg)
+  | None -> (
+      match call "sum" with
+      | Some arg ->
+          let x, p = parse_prop_ref arg "sum" in
+          Iagg (Sum (x, p))
+      | None -> (
+          match call "min" with
+          | Some arg ->
+              let x, p = parse_prop_ref arg "min" in
+              Iagg (Min (x, p))
+          | None -> (
+              match call "max" with
+              | Some arg ->
+                  let x, p = parse_prop_ref arg "max" in
+                  Iagg (Max (x, p))
+              | None -> (
+                  match call "size" with
+                  | Some arg -> Isize arg
+                  | None ->
+                      if String.contains src '.' then
+                        let x, p = parse_prop_ref src "item" in
+                        Iprop (x, p)
+                      else if src = "" then raise (Parse_error "empty RETURN item")
+                      else Ivar src))))
+
+let parse src =
+  let match_pos =
+    match find_keyword src "MATCH" with
+    | Some i -> i
+    | None -> raise (Parse_error "expected MATCH")
+  in
+  let return_pos =
+    match find_keyword src "RETURN" with
+    | Some i -> i
+    | None -> raise (Parse_error "expected RETURN")
+  in
+  if return_pos < match_pos then raise (Parse_error "RETURN before MATCH");
+  let pattern_src = strip (String.sub src (match_pos + 5) (return_pos - match_pos - 5)) in
+  let items_src = strip (String.sub src (return_pos + 6) (String.length src - return_pos - 6)) in
+  let distinct, items_src =
+    if
+      String.length items_src >= 9
+      && String.uppercase_ascii (String.sub items_src 0 9) = "DISTINCT "
+    then (true, strip (String.sub items_src 9 (String.length items_src - 9)))
+    else (false, items_src)
+  in
+  let pattern =
+    match Gql_parse.parse_opt pattern_src with
+    | Ok p -> p
+    | Error msg -> raise (Parse_error ("in MATCH pattern: " ^ msg))
+  in
+  if items_src = "" then raise (Parse_error "empty RETURN clause");
+  { pattern; distinct; items = List.map parse_item (split_top_commas items_src) }
+
+(* --- evaluation ------------------------------------------------------------ *)
+
+let item_name = function
+  | Ivar x -> x
+  | Iprop (x, p) -> x ^ "." ^ p
+  | Isize x -> "size(" ^ x ^ ")"
+  | Iagg Count_star -> "count(*)"
+  | Iagg (Count x) -> "count(" ^ x ^ ")"
+  | Iagg (Sum (x, p)) -> "sum(" ^ x ^ "." ^ p ^ ")"
+  | Iagg (Min (x, p)) -> "min(" ^ x ^ "." ^ p ^ ")"
+  | Iagg (Max (x, p)) -> "max(" ^ x ^ "." ^ p ^ ")"
+
+let is_agg = function Iagg _ -> true | Ivar _ | Iprop _ | Isize _ -> false
+
+let single_of pg b x =
+  match List.assoc_opt x b with
+  | Some (Gql.Single obj) -> Some obj
+  | Some (Gql.Group _) ->
+      raise
+        (Eval_error
+           (Printf.sprintf
+              "variable %s is list-bound; returning lists is not allowed \
+               (use size(%s))"
+              x x))
+  | None -> ignore pg; None
+
+let key_cell pg b = function
+  | Ivar x -> (
+      match single_of pg b x with
+      | Some (Path.N n) -> Some (Relation.Cnode n)
+      | Some (Path.E e) -> Some (Relation.Cedge e)
+      | None -> None)
+  | Iprop (x, p) -> (
+      match single_of pg b x with
+      | Some obj -> Option.map (fun v -> Relation.Cval v) (Pg.prop pg obj p)
+      | None -> None)
+  | Isize x -> (
+      match List.assoc_opt x b with
+      | Some (Gql.Group l) -> Some (Relation.Cval (Value.Int (List.length l)))
+      | Some (Gql.Single _) -> Some (Relation.Cval (Value.Int 1))
+      | None -> None)
+  | Iagg _ -> assert false
+
+let numeric_values pg rows x p =
+  List.filter_map
+    (fun b ->
+      match List.assoc_opt x b with
+      | Some (Gql.Single obj) -> Pg.prop pg obj p
+      | Some (Gql.Group _) | None -> None)
+    rows
+
+let agg_cell pg rows = function
+  | Count_star -> Relation.Cval (Value.Int (List.length rows))
+  | Count x ->
+      Relation.Cval
+        (Value.Int
+           (List.length (List.filter (fun b -> List.mem_assoc x b) rows)))
+  | Sum (x, p) ->
+      let vals = numeric_values pg rows x p in
+      let sum =
+        List.fold_left
+          (fun acc v ->
+            match (acc, v) with
+            | Value.Int a, Value.Int b -> Value.Int (a + b)
+            | Value.Real a, Value.Real b -> Value.Real (a +. b)
+            | Value.Int a, Value.Real b -> Value.Real (float_of_int a +. b)
+            | Value.Real a, Value.Int b -> Value.Real (a +. float_of_int b)
+            | _, _ -> raise (Eval_error "sum over non-numeric property"))
+          (Value.Int 0) vals
+      in
+      Relation.Cval sum
+  | Min (x, p) -> (
+      match numeric_values pg rows x p with
+      | [] -> raise (Eval_error "min over an empty group")
+      | v :: rest ->
+          Relation.Cval
+            (List.fold_left (fun a b -> if Value.test Value.Lt b a then b else a) v rest))
+  | Max (x, p) -> (
+      match numeric_values pg rows x p with
+      | [] -> raise (Eval_error "max over an empty group")
+      | v :: rest ->
+          Relation.Cval
+            (List.fold_left (fun a b -> if Value.test Value.Gt b a then b else a) v rest))
+
+let eval ?(max_len = 8) pg q =
+  let matches = Gql.matches ~dedup:q.distinct pg q.pattern ~max_len in
+  let bindings = List.map snd matches in
+  let schema = List.map item_name q.items in
+  let key_items = List.filter (fun it -> not (is_agg it)) q.items in
+  let has_agg = List.exists is_agg q.items in
+  if not has_agg then
+    let rows =
+      List.filter_map
+        (fun b ->
+          let cells = List.map (key_cell pg b) q.items in
+          if List.for_all Option.is_some cells then
+            Some (List.map Option.get cells)
+          else None)
+        bindings
+    in
+    Relation.make ~schema ~rows
+  else begin
+    (* Group by the non-aggregate items. *)
+    let groups : (Relation.cell option list, Gql.binding list) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    List.iter
+      (fun b ->
+        let key = List.map (key_cell pg b) key_items in
+        if List.for_all Option.is_some key then
+          Hashtbl.replace groups key
+            (b :: (try Hashtbl.find groups key with Not_found -> [])))
+      bindings;
+    let rows =
+      Hashtbl.fold
+        (fun key rows acc ->
+          let key = List.map Option.get key in
+          let row =
+            List.map
+              (fun it ->
+                match it with
+                | Iagg agg -> agg_cell pg rows agg
+                | Ivar _ | Iprop _ | Isize _ ->
+                    (* Position in the key list. *)
+                    let rec nth items key =
+                      match (items, key) with
+                      | it' :: _, c :: _ when it' == it -> c
+                      | _ :: items, _ :: key -> nth items key
+                      | _, _ -> assert false
+                    in
+                    nth key_items key)
+              q.items
+          in
+          row :: acc)
+        groups []
+    in
+    Relation.make ~schema ~rows
+  end

@@ -1,0 +1,54 @@
+(** A read-only GQL query layer: MATCH / RETURN over the pattern engine.
+
+    The paper notes that beyond patterns, "GQL is a full-fledged query
+    language with features such as aggregation" ([51] models its read-only
+    fragment as pattern matching + table operations).  This module is that
+    fragment, shaped by the paper's design positions:
+
+    - results are first-normal-form relations (Section 4.1): returning a
+      {e list-bound} (group) variable is an error — exactly the
+      restriction CoreGQL makes to avoid higher-order relations; use
+      [size(z)] to observe a list's length instead;
+    - rows whose RETURN items are undefined (missing property, unbound
+      disjunct variable) are dropped: no nulls;
+    - the output is a set ({!Relation.t}); aggregation groups by the
+      non-aggregated items, SQL-style.
+
+    Syntax:
+    {v
+    MATCH <pattern> RETURN [DISTINCT] item (, item)*
+    item ::= x | x.prop | size(x) | count-star | count(x)
+           | sum(x.prop) | min(x.prop) | max(x.prop)
+
+    (count-star is spelled count with a star argument, as in SQL.)
+    v}
+
+    The pattern syntax is {!Gql_parse}'s, including WHERE inside the
+    pattern. *)
+
+type agg =
+  | Count_star
+  | Count of string
+  | Sum of string * string
+  | Min of string * string
+  | Max of string * string
+
+type item =
+  | Ivar of string
+  | Iprop of string * string
+  | Isize of string  (** length of a group variable's list *)
+  | Iagg of agg
+
+type t = { pattern : Gql.pattern; distinct : bool; items : item list }
+
+exception Parse_error of string
+exception Eval_error of string
+
+val parse : string -> t
+
+(** [eval pg q ~max_len]: match, project, aggregate.  Raises
+    {!Eval_error} on returning a group variable or aggregating over a
+    non-value property. *)
+val eval : ?max_len:int -> Pg.t -> t -> Relation.t
+
+val item_name : item -> string

@@ -1,0 +1,53 @@
+exception Unsupported
+
+let fresh =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Printf.sprintf "#v%d" !counter
+
+let translate_cond (c : Gql.cond) : Coregql.cond =
+  let rec go = function
+    | Gql.Cmp (Gql.Prop (x, k), op, Gql.Prop (y, k')) ->
+        Coregql.Ckey (x, k, op, y, k')
+    | Gql.Cmp (Gql.Prop (x, k), op, Gql.Const c) -> Coregql.Ckey_const (x, k, op, c)
+    | Gql.Cmp (Gql.Const c, op, Gql.Prop (x, k)) ->
+        let flip : Value.op -> Value.op = function
+          | Value.Lt -> Value.Gt
+          | Value.Gt -> Value.Lt
+          | Value.Le -> Value.Ge
+          | Value.Ge -> Value.Le
+          | (Value.Eq | Value.Neq) as o -> o
+        in
+        Coregql.Ckey_const (x, k, flip op, c)
+    | Gql.Cmp (Gql.Const _, _, Gql.Const _) -> raise Unsupported
+    | Gql.And (c1, c2) -> Coregql.Cand (go c1, go c2)
+    | Gql.Or (c1, c2) -> Coregql.Cor (go c1, go c2)
+    | Gql.Not c -> Coregql.Cnot (go c)
+  in
+  go c
+
+let rec translate_exn (p : Gql.pattern) : Coregql.pattern =
+  match p with
+  | Gql.Pnode { nvar; nlbl } -> (
+      match nlbl with
+      | None -> Coregql.Pnode nvar
+      | Some l ->
+          let x = match nvar with Some x -> x | None -> fresh () in
+          Coregql.Pcond (Coregql.Pnode (Some x), Coregql.Clabel (l, x)))
+  | Gql.Pedge { evar; elbl } -> (
+      match elbl with
+      | None -> Coregql.Pedge evar
+      | Some l ->
+          let x = match evar with Some x -> x | None -> fresh () in
+          Coregql.Pcond (Coregql.Pedge (Some x), Coregql.Clabel (l, x)))
+  | Gql.Pseq (p1, p2) -> Coregql.Pconcat (translate_exn p1, translate_exn p2)
+  | Gql.Palt (p1, p2) -> Coregql.Pdisj (translate_exn p1, translate_exn p2)
+  | Gql.Pquant (p1, n, m) -> Coregql.Prepeat (translate_exn p1, n, m)
+  | Gql.Pwhere (p1, cond) ->
+      Coregql.Pcond (translate_exn p1, translate_cond cond)
+
+let translate p =
+  match translate_exn p with
+  | q -> Some q
+  | exception Unsupported -> None

@@ -1,0 +1,15 @@
+(** Translating surface GQL patterns into CoreGQL (Section 4).
+
+    CoreGQL is the paper's "distilled" abstraction of GQL; this module
+    makes the distillation executable: an ASCII-art pattern becomes a
+    Fig. 4 pattern whose relational evaluation must agree with the
+    pattern engine on endpoints.  The translation mirrors CoreGQL's
+    simplifications — repetition drops variables (FV(π^{n..m}) = ∅ versus
+    GQL's group variables), so only endpoints are preserved, exactly the
+    trade-off Section 4.2 describes.
+
+    Node/edge labels become [Clabel] conditions on (fresh, if necessary)
+    variables; WHERE conditions map to CoreGQL conditions.  Constant-to-
+    constant comparisons have no CoreGQL counterpart and yield [None]. *)
+
+val translate : Gql.pattern -> Coregql.pattern option

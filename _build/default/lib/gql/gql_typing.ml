@@ -1,0 +1,63 @@
+type degree = Single | Group
+type ty = { degree : degree; nullable : bool }
+type error = Degree_conflict of string
+
+exception Conflict of string
+
+(* Environments are sorted association lists, variable -> type. *)
+let rec merge_with combine env1 env2 =
+  match (env1, env2) with
+  | [], env | env, [] -> env
+  | (x1, t1) :: r1, (x2, t2) :: r2 ->
+      let c = String.compare x1 x2 in
+      if c < 0 then (x1, t1) :: merge_with combine r1 env2
+      else if c > 0 then (x2, t2) :: merge_with combine env1 r2
+      else (x1, combine x1 t1 t2) :: merge_with combine r1 r2
+
+let seq_combine x t1 t2 =
+  if t1.degree <> t2.degree then raise (Conflict x);
+  (* Both occurrences are matched in a concatenation: the variable is
+     bound unless both sides may leave it unbound. *)
+  { degree = t1.degree; nullable = t1.nullable && t2.nullable }
+
+let alt_combine x t1 t2 =
+  if t1.degree <> t2.degree then raise (Conflict x);
+  { degree = t1.degree; nullable = t1.nullable || t2.nullable }
+
+(* Variables appearing in only one disjunct become nullable. *)
+let mark_missing_nullable env other =
+  List.map
+    (fun (x, t) ->
+      if List.mem_assoc x other then (x, t) else (x, { t with nullable = true }))
+    env
+
+let rec infer_exn (p : Gql.pattern) =
+  match p with
+  | Gql.Pnode { nvar; _ } | Gql.Pedge { evar = nvar; _ } -> (
+      match nvar with
+      | Some x -> [ (x, { degree = Single; nullable = false }) ]
+      | None -> [])
+  | Gql.Pseq (p1, p2) -> merge_with seq_combine (infer_exn p1) (infer_exn p2)
+  | Gql.Palt (p1, p2) ->
+      let e1 = infer_exn p1 and e2 = infer_exn p2 in
+      merge_with alt_combine (mark_missing_nullable e1 e2)
+        (mark_missing_nullable e2 e1)
+  | Gql.Pquant (p1, _, _) ->
+      (* Crossing an iteration turns every inner variable into a group
+         variable; a group collects into a (possibly empty) list, never
+         null. *)
+      List.map
+        (fun (x, _) -> (x, { degree = Group; nullable = false }))
+        (infer_exn p1)
+  | Gql.Pwhere (p1, _) -> infer_exn p1
+
+let infer p =
+  match infer_exn p with
+  | env -> Ok env
+  | exception Conflict x -> Error (Degree_conflict x)
+
+let well_typed p = match infer p with Ok _ -> true | Error _ -> false
+
+let ty_to_string t =
+  let base = match t.degree with Single -> "element" | Group -> "list" in
+  if t.nullable then base ^ " or null" else base

@@ -1,0 +1,34 @@
+(** Static variable typing for GQL patterns (Section 4.2).
+
+    GQL classifies every pattern variable into one of four categories —
+    the classification GPC [50] turns into "a complex type system that
+    formed an integral part" of the calculus:
+
+    - binds a single graph element;
+    - binds a single element {e or null} (bound in only some disjuncts);
+    - binds a list of elements (occurs under repetition);
+    - binds a list {e or null}.
+
+    This checker infers those types and rejects degree conflicts (the same
+    variable singleton in one place and grouped in another — Example 2's
+    double role pushed to its breaking point) {e before} evaluation, which
+    otherwise surfaces them dynamically as {!Gql.Degree_conflict}. *)
+
+type degree = Single | Group
+
+type ty = {
+  degree : degree;
+  nullable : bool;  (** may be unbound (null) in some results *)
+}
+
+type error =
+  | Degree_conflict of string
+      (** singleton occurrence joined with a grouped one *)
+
+(** Variable types of a pattern, sorted by name. *)
+val infer : Gql.pattern -> ((string * ty) list, error) result
+
+(** Convenience: true iff the pattern type-checks. *)
+val well_typed : Gql.pattern -> bool
+
+val ty_to_string : ty -> string

@@ -1,0 +1,1 @@
+lib/graph/elg.ml: Array Format Hashtbl List Printf String

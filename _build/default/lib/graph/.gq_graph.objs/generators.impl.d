@@ -1,0 +1,1 @@
+lib/graph/generators.ml: Array Elg List Pg Printf Random String Value

@@ -1,0 +1,1 @@
+lib/graph/graph_io.ml: Buffer Elg Hashtbl List Path Pg Printf String Value

@@ -1,0 +1,1 @@
+lib/graph/path.ml: Elg Format List Stdlib String

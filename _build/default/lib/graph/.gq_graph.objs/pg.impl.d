@@ -1,0 +1,1 @@
+lib/graph/pg.ml: Array Elg Format List Path Value

@@ -1,0 +1,1 @@
+lib/graph/pg.mli: Elg Format Path Value

@@ -1,0 +1,1 @@
+lib/graph/value.ml: Float Format Printf Stdlib

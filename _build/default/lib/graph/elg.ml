@@ -1,0 +1,105 @@
+type t = {
+  nb_nodes : int;
+  nb_edges : int;
+  src : int array;
+  tgt : int array;
+  lbl : string array;
+  node_names : string array;
+  edge_names : string array;
+  node_ids : (string, int) Hashtbl.t;
+  edge_ids : (string, int) Hashtbl.t;
+  out_adj : int list array;
+  in_adj : int list array;
+}
+
+let make ~nodes ~edges =
+  let nb_nodes = List.length nodes in
+  let nb_edges = List.length edges in
+  let node_names = Array.of_list nodes in
+  let node_ids = Hashtbl.create (max 8 nb_nodes) in
+  Array.iteri
+    (fun i name ->
+      if Hashtbl.mem node_ids name then
+        invalid_arg (Printf.sprintf "Elg.make: duplicate node %s" name);
+      Hashtbl.add node_ids name i)
+    node_names;
+  let src = Array.make nb_edges 0
+  and tgt = Array.make nb_edges 0
+  and lbl = Array.make nb_edges ""
+  and edge_names = Array.make nb_edges "" in
+  let edge_ids = Hashtbl.create (max 8 nb_edges) in
+  let out_adj = Array.make nb_nodes []
+  and in_adj = Array.make nb_nodes [] in
+  let node_of name =
+    match Hashtbl.find_opt node_ids name with
+    | Some i -> i
+    | None -> invalid_arg (Printf.sprintf "Elg.make: unknown node %s" name)
+  in
+  List.iteri
+    (fun e (name, s, a, t) ->
+      if Hashtbl.mem edge_ids name then
+        invalid_arg (Printf.sprintf "Elg.make: duplicate edge %s" name);
+      Hashtbl.add edge_ids name e;
+      edge_names.(e) <- name;
+      src.(e) <- node_of s;
+      tgt.(e) <- node_of t;
+      lbl.(e) <- a)
+    edges;
+  (* Adjacency lists are built in reverse edge order so that they come out
+     in declaration order, which keeps evaluation outputs deterministic. *)
+  for e = nb_edges - 1 downto 0 do
+    out_adj.(src.(e)) <- e :: out_adj.(src.(e));
+    in_adj.(tgt.(e)) <- e :: in_adj.(tgt.(e))
+  done;
+  {
+    nb_nodes;
+    nb_edges;
+    src;
+    tgt;
+    lbl;
+    node_names;
+    edge_names;
+    node_ids;
+    edge_ids;
+    out_adj;
+    in_adj;
+  }
+
+let nb_nodes g = g.nb_nodes
+let nb_edges g = g.nb_edges
+let src g e = g.src.(e)
+let tgt g e = g.tgt.(e)
+let label g e = g.lbl.(e)
+let node_name g n = g.node_names.(n)
+let edge_name g e = g.edge_names.(e)
+let node_id g name = Hashtbl.find g.node_ids name
+let edge_id g name = Hashtbl.find g.edge_ids name
+let out_edges g n = g.out_adj.(n)
+let in_edges g n = g.in_adj.(n)
+
+let labels g =
+  Array.to_list g.lbl |> List.sort_uniq String.compare
+
+let fold_edges f g acc =
+  let acc = ref acc in
+  for e = 0 to g.nb_edges - 1 do
+    acc := f e !acc
+  done;
+  !acc
+
+let fold_nodes f g acc =
+  let acc = ref acc in
+  for n = 0 to g.nb_nodes - 1 do
+    acc := f n !acc
+  done;
+  !acc
+
+let edges_between g u v = List.filter (fun e -> g.tgt.(e) = v) g.out_adj.(u)
+
+let pp fmt g =
+  Format.fprintf fmt "@[<v>graph (%d nodes, %d edges)@," g.nb_nodes g.nb_edges;
+  for e = 0 to g.nb_edges - 1 do
+    Format.fprintf fmt "%s: %s -[%s]-> %s@," g.edge_names.(e)
+      g.node_names.(g.src.(e)) g.lbl.(e) g.node_names.(g.tgt.(e))
+  done;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,47 @@
+(** Edge-labeled graphs (Definition 4).
+
+    A graph is a tuple [(N, E, src, tgt, λ)].  Nodes and edges are dense
+    integer identifiers ([0 .. nb_nodes-1], [0 .. nb_edges-1]); every node
+    and edge also carries a human-readable name (the paper's [a1], [t1]
+    style identifiers).  Unlike RDF triples, two distinct edges may share
+    source, target and label (Example 5: [t2] and [t5]). *)
+
+type t
+
+(** [make ~nodes ~edges] builds a graph.  [nodes] lists node names;
+    [edges] lists [(edge_name, src_name, label, tgt_name)].  Raises
+    [Invalid_argument] on duplicate names or unknown endpoints. *)
+val make : nodes:string list -> edges:(string * string * string * string) list -> t
+
+val nb_nodes : t -> int
+val nb_edges : t -> int
+
+val src : t -> int -> int
+val tgt : t -> int -> int
+
+(** [label g e] is λ(e). *)
+val label : t -> int -> string
+
+val node_name : t -> int -> string
+val edge_name : t -> int -> string
+
+(** Raise [Not_found] when no node/edge has that name. *)
+val node_id : t -> string -> int
+
+val edge_id : t -> string -> int
+
+(** Outgoing / incoming edge identifiers of a node. *)
+val out_edges : t -> int -> int list
+
+val in_edges : t -> int -> int list
+
+(** All distinct edge labels occurring in the graph, sorted. *)
+val labels : t -> string list
+
+val fold_edges : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val fold_nodes : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** [edges_between g u v] lists edges with source [u] and target [v]. *)
+val edges_between : t -> int -> int -> int list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,226 @@
+(* The bank-graph topology; see the .mli for how the paper's examples pin
+   it down. *)
+let transfer_edges =
+  [
+    ("t1", "a1", "a3");
+    ("t2", "a3", "a2");
+    ("t3", "a2", "a4");
+    ("t4", "a5", "a1");
+    ("t5", "a3", "a2");
+    ("t6", "a3", "a4");
+    ("t7", "a3", "a5");
+    ("t8", "a6", "a3");
+    ("t9", "a4", "a6");
+    ("t10", "a6", "a5");
+  ]
+
+(* Amounts in millions: only t2 and t6 fall below the 4.5M threshold of the
+   Section 6.3 example. *)
+let amounts =
+  [
+    ("t1", 5.0);
+    ("t2", 1.2);
+    ("t3", 6.0);
+    ("t4", 8.0);
+    ("t5", 7.5);
+    ("t6", 2.0);
+    ("t7", 10.0);
+    ("t8", 5.5);
+    ("t9", 9.0);
+    ("t10", 4.8);
+  ]
+
+(* Dates (as yyyymmdd integers), increasing along t1 -> t2 -> t3. *)
+let dates =
+  [
+    ("t1", 20250101);
+    ("t2", 20250102);
+    ("t3", 20250104);
+    ("t4", 20250301);
+    ("t5", 20250220);
+    ("t6", 20250105);
+    ("t7", 20250210);
+    ("t8", 20250215);
+    ("t9", 20250110);
+    ("t10", 20250401);
+  ]
+
+let owners =
+  [
+    ("a1", "Megan");
+    ("a2", "Dave");
+    ("a3", "Mike");
+    ("a4", "Vera");
+    ("a5", "Rebecca");
+    ("a6", "Jay");
+  ]
+
+let blocked = [ ("a4", true) ]
+
+let is_blocked account =
+  match List.assoc_opt account blocked with Some b -> b | None -> false
+
+let accounts = List.map fst owners
+
+let bank_elg () =
+  let person_nodes = List.map snd owners |> List.sort_uniq String.compare in
+  let nodes = accounts @ person_nodes @ [ "yes"; "no"; "Account" ] in
+  let transfer = List.map (fun (e, s, t) -> (e, s, "Transfer", t)) transfer_edges in
+  let owner_edges =
+    List.mapi (fun i (acc, person) -> (Printf.sprintf "r%d" (i + 1), acc, "owner", person)) owners
+  in
+  let blocked_edges =
+    List.mapi
+      (fun i acc ->
+        ( Printf.sprintf "r%d" (i + 7),
+          acc,
+          "isBlocked",
+          if is_blocked acc then "yes" else "no" ))
+      accounts
+  in
+  let type_edges =
+    List.mapi (fun i acc -> (Printf.sprintf "r%d" (i + 13), acc, "type", "Account")) accounts
+  in
+  Elg.make ~nodes ~edges:(transfer @ owner_edges @ blocked_edges @ type_edges)
+
+let bank_pg () =
+  let nodes =
+    List.map
+      (fun acc ->
+        ( acc,
+          "Account",
+          [
+            ("owner", Value.Text (List.assoc acc owners));
+            ("isBlocked", Value.Text (if is_blocked acc then "yes" else "no"));
+          ] ))
+      accounts
+  in
+  let edges =
+    List.map
+      (fun (e, s, t) ->
+        ( e,
+          s,
+          "Transfer",
+          t,
+          [
+            ("amount", Value.Real (List.assoc e amounts));
+            ("date", Value.Int (List.assoc e dates));
+          ] ))
+      transfer_edges
+  in
+  Pg.make ~nodes ~edges
+
+let diamonds n =
+  if n < 1 then invalid_arg "Generators.diamonds: need n >= 1";
+  let stage i = Printf.sprintf "v%d" i in
+  let mid i side = Printf.sprintf "m%d%s" i side in
+  let nodes =
+    List.concat
+      (List.init n (fun i -> [ stage i; mid i "a"; mid i "b" ]))
+    @ [ stage n ]
+  in
+  let edges =
+    List.concat
+      (List.init n (fun i ->
+           [
+             (Printf.sprintf "e%d_up_in" i, stage i, "a", mid i "a");
+             (Printf.sprintf "e%d_up_out" i, mid i "a", "a", stage (i + 1));
+             (Printf.sprintf "e%d_dn_in" i, stage i, "a", mid i "b");
+             (Printf.sprintf "e%d_dn_out" i, mid i "b", "a", stage (i + 1));
+           ]))
+  in
+  let rename s = if s = stage 0 then "s" else if s = stage n then "t" else s in
+  Elg.make
+    ~nodes:(List.map rename nodes)
+    ~edges:(List.map (fun (e, s, a, t) -> (e, rename s, a, rename t)) edges)
+
+let clique n lbl =
+  let name i = Printf.sprintf "v%d" i in
+  let nodes = List.init n name in
+  let edges = ref [] in
+  for i = n - 1 downto 0 do
+    for j = n - 1 downto 0 do
+      if i <> j then
+        edges := (Printf.sprintf "e%d_%d" i j, name i, lbl, name j) :: !edges
+    done
+  done;
+  Elg.make ~nodes ~edges:!edges
+
+let line n lbl =
+  let name i = Printf.sprintf "v%d" i in
+  Elg.make
+    ~nodes:(List.init (n + 1) name)
+    ~edges:
+      (List.init n (fun i -> (Printf.sprintf "e%d" i, name i, lbl, name (i + 1))))
+
+let cycle n lbl =
+  let name i = Printf.sprintf "v%d" i in
+  Elg.make
+    ~nodes:(List.init n name)
+    ~edges:
+      (List.init n (fun i ->
+           (Printf.sprintf "e%d" i, name i, lbl, name ((i + 1) mod n))))
+
+let subset_sum items =
+  let m = List.length items in
+  let name i = Printf.sprintf "v%d" i in
+  let nodes = List.init (m + 1) (fun i -> (name i, "Pos", [])) in
+  let edges =
+    List.concat
+      (List.mapi
+         (fun i item ->
+           [
+             ( Printf.sprintf "take%d" i,
+               name i,
+               "a",
+               name (i + 1),
+               [ ("k", Value.Int item) ] );
+             ( Printf.sprintf "skip%d" i,
+               name i,
+               "a",
+               name (i + 1),
+               [ ("k", Value.Int 0) ] );
+           ])
+         items)
+  in
+  Pg.make ~nodes ~edges
+
+let dated_line values =
+  let n = List.length values in
+  let name i = Printf.sprintf "v%d" i in
+  let values = Array.of_list values in
+  let nodes =
+    List.init (n + 1) (fun i ->
+        let date = if i < n then values.(i) else values.(n - 1) + 1 in
+        (name i, "Point", [ ("date", Value.Int date) ]))
+  in
+  let edges =
+    List.init n (fun i ->
+        ( Printf.sprintf "e%d" i,
+          name i,
+          "a",
+          name (i + 1),
+          [ ("date", Value.Int values.(i)) ] ))
+  in
+  Pg.make ~nodes ~edges
+
+let random_edge_list st ~nodes ~edges ~labels =
+  let labels = Array.of_list labels in
+  List.init edges (fun i ->
+      let s = Random.State.int st nodes and t = Random.State.int st nodes in
+      let a = labels.(Random.State.int st (Array.length labels)) in
+      (Printf.sprintf "e%d" i, Printf.sprintf "v%d" s, a, Printf.sprintf "v%d" t))
+
+let random_graph ~seed ~nodes ~edges ~labels =
+  let st = Random.State.make [| seed |] in
+  Elg.make
+    ~nodes:(List.init nodes (Printf.sprintf "v%d"))
+    ~edges:(random_edge_list st ~nodes ~edges ~labels)
+
+let random_pg ~seed ~nodes ~edges ~labels ~prop ~max_value =
+  let st = Random.State.make [| seed |] in
+  let edge_list = random_edge_list st ~nodes ~edges ~labels in
+  let rand_prop () = [ (prop, Value.Int (Random.State.int st (max_value + 1))) ] in
+  Pg.make
+    ~nodes:(List.init nodes (fun i -> (Printf.sprintf "v%d" i, "V", rand_prop ())))
+    ~edges:(List.map (fun (e, s, a, t) -> (e, s, a, t, rand_prop ())) edge_list)

@@ -1,0 +1,71 @@
+(** Workload graphs: the paper's running examples and the families used by
+    the benchmark experiments.
+
+    The bank graphs reconstruct Figures 2 and 3.  The figures are only
+    partially spelled out in the text, so the topology is fixed by the
+    constraints the paper's examples impose:
+    - [t1: a1→a3] (Example 10), [t2, t5 : a3→a2] (Example 5),
+      [t3: a2→a4] and [r10: a4 isBlocked yes] (Example 16),
+      [t4: a5→a1] and [t7: a3→a5] (Example 17 and Section 6.3),
+      [t6: a3→a4], [t9: a4→a6], [t10: a6→a5] (Section 6.3 data-filter
+      discussion);
+    - Example 13's [q1] must return exactly [{(a3,a2,a4), (a6,a3,a5)}],
+      forcing [t8: a6→a3];
+    - Example 12 requires all six accounts strongly Transfer-connected;
+    - the PMR example (Section 6.4) requires the only unblocked cycle
+      through Mike's account to loop through [t7, t4, t1];
+    - the data-filter example requires exactly [t2] and [t6] to have
+      amounts below 4.5M.
+    All constraints are checked by the test suite. *)
+
+(** The edge-labeled bank graph of Figure 2: accounts, owner names and
+    blocked-flags are nodes; [Transfer], [owner], [isBlocked] and [type]
+    are edge labels. *)
+val bank_elg : unit -> Elg.t
+
+(** The property-graph version of Figure 3: owners, blocked-flags, amounts
+    and dates are properties of account nodes and transfer edges. *)
+val bank_pg : unit -> Pg.t
+
+(** [diamonds n] is the Figure 5 family: a chain of [n] two-path diamonds,
+    all edges labeled ["a"]; it has 2{^n} paths from ["s"] to ["t"]. *)
+val diamonds : int -> Elg.t
+
+(** [clique n lbl] is the complete directed graph on [n] nodes (no self
+    loops), every edge labeled [lbl].  Used by the Section 6.1 counting
+    experiment. *)
+val clique : int -> string -> Elg.t
+
+(** [line n lbl] is a simple path of [n] edges labeled [lbl] (so [n+1]
+    nodes [v0 .. vn]).  Used by the [(aa^z + a^z a)*] experiment. *)
+val line : int -> string -> Elg.t
+
+(** [cycle n lbl] is a directed cycle with [n] edges. *)
+val cycle : int -> string -> Elg.t
+
+(** [subset_sum items] builds the Section 5.2 reduction graph: a chain of
+    [length items + 1] nodes with two parallel ["a"]-edges per position,
+    one carrying property [k = item] and one [k = 0].  Paths from first to
+    last node choose a subset; the reduce-sum query solves SUBSET-SUM. *)
+val subset_sum : int list -> Pg.t
+
+(** [dated_line values] is a property-graph chain whose i-th edge carries
+    [date = values.(i)]; nodes carry the same [date] values shifted, for
+    node-vs-edge comparisons (Example 3 / Example 21). *)
+val dated_line : int list -> Pg.t
+
+(** [random_graph ~seed ~nodes ~edges ~labels] draws [edges] independent
+    uniformly random labeled edges. *)
+val random_graph : seed:int -> nodes:int -> edges:int -> labels:string list -> Elg.t
+
+(** [random_pg ~seed ~nodes ~edges ~labels ~prop ~max_value] additionally
+    assigns integer property [prop] uniformly in [0..max_value] to all
+    nodes and edges. *)
+val random_pg :
+  seed:int ->
+  nodes:int ->
+  edges:int ->
+  labels:string list ->
+  prop:string ->
+  max_value:int ->
+  Pg.t

@@ -1,0 +1,103 @@
+exception Parse_error of string
+
+let fail lineno msg = raise (Parse_error (Printf.sprintf "line %d: %s" lineno msg))
+
+let split_ws s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+let parse_props lineno tokens =
+  List.map
+    (fun tok ->
+      match String.index_opt tok '=' with
+      | None -> fail lineno (Printf.sprintf "expected key=value, got %S" tok)
+      | Some i ->
+          let key = String.sub tok 0 i in
+          let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+          if key = "" then fail lineno "empty property name";
+          (key, Value.of_string_guess v))
+    tokens
+
+let is_prop_token tok = String.contains tok '='
+
+let parse_string text =
+  let nodes : (string, string * (string * Value.t) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let node_order = ref [] in
+  let edges = ref [] in
+  let declare_node name =
+    if not (Hashtbl.mem nodes name) then begin
+      Hashtbl.add nodes name ("", []);
+      node_order := name :: !node_order
+    end
+  in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line =
+        match String.index_opt line '#' with
+        | Some j -> String.sub line 0 j
+        | None -> line
+      in
+      match split_ws line with
+      | [] -> ()
+      | "node" :: name :: rest ->
+          let label, props =
+            match rest with
+            | l :: more when not (is_prop_token l) -> (l, more)
+            | more -> ("", more)
+          in
+          declare_node name;
+          Hashtbl.replace nodes name (label, parse_props lineno props)
+      | [ "node" ] -> fail lineno "node: missing name"
+      | "edge" :: name :: src :: label :: tgt :: props ->
+          declare_node src;
+          declare_node tgt;
+          edges := (name, src, label, tgt, parse_props lineno props) :: !edges
+      | "edge" :: _ -> fail lineno "edge: expected <name> <src> <label> <tgt>"
+      | tok :: _ -> fail lineno (Printf.sprintf "unknown declaration %S" tok))
+    lines;
+  let node_list =
+    List.rev_map
+      (fun name ->
+        let label, props = Hashtbl.find nodes name in
+        (name, label, props))
+      !node_order
+  in
+  Pg.make ~nodes:node_list ~edges:(List.rev !edges)
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_string text
+
+let escape_value v =
+  let s = Value.to_string v in
+  String.map (fun c -> if c = ' ' || c = '\t' then '_' else c) s
+
+let to_string pg =
+  let g = Pg.elg pg in
+  let buf = Buffer.create 1024 in
+  let props_str props =
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf " %s=%s" k (escape_value v)) props)
+  in
+  for n = 0 to Elg.nb_nodes g - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "node %s %s%s\n" (Elg.node_name g n) (Pg.node_label pg n)
+         (props_str (Pg.props_of pg (Path.N n))))
+  done;
+  for e = 0 to Elg.nb_edges g - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "edge %s %s %s %s%s\n" (Elg.edge_name g e)
+         (Elg.node_name g (Elg.src g e))
+         (Elg.label g e)
+         (Elg.node_name g (Elg.tgt g e))
+         (props_str (Pg.props_of pg (Path.E e))))
+  done;
+  Buffer.contents buf

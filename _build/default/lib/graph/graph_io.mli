@@ -1,0 +1,18 @@
+(** Textual property-graph format, one declaration per line:
+
+    {v
+    # comment
+    node <name> [<label>] [key=value ...]
+    edge <name> <src> <label> <tgt> [key=value ...]
+    v}
+
+    Values are parsed with {!Value.of_string_guess}.  Nodes may be declared
+    implicitly by being mentioned in an edge (they get the empty label). *)
+
+(** Raised with a message of the form ["line 12: ..."] on malformed
+    input. *)
+exception Parse_error of string
+
+val parse_string : string -> Pg.t
+val parse_file : string -> Pg.t
+val to_string : Pg.t -> string

@@ -1,0 +1,92 @@
+type obj = N of int | E of int
+
+(* The object list, kept valid by construction. *)
+type t = obj list
+
+let empty : t = []
+let objs p = p
+let is_empty p = p = []
+let single o = [ o ]
+
+let valid g objs =
+  let rec go = function
+    | [] | [ N _ ] | [ E _ ] -> true
+    | N u :: (E e :: _ as rest) -> Elg.src g e = u && go rest
+    | E e :: (N v :: _ as rest) -> Elg.tgt g e = v && go rest
+    | N _ :: N _ :: _ | E _ :: E _ :: _ -> false
+  in
+  go objs
+
+let of_objs g objs = if valid g objs then Some objs else None
+
+let of_objs_exn g objs =
+  match of_objs g objs with
+  | Some p -> p
+  | None -> invalid_arg "Path.of_objs_exn: not a valid path"
+
+let len p =
+  List.fold_left (fun n o -> match o with E _ -> n + 1 | N _ -> n) 0 p
+
+let src g = function
+  | [] -> None
+  | N u :: _ -> Some u
+  | E e :: _ -> Some (Elg.src g e)
+
+let rec last = function
+  | [] -> None
+  | [ o ] -> Some o
+  | _ :: rest -> last rest
+
+let tgt g p =
+  match last p with
+  | None -> None
+  | Some (N v) -> Some v
+  | Some (E e) -> Some (Elg.tgt g e)
+
+let obj_eq a b =
+  match (a, b) with N u, N v -> u = v | E d, E e -> d = e | _, _ -> false
+
+let concat g p q =
+  match (last p, q) with
+  | None, _ -> Some q
+  | _, [] -> Some p
+  | Some (E e), N v :: _ when Elg.tgt g e = v -> Some (p @ q)
+  | Some o, E e :: _ when (match o with N u -> Elg.src g e = u | E _ -> false)
+    ->
+      Some (p @ q)
+  | Some o, o' :: rest when obj_eq o o' -> Some (p @ rest)
+  | Some _, _ -> None
+
+let append_obj g p o = concat g p (single o)
+
+let elab g p =
+  List.filter_map (function E e -> Some (Elg.label g e) | N _ -> None) p
+
+let nodes p = List.filter_map (function N u -> Some u | E _ -> None) p
+let edges p = List.filter_map (function E e -> Some e | N _ -> None) p
+
+let all_distinct xs =
+  let sorted = List.sort Stdlib.compare xs in
+  let rec go = function
+    | a :: (b :: _ as rest) -> a <> b && go rest
+    | [ _ ] | [] -> true
+  in
+  go sorted
+
+let is_simple p = all_distinct (nodes p)
+let is_trail p = all_distinct (edges p)
+
+let starts_with_node = function N _ :: _ -> true | E _ :: _ | [] -> false
+
+let ends_with_node p =
+  match last p with Some (N _) -> true | Some (E _) | None -> false
+
+let equal (p : t) (q : t) = p = q
+let compare (p : t) (q : t) = Stdlib.compare p q
+
+let obj_name g = function N u -> Elg.node_name g u | E e -> Elg.edge_name g e
+
+let to_string g p =
+  "path(" ^ String.concat ", " (List.map (obj_name g) p) ^ ")"
+
+let pp g fmt p = Format.pp_print_string fmt (to_string g p)

@@ -1,0 +1,72 @@
+(** Paths and graph-object lists (Section 2, "Paths and Lists").
+
+    A path is an alternating sequence of nodes and edges in which
+    consecutive elements are incident.  Paths may begin and end with either
+    a node or an edge — nodes and edges are treated symmetrically, which is
+    the design decision the paper argues for (Example 21 depends on it).
+
+    Concatenation follows the paper exactly: a shared boundary object is
+    collapsed, whether it is a node or an edge, so
+    [path(o) . path(o) = path(o)] for {e every} object [o].  As a
+    consequence [len (concat p q)] may be smaller than [len p + len q]
+    (Example 10). *)
+
+(** A graph object ("element" in GQL terms): a node or an edge. *)
+type obj = N of int | E of int
+
+type t
+
+val empty : t
+
+(** [of_objs g objs] validates alternation and incidence in [g]. *)
+val of_objs : Elg.t -> obj list -> t option
+
+(** [of_objs_exn g objs] raises [Invalid_argument] on invalid sequences. *)
+val of_objs_exn : Elg.t -> obj list -> t
+
+val objs : t -> obj list
+val is_empty : t -> bool
+
+(** Number of edge occurrences (repetitions count, Section 2). *)
+val len : t -> int
+
+(** [src g p] / [tgt g p]: endpoint nodes.  For a path beginning (ending)
+    with an edge [e] this is [src(e)] ([tgt(e)]).  [None] on the empty
+    path. *)
+val src : Elg.t -> t -> int option
+
+val tgt : Elg.t -> t -> int option
+
+(** Paper-style concatenation; [None] when undefined. *)
+val concat : Elg.t -> t -> t -> t option
+
+(** [append_obj g p o] is [concat g p (single o)], the workhorse of the
+    dl-RPQ semantics. *)
+val append_obj : Elg.t -> t -> obj -> t option
+
+val single : obj -> t
+
+(** Edge-label word elab(p). *)
+val elab : Elg.t -> t -> string list
+
+(** Nodes occurring in the path, in order (Cypher's N(p)). *)
+val nodes : t -> int list
+
+(** Edges occurring in the path, in order (Cypher's E(p)). *)
+val edges : t -> int list
+
+(** No node occurs twice. *)
+val is_simple : t -> bool
+
+(** No edge occurs twice. *)
+val is_trail : t -> bool
+
+val starts_with_node : t -> bool
+val ends_with_node : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Renders with object names, e.g. [path(a1, t1, a3)]. *)
+val to_string : Elg.t -> t -> string
+
+val pp : Elg.t -> Format.formatter -> t -> unit

@@ -1,0 +1,74 @@
+type t = {
+  elg : Elg.t;
+  node_lbl : string array;
+  node_props : (string * Value.t) list array;
+  edge_props : (string * Value.t) list array;
+}
+
+let make ~nodes ~edges =
+  let elg =
+    Elg.make
+      ~nodes:(List.map (fun (name, _, _) -> name) nodes)
+      ~edges:(List.map (fun (name, s, a, t, _) -> (name, s, a, t)) edges)
+  in
+  let node_lbl = Array.make (Elg.nb_nodes elg) "" in
+  let node_props = Array.make (Elg.nb_nodes elg) [] in
+  List.iter
+    (fun (name, lbl, props) ->
+      let i = Elg.node_id elg name in
+      node_lbl.(i) <- lbl;
+      node_props.(i) <- props)
+    nodes;
+  let edge_props = Array.make (Elg.nb_edges elg) [] in
+  List.iter
+    (fun (name, _, _, _, props) ->
+      edge_props.(Elg.edge_id elg name) <- props)
+    edges;
+  { elg; node_lbl; node_props; edge_props }
+
+let elg g = g.elg
+let node_label g n = g.node_lbl.(n)
+
+let obj_label g = function
+  | Path.N n -> g.node_lbl.(n)
+  | Path.E e -> Elg.label g.elg e
+
+let node_prop g n key = List.assoc_opt key g.node_props.(n)
+let edge_prop g e key = List.assoc_opt key g.edge_props.(e)
+
+let prop g o key =
+  match o with
+  | Path.N n -> node_prop g n key
+  | Path.E e -> edge_prop g e key
+
+let props_of g = function
+  | Path.N n -> g.node_props.(n)
+  | Path.E e -> g.edge_props.(e)
+
+let active_domain g =
+  let add acc props = List.fold_left (fun acc (_, v) -> v :: acc) acc props in
+  let vals = Array.fold_left add [] g.node_props in
+  let vals = Array.fold_left add vals g.edge_props in
+  List.sort_uniq Value.compare vals
+
+let pp fmt g =
+  let e = g.elg in
+  Format.fprintf fmt "@[<v>property graph (%d nodes, %d edges)@,"
+    (Elg.nb_nodes e) (Elg.nb_edges e);
+  let pp_props fmt props =
+    List.iter
+      (fun (k, v) -> Format.fprintf fmt " %s=%s" k (Value.to_string v))
+      props
+  in
+  for n = 0 to Elg.nb_nodes e - 1 do
+    Format.fprintf fmt "(%s:%s)%a@," (Elg.node_name e n) g.node_lbl.(n)
+      pp_props g.node_props.(n)
+  done;
+  for i = 0 to Elg.nb_edges e - 1 do
+    Format.fprintf fmt "%s: %s -[%s]-> %s%a@," (Elg.edge_name e i)
+      (Elg.node_name e (Elg.src e i))
+      (Elg.label e i)
+      (Elg.node_name e (Elg.tgt e i))
+      pp_props g.edge_props.(i)
+  done;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,40 @@
+(** Labeled property graphs (Definition 6).
+
+    A property graph extends an edge-labeled graph with a label per node
+    and a partial property assignment
+    [ρ : (N ∪ E) × Properties → Values].  The underlying edge-labeled
+    graph [(N, E, src, tgt, λ|E)] is recovered with {!elg} (the projection
+    noted right after Definition 6). *)
+
+type t
+
+(** [make ~nodes ~edges]:
+    [nodes] lists [(name, label, properties)];
+    [edges] lists [(name, src_name, label, tgt_name, properties)]. *)
+val make :
+  nodes:(string * string * (string * Value.t) list) list ->
+  edges:(string * string * string * string * (string * Value.t) list) list ->
+  t
+
+(** The underlying edge-labeled graph. *)
+val elg : t -> Elg.t
+
+val node_label : t -> int -> string
+
+(** λ on any object: node label or edge label. *)
+val obj_label : t -> Path.obj -> string
+
+(** ρ(object, prop); [None] when undefined. *)
+val prop : t -> Path.obj -> string -> Value.t option
+
+val node_prop : t -> int -> string -> Value.t option
+val edge_prop : t -> int -> string -> Value.t option
+
+(** All property names occurring on the given object. *)
+val props_of : t -> Path.obj -> (string * Value.t) list
+
+(** All values occurring as a property value anywhere in the graph (the
+    active domain, used by register-style evaluation). *)
+val active_domain : t -> Value.t list
+
+val pp : Format.formatter -> t -> unit

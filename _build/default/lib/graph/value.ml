@@ -1,0 +1,71 @@
+type t = Int of int | Real of float | Text of string | Bool of bool
+type op = Eq | Neq | Lt | Gt | Le | Ge
+
+let compare_same a b =
+  match (a, b) with
+  | Int x, Int y -> Some (Stdlib.compare x y)
+  | Real x, Real y -> Some (Stdlib.compare x y)
+  | Text x, Text y -> Some (Stdlib.compare x y)
+  | Bool x, Bool y -> Some (Stdlib.compare x y)
+  | (Int _ | Real _ | Text _ | Bool _), _ -> None
+
+let test op a b =
+  match compare_same a b with
+  | None -> false
+  | Some c -> (
+      match op with
+      | Eq -> c = 0
+      | Neq -> c <> 0
+      | Lt -> c < 0
+      | Gt -> c > 0
+      | Le -> c <= 0
+      | Ge -> c >= 0)
+
+let equal a b = test Eq a b
+
+let kind_rank = function Int _ -> 0 | Real _ -> 1 | Text _ -> 2 | Bool _ -> 3
+
+let compare a b =
+  match compare_same a b with
+  | Some c -> c
+  | None -> Stdlib.compare (kind_rank a) (kind_rank b)
+
+let op_of_string = function
+  | "=" | "==" -> Some Eq
+  | "<>" | "!=" -> Some Neq
+  | "<" -> Some Lt
+  | ">" -> Some Gt
+  | "<=" -> Some Le
+  | ">=" -> Some Ge
+  | _ -> None
+
+let op_to_string = function
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Gt -> ">"
+  | Le -> "<="
+  | Ge -> ">="
+
+let to_string = function
+  | Int n -> string_of_int n
+  | Real f ->
+      (* Keep a decimal point so that parsing yields a Real again. *)
+      if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+      else Printf.sprintf "%g" f
+  | Text s -> s
+  | Bool b -> string_of_bool b
+
+let of_string_guess s =
+  match int_of_string_opt s with
+  | Some n -> Int n
+  | None -> (
+      match float_of_string_opt s with
+      | Some f -> Real f
+      | None -> (
+          match s with
+          | "true" -> Bool true
+          | "false" -> Bool false
+          | _ -> Text s))
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)

@@ -1,0 +1,35 @@
+(** Property values (the set [Values] of Section 2).
+
+    Values are atomic: integers, reals, text, and booleans.  Comparisons
+    across different kinds are undefined, mirroring the paper's implicit
+    assumption that [op] tests relate values of the same sort; an undefined
+    comparison simply fails to hold (like SQL's [UNKNOWN] collapsing to
+    false in a filter). *)
+
+type t = Int of int | Real of float | Text of string | Bool of bool
+
+(** Comparison operators of element tests (Section 3.2.1) plus the
+    convenience forms [<=] and [>=] used by some examples. *)
+type op = Eq | Neq | Lt | Gt | Le | Ge
+
+(** [compare_same a b] is [Some c] when [a] and [b] have the same kind,
+    [None] otherwise. *)
+val compare_same : t -> t -> int option
+
+(** [test op a b] holds iff [a op b]; it is [false] when the comparison is
+    undefined (kind mismatch). *)
+val test : op -> t -> t -> bool
+
+val equal : t -> t -> bool
+
+(** Total order for use in maps and sets (kind-major, then value). *)
+val compare : t -> t -> int
+
+val op_of_string : string -> op option
+val op_to_string : op -> string
+val to_string : t -> string
+
+(** Parses ["42"], ["4.5"], ["true"], falling back to [Text]. *)
+val of_string_guess : string -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,72 @@
+(** Cypher-style list processing over paths (Section 5.2, "Turning to
+    Lists for Help").
+
+    A path bound to a variable can be decomposed into its node list N(p)
+    and edge list E(p), and folded with [reduce]: for parameters ε, ι, f,
+
+    {v reduce(list())        = ε
+    reduce(list(x))       = ι(x)
+    reduce(x :: rest)     = f(x, reduce(rest)) v}
+
+    This makes many inexpressible queries writable — including
+    increasing-edge-values — but also makes NP-hard queries "deceptively
+    easy to write": summing a property along a path and comparing to a
+    constant encodes SUBSET-SUM (experiment E7), and combining reduce
+    results with [shortest] is order-sensitive to the point of
+    undecidability in the general case (the quadratic-condition example).
+    Both dangers are reproduced in tests and benchmarks. *)
+
+type reducer = {
+  empty : Value.t;  (** ε *)
+  single : Path.obj -> Value.t;  (** ι *)
+  combine : Path.obj -> Value.t -> Value.t;  (** f *)
+}
+
+val reduce : reducer -> Path.obj list -> Value.t
+
+(** Sum of integer property [prop] over the objects (missing property
+    counts as 0). *)
+val sum_reducer : Pg.t -> prop:string -> reducer
+
+(** The paper's increasing-values reducer: folds to the head's value while
+    the list is non-decreasing-free, i.e. strictly increasing, and to
+    [Int (-1)] otherwise; a final [>= 0] test selects increasing paths
+    (values must be non-negative). *)
+val increasing_reducer : Pg.t -> prop:string -> reducer
+
+(** {1 Path queries with reduce conditions} *)
+
+(** All trails from [src] to [tgt] (any labels). *)
+val trails_between : Pg.t -> src:int -> tgt:int -> Path.t list
+
+(** [filter_paths pg paths reducer ~pred] keeps paths whose reduced edge
+    list satisfies [pred]. *)
+val filter_paths :
+  Pg.t -> Path.t list -> reducer -> pred:(Value.t -> bool) -> Path.t list
+
+(** Number of candidate paths a reduce-query evaluation must examine —
+    the cost measure of experiment E7. *)
+val candidates_examined : Pg.t -> src:int -> tgt:int -> int
+
+(** {1 SUBSET-SUM via reduce (the Section 5.2 reduction)} *)
+
+(** On a {!Generators.subset_sum} graph: is there a source-to-sink path
+    whose [k]-sum equals [target]?  Exponential in the number of items —
+    by design. *)
+val subset_sum_via_reduce : Pg.t -> target:int -> Path.t option
+
+(** Polynomial reference oracle (dynamic programming). *)
+val subset_sum_dp : int list -> target:int -> bool
+
+(** {1 Order of shortest vs condition} *)
+
+(** Apply the condition to the shortest paths only ("condition after
+    shortest"). *)
+val shortest_then_filter :
+  Pg.t -> Path.t list -> reducer -> pred:(Value.t -> bool) -> Path.t list
+
+(** Keep paths satisfying the condition, then take the shortest
+    ("shortest after condition").  The two orders differ — the paper's
+    quadratic-equation example exploits exactly this. *)
+val filter_then_shortest :
+  Pg.t -> Path.t list -> reducer -> pred:(Value.t -> bool) -> Path.t list

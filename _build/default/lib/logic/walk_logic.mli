@@ -1,0 +1,54 @@
+(** Bounded model checking for a walk logic (Section 7.1, "A Logic for
+    Graphs").
+
+    The paper argues that a logic for graph querying "should give paths a
+    central role": nodes, edges and paths are not independent sorts, and
+    the logic needs constructs for navigating between them — building a
+    path from nodes and edges, retrieving endpoints, testing positions.
+    It names the walk logic of Hellings et al. [65] as a starting point;
+    this module is an executable (bounded) fragment of it:
+
+    - quantifiers over nodes, edges, and {e paths between two bound
+      nodes};
+    - the membership predicate [On (o, p)] ("object o occurs on path p");
+    - the position order [Before (o1, o2, p)] (first occurrence of o1
+      precedes first occurrence of o2 on p);
+    - endpoint, label, equality, and property tests; full boolean
+      connectives.
+
+    Path quantifiers range over node-to-node paths of length at most a
+    caller-supplied bound — walk logic is undecidable in general (it
+    embeds the theory of concatenation the paper mentions), so this is a
+    bounded model checker, the standard workaround. *)
+
+type formula =
+  | Exists_node of string * formula
+  | Exists_edge of string * formula
+  | Exists_path of string * string * string * formula
+      (** [Exists_path (p, x, y, φ)]: some path [p] from node [x] to node
+          [y] (both already bound) satisfies φ *)
+  | On of string * string  (** object variable occurs on path variable *)
+  | Before of string * string * string
+      (** [Before (o1, o2, p)]: o1's first occurrence strictly precedes
+          o2's on p *)
+  | Label of string * string  (** λ(o) = ℓ *)
+  | Prop of string * string * Value.op * Value.t  (** o.k op c *)
+  | Prop2 of string * string * Value.op * string * string  (** o.k op o'.k' *)
+  | Eq of string * string
+  | And of formula * formula
+  | Or of formula * formula
+  | Not of formula
+  | True
+
+(** ∀ as ¬∃¬. *)
+val forall_node : string -> formula -> formula
+
+val forall_edge : string -> formula -> formula
+val forall_path : string -> string -> string -> formula -> formula
+
+(** Implication. *)
+val implies : formula -> formula -> formula
+
+(** [check pg ~max_len φ]: bounded model checking of a closed formula;
+    raises [Invalid_argument] on unbound variables. *)
+val check : Pg.t -> max_len:int -> formula -> bool

@@ -1,0 +1,199 @@
+type mode = Shortest | Simple | Trail | All
+
+let mode_to_string = function
+  | Shortest -> "shortest"
+  | Simple -> "simple"
+  | Trail -> "trail"
+  | All -> "all"
+
+(* A deterministic (hence unambiguous) automaton guarantees one run per
+   path, so searches below never emit duplicates. *)
+let det_nfa r = Dfa.to_nfa (Dfa.minimize (Dfa.of_nfa (Nfa.of_regex r)))
+
+let det_product g r = Product.make g (det_nfa r)
+
+(* Generic bounded DFS over the product graph.  [node_once]/[edge_once]
+   enforce simple-path/trail restrictions on the graph projection.
+   [emit] receives completed paths; returning [false] stops the search. *)
+let dfs product ~src ~tgt ~max_len ~node_once ~edge_once ~emit =
+  let g = Product.graph product in
+  let visited_nodes = Array.make (Elg.nb_nodes g) false in
+  let visited_edges = Array.make (max 1 (Elg.nb_edges g)) false in
+  let stop = ref false in
+  let rec go state rev_objs len =
+    if not !stop then begin
+      let v, _ = Product.decode product state in
+      if v = tgt && Product.is_final product state then
+        if not (emit (List.rev rev_objs)) then stop := true;
+      if (not !stop) && len < max_len then
+        List.iter
+          (fun (e, state') ->
+            let w = Elg.tgt g e in
+            let node_ok = (not node_once) || not visited_nodes.(w) in
+            let edge_ok = (not edge_once) || not visited_edges.(e) in
+            if node_ok && edge_ok then begin
+              if node_once then visited_nodes.(w) <- true;
+              if edge_once then visited_edges.(e) <- true;
+              go state' (Path.N w :: Path.E e :: rev_objs) (len + 1);
+              if node_once then visited_nodes.(w) <- false;
+              if edge_once then visited_edges.(e) <- false
+            end)
+          (Product.out product state)
+    end
+  in
+  visited_nodes.(src) <- true;
+  List.iter
+    (fun state -> if not !stop then go state [ Path.N src ] 0)
+    (Product.initials_at product src)
+
+(* Geodesic DFS: follow only product edges on shortest-path layers. *)
+let shortest_search product ~src ~tgt ~emit =
+  let g = Product.graph product in
+  let n = Product.nb_states product in
+  let dist = Array.make (max 1 n) (-1) in
+  let queue = Queue.create () in
+  List.iter
+    (fun s ->
+      if dist.(s) < 0 then begin
+        dist.(s) <- 0;
+        Queue.add s queue
+      end)
+    (Product.initials_at product src);
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    List.iter
+      (fun (_, s') ->
+        if dist.(s') < 0 then begin
+          dist.(s') <- dist.(s) + 1;
+          Queue.add s' queue
+        end)
+      (Product.out product s)
+  done;
+  let best = ref max_int in
+  for s = 0 to n - 1 do
+    let v, _ = Product.decode product s in
+    if v = tgt && Product.is_final product s && dist.(s) >= 0 then
+      best := min !best dist.(s)
+  done;
+  if !best < max_int then begin
+    let d = !best in
+    let rec go state rev_objs len =
+      let v, _ = Product.decode product state in
+      if len = d then begin
+        if v = tgt && Product.is_final product state then
+          ignore (emit (List.rev rev_objs))
+      end
+      else
+        List.iter
+          (fun (e, state') ->
+            if dist.(state') = len + 1 && dist.(state') <= d then
+              go state' (Path.N (Elg.tgt g e) :: Path.E e :: rev_objs) (len + 1))
+          (Product.out product state)
+    in
+    List.iter
+      (fun s -> if dist.(s) = 0 then go s [ Path.N src ] 0)
+      (Product.initials_at product src)
+  end
+
+let shortest g r ~src ~tgt =
+  let product = det_product g r in
+  let acc = ref [] in
+  shortest_search product ~src ~tgt ~emit:(fun objs ->
+      acc := Path.of_objs_exn g objs :: !acc;
+      true);
+  List.rev !acc
+
+let enumerate g r ~mode ~max_len ~src ~tgt =
+  match mode with
+  | Shortest -> shortest g r ~src ~tgt
+  | Simple | Trail | All ->
+      let product = det_product g r in
+      let node_once = mode = Simple and edge_once = mode = Trail in
+      let bound =
+        match mode with
+        | Simple -> min max_len (Elg.nb_nodes g - 1)
+        | Trail -> min max_len (Elg.nb_edges g)
+        | Shortest | All -> max_len
+      in
+      let acc = ref [] in
+      dfs product ~src ~tgt ~max_len:bound ~node_once ~edge_once
+        ~emit:(fun objs ->
+          acc := Path.of_objs_exn g objs :: !acc;
+          true);
+      List.rev !acc
+
+let in_length_order g r ~max_len ~src ~tgt =
+  let product = det_product g r in
+  let graph = Product.graph product in
+  (* Level-synchronous frontier; lazily expanded as the Seq is consumed. *)
+  let initial_frontier =
+    List.map (fun s -> (s, [ Path.N src ])) (Product.initials_at product src)
+  in
+  let accepting_paths frontier =
+    List.filter_map
+      (fun (s, rev_objs) ->
+        let v, _ = Product.decode product s in
+        if v = tgt && Product.is_final product s then
+          Some (Path.of_objs_exn graph (List.rev rev_objs))
+        else None)
+      frontier
+  in
+  let expand frontier =
+    List.concat_map
+      (fun (s, rev_objs) ->
+        List.map
+          (fun (e, s') ->
+            (s', Path.N (Elg.tgt graph e) :: Path.E e :: rev_objs))
+          (Product.out product s))
+      frontier
+  in
+  let rec levels frontier len () =
+    if len > max_len || frontier = [] then Seq.Nil
+    else
+      let here = accepting_paths frontier in
+      let rest = levels (expand frontier) (len + 1) in
+      List.fold_right (fun p tail -> fun () -> Seq.Cons (p, tail)) here rest ()
+  in
+  levels initial_frontier 0
+
+let k_shortest g r ~k ~max_len ~src ~tgt =
+  in_length_order g r ~max_len ~src ~tgt |> Seq.take k |> List.of_seq
+
+let count g r ~mode ~max_len ~src ~tgt =
+  match mode with
+  | All -> Rpq_count.count_paths_upto g r ~src ~tgt ~max_len
+  | Shortest ->
+      let product = det_product g r in
+      let n = ref Nat_big.zero in
+      shortest_search product ~src ~tgt ~emit:(fun _ ->
+          n := Nat_big.succ !n;
+          true);
+      !n
+  | Simple | Trail ->
+      let product = det_product g r in
+      let bound =
+        if mode = Simple then min max_len (Elg.nb_nodes g - 1)
+        else min max_len (Elg.nb_edges g)
+      in
+      let n = ref Nat_big.zero in
+      dfs product ~src ~tgt ~max_len:bound ~node_once:(mode = Simple)
+        ~edge_once:(mode = Trail) ~emit:(fun _ ->
+          n := Nat_big.succ !n;
+          true);
+      !n
+
+let exists_with g r ~src ~tgt ~node_once ~edge_once ~max_len =
+  let product = det_product g r in
+  let found = ref false in
+  dfs product ~src ~tgt ~max_len ~node_once ~edge_once ~emit:(fun _ ->
+      found := true;
+      false);
+  !found
+
+let exists_simple g r ~src ~tgt =
+  exists_with g r ~src ~tgt ~node_once:true ~edge_once:false
+    ~max_len:(Elg.nb_nodes g - 1)
+
+let exists_trail g r ~src ~tgt =
+  exists_with g r ~src ~tgt ~node_once:false ~edge_once:true
+    ~max_len:(Elg.nb_edges g)

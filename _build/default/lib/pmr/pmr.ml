@@ -1,0 +1,262 @@
+type t = {
+  nb_nodes : int;
+  gamma_node : int array;
+  edges : (int * int * int) array;
+  sources : int list;
+  targets : int list;
+}
+
+let size pmr = pmr.nb_nodes + Array.length pmr.edges
+
+let check g pmr =
+  let node_ok n = n >= 0 && n < pmr.nb_nodes in
+  Array.for_all (fun gn -> gn >= 0 && gn < Elg.nb_nodes g) pmr.gamma_node
+  && Array.for_all
+       (fun (s, t, ge) ->
+         node_ok s && node_ok t && ge >= 0
+         && ge < Elg.nb_edges g
+         && Elg.src g ge = pmr.gamma_node.(s)
+         && Elg.tgt g ge = pmr.gamma_node.(t))
+       pmr.edges
+  && List.for_all node_ok pmr.sources
+  && List.for_all node_ok pmr.targets
+
+let out_adj pmr =
+  let adj = Array.make (max 1 pmr.nb_nodes) [] in
+  Array.iter (fun (s, t, ge) -> adj.(s) <- (t, ge) :: adj.(s)) pmr.edges;
+  Array.map List.rev adj
+
+(* --- Construction from RPQs -------------------------------------------- *)
+
+let det_nfa r = Dfa.to_nfa (Dfa.minimize (Dfa.of_nfa (Nfa.of_regex r)))
+
+(* Useful product states and the trimmed PMR they induce. *)
+let of_product product ~src ~tgt ~keep_edge =
+  let n = Product.nb_states product in
+  let forward = Array.make (max 1 n) false in
+  let queue = Queue.create () in
+  List.iter
+    (fun s ->
+      forward.(s) <- true;
+      Queue.add s queue)
+    (Product.initials_at product src);
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    List.iter
+      (fun (e, s') ->
+        if keep_edge s e s' && not forward.(s') then begin
+          forward.(s') <- true;
+          Queue.add s' queue
+        end)
+      (Product.out product s)
+  done;
+  (* Backward pass from accepting states at tgt. *)
+  let rev = Array.make (max 1 n) [] in
+  for s = 0 to n - 1 do
+    if forward.(s) then
+      List.iter
+        (fun (e, s') ->
+          if keep_edge s e s' && forward.(s') then rev.(s') <- s :: rev.(s'))
+        (Product.out product s)
+  done;
+  let backward = Array.make (max 1 n) false in
+  let queue = Queue.create () in
+  for s = 0 to n - 1 do
+    let v, _ = Product.decode product s in
+    if forward.(s) && v = tgt && Product.is_final product s then begin
+      backward.(s) <- true;
+      Queue.add s queue
+    end
+  done;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    List.iter
+      (fun s' ->
+        if not backward.(s') then begin
+          backward.(s') <- true;
+          Queue.add s' queue
+        end)
+      rev.(s)
+  done;
+  let useful s = forward.(s) && backward.(s) in
+  let renum = Array.make (max 1 n) (-1) in
+  let count = ref 0 in
+  for s = 0 to n - 1 do
+    if useful s then begin
+      renum.(s) <- !count;
+      incr count
+    end
+  done;
+  let gamma_node = Array.make (max 1 !count) 0 in
+  let edges = ref [] in
+  for s = n - 1 downto 0 do
+    if useful s then begin
+      let v, _ = Product.decode product s in
+      gamma_node.(renum.(s)) <- v;
+      List.iter
+        (fun (e, s') ->
+          if keep_edge s e s' && useful s' then
+            edges := (renum.(s), renum.(s'), e) :: !edges)
+        (Product.out product s)
+    end
+  done;
+  let sources =
+    List.filter_map
+      (fun s -> if useful s then Some renum.(s) else None)
+      (Product.initials_at product src)
+  in
+  let targets = ref [] in
+  for s = n - 1 downto 0 do
+    let v, _ = Product.decode product s in
+    if useful s && v = tgt && Product.is_final product s then
+      targets := renum.(s) :: !targets
+  done;
+  {
+    nb_nodes = !count;
+    gamma_node;
+    edges = Array.of_list !edges;
+    sources;
+    targets = !targets;
+  }
+
+let of_rpq g r ~src ~tgt =
+  let product = Product.make g (det_nfa r) in
+  of_product product ~src ~tgt ~keep_edge:(fun _ _ _ -> true)
+
+let of_nfa g nfa ~src ~tgt =
+  let product = Product.make g nfa in
+  of_product product ~src ~tgt ~keep_edge:(fun _ _ _ -> true)
+
+let of_rpq_shortest g r ~src ~tgt =
+  let product = Product.make g (det_nfa r) in
+  let n = Product.nb_states product in
+  let dist = Array.make (max 1 n) (-1) in
+  let queue = Queue.create () in
+  List.iter
+    (fun s ->
+      if dist.(s) < 0 then begin
+        dist.(s) <- 0;
+        Queue.add s queue
+      end)
+    (Product.initials_at product src);
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    List.iter
+      (fun (_, s') ->
+        if dist.(s') < 0 then begin
+          dist.(s') <- dist.(s) + 1;
+          Queue.add s' queue
+        end)
+      (Product.out product s)
+  done;
+  let best = ref max_int in
+  for s = 0 to n - 1 do
+    let v, _ = Product.decode product s in
+    if v = tgt && Product.is_final product s && dist.(s) >= 0 then
+      best := min !best dist.(s)
+  done;
+  let keep_edge s _ s' =
+    dist.(s) >= 0 && dist.(s') = dist.(s) + 1 && dist.(s') <= !best
+  in
+  of_product product ~src ~tgt ~keep_edge
+
+let count_paths pmr =
+  let adj = out_adj pmr in
+  let n = pmr.nb_nodes in
+  (* Kahn-style topological sort; a leftover node means a cycle.  All
+     nodes are useful by construction here, but cope with any PMR. *)
+  let indeg = Array.make (max 1 n) 0 in
+  Array.iter (fun (_, t, _) -> indeg.(t) <- indeg.(t) + 1) pmr.edges;
+  let order = ref [] in
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then Queue.add v queue
+  done;
+  let visited = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    incr visited;
+    order := v :: !order;
+    List.iter
+      (fun (w, _) ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Queue.add w queue)
+      adj.(v)
+  done;
+  if !visited < n then `Infinite
+  else begin
+    (* Reverse topological order: count paths-to-target per node. *)
+    let is_target = Array.make (max 1 n) false in
+    List.iter (fun t -> is_target.(t) <- true) pmr.targets;
+    let counts = Array.make (max 1 n) Nat_big.zero in
+    List.iter
+      (fun v ->
+        let c =
+          List.fold_left
+            (fun acc (w, _) -> Nat_big.add acc counts.(w))
+            Nat_big.zero adj.(v)
+        in
+        counts.(v) <- (if is_target.(v) then Nat_big.succ c else c))
+      !order;
+    `Finite
+      (List.fold_left
+         (fun acc s -> Nat_big.add acc counts.(s))
+         Nat_big.zero pmr.sources)
+  end
+
+let spaths_upto g pmr ~max_len =
+  let adj = out_adj pmr in
+  let acc = ref [] in
+  let rec go v rev_objs len =
+    if List.mem v pmr.targets then acc := List.rev rev_objs :: !acc;
+    if len < max_len then
+      List.iter
+        (fun (w, ge) ->
+          go w (Path.N pmr.gamma_node.(w) :: Path.E ge :: rev_objs) (len + 1))
+        adj.(v)
+  in
+  List.iter (fun s -> go s [ Path.N pmr.gamma_node.(s) ] 0) pmr.sources;
+  List.map (Path.of_objs_exn g) !acc
+  |> List.sort_uniq Path.compare
+
+let mem _g pmr path =
+  match Path.objs path with
+  | [] -> false
+  | Path.E _ :: _ -> false
+  | Path.N first :: rest ->
+      let start =
+        List.filter (fun s -> pmr.gamma_node.(s) = first) pmr.sources
+      in
+      let adj = out_adj pmr in
+      let rec walk current objs =
+        match objs with
+        | [] -> List.exists (fun s -> List.mem s pmr.targets) current
+        | Path.E e :: Path.N v :: rest ->
+            let next =
+              List.concat_map
+                (fun s ->
+                  List.filter_map
+                    (fun (w, ge) ->
+                      if ge = e && pmr.gamma_node.(w) = v then Some w else None)
+                    adj.(s))
+                current
+              |> List.sort_uniq Stdlib.compare
+            in
+            if next = [] then false else walk next rest
+        | Path.E _ :: _ | Path.N _ :: _ -> false
+      in
+      walk start rest
+
+let pp g fmt pmr =
+  Format.fprintf fmt "@[<v>PMR (%d nodes, %d edges)@," pmr.nb_nodes
+    (Array.length pmr.edges);
+  Array.iteri
+    (fun i gn -> Format.fprintf fmt "n%d ~ %s@," i (Elg.node_name g gn))
+    pmr.gamma_node;
+  Array.iter
+    (fun (s, t, ge) ->
+      Format.fprintf fmt "n%d -[%s]-> n%d@," s (Elg.edge_name g ge) t)
+    pmr.edges;
+  Format.fprintf fmt "S = {%s}, T = {%s}@]"
+    (String.concat "," (List.map string_of_int pmr.sources))
+    (String.concat "," (List.map string_of_int pmr.targets))

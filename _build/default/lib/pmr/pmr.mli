@@ -1,0 +1,55 @@
+(** Path multiset representations (Section 6.4, after [84]).
+
+    A PMR over a graph G is a graph R together with a homomorphism γ into
+    G and sets S, T of source and target nodes; it represents
+    [SPaths(R) = { γ(ρ) | ρ a path from S to T in R }].  PMRs can
+    represent exponentially many — even infinitely many — paths in linear
+    space: the paper's two examples (the 2{^n} paths of Figure 5, the
+    infinite set of unblocked transfer cycles) are both reproduced in the
+    tests and in experiment E3.
+
+    The paper notes PMRs support multisets; in line with its advocacy of
+    set semantics we expose only the set view, and {!of_rpq} compiles
+    through a deterministic automaton so that represented paths are in
+    bijection with PMR paths (making {!count_paths} a true path count). *)
+
+type t = {
+  nb_nodes : int;
+  gamma_node : int array;  (** PMR node -> graph node *)
+  edges : (int * int * int) array;  (** (src, tgt, γ(edge)) *)
+  sources : int list;
+  targets : int list;
+}
+
+(** Structural size |N| + |E|, the space measure of experiment E3. *)
+val size : t -> int
+
+(** [check g pmr] verifies that γ is a homomorphism and S, T are nodes. *)
+val check : Elg.t -> t -> bool
+
+(** The PMR of all matching paths from [src] to [tgt]: the trimmed product
+    graph with a deterministic automaton.  Represents exactly
+    [{ p | p from src to tgt, elab(p) ∈ L(R) }] — possibly an infinite
+    set. *)
+val of_rpq : Elg.t -> Sym.t Regex.t -> src:int -> tgt:int -> t
+
+(** Like {!of_rpq} but keeping only geodesic edges: represents exactly the
+    shortest matching paths. *)
+val of_rpq_shortest : Elg.t -> Sym.t Regex.t -> src:int -> tgt:int -> t
+
+(** Trimmed product with a caller-supplied automaton.  With a
+    nondeterministic automaton, PMR paths are in bijection with {e runs},
+    not matched paths; this is exactly what annotated representations of
+    l-RPQ outputs need (one run = one binding, experiment E4). *)
+val of_nfa : Elg.t -> Sym.t Nfa.t -> src:int -> tgt:int -> t
+
+(** [`Infinite] when a cycle lies on some S→T route. *)
+val count_paths : t -> [ `Finite of Nat_big.t | `Infinite ]
+
+(** SPaths(R) restricted to paths of length at most [max_len]. *)
+val spaths_upto : Elg.t -> t -> max_len:int -> Path.t list
+
+(** Is the (node-to-node) path represented? *)
+val mem : Elg.t -> t -> Path.t -> bool
+
+val pp : Elg.t -> Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/regex/rpq_parse.ml: List Printf Regex String Sym

@@ -1,0 +1,1 @@
+lib/regex/rpq_parse.mli: Regex Sym

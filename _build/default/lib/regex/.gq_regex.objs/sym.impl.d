@@ -1,0 +1,1 @@
+lib/regex/sym.ml: Format List String

@@ -1,0 +1,1 @@
+lib/regex/sym.mli: Format

@@ -1,0 +1,138 @@
+type 'a t =
+  | Eps
+  | Atom of 'a
+  | Seq of 'a t * 'a t
+  | Alt of 'a t * 'a t
+  | Star of 'a t
+
+let eps = Eps
+let atom a = Atom a
+
+let seq r1 r2 =
+  match (r1, r2) with Eps, r | r, Eps -> r | r1, r2 -> Seq (r1, r2)
+
+let alt r1 r2 = Alt (r1, r2)
+
+let star = function
+  | Eps -> Eps
+  | Star _ as r -> r
+  | r -> Star r
+
+let opt r = Alt (r, Eps)
+let plus r = seq r (star r)
+
+let repeat n m r =
+  if n < 0 || m < n then invalid_arg "Regex.repeat: need 0 <= n <= m";
+  let rec exact k = if k = 0 then Eps else seq r (exact (k - 1)) in
+  let rec upto k = if k = 0 then Eps else opt (seq r (upto (k - 1))) in
+  seq (exact n) (upto (m - n))
+
+let seq_list rs = List.fold_right seq rs Eps
+
+let alt_list = function
+  | [] -> invalid_arg "Regex.alt_list: empty"
+  | r :: rs -> List.fold_left alt r rs
+
+let rec size = function
+  | Eps | Atom _ -> 1
+  | Seq (r1, r2) | Alt (r1, r2) -> 1 + size r1 + size r2
+  | Star r -> 1 + size r
+
+let atoms r =
+  let rec go acc = function
+    | Eps -> acc
+    | Atom a -> a :: acc
+    | Seq (r1, r2) | Alt (r1, r2) -> go (go acc r2) r1
+    | Star r -> go acc r
+  in
+  go [] r
+
+let rec map f = function
+  | Eps -> Eps
+  | Atom a -> Atom (f a)
+  | Seq (r1, r2) -> Seq (map f r1, map f r2)
+  | Alt (r1, r2) -> Alt (map f r1, map f r2)
+  | Star r -> Star (map f r)
+
+let rec nullable = function
+  | Eps -> true
+  | Atom _ -> false
+  | Seq (r1, r2) -> nullable r1 && nullable r2
+  | Alt (r1, r2) -> nullable r1 || nullable r2
+  | Star _ -> true
+
+(* The derivative uses the simplifying constructors to keep expression
+   growth in check; [Fail] is encoded as [Alt] of nothing — we add an
+   explicit empty regex locally. *)
+type 'a d = DFail | DRe of 'a t
+
+let d_alt d1 d2 =
+  match (d1, d2) with
+  | DFail, d | d, DFail -> d
+  | DRe r1, DRe r2 -> DRe (alt r1 r2)
+
+let d_seq d r2 = match d with DFail -> DFail | DRe r1 -> DRe (seq r1 r2)
+
+let rec deriv ~matches letter = function
+  | Eps -> DFail
+  | Atom a -> if matches a letter then DRe Eps else DFail
+  | Seq (r1, r2) ->
+      let left = d_seq (deriv ~matches letter r1) r2 in
+      if nullable r1 then d_alt left (deriv ~matches letter r2) else left
+  | Alt (r1, r2) -> d_alt (deriv ~matches letter r1) (deriv ~matches letter r2)
+  | Star r as whole -> d_seq (deriv ~matches letter r) whole
+
+let matches_word ~matches r w =
+  let rec go r = function
+    | [] -> nullable r
+    | letter :: rest -> (
+        match deriv ~matches letter r with
+        | DFail -> false
+        | DRe r' -> go r' rest)
+  in
+  go r w
+
+let enumerate ~alphabet ~matches ~max_len r =
+  (* Breadth-first over derivative states; words of the same length come
+     out in alphabet order. *)
+  let results = ref [] in
+  let frontier = ref [ ([], r) ] in
+  let len = ref 0 in
+  while !frontier <> [] && !len <= max_len do
+    List.iter
+      (fun (w, r) -> if nullable r then results := List.rev w :: !results)
+      !frontier;
+    if !len < max_len then
+      frontier :=
+        List.concat_map
+          (fun (w, r) ->
+            List.filter_map
+              (fun letter ->
+                match deriv ~matches letter r with
+                | DFail -> None
+                | DRe r' -> Some (letter :: w, r'))
+              alphabet)
+          !frontier
+    else frontier := [];
+    incr len
+  done;
+  List.rev !results
+
+let rec pp pp_atom fmt = function
+  | Eps -> Format.pp_print_string fmt "()"
+  | Atom a -> pp_atom fmt a
+  | Seq (r1, r2) ->
+      Format.fprintf fmt "%a%a" (pp_inner pp_atom) r1 (pp_inner pp_atom) r2
+  | Alt (r1, r2) ->
+      Format.fprintf fmt "%a|%a" (pp_inner pp_atom) r1 (pp_inner pp_atom) r2
+  | Star r -> Format.fprintf fmt "%a*" (pp_inner pp_atom) r
+
+and pp_inner pp_atom fmt r =
+  match r with
+  | Eps | Atom _ | Star _ -> pp pp_atom fmt r
+  | Seq _ | Alt _ -> Format.fprintf fmt "(%a)" (pp pp_atom) r
+
+let to_string atom_to_string r =
+  Format.asprintf "%a"
+    (pp (fun fmt a -> Format.pp_print_string fmt (atom_to_string a)))
+    r

@@ -1,0 +1,70 @@
+(** Regular expressions over an arbitrary atom type (Section 3.1.1).
+
+    One polymorphic AST serves every language in the paper: plain RPQs use
+    {!Sym.t} atoms, RPQs with list variables use capture-annotated labels,
+    and dl-RPQs use node/edge/data-test atoms (Section 3.2.1).  The core
+    connectives are exactly the paper's (ε, atom, concatenation,
+    disjunction, Kleene star); [R?], [R+] and [R{n,m}] are provided as the
+    derived forms the paper introduces. *)
+
+type 'a t =
+  | Eps
+  | Atom of 'a
+  | Seq of 'a t * 'a t
+  | Alt of 'a t * 'a t
+  | Star of 'a t
+
+val eps : 'a t
+val atom : 'a -> 'a t
+
+(** Simplifying constructor: drops [Eps] units. *)
+val seq : 'a t -> 'a t -> 'a t
+
+val alt : 'a t -> 'a t -> 'a t
+
+(** Simplifying constructor: [star (star r)] is [star r] and
+    [star Eps] is [Eps].  Use the bare {!t} constructors to build
+    deliberately redundant expressions such as the nested stars of
+    Section 6.1. *)
+val star : 'a t -> 'a t
+
+(** [R?] = [R + ε]. *)
+val opt : 'a t -> 'a t
+
+(** [R+] = [R · R*]. *)
+val plus : 'a t -> 'a t
+
+(** [repeat n m r] = [r{n,m}]; requires [0 <= n <= m]. *)
+val repeat : int -> int -> 'a t -> 'a t
+
+val seq_list : 'a t list -> 'a t
+val alt_list : 'a t list -> 'a t
+
+(** AST size (number of constructors); the paper's notion of expression
+    size for the Section 6.2 comparison. *)
+val size : 'a t -> int
+
+(** Atoms in left-to-right order. *)
+val atoms : 'a t -> 'a list
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+(** [ε ∈ L(r)]? *)
+val nullable : 'a t -> bool
+
+(** [matches_word ~matches r w]: Brzozowski-derivative membership test;
+    [matches] decides whether an atom matches a letter.  Reference
+    implementation used as an oracle against the automata pipeline. *)
+val matches_word : matches:('a -> 'l -> bool) -> 'a t -> 'l list -> bool
+
+(** [enumerate ~alphabet ~matches ~max_len r] lists all words over
+    [alphabet] of length at most [max_len] in [L(r)], shortest first. *)
+val enumerate :
+  alphabet:'l list ->
+  matches:('a -> 'l -> bool) ->
+  max_len:int ->
+  'a t ->
+  'l list list
+
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit
+val to_string : ('a -> string) -> 'a t -> string

@@ -1,0 +1,42 @@
+(* One bottom-up pass; iterate to a fixpoint (the rules strictly shrink
+   the AST, so this terminates quickly). *)
+
+let rec pass (r : 'a Regex.t) : 'a Regex.t =
+  match r with
+  | Regex.Eps | Regex.Atom _ -> r
+  | Regex.Seq (r1, r2) -> (
+      match (pass r1, pass r2) with
+      | Regex.Eps, r | r, Regex.Eps -> r
+      | Regex.Star a, Regex.Star b when a = b -> Regex.Star a
+      | r1, r2 -> Regex.Seq (r1, r2))
+  | Regex.Alt (r1, r2) -> (
+      match (pass r1, pass r2) with
+      | r1, r2 when r1 = r2 -> r1
+      | Regex.Eps, r when Regex.nullable r -> r
+      | r, Regex.Eps when Regex.nullable r -> r
+      | r1, r2 -> Regex.Alt (r1, r2))
+  | Regex.Star r1 -> (
+      match pass r1 with
+      | Regex.Eps -> Regex.Eps
+      | Regex.Star r -> pass (Regex.Star r)
+      | Regex.Alt _ as alt ->
+          (* Unwrap starred/optional disjuncts under an outer star:
+             (a* + b)* = (a + b)*, (ε + b)* = b*. *)
+          let rec flatten = function
+            | Regex.Alt (a, b) -> flatten a @ flatten b
+            | r -> [ r ]
+          in
+          let unwrap = function Regex.Star a -> a | r -> r in
+          let branches =
+            flatten alt |> List.map unwrap
+            |> List.filter (fun r -> r <> Regex.Eps)
+          in
+          (match branches with
+          | [] -> Regex.Eps
+          | b :: rest ->
+              Regex.Star (List.fold_left (fun acc r -> Regex.Alt (acc, r)) b rest))
+      | r -> Regex.Star r)
+
+let rec simplify r =
+  let r' = pass r in
+  if r' = r then r else simplify r'

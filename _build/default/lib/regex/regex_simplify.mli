@@ -1,0 +1,16 @@
+(** Equivalence-preserving regex normalization (Section 6.1/6.2).
+
+    The paper's first answer to the bag-semantics explosion is syntactic:
+    "(((a*)*)*)* can be equivalently rewritten to a*".  This module
+    implements a terminating rewrite system of such star/union/unit laws,
+    applied bottom-up to a fixpoint:
+
+    - [r**] → [r*],   [ε*] → [ε]
+    - [(ε + r)*] → [r*],   [(r* + s)*] → [(r + s)*]
+    - [r + r] → [r],   [ε + r] → [r] when r is nullable
+    - [r* r*] → [r*],   [ε r] → [r]
+
+    The result is never larger and always language-equivalent (checked as
+    a qcheck property against the DFA toolbox). *)
+
+val simplify : 'a Regex.t -> 'a Regex.t

@@ -1,0 +1,165 @@
+exception Parse_error of string
+
+type token =
+  | Tlabel of string
+  | Tany
+  | Tnotset of string list
+  | Tlpar
+  | Trpar
+  | Tbar
+  | Tstar
+  | Tplus
+  | Topt
+  | Trepeat of int * int option
+
+let fail msg = raise (Parse_error msg)
+
+let is_label_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-'
+
+let tokenize s =
+  let n = String.length s in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let read_label () =
+    let start = !i in
+    while !i < n && is_label_char s.[!i] do
+      incr i
+    done;
+    String.sub s start (!i - start)
+  in
+  let read_int () =
+    let start = !i in
+    while !i < n && s.[!i] >= '0' && s.[!i] <= '9' do
+      incr i
+    done;
+    if start = !i then fail "expected a number in repetition";
+    int_of_string (String.sub s start (!i - start))
+  in
+  let expect c =
+    if !i < n && s.[!i] = c then incr i
+    else fail (Printf.sprintf "expected %c" c)
+  in
+  while !i < n do
+    match s.[!i] with
+    | ' ' | '\t' | '\n' | '.' | '/' -> incr i
+    | '(' ->
+        incr i;
+        tokens := Tlpar :: !tokens
+    | ')' ->
+        incr i;
+        tokens := Trpar :: !tokens
+    | '|' ->
+        incr i;
+        tokens := Tbar :: !tokens
+    | '*' ->
+        incr i;
+        tokens := Tstar :: !tokens
+    | '+' ->
+        incr i;
+        tokens := Tplus :: !tokens
+    | '?' ->
+        incr i;
+        tokens := Topt :: !tokens
+    | '{' ->
+        incr i;
+        let lo = read_int () in
+        let hi =
+          if !i < n && s.[!i] = ',' then begin
+            incr i;
+            Some (read_int ())
+          end
+          else None
+        in
+        expect '}';
+        tokens := Trepeat (lo, hi) :: !tokens
+    | '!' ->
+        incr i;
+        expect '{';
+        let rec labels acc =
+          let l = read_label () in
+          if l = "" then fail "empty label in !{...}";
+          if !i < n && s.[!i] = ',' then begin
+            incr i;
+            labels (l :: acc)
+          end
+          else List.rev (l :: acc)
+        in
+        let set = labels [] in
+        expect '}';
+        tokens := Tnotset set :: !tokens
+    | c when is_label_char c ->
+        let l = read_label () in
+        tokens := (if l = "_" then Tany else Tlabel l) :: !tokens
+    | c -> fail (Printf.sprintf "unexpected character %c" c)
+  done;
+  List.rev !tokens
+
+(* Recursive descent over the token list. *)
+let parse s =
+  let tokens = tokenize s in
+  let toks = ref tokens in
+  let peek () = match !toks with [] -> None | t :: _ -> Some t in
+  let advance () = match !toks with [] -> () | _ :: rest -> toks := rest in
+  let rec expr () =
+    let t = term () in
+    match peek () with
+    | Some Tbar ->
+        advance ();
+        Regex.alt t (expr ())
+    | _ -> t
+  and term () =
+    let f = factor () in
+    match peek () with
+    | Some (Tlabel _ | Tany | Tnotset _ | Tlpar) -> Regex.seq f (term ())
+    | _ -> f
+  and factor () =
+    let b = ref (base ()) in
+    let continue = ref true in
+    while !continue do
+      (match peek () with
+      | Some Tstar -> advance (); b := Regex.Star !b
+      | Some Tplus -> advance (); b := Regex.plus !b
+      | Some Topt -> advance (); b := Regex.opt !b
+      | Some (Trepeat (lo, hi)) ->
+          advance ();
+          let hi = match hi with Some h -> h | None -> lo in
+          b := Regex.repeat lo hi !b
+      | _ -> continue := false)
+    done;
+    !b
+  and base () =
+    match peek () with
+    | Some (Tlabel l) ->
+        advance ();
+        Regex.atom (Sym.Lbl l)
+    | Some Tany ->
+        advance ();
+        Regex.atom Sym.Any
+    | Some (Tnotset set) ->
+        advance ();
+        Regex.atom (Sym.Not set)
+    | Some Tlpar -> (
+        advance ();
+        match peek () with
+        | Some Trpar ->
+            advance ();
+            Regex.Eps
+        | _ ->
+            let e = expr () in
+            (match peek () with
+            | Some Trpar -> advance ()
+            | _ -> fail "expected )");
+            e)
+    | Some (Trpar | Tbar | Tstar | Tplus | Topt | Trepeat _) | None ->
+        fail "expected a label, wildcard, or ("
+  in
+  let e = expr () in
+  if !toks <> [] then fail "trailing input";
+  e
+
+let parse_opt s =
+  match parse s with e -> Ok e | exception Parse_error msg -> Error msg

@@ -1,0 +1,16 @@
+(** Concrete syntax for RPQs.
+
+    {v
+    expr    ::= term ('|' term)*
+    term    ::= factor factor*            (juxtaposition, '.' and '/' allowed)
+    factor  ::= base ('*' | '+' | '?' | '{n}' | '{n,m}')*
+    base    ::= label | '_' | '!{' label (',' label)* '}' | '(' expr ')' | '()'
+    v}
+
+    ['_'] is the full wildcard, [!{a,b}] the negated set of Remark 11,
+    ['()'] is ε.  Labels are alphanumeric (plus [_] and [-]). *)
+
+exception Parse_error of string
+
+val parse : string -> Sym.t Regex.t
+val parse_opt : string -> (Sym.t Regex.t, string) result

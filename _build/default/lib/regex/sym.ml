@@ -1,0 +1,32 @@
+type t = Lbl of string | Any | Not of string list
+
+let matches sym a =
+  match sym with
+  | Lbl l -> String.equal l a
+  | Any -> true
+  | Not s -> not (List.mem a s)
+
+let norm_set s = List.sort_uniq String.compare s
+
+let inter s1 s2 =
+  match (s1, s2) with
+  | Any, s | s, Any -> Some s
+  | Lbl a, Lbl b -> if String.equal a b then Some (Lbl a) else None
+  | Lbl a, Not s | Not s, Lbl a -> if List.mem a s then None else Some (Lbl a)
+  | Not s, Not t -> Some (Not (norm_set (s @ t)))
+
+let mentioned = function Lbl a -> [ a ] | Any -> [] | Not s -> s
+
+let equal s1 s2 =
+  match (s1, s2) with
+  | Lbl a, Lbl b -> String.equal a b
+  | Any, Any -> true
+  | Not s, Not t -> norm_set s = norm_set t
+  | (Lbl _ | Any | Not _), _ -> false
+
+let to_string = function
+  | Lbl a -> a
+  | Any -> "_"
+  | Not s -> "!{" ^ String.concat "," s ^ "}"
+
+let pp fmt s = Format.pp_print_string fmt (to_string s)

@@ -1,0 +1,25 @@
+(** Label symbols with SPARQL-style wildcards (Remark 11).
+
+    A symbol denotes a set of labels from the countably infinite set
+    [Labels]: a single label, the negated finite set [!S] (all labels not
+    in [S]), or the full wildcard ["_"] (which the paper renders as
+    [a + !{a}]).  These shapes are closed under intersection, which is what
+    lets standard automata constructions (product, determinization,
+    complement) go through. *)
+
+type t =
+  | Lbl of string  (** a single label *)
+  | Any  (** "_", every label *)
+  | Not of string list  (** [!S]: every label outside the finite set [S] *)
+
+val matches : t -> string -> bool
+
+(** Set intersection of denotations; [None] when disjoint. *)
+val inter : t -> t -> t option
+
+(** Labels mentioned by the symbol (for minterm computation). *)
+val mentioned : t -> string list
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,116 @@
+type cell = Cnode of int | Cedge of int | Cval of Value.t
+
+let compare_cell c1 c2 =
+  match (c1, c2) with
+  | Cnode a, Cnode b -> Stdlib.compare a b
+  | Cedge a, Cedge b -> Stdlib.compare a b
+  | Cval a, Cval b -> Value.compare a b
+  | Cnode _, (Cedge _ | Cval _) -> -1
+  | Cedge _, Cval _ -> -1
+  | Cedge _, Cnode _ -> 1
+  | Cval _, (Cnode _ | Cedge _) -> 1
+
+let compare_row r1 r2 = List.compare compare_cell r1 r2
+
+type t = { schema : string list; rows : cell list list (* sorted, distinct *) }
+
+let normalize rows = List.sort_uniq compare_row rows
+
+let make ~schema ~rows =
+  let sorted = List.sort_uniq String.compare schema in
+  if List.length sorted <> List.length schema then
+    invalid_arg "Relation.make: duplicate attribute";
+  let arity = List.length schema in
+  List.iter
+    (fun row ->
+      if List.length row <> arity then
+        invalid_arg "Relation.make: arity mismatch")
+    rows;
+  { schema; rows = normalize rows }
+
+let schema r = r.schema
+let rows r = r.rows
+let cardinality r = List.length r.rows
+let mem r row = List.exists (fun r' -> compare_row r' row = 0) r.rows
+
+let accessor schema row name =
+  let rec go attrs cells =
+    match (attrs, cells) with
+    | a :: _, c :: _ when String.equal a name -> c
+    | _ :: attrs, _ :: cells -> go attrs cells
+    | _, _ -> raise Not_found
+  in
+  go schema row
+
+let select r pred =
+  { r with rows = List.filter (fun row -> pred (accessor r.schema row)) r.rows }
+
+let project r attrs =
+  List.iter
+    (fun a ->
+      if not (List.mem a r.schema) then
+        invalid_arg (Printf.sprintf "Relation.project: unknown attribute %s" a))
+    attrs;
+  let rows =
+    List.map (fun row -> List.map (accessor r.schema row) attrs) r.rows
+  in
+  { schema = attrs; rows = normalize rows }
+
+let join r1 r2 =
+  let shared = List.filter (fun a -> List.mem a r2.schema) r1.schema in
+  let extra = List.filter (fun a -> not (List.mem a r1.schema)) r2.schema in
+  let schema = r1.schema @ extra in
+  let rows =
+    List.concat_map
+      (fun row1 ->
+        let get1 = accessor r1.schema row1 in
+        List.filter_map
+          (fun row2 ->
+            let get2 = accessor r2.schema row2 in
+            if
+              List.for_all
+                (fun a -> compare_cell (get1 a) (get2 a) = 0)
+                shared
+            then Some (row1 @ List.map get2 extra)
+            else None)
+          r2.rows)
+      r1.rows
+  in
+  { schema; rows = normalize rows }
+
+let check_same_schema op r1 r2 =
+  if r1.schema <> r2.schema then
+    invalid_arg (Printf.sprintf "Relation.%s: schema mismatch" op)
+
+let union r1 r2 =
+  check_same_schema "union" r1 r2;
+  { r1 with rows = normalize (r1.rows @ r2.rows) }
+
+let diff r1 r2 =
+  check_same_schema "diff" r1 r2;
+  { r1 with rows = List.filter (fun row -> not (mem r2 row)) r1.rows }
+
+let rename r mapping =
+  let fresh = List.map (fun a -> match List.assoc_opt a mapping with Some b -> b | None -> a) r.schema in
+  let sorted = List.sort_uniq String.compare fresh in
+  if List.length sorted <> List.length fresh then
+    invalid_arg "Relation.rename: renaming creates duplicate attribute";
+  { r with schema = fresh }
+
+let equal r1 r2 = r1.schema = r2.schema && r1.rows = r2.rows
+
+let cell_to_string g = function
+  | Cnode n -> Elg.node_name g n
+  | Cedge e -> Elg.edge_name g e
+  | Cval v -> Value.to_string v
+
+let to_string g r =
+  let header = String.concat " | " r.schema in
+  let lines =
+    List.map
+      (fun row -> String.concat " | " (List.map (cell_to_string g) row))
+      r.rows
+  in
+  String.concat "\n" (header :: lines)
+
+let pp g fmt r = Format.pp_print_string fmt (to_string g r)

@@ -1,0 +1,44 @@
+(** First-normal-form relations over graph elements and values
+    (Section 4.1): no nulls, no duplicates, atomic entries only.
+
+    This is component (3) of CoreGQL — plain relational algebra with set
+    semantics — and also the bridge the paper describes between pattern
+    matching and relational processing. *)
+
+type cell = Cnode of int | Cedge of int | Cval of Value.t
+
+type t
+
+(** [make ~schema ~rows]: all rows must have the schema's arity; duplicate
+    rows are eliminated (set semantics).  Raises [Invalid_argument] on
+    arity mismatch or duplicate attribute names. *)
+val make : schema:string list -> rows:cell list list -> t
+
+val schema : t -> string list
+val rows : t -> cell list list
+val cardinality : t -> int
+val mem : t -> cell list -> bool
+
+(** [select r pred]: [pred] receives an accessor from attribute name to
+    cell (raising [Not_found] on unknown attributes). *)
+val select : t -> ((string -> cell) -> bool) -> t
+
+(** Projection; raises [Invalid_argument] on unknown attributes. *)
+val project : t -> string list -> t
+
+(** Natural join on shared attribute names (cartesian product if none). *)
+val join : t -> t -> t
+
+(** Set operations; schemas must agree. *)
+val union : t -> t -> t
+
+val diff : t -> t -> t
+
+(** [rename r [(old, new); ...]]. *)
+val rename : t -> (string * string) list -> t
+
+val equal : t -> t -> bool
+val compare_cell : cell -> cell -> int
+val cell_to_string : Elg.t -> cell -> string
+val to_string : Elg.t -> t -> string
+val pp : Elg.t -> Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/rpq/product.ml: Array Elg List Nfa Sym

@@ -1,0 +1,1 @@
+lib/rpq/product.mli: Elg Nfa Sym

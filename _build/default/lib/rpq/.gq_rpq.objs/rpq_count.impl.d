@@ -1,0 +1,1 @@
+lib/rpq/rpq_count.ml: Array Dfa Elg Hashtbl List Nat_big Nfa Regex Stdlib Sym

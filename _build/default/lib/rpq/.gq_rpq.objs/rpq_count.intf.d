@@ -1,0 +1,1 @@
+lib/rpq/rpq_count.mli: Elg Nat_big Regex Sym

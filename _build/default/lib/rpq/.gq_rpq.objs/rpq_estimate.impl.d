@@ -1,0 +1,1 @@
+lib/rpq/rpq_estimate.ml: Array Elg Float Hashtbl List Nfa Product Queue Random Rpq_eval

@@ -1,0 +1,1 @@
+lib/rpq/rpq_estimate.mli: Elg Regex Sym

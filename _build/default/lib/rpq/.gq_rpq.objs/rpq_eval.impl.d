@@ -1,0 +1,1 @@
+lib/rpq/rpq_eval.ml: Array Elg List Nfa Path Product Queue Regex Stdlib Sym

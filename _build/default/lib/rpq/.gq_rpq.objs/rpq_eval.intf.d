@@ -1,0 +1,1 @@
+lib/rpq/rpq_eval.mli: Elg Nfa Path Regex Sym

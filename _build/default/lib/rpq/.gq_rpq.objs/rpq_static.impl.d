@@ -1,0 +1,1 @@
+lib/rpq/rpq_static.ml: Array Dfa Hashtbl List Nfa Queue Regex String Sym

@@ -1,0 +1,1 @@
+lib/rpq/rpq_static.mli: Regex Sym

@@ -1,0 +1,1 @@
+lib/rpq/sparql_paths.ml: Array Elg Hashtbl List Nat_big Queue Regex Sym

@@ -1,0 +1,1 @@
+lib/rpq/sparql_paths.mli: Elg Nat_big Regex Sym

@@ -1,0 +1,1 @@
+lib/rpq/two_way.ml: Array Buffer Elg Fun List Nfa Queue Regex Rpq_parse Stdlib String Sym

@@ -1,0 +1,1 @@
+lib/rpq/two_way.mli: Elg Regex Sym

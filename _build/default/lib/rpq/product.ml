@@ -1,0 +1,51 @@
+type t = {
+  graph : Elg.t;
+  nfa : Sym.t Nfa.t;
+  out : (int * int) list array;
+  nb_product_edges : int;
+}
+
+let nb_automaton_states t = t.nfa.Nfa.nb_states
+let state t ~node ~q = (node * nb_automaton_states t) + q
+let decode t s = (s / nb_automaton_states t, s mod nb_automaton_states t)
+
+let make graph nfa =
+  let nq = nfa.Nfa.nb_states in
+  let nb_states = Elg.nb_nodes graph * nq in
+  let out = Array.make (max 1 nb_states) [] in
+  let count = ref 0 in
+  (* Edges of G× = {(e, (q1,a,q2)) | λ(e) matches a}, per the definition. *)
+  for v = 0 to Elg.nb_nodes graph - 1 do
+    let edges = Elg.out_edges graph v in
+    for q = 0 to nq - 1 do
+      let s = (v * nq) + q in
+      out.(s) <-
+        List.concat_map
+          (fun e ->
+            let lbl = Elg.label graph e in
+            List.filter_map
+              (fun (sym, q') ->
+                if Sym.matches sym lbl then begin
+                  incr count;
+                  Some (e, (Elg.tgt graph e * nq) + q')
+                end
+                else None)
+              nfa.Nfa.delta.(q))
+          edges
+    done
+  done;
+  { graph; nfa; out; nb_product_edges = !count }
+
+let graph t = t.graph
+let nfa t = t.nfa
+let nb_states t = Elg.nb_nodes t.graph * nb_automaton_states t
+let out t s = t.out.(s)
+
+let initials_at t v =
+  List.map (fun q0 -> state t ~node:v ~q:q0) t.nfa.Nfa.initials
+
+let is_final t s =
+  let _, q = decode t s in
+  t.nfa.Nfa.finals.(q)
+
+let nb_product_edges t = t.nb_product_edges

@@ -1,0 +1,34 @@
+(** The product graph G× of an edge-labeled graph and an NFA
+    (Section 6.2).
+
+    Nodes of G× are pairs (graph node, automaton state); edges pair a graph
+    edge with a matching transition.  A path from [(u, q0)] to [(v, q)]
+    with [q] accepting witnesses that the path's projection matches the
+    RPQ, so RPQ evaluation reduces to reachability, shortest paths to BFS,
+    and path enumeration to path enumeration in G× (Sections 6.2–6.4). *)
+
+type t
+
+val make : Elg.t -> Sym.t Nfa.t -> t
+
+val graph : t -> Elg.t
+val nfa : t -> Sym.t Nfa.t
+val nb_states : t -> int
+
+(** [state p ~node ~q] encodes a product node. *)
+val state : t -> node:int -> q:int -> int
+
+(** [decode p s] is [(node, q)]. *)
+val decode : t -> int -> int * int
+
+(** Outgoing product edges: [(graph_edge, successor_state)]. *)
+val out : t -> int -> (int * int) list
+
+(** Product nodes [(u, q0)] for every initial automaton state. *)
+val initials_at : t -> int -> int list
+
+(** Is the automaton component accepting? *)
+val is_final : t -> int -> bool
+
+(** Number of materialized product edges (for size reporting). *)
+val nb_product_edges : t -> int

@@ -1,0 +1,212 @@
+let count_paths_upto g r ~src ~tgt ~max_len =
+  let dfa = Dfa.of_nfa (Nfa.of_regex r) in
+  (* DP over (node, dfa state): counts of paths of the current length.
+     Determinism makes runs and paths one-to-one. *)
+  let nq = dfa.Dfa.nb_states in
+  let idx v q = (v * nq) + q in
+  let size = Elg.nb_nodes g * nq in
+  let current = Array.make size Nat_big.zero in
+  current.(idx src dfa.Dfa.init) <- Nat_big.one;
+  let total = ref Nat_big.zero in
+  let add_finals counts =
+    for q = 0 to nq - 1 do
+      if dfa.Dfa.finals.(q) && not (Nat_big.is_zero counts.(idx tgt q)) then
+        total := Nat_big.add !total counts.(idx tgt q)
+    done
+  in
+  add_finals current;
+  let current = ref current in
+  for _ = 1 to max_len do
+    let next = Array.make size Nat_big.zero in
+    Array.iteri
+      (fun i count ->
+        if not (Nat_big.is_zero count) then begin
+          let v = i / nq and q = i mod nq in
+          List.iter
+            (fun e ->
+              let c = Dfa.class_of_label dfa (Elg.label g e) in
+              let q' = dfa.Dfa.next.(q).(c) in
+              let j = idx (Elg.tgt g e) q' in
+              next.(j) <- Nat_big.add next.(j) count)
+            (Elg.out_edges g v)
+        end)
+      !current;
+    current := next;
+    add_finals next
+  done;
+  !total
+
+(* --- Bag-semantics parse counting (Section 6.1, after [9]) ------------- *)
+
+(* Subexpression tree with ids for memoization keys. *)
+type 'a tree = { id : int; expr : 'a Regex.t; children : 'a tree list }
+
+let index_subexprs r =
+  let count = ref 0 in
+  let rec go r =
+    let id = !count in
+    incr count;
+    match r with
+    | Regex.Eps | Regex.Atom _ -> { id; expr = r; children = [] }
+    | Regex.Seq (r1, r2) | Regex.Alt (r1, r2) ->
+        let t1 = go r1 in
+        let t2 = go r2 in
+        { id; expr = r; children = [ t1; t2 ] }
+    | Regex.Star r1 -> { id; expr = r; children = [ go r1 ] }
+  in
+  go r
+
+(* Multiplicity of expression [tree] on the path slice [i..j] (node indices
+   into [path_nodes]; the slice denotes edges i..j-1). *)
+let count_on_path g tree path_nodes =
+  let memo : (int * int * int, Nat_big.t) Hashtbl.t = Hashtbl.create 64 in
+  let n = Array.length path_nodes in
+  let edge_count i j sym =
+    (* Parallel edges each count once. *)
+    List.length
+      (List.filter
+         (fun e -> Sym.matches sym (Elg.label g e))
+         (Elg.edges_between g path_nodes.(i) path_nodes.(j)))
+  in
+  let rec count t i j =
+    match Hashtbl.find_opt memo (t.id, i, j) with
+    | Some c -> c
+    | None ->
+        let result =
+          match (t.expr, t.children) with
+          | Regex.Eps, _ -> if i = j then Nat_big.one else Nat_big.zero
+          | Regex.Atom sym, _ ->
+              if j = i + 1 then Nat_big.of_int (edge_count i j sym)
+              else Nat_big.zero
+          | Regex.Seq _, [ t1; t2 ] ->
+              let acc = ref Nat_big.zero in
+              for k = i to j do
+                let c1 = count t1 i k in
+                if not (Nat_big.is_zero c1) then
+                  acc := Nat_big.add !acc (Nat_big.mul c1 (count t2 k j))
+              done;
+              !acc
+          | Regex.Alt _, [ t1; t2 ] ->
+              Nat_big.add (count t1 i j) (count t2 i j)
+          | Regex.Star _, [ t1 ] ->
+              if i = j then Nat_big.one
+              else begin
+                (* Split off a non-empty first iteration. *)
+                let acc = ref Nat_big.zero in
+                for k = i + 1 to j do
+                  let c1 = count t1 i k in
+                  if not (Nat_big.is_zero c1) then
+                    acc :=
+                      Nat_big.add !acc
+                        (Nat_big.mul c1 (count t k j))
+                done;
+                !acc
+              end
+          | (Regex.Seq _ | Regex.Alt _ | Regex.Star _), _ -> assert false
+        in
+        Hashtbl.add memo (t.id, i, j) result;
+        result
+  in
+  count tree 0 (n - 1)
+
+(* All simple paths from src to tgt, as node arrays. *)
+let simple_paths g ~src ~tgt =
+  let acc = ref [] in
+  let visited = Array.make (Elg.nb_nodes g) false in
+  let rec go v rev_nodes =
+    if v = tgt then acc := Array.of_list (List.rev (v :: rev_nodes)) :: !acc
+    else
+      List.iter
+        (fun e ->
+          let w = Elg.tgt g e in
+          if not visited.(w) then begin
+            visited.(w) <- true;
+            go w (v :: rev_nodes);
+            visited.(w) <- false
+          end)
+        (Elg.out_edges g v)
+  in
+  visited.(src) <- true;
+  go src [];
+  (* Parallel edges produce the same node sequence several times; the
+     sequence is the path skeleton, so deduplicate (edge multiplicity is
+     accounted for by the per-atom edge counts). *)
+  List.sort_uniq Stdlib.compare !acc
+
+let parse_count g r ~src ~tgt =
+  let tree = index_subexprs r in
+  List.fold_left
+    (fun acc nodes -> Nat_big.add acc (count_on_path g tree nodes))
+    Nat_big.zero
+    (simple_paths g ~src ~tgt)
+
+(* --- ALP-style bag counting (the [9] reconstruction) -------------------- *)
+
+(* count(e, x, y): concatenation composes over intermediate graph nodes;
+   a star sums over sequences of distinct intermediate nodes, but each
+   nested evaluation starts its own distinctness bookkeeping. *)
+let alp_counter g r =
+  if Elg.nb_nodes g > 62 then
+    invalid_arg "Rpq_count.bag_count: at most 62 nodes (bitmask visited sets)";
+  let tree = index_subexprs r in
+  let memo : (int * int * int, Nat_big.t) Hashtbl.t = Hashtbl.create 256 in
+  let star_memo : (int * int * int * int, Nat_big.t) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let edge_count x y sym =
+    List.length
+      (List.filter
+         (fun e -> Sym.matches sym (Elg.label g e))
+         (Elg.edges_between g x y))
+  in
+  let rec count t x y =
+    match Hashtbl.find_opt memo (t.id, x, y) with
+    | Some c -> c
+    | None ->
+        let result =
+          match (t.expr, t.children) with
+          | Regex.Eps, _ -> if x = y then Nat_big.one else Nat_big.zero
+          | Regex.Atom sym, _ -> Nat_big.of_int (edge_count x y sym)
+          | Regex.Seq _, [ t1; t2 ] ->
+              Elg.fold_nodes
+                (fun z acc ->
+                  let c1 = count t1 x z in
+                  if Nat_big.is_zero c1 then acc
+                  else Nat_big.add acc (Nat_big.mul c1 (count t2 z y)))
+                g Nat_big.zero
+          | Regex.Alt _, [ t1; t2 ] -> Nat_big.add (count t1 x y) (count t2 x y)
+          | Regex.Star _, [ t1 ] -> star t1 x y (1 lsl x)
+          | (Regex.Seq _ | Regex.Alt _ | Regex.Star _), _ -> assert false
+        in
+        Hashtbl.add memo (t.id, x, y) result;
+        result
+  and star t1 cur y visited =
+    match Hashtbl.find_opt star_memo (t1.id, cur, y, visited) with
+    | Some c -> c
+    | None ->
+        let base = if cur = y then Nat_big.one else Nat_big.zero in
+        let result =
+          Elg.fold_nodes
+            (fun z acc ->
+              if visited land (1 lsl z) <> 0 then acc
+              else
+                let c1 = count t1 cur z in
+                if Nat_big.is_zero c1 then acc
+                else
+                  Nat_big.add acc
+                    (Nat_big.mul c1 (star t1 z y (visited lor (1 lsl z)))))
+            g base
+        in
+        Hashtbl.add star_memo (t1.id, cur, y, visited) result;
+        result
+  in
+  count tree
+
+let bag_count g r ~src ~tgt = alp_counter g r src tgt
+
+let bag_count_total g r =
+  let count = alp_counter g r in
+  Elg.fold_nodes
+    (fun u acc ->
+      Elg.fold_nodes (fun v acc -> Nat_big.add acc (count u v)) g acc)
+    g Nat_big.zero

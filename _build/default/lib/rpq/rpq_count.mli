@@ -1,0 +1,40 @@
+(** Counting semantics for RPQs.
+
+    Two counters:
+
+    - {!count_paths_upto}: the number of {e distinct matching paths} of
+      bounded length, computed by dynamic programming over the product
+      graph with a {e deterministic} (hence unambiguous) automaton, so
+      runs and paths coincide (Section 6.2, "if we want to count the
+      number of matching paths, it is important that N_R is
+      unambiguous").
+
+    - {!bag_count}: a reconstruction of the SPARQL 1.1-draft bag
+      semantics analysed by Arenas, Conca and Pérez [9] (Section 6.1).
+      Concatenation sums over intermediate nodes, disjunction adds, and
+      [R*] sums over all sequences of {e distinct} intermediate nodes
+      (the draft's ALP restriction, which is what keeps each level
+      finite) weighted by the product of the sub-counts — but nested
+      stars restart the distinctness bookkeeping, so multiplicities
+      compound and the count explodes double-exponentially with the
+      nesting depth: the paper's "boom".
+
+    - {!parse_count}: a second bag model — the number of ways the
+      expression parses against the simple paths between the endpoints —
+      used as a structural cross-check in tests. *)
+
+(** Number of matching paths from [src] to [tgt] of length at most
+    [max_len]. *)
+val count_paths_upto :
+  Elg.t -> Sym.t Regex.t -> src:int -> tgt:int -> max_len:int -> Nat_big.t
+
+(** ALP-style bag-semantics multiplicity of the pair [(src, tgt)].
+    Requires at most 62 nodes (visited sets are bitmasks). *)
+val bag_count : Elg.t -> Sym.t Regex.t -> src:int -> tgt:int -> Nat_big.t
+
+(** Sum of multiplicities over all pairs: the total number of "solutions"
+    a bag-semantics engine would emit. *)
+val bag_count_total : Elg.t -> Sym.t Regex.t -> Nat_big.t
+
+(** Parse-multiplicity over simple paths (see above). *)
+val parse_count : Elg.t -> Sym.t Regex.t -> src:int -> tgt:int -> Nat_big.t

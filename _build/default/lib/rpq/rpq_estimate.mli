@@ -1,0 +1,17 @@
+(** Cardinality estimation for RPQs (Section 7.1: "how to develop
+    cardinality estimation approaches for (C)RPQs" is named as an open
+    question on the road map).
+
+    A baseline estimator: sample source nodes uniformly, run the exact
+    product-graph BFS from each sample, and scale.  This is an unbiased
+    estimator of |⟦R⟧_G| with variance shrinking in the sample count; the
+    tests check calibration against exact counts on random graphs. *)
+
+(** [estimate_pairs g r ~samples ~seed] estimates |⟦R⟧_G|. *)
+val estimate_pairs : Elg.t -> Sym.t Regex.t -> samples:int -> seed:int -> float
+
+(** Exact |⟦R⟧_G| (for calibration). *)
+val exact_pairs : Elg.t -> Sym.t Regex.t -> int
+
+(** Relative error |est - exact| / max(1, exact). *)
+val relative_error : Elg.t -> Sym.t Regex.t -> samples:int -> seed:int -> float

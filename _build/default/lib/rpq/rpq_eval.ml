@@ -1,0 +1,110 @@
+let bfs_reachable product start_states =
+  let n = Product.nb_states product in
+  let seen = Array.make (max 1 n) false in
+  let queue = Queue.create () in
+  List.iter
+    (fun s ->
+      if not seen.(s) then begin
+        seen.(s) <- true;
+        Queue.add s queue
+      end)
+    start_states;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    List.iter
+      (fun (_, s') ->
+        if not seen.(s') then begin
+          seen.(s') <- true;
+          Queue.add s' queue
+        end)
+      (Product.out product s)
+  done;
+  seen
+
+let targets_of_seen product seen =
+  let acc = ref [] in
+  for s = Product.nb_states product - 1 downto 0 do
+    if seen.(s) && Product.is_final product s then begin
+      let v, _ = Product.decode product s in
+      acc := v :: !acc
+    end
+  done;
+  List.sort_uniq Stdlib.compare !acc
+
+let from_source_product product ~src =
+  let seen = bfs_reachable product (Product.initials_at product src) in
+  targets_of_seen product seen
+
+let pairs_nfa g nfa =
+  let product = Product.make g nfa in
+  Elg.fold_nodes
+    (fun u acc ->
+      List.fold_left
+        (fun acc v -> (u, v) :: acc)
+        acc
+        (from_source_product product ~src:u))
+    g []
+  |> List.sort_uniq Stdlib.compare
+
+let pairs g r = pairs_nfa g (Nfa.of_regex r)
+
+let from_source g r ~src =
+  let product = Product.make g (Nfa.of_regex r) in
+  from_source_product product ~src
+
+let check g r ~src ~tgt = List.mem tgt (from_source g r ~src)
+
+let shortest_witness g r ~src ~tgt =
+  let product = Product.make g (Nfa.of_regex r) in
+  let n = Product.nb_states product in
+  let pred = Array.make (max 1 n) None in
+  let seen = Array.make (max 1 n) false in
+  let queue = Queue.create () in
+  List.iter
+    (fun s ->
+      seen.(s) <- true;
+      Queue.add s queue)
+    (Product.initials_at product src)
+  |> ignore;
+  let found = ref None in
+  while !found = None && not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    let v, _ = Product.decode product s in
+    if v = tgt && Product.is_final product s then found := Some s
+    else
+      List.iter
+        (fun (e, s') ->
+          if not seen.(s') then begin
+            seen.(s') <- true;
+            pred.(s') <- Some (e, s);
+            Queue.add s' queue
+          end)
+        (Product.out product s)
+  done;
+  match !found with
+  | None -> None
+  | Some s ->
+      let rec rebuild s acc =
+        match pred.(s) with
+        | None ->
+            let v, _ = Product.decode product s in
+            Path.N v :: acc
+        | Some (e, s0) ->
+            let v, _ = Product.decode product s in
+            rebuild s0 (Path.E e :: Path.N v :: acc)
+      in
+      Some (Path.of_objs_exn g (rebuild s []))
+
+let pairs_naive g r ~max_len =
+  let results = ref [] in
+  let matches sym lbl = Sym.matches sym lbl in
+  let rec extend u v word len =
+    if Regex.matches_word ~matches r (List.rev word) then
+      results := (u, v) :: !results;
+    if len < max_len then
+      List.iter
+        (fun e -> extend u (Elg.tgt g e) (Elg.label g e :: word) (len + 1))
+        (Elg.out_edges g v)
+  in
+  Elg.fold_nodes (fun u () -> extend u u [] 0) g ();
+  List.sort_uniq Stdlib.compare !results

@@ -1,0 +1,24 @@
+(** RPQ evaluation via the product construction (Sections 3.1.1 and 6.2).
+
+    [⟦R⟧_G = { (u,v) | some path from u to v has elab(p) ∈ L(R) }]. *)
+
+(** [pairs g r] computes ⟦R⟧_G (Example 12).  Polynomial:
+    one product-graph BFS per source node. *)
+val pairs : Elg.t -> Sym.t Regex.t -> (int * int) list
+
+(** Nodes reachable from [src] along a matching path. *)
+val from_source : Elg.t -> Sym.t Regex.t -> src:int -> int list
+
+(** Membership of a single pair. *)
+val check : Elg.t -> Sym.t Regex.t -> src:int -> tgt:int -> bool
+
+(** As {!pairs} but reusing a compiled automaton. *)
+val pairs_nfa : Elg.t -> Sym.t Nfa.t -> (int * int) list
+
+(** A shortest matching path from [src] to [tgt], if any (BFS in G×). *)
+val shortest_witness : Elg.t -> Sym.t Regex.t -> src:int -> tgt:int -> Path.t option
+
+(** Naive reference evaluation: enumerate all paths of length at most
+    [max_len] and test elab(p) against the regex.  Exponential; a test
+    oracle for the product construction. *)
+val pairs_naive : Elg.t -> Sym.t Regex.t -> max_len:int -> (int * int) list

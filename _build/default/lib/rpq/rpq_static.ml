@@ -1,0 +1,68 @@
+let all_labels r1 r2 =
+  List.concat_map Sym.mentioned (Regex.atoms r1 @ Regex.atoms r2)
+  |> List.sort_uniq String.compare
+
+(* Search the product of d1 and d2 for a state witnessing L1 ⊄ L2; returns
+   the shortest witness word if one exists. *)
+let difference_witness d1 d2 =
+  let k = Dfa.nb_classes d1 in
+  assert (k = Dfa.nb_classes d2);
+  let label_of c =
+    if c < Array.length d1.Dfa.class_labels then d1.Dfa.class_labels.(c)
+    else "<other>"
+  in
+  let seen = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  Queue.add (d1.Dfa.init, d2.Dfa.init, []) queue;
+  Hashtbl.add seen (d1.Dfa.init, d2.Dfa.init) ();
+  let witness = ref None in
+  while !witness = None && not (Queue.is_empty queue) do
+    let p, q, word = Queue.pop queue in
+    if d1.Dfa.finals.(p) && not d2.Dfa.finals.(q) then
+      witness := Some (List.rev word)
+    else
+      for c = 0 to k - 1 do
+        let p' = d1.Dfa.next.(p).(c) and q' = d2.Dfa.next.(q).(c) in
+        if not (Hashtbl.mem seen (p', q')) then begin
+          Hashtbl.add seen (p', q') ();
+          Queue.add (p', q', label_of c :: word) queue
+        end
+      done
+  done;
+  !witness
+
+let dfas r1 r2 =
+  let labels = all_labels r1 r2 in
+  ( Dfa.of_nfa ~extra_labels:labels (Nfa.of_regex r1),
+    Dfa.of_nfa ~extra_labels:labels (Nfa.of_regex r2) )
+
+let containment_counterexample r1 r2 =
+  let d1, d2 = dfas r1 r2 in
+  difference_witness d1 d2
+
+let contained r1 r2 = containment_counterexample r1 r2 = None
+
+let equivalent r1 r2 = contained r1 r2 && contained r2 r1
+
+let disjoint r1 r2 =
+  let d1, d2 = dfas r1 r2 in
+  (* Intersection emptiness: no reachable doubly-accepting product state. *)
+  let k = Dfa.nb_classes d1 in
+  let seen = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  Queue.add (d1.Dfa.init, d2.Dfa.init) queue;
+  Hashtbl.add seen (d1.Dfa.init, d2.Dfa.init) ();
+  let both = ref false in
+  while (not !both) && not (Queue.is_empty queue) do
+    let p, q = Queue.pop queue in
+    if d1.Dfa.finals.(p) && d2.Dfa.finals.(q) then both := true
+    else
+      for c = 0 to k - 1 do
+        let p' = d1.Dfa.next.(p).(c) and q' = d2.Dfa.next.(q).(c) in
+        if not (Hashtbl.mem seen (p', q')) then begin
+          Hashtbl.add seen (p', q') ();
+          Queue.add (p', q') queue
+        end
+      done
+  done;
+  not !both

@@ -1,0 +1,22 @@
+(** Static analysis of RPQs (Section 7.1, "Static Analysis").
+
+    For plain RPQs the fundamental problems — containment, equivalence,
+    disjointness — reduce to regular-language inclusion, decided here with
+    the symbolic DFA toolbox (determinize over label minterms, complement,
+    product emptiness).  This is the "well understood" baseline the paper
+    contrasts with the open problems for list variables and data tests. *)
+
+(** L(r1) ⊆ L(r2)?  Hence: every answer of r1 is an answer of r2 on every
+    graph. *)
+val contained : Sym.t Regex.t -> Sym.t Regex.t -> bool
+
+(** L(r1) = L(r2)? *)
+val equivalent : Sym.t Regex.t -> Sym.t Regex.t -> bool
+
+(** L(r1) ∩ L(r2) = ∅? *)
+val disjoint : Sym.t Regex.t -> Sym.t Regex.t -> bool
+
+(** A word in L(r1) \ L(r2), if any — a counterexample to containment
+    (the "other label" class is rendered as ["<other>"]). *)
+val containment_counterexample :
+  Sym.t Regex.t -> Sym.t Regex.t -> string list option

@@ -1,0 +1,91 @@
+(* Bag semantics for Seq/Alt; set semantics (0/1) for Star.  Concatenation
+   composes over intermediate nodes with multiplicities multiplying. *)
+
+type 'a tree = { id : int; expr : e; children : 'a tree list }
+and e = Teps | Tatom of int | Tseq | Talt | Tstar
+
+let index r =
+  let counter = ref 0 in
+  let atoms = ref [] in
+  let rec go r =
+    let id = !counter in
+    incr counter;
+    match r with
+    | Regex.Eps -> { id; expr = Teps; children = [] }
+    | Regex.Atom sym ->
+        atoms := (id, sym) :: !atoms;
+        { id; expr = Tatom id; children = [] }
+    | Regex.Seq (r1, r2) ->
+        let t1 = go r1 in
+        let t2 = go r2 in
+        { id; expr = Tseq; children = [ t1; t2 ] }
+    | Regex.Alt (r1, r2) ->
+        let t1 = go r1 in
+        let t2 = go r2 in
+        { id; expr = Talt; children = [ t1; t2 ] }
+    | Regex.Star r1 -> { id; expr = Tstar; children = [ go r1 ] }
+  in
+  let t = go r in
+  (t, !atoms)
+
+let counter g r =
+  let tree, atoms = index r in
+  let memo : (int * int * int, Nat_big.t) Hashtbl.t = Hashtbl.create 64 in
+  let edge_count x y sym =
+    List.length
+      (List.filter
+         (fun e -> Sym.matches sym (Elg.label g e))
+         (Elg.edges_between g x y))
+  in
+  let rec count t x y =
+    let key = (t.id, x, y) in
+    match Hashtbl.find_opt memo key with
+    | Some c -> c
+    | None ->
+        let result =
+          match (t.expr, t.children) with
+          | Teps, _ -> if x = y then Nat_big.one else Nat_big.zero
+          | Tatom id, _ ->
+              Nat_big.of_int (edge_count x y (List.assoc id atoms))
+          | Talt, [ t1; t2 ] -> Nat_big.add (count t1 x y) (count t2 x y)
+          | Tseq, [ t1; t2 ] ->
+              Elg.fold_nodes
+                (fun z acc ->
+                  let c1 = count t1 x z in
+                  if Nat_big.is_zero c1 then acc
+                  else Nat_big.add acc (Nat_big.mul c1 (count t2 z y)))
+                g Nat_big.zero
+          | Tstar, [ t1 ] ->
+              (* Set semantics: 1 iff y is star-reachable from x. *)
+              if List.mem y (star_reach t1 x) then Nat_big.one else Nat_big.zero
+          | (Talt | Tseq | Tstar), _ -> assert false
+        in
+        Hashtbl.add memo key result;
+        result
+  and star_reach t1 x =
+    let seen = Array.make (Elg.nb_nodes g) false in
+    let queue = Queue.create () in
+    seen.(x) <- true;
+    Queue.add x queue;
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      Elg.fold_nodes
+        (fun w () ->
+          if (not seen.(w)) && not (Nat_big.is_zero (count t1 v w)) then begin
+            seen.(w) <- true;
+            Queue.add w queue
+          end)
+        g ()
+    done;
+    Elg.fold_nodes (fun v acc -> if seen.(v) then v :: acc else acc) g []
+  in
+  count tree
+
+let multiplicity g r ~src ~tgt = counter g r src tgt
+
+let total g r =
+  let count = counter g r in
+  Elg.fold_nodes
+    (fun u acc ->
+      Elg.fold_nodes (fun v acc -> Nat_big.add acc (count u v)) g acc)
+    g Nat_big.zero

@@ -1,0 +1,18 @@
+(** SPARQL 1.1 property-path multiplicities (Section 6.1).
+
+    After the counting blowup of [9], the final SPARQL 1.1 standard kept a
+    {e non-uniform} semantics: union and concatenation are evaluated under
+    bag semantics, but Kleene star and plus under set semantics.  The
+    paper points out that as a result "it is not clear which intuitive
+    meaning we can associate to the number of times a pair of nodes is
+    returned".
+
+    This module computes those multiplicities, so the oddity is
+    observable: [(a|a)] returns a pair twice, but [(a|a)*] returns it once
+    — wrapping a query in a star {e changes} its multiplicities. *)
+
+(** Multiplicity of the pair under the SPARQL 1.1 semantics. *)
+val multiplicity : Elg.t -> Sym.t Regex.t -> src:int -> tgt:int -> Nat_big.t
+
+(** Total number of rows over all pairs. *)
+val total : Elg.t -> Sym.t Regex.t -> Nat_big.t

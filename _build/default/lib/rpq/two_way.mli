@@ -1,0 +1,33 @@
+(** Two-way regular path queries (2RPQs).
+
+    Remark 9 notes that practical languages use two-way paths with forward
+    and backward edges and that the paper's framework "can easily be
+    extended" to them — this module is that extension.  Atoms traverse an
+    edge forward ([a]) or backward ([a⁻]); the classical automata-based
+    evaluation goes through unchanged because the product construction
+    simply also pairs backward transitions with reversed adjacency
+    ([23, 24] in the paper's bibliography). *)
+
+type atom = Fwd of Sym.t | Bwd of Sym.t
+
+type t = atom Regex.t
+
+val fwd : string -> t
+val bwd : string -> t
+val fwd_any : t
+val bwd_any : t
+
+(** Parses the RPQ syntax extended with [^] for backward atoms, e.g.
+    ["a.^b.(c|^c)*"]. *)
+val parse : string -> t
+
+(** ⟦R⟧_G: endpoint pairs connected by a two-way path. *)
+val pairs : Elg.t -> t -> (int * int) list
+
+val from_source : Elg.t -> t -> src:int -> int list
+val check : Elg.t -> t -> src:int -> tgt:int -> bool
+
+(** Naive oracle: enumerate two-way walks up to [max_len] steps. *)
+val pairs_naive : Elg.t -> t -> max_len:int -> (int * int) list
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+test/test_automata.ml: Alcotest Dfa List Nfa QCheck QCheck_alcotest Regex Rpq_parse String Sym

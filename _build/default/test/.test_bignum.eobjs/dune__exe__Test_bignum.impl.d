@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest List Nat_big Printf QCheck QCheck_alcotest Stdlib String

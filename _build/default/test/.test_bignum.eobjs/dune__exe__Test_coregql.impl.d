@@ -1,0 +1,1 @@
+test/test_coregql.ml: Alcotest Coregql Coregql_paths Coregql_query Dlrpq Elg Etest Fun Generators List Path Pg Printf Regex Relation Stdlib Value

@@ -1,0 +1,1 @@
+test/test_cypher.ml: Alcotest Cypher Dfa Elg Generators List Nfa QCheck QCheck_alcotest Regex Rpq_parse Sym

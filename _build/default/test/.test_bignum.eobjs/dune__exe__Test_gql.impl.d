@@ -1,0 +1,1 @@
+test/test_gql.ml: Alcotest Elg Generators Gql Gql_parse Gql_query List Path Pg Printf Relation Stdlib String Value

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Elg Generators Graph_io List Path Pg QCheck QCheck_alcotest Random String Value

@@ -1,0 +1,1 @@
+test/test_lists.ml: Alcotest Dlrpq Elg Etest Fun Generators List Path Pg Printf QCheck QCheck_alcotest Reduce Regex Stdlib String Value

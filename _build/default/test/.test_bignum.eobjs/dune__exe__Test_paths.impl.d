@@ -1,0 +1,1 @@
+test/test_paths.ml: Alcotest Elg Generators List Nat_big Path Path_modes Printf QCheck QCheck_alcotest Regex Rpq_parse Seq Stdlib Sym

@@ -1,0 +1,1 @@
+test/test_pmr.ml: Alcotest Elg Fun Generators List Nat_big Path Path_modes Pmr Printf QCheck QCheck_alcotest Rpq_parse

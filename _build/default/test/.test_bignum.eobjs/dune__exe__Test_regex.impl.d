@@ -1,0 +1,1 @@
+test/test_regex.ml: Alcotest List QCheck QCheck_alcotest Regex Rpq_parse String Sym

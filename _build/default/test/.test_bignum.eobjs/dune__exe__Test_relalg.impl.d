@@ -1,0 +1,1 @@
+test/test_relalg.ml: Alcotest Elg Generators List QCheck QCheck_alcotest Relation Value

@@ -1,0 +1,1 @@
+test/test_rpq.ml: Alcotest Elg Generators List Nat_big Path Printf QCheck QCheck_alcotest Regex Rpq_count Rpq_eval Rpq_parse Sym

@@ -1,0 +1,166 @@
+(* Glushkov construction, determinization, minimization, equivalence,
+   ambiguity: the automata toolbox of Section 6.2. *)
+
+let matches sym lbl = Sym.matches sym lbl
+let parse = Rpq_parse.parse
+
+let nfa_accepts r w = Nfa.accepts ~matches (Nfa.of_regex r) w
+
+let test_glushkov_basics () =
+  let r = parse "a(b|c)*" in
+  let nfa = Nfa.of_regex r in
+  Alcotest.(check int) "size = atoms + 1" 4 nfa.Nfa.nb_states;
+  Alcotest.(check bool) "accepts a" true (nfa_accepts r [ "a" ]);
+  Alcotest.(check bool) "accepts abc" true (nfa_accepts r [ "a"; "b"; "c" ]);
+  Alcotest.(check bool) "rejects eps" false (nfa_accepts r []);
+  Alcotest.(check bool) "rejects b" false (nfa_accepts r [ "b" ])
+
+let test_trim_empty () =
+  (* b-after-a* that can never be reached: a* . b with no b? use empty
+     intersection instead: a & b via product. *)
+  let na = Nfa.of_regex (parse "a") in
+  let nb = Nfa.of_regex (parse "b") in
+  let inter = Nfa.product Sym.inter na nb in
+  Alcotest.(check bool) "a & b empty" true (Nfa.is_empty inter);
+  Alcotest.(check int) "trim of empty" 0 (Nfa.trim inter).Nfa.nb_states
+
+let test_product_intersection () =
+  let r1 = parse "(a|b)*" and r2 = parse "a*b" in
+  let inter = Nfa.product Sym.inter (Nfa.of_regex r1) (Nfa.of_regex r2) in
+  Alcotest.(check bool) "accepts aab" true (Nfa.accepts ~matches inter [ "a"; "a"; "b" ]);
+  Alcotest.(check bool) "rejects aba" false (Nfa.accepts ~matches inter [ "a"; "b"; "a" ])
+
+let test_determinize () =
+  let r = parse "(a|b)*a.b.b" in
+  let dfa = Dfa.of_nfa (Nfa.of_regex r) in
+  Alcotest.(check bool) "accepts abb" true (Dfa.accepts dfa [ "a"; "b"; "b" ]);
+  Alcotest.(check bool) "accepts aabb" true (Dfa.accepts dfa [ "a"; "a"; "b"; "b" ]);
+  Alcotest.(check bool) "rejects ab" false (Dfa.accepts dfa [ "a"; "b" ])
+
+let test_complement () =
+  let dfa = Dfa.of_nfa (Nfa.of_regex (parse "a*")) in
+  let comp = Dfa.complement dfa in
+  Alcotest.(check bool) "a* comp rejects aa" false (Dfa.accepts comp [ "a"; "a" ]);
+  Alcotest.(check bool) "a* comp accepts ab" true (Dfa.accepts comp [ "a"; "b" ]);
+  Alcotest.(check bool) "comp accepts other labels" true (Dfa.accepts comp [ "zzz" ])
+
+let test_minimize () =
+  (* (a|b)(a|b) has a 4-state minimal DFA (with sink): states for 0,1,2
+     letters seen plus the dead state. *)
+  let dfa = Dfa.of_nfa (Nfa.of_regex (parse "(a|b)(a|b)")) in
+  let min = Dfa.minimize dfa in
+  Alcotest.(check int) "minimal size" 4 min.Dfa.nb_states;
+  Alcotest.(check bool) "same language" true (Dfa.accepts min [ "a"; "b" ]);
+  (* Minimization is idempotent. *)
+  Alcotest.(check int) "idempotent" min.Dfa.nb_states (Dfa.minimize min).Dfa.nb_states
+
+let test_equiv () =
+  let eq a b = Dfa.equiv (Nfa.of_regex (parse a)) (Nfa.of_regex (parse b)) in
+  Alcotest.(check bool) "(((a*)*)*)* = a*" true (eq "(((a*)*)*)*" "a*");
+  Alcotest.(check bool) "(a.b)* != a(b.a)*b" false (eq "(a.b)*" "a.(b.a)*.b");
+  Alcotest.(check bool) "a(b.a)* = (a.b)*a" true (eq "a.(b.a)*" "(a.b)*.a");
+  Alcotest.(check bool) "wildcards" true (eq "_" "a|!{a}");
+  Alcotest.(check bool) "negset vs label" false (eq "!{a}" "b")
+
+let test_ambiguity () =
+  let inter a b = Sym.inter a b <> None in
+  let ambiguous src = Nfa.is_ambiguous ~inter (Nfa.of_regex (parse src)) in
+  Alcotest.(check bool) "a* unambiguous" false (ambiguous "a*");
+  Alcotest.(check bool) "(a|a) ambiguous" true (ambiguous "a|a");
+  (* Note: the Glushkov automaton of star(star a) has the same transitions
+     as that of star a, so as an automaton it is unambiguous even though
+     the expression has many parses: run- and parse-ambiguity differ. *)
+  Alcotest.(check bool) "(a*)* Glushkov unambiguous" false (ambiguous "(a*)*");
+  Alcotest.(check bool) "a*a* ambiguous" true (ambiguous "a*a*");
+  Alcotest.(check bool) "(a.b)* unambiguous" false (ambiguous "(a.b)*");
+  Alcotest.(check bool) "wildcard overlap" true (ambiguous "a|_")
+
+let test_to_nfa_roundtrip () =
+  let r = parse "(a|b)*a.b.b" in
+  let back = Dfa.to_nfa (Dfa.of_nfa (Nfa.of_regex r)) in
+  Alcotest.(check bool) "same language" true (Dfa.equiv back (Nfa.of_regex r));
+  let inter a b = Sym.inter a b <> None in
+  Alcotest.(check bool) "deterministic, hence unambiguous" false
+    (Nfa.is_ambiguous ~inter back)
+
+(* Differential property: Glushkov + determinization agree with the
+   Brzozowski derivative matcher on random regexes and words. *)
+let gen_regex =
+  QCheck.Gen.(
+    sized_size (int_range 1 8) @@ fix (fun self size ->
+        if size <= 1 then
+          oneof
+            [
+              return Regex.Eps;
+              map (fun l -> Regex.Atom (Sym.Lbl l)) (oneofl [ "a"; "b" ]);
+              return (Regex.Atom Sym.Any);
+              return (Regex.Atom (Sym.Not [ "a" ]));
+            ]
+        else
+          oneof
+            [
+              map2 (fun r1 r2 -> Regex.Seq (r1, r2)) (self (size / 2)) (self (size / 2));
+              map2 (fun r1 r2 -> Regex.Alt (r1, r2)) (self (size / 2)) (self (size / 2));
+              map (fun r -> Regex.Star r) (self (size - 1));
+            ]))
+
+let gen_word = QCheck.Gen.(list_size (int_range 0 6) (oneofl [ "a"; "b"; "c" ]))
+
+let arb =
+  QCheck.make
+    ~print:(fun (r, w) -> Regex.to_string Sym.to_string r ^ " / " ^ String.concat "" w)
+    QCheck.Gen.(pair gen_regex gen_word)
+
+let prop_nfa_matches_derivatives =
+  QCheck.Test.make ~count:500 ~name:"Glushkov NFA = derivative matcher" arb
+    (fun (r, w) ->
+      Nfa.accepts ~matches (Nfa.of_regex r) w = Regex.matches_word ~matches r w)
+
+let prop_dfa_matches_nfa =
+  QCheck.Test.make ~count:500 ~name:"DFA = NFA" arb (fun (r, w) ->
+      let nfa = Nfa.of_regex r in
+      Dfa.accepts (Dfa.of_nfa ~extra_labels:[ "a"; "b"; "c" ] nfa) w
+      = Nfa.accepts ~matches nfa w)
+
+let prop_minimize_preserves =
+  QCheck.Test.make ~count:500 ~name:"minimize preserves language" arb
+    (fun (r, w) ->
+      let dfa = Dfa.of_nfa ~extra_labels:[ "a"; "b"; "c" ] (Nfa.of_regex r) in
+      Dfa.accepts dfa w = Dfa.accepts (Dfa.minimize dfa) w)
+
+let prop_complement_flips =
+  QCheck.Test.make ~count:500 ~name:"complement flips membership" arb
+    (fun (r, w) ->
+      let dfa = Dfa.of_nfa ~extra_labels:[ "a"; "b"; "c" ] (Nfa.of_regex r) in
+      Dfa.accepts dfa w <> Dfa.accepts (Dfa.complement dfa) w)
+
+let prop_equiv_reflexive =
+  QCheck.Test.make ~count:200 ~name:"equiv is reflexive"
+    (QCheck.make gen_regex) (fun r ->
+      Dfa.equiv (Nfa.of_regex r) (Nfa.of_regex r))
+
+let () =
+  Alcotest.run "automata"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "glushkov" `Quick test_glushkov_basics;
+          Alcotest.test_case "trim/empty" `Quick test_trim_empty;
+          Alcotest.test_case "product" `Quick test_product_intersection;
+          Alcotest.test_case "determinize" `Quick test_determinize;
+          Alcotest.test_case "complement" `Quick test_complement;
+          Alcotest.test_case "minimize" `Quick test_minimize;
+          Alcotest.test_case "equivalence" `Quick test_equiv;
+          Alcotest.test_case "ambiguity" `Quick test_ambiguity;
+          Alcotest.test_case "dfa->nfa" `Quick test_to_nfa_roundtrip;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_nfa_matches_derivatives;
+            prop_dfa_matches_nfa;
+            prop_minimize_preserves;
+            prop_complement_flips;
+            prop_equiv_reflexive;
+          ] );
+    ]

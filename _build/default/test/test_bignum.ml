@@ -1,0 +1,106 @@
+(* Unit and property tests for the vendored bignum substrate. *)
+
+let nat = Alcotest.testable Nat_big.pp Nat_big.equal
+
+let test_of_to_int () =
+  List.iter
+    (fun n ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "roundtrip %d" n)
+        (Some n)
+        (Nat_big.to_int (Nat_big.of_int n)))
+    [ 0; 1; 7; 999_999_999; 1_000_000_000; 123_456_789_012_345 ]
+
+let test_to_string () =
+  Alcotest.(check string) "zero" "0" (Nat_big.to_string Nat_big.zero);
+  Alcotest.(check string)
+    "large" "123456789012345678901234567890"
+    (Nat_big.to_string (Nat_big.of_string "123456789012345678901234567890"));
+  Alcotest.(check string)
+    "limb boundary" "1000000000"
+    (Nat_big.to_string (Nat_big.of_int 1_000_000_000))
+
+let test_pow () =
+  Alcotest.check nat "2^10" (Nat_big.of_int 1024) (Nat_big.pow Nat_big.two 10);
+  Alcotest.check nat "10^30"
+    (Nat_big.of_string ("1" ^ String.make 30 '0'))
+    (Nat_big.pow (Nat_big.of_int 10) 30);
+  Alcotest.(check int)
+    "digits of 2^300" 91
+    (Nat_big.decimal_digits (Nat_big.pow Nat_big.two 300))
+
+let test_sub () =
+  Alcotest.check nat "a - b"
+    (Nat_big.of_string "999999999999999999")
+    (Nat_big.sub
+       (Nat_big.of_string "1000000000000000000")
+       Nat_big.one);
+  Alcotest.check_raises "negative result" (Invalid_argument "Nat_big.sub: would be negative")
+    (fun () -> ignore (Nat_big.sub Nat_big.one Nat_big.two))
+
+let test_scientific () =
+  Alcotest.(check string)
+    "1e30 sci" "1.00e30"
+    (Nat_big.to_scientific (Nat_big.pow (Nat_big.of_int 10) 30));
+  Alcotest.(check string) "small stays exact" "123" (Nat_big.to_scientific (Nat_big.of_int 123))
+
+(* Properties against OCaml ints on a safe range. *)
+let gen_small = QCheck.Gen.int_range 0 1_000_000
+
+let prop_add_matches_int =
+  QCheck.Test.make ~name:"add agrees with int"
+    QCheck.(pair (make gen_small) (make gen_small))
+    (fun (a, b) ->
+      Nat_big.to_int (Nat_big.add (Nat_big.of_int a) (Nat_big.of_int b))
+      = Some (a + b))
+
+let prop_mul_matches_int =
+  QCheck.Test.make ~name:"mul agrees with int"
+    QCheck.(pair (make gen_small) (make gen_small))
+    (fun (a, b) ->
+      Nat_big.to_int (Nat_big.mul (Nat_big.of_int a) (Nat_big.of_int b))
+      = Some (a * b))
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"of_string . to_string = id"
+    QCheck.(make gen_small)
+    (fun a ->
+      Nat_big.equal (Nat_big.of_int a)
+        (Nat_big.of_string (Nat_big.to_string (Nat_big.of_int a))))
+
+let prop_compare_total_order =
+  QCheck.Test.make ~name:"compare agrees with int compare"
+    QCheck.(pair (make gen_small) (make gen_small))
+    (fun (a, b) ->
+      Stdlib.compare a b = Nat_big.compare (Nat_big.of_int a) (Nat_big.of_int b))
+
+let prop_mul_distributes =
+  QCheck.Test.make ~name:"a*(b+c) = a*b + a*c"
+    QCheck.(triple (make gen_small) (make gen_small) (make gen_small))
+    (fun (a, b, c) ->
+      let a = Nat_big.of_int a and b = Nat_big.of_int b and c = Nat_big.of_int c in
+      Nat_big.equal
+        (Nat_big.mul a (Nat_big.add b c))
+        (Nat_big.add (Nat_big.mul a b) (Nat_big.mul a c)))
+
+let () =
+  Alcotest.run "bignum"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "of_int/to_int" `Quick test_of_to_int;
+          Alcotest.test_case "to_string" `Quick test_to_string;
+          Alcotest.test_case "pow" `Quick test_pow;
+          Alcotest.test_case "sub" `Quick test_sub;
+          Alcotest.test_case "scientific" `Quick test_scientific;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_add_matches_int;
+            prop_mul_matches_int;
+            prop_string_roundtrip;
+            prop_compare_total_order;
+            prop_mul_distributes;
+          ] );
+    ]

@@ -1,0 +1,355 @@
+(* CoreGQL: Fig. 4 semantics, outputs, relational layer (Section 4), and
+   the Section 5.2 workarounds (EXCEPT, matched-path conditions). *)
+
+open Coregql
+
+let bank_pg = Generators.bank_pg ()
+let bank = Pg.elg bank_pg
+
+(* (x) ( ((u)-[]->(v)) <u.date < v.date> )* (y): increasing node dates. *)
+let pi_inc key =
+  Pconcat
+    ( Pnode (Some "x"),
+      Pconcat
+        ( Prepeat
+            ( Pcond
+                ( Pconcat (Pnode (Some "u"), Pconcat (Pedge None, Pnode (Some "v"))),
+                  Ckey ("u", key, Value.Lt, "v", key) ),
+              0,
+              None ),
+          Pnode (Some "y") ) )
+
+(* The naive two-edge window from Proposition 23. *)
+let pi_naive_edges key =
+  Pconcat
+    ( Pnode (Some "x"),
+      Pconcat
+        ( Prepeat
+            ( Pcond
+                ( Pconcat
+                    ( Pnode None,
+                      Pconcat
+                        ( Pedge (Some "u"),
+                          Pconcat (Pnode None, Pconcat (Pedge (Some "v"), Pnode None)) ) ),
+                  Ckey ("u", key, Value.Lt, "v", key) ),
+              0,
+              None ),
+          Pnode (Some "y") ) )
+
+let test_fv () =
+  Alcotest.(check (list string)) "concat" [ "x"; "y" ]
+    (free_vars (Pconcat (Pnode (Some "x"), Pedge (Some "y"))));
+  Alcotest.(check (list string)) "repetition clears FV" []
+    (free_vars (Prepeat (Pnode (Some "x"), 0, None)));
+  Alcotest.(check (list string)) "disjunction takes left" [ "x" ]
+    (free_vars (Pdisj (Pnode (Some "x"), Pnode (Some "x"))));
+  Alcotest.(check (list string)) "condition transparent" [ "x" ]
+    (free_vars (Pcond (Pnode (Some "x"), Clabel ("Account", "x"))))
+
+let test_validate () =
+  Alcotest.(check bool) "unequal disjuncts rejected" true
+    (match validate (Pdisj (Pnode (Some "x"), Pedge (Some "y"))) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  validate (pi_inc "date")
+
+let test_atoms () =
+  let nodes = eval bank_pg (Pnode (Some "x")) in
+  Alcotest.(check int) "one triple per node" (Elg.nb_nodes bank) (List.length nodes);
+  let edges = eval bank_pg (Pedge (Some "z")) in
+  Alcotest.(check int) "one triple per edge" (Elg.nb_edges bank) (List.length edges);
+  (* Anonymous node: endpoint pair with empty binding. *)
+  Alcotest.(check bool) "anonymous binding empty" true
+    (List.for_all (fun (_, _, mu) -> mu = []) (eval bank_pg (Pnode None)))
+
+let test_label_condition () =
+  let accounts =
+    eval bank_pg (Pcond (Pnode (Some "x"), Clabel ("Account", "x")))
+  in
+  Alcotest.(check int) "six accounts" 6 (List.length accounts)
+
+let test_repeat_reachability () =
+  (* (x) (-[]->){1,} (y) on the diamond graph: s reaches t. *)
+  let g = Generators.diamonds 3 in
+  let pg =
+    (* wrap as a property graph with empty properties *)
+    Pg.make
+      ~nodes:(List.init (Elg.nb_nodes g) (fun i -> (Elg.node_name g i, "V", [])))
+      ~edges:
+        (List.init (Elg.nb_edges g) (fun e ->
+             ( Elg.edge_name g e,
+               Elg.node_name g (Elg.src g e),
+               Elg.label g e,
+               Elg.node_name g (Elg.tgt g e),
+               [] )))
+  in
+  let pat =
+    Pconcat
+      (Pnode (Some "x"), Pconcat (Prepeat (Pedge None, 1, None), Pnode (Some "y")))
+  in
+  let triples = eval pg pat in
+  let g' = Pg.elg pg in
+  let s = Elg.node_id g' "s" and t = Elg.node_id g' "t" in
+  Alcotest.(check bool) "s reaches t" true
+    (List.exists (fun (u, v, _) -> u = s && v = t) triples);
+  Alcotest.(check bool) "t does not reach s" false
+    (List.exists (fun (u, v, _) -> u = t && v = s) triples)
+
+let test_increasing_nodes () =
+  let pg = Generators.dated_line [ 3; 4; 1; 2 ] in
+  let g = Pg.elg pg in
+  let triples = eval pg (pi_inc "date") in
+  let v i = Elg.node_id g (Printf.sprintf "v%d" i) in
+  let reaches a b = List.exists (fun (u, w, _) -> u = a && w = b) triples in
+  (* node dates: 3 4 1 2 3 *)
+  Alcotest.(check bool) "v0 -> v1 (3<4)" true (reaches (v 0) (v 1));
+  Alcotest.(check bool) "v0 -> v2 blocked (4>1)" false (reaches (v 0) (v 2));
+  Alcotest.(check bool) "v2 -> v4 (1<2<3)" true (reaches (v 2) (v 4))
+
+let test_prop23_naive_window () =
+  (* The naive edge version accepts the 3,4,1,2 edge-date path. *)
+  let pg = Generators.dated_line [ 3; 4; 1; 2 ] in
+  let g = Pg.elg pg in
+  let v i = Elg.node_id g (Printf.sprintf "v%d" i) in
+  let triples = eval pg (pi_naive_edges "date") in
+  Alcotest.(check bool) "bad path accepted (the paper's point)" true
+    (List.exists (fun (u, w, _) -> u = v 0 && w = v 4) triples)
+
+let whole_line pg =
+  let g = Pg.elg pg in
+  let rec objs i n acc =
+    if i = n then List.rev (Path.N (Elg.node_id g (Printf.sprintf "v%d" n)) :: acc)
+    else
+      objs (i + 1) n
+        (Path.E (Elg.edge_id g (Printf.sprintf "e%d" i))
+         :: Path.N (Elg.node_id g (Printf.sprintf "v%d" i))
+         :: acc)
+  in
+  let n = Elg.nb_edges g in
+  Path.of_objs_exn g (objs 0 n [])
+
+let forall_increasing key =
+  (* ((x) -[]->* (y)) < forall -[u]->()-[v]-> => u.key < v.key > *)
+  Pcond
+    ( Pconcat
+        ( Pnode (Some "x"),
+          Pconcat (Prepeat (Pedge None, 0, None), Pnode (Some "y")) ),
+      Cforall
+        ( Pconcat (Pedge (Some "u"), Pconcat (Pnode None, Pedge (Some "v"))),
+          Ckey ("u", key, Value.Lt, "v", key) ) )
+
+let test_matched_path_condition () =
+  let bad = Generators.dated_line [ 3; 4; 1; 2 ] in
+  let good = Generators.dated_line [ 1; 2; 3; 9 ] in
+  Alcotest.(check bool) "3,4,1,2 rejected" false
+    (Coregql_paths.matches_path bad (forall_increasing "date") (whole_line bad));
+  Alcotest.(check bool) "1,2,3,9 accepted" true
+    (Coregql_paths.matches_path good (forall_increasing "date") (whole_line good));
+  (* The relational evaluator refuses matched-path conditions. *)
+  Alcotest.(check bool) "relational eval rejects forall" true
+    (match eval bad (forall_increasing "date") with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_all_distinct_condition () =
+  (* ((x) ->* (y)) < forall (u) ->+ (v) => u.date <> v.date >: the NP-hard
+     all-distinct query from Section 5.2 (at least one edge between u and
+     v, so the reflexive match does not trivially falsify it). *)
+  let all_distinct =
+    Pcond
+      ( Pconcat
+          ( Pnode (Some "x"),
+            Pconcat (Prepeat (Pedge None, 0, None), Pnode (Some "y")) ),
+        Cforall
+          ( Pconcat
+              ( Pnode (Some "u"),
+                Pconcat (Prepeat (Pedge None, 1, None), Pnode (Some "v")) ),
+            Cnot (Ckey ("u", "date", Value.Eq, "v", "date")) ) )
+  in
+  (* Node dates of dated_line [1;2;3] are 1,2,3,4: all distinct. *)
+  let good = Generators.dated_line [ 1; 2; 3 ] in
+  Alcotest.(check bool) "distinct dates accepted" true
+    (Coregql_paths.matches_path good all_distinct (whole_line good));
+  (* Node dates of [1;1;0] are 1,1,0,1: duplicates. *)
+  let dup = Generators.dated_line [ 1; 1; 0 ] in
+  Alcotest.(check bool) "duplicate dates rejected" false
+    (Coregql_paths.matches_path dup all_distinct (whole_line dup))
+
+let test_output_and_relalg_example () =
+  (* The Section 4.1.3 example: nodes u (with property s) connected to two
+     different nodes having the same value of property p. *)
+  let pg =
+    Pg.make
+      ~nodes:
+        [
+          ("n0", "V", [ ("s", Value.Text "root") ]);
+          ("n1", "V", [ ("p", Value.Int 7) ]);
+          ("n2", "V", [ ("p", Value.Int 7) ]);
+          ("m0", "V", [ ("s", Value.Text "lonely") ]);
+          ("m1", "V", [ ("p", Value.Int 5) ]);
+        ]
+      ~edges:
+        [
+          ("e1", "n0", "a", "n1", []);
+          ("e2", "n0", "a", "n2", []);
+          ("e3", "m0", "a", "m1", []);
+        ]
+  in
+  let pi i =
+    Pconcat (Pnode (Some "x"), Pconcat (Pedge None, Pnode (Some ("x" ^ string_of_int i))))
+  in
+  let omega i =
+    [ Ovar "x"; Oprop ("x", "s"); Ovar ("x" ^ string_of_int i);
+      Oprop ("x" ^ string_of_int i, "p") ]
+  in
+  let r1 = output pg (pi 1) (omega 1) in
+  let r2 = output pg (pi 2) (omega 2) in
+  let joined = Relation.join r1 r2 in
+  let selected =
+    Relation.select joined (fun get ->
+        get "x1" <> get "x2" && get "x1.p" = get "x2.p")
+  in
+  let result = Relation.project selected [ "x"; "x.s" ] in
+  let g = Pg.elg pg in
+  Alcotest.(check int) "one answer" 1 (Relation.cardinality result);
+  Alcotest.(check bool) "n0/root" true
+    (Relation.mem result
+       [ Relation.Cnode (Elg.node_id g "n0"); Relation.Cval (Value.Text "root") ])
+
+let test_output_compatibility () =
+  (* Ω entries with undefined ρ drop the mapping (no nulls). *)
+  let r =
+    output bank_pg (Pnode (Some "x")) [ Ovar "x"; Oprop ("x", "owner") ]
+  in
+  (* Only the six account nodes have an owner property. *)
+  Alcotest.(check int) "accounts only" 6 (Relation.cardinality r)
+
+let test_except_increasing_agrees_with_dlrpq () =
+  (* E8's correctness core: trails matching "all increasing" computed via
+     difference equal the direct dl-RPQ evaluation. *)
+  let pg = Generators.dated_line [ 1; 3; 2; 4 ] in
+  let any_path =
+    Pconcat
+      (Pnode (Some "x"), Pconcat (Prepeat (Pedge None, 0, None), Pnode (Some "y")))
+  in
+  (* Some two consecutive edges do NOT increase: u.date >= v.date. *)
+  let bad_window =
+    Pconcat
+      ( Pnode None,
+        Pconcat
+          ( Prepeat (Pedge None, 0, None),
+            Pconcat
+              ( Pcond
+                  ( Pconcat (Pedge (Some "u"), Pconcat (Pnode None, Pedge (Some "v"))),
+                    Cnot (Ckey ("u", "date", Value.Lt, "v", "date")) ),
+                Pconcat (Prepeat (Pedge None, 0, None), Pnode None) ) ) )
+  in
+  let all_trails = Coregql_paths.matching_trails pg any_path in
+  let bad_trails = Coregql_paths.matching_trails pg bad_window in
+  let increasing =
+    Coregql_paths.except all_trails bad_trails
+    |> List.filter (fun p -> Path.len p >= 1)
+  in
+  (* Direct dl-RPQ evaluation (node-to-node increasing-edges). *)
+  let dl =
+    Regex.seq Dlrpq.node_any
+      (Regex.seq (Dlrpq.edge_any_cap "z")
+         (Regex.seq
+            (Dlrpq.edge_test (Etest.Assign ("x", "date")))
+            (Regex.seq
+               (Regex.star
+                  (Regex.seq Dlrpq.node_any
+                     (Regex.seq (Dlrpq.edge_any_cap "z")
+                        (Regex.seq
+                           (Dlrpq.edge_test (Etest.Cmp_var ("date", Value.Gt, "x")))
+                           (Dlrpq.edge_test (Etest.Assign ("x", "date")))))))
+               Dlrpq.node_any)))
+  in
+  let g = Pg.elg pg in
+  let direct =
+    List.concat_map
+      (fun src -> Dlrpq.enumerate_from pg dl ~src ~max_len:(Elg.nb_edges g) ())
+      (List.init (Elg.nb_nodes g) Fun.id)
+    |> List.map fst
+    |> List.filter Path.is_trail
+    |> List.sort_uniq Path.compare
+  in
+  let key p = List.map (Elg.edge_name g) (Path.edges p) in
+  Alcotest.(check (list (list string)))
+    "same increasing trails"
+    (List.sort_uniq Stdlib.compare (List.map key direct))
+    (List.sort_uniq Stdlib.compare (List.map key increasing))
+
+let test_query_ast () =
+  (* The same 4.1.3 example through the query AST. *)
+  let pg =
+    Pg.make
+      ~nodes:
+        [
+          ("n0", "V", [ ("s", Value.Text "root") ]);
+          ("n1", "V", [ ("p", Value.Int 7) ]);
+          ("n2", "V", [ ("p", Value.Int 7) ]);
+        ]
+      ~edges:[ ("e1", "n0", "a", "n1", []); ("e2", "n0", "a", "n2", []) ]
+  in
+  let pi i =
+    Pconcat (Pnode (Some "x"), Pconcat (Pedge None, Pnode (Some ("x" ^ string_of_int i))))
+  in
+  let omega i =
+    [ Ovar "x"; Oprop ("x", "s"); Ovar ("x" ^ string_of_int i);
+      Oprop ("x" ^ string_of_int i, "p") ]
+  in
+  let q =
+    Coregql_query.(
+      Project
+        ( [ "x"; "x.s" ],
+          Select
+            ( Pand (Pnot (Peq ("x1", "x2")), Peq ("x1.p", "x2.p")),
+              Join (Rel (pi 1, omega 1), Rel (pi 2, omega 2)) ) ))
+  in
+  let result = Coregql_query.eval pg q in
+  Alcotest.(check int) "one row" 1 (Relation.cardinality result);
+  (* Union / difference behave as relational algebra. *)
+  let r1 = Coregql_query.(Rel (Pnode (Some "x"), [ Ovar "x" ])) in
+  let both = Coregql_query.(Union (r1, r1)) in
+  Alcotest.(check int) "idempotent union" 3
+    (Relation.cardinality (Coregql_query.eval pg both));
+  let empty = Coregql_query.(Diff (r1, r1)) in
+  Alcotest.(check int) "self difference" 0
+    (Relation.cardinality (Coregql_query.eval pg empty));
+  (* Constant selections. *)
+  let sel =
+    Coregql_query.(
+      Select
+        ( Pconst ("x.p", Value.Eq, Value.Int 7),
+          Rel (Pnode (Some "x"), [ Ovar "x"; Oprop ("x", "p") ]) ))
+  in
+  Alcotest.(check int) "p = 7 nodes" 2
+    (Relation.cardinality (Coregql_query.eval pg sel))
+
+let () =
+  Alcotest.run "coregql"
+    [
+      ( "patterns",
+        [
+          Alcotest.test_case "free variables" `Quick test_fv;
+          Alcotest.test_case "validation" `Quick test_validate;
+          Alcotest.test_case "atoms" `Quick test_atoms;
+          Alcotest.test_case "label condition" `Quick test_label_condition;
+          Alcotest.test_case "unbounded repetition" `Quick test_repeat_reachability;
+          Alcotest.test_case "increasing node dates" `Quick test_increasing_nodes;
+        ] );
+      ( "section 5",
+        [
+          Alcotest.test_case "Prop 23 naive window" `Quick test_prop23_naive_window;
+          Alcotest.test_case "matched-path condition" `Quick test_matched_path_condition;
+          Alcotest.test_case "all-distinct condition" `Quick test_all_distinct_condition;
+          Alcotest.test_case "EXCEPT = dl-RPQ" `Quick test_except_increasing_agrees_with_dlrpq;
+        ] );
+      ( "outputs",
+        [
+          Alcotest.test_case "4.1.3 example" `Quick test_output_and_relalg_example;
+          Alcotest.test_case "omega compatibility" `Quick test_output_compatibility;
+          Alcotest.test_case "query AST" `Quick test_query_ast;
+        ] );
+    ]

@@ -1,0 +1,117 @@
+(* The Cypher pattern fragment and Proposition 22. *)
+
+let parse = Rpq_parse.parse
+
+let ell = Some [ "l" ]
+
+let test_to_rpq () =
+  let p =
+    Cypher.Concat
+      ( Cypher.Node (Some "x", None),
+        Cypher.Concat (Cypher.Edge_star ell, Cypher.Node (Some "y", None)) )
+  in
+  Alcotest.(check bool) "l* language" true
+    (Dfa.equiv (Nfa.of_regex (Cypher.to_rpq p)) (Nfa.of_regex (parse "l*")));
+  let disj =
+    Cypher.Edge (None, Some [ "a"; "b" ])
+  in
+  Alcotest.(check bool) "label disjunction" true
+    (Dfa.equiv (Nfa.of_regex (Cypher.to_rpq disj)) (Nfa.of_regex (parse "a|b")))
+
+let test_eval_on_bank () =
+  let bank = Generators.bank_elg () in
+  let p =
+    Cypher.Concat
+      ( Cypher.Node (None, None),
+        Cypher.Concat
+          (Cypher.Edge_star (Some [ "Transfer" ]), Cypher.Node (None, None)) )
+  in
+  let pairs = Cypher.eval bank p in
+  let id n = Elg.node_id bank n in
+  Alcotest.(check bool) "transfer reachability" true (List.mem (id "a1", id "a5") pairs)
+
+let test_expressible_unary_positive () =
+  List.iter
+    (fun src ->
+      Alcotest.(check bool) (src ^ " expressible") true
+        (Cypher.expressible_unary ~lbl:"l" (Nfa.of_regex (parse src))))
+    [ "l*"; "l.l*"; "l{2,4}"; "l?"; "()"; "l.l.l"; "l|l.l.l*" ]
+
+let test_prop22_decision () =
+  (* Proposition 22: (ll)* is not Cypher-expressible; neither is any
+     unary language whose length set has persistent gaps. *)
+  List.iter
+    (fun src ->
+      Alcotest.(check bool) (src ^ " inexpressible") false
+        (Cypher.expressible_unary ~lbl:"l" (Nfa.of_regex (parse src))))
+    [ "(l.l)*"; "(l.l.l)*"; "l.(l.l)*" ]
+
+let test_prop22_search () =
+  (* Bounded exhaustive confirmation: no small Cypher pattern over {l}
+     expresses (ll)*, while l* is found immediately. *)
+  let target = parse "(l.l)*" in
+  let witness, examined = Cypher.search_equivalent ~labels:[ "l" ] ~max_size:7 target in
+  Alcotest.(check bool) "no witness for (ll)*" true (witness = None);
+  Alcotest.(check bool) "search space nontrivial" true (examined > 50);
+  let witness_star, _ = Cypher.search_equivalent ~labels:[ "l" ] ~max_size:3 (parse "l*") in
+  (match witness_star with
+  | Some p ->
+      Alcotest.(check bool) "found pattern has l* language" true
+        (Dfa.equiv (Nfa.of_regex (Cypher.to_rpq p)) (Nfa.of_regex (parse "l*")))
+  | None -> Alcotest.fail "l* should be expressible");
+  (* A two-label sanity case: a.b is found. *)
+  let witness_ab, _ = Cypher.search_equivalent ~labels:[ "a"; "b" ] ~max_size:5 (parse "a.b") in
+  Alcotest.(check bool) "ab found" true (witness_ab <> None)
+
+(* The decision procedure agrees with the bounded search on random unary
+   regexes. *)
+let gen_unary_regex =
+  QCheck.Gen.(
+    sized_size (int_range 1 6) @@ fix (fun self size ->
+        if size <= 1 then
+          oneof [ return Regex.Eps; return (Regex.Atom (Sym.Lbl "l")) ]
+        else
+          oneof
+            [
+              map2 (fun a b -> Regex.Seq (a, b)) (self (size / 2)) (self (size / 2));
+              map2 (fun a b -> Regex.Alt (a, b)) (self (size / 2)) (self (size / 2));
+              map (fun a -> Regex.Star a) (self (size - 1));
+            ]))
+
+let prop_decision_vs_search =
+  QCheck.Test.make ~count:40 ~name:"unary decision = bounded search (one direction)"
+    (QCheck.make ~print:(Regex.to_string Sym.to_string) gen_unary_regex)
+    (fun r ->
+      (* If the bounded search finds a pattern, the decision procedure
+         must declare the language expressible. *)
+      let witness, _ = Cypher.search_equivalent ~labels:[ "l" ] ~max_size:5 r in
+      match witness with
+      | Some _ -> Cypher.expressible_unary ~lbl:"l" (Nfa.of_regex r)
+      | None -> true)
+
+let prop_patterns_decided_expressible =
+  QCheck.Test.make ~count:60 ~name:"every Cypher pattern is decided expressible"
+    (QCheck.make QCheck.Gen.(int_range 0 200))
+    (fun i ->
+      let patterns = Cypher.enumerate_patterns ~labels:[ "l" ] ~max_size:5 in
+      let p = List.nth patterns (i mod List.length patterns) in
+      Cypher.expressible_unary ~lbl:"l" (Nfa.of_regex (Cypher.to_rpq p)))
+
+let () =
+  Alcotest.run "cypher"
+    [
+      ( "fragment",
+        [
+          Alcotest.test_case "translation" `Quick test_to_rpq;
+          Alcotest.test_case "evaluation" `Quick test_eval_on_bank;
+        ] );
+      ( "prop22",
+        [
+          Alcotest.test_case "decision positive" `Quick test_expressible_unary_positive;
+          Alcotest.test_case "decision negative" `Quick test_prop22_decision;
+          Alcotest.test_case "bounded search" `Quick test_prop22_search;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_decision_vs_search; prop_patterns_decided_expressible ] );
+    ]

@@ -1,0 +1,517 @@
+(* Extensions beyond the paper's core definitions, each anchored in a
+   remark or future-work item: two-way RPQs (Remark 9), static analysis
+   (Sec 7.1), SPARQL's non-uniform semantics (Sec 6.1), register automata
+   (Sec 6.4), k-shortest paths (Sec 7.1), the dl-RPQ surface syntax, and
+   the GQL -> automata compiler (Sec 6.2). *)
+
+let bank = Generators.bank_elg ()
+let id name = Elg.node_id bank name
+
+(* --- Two-way RPQs (Remark 9) -------------------------------------------- *)
+
+let test_two_way_basics () =
+  (* ^Transfer reaches backwards: a3 -> a1 via t1 reversed. *)
+  let r = Two_way.parse "^Transfer" in
+  let reach = Two_way.from_source bank r ~src:(id "a3") in
+  Alcotest.(check bool) "a1 sends to a3" true (List.mem (id "a1") reach);
+  (* owner . ^owner connects accounts with the same owner (here only
+     trivially: each owner has one account). *)
+  let r2 = Two_way.parse "owner.^owner" in
+  Alcotest.(check bool) "a1 ~ a1" true (Two_way.check bank r2 ~src:(id "a1") ~tgt:(id "a1"));
+  Alcotest.(check bool) "a1 !~ a2" false (Two_way.check bank r2 ~src:(id "a1") ~tgt:(id "a2"))
+
+let test_two_way_vs_naive () =
+  List.iter
+    (fun seed ->
+      let g = Generators.random_graph ~seed ~nodes:5 ~edges:7 ~labels:[ "a"; "b" ] in
+      let r = Two_way.parse "a.^b?|^a.a" in
+      let fast = Two_way.pairs g r in
+      let slow = Two_way.pairs_naive g r ~max_len:3 in
+      List.iter
+        (fun pair ->
+          Alcotest.(check bool) "naive pair found" true (List.mem pair fast))
+        slow)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_two_way_strictly_stronger () =
+  (* On a directed line, forward-only cannot go back; two-way can. *)
+  let g = Generators.line 2 "a" in
+  Alcotest.(check bool) "one-way stuck" false
+    (Rpq_eval.check g (Rpq_parse.parse "a.a.a") ~src:0 ~tgt:1);
+  Alcotest.(check bool) "two-way bounces" true
+    (Two_way.check g (Two_way.parse "a.^a.a") ~src:0 ~tgt:1)
+
+(* --- Static analysis (Section 7.1) --------------------------------------- *)
+
+let test_containment () =
+  let p = Rpq_parse.parse in
+  Alcotest.(check bool) "(ll)* <= l*" true (Rpq_static.contained (p "(l.l)*") (p "l*"));
+  Alcotest.(check bool) "l* not<= (ll)*" false (Rpq_static.contained (p "l*") (p "(l.l)*"));
+  Alcotest.(check bool) "a <= _" true (Rpq_static.contained (p "a") (p "_"));
+  Alcotest.(check bool) "_ not<= a" false (Rpq_static.contained (p "_") (p "a"));
+  Alcotest.(check bool) "equivalent nested stars" true
+    (Rpq_static.equivalent (p "(((a*)*)*)*") (p "a*"));
+  Alcotest.(check bool) "disjoint" true (Rpq_static.disjoint (p "a.a") (p "a.a.a"));
+  Alcotest.(check bool) "not disjoint" false (Rpq_static.disjoint (p "a*") (p "a.a"));
+  (match Rpq_static.containment_counterexample (p "l*") (p "(l.l)*") with
+  | Some w -> Alcotest.(check int) "shortest counterexample has odd length" 1 (List.length w)
+  | None -> Alcotest.fail "counterexample expected")
+
+let prop_containment_sound =
+  (* If contained, every evaluated pair on random graphs is contained. *)
+  let cases = [ ("a", "a|b"); ("a.b", "a.b*"); ("(a.b)*", "(a|b)*"); ("a{2}", "a*") ] in
+  QCheck.Test.make ~count:30 ~name:"containment implies answer inclusion"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 1 50))
+    (fun seed ->
+      let g = Generators.random_graph ~seed ~nodes:5 ~edges:8 ~labels:[ "a"; "b" ] in
+      List.for_all
+        (fun (s1, s2) ->
+          let r1 = Rpq_parse.parse s1 and r2 = Rpq_parse.parse s2 in
+          Rpq_static.contained r1 r2
+          &&
+          let a1 = Rpq_eval.pairs g r1 and a2 = Rpq_eval.pairs g r2 in
+          List.for_all (fun pr -> List.mem pr a2) a1)
+        cases)
+
+(* --- SPARQL non-uniform semantics (Section 6.1) -------------------------- *)
+
+let test_sparql_non_uniform () =
+  let g = Generators.line 1 "a" in
+  let p = Rpq_parse.parse in
+  let m r = Nat_big.to_int (Sparql_paths.multiplicity g (p r) ~src:0 ~tgt:1) in
+  Alcotest.(check (option int)) "(a|a) has multiplicity 2" (Some 2) (m "a|a");
+  (* Wrapping in a star collapses to set semantics: the paper's oddity. *)
+  Alcotest.(check (option int)) "(a|a)* has multiplicity 1" (Some 1) (m "(a|a)*");
+  Alcotest.(check (option int)) "a.a on length-1 line: 0" (Some 0) (m "a.a")
+
+let test_sparql_star_bounded () =
+  (* Unlike the draft semantics (E2's explosion), stars stay at 0/1. *)
+  let g = Generators.clique 4 "a" in
+  let nested = Regex.Star (Regex.Star (Regex.Atom (Sym.Lbl "a"))) in
+  let v = Sparql_paths.multiplicity g nested ~src:0 ~tgt:1 in
+  Alcotest.(check (option int)) "nested star still 1" (Some 1) (Nat_big.to_int v);
+  (* But concatenations still multiply: (a|a).(a|a) = 4. *)
+  let r = Rpq_parse.parse "(a|a).(a|a)" in
+  (* Two intermediate nodes (1 and 3) each contribute 2*2 derivations. *)
+  Alcotest.(check (option int)) "bag concat multiplies" (Some 8)
+    (Nat_big.to_int (Sparql_paths.multiplicity g r ~src:0 ~tgt:2))
+
+(* --- Register automata (Section 6.4) ------------------------------------- *)
+
+let test_register_increasing () =
+  let ra = Register.increasing ~label:Sym.Any in
+  let pg = Generators.dated_line [ 3; 4; 1; 2 ] in
+  let g = Pg.elg pg in
+  let v i = Elg.node_id g (Printf.sprintf "v%d" i) in
+  (* Node dates: 3 4 1 2 3. *)
+  let from0 = Register.eval_from pg ~prop:"date" ra ~src:(v 0) in
+  Alcotest.(check bool) "v0 -> v1" true (List.mem (v 1) from0);
+  Alcotest.(check bool) "v0 -> v2 blocked" false (List.mem (v 2) from0);
+  let from2 = Register.eval_from pg ~prop:"date" ra ~src:(v 2) in
+  Alcotest.(check bool) "v2 -> v4" true (List.mem (v 4) from2)
+
+let test_register_agrees_with_dlrpq () =
+  (* The register machine and the dl-RPQ node-increasing query agree on
+     random dated graphs. *)
+  let ra = Register.increasing ~label:Sym.Any in
+  let dl =
+    (* (_)(x := p) ( [_](_)(p > x)(x := p) )* *)
+    Regex.seq
+      (Regex.seq Dlrpq.node_any (Dlrpq.node_test (Etest.Assign ("x", "p"))))
+      (Regex.star
+         (Regex.seq Dlrpq.edge_any
+            (Regex.seq Dlrpq.node_any
+               (Regex.seq
+                  (Dlrpq.node_test (Etest.Cmp_var ("p", Value.Gt, "x")))
+                  (Dlrpq.node_test (Etest.Assign ("x", "p")))))))
+  in
+  List.iter
+    (fun seed ->
+      let pg =
+        Generators.random_pg ~seed ~nodes:5 ~edges:8 ~labels:[ "a" ] ~prop:"p"
+          ~max_value:3
+      in
+      let g = Pg.elg pg in
+      for src = 0 to Elg.nb_nodes g - 1 do
+        let via_ra = Register.eval_from pg ~prop:"p" ra ~src in
+        let via_dl =
+          Dlrpq.enumerate_from pg dl ~src ~max_len:4 ()
+          |> List.filter_map (fun (p, _) -> Path.tgt g p)
+          |> List.sort_uniq Stdlib.compare
+        in
+        Alcotest.(check (list int))
+          (Printf.sprintf "seed %d src %d" seed src)
+          via_dl via_ra
+      done)
+    [ 1; 2; 3 ]
+
+let test_register_validation () =
+  Alcotest.(check bool) "bad register rejected" true
+    (match
+       Register.make ~nb_states:1 ~nb_registers:1 ~initial:0 ~finals:[ 0 ]
+         ~transitions:
+           [ { Register.source = 0; label = Sym.Any; conds = [ Register.Gt 5 ];
+               store = None; target = 0 } ]
+         ()
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* --- k shortest paths ----------------------------------------------------- *)
+
+let test_k_shortest () =
+  let r = Rpq_parse.parse "Transfer*" in
+  let paths =
+    Path_modes.k_shortest bank r ~k:4 ~max_len:8 ~src:(id "a3") ~tgt:(id "a4")
+  in
+  Alcotest.(check int) "four paths" 4 (List.length paths);
+  let lengths = List.map Path.len paths in
+  Alcotest.(check bool) "nondecreasing lengths" true
+    (List.sort compare lengths = lengths);
+  Alcotest.(check int) "geodesic first" 1 (List.hd lengths);
+  (* k larger than the universe of short paths: returns what exists. *)
+  let few =
+    Path_modes.k_shortest bank (Rpq_parse.parse "owner") ~k:10 ~max_len:4
+      ~src:(id "a1") ~tgt:(id "Megan")
+  in
+  Alcotest.(check int) "only one owner edge" 1 (List.length few)
+
+(* --- dl-RPQ surface syntax ------------------------------------------------ *)
+
+let test_dlrpq_parse_example21 () =
+  (* The paper's own notation, edge version with node-to-node wrapper. *)
+  let q =
+    Dlrpq_parse.parse
+      "()[_^z][x := date](()[_^z][date > x][x := date])*()"
+  in
+  let pg = Generators.dated_line [ 1; 3; 2 ] in
+  let g = Pg.elg pg in
+  let results = Dlrpq.enumerate_from pg q ~src:(Elg.node_id g "v0") ~max_len:3 () in
+  let seqs =
+    List.map (fun (p, _) -> List.map (Elg.edge_name g) (Path.edges p)) results
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list (list string))) "e0 and e0e1" [ [ "e0" ]; [ "e0"; "e1" ] ] seqs
+
+let test_dlrpq_parse_forms () =
+  let ok src =
+    match Dlrpq_parse.parse_opt src with
+    | Ok _ -> true
+    | Error _ -> false
+  in
+  List.iter
+    (fun src -> Alcotest.(check bool) ("parses " ^ src) true (ok src))
+    [
+      "(a^z)(x := date)";
+      "[Transfer][amount < 4.5]";
+      "(owner = 'Mike')";
+      "((a)|(b))*";
+      "(a){2,3}[b]?";
+      "(!{a,b}^w)";
+    ];
+  List.iter
+    (fun src -> Alcotest.(check bool) ("rejects " ^ src) false (ok src))
+    [ "("; "(a"; "[a)("; "(a)^"; "(x :=)"; "(a) |" ]
+
+let test_dlrpq_parse_matches_builders () =
+  (* The parsed Example 21 node version equals the hand-built one. *)
+  let parsed =
+    Dlrpq_parse.parse "(a^z)(x := date)([_](a^z)(date > x)(x := date))*"
+  in
+  let built =
+    Regex.seq
+      (Regex.seq (Dlrpq.node_cap "a" "z") (Dlrpq.node_test (Etest.Assign ("x", "date"))))
+      (Regex.star
+         (Regex.seq Dlrpq.edge_any
+            (Regex.seq (Dlrpq.node_cap "a" "z")
+               (Regex.seq
+                  (Dlrpq.node_test (Etest.Cmp_var ("date", Value.Gt, "x")))
+                  (Dlrpq.node_test (Etest.Assign ("x", "date")))))))
+  in
+  (* Sequencing associativity may differ; compare the atom sequences and
+     check language-level agreement on a sample graph. *)
+  Alcotest.(check (list string)) "same atoms"
+    (List.map Dlrpq.atom_to_string (Regex.atoms built))
+    (List.map Dlrpq.atom_to_string (Regex.atoms parsed));
+  let pg = Generators.dated_line [ 1; 2 ] in
+  let g = Pg.elg pg in
+  let eval q =
+    Dlrpq.enumerate_from pg q ~src:(Elg.node_id g "v0") ~max_len:2 ()
+  in
+  Alcotest.(check int) "same results on a sample"
+    (List.length (eval built)) (List.length (eval parsed))
+
+(* --- GQL -> automata compilation (Section 6.2) ---------------------------- *)
+
+let test_compile_to_rpq () =
+  let pat = Gql_parse.parse "(x)(()-[:a]->()){1,}(y)" in
+  (match Gql_compile.to_rpq pat with
+  | None -> Alcotest.fail "should compile"
+  | Some r ->
+      Alcotest.(check bool) "language is a+" true
+        (Rpq_static.equivalent r (Rpq_parse.parse "a+")));
+  (* Labeled nodes and WHERE do not compile to plain RPQs. *)
+  Alcotest.(check bool) "labels refuse" true
+    (Gql_compile.to_rpq (Gql_parse.parse "(x:Account)-[:a]->(y)") = None);
+  Alcotest.(check bool) "where refuses" true
+    (Gql_compile.to_rpq (Gql_parse.parse "(x WHERE x.k = 1)") = None)
+
+let test_compile_to_dlrpq_endpoints () =
+  (* Compiled evaluation agrees with the GQL engine on endpoints, including
+     the per-iteration WHERE of Example 3. *)
+  let pat = Gql_parse.parse "(x) ( (u)-[:a]->(v) WHERE u.date < v.date )* (y)" in
+  let q =
+    match Gql_compile.to_dlrpq pat with
+    | Some q -> q
+    | None -> Alcotest.fail "should compile"
+  in
+  List.iter
+    (fun seed ->
+      let pg =
+        Generators.random_pg ~seed ~nodes:5 ~edges:7 ~labels:[ "a" ] ~prop:"date"
+          ~max_value:3
+      in
+      let g = Pg.elg pg in
+      let via_gql =
+        Gql.matches pg pat ~max_len:4
+        |> List.filter_map (fun (p, _) ->
+               match (Path.src g p, Path.tgt g p) with
+               | Some u, Some v -> Some (u, v)
+               | _ -> None)
+        |> List.sort_uniq compare
+      in
+      let via_dl =
+        List.concat_map
+          (fun src ->
+            Dlrpq.enumerate_from pg q ~src ~max_len:4 ()
+            |> List.filter_map (fun (p, _) ->
+                   match (Path.src g p, Path.tgt g p) with
+                   | Some u, Some v -> Some (u, v)
+                   | _ -> None))
+          (List.init (Elg.nb_nodes g) Fun.id)
+        |> List.sort_uniq compare
+      in
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "seed %d" seed)
+        via_gql via_dl)
+    [ 1; 2; 3; 4 ]
+
+let test_compile_refuses_joins () =
+  (* Repeated variables are joins: not regular, must refuse. *)
+  Alcotest.(check bool) "self-loop join refused" true
+    (Gql_compile.to_dlrpq (Gql_parse.parse "(x)-[:a]->(x)") = None);
+  Alcotest.(check bool) "repeated edge var refused" true
+    (Gql_compile.to_dlrpq (Gql_parse.parse "(x)-[z:a]->()-[z:a]->(y)") = None)
+
+(* --- GQL -> CoreGQL translation (Section 4) ------------------------------- *)
+
+let test_gql_to_coregql () =
+  (* Endpoint agreement on acyclic graphs where the engine's bound covers
+     every path. *)
+  let patterns =
+    [
+      "(x)-[:a]->(y)";
+      "(x)(()-[:a]->()){1,}(y)";
+      "(x) ( (u)-[:a]->(v) WHERE u.date < v.date )* (y)";
+      "(x:Point)-[:a]->(y)";
+      "((x)-[:a]->(y)) | ((x)-[:a]->()-[:a]->(y))";
+    ]
+  in
+  let pg = Generators.dated_line [ 3; 1; 2; 5 ] in
+  let g = Pg.elg pg in
+  List.iter
+    (fun src ->
+      let pat = Gql_parse.parse src in
+      match Gql_to_coregql.translate pat with
+      | None -> Alcotest.fail ("translation failed for " ^ src)
+      | Some core ->
+          let via_gql =
+            Gql.matches pg pat ~max_len:(Elg.nb_edges g)
+            |> List.filter_map (fun (p, _) ->
+                   match (Path.src g p, Path.tgt g p) with
+                   | Some u, Some v -> Some (u, v)
+                   | _ -> None)
+            |> List.sort_uniq compare
+          in
+          let via_core =
+            Coregql.eval pg core
+            |> List.map (fun (u, v, _) -> (u, v))
+            |> List.sort_uniq compare
+          in
+          Alcotest.(check (list (pair int int))) src via_gql via_core)
+    patterns
+
+let test_gql_to_coregql_unsupported () =
+  let pat =
+    Gql.Pwhere
+      ( Gql.Pnode { nvar = Some "x"; nlbl = None },
+        Gql.Cmp (Gql.Const (Value.Int 1), Value.Eq, Gql.Const (Value.Int 2)) )
+  in
+  Alcotest.(check bool) "const-const refused" true
+    (Gql_to_coregql.translate pat = None)
+
+(* --- Cardinality estimation (Section 7.1) --------------------------------- *)
+
+let test_estimator_exact_when_full () =
+  (* Sampling every node once in expectation: with samples >> nodes the
+     estimate is close; with a fixed seed we just check calibration. *)
+  let g = Generators.random_graph ~seed:11 ~nodes:20 ~edges:60 ~labels:[ "a"; "b" ] in
+  let r = Rpq_parse.parse "a.b*" in
+  let err = Rpq_estimate.relative_error g r ~samples:200 ~seed:5 in
+  Alcotest.(check bool) (Printf.sprintf "relative error %.3f < 0.25" err) true (err < 0.25)
+
+let prop_estimator_unbiasedish =
+  QCheck.Test.make ~count:15 ~name:"estimator within 50%% at moderate samples"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 1 100))
+    (fun seed ->
+      let g = Generators.random_graph ~seed ~nodes:12 ~edges:30 ~labels:[ "a" ] in
+      let r = Rpq_parse.parse "a+" in
+      Rpq_estimate.relative_error g r ~samples:100 ~seed:(seed + 1) < 0.5)
+
+(* --- Walk logic (Section 7.1, "A Logic for Graphs") ----------------------- *)
+
+let test_walk_logic_basics () =
+  let pg = Generators.dated_line [ 1; 2; 3 ] in
+  (* There exist nodes x, y and a path between them visiting a node with
+     date 3 (that is v2). *)
+  let phi =
+    Walk_logic.(
+      Exists_node
+        ( "x",
+          Exists_node
+            ( "y",
+              Exists_path
+                ( "p", "x", "y",
+                  Exists_node
+                    ( "m",
+                      And (On ("m", "p"), Prop ("m", "date", Value.Eq, Value.Int 3)) ) ) ) ))
+  in
+  Alcotest.(check bool) "path through date=3" true
+    (Walk_logic.check pg ~max_len:4 phi);
+  let phi_absent =
+    Walk_logic.(
+      Exists_node
+        ( "x",
+          Exists_path
+            ( "p", "x", "x",
+              Exists_node
+                ("m", And (On ("m", "p"), Prop ("m", "date", Value.Eq, Value.Int 99))) ) ))
+  in
+  Alcotest.(check bool) "no node with date 99" false
+    (Walk_logic.check pg ~max_len:4 phi_absent)
+
+let test_walk_logic_increasing () =
+  (* "There is a path on which the dates of edges increase along the
+     path": the paper's running query, written with path quantification
+     and the Before position order. *)
+  let increasing_path =
+    Walk_logic.(
+      Exists_node
+        ( "x",
+          Exists_node
+            ( "y",
+              And
+                ( Not (Eq ("x", "y")),
+                  Exists_path
+                    ( "p", "x", "y",
+                      And
+                        ( Exists_edge ("w", On ("w", "p")),
+                          forall_edge "e1"
+                            (forall_edge "e2"
+                               (implies
+                                  (And
+                                     ( And (On ("e1", "p"), On ("e2", "p")),
+                                       Before ("e1", "e2", "p") ))
+                                  (Prop2 ("e1", "date", Value.Lt, "e2", "date")))) ) ) ) ) ))
+  in
+  let good = Generators.dated_line [ 1; 2; 3 ] in
+  Alcotest.(check bool) "increasing line satisfies" true
+    (Walk_logic.check good ~max_len:3 increasing_path);
+  (* A strictly decreasing line still has single-edge paths; demand at
+     least two edges by requiring two distinct edges on the path. *)
+  let two_increasing =
+    Walk_logic.(
+      Exists_node
+        ( "x",
+          Exists_node
+            ( "y",
+              Exists_path
+                ( "p", "x", "y",
+                  Exists_edge
+                    ( "e1",
+                      Exists_edge
+                        ( "e2",
+                          And
+                            ( And (On ("e1", "p"), On ("e2", "p")),
+                              And
+                                ( Before ("e1", "e2", "p"),
+                                  Prop2 ("e1", "date", Value.Lt, "e2", "date") ) ) ) ) ) ) ))
+  in
+  let bad = Generators.dated_line [ 3; 2; 1 ] in
+  Alcotest.(check bool) "decreasing line has no increasing pair" false
+    (Walk_logic.check bad ~max_len:3 two_increasing);
+  Alcotest.(check bool) "increasing line has one" true
+    (Walk_logic.check good ~max_len:3 two_increasing)
+
+let test_walk_logic_errors () =
+  Alcotest.(check bool) "unbound variable" true
+    (match Walk_logic.check (Generators.dated_line [ 1 ]) ~max_len:2
+             Walk_logic.(On ("o", "p")) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "two-way",
+        [
+          Alcotest.test_case "basics" `Quick test_two_way_basics;
+          Alcotest.test_case "vs naive" `Quick test_two_way_vs_naive;
+          Alcotest.test_case "strictly stronger" `Quick test_two_way_strictly_stronger;
+        ] );
+      ( "static analysis",
+        [
+          Alcotest.test_case "containment" `Quick test_containment;
+          QCheck_alcotest.to_alcotest prop_containment_sound;
+        ] );
+      ( "sparql",
+        [
+          Alcotest.test_case "non-uniform semantics" `Quick test_sparql_non_uniform;
+          Alcotest.test_case "star bounded" `Quick test_sparql_star_bounded;
+        ] );
+      ( "register automata",
+        [
+          Alcotest.test_case "increasing" `Quick test_register_increasing;
+          Alcotest.test_case "agrees with dl-RPQ" `Quick test_register_agrees_with_dlrpq;
+          Alcotest.test_case "validation" `Quick test_register_validation;
+        ] );
+      ("k-shortest", [ Alcotest.test_case "bank" `Quick test_k_shortest ]);
+      ( "dl-rpq syntax",
+        [
+          Alcotest.test_case "Example 21" `Quick test_dlrpq_parse_example21;
+          Alcotest.test_case "forms" `Quick test_dlrpq_parse_forms;
+          Alcotest.test_case "matches builders" `Quick test_dlrpq_parse_matches_builders;
+        ] );
+      ( "gql compiler",
+        [
+          Alcotest.test_case "to RPQ" `Quick test_compile_to_rpq;
+          Alcotest.test_case "endpoint agreement" `Quick test_compile_to_dlrpq_endpoints;
+          Alcotest.test_case "refuses joins" `Quick test_compile_refuses_joins;
+        ] );
+      ( "gql -> coregql",
+        [
+          Alcotest.test_case "endpoint agreement" `Quick test_gql_to_coregql;
+          Alcotest.test_case "unsupported" `Quick test_gql_to_coregql_unsupported;
+        ] );
+      ( "cardinality estimation",
+        [
+          Alcotest.test_case "calibration" `Quick test_estimator_exact_when_full;
+          QCheck_alcotest.to_alcotest prop_estimator_unbiasedish;
+        ] );
+      ( "walk logic",
+        [
+          Alcotest.test_case "basics" `Quick test_walk_logic_basics;
+          Alcotest.test_case "increasing via Before" `Quick test_walk_logic_increasing;
+          Alcotest.test_case "errors" `Quick test_walk_logic_errors;
+        ] );
+    ]

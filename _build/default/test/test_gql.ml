@@ -1,0 +1,269 @@
+(* GQL-style patterns: group variables, joins, quantifiers — Examples 1-3
+   — plus the ASCII-art parser. *)
+
+let parse = Gql_parse.parse
+
+(* A graph with a length-2 a-path u -> v -> w and an a-self-loop on s. *)
+let g1 =
+  Pg.make
+    ~nodes:[ ("u", "V", []); ("v", "V", []); ("w", "V", []); ("s", "V", []) ]
+    ~edges:
+      [
+        ("e1", "u", "a", "v", []);
+        ("e2", "v", "a", "w", []);
+        ("loop", "s", "a", "s", []);
+      ]
+
+let elg1 = Pg.elg g1
+let id name = Elg.node_id elg1 name
+let eid name = Elg.edge_id elg1 name
+
+let binding_of results src tgt =
+  List.filter_map
+    (fun (p, b) ->
+      if Path.src elg1 p = Some (id src) && Path.tgt elg1 p = Some (id tgt) then
+        Some b
+      else None)
+    results
+
+let test_example1_grouping () =
+  (* (x) ( ()-[z:a]->() ){2} (y): z collects a list of two edges. *)
+  let pat = parse "(x) ( ()-[z:a]->() ){2} (y)" in
+  let results = Gql.matches g1 pat ~max_len:4 in
+  (match binding_of results "u" "w" with
+  | [ b ] ->
+      Alcotest.(check bool) "z = list(e1,e2)" true
+        (List.assoc_opt "z" b = Some (Gql.Group [ Path.E (eid "e1"); Path.E (eid "e2") ]))
+  | other -> Alcotest.fail (Printf.sprintf "expected 1 match u->w, got %d" (List.length other)));
+  (* The loop walked twice also matches. *)
+  Alcotest.(check int) "loop twice" 1 (List.length (binding_of results "s" "s"))
+
+let test_example1_join_variant () =
+  (* (x)-[z:a]->()-[z:a]->(y): both z occurrences join, so only a
+     self-loop traversed twice matches (the paper's observation). *)
+  let pat = parse "(x)-[z:a]->()-[z:a]->(y)" in
+  let results = Gql.matches g1 pat ~max_len:4 in
+  Alcotest.(check int) "only the self-loop" 1 (List.length results);
+  let p, b = List.hd results in
+  Alcotest.(check (option int)) "starts at s" (Some (id "s")) (Path.src elg1 p);
+  Alcotest.(check bool) "z is a single edge" true
+    (List.assoc_opt "z" b = Some (Gql.Single (Path.E (eid "loop"))))
+
+let test_example1_renamed_variant () =
+  (* (x)-[z:a]->(u)(v)-[z1:a]->(y): separate bindings, and the adjacent
+     node patterns (u)(v) are forced onto the same node. *)
+  let pat = parse "(x)-[z:a]->(u)(v)-[z1:a]->(y)" in
+  let results = Gql.matches g1 pat ~max_len:4 in
+  (match binding_of results "u" "w" with
+  | [ b ] ->
+      Alcotest.(check bool) "u = v" true (List.assoc_opt "u" b = List.assoc_opt "v" b);
+      Alcotest.(check bool) "z single e1" true
+        (List.assoc_opt "z" b = Some (Gql.Single (Path.E (eid "e1"))));
+      Alcotest.(check bool) "z1 single e2" true
+        (List.assoc_opt "z1" b = Some (Gql.Single (Path.E (eid "e2"))))
+  | other -> Alcotest.fail (Printf.sprintf "expected 1 match, got %d" (List.length other)))
+
+let test_e12_quant_vs_unfold () =
+  (* π{2} differs from ππ when π contains a variable: the quantified form
+     groups, the unfolding joins (Example 1 / Section 4.2). *)
+  let quant = parse "(()-[z:a]->()){2}" in
+  let unfold = parse "()-[z:a]->()()-[z:a]->()" in
+  let rq = Gql.matches g1 quant ~max_len:4 in
+  let ru = Gql.matches g1 unfold ~max_len:4 in
+  (* Quantified: both 2-step walks (u->w and the double loop). *)
+  Alcotest.(check int) "quant matches" 2 (List.length rq);
+  (* Unfolded: joins force the same edge twice: only the loop. *)
+  Alcotest.(check int) "unfold matches" 1 (List.length ru)
+
+let test_example2_iteration_grouping () =
+  (* ((x)-[:a]->(x))*: within one iteration x joins (self-loop); across
+     iterations x is collected. *)
+  let pat = parse "((x)-[:a]->(x))*" in
+  let results = Gql.matches_between g1 pat ~max_len:3 ~src:(id "s") ~tgt:(id "s") in
+  let with_k k =
+    List.exists
+      (fun (_, b) ->
+        match List.assoc_opt "x" b with
+        | Some (Gql.Group l) -> List.length l = k
+        | _ -> k = 0 && b = [])
+      results
+  in
+  Alcotest.(check bool) "0 iterations" true (with_k 0);
+  Alcotest.(check bool) "2 iterations collect x twice" true (with_k 2);
+  (* Nodes without self-loops only match the empty iteration. *)
+  let at_u = Gql.matches_between g1 pat ~max_len:3 ~src:(id "u") ~tgt:(id "u") in
+  Alcotest.(check int) "u: only empty match" 1 (List.length at_u)
+
+let test_example3_node_dates () =
+  (* (x) ( (u)-[:a]->(v) WHERE u.date < v.date )* (y): increasing node
+     dates. *)
+  let pg = Generators.dated_line [ 3; 4; 1; 2 ] in
+  let g = Pg.elg pg in
+  let pat = parse "(x) ( (u)-[:a]->(v) WHERE u.date < v.date )* (y)" in
+  let results = Gql.matches pg pat ~max_len:6 in
+  let reaches a b =
+    List.exists
+      (fun (p, _) ->
+        Path.src g p = Some (Elg.node_id g a) && Path.tgt g p = Some (Elg.node_id g b))
+      results
+  in
+  Alcotest.(check bool) "v0->v1" true (reaches "v0" "v1");
+  Alcotest.(check bool) "v0->v2 blocked" false (reaches "v0" "v2");
+  Alcotest.(check bool) "v2->v4" true (reaches "v2" "v4")
+
+let test_example3_naive_edges () =
+  (* The naive edge variant accepts the non-increasing 3,4,1,2 path: the
+     window moves in steps of two (the paper's Example 3). *)
+  let pg = Generators.dated_line [ 3; 4; 1; 2 ] in
+  let g = Pg.elg pg in
+  let pat = parse "(x) ( ()-[u:a]->()-[v:a]->() WHERE u.date < v.date )* (y)" in
+  let results = Gql.matches pg pat ~max_len:6 in
+  Alcotest.(check bool) "whole bad path accepted" true
+    (List.exists
+       (fun (p, _) ->
+         Path.src g p = Some (Elg.node_id g "v0")
+         && Path.tgt g p = Some (Elg.node_id g "v4")
+         && Path.len p = 4)
+       results)
+
+let test_degree_conflict () =
+  let pat = parse "(x)((x)-[:a]->())*" in
+  Alcotest.(check bool) "degree conflict raised" true
+    (match Gql.matches g1 pat ~max_len:3 with
+    | exception Gql.Degree_conflict "x" -> true
+    | _ -> false)
+
+let test_partial_bindings () =
+  (* ((x) + -[y]->) : GQL's nulls — each disjunct binds its own variable. *)
+  let pat = Gql.Palt (Gql.Pnode { nvar = Some "x"; nlbl = None }, Gql.Pedge { evar = Some "y"; elbl = None }) in
+  let results = Gql.matches g1 pat ~max_len:2 in
+  let domains =
+    List.map (fun (_, b) -> List.map fst b) results |> List.sort_uniq Stdlib.compare
+  in
+  Alcotest.(check (list (list string))) "two binding shapes" [ [ "x" ]; [ "y" ] ] domains
+
+let test_bag_vs_set () =
+  let pat = parse "(()-[:a]->()) | (()-[:a]->())" in
+  let set = Gql.matches ~dedup:true g1 pat ~max_len:2 in
+  let bag = Gql.matches ~dedup:false g1 pat ~max_len:2 in
+  Alcotest.(check int) "set: 3 edges" 3 (List.length set);
+  Alcotest.(check int) "bag: 6 derivations" 6 (List.length bag)
+
+let test_parser_details () =
+  (* Quantifier forms. *)
+  let p = parse "(x)-[:a]->{2,3}(y)" in
+  (match p with
+  | Gql.Pseq (_, Gql.Pseq (Gql.Pquant (_, 2, Some 3), _)) -> ()
+  | _ -> Alcotest.fail "expected edge quantifier {2,3}");
+  (* WHERE with AND/OR and constants. *)
+  let pw = parse "(x WHERE x.amount >= 4.5 AND x.owner = 'Mike')" in
+  (match pw with
+  | Gql.Pwhere (Gql.Pnode { nvar = Some "x"; _ }, Gql.And (_, _)) -> ()
+  | _ -> Alcotest.fail "expected node with conjunction");
+  (* Errors. *)
+  List.iter
+    (fun src ->
+      Alcotest.(check bool) ("rejects " ^ src) true
+        (match Gql_parse.parse_opt src with Error _ -> true | Ok _ -> false))
+    [ "("; "(x"; "-[z:]->"; "(x){"; "(x) WHERE"; "(x)-[y]" ]
+
+let test_parser_labels () =
+  let pat = parse "(x:Account)-[t:Transfer]->(y:Account)" in
+  let bank_pg = Generators.bank_pg () in
+  let results = Gql.matches bank_pg pat ~max_len:2 in
+  Alcotest.(check int) "ten transfers" 10 (List.length results)
+
+(* --- MATCH/RETURN query layer --------------------------------------------- *)
+
+let bank_pg = Generators.bank_pg ()
+let bank_g = Pg.elg bank_pg
+
+let run_query ?(max_len = 4) src = Gql_query.eval ~max_len bank_pg (Gql_query.parse src)
+
+let test_query_projection () =
+  let rel = run_query "MATCH ((x)-[z:Transfer]->(y) WHERE z.amount < 4.5) RETURN x, y" in
+  Alcotest.(check (list string)) "small transfers"
+    [ "a3 | a2"; "a3 | a4" ]
+    (List.map
+       (fun row -> String.concat " | " (List.map (Relation.cell_to_string bank_g) row))
+       (Relation.rows rel))
+
+let test_query_aggregation () =
+  let rel = run_query "MATCH (x:Account)-[z:Transfer]->(y:Account) RETURN x.owner, count(*)" in
+  Alcotest.(check bool) "Mike sends four transfers" true
+    (Relation.mem rel [ Relation.Cval (Value.Text "Mike"); Relation.Cval (Value.Int 4) ]);
+  let rel2 = run_query "MATCH (x:Account)-[z:Transfer]->(y) RETURN x.owner, max(z.amount)" in
+  Alcotest.(check bool) "Mike's max amount is 10" true
+    (Relation.mem rel2
+       [ Relation.Cval (Value.Text "Mike"); Relation.Cval (Value.Real 10.0) ])
+
+let test_query_size_and_group_rejection () =
+  let rel = run_query "MATCH (x)(()-[z:Transfer]->()){2}(y) RETURN DISTINCT x, size(z)" in
+  Alcotest.(check bool) "every list has size 2" true
+    (List.for_all
+       (fun row -> List.nth row 1 = Relation.Cval (Value.Int 2))
+       (Relation.rows rel));
+  (* Returning the group variable itself violates 1NF: rejected, as in
+     CoreGQL (Section 4.2). *)
+  Alcotest.(check bool) "group var rejected" true
+    (match run_query "MATCH (x)(()-[z:Transfer]->()){2}(y) RETURN z" with
+    | exception Gql_query.Eval_error _ -> true
+    | _ -> false)
+
+let test_query_parse_errors () =
+  List.iter
+    (fun src ->
+      Alcotest.(check bool) ("rejects " ^ src) true
+        (match Gql_query.parse src with
+        | exception Gql_query.Parse_error _ -> true
+        | _ -> false))
+    [ "RETURN x"; "MATCH (x)"; "MATCH (x) RETURN"; "MATCH ( RETURN x";
+      "MATCH (x) RETURN sum(x)" ]
+
+let test_query_no_nulls () =
+  (* y.owner is undefined for non-account targets: those rows are dropped. *)
+  let rel = run_query "MATCH (x)-[z:Transfer]->(y) RETURN y, y.owner" in
+  Alcotest.(check bool) "all rows have owners" true
+    (List.for_all
+       (fun row ->
+         match row with
+         | [ _; Relation.Cval (Value.Text _) ] -> true
+         | _ -> false)
+       (Relation.rows rel))
+
+let () =
+  Alcotest.run "gql"
+    [
+      ( "example 1",
+        [
+          Alcotest.test_case "grouping" `Quick test_example1_grouping;
+          Alcotest.test_case "join variant" `Quick test_example1_join_variant;
+          Alcotest.test_case "renamed variant" `Quick test_example1_renamed_variant;
+          Alcotest.test_case "quant vs unfold (E12)" `Quick test_e12_quant_vs_unfold;
+        ] );
+      ( "examples 2-3",
+        [
+          Alcotest.test_case "iteration grouping" `Quick test_example2_iteration_grouping;
+          Alcotest.test_case "node dates" `Quick test_example3_node_dates;
+          Alcotest.test_case "naive edge window" `Quick test_example3_naive_edges;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "degree conflict" `Quick test_degree_conflict;
+          Alcotest.test_case "partial bindings" `Quick test_partial_bindings;
+          Alcotest.test_case "bag vs set" `Quick test_bag_vs_set;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "details" `Quick test_parser_details;
+          Alcotest.test_case "labels on bank" `Quick test_parser_labels;
+        ] );
+      ( "query layer",
+        [
+          Alcotest.test_case "projection" `Quick test_query_projection;
+          Alcotest.test_case "aggregation" `Quick test_query_aggregation;
+          Alcotest.test_case "size / group rejection" `Quick test_query_size_and_group_rejection;
+          Alcotest.test_case "parse errors" `Quick test_query_parse_errors;
+          Alcotest.test_case "no nulls" `Quick test_query_no_nulls;
+        ] );
+    ]

@@ -1,0 +1,317 @@
+(* Graph substrate tests: values, edge-labeled graphs, property graphs,
+   paths (Section 2), and the reconstructed bank graphs of Figures 2/3. *)
+
+let bank = Generators.bank_elg ()
+let bank_pg = Generators.bank_pg ()
+let n name = Path.N (Elg.node_id bank name)
+let e name = Path.E (Elg.edge_id bank name)
+let path names = Path.of_objs_exn bank (List.map (fun s -> if s.[0] = 't' || s.[0] = 'r' then e s else n s) names)
+
+(* --- Value ------------------------------------------------------------- *)
+
+let test_value_compare () =
+  Alcotest.(check bool) "3 < 4" true Value.(test Lt (Int 3) (Int 4));
+  Alcotest.(check bool) "kind mismatch" false Value.(test Lt (Int 3) (Text "4"));
+  Alcotest.(check bool) "eq text" true Value.(test Eq (Text "a") (Text "a"));
+  Alcotest.(check bool) "neq" true Value.(test Neq (Real 1.0) (Real 2.0));
+  Alcotest.(check bool) "ge" true Value.(test Ge (Int 4) (Int 4))
+
+let test_value_parse () =
+  Alcotest.(check bool) "int" true (Value.of_string_guess "42" = Value.Int 42);
+  Alcotest.(check bool) "real" true (Value.of_string_guess "4.5" = Value.Real 4.5);
+  Alcotest.(check bool) "bool" true (Value.of_string_guess "true" = Value.Bool true);
+  Alcotest.(check bool) "text" true (Value.of_string_guess "Megan" = Value.Text "Megan")
+
+(* --- Elg ---------------------------------------------------------------- *)
+
+let test_bank_shape () =
+  (* 6 accounts + 6 persons + yes/no/Account. *)
+  Alcotest.(check int) "nodes" 15 (Elg.nb_nodes bank);
+  (* 10 transfers + 6 owner + 6 isBlocked + 6 type. *)
+  Alcotest.(check int) "edges" 28 (Elg.nb_edges bank);
+  Alcotest.(check (list string))
+    "labels" [ "Transfer"; "isBlocked"; "owner"; "type" ]
+    (Elg.labels bank)
+
+let test_parallel_edges () =
+  (* Example 5: t2 and t5 both go from a3 to a2 with label Transfer. *)
+  let a3 = Elg.node_id bank "a3" and a2 = Elg.node_id bank "a2" in
+  let between = Elg.edges_between bank a3 a2 in
+  Alcotest.(check (list string))
+    "parallel transfers" [ "t2"; "t5" ]
+    (List.map (Elg.edge_name bank) between);
+  List.iter
+    (fun e' -> Alcotest.(check string) "label" "Transfer" (Elg.label bank e'))
+    between
+
+let test_adjacency () =
+  let a3 = Elg.node_id bank "a3" in
+  let out = List.map (Elg.edge_name bank) (Elg.out_edges bank a3) in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " out of a3") true (List.mem name out))
+    [ "t2"; "t5"; "t6"; "t7" ];
+  let a5 = Elg.node_id bank "a5" in
+  let incoming = List.map (Elg.edge_name bank) (Elg.in_edges bank a5) in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " into a5") true (List.mem name incoming))
+    [ "t7"; "t10" ]
+
+let test_duplicate_node_rejected () =
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Elg.make: duplicate node u") (fun () ->
+      ignore (Elg.make ~nodes:[ "u"; "u" ] ~edges:[]))
+
+(* --- Pg ----------------------------------------------------------------- *)
+
+let test_bank_pg_props () =
+  let g = Pg.elg bank_pg in
+  let owner acc =
+    Pg.node_prop bank_pg (Elg.node_id g acc) "owner"
+  in
+  Alcotest.(check bool) "a1 owner Megan" true (owner "a1" = Some (Value.Text "Megan"));
+  Alcotest.(check bool) "a3 owner Mike" true (owner "a3" = Some (Value.Text "Mike"));
+  Alcotest.(check bool) "a5 owner Rebecca" true (owner "a5" = Some (Value.Text "Rebecca"));
+  Alcotest.(check bool) "a6 owner Jay" true (owner "a6" = Some (Value.Text "Jay"));
+  (* a4 is the only blocked account (needed by the PMR example). *)
+  List.iter
+    (fun acc ->
+      let expected = if acc = "a4" then "yes" else "no" in
+      Alcotest.(check bool)
+        (acc ^ " blocked " ^ expected)
+        true
+        (Pg.node_prop bank_pg (Elg.node_id g acc) "isBlocked"
+        = Some (Value.Text expected)))
+    [ "a1"; "a2"; "a3"; "a4"; "a5"; "a6" ];
+  (* Exactly t2 and t6 are below the 4.5M threshold (Section 6.3). *)
+  for e' = 0 to Elg.nb_edges g - 1 do
+    let name = Elg.edge_name g e' in
+    let small =
+      match Pg.edge_prop bank_pg e' "amount" with
+      | Some (Value.Real a) -> a < 4.5
+      | _ -> Alcotest.fail "missing amount"
+    in
+    Alcotest.(check bool)
+      (name ^ " small iff t2/t6")
+      (name = "t2" || name = "t6")
+      small
+  done
+
+let test_active_domain () =
+  let dom = Pg.active_domain bank_pg in
+  Alcotest.(check bool) "Megan present" true (List.mem (Value.Text "Megan") dom);
+  Alcotest.(check bool) "amount present" true (List.mem (Value.Real 4.8) dom);
+  let sorted = List.sort_uniq Value.compare dom in
+  Alcotest.(check int) "no duplicates" (List.length sorted) (List.length dom)
+
+(* --- Path (Section 2) --------------------------------------------------- *)
+
+let test_path_validity () =
+  (* Example 10. *)
+  Alcotest.(check bool) "node-to-edge path" true
+    (Path.of_objs bank [ n "a1"; e "t1"; n "a3"; e "t2" ] <> None);
+  Alcotest.(check bool) "edge-to-edge path" true
+    (Path.of_objs bank [ e "t1"; n "a3"; e "t2" ] <> None);
+  Alcotest.(check bool) "repeated edge without node invalid" true
+    (Path.of_objs bank [ n "a1"; e "t1"; e "t1" ] = None);
+  Alcotest.(check bool) "wrong incidence invalid" true
+    (Path.of_objs bank [ n "a1"; e "t2" ] = None);
+  Alcotest.(check bool) "two nodes in a row invalid" true
+    (Path.of_objs bank [ n "a1"; n "a3" ] = None)
+
+let test_path_endpoints () =
+  let p = path [ "t1"; "a3"; "t2" ] in
+  Alcotest.(check (option int)) "src is src(t1)"
+    (Some (Elg.node_id bank "a1"))
+    (Path.src bank p);
+  Alcotest.(check (option int)) "tgt is tgt(t2)"
+    (Some (Elg.node_id bank "a2"))
+    (Path.tgt bank p);
+  Alcotest.(check int) "len counts edges" 2 (Path.len p)
+
+let test_path_concat_example10 () =
+  (* The three decompositions of path(a1,t1,a3,t2,a2) from Example 10. *)
+  let whole = path [ "a1"; "t1"; "a3"; "t2"; "a2" ] in
+  let check name p q =
+    match Path.concat bank p q with
+    | Some r -> Alcotest.(check bool) name true (Path.equal r whole)
+    | None -> Alcotest.fail (name ^ ": concat undefined")
+  in
+  check "node glue" (path [ "a1"; "t1"; "a3" ]) (path [ "a3"; "t2"; "a2" ]);
+  check "edge-node glue" (path [ "a1"; "t1" ]) (path [ "a3"; "t2"; "a2" ]);
+  check "edge collapse" (path [ "a1"; "t1" ]) (path [ "t1"; "a3"; "t2"; "a2" ]);
+  (* Length of a concatenation need not be the sum of lengths. *)
+  Alcotest.(check int) "collapsed length" 2 (Path.len whole)
+
+let test_path_concat_degenerate () =
+  (* path(o) · path(o) = path(o) for both nodes and edges. *)
+  let pn = path [ "a1" ] and pe = path [ "t1" ] in
+  Alcotest.(check bool) "node idempotent" true
+    (Path.concat bank pn pn = Some pn);
+  Alcotest.(check bool) "edge idempotent" true
+    (Path.concat bank pe pe = Some pe);
+  (* Empty path is a unit. *)
+  Alcotest.(check bool) "right unit" true (Path.concat bank pe Path.empty = Some pe);
+  Alcotest.(check bool) "left unit" true (Path.concat bank Path.empty pe = Some pe);
+  (* Undefined concatenation. *)
+  Alcotest.(check bool) "mismatched" true
+    (Path.concat bank (path [ "a1" ]) (path [ "a2" ]) = None)
+
+let test_elab () =
+  Alcotest.(check (list string))
+    "elab skips nodes" [ "Transfer"; "Transfer" ]
+    (Path.elab bank (path [ "a1"; "t1"; "a3"; "t2"; "a2" ]));
+  Alcotest.(check (list string)) "elab of single node" [] (Path.elab bank (path [ "a1" ]))
+
+let test_simple_trail () =
+  let p = path [ "a1"; "t1"; "a3"; "t2"; "a2" ] in
+  Alcotest.(check bool) "simple" true (Path.is_simple p);
+  Alcotest.(check bool) "trail" true (Path.is_trail p);
+  (* a3 -> a2 via t2, back? no edge a2->a3; build a repeated-node path
+     via the cycle a3 t7 a5 t4 a1 t1 a3. *)
+  let cyc = path [ "a3"; "t7"; "a5"; "t4"; "a1"; "t1"; "a3" ] in
+  Alcotest.(check bool) "cycle not simple" false (Path.is_simple cyc);
+  Alcotest.(check bool) "cycle is a trail" true (Path.is_trail cyc)
+
+(* --- Graph IO ----------------------------------------------------------- *)
+
+let test_io_roundtrip () =
+  let text = Graph_io.to_string bank_pg in
+  let parsed = Graph_io.parse_string text in
+  let g1 = Pg.elg bank_pg and g2 = Pg.elg parsed in
+  Alcotest.(check int) "nodes" (Elg.nb_nodes g1) (Elg.nb_nodes g2);
+  Alcotest.(check int) "edges" (Elg.nb_edges g1) (Elg.nb_edges g2);
+  Alcotest.(check bool) "t7 amount survives" true
+    (Pg.edge_prop parsed (Elg.edge_id g2 "t7") "amount" = Some (Value.Real 10.0))
+
+let test_io_errors () =
+  Alcotest.(check bool) "bad edge raises" true
+    (match Graph_io.parse_string "edge only two" with
+    | exception Graph_io.Parse_error _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "bad decl raises" true
+    (match Graph_io.parse_string "vertex v" with
+    | exception Graph_io.Parse_error _ -> true
+    | _ -> false)
+
+(* --- Generators (benchmark families) ------------------------------------ *)
+
+let test_diamonds () =
+  let g = Generators.diamonds 3 in
+  Alcotest.(check int) "nodes" (3 * 3 + 1) (Elg.nb_nodes g);
+  Alcotest.(check int) "edges" (4 * 3) (Elg.nb_edges g);
+  Alcotest.(check bool) "s exists" true (Elg.node_id g "s" >= 0);
+  Alcotest.(check bool) "t exists" true (Elg.node_id g "t" >= 0)
+
+let test_clique () =
+  let g = Generators.clique 4 "a" in
+  Alcotest.(check int) "nodes" 4 (Elg.nb_nodes g);
+  Alcotest.(check int) "edges" 12 (Elg.nb_edges g)
+
+let test_subset_sum () =
+  let pg = Generators.subset_sum [ 3; 5; 7 ] in
+  let g = Pg.elg pg in
+  Alcotest.(check int) "nodes" 4 (Elg.nb_nodes g);
+  Alcotest.(check int) "edges" 6 (Elg.nb_edges g);
+  Alcotest.(check bool) "take0 has k=3" true
+    (Pg.edge_prop pg (Elg.edge_id g "take0") "k" = Some (Value.Int 3));
+  Alcotest.(check bool) "skip0 has k=0" true
+    (Pg.edge_prop pg (Elg.edge_id g "skip0") "k" = Some (Value.Int 0))
+
+(* --- Properties --------------------------------------------------------- *)
+
+(* Random valid path generator over the bank graph: a walk. *)
+let gen_walk =
+  QCheck.Gen.(
+    int_range 0 (Elg.nb_nodes bank - 1) >>= fun start ->
+    int_range 0 6 >>= fun steps ->
+    let rec walk acc v k st =
+      if k = 0 then List.rev acc
+      else
+        match Elg.out_edges bank v with
+        | [] -> List.rev acc
+        | edges ->
+            let e' = List.nth edges (Random.State.int st (List.length edges)) in
+            walk (Path.N (Elg.tgt bank e') :: Path.E e' :: acc) (Elg.tgt bank e') (k - 1) st
+    in
+    fun st -> walk [ Path.N start ] start steps st)
+
+let arb_path =
+  QCheck.make ~print:(fun objs -> Path.to_string bank (Path.of_objs_exn bank objs)) gen_walk
+
+let prop_walks_valid =
+  QCheck.Test.make ~name:"generated walks are valid paths" arb_path (fun objs ->
+      Path.of_objs bank objs <> None)
+
+let prop_elab_homomorphism =
+  QCheck.Test.make ~name:"elab(p1 . p2) = elab p1 @ elab p2 on split walks"
+    arb_path (fun objs ->
+      let p = Path.of_objs_exn bank objs in
+      (* Split at every node position and re-concatenate. *)
+      let rec splits pre post acc =
+        match post with
+        | [] -> acc
+        | (Path.N _ as o) :: rest ->
+            splits (o :: pre) rest ((List.rev (o :: pre), o :: rest) :: acc)
+        | (Path.E _ as o) :: rest -> splits (o :: pre) rest acc
+      in
+      List.for_all
+        (fun (left, right) ->
+          match (Path.of_objs bank left, Path.of_objs bank right) with
+          | Some p1, Some p2 -> (
+              match Path.concat bank p1 p2 with
+              | Some joined ->
+                  Path.equal joined p
+                  && Path.elab bank joined
+                     = Path.elab bank p1 @ Path.elab bank p2
+              | None -> false)
+          | _ -> false)
+        (splits [] objs []))
+
+let prop_len_edges =
+  QCheck.Test.make ~name:"len p = |edges p|" arb_path (fun objs ->
+      let p = Path.of_objs_exn bank objs in
+      Path.len p = List.length (Path.edges p))
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "compare/test" `Quick test_value_compare;
+          Alcotest.test_case "parse" `Quick test_value_parse;
+        ] );
+      ( "bank graph",
+        [
+          Alcotest.test_case "shape" `Quick test_bank_shape;
+          Alcotest.test_case "parallel edges (Ex. 5)" `Quick test_parallel_edges;
+          Alcotest.test_case "adjacency" `Quick test_adjacency;
+          Alcotest.test_case "duplicate rejected" `Quick test_duplicate_node_rejected;
+          Alcotest.test_case "property graph (Fig. 3)" `Quick test_bank_pg_props;
+          Alcotest.test_case "active domain" `Quick test_active_domain;
+        ] );
+      ( "paths",
+        [
+          Alcotest.test_case "validity" `Quick test_path_validity;
+          Alcotest.test_case "endpoints/len" `Quick test_path_endpoints;
+          Alcotest.test_case "concat (Ex. 10)" `Quick test_path_concat_example10;
+          Alcotest.test_case "concat degenerate" `Quick test_path_concat_degenerate;
+          Alcotest.test_case "elab" `Quick test_elab;
+          Alcotest.test_case "simple/trail" `Quick test_simple_trail;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
+          Alcotest.test_case "errors" `Quick test_io_errors;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "diamonds" `Quick test_diamonds;
+          Alcotest.test_case "clique" `Quick test_clique;
+          Alcotest.test_case "subset-sum" `Quick test_subset_sum;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_walks_valid; prop_elab_homomorphism; prop_len_edges ] );
+    ]

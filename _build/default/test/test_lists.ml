@@ -1,0 +1,173 @@
+(* List processing with reduce (Section 5.2): expressiveness gains and
+   their dangers. *)
+
+let test_reduce_base_cases () =
+  let pg = Generators.subset_sum [ 3; 5 ] in
+  let g = Pg.elg pg in
+  let r = Reduce.sum_reducer pg ~prop:"k" in
+  Alcotest.(check bool) "empty" true (Reduce.reduce r [] = Value.Int 0);
+  let take0 = Path.E (Elg.edge_id g "take0") in
+  Alcotest.(check bool) "singleton" true (Reduce.reduce r [ take0 ] = Value.Int 3);
+  let take1 = Path.E (Elg.edge_id g "take1") in
+  Alcotest.(check bool) "combine" true
+    (Reduce.reduce r [ take0; take1 ] = Value.Int 8)
+
+let test_increasing_reducer () =
+  let pg = Generators.dated_line [ 1; 3; 7 ] in
+  let g = Pg.elg pg in
+  let edges = List.init 3 (fun i -> Path.E (Elg.edge_id g (Printf.sprintf "e%d" i))) in
+  let r = Reduce.increasing_reducer pg ~prop:"date" in
+  Alcotest.(check bool) "increasing folds to head" true
+    (Reduce.reduce r edges = Value.Int 1);
+  let pg2 = Generators.dated_line [ 3; 1; 7 ] in
+  let g2 = Pg.elg pg2 in
+  let edges2 = List.init 3 (fun i -> Path.E (Elg.edge_id g2 (Printf.sprintf "e%d" i))) in
+  let r2 = Reduce.increasing_reducer pg2 ~prop:"date" in
+  Alcotest.(check bool) "non-increasing folds to -1" true
+    (Reduce.reduce r2 edges2 = Value.Int (-1))
+
+let test_trails_between () =
+  let pg = Generators.subset_sum [ 1; 2 ] in
+  (* 2 parallel choices per position: 4 trails end to end. *)
+  Alcotest.(check int) "four trails" 4
+    (List.length (Reduce.trails_between pg ~src:0 ~tgt:2))
+
+let test_subset_sum_positive () =
+  let items = [ 3; 5; 7; 11 ] in
+  let pg = Generators.subset_sum items in
+  List.iter
+    (fun target ->
+      let via_reduce = Reduce.subset_sum_via_reduce pg ~target <> None in
+      let via_dp = Reduce.subset_sum_dp items ~target in
+      Alcotest.(check bool) (Printf.sprintf "target %d agrees" target) via_dp via_reduce)
+    [ 0; 3; 8; 15; 26; 4; 6; 13; 100 ]
+
+let test_subset_sum_witness () =
+  let pg = Generators.subset_sum [ 3; 5; 7 ] in
+  match Reduce.subset_sum_via_reduce pg ~target:10 with
+  | None -> Alcotest.fail "10 = 3 + 7 should be found"
+  | Some p ->
+      let g = Pg.elg pg in
+      let sum =
+        List.fold_left
+          (fun acc e ->
+            match Pg.edge_prop pg e "k" with
+            | Some (Value.Int n) -> acc + n
+            | _ -> acc)
+          0 (Path.edges p)
+      in
+      ignore g;
+      Alcotest.(check int) "witness sums to target" 10 sum
+
+let test_order_of_shortest_and_filter () =
+  (* The paper's ordering ambiguity: a single node with a self-loop of
+     k=1; condition "sum of k = 3". *)
+  let pg =
+    Pg.make
+      ~nodes:[ ("u", "V", []) ]
+      ~edges:[ ("e", "u", "a", "u", [ ("k", Value.Int 1) ]) ]
+  in
+  (* Candidate paths u->u of lengths 0..5 (walks, not trails). *)
+  let g = Pg.elg pg in
+  let e = Elg.edge_id g "e" in
+  let walk k =
+    let rec objs i = if i = k then [ Path.N 0 ] else Path.N 0 :: Path.E e :: objs (i + 1) in
+    Path.of_objs_exn g (objs 0)
+  in
+  let candidates = List.init 6 walk in
+  let r = Reduce.sum_reducer pg ~prop:"k" in
+  let pred v = v = Value.Int 3 in
+  (* Condition after shortest: the shortest path (length 0) fails the
+     condition: empty result. *)
+  Alcotest.(check int) "shortest-then-filter empty" 0
+    (List.length (Reduce.shortest_then_filter pg candidates r ~pred));
+  (* Shortest after condition: the length-3 walk survives. *)
+  (match Reduce.filter_then_shortest pg candidates r ~pred with
+  | [ p ] -> Alcotest.(check int) "length 3 solution" 3 (Path.len p)
+  | other -> Alcotest.fail (Printf.sprintf "expected 1, got %d" (List.length other)))
+
+let test_increasing_via_reduce_matches_dlrpq () =
+  (* The reduce-based increasing-edges query returns the same trails as
+     the dl-RPQ formulation. *)
+  let pg = Generators.dated_line [ 1; 3; 2; 4 ] in
+  let g = Pg.elg pg in
+  let r = Reduce.increasing_reducer pg ~prop:"date" in
+  let pred v = match v with Value.Int n -> n >= 0 | _ -> false in
+  let via_reduce =
+    List.concat_map
+      (fun src ->
+        List.concat_map
+          (fun tgt ->
+            Reduce.filter_paths pg (Reduce.trails_between pg ~src ~tgt) r ~pred
+            |> List.filter (fun p -> Path.len p >= 1))
+          (List.init (Elg.nb_nodes g) Fun.id))
+      (List.init (Elg.nb_nodes g) Fun.id)
+    |> List.sort_uniq Path.compare
+  in
+  let dl =
+    Regex.seq Dlrpq.node_any
+      (Regex.seq (Dlrpq.edge_any_cap "z")
+         (Regex.seq
+            (Dlrpq.edge_test (Etest.Assign ("x", "date")))
+            (Regex.seq
+               (Regex.star
+                  (Regex.seq Dlrpq.node_any
+                     (Regex.seq (Dlrpq.edge_any_cap "z")
+                        (Regex.seq
+                           (Dlrpq.edge_test (Etest.Cmp_var ("date", Value.Gt, "x")))
+                           (Dlrpq.edge_test (Etest.Assign ("x", "date")))))))
+               Dlrpq.node_any)))
+  in
+  let via_dl =
+    List.concat_map
+      (fun src -> Dlrpq.enumerate_from pg dl ~src ~max_len:(Elg.nb_edges g) ())
+      (List.init (Elg.nb_nodes g) Fun.id)
+    |> List.map fst
+    |> List.filter Path.is_trail
+    |> List.sort_uniq Path.compare
+  in
+  let key p = List.map (Elg.edge_name g) (Path.edges p) in
+  Alcotest.(check (list (list string)))
+    "reduce = dl-RPQ"
+    (List.sort_uniq Stdlib.compare (List.map key via_dl))
+    (List.sort_uniq Stdlib.compare (List.map key via_reduce))
+
+(* Property: subset-sum via reduce agrees with DP on random instances. *)
+let prop_subset_sum =
+  let gen =
+    QCheck.Gen.(
+      pair (list_size (int_range 1 6) (int_range 0 9)) (int_range 0 25))
+  in
+  QCheck.Test.make ~count:60 ~name:"reduce subset-sum = DP"
+    (QCheck.make
+       ~print:(fun (items, t) ->
+         Printf.sprintf "items=[%s] target=%d"
+           (String.concat ";" (List.map string_of_int items))
+           t)
+       gen)
+    (fun (items, target) ->
+      let pg = Generators.subset_sum items in
+      Reduce.subset_sum_dp items ~target
+      = (Reduce.subset_sum_via_reduce pg ~target <> None))
+
+let () =
+  Alcotest.run "lists"
+    [
+      ( "reduce",
+        [
+          Alcotest.test_case "base cases" `Quick test_reduce_base_cases;
+          Alcotest.test_case "increasing reducer" `Quick test_increasing_reducer;
+          Alcotest.test_case "trails" `Quick test_trails_between;
+        ] );
+      ( "subset-sum",
+        [
+          Alcotest.test_case "agrees with DP" `Quick test_subset_sum_positive;
+          Alcotest.test_case "witness" `Quick test_subset_sum_witness;
+        ] );
+      ( "dangers",
+        [
+          Alcotest.test_case "shortest/filter order" `Quick test_order_of_shortest_and_filter;
+          Alcotest.test_case "increasing via reduce" `Quick test_increasing_via_reduce_matches_dlrpq;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_subset_sum ]);
+    ]

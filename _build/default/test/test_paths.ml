@@ -1,0 +1,149 @@
+(* Path modes: shortest / simple / trail / all (Sections 3.1.5, 6.3). *)
+
+let bank = Generators.bank_elg ()
+let parse = Rpq_parse.parse
+let id name = Elg.node_id bank name
+
+let test_shortest_bank () =
+  (* Shortest transfer path a3 -> a1 is t7;t4 (length 2). *)
+  let paths = Path_modes.shortest bank (parse "Transfer+") ~src:(id "a3") ~tgt:(id "a1") in
+  Alcotest.(check int) "one geodesic" 1 (List.length paths);
+  let p = List.hd paths in
+  Alcotest.(check int) "length 2" 2 (Path.len p);
+  Alcotest.(check (list string)) "edges" [ "t7"; "t4" ]
+    (List.map (Elg.edge_name bank) (Path.edges p))
+
+let test_shortest_parallel () =
+  (* a3 -> a2 has the two parallel transfers t2, t5: both are geodesics. *)
+  let paths = Path_modes.shortest bank (parse "Transfer") ~src:(id "a3") ~tgt:(id "a2") in
+  Alcotest.(check int) "two geodesics" 2 (List.length paths)
+
+let test_all_mode_bounded () =
+  (* Cycles make All infinite; with a bound we get exactly the paths of
+     length <= bound.  a3->a3 cycles: length 0 (empty) and length 3. *)
+  let paths =
+    Path_modes.enumerate bank (parse "Transfer*") ~mode:Path_modes.All ~max_len:3
+      ~src:(id "a3") ~tgt:(id "a3")
+  in
+  let lengths = List.map Path.len paths |> List.sort_uniq Stdlib.compare in
+  Alcotest.(check (list int)) "lengths 0 and 3" [ 0; 3 ] lengths
+
+let test_simple_vs_trail () =
+  (* From a3 to a4: simple paths are a3-t6-a4 and a3-{t2,t5}-a2-t3-a4. *)
+  let simple =
+    Path_modes.enumerate bank (parse "Transfer*") ~mode:Path_modes.Simple
+      ~max_len:100 ~src:(id "a3") ~tgt:(id "a4")
+  in
+  Alcotest.(check int) "3 simple paths" 3 (List.length simple);
+  (* Trails may additionally loop through a3's cycle once. *)
+  let trails =
+    Path_modes.enumerate bank (parse "Transfer*") ~mode:Path_modes.Trail
+      ~max_len:100 ~src:(id "a3") ~tgt:(id "a4")
+  in
+  Alcotest.(check bool) "more trails than simple paths" true
+    (List.length trails > List.length simple);
+  List.iter
+    (fun p -> Alcotest.(check bool) "trail property" true (Path.is_trail p))
+    trails;
+  List.iter
+    (fun p -> Alcotest.(check bool) "simple property" true (Path.is_simple p))
+    simple
+
+let test_exists () =
+  Alcotest.(check bool) "simple path exists" true
+    (Path_modes.exists_simple bank (parse "Transfer{2}") ~src:(id "a3") ~tgt:(id "a6"));
+  (* Any path from a5 to a4 of length 2 does not exist (a5->a1->a3 needs
+     3 hops to a4). *)
+  Alcotest.(check bool) "no 2-hop a5->a4" false
+    (Path_modes.exists_simple bank (parse "Transfer{2}") ~src:(id "a5") ~tgt:(id "a4"));
+  Alcotest.(check bool) "trail exists" true
+    (Path_modes.exists_trail bank (parse "Transfer*") ~src:(id "a1") ~tgt:(id "a5"))
+
+let test_counts_match_enumeration () =
+  List.iter
+    (fun mode ->
+      let c =
+        Path_modes.count bank (parse "Transfer*") ~mode ~max_len:6
+          ~src:(id "a3") ~tgt:(id "a4")
+      in
+      let e =
+        Path_modes.enumerate bank (parse "Transfer*") ~mode ~max_len:6
+          ~src:(id "a3") ~tgt:(id "a4")
+      in
+      Alcotest.(check (option int))
+        (Path_modes.mode_to_string mode ^ " count = |enumerate|")
+        (Some (List.length e))
+        (Nat_big.to_int c))
+    [ Path_modes.Shortest; Path_modes.Simple; Path_modes.Trail; Path_modes.All ]
+
+let test_in_length_order () =
+  let seq =
+    Path_modes.in_length_order bank (parse "Transfer*") ~max_len:6
+      ~src:(id "a3") ~tgt:(id "a5")
+  in
+  let lengths = List.of_seq (Seq.map Path.len seq) in
+  Alcotest.(check bool) "nondecreasing" true
+    (List.for_all2 ( <= ) (List.filteri (fun i _ -> i < List.length lengths - 1) lengths)
+       (List.tl lengths));
+  Alcotest.(check bool) "first is geodesic" true (List.hd lengths = 1)
+
+let test_diamond_counts () =
+  let g = Generators.diamonds 4 in
+  let c =
+    Path_modes.count g (parse "a*") ~mode:Path_modes.Simple ~max_len:100
+      ~src:(Elg.node_id g "s") ~tgt:(Elg.node_id g "t")
+  in
+  Alcotest.(check (option int)) "2^4 simple paths" (Some 16) (Nat_big.to_int c)
+
+(* Property: on random graphs, every enumerated path is valid, matches the
+   regex, respects the mode, and has the right endpoints. *)
+let prop_enumerated_paths_sound =
+  let arb =
+    QCheck.make
+      ~print:(fun (seed, m) -> Printf.sprintf "seed=%d mode=%d" seed m)
+      QCheck.Gen.(pair (int_range 1 25) (int_range 0 3))
+  in
+  QCheck.Test.make ~count:40 ~name:"enumerated paths are sound" arb
+    (fun (seed, m) ->
+      let mode =
+        match m with
+        | 0 -> Path_modes.Shortest
+        | 1 -> Path_modes.Simple
+        | 2 -> Path_modes.Trail
+        | _ -> Path_modes.All
+      in
+      let g = Generators.random_graph ~seed ~nodes:5 ~edges:9 ~labels:[ "a"; "b" ] in
+      let r = parse "a*b?" in
+      let matches sym lbl = Sym.matches sym lbl in
+      List.for_all
+        (fun src ->
+          List.for_all
+            (fun tgt ->
+              let paths = Path_modes.enumerate g r ~mode ~max_len:4 ~src ~tgt in
+              List.for_all
+                (fun p ->
+                  Path.src g p = Some src
+                  && Path.tgt g p = Some tgt
+                  && Regex.matches_word ~matches r (Path.elab g p)
+                  && (mode <> Path_modes.Simple || Path.is_simple p)
+                  && (mode <> Path_modes.Trail || Path.is_trail p))
+                paths)
+            [ 0; 1; 2 ])
+        [ 0; 1 ])
+
+let () =
+  Alcotest.run "paths"
+    [
+      ( "modes",
+        [
+          Alcotest.test_case "shortest on bank" `Quick test_shortest_bank;
+          Alcotest.test_case "parallel geodesics" `Quick test_shortest_parallel;
+          Alcotest.test_case "all bounded" `Quick test_all_mode_bounded;
+          Alcotest.test_case "simple vs trail" `Quick test_simple_vs_trail;
+          Alcotest.test_case "existence" `Quick test_exists;
+          Alcotest.test_case "counts" `Quick test_counts_match_enumeration;
+          Alcotest.test_case "length order" `Quick test_in_length_order;
+          Alcotest.test_case "diamond simple count" `Quick test_diamond_counts;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_enumerated_paths_sound ]);
+    ]

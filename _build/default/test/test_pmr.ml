@@ -1,0 +1,143 @@
+(* Path multiset representations (Section 6.4). *)
+
+let bank = Generators.bank_elg ()
+let bank_pg = Generators.bank_pg ()
+let parse = Rpq_parse.parse
+let id name = Elg.node_id bank name
+
+let test_diamond_compact () =
+  (* Figure 5 discussion: 2^n paths in O(n) space. *)
+  let g = Generators.diamonds 6 in
+  let pmr = Pmr.of_rpq g (parse "a*") ~src:(Elg.node_id g "s") ~tgt:(Elg.node_id g "t") in
+  Alcotest.(check bool) "homomorphism checks" true (Pmr.check g pmr);
+  (match Pmr.count_paths pmr with
+  | `Finite n -> Alcotest.(check (option int)) "2^6 paths" (Some 64) (Nat_big.to_int n)
+  | `Infinite -> Alcotest.fail "should be finite");
+  (* Linear size: nodes+edges of the PMR within a small multiple of the
+     graph itself. *)
+  Alcotest.(check bool) "linear size" true
+    (Pmr.size pmr <= 2 * (Elg.nb_nodes g + Elg.nb_edges g))
+
+let test_infinite_cycles () =
+  (* The paper's example: all cycles of transfers from Mike (a3) back to
+     Mike that never pass through a blocked account.  Blocked is a4, so the
+     only cycle loops through t7, t4, t1 — infinitely many paths, finite
+     PMR. *)
+  let g = bank in
+  (* never-blocked is enforced by the regex over an account-restricted
+     subgraph; here we emulate by removing a4 from the graph. *)
+  let unblocked_nodes =
+    List.filter (fun n -> n <> "a4")
+      (List.init (Elg.nb_nodes g) (Elg.node_name g))
+  in
+  let unblocked_edges =
+    List.filter_map
+      (fun e ->
+        let s = Elg.node_name g (Elg.src g e) and t = Elg.node_name g (Elg.tgt g e) in
+        if s <> "a4" && t <> "a4" && Elg.label g e = "Transfer" then
+          Some (Elg.edge_name g e, s, Elg.label g e, t)
+        else None)
+      (List.init (Elg.nb_edges g) Fun.id)
+  in
+  let g' = Elg.make ~nodes:unblocked_nodes ~edges:unblocked_edges in
+  let a3 = Elg.node_id g' "a3" in
+  let pmr = Pmr.of_rpq g' (parse "Transfer+") ~src:a3 ~tgt:a3 in
+  (match Pmr.count_paths pmr with
+  | `Infinite -> ()
+  | `Finite _ -> Alcotest.fail "cycles should make the path set infinite");
+  (* The length-3 and length-6 unrollings are exactly the t7-t4-t1 loop. *)
+  let paths = Pmr.spaths_upto g' pmr ~max_len:6 in
+  Alcotest.(check int) "two unrollings up to length 6" 2 (List.length paths);
+  List.iter
+    (fun p ->
+      let labels = List.map (Elg.edge_name g') (Path.edges p) in
+      Alcotest.(check bool) "loops through t7 t4 t1" true
+        (labels = [ "t7"; "t4"; "t1" ] || labels = [ "t7"; "t4"; "t1"; "t7"; "t4"; "t1" ]))
+    paths
+
+let test_spaths_vs_modes () =
+  (* SPaths of the full PMR, truncated, equals All-mode enumeration. *)
+  let src = id "a3" and tgt = id "a4" in
+  let r = parse "Transfer*" in
+  let pmr = Pmr.of_rpq bank r ~src ~tgt in
+  let from_pmr = Pmr.spaths_upto bank pmr ~max_len:4 in
+  let direct = Path_modes.enumerate bank r ~mode:Path_modes.All ~max_len:4 ~src ~tgt in
+  Alcotest.(check int) "same count" (List.length direct) (List.length from_pmr);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "path represented" true (Pmr.mem bank pmr p))
+    direct
+
+let test_shortest_pmr () =
+  let src = id "a3" and tgt = id "a1" in
+  let pmr = Pmr.of_rpq_shortest bank (parse "Transfer+") ~src ~tgt in
+  (match Pmr.count_paths pmr with
+  | `Finite n -> Alcotest.(check (option int)) "one geodesic" (Some 1) (Nat_big.to_int n)
+  | `Infinite -> Alcotest.fail "shortest PMR must be finite");
+  let paths = Pmr.spaths_upto bank pmr ~max_len:10 in
+  Alcotest.(check int) "only the geodesic" 1 (List.length paths);
+  Alcotest.(check int) "length 2" 2 (Path.len (List.hd paths))
+
+let test_mem_negative () =
+  let src = id "a3" and tgt = id "a1" in
+  let pmr = Pmr.of_rpq_shortest bank (parse "Transfer+") ~src ~tgt in
+  (* A non-geodesic matching path is not in the shortest PMR. *)
+  let g = bank in
+  let long =
+    Path.of_objs_exn g
+      [
+        Path.N (id "a3"); Path.E (Elg.edge_id g "t6"); Path.N (id "a4");
+        Path.E (Elg.edge_id g "t9"); Path.N (id "a6"); Path.E (Elg.edge_id g "t8");
+        Path.N (id "a3"); Path.E (Elg.edge_id g "t7"); Path.N (id "a5");
+        Path.E (Elg.edge_id g "t4"); Path.N (id "a1");
+      ]
+  in
+  Alcotest.(check bool) "long path excluded" false (Pmr.mem bank pmr long)
+
+let test_empty_language () =
+  let pmr = Pmr.of_rpq bank (parse "owner.owner") ~src:(id "a1") ~tgt:(id "a2") in
+  Alcotest.(check int) "empty PMR" 0 pmr.Pmr.nb_nodes;
+  (match Pmr.count_paths pmr with
+  | `Finite n -> Alcotest.(check bool) "zero paths" true (Nat_big.is_zero n)
+  | `Infinite -> Alcotest.fail "empty must be finite")
+
+(* Keep bank_pg referenced (used by later suites via linking). *)
+let _ = bank_pg
+
+(* Property: PMR membership agrees with direct enumeration on random
+   graphs. *)
+let prop_pmr_spaths =
+  let arb =
+    QCheck.make ~print:(fun s -> Printf.sprintf "seed=%d" s) QCheck.Gen.(int_range 1 30)
+  in
+  QCheck.Test.make ~count:30 ~name:"SPaths = All-mode enumeration" arb
+    (fun seed ->
+      let g = Generators.random_graph ~seed ~nodes:5 ~edges:8 ~labels:[ "a"; "b" ] in
+      let r = parse "a*b?" in
+      List.for_all
+        (fun src ->
+          List.for_all
+            (fun tgt ->
+              let pmr = Pmr.of_rpq g r ~src ~tgt in
+              let s1 = Pmr.spaths_upto g pmr ~max_len:4 in
+              let s2 =
+                Path_modes.enumerate g r ~mode:Path_modes.All ~max_len:4 ~src ~tgt
+              in
+              List.sort Path.compare s1 = List.sort Path.compare s2)
+            [ 0; 2; 4 ])
+        [ 0; 1 ])
+
+let () =
+  Alcotest.run "pmr"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "diamond compactness (E3)" `Quick test_diamond_compact;
+          Alcotest.test_case "infinite cycle set (paper example)" `Quick test_infinite_cycles;
+          Alcotest.test_case "spaths vs modes" `Quick test_spaths_vs_modes;
+          Alcotest.test_case "shortest PMR" `Quick test_shortest_pmr;
+          Alcotest.test_case "membership negative" `Quick test_mem_negative;
+          Alcotest.test_case "empty language" `Quick test_empty_language;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_pmr_spaths ]);
+    ]

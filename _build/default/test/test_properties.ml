@@ -1,0 +1,274 @@
+(* Cross-engine differential properties: independent implementations of the
+   same semantics must agree on random inputs.  These are the "widen
+   coverage" tests: every property here ties two or more subsystems
+   together. *)
+
+let gen_small_graph =
+  QCheck.Gen.(
+    int_range 1 10_000 >|= fun seed ->
+    Generators.random_graph ~seed ~nodes:5 ~edges:8 ~labels:[ "a"; "b" ])
+
+let gen_regex =
+  QCheck.Gen.(
+    sized_size (int_range 1 7) @@ fix (fun self size ->
+        if size <= 1 then
+          oneof
+            [
+              return Regex.Eps;
+              map (fun l -> Regex.Atom (Sym.Lbl l)) (oneofl [ "a"; "b" ]);
+              return (Regex.Atom Sym.Any);
+            ]
+        else
+          oneof
+            [
+              map2 (fun a b -> Regex.Seq (a, b)) (self (size / 2)) (self (size / 2));
+              map2 (fun a b -> Regex.Alt (a, b)) (self (size / 2)) (self (size / 2));
+              map (fun a -> Regex.Star a) (self (size - 1));
+            ]))
+
+let arb_graph_regex =
+  QCheck.make
+    ~print:(fun (_, r) -> Regex.to_string Sym.to_string r)
+    QCheck.Gen.(pair gen_small_graph gen_regex)
+
+(* --- simplification preserves the language ------------------------------- *)
+
+let prop_simplify_preserves_language =
+  QCheck.Test.make ~count:300 ~name:"simplify preserves language"
+    (QCheck.make ~print:(Regex.to_string Sym.to_string) gen_regex)
+    (fun r ->
+      let s = Regex_simplify.simplify r in
+      Regex.size s <= Regex.size r
+      && Dfa.equiv (Nfa.of_regex r) (Nfa.of_regex s))
+
+let prop_simplify_kills_nested_stars =
+  QCheck.Test.make ~count:100 ~name:"simplify(star^k a) = star a"
+    (QCheck.make QCheck.Gen.(int_range 1 6))
+    (fun k ->
+      let rec nest k =
+        if k = 0 then Regex.Atom (Sym.Lbl "a") else Regex.Star (nest (k - 1))
+      in
+      Regex_simplify.simplify (nest k) = Regex.Star (Regex.Atom (Sym.Lbl "a")))
+
+(* --- three path-enumeration implementations agree ------------------------ *)
+
+let prop_enumeration_triangle =
+  QCheck.Test.make ~count:60 ~name:"Path_modes = Pmr.spaths = length-order"
+    arb_graph_regex
+    (fun (g, r) ->
+      List.for_all
+        (fun (src, tgt) ->
+          let via_modes =
+            Path_modes.enumerate g r ~mode:Path_modes.All ~max_len:3 ~src ~tgt
+            |> List.sort Path.compare
+          in
+          let via_pmr =
+            Pmr.spaths_upto g (Pmr.of_rpq g r ~src ~tgt) ~max_len:3
+            |> List.filter (fun p -> Path.len p <= 3)
+            |> List.sort Path.compare
+          in
+          let via_seq =
+            Path_modes.in_length_order g r ~max_len:3 ~src ~tgt
+            |> List.of_seq |> List.sort_uniq Path.compare
+          in
+          via_modes = via_pmr && via_modes = via_seq)
+        [ (0, 1); (2, 3); (4, 0) ])
+
+(* --- counting agrees with enumeration ------------------------------------ *)
+
+let prop_count_matches_enumeration =
+  QCheck.Test.make ~count:60 ~name:"count_paths_upto = |enumerate|"
+    arb_graph_regex
+    (fun (g, r) ->
+      List.for_all
+        (fun (src, tgt) ->
+          let counted = Rpq_count.count_paths_upto g r ~src ~tgt ~max_len:3 in
+          let listed =
+            Path_modes.enumerate g r ~mode:Path_modes.All ~max_len:3 ~src ~tgt
+          in
+          Nat_big.to_int counted = Some (List.length listed))
+        [ (0, 1); (1, 2) ])
+
+(* --- PMR membership is sound and complete -------------------------------- *)
+
+let prop_pmr_membership =
+  QCheck.Test.make ~count:60 ~name:"Pmr.mem = enumerated membership"
+    arb_graph_regex
+    (fun (g, r) ->
+      let src = 0 and tgt = 1 in
+      let pmr = Pmr.of_rpq g r ~src ~tgt in
+      let inside = Pmr.spaths_upto g pmr ~max_len:3 in
+      List.for_all (fun p -> Pmr.mem g pmr p) inside
+      &&
+      (* Paths to a different target are never members. *)
+      let other =
+        Path_modes.enumerate g r ~mode:Path_modes.All ~max_len:3 ~src ~tgt:2
+      in
+      List.for_all (fun p -> tgt = 2 || not (Pmr.mem g pmr p)) other)
+
+(* --- dl-RPQ: fixed-path matching vs graph enumeration --------------------- *)
+
+let gen_dl_expr =
+  QCheck.Gen.(
+    sized_size (int_range 1 6) @@ fix (fun self size ->
+        if size <= 1 then
+          oneofl
+            [
+              Dlrpq.node_any;
+              Dlrpq.edge_any;
+              Dlrpq.node_test (Etest.Cmp_const ("p", Value.Lt, Value.Int 3));
+              Dlrpq.edge_test (Etest.Cmp_const ("p", Value.Gt, Value.Int 0));
+              Dlrpq.node_any_cap "z";
+            ]
+        else
+          oneof
+            [
+              map2 Regex.seq (self (size / 2)) (self (size / 2));
+              map2 Regex.alt (self (size / 2)) (self (size / 2));
+              map Regex.star (self (size - 1));
+            ]))
+
+let prop_dlrpq_checkpath_consistent =
+  QCheck.Test.make ~count:60 ~name:"dl-RPQ enumerate => check_path"
+    (QCheck.make
+       ~print:(fun (seed, r) -> Printf.sprintf "seed=%d %s" seed (Dlrpq.to_string r))
+       QCheck.Gen.(pair (int_range 1 1000) gen_dl_expr))
+    (fun (seed, r) ->
+      let pg =
+        Generators.random_pg ~seed ~nodes:4 ~edges:6 ~labels:[ "a" ] ~prop:"p"
+          ~max_value:4
+      in
+      (* A modest explicit step budget: random expressions can stutter-
+         capture in loops, whose output is legitimately exponential in the
+         budget.  check_path's own budget is larger, so containment is the
+         right property. *)
+      let results = Dlrpq.enumerate_from pg r ~src:0 ~max_len:2 ~max_steps:10 () in
+      (* Every enumerated binding reappears when matching the same path
+         directly. *)
+      List.for_all
+        (fun (p, mu) ->
+          List.exists (Lbinding.equal mu)
+            (Dlrpq.check_path ~max_steps:10 pg r p))
+        results)
+
+(* --- GQL typing predicts runtime degree behaviour ------------------------- *)
+
+let prop_typing_predicts_conflicts =
+  let patterns_ok =
+    [
+      "(x)-[z:a]->(y)";
+      "(x)(()-[z:a]->()){2}(y)";
+      "((x)-[:a]->(x))*";
+      "((x) | (x)-[:a]->())";
+    ]
+  in
+  let patterns_bad = [ "(x)((x)-[:a]->())*"; "(x)-[:a]->()((x)-[:b]->())+" ] in
+  QCheck.Test.make ~count:20 ~name:"typing accepts/rejects correctly"
+    (QCheck.make QCheck.Gen.(int_range 1 50))
+    (fun seed ->
+      let pg =
+        Generators.random_pg ~seed ~nodes:4 ~edges:6 ~labels:[ "a"; "b" ]
+          ~prop:"p" ~max_value:2
+      in
+      List.for_all
+        (fun src ->
+          let pat = Gql_parse.parse src in
+          Gql_typing.well_typed pat
+          &&
+          match Gql.matches pg pat ~max_len:3 with
+          | _ -> true
+          | exception Gql.Degree_conflict _ -> false)
+        patterns_ok
+      && List.for_all
+           (fun src -> not (Gql_typing.well_typed (Gql_parse.parse src)))
+           patterns_bad)
+
+(* --- canonical DFA keys characterize equivalence --------------------------- *)
+
+let prop_canonical_key_equivalence =
+  QCheck.Test.make ~count:150 ~name:"canonical keys agree with equivalence"
+    (QCheck.make
+       ~print:(fun (r1, r2) ->
+         Regex.to_string Sym.to_string r1 ^ " vs " ^ Regex.to_string Sym.to_string r2)
+       QCheck.Gen.(pair gen_regex gen_regex))
+    (fun (r1, r2) ->
+      let labels =
+        List.concat_map Sym.mentioned (Regex.atoms r1 @ Regex.atoms r2)
+        |> List.sort_uniq String.compare
+      in
+      let key r =
+        Dfa.canonical_key
+          (Dfa.minimize (Dfa.of_nfa ~extra_labels:labels (Nfa.of_regex r)))
+      in
+      Dfa.equiv (Nfa.of_regex r1) (Nfa.of_regex r2) = (key r1 = key r2))
+
+(* --- two-way RPQs conservatively extend one-way --------------------------- *)
+
+let prop_two_way_conservative =
+  QCheck.Test.make ~count:60 ~name:"forward-only 2RPQ = RPQ"
+    arb_graph_regex
+    (fun (g, r) ->
+      let two_way = Regex.map (fun sym -> Two_way.Fwd sym) r in
+      Two_way.pairs g two_way = Rpq_eval.pairs g r)
+
+(* --- graph IO roundtrip on random property graphs ------------------------- *)
+
+let prop_graph_io_roundtrip =
+  QCheck.Test.make ~count:50 ~name:"Graph_io roundtrip on random graphs"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 1 10_000))
+    (fun seed ->
+      let pg =
+        Generators.random_pg ~seed ~nodes:6 ~edges:10 ~labels:[ "a"; "b" ]
+          ~prop:"k" ~max_value:9
+      in
+      let pg' = Graph_io.parse_string (Graph_io.to_string pg) in
+      let g = Pg.elg pg and g' = Pg.elg pg' in
+      Elg.nb_nodes g = Elg.nb_nodes g'
+      && Elg.nb_edges g = Elg.nb_edges g'
+      && List.for_all
+           (fun e ->
+             let e' = Elg.edge_id g' (Elg.edge_name g e) in
+             Elg.label g e = Elg.label g' e'
+             && Elg.node_name g (Elg.src g e) = Elg.node_name g' (Elg.src g' e')
+             && Pg.edge_prop pg e "k" = Pg.edge_prop pg' e' "k")
+           (List.init (Elg.nb_edges g) Fun.id))
+
+(* --- binding algebra -------------------------------------------------------- *)
+
+let gen_binding =
+  QCheck.Gen.(
+    list_size (int_range 0 4)
+      (pair (oneofl [ "x"; "y"; "z" ])
+         (list_size (int_range 1 3)
+            (map (fun i -> Path.N i) (int_range 0 5))))
+    >|= Lbinding.of_list)
+
+let prop_binding_monoid =
+  QCheck.Test.make ~count:200 ~name:"list bindings form a monoid"
+    (QCheck.make QCheck.Gen.(triple gen_binding gen_binding gen_binding))
+    (fun (m1, m2, m3) ->
+      Lbinding.equal
+        (Lbinding.concat (Lbinding.concat m1 m2) m3)
+        (Lbinding.concat m1 (Lbinding.concat m2 m3))
+      && Lbinding.equal (Lbinding.concat Lbinding.empty m1) m1
+      && Lbinding.equal (Lbinding.concat m1 Lbinding.empty) m1)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "differential",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_simplify_preserves_language;
+            prop_simplify_kills_nested_stars;
+            prop_enumeration_triangle;
+            prop_count_matches_enumeration;
+            prop_pmr_membership;
+            prop_dlrpq_checkpath_consistent;
+            prop_typing_predicts_conflicts;
+            prop_canonical_key_equivalence;
+            prop_two_way_conservative;
+            prop_graph_io_roundtrip;
+            prop_binding_monoid;
+          ] );
+    ]

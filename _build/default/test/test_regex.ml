@@ -1,0 +1,123 @@
+(* Regex AST, parser, and derivative-matcher tests. *)
+
+let matches sym lbl = Sym.matches sym lbl
+
+let accepts r w = Regex.matches_word ~matches r w
+
+let parse = Rpq_parse.parse
+
+let test_parse_basics () =
+  let check name src words nonwords =
+    let r = parse src in
+    List.iter
+      (fun w ->
+        Alcotest.(check bool) (name ^ " accepts " ^ String.concat "." w) true (accepts r w))
+      words;
+    List.iter
+      (fun w ->
+        Alcotest.(check bool) (name ^ " rejects " ^ String.concat "." w) false (accepts r w))
+      nonwords
+  in
+  check "a*" "a*" [ []; [ "a" ]; [ "a"; "a" ] ] [ [ "b" ] ];
+  check "(ll)*" "(l l)*" [ []; [ "l"; "l" ] ] [ [ "l" ]; [ "l"; "l"; "l" ] ];
+  check "alt" "a|b" [ [ "a" ]; [ "b" ] ] [ []; [ "a"; "b" ] ];
+  check "plus" "a+" [ [ "a" ]; [ "a"; "a" ] ] [ [] ];
+  check "opt" "a.b?" [ [ "a" ]; [ "a"; "b" ] ] [ [ "b" ] ];
+  check "repeat" "a{2}" [ [ "a"; "a" ] ] [ [ "a" ]; [ "a"; "a"; "a" ] ];
+  check "repeat range" "a{1,2}" [ [ "a" ]; [ "a"; "a" ] ] [ []; [ "a"; "a"; "a" ] ];
+  check "eps" "()" [ [] ] [ [ "a" ] ];
+  check "wildcard" "_" [ [ "a" ]; [ "zzz" ] ] [ [] ];
+  check "negset" "!{a,b}" [ [ "c" ] ] [ [ "a" ]; [ "b" ] ];
+  check "paper q2 regex" "Transfer . Transfer?"
+    [ [ "Transfer" ]; [ "Transfer"; "Transfer" ] ]
+    [ []; [ "Transfer"; "Transfer"; "Transfer" ] ]
+
+let test_parse_errors () =
+  List.iter
+    (fun src ->
+      Alcotest.(check bool) ("rejects " ^ src) true
+        (match Rpq_parse.parse_opt src with Error _ -> true | Ok _ -> false))
+    [ "("; ")"; "a|"; "*"; "a{"; "a{2"; "!{}"; "a)" ]
+
+let test_smart_constructors () =
+  Alcotest.(check bool) "seq unit" true (Regex.seq Regex.eps (Regex.atom 1) = Regex.atom 1);
+  Alcotest.(check bool) "star collapse" true
+    (Regex.star (Regex.star (Regex.atom 1)) = Regex.star (Regex.atom 1));
+  Alcotest.(check bool) "star eps" true (Regex.star Regex.eps = Regex.eps);
+  (* The raw constructors preserve redundancy (needed for Section 6.1). *)
+  let nested = Regex.Star (Regex.Star (Regex.Atom 1)) in
+  Alcotest.(check int) "raw nested star size" 3 (Regex.size nested)
+
+let test_atoms_order () =
+  let r = parse "a(b|c)d*" in
+  Alcotest.(check (list string))
+    "left to right"
+    [ "a"; "b"; "c"; "d" ]
+    (List.map Sym.to_string (Regex.atoms r))
+
+let test_enumerate () =
+  let r = parse "a(b|c)" in
+  Alcotest.(check (list (list string)))
+    "words" [ [ "a"; "b" ]; [ "a"; "c" ] ]
+    (Regex.enumerate ~alphabet:[ "a"; "b"; "c" ] ~matches ~max_len:3 r)
+
+let test_sym () =
+  Alcotest.(check bool) "inter lbl/any" true (Sym.inter (Sym.Lbl "a") Sym.Any = Some (Sym.Lbl "a"));
+  Alcotest.(check bool) "inter disjoint" true (Sym.inter (Sym.Lbl "a") (Sym.Lbl "b") = None);
+  Alcotest.(check bool) "inter not" true
+    (Sym.inter (Sym.Lbl "a") (Sym.Not [ "a" ]) = None);
+  Alcotest.(check bool) "inter nots" true
+    (Sym.inter (Sym.Not [ "a" ]) (Sym.Not [ "b" ]) = Some (Sym.Not [ "a"; "b" ]))
+
+(* Random regexes over {a,b} for differential testing. *)
+let gen_regex =
+  QCheck.Gen.(
+    sized_size (int_range 1 8) @@ fix (fun self size ->
+        if size <= 1 then
+          oneof [ return Regex.Eps; map (fun l -> Regex.Atom (Sym.Lbl l)) (oneofl [ "a"; "b" ]) ]
+        else
+          oneof
+            [
+              map2 (fun r1 r2 -> Regex.Seq (r1, r2)) (self (size / 2)) (self (size / 2));
+              map2 (fun r1 r2 -> Regex.Alt (r1, r2)) (self (size / 2)) (self (size / 2));
+              map (fun r -> Regex.Star r) (self (size - 1));
+            ]))
+
+let gen_word = QCheck.Gen.(list_size (int_range 0 6) (oneofl [ "a"; "b" ]))
+
+let arb_regex_word =
+  QCheck.make
+    ~print:(fun (r, w) ->
+      Regex.to_string Sym.to_string r ^ " / " ^ String.concat "" w)
+    QCheck.Gen.(pair gen_regex gen_word)
+
+let prop_nullable_matches_empty =
+  QCheck.Test.make ~name:"nullable r = accepts r []"
+    (QCheck.make gen_regex) (fun r -> Regex.nullable r = accepts r [])
+
+let prop_star_unfolds =
+  QCheck.Test.make ~name:"L(r*) contains [] and L(r)·L(r*) samples"
+    arb_regex_word (fun (r, w) ->
+      let star = Regex.Star r in
+      accepts star []
+      && if accepts r w then accepts star (w @ w) else true)
+
+let () =
+  Alcotest.run "regex"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "basics" `Quick test_parse_basics;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "ast",
+        [
+          Alcotest.test_case "smart constructors" `Quick test_smart_constructors;
+          Alcotest.test_case "atom order" `Quick test_atoms_order;
+          Alcotest.test_case "enumerate" `Quick test_enumerate;
+          Alcotest.test_case "symbols" `Quick test_sym;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_nullable_matches_empty; prop_star_unfolds ] );
+    ]

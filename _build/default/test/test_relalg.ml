@@ -1,0 +1,130 @@
+(* First-normal-form relations and their algebra (Section 4.1.3). *)
+
+open Relation
+
+let bank = Generators.bank_elg ()
+
+let r_ab =
+  make ~schema:[ "a"; "b" ]
+    ~rows:[ [ Cval (Value.Int 1); Cval (Value.Int 2) ];
+            [ Cval (Value.Int 1); Cval (Value.Int 3) ];
+            [ Cval (Value.Int 2); Cval (Value.Int 3) ] ]
+
+let r_bc =
+  make ~schema:[ "b"; "c" ]
+    ~rows:[ [ Cval (Value.Int 2); Cval (Value.Int 9) ];
+            [ Cval (Value.Int 3); Cval (Value.Int 8) ] ]
+
+let test_make_dedup () =
+  let r =
+    make ~schema:[ "x" ]
+      ~rows:[ [ Cval (Value.Int 1) ]; [ Cval (Value.Int 1) ] ]
+  in
+  Alcotest.(check int) "set semantics" 1 (cardinality r)
+
+let test_make_errors () =
+  Alcotest.(check bool) "arity" true
+    (match make ~schema:[ "x" ] ~rows:[ [] ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "dup attr" true
+    (match make ~schema:[ "x"; "x" ] ~rows:[] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_select_project () =
+  let sel =
+    select r_ab (fun get -> get "a" = Cval (Value.Int 1))
+  in
+  Alcotest.(check int) "selected" 2 (cardinality sel);
+  let proj = project r_ab [ "a" ] in
+  Alcotest.(check int) "projection dedups" 2 (cardinality proj);
+  Alcotest.(check bool) "unknown attr" true
+    (match project r_ab [ "zz" ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_join () =
+  let j = join r_ab r_bc in
+  Alcotest.(check (list string)) "schema" [ "a"; "b"; "c" ] (schema j);
+  Alcotest.(check int) "three matches" 3 (cardinality j);
+  Alcotest.(check bool) "1-2-9 present" true
+    (mem j [ Cval (Value.Int 1); Cval (Value.Int 2); Cval (Value.Int 9) ]);
+  (* Join with no shared attributes = cartesian product. *)
+  let r_d = make ~schema:[ "d" ] ~rows:[ [ Cval (Value.Bool true) ] ] in
+  Alcotest.(check int) "product" 3 (cardinality (join r_ab r_d))
+
+let test_union_diff () =
+  let r1 = make ~schema:[ "x" ] ~rows:[ [ Cval (Value.Int 1) ]; [ Cval (Value.Int 2) ] ] in
+  let r2 = make ~schema:[ "x" ] ~rows:[ [ Cval (Value.Int 2) ]; [ Cval (Value.Int 3) ] ] in
+  Alcotest.(check int) "union" 3 (cardinality (union r1 r2));
+  Alcotest.(check int) "diff" 1 (cardinality (diff r1 r2));
+  Alcotest.(check bool) "schema mismatch" true
+    (match union r1 r_ab with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_rename () =
+  let r = rename r_ab [ ("a", "z") ] in
+  Alcotest.(check (list string)) "renamed" [ "z"; "b" ] (schema r);
+  Alcotest.(check bool) "clash rejected" true
+    (match rename r_ab [ ("a", "b") ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_cells_with_elements () =
+  let r =
+    make ~schema:[ "n"; "e" ]
+      ~rows:[ [ Cnode (Elg.node_id bank "a1"); Cedge (Elg.edge_id bank "t1") ] ]
+  in
+  Alcotest.(check bool) "render" true
+    (to_string bank r = "n | e\na1 | t1")
+
+(* Algebraic properties. *)
+let gen_rel =
+  QCheck.Gen.(
+    list_size (int_range 0 8) (pair (int_range 0 3) (int_range 0 3)) >|= fun rows ->
+    make ~schema:[ "a"; "b" ]
+      ~rows:(List.map (fun (a, b) -> [ Cval (Value.Int a); Cval (Value.Int b) ]) rows))
+
+let arb_rel = QCheck.make gen_rel
+
+let prop_union_commutes =
+  QCheck.Test.make ~name:"union commutes" (QCheck.pair arb_rel arb_rel)
+    (fun (r1, r2) -> equal (union r1 r2) (union r2 r1))
+
+let prop_join_idempotent =
+  QCheck.Test.make ~name:"r join r = r" arb_rel (fun r -> equal (join r r) r)
+
+let prop_diff_self_empty =
+  QCheck.Test.make ~name:"r - r = empty" arb_rel (fun r ->
+      cardinality (diff r r) = 0)
+
+let prop_select_conj =
+  QCheck.Test.make ~name:"select distributes over conjunction" arb_rel (fun r ->
+      let p1 get = get "a" = Cval (Value.Int 1) in
+      let p2 get = get "b" = Cval (Value.Int 2) in
+      equal (select r (fun g -> p1 g && p2 g)) (select (select r p1) p2))
+
+let () =
+  Alcotest.run "relalg"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "set semantics" `Quick test_make_dedup;
+          Alcotest.test_case "errors" `Quick test_make_errors;
+          Alcotest.test_case "select/project" `Quick test_select_project;
+          Alcotest.test_case "join" `Quick test_join;
+          Alcotest.test_case "union/diff" `Quick test_union_diff;
+          Alcotest.test_case "rename" `Quick test_rename;
+          Alcotest.test_case "element cells" `Quick test_cells_with_elements;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_union_commutes;
+            prop_join_idempotent;
+            prop_diff_self_empty;
+            prop_select_conj;
+          ] );
+    ]

@@ -1,0 +1,189 @@
+(* RPQ evaluation via the product construction, and counting semantics. *)
+
+let bank = Generators.bank_elg ()
+let parse = Rpq_parse.parse
+let id name = Elg.node_id bank name
+let name i = Elg.node_name bank i
+
+let accounts = [ "a1"; "a2"; "a3"; "a4"; "a5"; "a6" ]
+
+let test_example12 () =
+  (* Example 12: Transfer* strongly connects all six accounts. *)
+  let result = Rpq_eval.pairs bank (parse "Transfer*") in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun v ->
+          Alcotest.(check bool)
+            (Printf.sprintf "(%s,%s) in result" u v)
+            true
+            (List.mem (id u, id v) result))
+        accounts)
+    accounts
+
+let test_pairs_vs_naive () =
+  let check src =
+    let r = parse src in
+    (* The naive bound must exceed any minimal witness; 8 covers the bank
+       graph's diameter comfortably. *)
+    let fast = Rpq_eval.pairs bank r in
+    let slow = Rpq_eval.pairs_naive bank r ~max_len:8 in
+    (* Naive enumeration is length-bounded, so it underapproximates; every
+       naive pair must be found by the product construction, and for
+       bounded regexes the two must be equal. *)
+    List.iter
+      (fun (u, v) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: naive pair (%s,%s) found" src (name u) (name v))
+          true
+          (List.mem (u, v) fast))
+      slow
+  in
+  List.iter check [ "Transfer"; "Transfer.Transfer"; "owner"; "Transfer*isBlocked" ]
+
+let test_bounded_regex_exact () =
+  List.iter
+    (fun src ->
+      let r = parse src in
+      Alcotest.(check bool)
+        (src ^ " matches naive exactly")
+        true
+        (Rpq_eval.pairs bank r = Rpq_eval.pairs_naive bank r ~max_len:8))
+    [ "Transfer"; "Transfer.Transfer?"; "Transfer{1,3}"; "owner|isBlocked" ]
+
+let test_from_source () =
+  let r = parse "Transfer.Transfer?" in
+  (* q2 of Example 13: transfers of length 1-2 from a4 reach a6 (t9) and
+     a5, a3 (t9;t10, t9;t8). *)
+  let reach = Rpq_eval.from_source bank r ~src:(id "a4") in
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) ("a4 reaches " ^ v) true (List.mem (id v) reach))
+    [ "a6"; "a5"; "a3" ];
+  Alcotest.(check bool) "not a1" false (List.mem (id "a1") reach)
+
+let test_check_and_witness () =
+  let r = parse "Transfer.Transfer" in
+  Alcotest.(check bool) "a4->a5 length 2" true
+    (Rpq_eval.check bank r ~src:(id "a4") ~tgt:(id "a5"));
+  (match Rpq_eval.shortest_witness bank (parse "Transfer*") ~src:(id "a3") ~tgt:(id "a1") with
+  | None -> Alcotest.fail "witness expected"
+  | Some p ->
+      Alcotest.(check int) "shortest a3->a1 has length 2" 2 (Path.len p);
+      Alcotest.(check (list string)) "labels" [ "Transfer"; "Transfer" ] (Path.elab bank p));
+  Alcotest.(check bool) "no owner path between accounts" true
+    (Rpq_eval.shortest_witness bank (parse "owner.owner") ~src:(id "a1") ~tgt:(id "a2") = None)
+
+let test_wildcard_eval () =
+  (* _ matches every label: a1 -[t1]-> a3 and a1 -[r1]-> Megan. *)
+  let reach = Rpq_eval.from_source bank (parse "_") ~src:(id "a1") in
+  Alcotest.(check bool) "via Transfer" true (List.mem (id "a3") reach);
+  Alcotest.(check bool) "via owner" true (List.mem (id "Megan") reach);
+  let reach' = Rpq_eval.from_source bank (parse "!{Transfer,type}") ~src:(id "a1") in
+  Alcotest.(check bool) "negated keeps owner" true (List.mem (id "Megan") reach');
+  Alcotest.(check bool) "negated drops Transfer" false (List.mem (id "a3") reach')
+
+(* --- Counting ----------------------------------------------------------- *)
+
+let test_count_paths () =
+  (* Diamond chain: 2^n paths from s to t. *)
+  let g = Generators.diamonds 5 in
+  let count =
+    Rpq_count.count_paths_upto g (parse "a*") ~src:(Elg.node_id g "s")
+      ~tgt:(Elg.node_id g "t") ~max_len:20
+  in
+  Alcotest.(check string) "2^5 paths" "32" (Nat_big.to_string count)
+
+let test_count_cycle () =
+  (* On a 3-cycle, a* paths v0->v0 of length <= 9: lengths 0,3,6,9. *)
+  let g = Generators.cycle 3 "a" in
+  let count =
+    Rpq_count.count_paths_upto g (parse "a*") ~src:0 ~tgt:0 ~max_len:9
+  in
+  Alcotest.(check string) "4 cycle paths" "4" (Nat_big.to_string count)
+
+let test_bag_semantics_growth () =
+  (* Section 6.1: on a clique, nesting stars explodes the bag count while
+     the set answer stays the same.  Compare depth 1 and 2 on K4. *)
+  let g = Generators.clique 4 "a" in
+  let star d =
+    let rec nest k = if k = 0 then Regex.Atom (Sym.Lbl "a") else Regex.Star (nest (k - 1)) in
+    nest d
+  in
+  let c1 = Rpq_count.bag_count g (star 1) ~src:0 ~tgt:1 in
+  let c2 = Rpq_count.bag_count g (star 2) ~src:0 ~tgt:1 in
+  let c3 = Rpq_count.bag_count g (star 3) ~src:0 ~tgt:1 in
+  Alcotest.(check bool) "depth2 > depth1" true (Nat_big.compare c2 c1 > 0);
+  Alcotest.(check bool) "depth3 > depth2" true (Nat_big.compare c3 c2 > 0)
+
+let test_bag_count_base () =
+  (* A single edge: multiplicity 1 at any star depth <= 1. *)
+  let g = Generators.line 1 "a" in
+  Alcotest.(check string) "edge count" "1"
+    (Nat_big.to_string (Rpq_count.bag_count g (Regex.Atom (Sym.Lbl "a")) ~src:0 ~tgt:1));
+  (* a* on a 2-edge line, pair (0,2): one path, one decomposition. *)
+  let g2 = Generators.line 2 "a" in
+  Alcotest.(check string) "a* on line" "1"
+    (Nat_big.to_string
+       (Rpq_count.bag_count g2 (Regex.Star (Regex.Atom (Sym.Lbl "a"))) ~src:0 ~tgt:2));
+  (* star(star a) on a 2-edge line: the outer star decomposes aa into the
+     non-empty blocks a|a or aa; each block's inner star parses uniquely,
+     so the total multiplicity is 2. *)
+  let c =
+    Rpq_count.bag_count g2
+      (Regex.Star (Regex.Star (Regex.Atom (Sym.Lbl "a"))))
+      ~src:0 ~tgt:2
+  in
+  Alcotest.(check string) "(a*)* on line has 2 parses" "2" (Nat_big.to_string c)
+
+let test_parallel_edge_count () =
+  (* Two parallel a-edges: bag count of a is 2 (one per edge). *)
+  let g =
+    Elg.make ~nodes:[ "u"; "v" ]
+      ~edges:[ ("e1", "u", "a", "v"); ("e2", "u", "a", "v") ]
+  in
+  Alcotest.(check string) "2 parallel" "2"
+    (Nat_big.to_string (Rpq_count.bag_count g (Regex.Atom (Sym.Lbl "a")) ~src:0 ~tgt:1))
+
+(* Property: product evaluation agrees with naive path enumeration on
+   random small graphs and simple expressions. *)
+let arb_graph_expr =
+  let gen =
+    QCheck.Gen.(
+      pair (int_range 1 30)
+        (oneofl [ "a*"; "ab*"; "(ab)*"; "a|b"; "a.b?"; "_*a"; "a{1,2}b" ]))
+  in
+  QCheck.make ~print:(fun (seed, e) -> Printf.sprintf "seed=%d expr=%s" seed e) gen
+
+let prop_product_vs_naive =
+  QCheck.Test.make ~count:60 ~name:"product = naive on bounded search"
+    arb_graph_expr (fun (seed, src) ->
+      let g = Generators.random_graph ~seed ~nodes:5 ~edges:8 ~labels:[ "a"; "b" ] in
+      let r = parse src in
+      let fast = Rpq_eval.pairs g r in
+      let slow = Rpq_eval.pairs_naive g r ~max_len:6 in
+      (* All naive answers are found by the product construction. *)
+      List.for_all (fun pair -> List.mem pair fast) slow)
+
+let () =
+  Alcotest.run "rpq"
+    [
+      ( "evaluation",
+        [
+          Alcotest.test_case "Example 12" `Quick test_example12;
+          Alcotest.test_case "product vs naive" `Quick test_pairs_vs_naive;
+          Alcotest.test_case "bounded exact" `Quick test_bounded_regex_exact;
+          Alcotest.test_case "from_source" `Quick test_from_source;
+          Alcotest.test_case "check/witness" `Quick test_check_and_witness;
+          Alcotest.test_case "wildcards" `Quick test_wildcard_eval;
+        ] );
+      ( "counting",
+        [
+          Alcotest.test_case "diamond 2^n" `Quick test_count_paths;
+          Alcotest.test_case "cycle lengths" `Quick test_count_cycle;
+          Alcotest.test_case "bag growth (Sec 6.1)" `Quick test_bag_semantics_growth;
+          Alcotest.test_case "bag base cases" `Quick test_bag_count_base;
+          Alcotest.test_case "parallel edges" `Quick test_parallel_edge_count;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_product_vs_naive ]);
+    ]
