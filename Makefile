@@ -1,0 +1,18 @@
+.PHONY: all check test bench clean
+
+all:
+	dune build @all
+
+# The tier-1 gate: build everything (libs, CLI, bench, examples) and run
+# the full test suite, including the CLI smoke test (test/smoke.sh).
+check:
+	dune build @all
+	dune runtest
+
+test: check
+
+bench:
+	dune exec bench/main.exe -- --quick
+
+clean:
+	dune clean

@@ -726,11 +726,128 @@ let e15 () =
   check "both join strategies return the same triangles" !all_agree;
   check "generic join explores fewer tuples than the binary-join peak" !generic_cheaper
 
+(* ======================================================================== *)
+(* E16: the resource governor across engines on adversarial inputs.        *)
+(* ======================================================================== *)
+
+let e16 () =
+  header "E16" "resource governor: every engine on Fig. 5 blow-up inputs (JSONL)";
+  (* One machine-readable line per (query, engine) run. *)
+  let jsonl ~query ~engine gov status ms =
+    Printf.printf
+      "  {\"query\":%S,\"engine\":%S,\"steps\":%d,\"results\":%d,\"outcome\":%S,\"elapsed_ms\":%.2f}\n"
+      query engine (Governor.steps gov) (Governor.results gov) status ms
+  in
+  let budget = if !quick then 20_000 else 100_000 in
+  let statuses = ref [] in
+  let run ?steps ~query ~engine f =
+    let gov = Governor.make ~max_steps:(Option.value steps ~default:budget) () in
+    let outcome, ms = oneshot_ms (fun () -> f gov) in
+    jsonl ~query ~engine gov (Governor.outcome_status outcome) ms;
+    statuses := (engine, outcome, ms) :: !statuses
+  in
+  let big = Generators.diamonds 40 in
+  let s = Elg.node_id big "s" and t = Elg.node_id big "t" in
+  let astar = Rpq_parse.parse "a*" in
+  run ~query:"diamonds(40) a* all paths" ~engine:"path_modes.enumerate"
+    (fun gov ->
+      Governor.map ignore
+        (Path_modes.enumerate_bounded gov big astar ~mode:Path_modes.All
+           ~max_len:80 ~src:s ~tgt:t));
+  run ~query:"diamonds(40) a* pmr unrolling" ~engine:"pmr.spaths_upto"
+    (fun gov ->
+      let pmr = Pmr.of_rpq big astar ~src:s ~tgt:t in
+      Governor.map ignore (Pmr.spaths_upto_bounded gov big pmr ~max_len:80));
+  let k9 = Generators.clique 9 "a" in
+  run ~query:"clique(9) simple paths" ~engine:"path_modes.count"
+    (fun gov ->
+      Governor.map ignore
+        (Path_modes.count_bounded gov k9 astar ~mode:Path_modes.Simple
+           ~max_len:9 ~src:0 ~tgt:1));
+  let a = Regex.atom (Sym.Lbl "a") in
+  let triangle =
+    Crpq.make ~head:[ "x"; "y"; "z" ]
+      ~atoms:
+        [
+          { Crpq.re = a; x = Crpq.TVar "x"; y = Crpq.TVar "y" };
+          { Crpq.re = a; x = Crpq.TVar "y"; y = Crpq.TVar "z" };
+          { Crpq.re = a; x = Crpq.TVar "z"; y = Crpq.TVar "x" };
+        ]
+  in
+  let k20 = Generators.clique 20 "a" in
+  run ~query:"clique(20) triangle CRPQ" ~engine:"crpq.eval"
+    (fun gov -> Governor.map ignore (Crpq.eval_bounded gov k20 triangle));
+  (* The generic join is worst-case optimal, so it needs a larger clique
+     than the pairwise join before the budget bites. *)
+  let k60 = Generators.clique 60 "a" in
+  run ~query:"clique(60) triangle CRPQ" ~engine:"crpq_wcoj.eval"
+    (fun gov -> Governor.map ignore (Crpq_wcoj.eval_bounded gov k60 triangle));
+  let lexpr =
+    Regex.star
+      (Regex.alt
+         (Regex.seq (Lrpq.lbl "a") (Lrpq.cap "a" "z"))
+         (Regex.seq (Lrpq.cap "a" "z") (Lrpq.lbl "a")))
+  in
+  let line40 = Generators.line 40 "a" in
+  (* List-variable bindings make each step heavier; halve the budget so
+     the run still lands comfortably under a second. *)
+  run ~steps:(budget / 2) ~query:"line(40) 2^n l-RPQ bindings"
+    ~engine:"lrpq.enumerate"
+    (fun gov ->
+      Governor.map ignore (Lrpq.enumerate_bounded gov line40 lexpr ~max_len:40));
+  let k7pg =
+    let k7 = Generators.clique 7 "a" in
+    Pg.make
+      ~nodes:(List.init (Elg.nb_nodes k7) (fun i -> (Elg.node_name k7 i, "V", [])))
+      ~edges:
+        (List.init (Elg.nb_edges k7) (fun e ->
+             ( Elg.edge_name k7 e,
+               Elg.node_name k7 (Elg.src k7 e),
+               Elg.label k7 e,
+               Elg.node_name k7 (Elg.tgt k7 e),
+               [] )))
+  in
+  run ~query:"clique(7) all matching trails" ~engine:"coregql.matching_trails"
+    (fun gov ->
+      let pat =
+        Coregql.(
+          Pconcat (Pnode None, Pconcat (Prepeat (Pedge None, 1, None), Pnode None)))
+      in
+      Governor.map ignore (Coregql_paths.matching_trails_bounded gov k7pg pat));
+  run ~query:"clique(7) unbounded quantifier" ~engine:"gql.matches"
+    (fun gov ->
+      let pat = Gql_parse.parse "(x)(()-[:a]->()){1,}(y)" in
+      Governor.map ignore (Gql.matches_bounded gov k7pg pat ~max_len:14));
+  let all_partial_and_fast =
+    List.for_all
+      (fun (_, outcome, ms) ->
+        (not (Governor.is_complete outcome)) && ms < 1000.0)
+      !statuses
+  in
+  check "every adversarial run returns a partial result in under a second"
+    all_partial_and_fast;
+  (* Ample budget on a small instance: outcome is Complete and matches the
+     unbounded engine. *)
+  let small = Generators.diamonds 4 in
+  let gov = Governor.make ~max_steps:10_000_000 () in
+  let bounded =
+    Rpq_eval.pairs_bounded gov small astar
+  in
+  let agree =
+    match bounded with
+    | Governor.Complete pairs -> pairs = Rpq_eval.pairs small astar
+    | Governor.Partial _ | Governor.Aborted _ -> false
+  in
+  jsonl ~query:"diamonds(4) a* pairs" ~engine:"rpq_eval.pairs" gov
+    (Governor.outcome_status bounded) 0.0;
+  check "with an ample budget the outcome is Complete and equals the unbounded run"
+    agree
+
 let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
-    ("E13", e13); ("E14", e14); ("E15", e15);
+    ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
   ]
 
 let () =

@@ -5,40 +5,77 @@
      edge <name> <src> <label> <tgt> [key=value ...]
 
    Subcommands: info, rpq, shortest, gql, pmr, static, typecheck,
-   estimate, demo. *)
+   estimate, demo.
+
+   Every error funnels through [or_die] and the shared [Gq_error] type,
+   so exit codes are stable across subcommands: 1 parse/unknown-node,
+   2 evaluation error, 3 I/O, 4 budget exhausted.  Evaluating
+   subcommands accept --max-steps, --max-results and --timeout; when a
+   budget trips they print the partial result, report the exhausted
+   resource on stderr and exit 4. *)
 
 open Cmdliner
 
-let load path =
-  try Graph_io.parse_file path with
-  | Graph_io.Parse_error msg ->
-      Printf.eprintf "error: %s\n" msg;
-      exit 1
-  | Sys_error msg ->
-      Printf.eprintf "error: %s\n" msg;
-      exit 1
+let or_die = function
+  | Ok v -> v
+  | Error err ->
+      Printf.eprintf "error: %s\n" (Gq_error.to_string err);
+      exit (Gq_error.exit_code err)
+
+let load path = or_die (Graph_io.parse_file_res path)
 
 let node_id_or_die g name =
   match Elg.node_id g name with
   | id -> id
-  | exception Not_found ->
-      Printf.eprintf "error: unknown node %s\n" name;
-      exit 1
+  | exception Not_found -> or_die (Error (Gq_error.Unknown_node name))
 
-let parse_rpq_or_die src =
-  match Rpq_parse.parse_opt src with
-  | Ok r -> r
-  | Error msg ->
-      Printf.eprintf "error: cannot parse RPQ %S: %s\n" src msg;
-      exit 1
+let parse_rpq_or_die src = or_die (Rpq_parse.parse_res src)
+
+(* Print whatever was computed, then fail with exit code 4 if the budget
+   tripped. *)
+let report_outcome print = function
+  | Governor.Complete v -> print v
+  | Governor.Partial (v, r) ->
+      print v;
+      Printf.eprintf "partial result (budget exhausted: %s)\n"
+        (Governor.reason_to_string r);
+      exit (Gq_error.exit_code (Gq_error.Budget r))
+  | Governor.Aborted r ->
+      Printf.eprintf "aborted (%s)\n" (Governor.reason_to_string r);
+      exit (Gq_error.exit_code (Gq_error.Budget r))
 
 (* --- arguments ---------------------------------------------------------- *)
 
+(* A plain string, not [Arg.file]: missing files must flow through the
+   unified error path ([Gq_error.Io], exit 3), not cmdliner's own check. *)
 let graph_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"GRAPH" ~doc:"Graph file.")
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"GRAPH" ~doc:"Graph file.")
 
 let regex_pos n =
   Arg.(required & pos n (some string) None & info [] ~docv:"RPQ" ~doc:"Regular path query.")
+
+(* Shared resource-budget flags; evaluates to a fresh governor (the
+   timeout clock starts when the term is evaluated, i.e. at startup). *)
+let governor_term =
+  let max_steps =
+    Arg.(value & opt (some int) None
+         & info [ "max-steps" ] ~docv:"N"
+             ~doc:"Stop evaluation after $(docv) units of work.")
+  in
+  let max_results =
+    Arg.(value & opt (some int) None
+         & info [ "max-results" ] ~docv:"N"
+             ~doc:"Keep at most $(docv) results.")
+  in
+  let timeout =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ] ~docv:"SECONDS"
+             ~doc:"Stop evaluation after $(docv) seconds of CPU time.")
+  in
+  let make max_steps max_results timeout =
+    Governor.make ?max_steps ?max_results ?timeout ()
+  in
+  Term.(const make $ max_steps $ max_results $ timeout)
 
 (* --- info --------------------------------------------------------------- *)
 
@@ -56,21 +93,22 @@ let info_cmd =
 (* --- rpq ---------------------------------------------------------------- *)
 
 let rpq_cmd =
-  let run path regex from =
+  let run path regex from gov =
     let pg = load path in
     let g = Pg.elg pg in
     let r = parse_rpq_or_die regex in
     match from with
     | Some src_name ->
         let src = node_id_or_die g src_name in
-        List.iter
-          (fun v -> print_endline (Elg.node_name g v))
-          (Rpq_eval.from_source g r ~src)
+        report_outcome
+          (List.iter (fun v -> print_endline (Elg.node_name g v)))
+          (Rpq_eval.from_source_bounded gov g r ~src)
     | None ->
-        List.iter
-          (fun (u, v) ->
-            Printf.printf "%s -> %s\n" (Elg.node_name g u) (Elg.node_name g v))
-          (Rpq_eval.pairs g r)
+        report_outcome
+          (List.iter (fun (u, v) ->
+               Printf.printf "%s -> %s\n" (Elg.node_name g u)
+                 (Elg.node_name g v)))
+          (Rpq_eval.pairs_bounded gov g r)
   in
   let from =
     Arg.(value & opt (some string) None & info [ "from" ] ~docv:"NODE"
@@ -78,43 +116,42 @@ let rpq_cmd =
   in
   Cmd.v
     (Cmd.info "rpq" ~doc:"Evaluate a regular path query (endpoint pairs).")
-    Term.(const run $ graph_arg $ regex_pos 1 $ from)
+    Term.(const run $ graph_arg $ regex_pos 1 $ from $ governor_term)
 
 (* --- shortest ------------------------------------------------------------ *)
 
 let shortest_cmd =
-  let run path regex src_name tgt_name =
+  let run path regex src_name tgt_name gov =
     let pg = load path in
     let g = Pg.elg pg in
     let r = parse_rpq_or_die regex in
     let src = node_id_or_die g src_name and tgt = node_id_or_die g tgt_name in
-    match Path_modes.shortest g r ~src ~tgt with
-    | [] ->
-        print_endline "no matching path";
-        exit 2
-    | paths -> List.iter (fun p -> print_endline (Path.to_string g p)) paths
+    report_outcome
+      (function
+        | [] ->
+            print_endline "no matching path";
+            exit 2
+        | paths -> List.iter (fun p -> print_endline (Path.to_string g p)) paths)
+      (Path_modes.shortest_bounded gov g r ~src ~tgt)
   in
   let src = Arg.(required & pos 2 (some string) None & info [] ~docv:"SRC") in
   let tgt = Arg.(required & pos 3 (some string) None & info [] ~docv:"TGT") in
   Cmd.v
     (Cmd.info "shortest" ~doc:"All shortest paths matching an RPQ between two nodes.")
-    Term.(const run $ graph_arg $ regex_pos 1 $ src $ tgt)
+    Term.(const run $ graph_arg $ regex_pos 1 $ src $ tgt $ governor_term)
 
 (* --- gql ----------------------------------------------------------------- *)
 
 let gql_cmd =
-  let run path pattern max_len =
+  let run path pattern max_len gov =
     let pg = load path in
     let g = Pg.elg pg in
-    match Gql_parse.parse_opt pattern with
-    | Error msg ->
-        Printf.eprintf "error: cannot parse pattern %S: %s\n" pattern msg;
-        exit 1
-    | Ok pat ->
-        List.iter
-          (fun (p, b) ->
-            Printf.printf "%s  %s\n" (Path.to_string g p) (Gql.binding_to_string g b))
-          (Gql.matches pg pat ~max_len)
+    let pat = or_die (Gql_parse.parse_res pattern) in
+    report_outcome
+      (List.iter (fun (p, b) ->
+           Printf.printf "%s  %s\n" (Path.to_string g p)
+             (Gql.binding_to_string g b)))
+      (Gql.matches_bounded gov pg pat ~max_len)
   in
   let max_len =
     Arg.(value & opt int 8 & info [ "max-len" ] ~docv:"N"
@@ -126,12 +163,12 @@ let gql_cmd =
   in
   Cmd.v
     (Cmd.info "gql" ~doc:"Match a GQL-style ASCII-art pattern.")
-    Term.(const run $ graph_arg $ pattern $ max_len)
+    Term.(const run $ graph_arg $ pattern $ max_len $ governor_term)
 
 (* --- pmr ----------------------------------------------------------------- *)
 
 let pmr_cmd =
-  let run path regex src_name tgt_name max_len =
+  let run path regex src_name tgt_name max_len gov =
     let pg = load path in
     let g = Pg.elg pg in
     let r = parse_rpq_or_die regex in
@@ -142,9 +179,9 @@ let pmr_cmd =
       (match Pmr.count_paths pmr with
       | `Infinite -> "infinite"
       | `Finite n -> Nat_big.to_string n);
-    List.iter
-      (fun p -> print_endline (Path.to_string g p))
-      (Pmr.spaths_upto g pmr ~max_len)
+    report_outcome
+      (List.iter (fun p -> print_endline (Path.to_string g p)))
+      (Pmr.spaths_upto_bounded gov g pmr ~max_len)
   in
   let src = Arg.(required & pos 2 (some string) None & info [] ~docv:"SRC") in
   let tgt = Arg.(required & pos 3 (some string) None & info [] ~docv:"TGT") in
@@ -154,24 +191,20 @@ let pmr_cmd =
   in
   Cmd.v
     (Cmd.info "pmr" ~doc:"Build the path multiset representation of an RPQ result.")
-    Term.(const run $ graph_arg $ regex_pos 1 $ src $ tgt $ max_len)
+    Term.(const run $ graph_arg $ regex_pos 1 $ src $ tgt $ max_len $ governor_term)
 
 (* --- query ----------------------------------------------------------------- *)
 
 let query_cmd =
-  let run path src max_len =
+  let run path src max_len gov =
     let pg = load path in
     let g = Pg.elg pg in
-    match Gql_query.parse src with
-    | exception Gql_query.Parse_error msg ->
-        Printf.eprintf "error: %s\n" msg;
-        exit 1
-    | q -> (
-        match Gql_query.eval ~max_len pg q with
-        | rel -> print_endline (Relation.to_string g rel)
-        | exception Gql_query.Eval_error msg ->
-            Printf.eprintf "error: %s\n" msg;
-            exit 2)
+    let q = or_die (Gql_query.parse_res src) in
+    match Gql_query.eval_bounded ~max_len gov pg q with
+    | outcome ->
+        report_outcome (fun rel -> print_endline (Relation.to_string g rel)) outcome
+    | exception Gql_query.Eval_error msg ->
+        or_die (Error (Gq_error.Eval msg))
   in
   let src =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY"
@@ -183,7 +216,7 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Run a MATCH/RETURN query (with aggregation).")
-    Term.(const run $ graph_arg $ src $ max_len)
+    Term.(const run $ graph_arg $ src $ max_len $ governor_term)
 
 (* --- static -------------------------------------------------------------- *)
 

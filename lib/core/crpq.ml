@@ -41,37 +41,56 @@ let bind_term g asg term node =
   | TVar x -> bind asg x node
   | TConst name -> if Elg.node_id g name = node then Some asg else None
 
-let homomorphisms g q =
-  (* Evaluate every atom's pair set, join smallest-first. *)
+let homomorphisms_gov gov g q =
+  (* Evaluate every atom's pair set, then join smallest-first with a
+     depth-first nested-loop join: one tick per candidate pair, one emit
+     per completed assignment.  Depth-first matters for soundness of
+     partial results — an assignment is reported only once it satisfies
+     {e every} atom, so a tripped budget yields a subset of the true
+     answers, never a superset. *)
   let atom_pairs =
-    List.map (fun a -> (a, Rpq_eval.pairs g a.re)) q.atoms
+    List.map
+      (fun a -> (a, Governor.payload ~default:[] (Rpq_eval.pairs_bounded gov g a.re)))
+      q.atoms
     |> List.sort (fun (_, p1) (_, p2) ->
            Stdlib.compare (List.length p1) (List.length p2))
   in
-  List.fold_left
-    (fun assignments (a, pairs) ->
-      List.concat_map
-        (fun asg ->
-          List.filter_map
-            (fun (u, v) ->
+  let results = ref [] in
+  let rec extend asg = function
+    | [] -> if Governor.emit gov then results := asg :: !results
+    | (a, pairs) :: rest ->
+        List.iter
+          (fun (u, v) ->
+            if Governor.tick gov then
               match bind_term g asg a.x u with
-              | None -> None
-              | Some asg -> bind_term g asg a.y v)
-            pairs)
-        assignments
-      |> List.sort_uniq Stdlib.compare)
-    [ [] ] atom_pairs
+              | None -> ()
+              | Some asg -> (
+                  match bind_term g asg a.y v with
+                  | None -> ()
+                  | Some asg -> extend asg rest))
+          pairs
+  in
+  extend [] atom_pairs;
+  List.sort_uniq Stdlib.compare !results
 
-let eval g q =
-  homomorphisms g q
-  |> List.map (fun asg ->
-         List.map
-           (fun x ->
-             match lookup asg x with
-             | Some v -> v
-             | None -> assert false (* safety checked in [make] *))
-           q.head)
+let homomorphisms g q = homomorphisms_gov (Governor.unlimited ()) g q
+
+let project_head q homs =
+  List.map
+    (fun asg ->
+      List.map
+        (fun x ->
+          match lookup asg x with
+          | Some v -> v
+          | None -> assert false (* safety checked in [make] *))
+        q.head)
+    homs
   |> List.sort_uniq Stdlib.compare
+
+let eval_bounded gov g q =
+  Governor.seal gov (project_head q (homomorphisms_gov gov g q))
+
+let eval g q = Governor.value (eval_bounded (Governor.unlimited ()) g q)
 
 let holds g q = homomorphisms g q <> []
 

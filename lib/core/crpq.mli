@@ -22,6 +22,12 @@ val atoms : t -> atom list
 (** Output tuples (rows of node identifiers), set semantics, sorted. *)
 val eval : Elg.t -> t -> int list list
 
+(** As {!eval} under a governor: one step per candidate pair considered
+    in the join, one result per satisfying assignment.  An assignment is
+    counted only once it satisfies every atom, so a [Partial] outcome is
+    always a subset of the unbounded answer. *)
+val eval_bounded : Governor.t -> Elg.t -> t -> int list list Governor.outcome
+
 (** Boolean evaluation: is the output non-empty? *)
 val holds : Elg.t -> t -> bool
 

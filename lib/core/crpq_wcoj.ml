@@ -9,8 +9,8 @@ type atom_index = {
   loops : int list;  (* sorted n with (n, n) in the relation *)
 }
 
-let build_index g (a : Crpq.atom) =
-  let pairs = Rpq_eval.pairs g a.Crpq.re in
+let build_index gov g (a : Crpq.atom) =
+  let pairs = Governor.payload ~default:[] (Rpq_eval.pairs_bounded gov g a.Crpq.re) in
   let forward = Hashtbl.create 64 and backward = Hashtbl.create 64 in
   let add tbl k v =
     Hashtbl.replace tbl k (v :: (try Hashtbl.find tbl k with Not_found -> []))
@@ -45,9 +45,9 @@ let rec intersect l1 l2 =
 
 let term_vars = function Crpq.TVar x -> [ x ] | Crpq.TConst _ -> []
 
-let eval_with_stats g q =
+let eval_with_stats_gov gov g q =
   let atoms = Crpq.atoms q in
-  let indexes = List.map (build_index g) atoms in
+  let indexes = List.map (build_index gov g) atoms in
   let vars =
     List.concat_map (fun a -> term_vars a.Crpq.x @ term_vars a.Crpq.y) atoms
     |> List.sort_uniq String.compare
@@ -84,14 +84,18 @@ let eval_with_stats g q =
         | Some l1, Some l2 -> Some (intersect l1 l2))
       None indexes
   in
+  (* Tuple-at-a-time: a tripped budget abandons the in-flight partial
+     assignment, so reported rows always satisfy every atom. *)
   let rec assign asg = function
-    | [] -> results := asg :: !results
+    | [] -> if Governor.emit gov then results := asg :: !results
     | v :: rest ->
         let cands = match candidates v asg with Some l -> l | None -> [] in
         List.iter
           (fun n ->
-            incr explored;
-            assign ((v, n) :: asg) rest)
+            if Governor.tick gov then begin
+              incr explored;
+              assign ((v, n) :: asg) rest
+            end)
           cands
   in
   assign [] vars;
@@ -118,6 +122,12 @@ let eval_with_stats g q =
       |> List.sort_uniq compare
   in
   (rows, !explored)
+
+let eval_with_stats g q = eval_with_stats_gov (Governor.unlimited ()) g q
+
+let eval_bounded gov g q =
+  let rows, _ = eval_with_stats_gov gov g q in
+  Governor.seal gov rows
 
 let eval g q = fst (eval_with_stats g q)
 

@@ -17,6 +17,12 @@
 (** Same specification as {!Crpq.eval}. *)
 val eval : Elg.t -> Crpq.t -> int list list
 
+(** As {!eval} under a governor: one step per explored tuple extension,
+    one result per completed assignment; [Partial] outcomes are subsets
+    of the unbounded answer. *)
+val eval_bounded :
+  Governor.t -> Elg.t -> Crpq.t -> int list list Governor.outcome
+
 (** Intermediate-result sizes: [(tuples_explored_generic,
     max_intermediate_binary)] for cost reporting in E15. *)
 val compare_costs : Elg.t -> Crpq.t -> int * int

@@ -55,8 +55,9 @@ let bind_term g asg term node =
   | TConst name -> if Elg.node_id g name = node then Some asg else None
 
 (* Rows contributed by one atom: data tests preclude a cheap endpoint
-   precomputation, so we evaluate per candidate pair. *)
-let atom_rows pg ~max_len a =
+   precomputation, so we evaluate per candidate pair.  A tripped governor
+   truncates the row set, which only shrinks the join. *)
+let atom_rows gov pg ~max_len a =
   let g = Pg.elg pg in
   let nodes n =
     match n with
@@ -67,39 +68,47 @@ let atom_rows pg ~max_len a =
     (fun u ->
       List.concat_map
         (fun v ->
-          Dlrpq.eval_mode pg a.re ~mode:a.mode ~max_len ~src:u ~tgt:v ()
-          |> List.map (fun (_p, mu) -> (u, v, mu))
-          |> List.sort_uniq Stdlib.compare)
+          if not (Governor.ok gov) then []
+          else
+            Governor.payload ~default:[]
+              (Dlrpq.eval_mode_bounded gov pg a.re ~mode:a.mode ~max_len
+                 ~src:u ~tgt:v ())
+            |> List.map (fun (_p, mu) -> (u, v, mu))
+            |> List.sort_uniq Stdlib.compare)
         (nodes a.y))
     (nodes a.x)
 
-let eval ?(max_len = 12) pg q =
+(* Depth-first join: an assignment is reported only once it satisfies
+   every atom, so a tripped budget yields a subset of the true answers. *)
+let eval_gov gov ?(max_len = 12) pg q =
   let g = Pg.elg pg in
-  let all_rows = List.map (fun a -> (a, atom_rows pg ~max_len a)) q.atoms in
-  let assignments =
-    List.fold_left
-      (fun assignments (a, rows) ->
-        List.concat_map
-          (fun asg ->
-            List.filter_map
-              (fun (u, v, mu) ->
-                match bind_term g asg a.x u with
-                | None -> None
-                | Some asg -> (
-                    match bind_term g asg a.y v with
-                    | None -> None
-                    | Some asg ->
+  let all_rows = List.map (fun a -> (a, atom_rows gov pg ~max_len a)) q.atoms in
+  let results = ref [] in
+  let rec extend asg = function
+    | [] -> if Governor.emit gov then results := asg :: !results
+    | (a, rows) :: rest ->
+        List.iter
+          (fun (u, v, mu) ->
+            if Governor.tick gov then
+              match bind_term g asg a.x u with
+              | None -> ()
+              | Some asg -> (
+                  match bind_term g asg a.y v with
+                  | None -> ()
+                  | Some asg -> (
+                      match
                         List.fold_left
                           (fun acc (z, objs) ->
                             Option.bind acc (fun asg ->
                                 bind asg z (Elist objs)))
-                          (Some asg) (Lbinding.to_list mu)))
-              rows)
-          assignments
-        |> List.sort_uniq Stdlib.compare)
-      [ [] ] all_rows
+                          (Some asg) (Lbinding.to_list mu)
+                      with
+                      | None -> ()
+                      | Some asg -> extend asg rest)))
+          rows
   in
-  assignments
+  extend [] all_rows;
+  !results
   |> List.map (fun asg ->
          List.map
            (fun x ->
@@ -108,6 +117,12 @@ let eval ?(max_len = 12) pg q =
              | None -> Elist [])
            q.head)
   |> List.sort_uniq Stdlib.compare
+
+let eval_bounded ?max_len gov pg q =
+  Governor.seal gov (eval_gov gov ?max_len pg q)
+
+let eval ?max_len pg q =
+  Governor.value (eval_bounded ?max_len (Governor.unlimited ()) pg q)
 
 let entry_to_string g = function
   | Enode n -> Elg.node_name g n

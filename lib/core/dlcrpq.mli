@@ -22,5 +22,11 @@ val atoms : t -> atom list
     shortest modes (default 12). *)
 val eval : ?max_len:int -> Pg.t -> t -> entry list list
 
+(** As {!eval} under a governor: one step per candidate row considered in
+    the join, one result per satisfying assignment; [Partial] outcomes are
+    subsets of the unbounded answer. *)
+val eval_bounded :
+  ?max_len:int -> Governor.t -> Pg.t -> t -> entry list list Governor.outcome
+
 val entry_to_string : Elg.t -> entry -> string
 val row_to_string : Elg.t -> entry list -> string

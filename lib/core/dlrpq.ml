@@ -100,7 +100,8 @@ let extend_binding mu cap obj =
 
 (* --- Enumerating ⟦R⟧_G -------------------------------------------------- *)
 
-let search pg r ~start_objs ~max_len ~max_steps ~node_once ~edge_once ~emit =
+let search gov pg r ~start_objs ~max_len ~max_steps ~node_once ~edge_once
+    ~emit =
   let g = Pg.elg pg in
   let nfa = Nfa.of_regex r in
   let visited_nodes = Array.make (Elg.nb_nodes g) false in
@@ -108,7 +109,7 @@ let search pg r ~start_objs ~max_len ~max_steps ~node_once ~edge_once ~emit =
   let rec go q last rev_objs valu mu len steps =
     if nfa.Nfa.finals.(q) && rev_objs <> [] then
       emit (List.rev rev_objs) mu len;
-    if steps < max_steps then
+    if steps < max_steps && Governor.ok gov then
       List.iter
         (fun (atom, q') ->
           (* Collapse: re-match the last object (p · path(o) = p). *)
@@ -116,8 +117,9 @@ let search pg r ~start_objs ~max_len ~max_steps ~node_once ~edge_once ~emit =
           | Some o -> (
               match apply_atom pg atom o valu with
               | Some (valu', cap) ->
-                  go q' last rev_objs valu' (extend_binding mu cap o) len
-                    (steps + 1)
+                  if Governor.tick gov then
+                    go q' last rev_objs valu' (extend_binding mu cap o) len
+                      (steps + 1)
               | None -> ())
           | None -> ());
           (* Extend: append a fresh object. *)
@@ -138,14 +140,16 @@ let search pg r ~start_objs ~max_len ~max_steps ~node_once ~edge_once ~emit =
               if len' <= max_len && not blocked then
                 match apply_atom pg atom o valu with
                 | Some (valu', cap) ->
-                    (match o with
-                    | Path.N v -> if node_once then visited_nodes.(v) <- true
-                    | Path.E e -> if edge_once then visited_edges.(e) <- true);
-                    go q' (Some o) (o :: rev_objs) valu'
-                      (extend_binding mu cap o) len' (steps + 1);
-                    (match o with
-                    | Path.N v -> if node_once then visited_nodes.(v) <- false
-                    | Path.E e -> if edge_once then visited_edges.(e) <- false)
+                    if Governor.tick gov then begin
+                      (match o with
+                      | Path.N v -> if node_once then visited_nodes.(v) <- true
+                      | Path.E e -> if edge_once then visited_edges.(e) <- true);
+                      go q' (Some o) (o :: rev_objs) valu'
+                        (extend_binding mu cap o) len' (steps + 1);
+                      match o with
+                      | Path.N v -> if node_once then visited_nodes.(v) <- false
+                      | Path.E e -> if edge_once then visited_edges.(e) <- false
+                    end
                 | None -> ())
             candidates)
         nfa.Nfa.delta.(q)
@@ -163,16 +167,24 @@ let dedup results =
       match Path.compare p1 p2 with 0 -> Lbinding.compare m1 m2 | c -> c)
     results
 
-let enumerate_from pg r ~src ~max_len ?max_steps () =
+let enumerate_from_gov gov pg r ~src ~max_len ?max_steps () =
   let g = Pg.elg pg in
   let max_steps =
     match max_steps with Some s -> s | None -> default_steps r max_len
   in
   let acc = ref [] in
-  search pg r ~start_objs:(start_objs_at g src) ~max_len ~max_steps
+  search gov pg r ~start_objs:(start_objs_at g src) ~max_len ~max_steps
     ~node_once:false ~edge_once:false ~emit:(fun objs mu _len ->
-      acc := (Path.of_objs_exn g objs, mu) :: !acc);
+      if Governor.emit gov then acc := (Path.of_objs_exn g objs, mu) :: !acc);
   dedup !acc
+
+let enumerate_from_bounded gov pg r ~src ~max_len ?max_steps () =
+  Governor.seal gov (enumerate_from_gov gov pg r ~src ~max_len ?max_steps ())
+
+let enumerate_from pg r ~src ~max_len ?max_steps () =
+  Governor.value
+    (enumerate_from_bounded (Governor.unlimited ()) pg r ~src ~max_len
+       ?max_steps ())
 
 (* --- Shortest length: 0/1-BFS over configurations ---------------------- *)
 
@@ -198,7 +210,7 @@ module Deque = struct
             Some x)
 end
 
-let shortest_len_stats pg r ~src ~tgt =
+let shortest_len_stats_gov gov pg r ~src ~tgt =
   let g = Pg.elg pg in
   let nfa = Nfa.of_regex r in
   let dist : (int * Path.obj * Valu.t, int) Hashtbl.t = Hashtbl.create 256 in
@@ -235,6 +247,7 @@ let shortest_len_stats pg r ~src ~tgt =
   while !continue do
     match Deque.pop deque with
     | None -> continue := false
+    | Some _ when not (Governor.tick gov) -> continue := false
     | Some ((q, last, valu), d) ->
         if Hashtbl.find_opt dist (q, last, valu) = Some d then begin
           incr explored;
@@ -273,19 +286,26 @@ let shortest_len_stats pg r ~src ~tgt =
   done;
   (!best, !explored)
 
+let shortest_len_stats pg r ~src ~tgt =
+  shortest_len_stats_gov (Governor.unlimited ()) pg r ~src ~tgt
+
 let shortest_len pg r ~src ~tgt = fst (shortest_len_stats pg r ~src ~tgt)
 
-let eval_mode pg r ~mode ~max_len ?max_steps ~src ~tgt () =
+let shortest_len_bounded gov pg r ~src ~tgt =
+  Governor.seal gov (fst (shortest_len_stats_gov gov pg r ~src ~tgt))
+
+let eval_mode_gov gov pg r ~mode ~max_len ?max_steps ~src ~tgt () =
   let g = Pg.elg pg in
   let collect ~max_len ~node_once ~edge_once =
     let max_steps =
       match max_steps with Some s -> s | None -> default_steps r max_len
     in
     let acc = ref [] in
-    search pg r ~start_objs:(start_objs_at g src) ~max_len ~max_steps
+    search gov pg r ~start_objs:(start_objs_at g src) ~max_len ~max_steps
       ~node_once ~edge_once ~emit:(fun objs mu len ->
         let p = Path.of_objs_exn g objs in
-        if Path.tgt g p = Some tgt then acc := (p, mu, len) :: !acc);
+        if Path.tgt g p = Some tgt && Governor.emit gov then
+          acc := (p, mu, len) :: !acc);
     !acc
   in
   match (mode : Path_modes.mode) with
@@ -306,13 +326,24 @@ let eval_mode pg r ~mode ~max_len ?max_steps ~src ~tgt () =
       |> List.map (fun (p, m, _) -> (p, m))
       |> dedup
   | Shortest -> (
-      match shortest_len pg r ~src ~tgt with
+      match
+        Governor.payload ~default:None
+          (shortest_len_bounded gov pg r ~src ~tgt)
+      with
       | None -> []
       | Some d ->
           collect ~max_len:d ~node_once:false ~edge_once:false
           |> List.filter_map (fun (p, m, len) ->
                  if len = d then Some (p, m) else None)
           |> dedup)
+
+let eval_mode_bounded gov pg r ~mode ~max_len ?max_steps ~src ~tgt () =
+  Governor.seal gov (eval_mode_gov gov pg r ~mode ~max_len ?max_steps ~src ~tgt ())
+
+let eval_mode pg r ~mode ~max_len ?max_steps ~src ~tgt () =
+  Governor.value
+    (eval_mode_bounded (Governor.unlimited ()) pg r ~mode ~max_len ?max_steps
+       ~src ~tgt ())
 
 (* --- Matching against a fixed path ------------------------------------- *)
 

@@ -70,6 +70,18 @@ val enumerate_from :
   Pg.t -> t -> src:int -> max_len:int -> ?max_steps:int -> unit ->
   (Path.t * Lbinding.t) list
 
+(** As {!enumerate_from} under a governor: one step per atom application,
+    one result per (path, binding) kept. *)
+val enumerate_from_bounded :
+  Governor.t ->
+  Pg.t ->
+  t ->
+  src:int ->
+  max_len:int ->
+  ?max_steps:int ->
+  unit ->
+  (Path.t * Lbinding.t) list Governor.outcome
+
 (** [m(σ_{src,tgt}(⟦R⟧_G))].  [Shortest] determines the geodesic length
     exactly (0/1-BFS over configurations, so data filters are honoured:
     the Section 6.3 example where the answer is longer than the shortest
@@ -86,9 +98,27 @@ val eval_mode :
   unit ->
   (Path.t * Lbinding.t) list
 
+(** As {!eval_mode} under a governor. *)
+val eval_mode_bounded :
+  Governor.t ->
+  Pg.t ->
+  t ->
+  mode:Path_modes.mode ->
+  max_len:int ->
+  ?max_steps:int ->
+  src:int ->
+  tgt:int ->
+  unit ->
+  (Path.t * Lbinding.t) list Governor.outcome
+
 (** Length of the shortest matching path from [src] to [tgt], data tests
     included; [None] if there is none. *)
 val shortest_len : Pg.t -> t -> src:int -> tgt:int -> int option
+
+(** As {!shortest_len} under a governor: one step per configuration
+    popped in the 0/1-BFS.  A tripped budget yields [Partial None]. *)
+val shortest_len_bounded :
+  Governor.t -> Pg.t -> t -> src:int -> tgt:int -> int option Governor.outcome
 
 (** Number of configurations explored by {!shortest_len}'s search — the
     cost measure of experiment E6. *)

@@ -59,10 +59,13 @@ let bind_term g asg term node =
   | TVar x -> bind asg x (Enode node)
   | TConst name -> if Elg.node_id g name = node then Some asg else None
 
-(* Rows contributed by one atom: (u, v, one binding per witness). *)
-let atom_rows g ~max_len a =
+(* Rows contributed by one atom: (u, v, one binding per witness).  A
+   tripped governor truncates the row set, which only shrinks the join. *)
+let atom_rows gov g ~max_len a =
   let has_list_vars = Lrpq.vars a.re <> [] in
-  let endpoint_pairs = Lrpq.pairs g a.re in
+  let endpoint_pairs =
+    Governor.payload ~default:[] (Lrpq.pairs_bounded gov g a.re)
+  in
   let constrain term pairs proj =
     match term with
     | TVar _ -> pairs
@@ -78,40 +81,47 @@ let atom_rows g ~max_len a =
         (* No list variables: the mode constrains nothing (it only fixes
            the values of list variables), so the pair itself suffices. *)
         [ (u, v, Lbinding.empty) ]
+      else if not (Governor.ok gov) then []
       else
-        Lrpq.eval_mode g a.re ~mode:a.mode ~max_len ~src:u ~tgt:v
+        Governor.payload ~default:[]
+          (Lrpq.eval_mode_bounded gov g a.re ~mode:a.mode ~max_len ~src:u
+             ~tgt:v)
         |> List.map (fun (_p, mu) -> (u, v, mu))
         |> List.sort_uniq Stdlib.compare)
     endpoint_pairs
 
-let eval ?(max_len = 12) g q =
-  let all_rows = List.map (fun a -> (a, atom_rows g ~max_len a)) q.atoms in
-  let assignments =
-    List.fold_left
-      (fun assignments (a, rows) ->
-        List.concat_map
-          (fun asg ->
-            List.filter_map
-              (fun (u, v, mu) ->
-                match bind_term g asg a.x u with
-                | None -> None
-                | Some asg -> (
-                    match bind_term g asg a.y v with
-                    | None -> None
-                    | Some asg ->
-                        (* List variables are atom-local (condition 4), so
-                           binds cannot clash. *)
+(* Depth-first join: an assignment is reported only once it satisfies
+   every atom, so a tripped budget yields a subset of the true answers. *)
+let eval_gov gov ?(max_len = 12) g q =
+  let all_rows = List.map (fun a -> (a, atom_rows gov g ~max_len a)) q.atoms in
+  let results = ref [] in
+  let rec extend asg = function
+    | [] -> if Governor.emit gov then results := asg :: !results
+    | (a, rows) :: rest ->
+        List.iter
+          (fun (u, v, mu) ->
+            if Governor.tick gov then
+              match bind_term g asg a.x u with
+              | None -> ()
+              | Some asg -> (
+                  match bind_term g asg a.y v with
+                  | None -> ()
+                  | Some asg -> (
+                      (* List variables are atom-local (condition 4), so
+                         binds cannot clash. *)
+                      match
                         List.fold_left
                           (fun acc (z, objs) ->
                             Option.bind acc (fun asg ->
                                 bind asg z (Elist objs)))
-                          (Some asg) (Lbinding.to_list mu)))
-              rows)
-          assignments
-        |> List.sort_uniq Stdlib.compare)
-      [ [] ] all_rows
+                          (Some asg) (Lbinding.to_list mu)
+                      with
+                      | None -> ()
+                      | Some asg -> extend asg rest)))
+          rows
   in
-  assignments
+  extend [] all_rows;
+  !results
   |> List.map (fun asg ->
          List.map
            (fun x ->
@@ -120,6 +130,12 @@ let eval ?(max_len = 12) g q =
              | None -> Elist [] (* list variable that captured nothing *))
            q.head)
   |> List.sort_uniq Stdlib.compare
+
+let eval_bounded ?max_len gov g q =
+  Governor.seal gov (eval_gov gov ?max_len g q)
+
+let eval ?max_len g q =
+  Governor.value (eval_bounded ?max_len (Governor.unlimited ()) g q)
 
 let entry_to_string g = function
   | Enode n -> Elg.node_name g n

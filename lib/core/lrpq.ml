@@ -15,8 +15,9 @@ let vars r =
 let strip r = Regex.map (fun a -> a.sym) r
 
 (* Depth-first search over the annotated product: one recursion branch per
-   run, accumulating the path and the binding. *)
-let search g nfa ~src ~max_len ~node_once ~edge_once ~emit =
+   run, accumulating the path and the binding.  One governor step per
+   edge extension; a tripped budget unwinds the whole search. *)
+let search gov g nfa ~src ~max_len ~node_once ~edge_once ~emit =
   let visited_nodes = Array.make (Elg.nb_nodes g) false in
   let visited_edges = Array.make (max 1 (Elg.nb_edges g)) false in
   let rec go q node rev_objs binding len =
@@ -27,7 +28,7 @@ let search g nfa ~src ~max_len ~node_once ~edge_once ~emit =
           let w = Elg.tgt g e in
           let node_ok = (not node_once) || not visited_nodes.(w) in
           let edge_ok = (not edge_once) || not visited_edges.(e) in
-          if node_ok && edge_ok then
+          if node_ok && edge_ok && Governor.tick gov then
             List.iter
               (fun (a, q') ->
                 if Sym.matches a.sym (Elg.label g e) then begin
@@ -60,44 +61,63 @@ let dedup results =
       match Path.compare p1 p2 with 0 -> Lbinding.compare m1 m2 | c -> c)
     results
 
-let enumerate_from g r ~src ~max_len =
+let enumerate_from_gov gov g r ~src ~max_len =
   let nfa = Nfa.of_regex r in
   let acc = ref [] in
-  search g nfa ~src ~max_len ~node_once:false ~edge_once:false
+  search gov g nfa ~src ~max_len ~node_once:false ~edge_once:false
     ~emit:(fun objs binding _node _len ->
-      acc := (Path.of_objs_exn g objs, binding) :: !acc);
+      if Governor.emit gov then
+        acc := (Path.of_objs_exn g objs, binding) :: !acc);
   dedup !acc
 
+let enumerate_from_bounded gov g r ~src ~max_len =
+  Governor.seal gov (enumerate_from_gov gov g r ~src ~max_len)
+
+let enumerate_from g r ~src ~max_len =
+  Governor.value
+    (enumerate_from_bounded (Governor.unlimited ()) g r ~src ~max_len)
+
+let enumerate_bounded gov g r ~max_len =
+  let results =
+    List.concat
+      (List.init (Elg.nb_nodes g) (fun src ->
+           if Governor.ok gov then enumerate_from_gov gov g r ~src ~max_len
+           else []))
+    |> dedup
+  in
+  Governor.seal gov results
+
 let enumerate g r ~max_len =
-  List.concat
-    (List.init (Elg.nb_nodes g) (fun src -> enumerate_from g r ~src ~max_len))
-  |> dedup
+  Governor.value (enumerate_bounded (Governor.unlimited ()) g r ~max_len)
 
 let pairs g r = Rpq_eval.pairs g (strip r)
 
-let collect_between g nfa ~src ~tgt ~max_len ~node_once ~edge_once =
+let pairs_bounded gov g r = Rpq_eval.pairs_bounded gov g (strip r)
+
+let collect_between gov g nfa ~src ~tgt ~max_len ~node_once ~edge_once =
   let acc = ref [] in
-  search g nfa ~src ~max_len ~node_once ~edge_once
+  search gov g nfa ~src ~max_len ~node_once ~edge_once
     ~emit:(fun objs binding node len ->
-      if node = tgt then acc := (Path.of_objs_exn g objs, binding, len) :: !acc);
+      if node = tgt && Governor.emit gov then
+        acc := (Path.of_objs_exn g objs, binding, len) :: !acc);
   !acc
 
-let eval_mode g r ~mode ~max_len ~src ~tgt =
+let eval_mode_gov gov g r ~mode ~max_len ~src ~tgt =
   let nfa = Nfa.of_regex r in
   match (mode : Path_modes.mode) with
   | All ->
-      collect_between g nfa ~src ~tgt ~max_len ~node_once:false
+      collect_between gov g nfa ~src ~tgt ~max_len ~node_once:false
         ~edge_once:false
       |> List.map (fun (p, m, _) -> (p, m))
       |> dedup
   | Simple ->
-      collect_between g nfa ~src ~tgt
+      collect_between gov g nfa ~src ~tgt
         ~max_len:(min max_len (Elg.nb_nodes g - 1))
         ~node_once:true ~edge_once:false
       |> List.map (fun (p, m, _) -> (p, m))
       |> dedup
   | Trail ->
-      collect_between g nfa ~src ~tgt
+      collect_between gov g nfa ~src ~tgt
         ~max_len:(min max_len (Elg.nb_edges g))
         ~node_once:false ~edge_once:true
       |> List.map (fun (p, m, _) -> (p, m))
@@ -105,15 +125,25 @@ let eval_mode g r ~mode ~max_len ~src ~tgt =
   | Shortest -> (
       (* The geodesic length comes from the (capture-free) product BFS; we
          then enumerate every run of exactly that length. *)
-      match Rpq_eval.shortest_witness g (strip r) ~src ~tgt with
+      match
+        Governor.payload ~default:None
+          (Rpq_eval.shortest_witness_bounded gov g (strip r) ~src ~tgt)
+      with
       | None -> []
       | Some witness ->
           let d = Path.len witness in
-          collect_between g nfa ~src ~tgt ~max_len:d ~node_once:false
+          collect_between gov g nfa ~src ~tgt ~max_len:d ~node_once:false
             ~edge_once:false
           |> List.filter_map (fun (p, m, len) ->
                  if len = d then Some (p, m) else None)
           |> dedup)
+
+let eval_mode_bounded gov g r ~mode ~max_len ~src ~tgt =
+  Governor.seal gov (eval_mode_gov gov g r ~mode ~max_len ~src ~tgt)
+
+let eval_mode g r ~mode ~max_len ~src ~tgt =
+  Governor.value
+    (eval_mode_bounded (Governor.unlimited ()) g r ~mode ~max_len ~src ~tgt)
 
 let to_pmr g r ~src ~tgt = Pmr.of_nfa g (Nfa.map_atoms (fun a -> a.sym) (Nfa.of_regex r)) ~src ~tgt
 

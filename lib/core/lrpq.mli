@@ -45,6 +45,23 @@ val enumerate : Elg.t -> t -> max_len:int -> (Path.t * Lbinding.t) list
 val enumerate_from :
   Elg.t -> t -> src:int -> max_len:int -> (Path.t * Lbinding.t) list
 
+(** As {!enumerate} under a governor: one step per search-tree edge
+    extension, one result per (path, binding) kept. *)
+val enumerate_bounded :
+  Governor.t ->
+  Elg.t ->
+  t ->
+  max_len:int ->
+  (Path.t * Lbinding.t) list Governor.outcome
+
+val enumerate_from_bounded :
+  Governor.t ->
+  Elg.t ->
+  t ->
+  src:int ->
+  max_len:int ->
+  (Path.t * Lbinding.t) list Governor.outcome
+
 (** [m(σ_{src,tgt}(⟦R⟧_G))]: endpoint selection first, then the path mode
     — the order that gives shortest its grouping-by-endpoint-pair
     semantics (Example 17).  [max_len] bounds [All]; [Shortest] computes
@@ -58,8 +75,22 @@ val eval_mode :
   tgt:int ->
   (Path.t * Lbinding.t) list
 
+(** As {!eval_mode} under a governor. *)
+val eval_mode_bounded :
+  Governor.t ->
+  Elg.t ->
+  t ->
+  mode:Path_modes.mode ->
+  max_len:int ->
+  src:int ->
+  tgt:int ->
+  (Path.t * Lbinding.t) list Governor.outcome
+
 (** Endpoint pairs with at least one matching path (of any length). *)
 val pairs : Elg.t -> t -> (int * int) list
+
+val pairs_bounded :
+  Governor.t -> Elg.t -> t -> (int * int) list Governor.outcome
 
 (** Annotated-PMR representation of σ_{src,tgt}(⟦R⟧_G): one PMR path per
     run, i.e. per (path, binding) derivation.  Finite even when the result

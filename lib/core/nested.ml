@@ -41,8 +41,10 @@ let make ~hx ~hy ~body =
   q
 
 (* Saturation: evaluate nested queries, materialize their pairs as virtual
-   edges, then run the outer level as a plain CRPQ. *)
-let rec eval g q =
+   edges, then run the outer level as a plain CRPQ.  The governor is
+   shared across every nesting level; inner truncation only shrinks the
+   virtual edge sets, so partial outer answers stay sound. *)
+let rec eval_gov gov g q =
   (* Collect nested subqueries of the outer level, left to right. *)
   let nested = ref [] in
   List.iter
@@ -52,11 +54,11 @@ let rec eval g q =
         (Regex.atoms a.re))
     q.body;
   let nested = List.rev !nested in
-  if nested = [] then eval_flat g q
+  if nested = [] then eval_flat gov g q
   else begin
     let virtuals =
       List.mapi
-        (fun i inner -> (inner, Printf.sprintf "#vq%d" i, eval g inner))
+        (fun i inner -> (inner, Printf.sprintf "#vq%d" i, eval_gov gov g inner))
         nested
     in
     (* Rebuild the graph with one fresh label per nested query. *)
@@ -96,10 +98,10 @@ let rec eval g q =
         (fun a -> { a with re = Regex.map (fun at -> Base (replace_atom at)) a.re })
         q.body
     in
-    eval_flat g' { q with body = body' }
+    eval_flat gov g' { q with body = body' }
   end
 
-and eval_flat g q =
+and eval_flat gov g q =
   (* All atoms are Base symbols here. *)
   let to_sym = function
     | Base sym -> sym
@@ -117,5 +119,8 @@ and eval_flat g q =
              })
            q.body)
   in
-  Crpq.eval g crpq
+  Governor.payload ~default:[] (Crpq.eval_bounded gov g crpq)
   |> List.map (function [ u; v ] -> (u, v) | _ -> assert false)
+
+let eval_bounded gov g q = Governor.seal gov (eval_gov gov g q)
+let eval g q = Governor.value (eval_bounded (Governor.unlimited ()) g q)

@@ -30,5 +30,9 @@ val make : hx:string -> hy:string -> body:nre_query_atom list -> query
 (** Output pairs, set semantics, sorted. *)
 val eval : Elg.t -> query -> (int * int) list
 
+(** As {!eval} under a governor, shared across all nesting levels. *)
+val eval_bounded :
+  Governor.t -> Elg.t -> query -> (int * int) list Governor.outcome
+
 (** Nesting depth (0 for a plain CRPQ). *)
 val depth : query -> int

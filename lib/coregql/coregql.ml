@@ -87,74 +87,96 @@ let rec cond_holds pg (mu : binding) = function
 
 let dedup triples = List.sort_uniq Stdlib.compare triples
 
-(* Endpoint relation composition for repetitions. *)
-let compose pairs1 pairs2 =
+(* Endpoint relation composition for repetitions: one governor step per
+   candidate pair considered. *)
+let compose gov pairs1 pairs2 =
   List.concat_map
     (fun (u, w) ->
-      List.filter_map (fun (w', v) -> if w = w' then Some (u, v) else None) pairs2)
+      if not (Governor.ok gov) then []
+      else
+        List.filter_map
+          (fun (w', v) ->
+            if Governor.tick gov && w = w' then Some (u, v) else None)
+          pairs2)
     pairs1
   |> List.sort_uniq Stdlib.compare
 
-let transitive_closure_with_identity g pairs =
-  (* Reflexive-transitive closure over all graph nodes. *)
+let transitive_closure_with_identity gov g pairs =
+  (* Reflexive-transitive closure over all graph nodes.  A tripped budget
+     stops iterating early, leaving a sound under-approximation. *)
   let identity = List.init (Elg.nb_nodes g) (fun v -> (v, v)) in
   let rec fix acc =
-    let next = List.sort_uniq Stdlib.compare (acc @ compose acc pairs) in
-    if List.length next = List.length acc then acc else fix next
+    if not (Governor.ok gov) then acc
+    else
+      let next = List.sort_uniq Stdlib.compare (acc @ compose gov acc pairs) in
+      if List.length next = List.length acc then acc else fix next
   in
   fix (List.sort_uniq Stdlib.compare identity)
 
-let rec eval pg pattern =
+(* A tripped governor truncates every enumeration below, so partial
+   results are always subsets of the true triple set. *)
+let rec eval_gov gov pg pattern =
   let g = Pg.elg pg in
   match pattern with
   | Pnode var ->
       List.init (Elg.nb_nodes g) (fun n ->
           let mu = match var with Some x -> [ (x, Path.N n) ] | None -> [] in
           (n, n, mu))
+      |> List.filter (fun _ -> Governor.tick gov)
   | Pedge var ->
       List.init (Elg.nb_edges g) (fun e ->
           let mu = match var with Some x -> [ (x, Path.E e) ] | None -> [] in
           (Elg.src g e, Elg.tgt g e, mu))
+      |> List.filter (fun _ -> Governor.tick gov)
   | Pconcat (p1, p2) ->
-      let r1 = eval pg p1 and r2 = eval pg p2 in
+      let r1 = eval_gov gov pg p1 and r2 = eval_gov gov pg p2 in
       List.concat_map
         (fun (u, w, m1) ->
-          List.filter_map
-            (fun (w', v, m2) ->
-              if w = w' then
-                Option.map (fun m -> (u, v, m)) (merge m1 m2)
-              else None)
-            r2)
+          if not (Governor.ok gov) then []
+          else
+            List.filter_map
+              (fun (w', v, m2) ->
+                if Governor.tick gov && w = w' then
+                  Option.map (fun m -> (u, v, m)) (merge m1 m2)
+                else None)
+              r2)
         r1
       |> dedup
-  | Pdisj (p1, p2) -> dedup (eval pg p1 @ eval pg p2)
+  | Pdisj (p1, p2) -> dedup (eval_gov gov pg p1 @ eval_gov gov pg p2)
   | Prepeat (p, n, m) ->
       let base =
-        eval pg p |> List.map (fun (u, v, _) -> (u, v)) |> List.sort_uniq Stdlib.compare
+        eval_gov gov pg p
+        |> List.map (fun (u, v, _) -> (u, v))
+        |> List.sort_uniq Stdlib.compare
       in
       let identity = List.init (Elg.nb_nodes g) (fun v -> (v, v)) in
-      let rec power k = if k = 0 then identity else compose (power (k - 1)) base in
+      let rec power k =
+        if k = 0 then identity else compose gov (power (k - 1)) base
+      in
       let exact_n = power n in
       let result =
         match m with
-        | None -> compose exact_n (transitive_closure_with_identity g base)
+        | None ->
+            compose gov exact_n (transitive_closure_with_identity gov g base)
         | Some m ->
             let rec upto k acc cur =
               if k > m then acc
               else
                 let acc = List.sort_uniq Stdlib.compare (acc @ cur) in
-                upto (k + 1) acc (compose cur base)
+                upto (k + 1) acc (compose gov cur base)
             in
             upto n [] exact_n
       in
       List.map (fun (u, v) -> (u, v, [])) result
   | Pcond (p, theta) ->
-      List.filter (fun (_, _, mu) -> cond_holds pg mu theta) (eval pg p)
+      List.filter (fun (_, _, mu) -> cond_holds pg mu theta) (eval_gov gov pg p)
+
+let eval pg pattern = eval_gov (Governor.unlimited ()) pg pattern
 
 type omega_item = Ovar of string | Oprop of string * string
 
-let output pg pattern omega =
-  let triples = eval pg pattern in
+let output_gov gov pg pattern omega =
+  let triples = eval_gov gov pg pattern in
   let attr = function
     | Ovar x -> x
     | Oprop (x, k) -> x ^ "." ^ k
@@ -176,12 +198,18 @@ let output pg pattern omega =
     List.filter_map
       (fun (_, _, mu) ->
         let cells = List.map (cell_of mu) omega in
-        if List.for_all Option.is_some cells then
+        if List.for_all Option.is_some cells && Governor.emit gov then
           Some (List.map Option.get cells)
         else None)
       triples
   in
   Relation.make ~schema ~rows
+
+let output_bounded gov pg pattern omega =
+  Governor.seal gov (output_gov gov pg pattern omega)
+
+let output pg pattern omega =
+  Governor.value (output_bounded (Governor.unlimited ()) pg pattern omega)
 
 let rec pattern_to_string = function
   | Pnode (Some x) -> "(" ^ x ^ ")"

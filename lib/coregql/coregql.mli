@@ -58,6 +58,10 @@ val cond_holds : Pg.t -> binding -> cond -> bool
     [(p, μ) ∈ ⟦π⟧_G]. *)
 val eval : Pg.t -> pattern -> (int * int * binding) list
 
+(** As {!eval} under a governor: one step per candidate triple considered;
+    [Partial] results are subsets of the unbounded triple set. *)
+val eval_gov : Governor.t -> Pg.t -> pattern -> (int * int * binding) list
+
 (** Output specification Ω: variables and property accesses. *)
 type omega_item = Ovar of string | Oprop of string * string
 
@@ -65,5 +69,9 @@ type omega_item = Ovar of string | Oprop of string * string
     and ["x.k"].  Mappings not compatible with Ω (an entry undefined) are
     dropped, per Section 4.1.2. *)
 val output : Pg.t -> pattern -> omega_item list -> Relation.t
+
+(** As {!output} under a governor: one result per output row kept. *)
+val output_bounded :
+  Governor.t -> Pg.t -> pattern -> omega_item list -> Relation.t Governor.outcome
 
 val pattern_to_string : pattern -> string

@@ -112,15 +112,17 @@ let match_on_path pg pattern path =
 
 let matches_path pg pattern path = match_on_path pg pattern path <> []
 
-(* All trails of a graph, as node-to-node paths (includes single nodes). *)
-let all_trails g =
+(* All trails of a graph, as node-to-node paths (includes single nodes).
+   One governor step per trail extension — there can be factorially
+   many. *)
+let all_trails gov g =
   let acc = ref [] in
   let visited = Array.make (max 1 (Elg.nb_edges g)) false in
   let rec go v rev_objs =
     acc := List.rev rev_objs :: !acc;
     List.iter
       (fun e ->
-        if not visited.(e) then begin
+        if (not visited.(e)) && Governor.tick gov then begin
           visited.(e) <- true;
           go (Elg.tgt g e) (Path.N (Elg.tgt g e) :: Path.E e :: rev_objs);
           visited.(e) <- false
@@ -128,34 +130,56 @@ let all_trails g =
       (Elg.out_edges g v)
   in
   for v = 0 to Elg.nb_nodes g - 1 do
-    go v [ Path.N v ]
+    if Governor.ok gov then go v [ Path.N v ]
   done;
   List.rev_map (Path.of_objs_exn g) !acc
 
-let matching_trails pg pattern =
+let matching_trails_gov gov pg pattern =
   let g = Pg.elg pg in
-  List.filter (matches_path pg pattern) (all_trails g)
+  List.filter
+    (fun p ->
+      Governor.ok gov && matches_path pg pattern p && Governor.emit gov)
+    (all_trails gov g)
   |> List.sort_uniq Path.compare
 
-let all_paths_upto g ~max_len =
+let matching_trails_bounded gov pg pattern =
+  Governor.seal gov (matching_trails_gov gov pg pattern)
+
+let matching_trails pg pattern =
+  Governor.value (matching_trails_bounded (Governor.unlimited ()) pg pattern)
+
+let all_paths_upto gov g ~max_len =
   let acc = ref [] in
   let rec go v rev_objs len =
     acc := List.rev rev_objs :: !acc;
     if len < max_len then
       List.iter
         (fun e ->
-          go (Elg.tgt g e) (Path.N (Elg.tgt g e) :: Path.E e :: rev_objs) (len + 1))
+          if Governor.tick gov then
+            go (Elg.tgt g e)
+              (Path.N (Elg.tgt g e) :: Path.E e :: rev_objs)
+              (len + 1))
         (Elg.out_edges g v)
   in
   for v = 0 to Elg.nb_nodes g - 1 do
-    go v [ Path.N v ] 0
+    if Governor.ok gov then go v [ Path.N v ] 0
   done;
   List.rev_map (Path.of_objs_exn g) !acc
 
-let matching_paths_upto pg pattern ~max_len =
+let matching_paths_upto_gov gov pg pattern ~max_len =
   let g = Pg.elg pg in
-  List.filter (matches_path pg pattern) (all_paths_upto g ~max_len)
+  List.filter
+    (fun p ->
+      Governor.ok gov && matches_path pg pattern p && Governor.emit gov)
+    (all_paths_upto gov g ~max_len)
   |> List.sort_uniq Path.compare
+
+let matching_paths_upto_bounded gov pg pattern ~max_len =
+  Governor.seal gov (matching_paths_upto_gov gov pg pattern ~max_len)
+
+let matching_paths_upto pg pattern ~max_len =
+  Governor.value
+    (matching_paths_upto_bounded (Governor.unlimited ()) pg pattern ~max_len)
 
 let except paths1 paths2 =
   List.filter (fun p -> not (List.exists (Path.equal p) paths2)) paths1

@@ -30,8 +30,22 @@ val match_positions :
     π — the brute-force strategy behind the EXCEPT workaround. *)
 val matching_trails : Pg.t -> Coregql.pattern -> Path.t list
 
+(** As {!matching_trails} under a governor: one step per trail extension
+    (there can be factorially many trails), one result per matching trail
+    kept.  This is the evaluation strategy the paper warns about, so it is
+    the one that most needs a budget. *)
+val matching_trails_bounded :
+  Governor.t -> Pg.t -> Coregql.pattern -> Path.t list Governor.outcome
+
 (** All matching paths of length at most [max_len]. *)
 val matching_paths_upto : Pg.t -> Coregql.pattern -> max_len:int -> Path.t list
+
+val matching_paths_upto_bounded :
+  Governor.t ->
+  Pg.t ->
+  Coregql.pattern ->
+  max_len:int ->
+  Path.t list Governor.outcome
 
 (** Set difference on path lists (the p = π ... EXCEPT construction). *)
 val except : Path.t list -> Path.t list -> Path.t list

@@ -33,11 +33,27 @@ let rec pred_holds get = function
   | Por (p1, p2) -> pred_holds get p1 || pred_holds get p2
   | Pnot p -> not (pred_holds get p)
 
-let rec eval pg = function
-  | Rel (pattern, omega) -> Coregql.output pg pattern omega
-  | Select (pred, q) -> Relation.select (eval pg q) (fun get -> pred_holds get pred)
-  | Project (attrs, q) -> Relation.project (eval pg q) attrs
-  | Join (q1, q2) -> Relation.join (eval pg q1) (eval pg q2)
-  | Union (q1, q2) -> Relation.union (eval pg q1) (eval pg q2)
-  | Diff (q1, q2) -> Relation.diff (eval pg q1) (eval pg q2)
-  | Rename (mapping, q) -> Relation.rename (eval pg q) mapping
+(* The governor meters the pattern leaves (where the blow-up lives); the
+   algebra operators themselves work on already-materialized relations.
+   Note [Diff]: a truncated subtrahend could wrongly keep rows, so once
+   the budget trips the subtraction yields the empty relation — partial
+   answers stay subsets of the true answer. *)
+let rec eval_gov gov pg = function
+  | Rel (pattern, omega) ->
+      Governor.payload
+        ~default:(Relation.make ~schema:[] ~rows:[])
+        (Coregql.output_bounded gov pg pattern omega)
+  | Select (pred, q) ->
+      Relation.select (eval_gov gov pg q) (fun get -> pred_holds get pred)
+  | Project (attrs, q) -> Relation.project (eval_gov gov pg q) attrs
+  | Join (q1, q2) -> Relation.join (eval_gov gov pg q1) (eval_gov gov pg q2)
+  | Union (q1, q2) -> Relation.union (eval_gov gov pg q1) (eval_gov gov pg q2)
+  | Diff (q1, q2) ->
+      let r1 = eval_gov gov pg q1 in
+      let r2 = eval_gov gov pg q2 in
+      if Governor.ok gov then Relation.diff r1 r2
+      else Relation.make ~schema:(Relation.schema r1) ~rows:[]
+  | Rename (mapping, q) -> Relation.rename (eval_gov gov pg q) mapping
+
+let eval_bounded gov pg q = Governor.seal gov (eval_gov gov pg q)
+let eval pg q = Governor.value (eval_bounded (Governor.unlimited ()) pg q)

@@ -31,3 +31,9 @@ type t =
     on schema errors (propagated from {!Relation}) and [Not_found] on
     predicates over unknown attributes. *)
 val eval : Pg.t -> t -> Relation.t
+
+(** As {!eval} under a governor, metering the pattern leaves.  A tripped
+    budget under a difference returns the empty relation for that subtree
+    (a truncated subtrahend could otherwise wrongly keep rows), so
+    [Partial] outcomes never contain rows absent from the true answer. *)
+val eval_bounded : Governor.t -> Pg.t -> t -> Relation.t Governor.outcome

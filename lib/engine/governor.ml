@@ -1,0 +1,108 @@
+type reason = Steps | Results | Deadline | Cancelled
+
+let reason_to_string = function
+  | Steps -> "step budget"
+  | Results -> "result cap"
+  | Deadline -> "deadline"
+  | Cancelled -> "cancelled"
+
+type 'a outcome = Complete of 'a | Partial of 'a * reason | Aborted of reason
+
+type t = {
+  max_steps : int;
+  max_results : int;
+  deadline : float option; (* absolute, in Sys.time seconds *)
+  cancel_flag : bool ref;
+  mutable steps : int;
+  mutable results : int;
+  mutable tripped : reason option;
+}
+
+(* Deadline checks call [Sys.time]; amortize them over this many ticks. *)
+let deadline_mask = 255
+
+let make ?(max_steps = max_int) ?(max_results = max_int) ?timeout ?cancel () =
+  {
+    max_steps;
+    max_results;
+    deadline = Option.map (fun dt -> Sys.time () +. dt) timeout;
+    cancel_flag = (match cancel with Some f -> f | None -> ref false);
+    steps = 0;
+    results = 0;
+    tripped = None;
+  }
+
+let unlimited () = make ()
+
+let trip t r =
+  if t.tripped = None then t.tripped <- Some r;
+  false
+
+let tick t =
+  match t.tripped with
+  | Some _ -> false
+  | None ->
+      t.steps <- t.steps + 1;
+      if !(t.cancel_flag) then trip t Cancelled
+      else if t.steps > t.max_steps then trip t Steps
+      else if
+        t.steps land deadline_mask = 0
+        && match t.deadline with Some d -> Sys.time () > d | None -> false
+      then trip t Deadline
+      else true
+
+let emit t =
+  match t.tripped with
+  | Some _ -> false
+  | None ->
+      if t.results >= t.max_results then trip t Results
+      else begin
+        t.results <- t.results + 1;
+        true
+      end
+
+let ok t = t.tripped = None
+
+let cancel t =
+  t.cancel_flag := true;
+  if t.tripped = None then t.tripped <- Some Cancelled
+
+let steps t = t.steps
+let results t = t.results
+let tripped t = t.tripped
+
+let seal t v =
+  match t.tripped with
+  | None -> Complete v
+  | Some Cancelled -> Aborted Cancelled
+  | Some r -> Partial (v, r)
+
+let take_results t xs =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | x :: rest -> if emit t then go (x :: acc) rest else List.rev acc
+  in
+  go [] xs
+
+let map f = function
+  | Complete v -> Complete (f v)
+  | Partial (v, r) -> Partial (f v, r)
+  | Aborted r -> Aborted r
+
+let payload ~default = function
+  | Complete v | Partial (v, _) -> v
+  | Aborted _ -> default
+
+let value = function
+  | Complete v -> v
+  | Partial (_, r) | Aborted r ->
+      invalid_arg
+        ("Governor.value: evaluation was cut short by " ^ reason_to_string r)
+
+let is_complete = function Complete _ -> true | Partial _ | Aborted _ -> false
+
+let outcome_status = function
+  | Complete _ -> "complete"
+  | Partial (_, r) ->
+      Printf.sprintf "partial (budget exhausted: %s)" (reason_to_string r)
+  | Aborted r -> Printf.sprintf "aborted (%s)" (reason_to_string r)

@@ -1,0 +1,20 @@
+type t =
+  | Parse of { what : string; msg : string }
+  | Unknown_node of string
+  | Eval of string
+  | Io of string
+  | Budget of Governor.reason
+
+let to_string = function
+  | Parse { what; msg } -> Printf.sprintf "cannot parse %s: %s" what msg
+  | Unknown_node name -> Printf.sprintf "unknown node %s" name
+  | Eval msg -> msg
+  | Io msg -> msg
+  | Budget r ->
+      Printf.sprintf "evaluation stopped: %s exhausted" (Governor.reason_to_string r)
+
+let exit_code = function
+  | Parse _ | Unknown_node _ -> 1
+  | Eval _ -> 2
+  | Io _ -> 3
+  | Budget _ -> 4

@@ -1,0 +1,24 @@
+(** One error type for the whole query pipeline.
+
+    The parsers and evaluators historically each raised their own
+    exception ([Graph_io.Parse_error], [Rpq_parse.Parse_error],
+    [Gql_parse.Parse_error], [Gql_query.Parse_error/Eval_error], ...).
+    Result-returning [*_res] entry points in those modules translate into
+    this shared type so front ends (gqd, services) report through a
+    single path and map errors to stable exit codes. *)
+
+type t =
+  | Parse of { what : string; msg : string }
+      (** Malformed input; [what] names the language ("graph", "rpq",
+          "pattern", "query"). *)
+  | Unknown_node of string  (** A node name not present in the graph. *)
+  | Eval of string  (** Semantic error during evaluation. *)
+  | Io of string  (** File-system problem. *)
+  | Budget of Governor.reason
+      (** Evaluation cut short by the resource governor. *)
+
+val to_string : t -> string
+
+(** Stable exit code per error class: parse/unknown-node errors 1, eval
+    errors 2, I/O errors 3, exhausted budgets 4. *)
+val exit_code : t -> int

@@ -89,9 +89,13 @@ let group_iterations (iteration_bindings : binding list) : binding =
   List.sort (fun (x, _) (y, _) -> String.compare x y) unsorted
 
 (* Matching: from node [v] with [budget] edges left, return
-   (end node, reversed edge list, binding) triples. *)
-let rec matches_at pg pattern v budget : (int * int list * binding) list =
+   (end node, reversed edge list, binding) triples.  One governor step
+   per pattern-position visit; a tripped budget truncates candidate
+   lists, so partial match sets are subsets of the true ones. *)
+let rec matches_at gov pg pattern v budget : (int * int list * binding) list =
   let g = Pg.elg pg in
+  if not (Governor.ok gov) then []
+  else
   match pattern with
   | Pnode { nvar; nlbl } ->
       let label_ok =
@@ -104,21 +108,26 @@ let rec matches_at pg pattern v budget : (int * int list * binding) list =
           let label_ok =
             match elbl with None -> true | Some l -> String.equal (Elg.label g e) l
           in
-          if label_ok && budget >= 1 then
+          if label_ok && budget >= 1 && Governor.tick gov then
             Some (Elg.tgt g e, [ e ], bind_opt evar (Single (Path.E e)))
           else None)
         (Elg.out_edges g v)
   | Pseq (p1, p2) ->
       List.concat_map
         (fun (v1, es1, b1) ->
-          List.filter_map
-            (fun (v2, es2, b2) ->
-              Option.map (fun b -> (v2, es2 @ es1, b)) (merge b1 b2))
-            (matches_at pg p2 v1 (budget - List.length es1)))
-        (matches_at pg p1 v budget)
-  | Palt (p1, p2) -> matches_at pg p1 v budget @ matches_at pg p2 v budget
+          if not (Governor.tick gov) then []
+          else
+            List.filter_map
+              (fun (v2, es2, b2) ->
+                Option.map (fun b -> (v2, es2 @ es1, b)) (merge b1 b2))
+              (matches_at gov pg p2 v1 (budget - List.length es1)))
+        (matches_at gov pg p1 v budget)
+  | Palt (p1, p2) ->
+      matches_at gov pg p1 v budget @ matches_at gov pg p2 v budget
   | Pwhere (p, cond) ->
-      List.filter (fun (_, _, b) -> cond_holds pg b cond) (matches_at pg p v budget)
+      List.filter
+        (fun (_, _, b) -> cond_holds pg b cond)
+        (matches_at gov pg p v budget)
   | Pquant (p, n, m) ->
       let max_iters = match m with Some m -> m | None -> budget + 1 in
       (* [iterate k v budget] returns (end, edges, iteration bindings) for
@@ -134,10 +143,10 @@ let rec matches_at pg pattern v budget : (int * int list * binding) list =
               let consumed = List.length es in
               (* Guard against infinite ε-iterations: a zero-edge iteration
                  may repeat, but the iteration cap bounds it. *)
-              if consumed <= budget then
+              if consumed <= budget && Governor.tick gov then
                 iterate (k + 1) v' (budget - consumed) (es @ rev_edges)
                   (b :: rev_iter_bindings))
-            (matches_at pg p v budget)
+            (matches_at gov pg p v budget)
       in
       iterate 0 v budget [] [];
       List.rev_map
@@ -159,26 +168,44 @@ let dedup_results results =
       match Path.compare p1 p2 with 0 -> Stdlib.compare b1 b2 | c -> c)
     results
 
-let matches ?(dedup = true) pg pattern ~max_len =
+let matches_gov gov ?(dedup = true) pg pattern ~max_len =
   let g = Pg.elg pg in
   let all = ref [] in
   for v = 0 to Elg.nb_nodes g - 1 do
     List.iter
-      (fun (_, rev_edges, b) -> all := (build_path g v rev_edges, b) :: !all)
-      (matches_at pg pattern v max_len)
+      (fun (_, rev_edges, b) ->
+        if Governor.emit gov then all := (build_path g v rev_edges, b) :: !all)
+      (matches_at gov pg pattern v max_len)
   done;
   let results = List.rev !all in
   if dedup then dedup_results results else results
 
-let matches_between ?(dedup = true) pg pattern ~max_len ~src ~tgt =
+let matches_bounded ?dedup gov pg pattern ~max_len =
+  Governor.seal gov (matches_gov gov ?dedup pg pattern ~max_len)
+
+let matches ?dedup pg pattern ~max_len =
+  Governor.value
+    (matches_bounded ?dedup (Governor.unlimited ()) pg pattern ~max_len)
+
+let matches_between_gov gov ?(dedup = true) pg pattern ~max_len ~src ~tgt =
   let g = Pg.elg pg in
   let results =
     List.filter_map
       (fun (v_end, rev_edges, b) ->
-        if v_end = tgt then Some (build_path g src rev_edges, b) else None)
-      (matches_at pg pattern src max_len)
+        if v_end = tgt && Governor.emit gov then
+          Some (build_path g src rev_edges, b)
+        else None)
+      (matches_at gov pg pattern src max_len)
   in
   if dedup then dedup_results results else results
+
+let matches_between_bounded ?dedup gov pg pattern ~max_len ~src ~tgt =
+  Governor.seal gov (matches_between_gov gov ?dedup pg pattern ~max_len ~src ~tgt)
+
+let matches_between ?dedup pg pattern ~max_len ~src ~tgt =
+  Governor.value
+    (matches_between_bounded ?dedup (Governor.unlimited ()) pg pattern ~max_len
+       ~src ~tgt)
 
 let gvalue_to_string g = function
   | Single (Path.N n) -> Elg.node_name g n

@@ -55,10 +55,31 @@ exception Degree_conflict of string
     one row per derivation. *)
 val matches : ?dedup:bool -> Pg.t -> pattern -> max_len:int -> (Path.t * binding) list
 
+(** As {!matches} under a governor: one step per pattern-position visit,
+    one result per (path, binding) kept; [Partial] match sets are subsets
+    of the unbounded ones. *)
+val matches_bounded :
+  ?dedup:bool ->
+  Governor.t ->
+  Pg.t ->
+  pattern ->
+  max_len:int ->
+  (Path.t * binding) list Governor.outcome
+
 (** Matches whose path runs from [src] to [tgt]. *)
 val matches_between :
   ?dedup:bool -> Pg.t -> pattern -> max_len:int -> src:int -> tgt:int ->
   (Path.t * binding) list
+
+val matches_between_bounded :
+  ?dedup:bool ->
+  Governor.t ->
+  Pg.t ->
+  pattern ->
+  max_len:int ->
+  src:int ->
+  tgt:int ->
+  (Path.t * binding) list Governor.outcome
 
 (** Variables of the pattern. *)
 val vars : pattern -> string list

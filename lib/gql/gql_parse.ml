@@ -291,3 +291,8 @@ let parse s =
 
 let parse_opt s =
   match parse s with p -> Ok p | exception Parse_error msg -> Error msg
+
+let parse_res s =
+  match parse s with
+  | p -> Ok p
+  | exception Parse_error msg -> Error (Gq_error.Parse { what = "pattern"; msg })

@@ -20,3 +20,6 @@ exception Parse_error of string
 
 val parse : string -> Gql.pattern
 val parse_opt : string -> (Gql.pattern, string) result
+
+(** As {!parse_opt}, with the shared {!Gq_error.t} error type. *)
+val parse_res : string -> (Gql.pattern, Gq_error.t) result

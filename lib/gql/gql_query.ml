@@ -154,6 +154,11 @@ let parse src =
   if items_src = "" then raise (Parse_error "empty RETURN clause");
   { pattern; distinct; items = List.map parse_item (split_top_commas items_src) }
 
+let parse_res src =
+  match parse src with
+  | q -> Ok q
+  | exception Parse_error msg -> Error (Gq_error.Parse { what = "query"; msg })
+
 (* --- evaluation ------------------------------------------------------------ *)
 
 let item_name = function
@@ -238,8 +243,11 @@ let agg_cell pg rows = function
           Relation.Cval
             (List.fold_left (fun a b -> if Value.test Value.Gt b a then b else a) v rest))
 
-let eval ?(max_len = 8) pg q =
-  let matches = Gql.matches ~dedup:q.distinct pg q.pattern ~max_len in
+let eval_gov gov ?(max_len = 8) pg q =
+  let matches =
+    Governor.payload ~default:[]
+      (Gql.matches_bounded ~dedup:q.distinct gov pg q.pattern ~max_len)
+  in
   let bindings = List.map snd matches in
   let schema = List.map item_name q.items in
   let key_items = List.filter (fun it -> not (is_agg it)) q.items in
@@ -292,3 +300,8 @@ let eval ?(max_len = 8) pg q =
     in
     Relation.make ~schema ~rows
   end
+
+let eval_bounded ?max_len gov pg q = Governor.seal gov (eval_gov gov ?max_len pg q)
+
+let eval ?max_len pg q =
+  Governor.value (eval_bounded ?max_len (Governor.unlimited ()) pg q)

@@ -46,9 +46,17 @@ exception Eval_error of string
 
 val parse : string -> t
 
+(** As {!parse}, mapping {!Parse_error} into the shared {!Gq_error.t}. *)
+val parse_res : string -> (t, Gq_error.t) result
+
 (** [eval pg q ~max_len]: match, project, aggregate.  Raises
     {!Eval_error} on returning a group variable or aggregating over a
     non-value property. *)
 val eval : ?max_len:int -> Pg.t -> t -> Relation.t
+
+(** As {!eval} under a governor metering the MATCH phase.  Aggregates in a
+    [Partial] outcome are computed over the truncated match set. *)
+val eval_bounded :
+  ?max_len:int -> Governor.t -> Pg.t -> t -> Relation.t Governor.outcome
 
 val item_name : item -> string

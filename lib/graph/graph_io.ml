@@ -101,3 +101,14 @@ let to_string pg =
          (props_str (Pg.props_of pg (Path.E e))))
   done;
   Buffer.contents buf
+
+let parse_res src =
+  match parse_string src with
+  | pg -> Ok pg
+  | exception Parse_error msg -> Error (Gq_error.Parse { what = "graph"; msg })
+
+let parse_file_res path =
+  match parse_file path with
+  | pg -> Ok pg
+  | exception Parse_error msg -> Error (Gq_error.Parse { what = "graph"; msg })
+  | exception Sys_error msg -> Error (Gq_error.Io msg)

@@ -15,4 +15,9 @@ exception Parse_error of string
 
 val parse_string : string -> Pg.t
 val parse_file : string -> Pg.t
+
+(** Result-returning variants mapping {!Parse_error} (and, for files,
+    [Sys_error]) into the shared {!Gq_error.t}. *)
+val parse_res : string -> (Pg.t, Gq_error.t) result
+val parse_file_res : string -> (Pg.t, Gq_error.t) result
 val to_string : Pg.t -> string

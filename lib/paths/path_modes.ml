@@ -14,8 +14,11 @@ let det_product g r = Product.make g (det_nfa r)
 
 (* Generic bounded DFS over the product graph.  [node_once]/[edge_once]
    enforce simple-path/trail restrictions on the graph projection.
-   [emit] receives completed paths; returning [false] stops the search. *)
-let dfs product ~src ~tgt ~max_len ~node_once ~edge_once ~emit =
+   [emit] receives completed paths; returning [false] stops the search.
+   The governor is charged one step per product-edge extension; these
+   searches are worst-case exponential (experiment E5), so this is the
+   choke point that keeps hostile instances from hanging. *)
+let dfs gov product ~src ~tgt ~max_len ~node_once ~edge_once ~emit =
   let g = Product.graph product in
   let visited_nodes = Array.make (Elg.nb_nodes g) false in
   let visited_edges = Array.make (max 1 (Elg.nb_edges g)) false in
@@ -31,7 +34,7 @@ let dfs product ~src ~tgt ~max_len ~node_once ~edge_once ~emit =
             let w = Elg.tgt g e in
             let node_ok = (not node_once) || not visited_nodes.(w) in
             let edge_ok = (not edge_once) || not visited_edges.(e) in
-            if node_ok && edge_ok then begin
+            if node_ok && edge_ok && Governor.tick gov then begin
               if node_once then visited_nodes.(w) <- true;
               if edge_once then visited_edges.(e) <- true;
               go state' (Path.N w :: Path.E e :: rev_objs) (len + 1);
@@ -47,7 +50,7 @@ let dfs product ~src ~tgt ~max_len ~node_once ~edge_once ~emit =
     (Product.initials_at product src)
 
 (* Geodesic DFS: follow only product edges on shortest-path layers. *)
-let shortest_search product ~src ~tgt ~emit =
+let shortest_search gov product ~src ~tgt ~emit =
   let g = Product.graph product in
   let n = Product.nb_states product in
   let dist = Array.make (max 1 n) (-1) in
@@ -59,11 +62,11 @@ let shortest_search product ~src ~tgt ~emit =
         Queue.add s queue
       end)
     (Product.initials_at product src);
-  while not (Queue.is_empty queue) do
+  while not (Queue.is_empty queue) && Governor.ok gov do
     let s = Queue.pop queue in
     List.iter
       (fun (_, s') ->
-        if dist.(s') < 0 then begin
+        if Governor.tick gov && dist.(s') < 0 then begin
           dist.(s') <- dist.(s) + 1;
           Queue.add s' queue
         end)
@@ -86,26 +89,35 @@ let shortest_search product ~src ~tgt ~emit =
       else
         List.iter
           (fun (e, state') ->
-            if dist.(state') = len + 1 && dist.(state') <= d then
+            if
+              dist.(state') = len + 1 && dist.(state') <= d
+              && Governor.tick gov
+            then
               go state' (Path.N (Elg.tgt g e) :: Path.E e :: rev_objs) (len + 1))
           (Product.out product state)
     in
     List.iter
-      (fun s -> if dist.(s) = 0 then go s [ Path.N src ] 0)
+      (fun s -> if dist.(s) = 0 && Governor.ok gov then go s [ Path.N src ] 0)
       (Product.initials_at product src)
   end
 
-let shortest g r ~src ~tgt =
+let shortest_gov gov g r ~src ~tgt =
   let product = det_product g r in
   let acc = ref [] in
-  shortest_search product ~src ~tgt ~emit:(fun objs ->
-      acc := Path.of_objs_exn g objs :: !acc;
-      true);
+  shortest_search gov product ~src ~tgt ~emit:(fun objs ->
+      if Governor.emit gov then acc := Path.of_objs_exn g objs :: !acc;
+      Governor.ok gov);
   List.rev !acc
 
-let enumerate g r ~mode ~max_len ~src ~tgt =
+let shortest_bounded gov g r ~src ~tgt =
+  Governor.seal gov (shortest_gov gov g r ~src ~tgt)
+
+let shortest g r ~src ~tgt =
+  Governor.value (shortest_bounded (Governor.unlimited ()) g r ~src ~tgt)
+
+let enumerate_gov gov g r ~mode ~max_len ~src ~tgt =
   match mode with
-  | Shortest -> shortest g r ~src ~tgt
+  | Shortest -> shortest_gov gov g r ~src ~tgt
   | Simple | Trail | All ->
       let product = det_product g r in
       let node_once = mode = Simple and edge_once = mode = Trail in
@@ -116,11 +128,18 @@ let enumerate g r ~mode ~max_len ~src ~tgt =
         | Shortest | All -> max_len
       in
       let acc = ref [] in
-      dfs product ~src ~tgt ~max_len:bound ~node_once ~edge_once
+      dfs gov product ~src ~tgt ~max_len:bound ~node_once ~edge_once
         ~emit:(fun objs ->
-          acc := Path.of_objs_exn g objs :: !acc;
-          true);
+          if Governor.emit gov then acc := Path.of_objs_exn g objs :: !acc;
+          Governor.ok gov);
       List.rev !acc
+
+let enumerate_bounded gov g r ~mode ~max_len ~src ~tgt =
+  Governor.seal gov (enumerate_gov gov g r ~mode ~max_len ~src ~tgt)
+
+let enumerate g r ~mode ~max_len ~src ~tgt =
+  Governor.value
+    (enumerate_bounded (Governor.unlimited ()) g r ~mode ~max_len ~src ~tgt)
 
 let in_length_order g r ~max_len ~src ~tgt =
   let product = det_product g r in
@@ -159,15 +178,15 @@ let in_length_order g r ~max_len ~src ~tgt =
 let k_shortest g r ~k ~max_len ~src ~tgt =
   in_length_order g r ~max_len ~src ~tgt |> Seq.take k |> List.of_seq
 
-let count g r ~mode ~max_len ~src ~tgt =
+let count_gov gov g r ~mode ~max_len ~src ~tgt =
   match mode with
   | All -> Rpq_count.count_paths_upto g r ~src ~tgt ~max_len
   | Shortest ->
       let product = det_product g r in
       let n = ref Nat_big.zero in
-      shortest_search product ~src ~tgt ~emit:(fun _ ->
+      shortest_search gov product ~src ~tgt ~emit:(fun _ ->
           n := Nat_big.succ !n;
-          true);
+          Governor.ok gov);
       !n
   | Simple | Trail ->
       let product = det_product g r in
@@ -176,24 +195,43 @@ let count g r ~mode ~max_len ~src ~tgt =
         else min max_len (Elg.nb_edges g)
       in
       let n = ref Nat_big.zero in
-      dfs product ~src ~tgt ~max_len:bound ~node_once:(mode = Simple)
+      dfs gov product ~src ~tgt ~max_len:bound ~node_once:(mode = Simple)
         ~edge_once:(mode = Trail) ~emit:(fun _ ->
           n := Nat_big.succ !n;
-          true);
+          Governor.ok gov);
       !n
 
-let exists_with g r ~src ~tgt ~node_once ~edge_once ~max_len =
+let count_bounded gov g r ~mode ~max_len ~src ~tgt =
+  Governor.seal gov (count_gov gov g r ~mode ~max_len ~src ~tgt)
+
+let count g r ~mode ~max_len ~src ~tgt =
+  Governor.value
+    (count_bounded (Governor.unlimited ()) g r ~mode ~max_len ~src ~tgt)
+
+let exists_with gov g r ~src ~tgt ~node_once ~edge_once ~max_len =
   let product = det_product g r in
   let found = ref false in
-  dfs product ~src ~tgt ~max_len ~node_once ~edge_once ~emit:(fun _ ->
+  dfs gov product ~src ~tgt ~max_len ~node_once ~edge_once ~emit:(fun _ ->
       found := true;
       false);
   !found
 
+let exists_simple_bounded gov g r ~src ~tgt =
+  let found =
+    exists_with gov g r ~src ~tgt ~node_once:true ~edge_once:false
+      ~max_len:(Elg.nb_nodes g - 1)
+  in
+  Governor.seal gov found
+
 let exists_simple g r ~src ~tgt =
-  exists_with g r ~src ~tgt ~node_once:true ~edge_once:false
-    ~max_len:(Elg.nb_nodes g - 1)
+  Governor.value (exists_simple_bounded (Governor.unlimited ()) g r ~src ~tgt)
+
+let exists_trail_bounded gov g r ~src ~tgt =
+  let found =
+    exists_with gov g r ~src ~tgt ~node_once:false ~edge_once:true
+      ~max_len:(Elg.nb_edges g)
+  in
+  Governor.seal gov found
 
 let exists_trail g r ~src ~tgt =
-  exists_with g r ~src ~tgt ~node_once:false ~edge_once:true
-    ~max_len:(Elg.nb_edges g)
+  Governor.value (exists_trail_bounded (Governor.unlimited ()) g r ~src ~tgt)

@@ -12,6 +12,13 @@ type mode = Shortest | Simple | Trail | All
 
 val mode_to_string : mode -> string
 
+(** Every search below also has a [*_bounded] form taking a
+    {!Governor.t}: one step is charged per product-edge extension, one
+    result per emitted path, and exhaustion returns the paths found so
+    far as a [Partial] outcome — these NP-hard searches are the paper's
+    canonical blow-up (experiment E5), so the governor is what makes
+    them safe to expose. *)
+
 (** [enumerate g r ~mode ~max_len ~src ~tgt] lists matching node-to-node
     paths from [src] to [tgt] under [mode].  [max_len] bounds [All] (and
     acts as a safety bound for the others; simple paths and trails are
@@ -25,9 +32,23 @@ val enumerate :
   tgt:int ->
   Path.t list
 
+val enumerate_bounded :
+  Governor.t ->
+  Elg.t ->
+  Sym.t Regex.t ->
+  mode:mode ->
+  max_len:int ->
+  src:int ->
+  tgt:int ->
+  Path.t list Governor.outcome
+
 (** All shortest matching paths (the full geodesic set, not just one
     witness). *)
 val shortest : Elg.t -> Sym.t Regex.t -> src:int -> tgt:int -> Path.t list
+
+val shortest_bounded :
+  Governor.t -> Elg.t -> Sym.t Regex.t -> src:int -> tgt:int ->
+  Path.t list Governor.outcome
 
 (** Matching paths in length order, lazily: the enumeration-algorithms
     view of Section 6.4.  Stops after [max_len] (paths can repeat states,
@@ -53,8 +74,26 @@ val count :
   tgt:int ->
   Nat_big.t
 
+val count_bounded :
+  Governor.t ->
+  Elg.t ->
+  Sym.t Regex.t ->
+  mode:mode ->
+  max_len:int ->
+  src:int ->
+  tgt:int ->
+  Nat_big.t Governor.outcome
+
 (** Does {e some} simple path (resp. trail) from [src] to [tgt] match?
     The NP-complete decision problems of Section 6.3. *)
 val exists_simple : Elg.t -> Sym.t Regex.t -> src:int -> tgt:int -> bool
 
 val exists_trail : Elg.t -> Sym.t Regex.t -> src:int -> tgt:int -> bool
+
+val exists_simple_bounded :
+  Governor.t -> Elg.t -> Sym.t Regex.t -> src:int -> tgt:int ->
+  bool Governor.outcome
+
+val exists_trail_bounded :
+  Governor.t -> Elg.t -> Sym.t Regex.t -> src:int -> tgt:int ->
+  bool Governor.outcome

@@ -204,20 +204,33 @@ let count_paths pmr =
          Nat_big.zero pmr.sources)
   end
 
-let spaths_upto g pmr ~max_len =
+(* A PMR can represent exponentially (even infinitely) many paths, so the
+   unrolling charges the governor: one step per PMR-edge extension, one
+   result per represented path. *)
+let spaths_upto_gov gov g pmr ~max_len =
   let adj = out_adj pmr in
   let acc = ref [] in
   let rec go v rev_objs len =
-    if List.mem v pmr.targets then acc := List.rev rev_objs :: !acc;
-    if len < max_len then
+    if List.mem v pmr.targets && Governor.emit gov then
+      acc := List.rev rev_objs :: !acc;
+    if len < max_len && Governor.ok gov then
       List.iter
         (fun (w, ge) ->
-          go w (Path.N pmr.gamma_node.(w) :: Path.E ge :: rev_objs) (len + 1))
+          if Governor.tick gov then
+            go w (Path.N pmr.gamma_node.(w) :: Path.E ge :: rev_objs) (len + 1))
         adj.(v)
   in
-  List.iter (fun s -> go s [ Path.N pmr.gamma_node.(s) ] 0) pmr.sources;
+  List.iter
+    (fun s -> if Governor.ok gov then go s [ Path.N pmr.gamma_node.(s) ] 0)
+    pmr.sources;
   List.map (Path.of_objs_exn g) !acc
   |> List.sort_uniq Path.compare
+
+let spaths_upto_bounded gov g pmr ~max_len =
+  Governor.seal gov (spaths_upto_gov gov g pmr ~max_len)
+
+let spaths_upto g pmr ~max_len =
+  Governor.value (spaths_upto_bounded (Governor.unlimited ()) g pmr ~max_len)
 
 let mem _g pmr path =
   match Path.objs path with

@@ -49,6 +49,13 @@ val count_paths : t -> [ `Finite of Nat_big.t | `Infinite ]
 (** SPaths(R) restricted to paths of length at most [max_len]. *)
 val spaths_upto : Elg.t -> t -> max_len:int -> Path.t list
 
+(** As {!spaths_upto} under a governor: a PMR may represent
+    exponentially many paths, so the unrolling charges one step per
+    PMR-edge extension and one result per path, returning a [Partial]
+    prefix when a budget trips. *)
+val spaths_upto_bounded :
+  Governor.t -> Elg.t -> t -> max_len:int -> Path.t list Governor.outcome
+
 (** Is the (node-to-node) path represented? *)
 val mem : Elg.t -> t -> Path.t -> bool
 

@@ -163,3 +163,8 @@ let parse s =
 
 let parse_opt s =
   match parse s with e -> Ok e | exception Parse_error msg -> Error msg
+
+let parse_res s =
+  match parse s with
+  | e -> Ok e
+  | exception Parse_error msg -> Error (Gq_error.Parse { what = "rpq"; msg })

@@ -14,3 +14,6 @@ exception Parse_error of string
 
 val parse : string -> Sym.t Regex.t
 val parse_opt : string -> (Sym.t Regex.t, string) result
+
+(** As {!parse_opt}, with the shared {!Gq_error.t} error type. *)
+val parse_res : string -> (Sym.t Regex.t, Gq_error.t) result

@@ -1,4 +1,8 @@
-let bfs_reachable product start_states =
+(* All search loops consult a [Governor.t]: one tick per product-edge
+   relaxation (BFS) or per extension (naive search), one emit per answer.
+   The unbounded API runs the same code under [Governor.unlimited]. *)
+
+let bfs_reachable gov product start_states =
   let n = Product.nb_states product in
   let seen = Array.make (max 1 n) false in
   let queue = Queue.create () in
@@ -9,11 +13,11 @@ let bfs_reachable product start_states =
         Queue.add s queue
       end)
     start_states;
-  while not (Queue.is_empty queue) do
+  while not (Queue.is_empty queue) && Governor.ok gov do
     let s = Queue.pop queue in
     List.iter
       (fun (_, s') ->
-        if not seen.(s') then begin
+        if Governor.tick gov && not seen.(s') then begin
           seen.(s') <- true;
           Queue.add s' queue
         end)
@@ -31,30 +35,44 @@ let targets_of_seen product seen =
   done;
   List.sort_uniq Stdlib.compare !acc
 
-let from_source_product product ~src =
-  let seen = bfs_reachable product (Product.initials_at product src) in
+let from_source_product ?(gov = Governor.unlimited ()) product ~src =
+  let seen = bfs_reachable gov product (Product.initials_at product src) in
   targets_of_seen product seen
 
-let pairs_nfa g nfa =
+let from_source_bounded gov g r ~src =
+  let product = Product.make g (Nfa.of_regex r) in
+  let targets = from_source_product ~gov product ~src in
+  Governor.seal gov (Governor.take_results gov targets)
+
+let from_source g r ~src =
+  Governor.value (from_source_bounded (Governor.unlimited ()) g r ~src)
+
+let pairs_nfa_gov gov g nfa =
   let product = Product.make g nfa in
-  Elg.fold_nodes
-    (fun u acc ->
-      List.fold_left
-        (fun acc v -> (u, v) :: acc)
-        acc
-        (from_source_product product ~src:u))
-    g []
-  |> List.sort_uniq Stdlib.compare
+  let acc = ref [] in
+  (try
+     Elg.fold_nodes
+       (fun u () ->
+         if not (Governor.ok gov) then raise Exit;
+         List.iter
+           (fun v -> if Governor.emit gov then acc := (u, v) :: !acc)
+           (from_source_product ~gov product ~src:u))
+       g ()
+   with Exit -> ());
+  List.sort_uniq Stdlib.compare !acc
+
+let pairs_nfa_bounded gov g nfa = Governor.seal gov (pairs_nfa_gov gov g nfa)
+
+let pairs_nfa g nfa =
+  Governor.value (pairs_nfa_bounded (Governor.unlimited ()) g nfa)
+
+let pairs_bounded gov g r = pairs_nfa_bounded gov g (Nfa.of_regex r)
 
 let pairs g r = pairs_nfa g (Nfa.of_regex r)
 
-let from_source g r ~src =
-  let product = Product.make g (Nfa.of_regex r) in
-  from_source_product product ~src
-
 let check g r ~src ~tgt = List.mem tgt (from_source g r ~src)
 
-let shortest_witness g r ~src ~tgt =
+let shortest_witness_gov gov g r ~src ~tgt =
   let product = Product.make g (Nfa.of_regex r) in
   let n = Product.nb_states product in
   let pred = Array.make (max 1 n) None in
@@ -67,14 +85,14 @@ let shortest_witness g r ~src ~tgt =
     (Product.initials_at product src)
   |> ignore;
   let found = ref None in
-  while !found = None && not (Queue.is_empty queue) do
+  while !found = None && not (Queue.is_empty queue) && Governor.ok gov do
     let s = Queue.pop queue in
     let v, _ = Product.decode product s in
     if v = tgt && Product.is_final product s then found := Some s
     else
       List.iter
         (fun (e, s') ->
-          if not seen.(s') then begin
+          if Governor.tick gov && not seen.(s') then begin
             seen.(s') <- true;
             pred.(s') <- Some (e, s);
             Queue.add s' queue
@@ -95,16 +113,31 @@ let shortest_witness g r ~src ~tgt =
       in
       Some (Path.of_objs_exn g (rebuild s []))
 
-let pairs_naive g r ~max_len =
+let shortest_witness_bounded gov g r ~src ~tgt =
+  Governor.seal gov (shortest_witness_gov gov g r ~src ~tgt)
+
+let shortest_witness g r ~src ~tgt =
+  Governor.value
+    (shortest_witness_bounded (Governor.unlimited ()) g r ~src ~tgt)
+
+let pairs_naive_gov gov g r ~max_len =
   let results = ref [] in
   let matches sym lbl = Sym.matches sym lbl in
   let rec extend u v word len =
-    if Regex.matches_word ~matches r (List.rev word) then
-      results := (u, v) :: !results;
-    if len < max_len then
-      List.iter
-        (fun e -> extend u (Elg.tgt g e) (Elg.label g e :: word) (len + 1))
-        (Elg.out_edges g v)
+    if Governor.tick gov then begin
+      if Regex.matches_word ~matches r (List.rev word) then
+        results := (u, v) :: !results;
+      if len < max_len then
+        List.iter
+          (fun e -> extend u (Elg.tgt g e) (Elg.label g e :: word) (len + 1))
+          (Elg.out_edges g v)
+    end
   in
   Elg.fold_nodes (fun u () -> extend u u [] 0) g ();
   List.sort_uniq Stdlib.compare !results
+
+let pairs_naive_bounded gov g r ~max_len =
+  Governor.seal gov (pairs_naive_gov gov g r ~max_len)
+
+let pairs_naive g r ~max_len =
+  Governor.value (pairs_naive_bounded (Governor.unlimited ()) g r ~max_len)

@@ -1,13 +1,25 @@
 (** RPQ evaluation via the product construction (Sections 3.1.1 and 6.2).
 
-    [⟦R⟧_G = { (u,v) | some path from u to v has elab(p) ∈ L(R) }]. *)
+    [⟦R⟧_G = { (u,v) | some path from u to v has elab(p) ∈ L(R) }].
+
+    Every evaluation has a [*_bounded] form taking a {!Governor.t}: it
+    charges one step per product-edge relaxation and one result per
+    answer, and returns what was computed when a budget trips instead of
+    running on.  The unbounded functions are the bounded ones under
+    {!Governor.unlimited}. *)
 
 (** [pairs g r] computes ⟦R⟧_G (Example 12).  Polynomial:
     one product-graph BFS per source node. *)
 val pairs : Elg.t -> Sym.t Regex.t -> (int * int) list
 
+val pairs_bounded :
+  Governor.t -> Elg.t -> Sym.t Regex.t -> (int * int) list Governor.outcome
+
 (** Nodes reachable from [src] along a matching path. *)
 val from_source : Elg.t -> Sym.t Regex.t -> src:int -> int list
+
+val from_source_bounded :
+  Governor.t -> Elg.t -> Sym.t Regex.t -> src:int -> int list Governor.outcome
 
 (** Membership of a single pair. *)
 val check : Elg.t -> Sym.t Regex.t -> src:int -> tgt:int -> bool
@@ -15,10 +27,25 @@ val check : Elg.t -> Sym.t Regex.t -> src:int -> tgt:int -> bool
 (** As {!pairs} but reusing a compiled automaton. *)
 val pairs_nfa : Elg.t -> Sym.t Nfa.t -> (int * int) list
 
+val pairs_nfa_bounded :
+  Governor.t -> Elg.t -> Sym.t Nfa.t -> (int * int) list Governor.outcome
+
+(** Reachable targets over a prebuilt product, charging the governor.
+    Shared with the other engines; exposed for reuse. *)
+val from_source_product : ?gov:Governor.t -> Product.t -> src:int -> int list
+
 (** A shortest matching path from [src] to [tgt], if any (BFS in G×). *)
 val shortest_witness : Elg.t -> Sym.t Regex.t -> src:int -> tgt:int -> Path.t option
+
+val shortest_witness_bounded :
+  Governor.t -> Elg.t -> Sym.t Regex.t -> src:int -> tgt:int ->
+  Path.t option Governor.outcome
 
 (** Naive reference evaluation: enumerate all paths of length at most
     [max_len] and test elab(p) against the regex.  Exponential; a test
     oracle for the product construction. *)
 val pairs_naive : Elg.t -> Sym.t Regex.t -> max_len:int -> (int * int) list
+
+val pairs_naive_bounded :
+  Governor.t -> Elg.t -> Sym.t Regex.t -> max_len:int ->
+  (int * int) list Governor.outcome

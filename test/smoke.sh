@@ -1,0 +1,60 @@
+#!/bin/sh
+# End-to-end CLI smoke test: resource-limit flags and exit codes.
+#
+# Exit-code contract (see bin/gqd.ml): 0 complete, 1 parse/unknown-node,
+# 2 evaluation, 3 I/O, 4 budget exhausted (partial result printed).
+set -eu
+
+GQD="$1"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+run_expect() {
+  expected=$1
+  shift
+  set +e
+  "$@" > "$tmp/out" 2> "$tmp/err"
+  code=$?
+  set -e
+  if [ "$code" -ne "$expected" ]; then
+    echo "smoke: expected exit $expected, got $code: $*" >&2
+    cat "$tmp/err" >&2
+    exit 1
+  fi
+}
+
+"$GQD" demo > "$tmp/bank.graph"
+
+# Unbounded and amply-budgeted runs complete with exit 0.
+run_expect 0 "$GQD" rpq "$tmp/bank.graph" 'Transfer*'
+run_expect 0 "$GQD" rpq "$tmp/bank.graph" 'Transfer*' --max-steps 100000 --timeout 10
+grep -q 'a1 -> a2' "$tmp/out" || { echo "smoke: missing pair in output" >&2; exit 1; }
+
+# A tiny step budget yields a partial result and exit 4.
+run_expect 4 "$GQD" rpq "$tmp/bank.graph" 'Transfer*' --max-steps 5
+grep -q 'partial result (budget exhausted: step budget)' "$tmp/err" \
+  || { echo "smoke: missing partial-result report" >&2; exit 1; }
+
+# A result cap likewise trips, after printing exactly that many pairs.
+run_expect 4 "$GQD" rpq "$tmp/bank.graph" 'Transfer*' --max-results 3
+[ "$(wc -l < "$tmp/out")" -eq 3 ] || { echo "smoke: result cap not honoured" >&2; exit 1; }
+
+# An expired deadline trips at the periodic check (every 256 steps), so it
+# needs an input with enough work: a 300-edge line graph.
+{
+  i=0
+  while [ "$i" -le 300 ]; do echo "node n$i N"; i=$((i + 1)); done
+  i=0
+  while [ "$i" -lt 300 ]; do echo "edge e$i n$i a n$((i + 1))"; i=$((i + 1)); done
+} > "$tmp/line.graph"
+run_expect 4 "$GQD" rpq "$tmp/line.graph" 'a*' --timeout 0
+grep -q 'partial result (budget exhausted: deadline)' "$tmp/err" \
+  || { echo "smoke: missing deadline report" >&2; exit 1; }
+
+# Error paths: bad regex is a parse error (1), bad node name too (1),
+# missing file is I/O (3).
+run_expect 1 "$GQD" rpq "$tmp/bank.graph" 'Transfer)('
+run_expect 1 "$GQD" rpq "$tmp/bank.graph" 'Transfer*' --from nosuchnode
+run_expect 3 "$GQD" rpq "$tmp/nosuch.graph" 'Transfer*'
+
+echo "smoke: all CLI checks passed"

@@ -1,0 +1,370 @@
+(* The resource governor across every engine (robustness tentpole).
+
+   Two claims per engine, on the Fig. 5 blow-up generators:
+
+   - {e tight}: with a step budget of at most 10^5, evaluation terminates
+     well under a second with a non-[Complete] outcome;
+   - {e ample}: with a generous budget the outcome is [Complete] and its
+     payload equals the unbounded entry point's answer.
+
+   Plus unit tests for the governor mechanics themselves (result caps,
+   deadlines, cooperative cancellation, outcome plumbing). *)
+
+let tight () = Governor.make ~max_steps:50_000 ()
+let ample () = Governor.make ~max_steps:50_000_000 ()
+
+let timed f =
+  let t0 = Sys.time () in
+  let v = f () in
+  (v, Sys.time () -. t0)
+
+(* The budget must bite AND the run must stay fast: a governor that ticks
+   too coarsely would pass a plain "is partial" check while still
+   exploring an exponential region between checks. *)
+let check_tight name f =
+  let outcome, elapsed = timed f in
+  Alcotest.(check bool) (name ^ ": outcome is not Complete") false
+    (Governor.is_complete outcome);
+  Alcotest.(check bool) (name ^ ": terminates in under a second") true
+    (elapsed < 1.0)
+
+let check_ample name bounded unbounded =
+  match bounded with
+  | Governor.Complete v ->
+      Alcotest.(check bool) (name ^ ": ample budget equals unbounded") true
+        (v = unbounded)
+  | Governor.Partial _ | Governor.Aborted _ ->
+      Alcotest.fail (name ^ ": ample budget still tripped")
+
+(* Shared adversarial inputs. *)
+let a = Regex.atom (Sym.Lbl "a")
+let astar = Regex.star a
+
+let triangle =
+  Crpq.make ~head:[ "x"; "y"; "z" ]
+    ~atoms:
+      [
+        { Crpq.re = a; x = Crpq.TVar "x"; y = Crpq.TVar "y" };
+        { Crpq.re = a; x = Crpq.TVar "y"; y = Crpq.TVar "z" };
+        { Crpq.re = a; x = Crpq.TVar "z"; y = Crpq.TVar "x" };
+      ]
+
+(* Property-graph view of a clique, for the CoreGQL / GQL engines. *)
+let pg_of_elg g =
+  Pg.make
+    ~nodes:(List.init (Elg.nb_nodes g) (fun i -> (Elg.node_name g i, "V", [])))
+    ~edges:
+      (List.init (Elg.nb_edges g) (fun e ->
+           ( Elg.edge_name g e,
+             Elg.node_name g (Elg.src g e),
+             Elg.label g e,
+             Elg.node_name g (Elg.tgt g e),
+             [] )))
+
+let hop_pattern =
+  Coregql.(
+    Pconcat (Pnode None, Pconcat (Prepeat (Pedge None, 1, None), Pnode None)))
+
+(* --- tight budgets on Fig. 5 inputs -------------------------------------- *)
+
+let test_tight_rpq_paths () =
+  let big = Generators.diamonds 40 in
+  let s = Elg.node_id big "s" and t = Elg.node_id big "t" in
+  check_tight "Rpq_eval.pairs_naive" (fun () ->
+      Rpq_eval.pairs_naive_bounded (tight ()) big astar ~max_len:80);
+  check_tight "Path_modes.enumerate All" (fun () ->
+      Path_modes.enumerate_bounded (tight ()) big astar ~mode:Path_modes.All
+        ~max_len:80 ~src:s ~tgt:t);
+  check_tight "Pmr.spaths_upto" (fun () ->
+      let pmr = Pmr.of_rpq big astar ~src:s ~tgt:t in
+      Pmr.spaths_upto_bounded (tight ()) big pmr ~max_len:80);
+  let k9 = Generators.clique 9 "a" in
+  check_tight "Path_modes.count Simple" (fun () ->
+      Path_modes.count_bounded (tight ()) k9 astar ~mode:Path_modes.Simple
+        ~max_len:9 ~src:0 ~tgt:1);
+  check_tight "Path_modes.exists_trail" (fun () ->
+      Path_modes.exists_trail_bounded (tight ())
+        (Generators.clique 9 "a")
+        (Regex.seq astar (Regex.atom (Sym.Lbl "b")))
+        ~src:0 ~tgt:1)
+
+let test_tight_crpq () =
+  check_tight "Crpq.eval" (fun () ->
+      Crpq.eval_bounded (tight ()) (Generators.clique 20 "a") triangle);
+  check_tight "Crpq_wcoj.eval" (fun () ->
+      Crpq_wcoj.eval_bounded (tight ()) (Generators.clique 60 "a") triangle);
+  let nested_triangle =
+    Nested.make ~hx:"x" ~hy:"y"
+      ~body:
+        (List.map
+           (fun (x, y) -> { Nested.re = Regex.atom (Nested.Base (Sym.Lbl "a")); x; y })
+           [ ("x", "y"); ("y", "z"); ("z", "x") ])
+  in
+  check_tight "Nested.eval" (fun () ->
+      Nested.eval_bounded (tight ()) (Generators.clique 20 "a") nested_triangle)
+
+let test_tight_lists () =
+  let lexpr =
+    Regex.star
+      (Regex.alt
+         (Regex.seq (Lrpq.lbl "a") (Lrpq.cap "a" "z"))
+         (Regex.seq (Lrpq.cap "a" "z") (Lrpq.lbl "a")))
+  in
+  let line40 = Generators.line 40 "a" in
+  check_tight "Lrpq.enumerate" (fun () ->
+      Lrpq.enumerate_bounded (tight ()) line40 lexpr ~max_len:40);
+  let lq =
+    Lcrpq.make ~head:[ "x"; "z" ]
+      ~atoms:
+        [
+          {
+            Lcrpq.mode = Path_modes.All;
+            re = Regex.star (Lrpq.cap "a" "z");
+            x = Lcrpq.TVar "x";
+            y = Lcrpq.TVar "y";
+          };
+        ]
+  in
+  check_tight "Lcrpq.eval" (fun () ->
+      Lcrpq.eval_bounded ~max_len:9 (tight ()) (Generators.clique 9 "a") lq)
+
+let test_tight_data () =
+  let pg = Generators.subset_sum (List.init 30 (fun i -> i + 1)) in
+  let dl = Regex.star (Regex.seq Dlrpq.node_any (Dlrpq.edge_cap "a" "z")) in
+  let src = 0 and tgt = 30 in
+  check_tight "Dlrpq.eval_mode All" (fun () ->
+      Dlrpq.eval_mode_bounded (tight ()) pg dl ~mode:Path_modes.All ~max_len:64
+        ~src ~tgt ());
+  let dq =
+    Dlcrpq.make ~head:[ "x"; "z" ]
+      ~atoms:
+        [
+          {
+            Dlcrpq.mode = Path_modes.All;
+            re = dl;
+            x = Dlcrpq.TVar "x";
+            y = Dlcrpq.TVar "y";
+          };
+        ]
+  in
+  check_tight "Dlcrpq.eval" (fun () ->
+      Dlcrpq.eval_bounded ~max_len:64 (tight ()) pg dq)
+
+let test_tight_coregql_gql () =
+  let k7 = pg_of_elg (Generators.clique 7 "a") in
+  check_tight "Coregql_paths.matching_trails" (fun () ->
+      Coregql_paths.matching_trails_bounded (tight ()) k7 hop_pattern);
+  check_tight "Coregql.output" (fun () ->
+      Coregql.output_bounded (tight ())
+        (pg_of_elg (Generators.clique 40 "a"))
+        hop_pattern [])
+  ;
+  check_tight "Coregql_query.eval" (fun () ->
+      Coregql_query.eval_bounded (tight ())
+        (pg_of_elg (Generators.clique 40 "a"))
+        (Coregql_query.Rel (hop_pattern, [])));
+  check_tight "Gql.matches" (fun () ->
+      Gql.matches_bounded (tight ()) k7
+        (Gql_parse.parse "(x)(()-[:a]->()){1,}(y)")
+        ~max_len:14);
+  check_tight "Gql_query.eval" (fun () ->
+      Gql_query.eval_bounded ~max_len:14 (tight ()) k7
+        (Gql_query.parse "MATCH (x)(()-[:a]->()){1,}(y) RETURN x, y"))
+
+(* --- ample budgets agree with the unbounded entry points ------------------ *)
+
+let test_ample_rpq_paths () =
+  let g = Generators.diamonds 6 in
+  let s = Elg.node_id g "s" and t = Elg.node_id g "t" in
+  check_ample "pairs"
+    (Rpq_eval.pairs_bounded (ample ()) g astar)
+    (Rpq_eval.pairs g astar);
+  check_ample "from_source"
+    (Rpq_eval.from_source_bounded (ample ()) g astar ~src:s)
+    (Rpq_eval.from_source g astar ~src:s);
+  check_ample "shortest_witness"
+    (Rpq_eval.shortest_witness_bounded (ample ()) g astar ~src:s ~tgt:t)
+    (Rpq_eval.shortest_witness g astar ~src:s ~tgt:t);
+  check_ample "enumerate"
+    (Path_modes.enumerate_bounded (ample ()) g astar ~mode:Path_modes.All
+       ~max_len:12 ~src:s ~tgt:t)
+    (Path_modes.enumerate g astar ~mode:Path_modes.All ~max_len:12 ~src:s ~tgt:t);
+  check_ample "count"
+    (Path_modes.count_bounded (ample ()) g astar ~mode:Path_modes.All
+       ~max_len:12 ~src:s ~tgt:t)
+    (Path_modes.count g astar ~mode:Path_modes.All ~max_len:12 ~src:s ~tgt:t);
+  check_ample "spaths_upto"
+    (let pmr = Pmr.of_rpq g astar ~src:s ~tgt:t in
+     Pmr.spaths_upto_bounded (ample ()) g pmr ~max_len:12)
+    (let pmr = Pmr.of_rpq g astar ~src:s ~tgt:t in
+     Pmr.spaths_upto g pmr ~max_len:12)
+
+let test_ample_crpq () =
+  let k6 = Generators.clique 6 "a" in
+  check_ample "Crpq.eval"
+    (Crpq.eval_bounded (ample ()) k6 triangle)
+    (Crpq.eval k6 triangle);
+  check_ample "Crpq_wcoj.eval"
+    (Crpq_wcoj.eval_bounded (ample ()) k6 triangle)
+    (Crpq_wcoj.eval k6 triangle);
+  let nested_triangle =
+    Nested.make ~hx:"x" ~hy:"y"
+      ~body:
+        (List.map
+           (fun (x, y) -> { Nested.re = Regex.atom (Nested.Base (Sym.Lbl "a")); x; y })
+           [ ("x", "y"); ("y", "z"); ("z", "x") ])
+  in
+  check_ample "Nested.eval"
+    (Nested.eval_bounded (ample ()) k6 nested_triangle)
+    (Nested.eval k6 nested_triangle)
+
+let test_ample_lists_data () =
+  let line8 = Generators.line 8 "a" in
+  let lexpr = Regex.star (Lrpq.cap "a" "z") in
+  check_ample "Lrpq.enumerate"
+    (Lrpq.enumerate_bounded (ample ()) line8 lexpr ~max_len:8)
+    (Lrpq.enumerate line8 lexpr ~max_len:8);
+  let lq =
+    Lcrpq.make ~head:[ "x"; "z" ]
+      ~atoms:
+        [
+          {
+            Lcrpq.mode = Path_modes.Shortest;
+            re = lexpr;
+            x = Lcrpq.TVar "x";
+            y = Lcrpq.TVar "y";
+          };
+        ]
+  in
+  check_ample "Lcrpq.eval"
+    (Lcrpq.eval_bounded ~max_len:8 (ample ()) line8 lq)
+    (Lcrpq.eval ~max_len:8 line8 lq);
+  let pg = Generators.subset_sum [ 3; 5; 7 ] in
+  let dl = Regex.star (Regex.seq Dlrpq.node_any (Dlrpq.edge_cap "a" "z")) in
+  check_ample "Dlrpq.eval_mode"
+    (Dlrpq.eval_mode_bounded (ample ()) pg dl ~mode:Path_modes.All ~max_len:8
+       ~src:0 ~tgt:3 ())
+    (Dlrpq.eval_mode pg dl ~mode:Path_modes.All ~max_len:8 ~src:0 ~tgt:3 ());
+  check_ample "Dlrpq.shortest_len"
+    (Dlrpq.shortest_len_bounded (ample ()) pg dl ~src:0 ~tgt:3)
+    (Dlrpq.shortest_len pg dl ~src:0 ~tgt:3);
+  let dq =
+    Dlcrpq.make ~head:[ "x"; "z" ]
+      ~atoms:
+        [
+          {
+            Dlcrpq.mode = Path_modes.Shortest;
+            re = dl;
+            x = Dlcrpq.TVar "x";
+            y = Dlcrpq.TVar "y";
+          };
+        ]
+  in
+  check_ample "Dlcrpq.eval"
+    (Dlcrpq.eval_bounded ~max_len:8 (ample ()) pg dq)
+    (Dlcrpq.eval ~max_len:8 pg dq)
+
+let test_ample_coregql_gql () =
+  let k4 = pg_of_elg (Generators.clique 4 "a") in
+  check_ample "Coregql.output"
+    (Coregql.output_bounded (ample ()) k4 hop_pattern [])
+    (Coregql.output k4 hop_pattern []);
+  check_ample "Coregql_paths.matching_trails"
+    (Coregql_paths.matching_trails_bounded (ample ()) k4 hop_pattern)
+    (Coregql_paths.matching_trails k4 hop_pattern);
+  check_ample "Coregql_query.eval"
+    (Coregql_query.eval_bounded (ample ()) k4
+       (Coregql_query.Rel (hop_pattern, [])))
+    (Coregql_query.eval k4 (Coregql_query.Rel (hop_pattern, [])));
+  let pat = Gql_parse.parse "(x)(()-[:a]->()){1,}(y)" in
+  check_ample "Gql.matches"
+    (Gql.matches_bounded (ample ()) k4 pat ~max_len:6)
+    (Gql.matches k4 pat ~max_len:6);
+  let q = Gql_query.parse "MATCH (x)(()-[:a]->()){1,}(y) RETURN x, y" in
+  check_ample "Gql_query.eval"
+    (Gql_query.eval_bounded ~max_len:6 (ample ()) k4 q)
+    (Gql_query.eval ~max_len:6 k4 q)
+
+(* --- governor mechanics --------------------------------------------------- *)
+
+let test_result_cap () =
+  let g = Generators.diamonds 4 in
+  let gov = Governor.make ~max_results:5 () in
+  match Rpq_eval.pairs_bounded gov g astar with
+  | Governor.Partial (pairs, Governor.Results) ->
+      Alcotest.(check int) "exactly the cap" 5 (List.length pairs);
+      let all = Rpq_eval.pairs g astar in
+      Alcotest.(check bool) "kept pairs are real answers" true
+        (List.for_all (fun p -> List.mem p all) pairs)
+  | _ -> Alcotest.fail "expected Partial Results"
+
+let test_deadline () =
+  (* An already-expired deadline trips at the first periodic check (every
+     256 ticks), so any input with enough work terminates early. *)
+  let gov = Governor.make ~timeout:0.0 () in
+  let outcome, elapsed =
+    timed (fun () ->
+        Path_modes.count_bounded gov
+          (Generators.clique 9 "a")
+          astar ~mode:Path_modes.Simple ~max_len:9 ~src:0 ~tgt:1)
+  in
+  (match outcome with
+  | Governor.Partial (_, Governor.Deadline) -> ()
+  | _ -> Alcotest.fail "expected Partial Deadline");
+  Alcotest.(check bool) "deadline bites fast" true (elapsed < 1.0)
+
+let test_cancellation () =
+  let cancel = ref true in
+  let gov = Governor.make ~cancel () in
+  (match Rpq_eval.pairs_bounded gov (Generators.diamonds 4) astar with
+  | Governor.Aborted Governor.Cancelled -> ()
+  | _ -> Alcotest.fail "expected Aborted Cancelled");
+  (* Explicit cancel on a live governor behaves the same. *)
+  let gov2 = Governor.make () in
+  Governor.cancel gov2;
+  match Rpq_eval.pairs_bounded gov2 (Generators.diamonds 4) astar with
+  | Governor.Aborted Governor.Cancelled -> ()
+  | _ -> Alcotest.fail "expected Aborted Cancelled after cancel"
+
+let test_outcome_plumbing () =
+  Alcotest.(check string) "complete status" "complete"
+    (Governor.outcome_status (Governor.Complete ()));
+  Alcotest.(check string) "partial status"
+    "partial (budget exhausted: step budget)"
+    (Governor.outcome_status (Governor.Partial ((), Governor.Steps)));
+  Alcotest.(check int) "payload of partial" 3
+    (Governor.payload ~default:0 (Governor.Partial (3, Governor.Deadline)));
+  Alcotest.(check int) "payload of aborted is the default" 7
+    (Governor.payload ~default:7 (Governor.Aborted Governor.Cancelled));
+  let gov = Governor.make ~max_steps:2 () in
+  Alcotest.(check bool) "first ticks pass" true
+    (Governor.tick gov && Governor.tick gov);
+  Alcotest.(check bool) "third tick trips" false (Governor.tick gov);
+  Alcotest.(check bool) "tripped is sticky" false (Governor.tick gov)
+
+let () =
+  Alcotest.run "governor"
+    [
+      ( "tight budgets",
+        [
+          Alcotest.test_case "rpq + paths + pmr" `Quick test_tight_rpq_paths;
+          Alcotest.test_case "crpq engines" `Quick test_tight_crpq;
+          Alcotest.test_case "list variables" `Quick test_tight_lists;
+          Alcotest.test_case "data tests" `Quick test_tight_data;
+          Alcotest.test_case "coregql + gql" `Quick test_tight_coregql_gql;
+        ] );
+      ( "ample budgets",
+        [
+          Alcotest.test_case "rpq + paths + pmr" `Quick test_ample_rpq_paths;
+          Alcotest.test_case "crpq engines" `Quick test_ample_crpq;
+          Alcotest.test_case "lists + data" `Quick test_ample_lists_data;
+          Alcotest.test_case "coregql + gql" `Quick test_ample_coregql_gql;
+        ] );
+      ( "mechanics",
+        [
+          Alcotest.test_case "result cap" `Quick test_result_cap;
+          Alcotest.test_case "deadline" `Quick test_deadline;
+          Alcotest.test_case "cancellation" `Quick test_cancellation;
+          Alcotest.test_case "outcome plumbing" `Quick test_outcome_plumbing;
+        ] );
+    ]

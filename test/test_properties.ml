@@ -233,6 +233,50 @@ let prop_graph_io_roundtrip =
              && Pg.edge_prop pg e "k" = Pg.edge_prop pg' e' "k")
            (List.init (Elg.nb_edges g) Fun.id))
 
+(* --- governed evaluation vs unbounded evaluation --------------------------- *)
+
+let prop_governor_ample_agrees =
+  QCheck.Test.make ~count:100 ~name:"ample budget = unbounded (rpq + crpq)"
+    arb_graph_regex
+    (fun (g, r) ->
+      let gov = Governor.unlimited () in
+      Rpq_eval.pairs_bounded gov g r = Governor.Complete (Rpq_eval.pairs g r)
+      &&
+      let q =
+        Crpq.make ~head:[ "x"; "y" ]
+          ~atoms:[ { Crpq.re = r; x = Crpq.TVar "x"; y = Crpq.TVar "y" } ]
+      in
+      let gov2 = Governor.make ~max_steps:10_000_000 () in
+      Crpq.eval_bounded gov2 g q = Governor.Complete (Crpq.eval g q))
+
+let prop_governor_never_superset =
+  (* Whatever the budget, a governed run only ever reports true answers:
+     the payload is a subset of the unbounded result, never a superset. *)
+  QCheck.Test.make ~count:150 ~name:"any budget is never a superset"
+    (QCheck.make
+       ~print:(fun ((_, r), budget) ->
+         Printf.sprintf "%s budget=%d" (Regex.to_string Sym.to_string r) budget)
+       QCheck.Gen.(pair (pair gen_small_graph gen_regex) (int_range 0 200)))
+    (fun ((g, r), budget) ->
+      let subset l1 l2 = List.for_all (fun x -> List.mem x l2) l1 in
+      let gov = Governor.make ~max_steps:budget () in
+      let bounded_pairs =
+        Governor.payload ~default:[] (Rpq_eval.pairs_bounded gov g r)
+      in
+      subset bounded_pairs (Rpq_eval.pairs g r)
+      &&
+      let q =
+        Crpq.make ~head:[ "x"; "y" ]
+          ~atoms:
+            [
+              { Crpq.re = r; x = Crpq.TVar "x"; y = Crpq.TVar "y" };
+              { Crpq.re = r; x = Crpq.TVar "y"; y = Crpq.TVar "x" };
+            ]
+      in
+      let gov2 = Governor.make ~max_steps:budget () in
+      let bounded_rows = Governor.payload ~default:[] (Crpq.eval_bounded gov2 g q) in
+      subset bounded_rows (Crpq.eval g q))
+
 (* --- binding algebra -------------------------------------------------------- *)
 
 let gen_binding =
@@ -269,6 +313,8 @@ let () =
             prop_canonical_key_equivalence;
             prop_two_way_conservative;
             prop_graph_io_roundtrip;
+            prop_governor_ample_agrees;
+            prop_governor_never_superset;
             prop_binding_monoid;
           ] );
     ]
