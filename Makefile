@@ -1,4 +1,4 @@
-.PHONY: all check test bench clean
+.PHONY: all check test bench bench-smoke clean
 
 all:
 	dune build @all
@@ -13,6 +13,12 @@ test: check
 
 bench:
 	dune exec bench/main.exe -- --quick
+
+# Quick E17 run; exits nonzero if the indexed or parallel engines ever
+# disagree with the seed baseline.  Also wired into `dune runtest` via
+# the bench-smoke alias in test/dune.
+bench-smoke:
+	dune exec bench/main.exe -- E17 --quick
 
 clean:
 	dune clean

@@ -843,17 +843,227 @@ let e16 () =
   check "with an ample budget the outcome is Complete and equals the unbounded run"
     agree
 
+(* ======================================================================== *)
+(* E17: indexed CSR + parallel multi-source RPQ vs the seed list engine.    *)
+(* ======================================================================== *)
+
+(* The pre-index engine, kept as a frozen baseline: product transitions as
+   [(edge, state) list array] built with one [Sym.matches] string test per
+   (edge, transition); per-source BFS over a fresh bool array; targets
+   recovered by a full scan over all product states; answers accumulated
+   by consing + [List.sort_uniq]. *)
+module Seed_rpq = struct
+  type product = {
+    nq : int;
+    out : (int * int) list array;
+    finals : bool array;
+    initials : int list;
+    nb_nodes : int;
+  }
+
+  let make g (nfa : Sym.t Nfa.t) =
+    let nq = nfa.Nfa.nb_states in
+    let nb_states = Elg.nb_nodes g * nq in
+    let out = Array.make (max 1 nb_states) [] in
+    for v = 0 to Elg.nb_nodes g - 1 do
+      let edges = Elg.out_edges g v in
+      for q = 0 to nq - 1 do
+        let s = (v * nq) + q in
+        out.(s) <-
+          List.concat_map
+            (fun e ->
+              let lbl = Elg.label g e in
+              List.filter_map
+                (fun (sym, q') ->
+                  if Sym.matches sym lbl then Some (e, (Elg.tgt g e * nq) + q')
+                  else None)
+                nfa.Nfa.delta.(q))
+            edges
+      done
+    done;
+    {
+      nq;
+      out;
+      finals = nfa.Nfa.finals;
+      initials = nfa.Nfa.initials;
+      nb_nodes = Elg.nb_nodes g;
+    }
+
+  let from_source p ~src =
+    let n = p.nb_nodes * p.nq in
+    let seen = Array.make (max 1 n) false in
+    let queue = Queue.create () in
+    List.iter
+      (fun q0 ->
+        let s = (src * p.nq) + q0 in
+        if not seen.(s) then begin
+          seen.(s) <- true;
+          Queue.add s queue
+        end)
+      p.initials;
+    while not (Queue.is_empty queue) do
+      let s = Queue.pop queue in
+      List.iter
+        (fun (_, s') ->
+          if not seen.(s') then begin
+            seen.(s') <- true;
+            Queue.add s' queue
+          end)
+        p.out.(s)
+    done;
+    let acc = ref [] in
+    for s = n - 1 downto 0 do
+      if seen.(s) && p.finals.(s mod p.nq) then acc := s / p.nq :: !acc
+    done;
+    List.sort_uniq Stdlib.compare !acc
+
+  let pairs g nfa =
+    let p = make g nfa in
+    let acc = ref [] in
+    Elg.fold_nodes
+      (fun u () ->
+        List.iter (fun v -> acc := (u, v) :: !acc) (from_source p ~src:u))
+      g ();
+    List.sort_uniq Stdlib.compare !acc
+end
+
+(* Set by --out=FILE: where E17 writes its machine-readable results. *)
+let out_path : string option ref = ref None
+
+let e17 () =
+  header "E17" "indexed CSR + parallel multi-source RPQ vs seed engine (JSONL)";
+  let rows = ref [] in
+  let jsonl ~graph ~nodes ~edges ~query ~engine ~answers ms =
+    let line =
+      Printf.sprintf
+        "{\"graph\":%S,\"nodes\":%d,\"edges\":%d,\"query\":%S,\"engine\":%S,\"answers\":%d,\"elapsed_ms\":%.2f}"
+        graph nodes edges query engine answers ms
+    in
+    Printf.printf "  %s\n" line;
+    rows := line :: !rows
+  in
+  let failures = ref 0 in
+  (* Correctness checks are fatal: bench-smoke fails if the engines ever
+     disagree.  Timing checks stay advisory. *)
+  let require name ok =
+    check name ok;
+    if not ok then incr failures
+  in
+  let serial_pool = Pool.create ~size:1 () in
+  let par_pool = Pool.create ~size:(max 2 (Pool.size (Pool.default ()))) () in
+  let speedups = ref [] in
+  let run_case g ~gname ~query =
+    let nfa = Nfa.of_regex (Rpq_parse.parse query) in
+    let nodes = Elg.nb_nodes g and edges = Elg.nb_edges g in
+    let seed_pairs, seed_ms = oneshot_ms (fun () -> Seed_rpq.pairs g nfa) in
+    jsonl ~graph:gname ~nodes ~edges ~query ~engine:"seed-serial"
+      ~answers:(List.length seed_pairs) seed_ms;
+    let idx_pairs, idx_ms =
+      oneshot_ms (fun () -> Rpq_eval.pairs_nfa ~pool:serial_pool g nfa)
+    in
+    jsonl ~graph:gname ~nodes ~edges ~query ~engine:"indexed-serial"
+      ~answers:(List.length idx_pairs) idx_ms;
+    let par_pairs, par_ms =
+      oneshot_ms (fun () -> Rpq_eval.pairs_nfa ~pool:par_pool g nfa)
+    in
+    jsonl ~graph:gname ~nodes ~edges ~query ~engine:"indexed-parallel"
+      ~answers:(List.length par_pairs) par_ms;
+    let case = Printf.sprintf "%s(%d) %s" gname nodes query in
+    require (case ^ ": indexed = seed") (idx_pairs = seed_pairs);
+    require
+      (case ^ Printf.sprintf ": parallel(%d) = serial" (Pool.size par_pool))
+      (par_pairs = idx_pairs);
+    speedups := (gname, nodes, seed_ms /. Float.min idx_ms par_ms) :: !speedups
+  in
+  let random_sizes = if !quick then [ 200; 500 ] else [ 1_000; 4_000; 10_000 ] in
+  List.iter
+    (fun n ->
+      let g =
+        Generators.random_graph ~seed:11 ~nodes:n ~edges:(4 * n)
+          ~labels:[ "a"; "b"; "c"; "d" ]
+      in
+      run_case g ~gname:"random_graph" ~query:"a.b*.c")
+    random_sizes;
+  let clique_sizes = if !quick then [ 30 ] else [ 60; 100 ] in
+  List.iter
+    (fun n -> run_case (Generators.clique n "a") ~gname:"clique" ~query:"a*")
+    clique_sizes;
+  (* Product construction on a label-rich graph: the seed pays one string
+     match per (edge, transition); the index matches once per
+     (state, label) and then only merges int arrays. *)
+  let rich_n = if !quick then 500 else 4_000 in
+  let rich =
+    Generators.random_graph ~seed:13 ~nodes:rich_n ~edges:(8 * rich_n)
+      ~labels:(List.init 64 (Printf.sprintf "l%d"))
+  in
+  let rich_nfa = Nfa.of_regex (Rpq_parse.parse "l0.(l1|l2)*.l3") in
+  let _, seed_mk_ms = oneshot_ms (fun () -> Seed_rpq.make rich rich_nfa) in
+  let _, idx_mk_ms = oneshot_ms (fun () -> Product.make rich rich_nfa) in
+  Printf.printf
+    "  product construction, 64 labels, %d edges: seed %.2f ms, indexed %.2f ms (%.1fx)\n"
+    (Elg.nb_edges rich) seed_mk_ms idx_mk_ms (seed_mk_ms /. idx_mk_ms);
+  check "indexed product construction is faster on the label-rich graph"
+    (idx_mk_ms < seed_mk_ms);
+  (* Headline: speedup on the largest random_graph instance. *)
+  let headline =
+    List.fold_left
+      (fun acc (gname, n, s) ->
+        if gname = "random_graph" then
+          match acc with
+          | Some (n0, _) when n0 >= n -> acc
+          | _ -> Some (n, s)
+        else acc)
+      None !speedups
+  in
+  (match headline with
+  | Some (n, s) ->
+      Printf.printf "  headline speedup on random_graph(%d): %.1fx\n" n s;
+      (* The 5x acceptance target is for the full 10k-node sweep; quick
+         mode runs tiny instances where timing noise dominates. *)
+      let target = if !quick then 2.0 else 5.0 in
+      check
+        (Printf.sprintf "indexed evaluation is >= %.0fx the seed engine at %d nodes"
+           target n)
+        (s >= target)
+  | None -> check "headline speedup computed" false);
+  (match !out_path with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc "[\n";
+      List.iteri
+        (fun i line ->
+          output_string oc "  ";
+          output_string oc line;
+          if i < List.length !rows - 1 then output_string oc ",";
+          output_string oc "\n")
+        (List.rev !rows);
+      output_string oc "]\n";
+      close_out oc;
+      Printf.printf "  wrote %s\n" path
+  | None -> ());
+  if !failures > 0 then begin
+    Printf.eprintf "E17: %d correctness check(s) failed\n" !failures;
+    exit 1
+  end
+
 let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
-    ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
+    ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let ids, flags = List.partition (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
   if List.mem "--quick" flags then quick := true;
+  out_path :=
+    List.find_map
+      (fun f ->
+        if String.length f > 6 && String.sub f 0 6 = "--out=" then
+          Some (String.sub f 6 (String.length f - 6))
+        else None)
+      flags;
   let selected =
     if ids = [] then experiments
     else

@@ -77,6 +77,18 @@ let governor_term =
   in
   Term.(const make $ max_steps $ max_results $ timeout)
 
+(* Evaluation pool: --domains N pins the worker count (1 = serial);
+   without it the default pool is used (GQ_DOMAINS or the recommended
+   domain count), engaged only on large inputs. *)
+let pool_term =
+  let domains =
+    Arg.(value & opt (some int) None
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Evaluate multi-source queries on $(docv) domains.")
+  in
+  let make = Option.map (fun size -> Pool.create ~size ()) in
+  Term.(const make $ domains)
+
 (* --- info --------------------------------------------------------------- *)
 
 let info_cmd =
@@ -93,7 +105,7 @@ let info_cmd =
 (* --- rpq ---------------------------------------------------------------- *)
 
 let rpq_cmd =
-  let run path regex from gov =
+  let run path regex from gov pool =
     let pg = load path in
     let g = Pg.elg pg in
     let r = parse_rpq_or_die regex in
@@ -108,7 +120,7 @@ let rpq_cmd =
           (List.iter (fun (u, v) ->
                Printf.printf "%s -> %s\n" (Elg.node_name g u)
                  (Elg.node_name g v)))
-          (Rpq_eval.pairs_bounded gov g r)
+          (Rpq_eval.pairs_bounded ?pool gov g r)
   in
   let from =
     Arg.(value & opt (some string) None & info [ "from" ] ~docv:"NODE"
@@ -116,7 +128,7 @@ let rpq_cmd =
   in
   Cmd.v
     (Cmd.info "rpq" ~doc:"Evaluate a regular path query (endpoint pairs).")
-    Term.(const run $ graph_arg $ regex_pos 1 $ from $ governor_term)
+    Term.(const run $ graph_arg $ regex_pos 1 $ from $ governor_term $ pool_term)
 
 (* --- shortest ------------------------------------------------------------ *)
 

@@ -41,8 +41,9 @@ let bind_term g asg term node =
   | TVar x -> bind asg x node
   | TConst name -> if Elg.node_id g name = node then Some asg else None
 
-let homomorphisms_gov gov g q =
-  (* Evaluate every atom's pair set, then join smallest-first with a
+let homomorphisms_gov ?pool gov g q =
+  (* Evaluate every atom's pair set (atom materialization fans each
+     pair-set's sources across [?pool]), then join smallest-first with a
      depth-first nested-loop join: one tick per candidate pair, one emit
      per completed assignment.  Depth-first matters for soundness of
      partial results — an assignment is reported only once it satisfies
@@ -50,7 +51,8 @@ let homomorphisms_gov gov g q =
      answers, never a superset. *)
   let atom_pairs =
     List.map
-      (fun a -> (a, Governor.payload ~default:[] (Rpq_eval.pairs_bounded gov g a.re)))
+      (fun a ->
+        (a, Governor.payload ~default:[] (Rpq_eval.pairs_bounded ?pool gov g a.re)))
       q.atoms
     |> List.sort (fun (_, p1) (_, p2) ->
            Stdlib.compare (List.length p1) (List.length p2))
@@ -73,7 +75,7 @@ let homomorphisms_gov gov g q =
   extend [] atom_pairs;
   List.sort_uniq Stdlib.compare !results
 
-let homomorphisms g q = homomorphisms_gov (Governor.unlimited ()) g q
+let homomorphisms ?pool g q = homomorphisms_gov ?pool (Governor.unlimited ()) g q
 
 let project_head q homs =
   List.map
@@ -87,10 +89,11 @@ let project_head q homs =
     homs
   |> List.sort_uniq Stdlib.compare
 
-let eval_bounded gov g q =
-  Governor.seal gov (project_head q (homomorphisms_gov gov g q))
+let eval_bounded ?pool gov g q =
+  Governor.seal gov (project_head q (homomorphisms_gov ?pool gov g q))
 
-let eval g q = Governor.value (eval_bounded (Governor.unlimited ()) g q)
+let eval ?pool g q =
+  Governor.value (eval_bounded ?pool (Governor.unlimited ()) g q)
 
 let holds g q = homomorphisms g q <> []
 

@@ -9,8 +9,10 @@ type atom_index = {
   loops : int list;  (* sorted n with (n, n) in the relation *)
 }
 
-let build_index gov g (a : Crpq.atom) =
-  let pairs = Governor.payload ~default:[] (Rpq_eval.pairs_bounded gov g a.Crpq.re) in
+let build_index ?pool gov g (a : Crpq.atom) =
+  let pairs =
+    Governor.payload ~default:[] (Rpq_eval.pairs_bounded ?pool gov g a.Crpq.re)
+  in
   let forward = Hashtbl.create 64 and backward = Hashtbl.create 64 in
   let add tbl k v =
     Hashtbl.replace tbl k (v :: (try Hashtbl.find tbl k with Not_found -> []))
@@ -45,9 +47,9 @@ let rec intersect l1 l2 =
 
 let term_vars = function Crpq.TVar x -> [ x ] | Crpq.TConst _ -> []
 
-let eval_with_stats_gov gov g q =
+let eval_with_stats_gov ?pool gov g q =
   let atoms = Crpq.atoms q in
-  let indexes = List.map (build_index gov g) atoms in
+  let indexes = List.map (build_index ?pool gov g) atoms in
   let vars =
     List.concat_map (fun a -> term_vars a.Crpq.x @ term_vars a.Crpq.y) atoms
     |> List.sort_uniq String.compare
@@ -125,11 +127,12 @@ let eval_with_stats_gov gov g q =
 
 let eval_with_stats g q = eval_with_stats_gov (Governor.unlimited ()) g q
 
-let eval_bounded gov g q =
-  let rows, _ = eval_with_stats_gov gov g q in
+let eval_bounded ?pool gov g q =
+  let rows, _ = eval_with_stats_gov ?pool gov g q in
   Governor.seal gov rows
 
-let eval g q = fst (eval_with_stats g q)
+let eval ?pool g q =
+  Governor.value (eval_bounded ?pool (Governor.unlimited ()) g q)
 
 let compare_costs g q =
   let _, generic = eval_with_stats g q in

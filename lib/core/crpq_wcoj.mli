@@ -14,14 +14,15 @@
     triangle queries, where the intermediate-result gap is the classical
     worst case. *)
 
-(** Same specification as {!Crpq.eval}. *)
-val eval : Elg.t -> Crpq.t -> int list list
+(** Same specification as {!Crpq.eval}.  [?pool] parallelizes the
+    per-atom RPQ materialization; the generic join stays serial. *)
+val eval : ?pool:Pool.t -> Elg.t -> Crpq.t -> int list list
 
 (** As {!eval} under a governor: one step per explored tuple extension,
     one result per completed assignment; [Partial] outcomes are subsets
     of the unbounded answer. *)
 val eval_bounded :
-  Governor.t -> Elg.t -> Crpq.t -> int list list Governor.outcome
+  ?pool:Pool.t -> Governor.t -> Elg.t -> Crpq.t -> int list list Governor.outcome
 
 (** Intermediate-result sizes: [(tuples_explored_generic,
     max_intermediate_binary)] for cost reporting in E15. *)

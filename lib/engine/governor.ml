@@ -8,14 +8,25 @@ let reason_to_string = function
 
 type 'a outcome = Complete of 'a | Partial of 'a * reason | Aborted of reason
 
+(* Counters are atomics so one governor can be shared by every domain of
+   a parallel evaluation (Pool): workers race on [tick]/[emit], the first
+   trip wins via compare-and-set, and stickiness is a plain atomic read,
+   so all workers observe exhaustion promptly.  Step counting tolerates a
+   small overshoot under contention (fetch-and-add, then compare); the
+   result budget is exact (CAS loop), because [emit] decides whether a
+   specific answer is kept. *)
 type t = {
   max_steps : int;
   max_results : int;
   deadline : float option; (* absolute, in Sys.time seconds *)
   cancel_flag : bool ref;
-  mutable steps : int;
-  mutable results : int;
-  mutable tripped : reason option;
+  steps : int Atomic.t;
+  results : int Atomic.t;
+  tripped : reason option Atomic.t;
+  (* No budget, no deadline, no external cancel ref: [tick]/[emit] skip
+     the counter updates entirely, so an unlimited governor shared by
+     many domains costs one atomic read per call and never contends. *)
+  limitless : bool;
 }
 
 (* Deadline checks call [Sys.time]; amortize them over this many ticks. *)
@@ -27,52 +38,71 @@ let make ?(max_steps = max_int) ?(max_results = max_int) ?timeout ?cancel () =
     max_results;
     deadline = Option.map (fun dt -> Sys.time () +. dt) timeout;
     cancel_flag = (match cancel with Some f -> f | None -> ref false);
-    steps = 0;
-    results = 0;
-    tripped = None;
+    steps = Atomic.make 0;
+    results = Atomic.make 0;
+    tripped = Atomic.make None;
+    limitless =
+      max_steps = max_int && max_results = max_int && timeout = None
+      && cancel = None;
   }
 
 let unlimited () = make ()
 
 let trip t r =
-  if t.tripped = None then t.tripped <- Some r;
+  ignore (Atomic.compare_and_set t.tripped None (Some r));
   false
 
-let tick t =
-  match t.tripped with
-  | Some _ -> false
-  | None ->
-      t.steps <- t.steps + 1;
-      if !(t.cancel_flag) then trip t Cancelled
-      else if t.steps > t.max_steps then trip t Steps
-      else if
-        t.steps land deadline_mask = 0
-        && match t.deadline with Some d -> Sys.time () > d | None -> false
-      then trip t Deadline
-      else true
+let deadline_passed t =
+  match t.deadline with Some d -> Sys.time () > d | None -> false
 
-let emit t =
-  match t.tripped with
+(* Charge [k] units of work at once (a full adjacency span, say): the
+   same budget as [k] ticks with one atomic update.  Trips at the first
+   boundary crossed; the steps counter may overshoot the cap by the
+   batch size, which only affects reporting. *)
+let tick_many t k =
+  match Atomic.get t.tripped with
   | Some _ -> false
   | None ->
-      if t.results >= t.max_results then trip t Results
+      if t.limitless then true
+      else if k <= 0 then true
       else begin
-        t.results <- t.results + 1;
-        true
+        let s = Atomic.fetch_and_add t.steps k + k in
+        if !(t.cancel_flag) then trip t Cancelled
+        else if s > t.max_steps then trip t Steps
+        else if
+          (* Crossed a multiple of [deadline_mask + 1] within the batch? *)
+          s land lnot deadline_mask <> (s - k) land lnot deadline_mask
+          && deadline_passed t
+        then trip t Deadline
+        else true
       end
 
-let ok t = t.tripped = None
+let tick t = tick_many t 1
+
+let rec emit t =
+  match Atomic.get t.tripped with
+  | Some _ -> false
+  | None ->
+      if t.limitless then true
+      else begin
+        let r = Atomic.get t.results in
+        if r >= t.max_results then trip t Results
+        else if Atomic.compare_and_set t.results r (r + 1) then true
+        else emit t
+      end
+
+let ok t = Atomic.get t.tripped = None
 
 let cancel t =
   t.cancel_flag := true;
-  if t.tripped = None then t.tripped <- Some Cancelled
+  ignore (Atomic.compare_and_set t.tripped None (Some Cancelled))
 
-let steps t = t.steps
-let results t = t.results
-let tripped t = t.tripped
+let steps t = Atomic.get t.steps
+let results t = Atomic.get t.results
+let tripped t = Atomic.get t.tripped
 
 let seal t v =
-  match t.tripped with
+  match Atomic.get t.tripped with
   | None -> Complete v
   | Some Cancelled -> Aborted Cancelled
   | Some r -> Partial (v, r)

@@ -14,7 +14,17 @@
     A bounded entry point returns the results computed so far wrapped by
     {!seal}: [Complete] when no resource tripped, [Partial] tagged with
     the exhausted resource otherwise, and [Aborted] on cooperative
-    cancellation. *)
+    cancellation.
+
+    Governors are domain-safe: counters are atomics, so one governor may
+    be shared by every worker of a {!Pool}-parallel evaluation.  The
+    result budget is exact under contention ({!emit} admits exactly
+    [max_results] answers across all domains); the step counter may
+    overshoot its cap by at most one batch per worker, which only
+    affects reporting.  The Complete/Partial contract survives
+    parallelism: workers observe a trip on their next {!tick}/{!emit}
+    and unwind, so a [Partial] payload is still a subset of the complete
+    answer. *)
 
 (** The resource that ran out. *)
 type reason = Steps | Results | Deadline | Cancelled
@@ -50,6 +60,11 @@ val unlimited : unit -> t
 (** Count one unit of work; [false] means stop (budget exhausted,
     deadline passed, or cancelled). *)
 val tick : t -> bool
+
+(** [tick_many t k] charges [k] units at once — the same budget as [k]
+    ticks with a single counter update, for hot loops that expand a
+    whole adjacency span per iteration.  [false] means stop. *)
+val tick_many : t -> int -> bool
 
 (** Count one produced result; [false] means the result must be dropped
     and the search stopped. *)

@@ -1,0 +1,73 @@
+type t = { size : int }
+
+let env_size () =
+  match Sys.getenv_opt "GQ_DOMAINS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | Some _ | None -> None)
+
+let create ?size () =
+  let n =
+    match size with
+    | Some n -> n
+    | None -> (
+        match env_size () with
+        | Some n -> n
+        | None -> Domain.recommended_domain_count ())
+  in
+  { size = max 1 n }
+
+(* 0 means "not overridden"; the default pool is rebuilt on demand so a
+   CLI override taking effect after startup is still honoured. *)
+let default_override = Atomic.make 0
+
+let set_default_size n = Atomic.set default_override (max 1 n)
+
+let default () =
+  match Atomic.get default_override with
+  | 0 -> create ()
+  | n -> { size = n }
+
+let size t = t.size
+
+let fork_join t ~width body =
+  let width = min t.size (max 1 width) in
+  if width = 1 then body 0
+  else begin
+    let spawned =
+      Array.init (width - 1) (fun i -> Domain.spawn (fun () -> body (i + 1)))
+    in
+    (* Run worker 0 here, then join everything before re-raising: a
+       failure in one domain must not leave others unjoined. *)
+    let first_exn = ref None in
+    let note = function
+      | None -> ()
+      | Some e -> if !first_exn = None then first_exn := Some e
+    in
+    note (try body 0; None with e -> Some e);
+    Array.iter
+      (fun d -> note (try Domain.join d; None with e -> Some e))
+      spawned;
+    match !first_exn with None -> () | Some e -> raise e
+  end
+
+let parallel_chunks t ~n ~chunk f =
+  if n > 0 then begin
+    let chunk = max 1 chunk in
+    let nb_chunks = (n + chunk - 1) / chunk in
+    let next = Atomic.make 0 in
+    let body _w =
+      let rec loop () =
+        let c = Atomic.fetch_and_add next 1 in
+        if c < nb_chunks then begin
+          let lo = c * chunk in
+          f lo (min n (lo + chunk));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    fork_join t ~width:nb_chunks body
+  end

@@ -1,0 +1,41 @@
+(** A fixed-width domain pool for multi-source query evaluation.
+
+    OCaml 5 stdlib only ([Domain] + [Atomic]).  A pool is a width
+    descriptor: parallel regions fork at most [size] domains (including
+    the calling one), run a body to completion in each, and join every
+    spawned domain before returning — structured fork/join, so no domain
+    ever outlives the call that created it and [dune runtest] never leaks
+    workers.
+
+    Sizing: an explicit [?size] wins; otherwise the [GQ_DOMAINS]
+    environment variable; otherwise {!Domain.recommended_domain_count}.
+    The CLI plumbs [--domains] through {!set_default_size}.  A pool of
+    size 1 runs every body inline — callers need no separate serial
+    path. *)
+
+type t
+
+(** [create ()] reads [GQ_DOMAINS], falling back to
+    [Domain.recommended_domain_count ()].  [size] overrides both and is
+    clamped to at least 1. *)
+val create : ?size:int -> unit -> t
+
+(** The process-wide default pool (see {!set_default_size}). *)
+val default : unit -> t
+
+(** Override the width of {!default} (CLI [--domains]); clamped to >= 1. *)
+val set_default_size : int -> unit
+
+val size : t -> int
+
+(** [fork_join pool ~width body] runs [body w] for [w = 0 ..
+    min width (size pool) - 1], each in its own domain (worker 0 in the
+    calling domain).  Returns when all bodies have; if any raised, one of
+    the exceptions is re-raised after every domain is joined. *)
+val fork_join : t -> width:int -> (int -> unit) -> unit
+
+(** [parallel_chunks pool ~n ~chunk f] partitions [0 .. n-1] into blocks
+    of at most [chunk] indices and calls [f lo hi] (half-open) for each,
+    dynamically load-balanced across the pool.  [f] must be safe to run
+    concurrently with itself. *)
+val parallel_chunks : t -> n:int -> chunk:int -> (int -> int -> unit) -> unit

@@ -10,7 +10,105 @@ type t = {
   edge_ids : (string, int) Hashtbl.t;
   out_adj : int list array;
   in_adj : int list array;
+  (* --- interning + CSR index (built once at [make]) --------------------- *)
+  nb_labels : int;
+  label_names : string array; (* sorted distinct labels; id = index *)
+  label_ids : (string, int) Hashtbl.t;
+  elbl : int array; (* edge -> label id *)
+  out_off : int array; (* nb_nodes+1 offsets into out_csr / out_lbl_csr *)
+  out_csr : int array; (* edge ids grouped by source, declaration order *)
+  in_off : int array;
+  in_csr : int array; (* edge ids grouped by target, declaration order *)
+  (* Label-partitioned view: the same per-node spans as [out_csr], but
+     within a node the edges are grouped by label id (declaration order
+     within a group).  [dir_*] is a sparse per-node directory of the
+     labels present: node [v] owns directory entries
+     [dir_off.(v) .. dir_off.(v+1) - 1]; entry [i] says label
+     [dir_lbl.(i)]'s edges start at [dir_start.(i)] in [out_lbl_csr] and
+     run to the next entry's start (or the node's span end). *)
+  out_lbl_csr : int array;
+  dir_off : int array;
+  dir_lbl : int array;
+  dir_start : int array;
 }
+
+let build_index ~nb_nodes ~nb_edges ~src ~tgt ~lbl =
+  (* Interning: dense ids in sorted label order, so ids are stable under
+     edge reordering and [labels] stays the sorted list it always was. *)
+  let label_names =
+    Array.to_list lbl |> List.sort_uniq String.compare |> Array.of_list
+  in
+  let nb_labels = Array.length label_names in
+  let label_ids = Hashtbl.create (max 8 nb_labels) in
+  Array.iteri (fun i a -> Hashtbl.add label_ids a i) label_names;
+  let elbl = Array.map (fun a -> Hashtbl.find label_ids a) lbl in
+  (* Plain CSR by counting sort: stable, so each node's span lists its
+     edges in declaration order, matching the legacy adjacency lists. *)
+  let csr_of key =
+    let off = Array.make (nb_nodes + 1) 0 in
+    for e = 0 to nb_edges - 1 do
+      off.(key.(e) + 1) <- off.(key.(e) + 1) + 1
+    done;
+    for v = 1 to nb_nodes do
+      off.(v) <- off.(v) + off.(v - 1)
+    done;
+    let fill = Array.copy off in
+    let csr = Array.make nb_edges 0 in
+    for e = 0 to nb_edges - 1 do
+      csr.(fill.(key.(e))) <- e;
+      fill.(key.(e)) <- fill.(key.(e)) + 1
+    done;
+    (off, csr)
+  in
+  let out_off, out_csr = csr_of src in
+  let in_off, in_csr = csr_of tgt in
+  (* Label partition: a second stable counting pass inside each node
+     span, keyed by label id.  Groups are laid out in ascending label
+     order, so a directory entry's span ends where the next entry (or
+     the node's span) begins. *)
+  let out_lbl_csr = Array.make nb_edges 0 in
+  let counts = Array.make (max 1 nb_labels) 0 in
+  let cursor = Array.make (max 1 nb_labels) 0 in
+  let dir_off = Array.make (nb_nodes + 1) 0 in
+  let rev_entries = ref [] (* (label, start), newest first *)
+  and dir_n = ref 0 in
+  for v = 0 to nb_nodes - 1 do
+    let lo = out_off.(v) and hi = out_off.(v + 1) in
+    if hi > lo then begin
+      let present = ref [] in
+      for i = lo to hi - 1 do
+        let l = elbl.(out_csr.(i)) in
+        if counts.(l) = 0 then present := l :: !present;
+        counts.(l) <- counts.(l) + 1
+      done;
+      let acc = ref lo in
+      List.iter
+        (fun l ->
+          cursor.(l) <- !acc;
+          rev_entries := (l, !acc) :: !rev_entries;
+          incr dir_n;
+          acc := !acc + counts.(l);
+          counts.(l) <- 0)
+        (List.sort compare !present);
+      for i = lo to hi - 1 do
+        let e = out_csr.(i) in
+        let l = elbl.(e) in
+        out_lbl_csr.(cursor.(l)) <- e;
+        cursor.(l) <- cursor.(l) + 1
+      done
+    end;
+    dir_off.(v + 1) <- !dir_n
+  done;
+  let dir_lbl = Array.make (max 1 !dir_n) 0
+  and dir_start = Array.make (max 1 !dir_n) 0 in
+  List.iteri
+    (fun i (l, s) ->
+      let j = !dir_n - 1 - i in
+      dir_lbl.(j) <- l;
+      dir_start.(j) <- s)
+    !rev_entries;
+  ( nb_labels, label_names, label_ids, elbl, out_off, out_csr, in_off, in_csr,
+    out_lbl_csr, dir_off, dir_lbl, dir_start )
 
 let make ~nodes ~edges =
   let nb_nodes = List.length nodes in
@@ -51,6 +149,10 @@ let make ~nodes ~edges =
     out_adj.(src.(e)) <- e :: out_adj.(src.(e));
     in_adj.(tgt.(e)) <- e :: in_adj.(tgt.(e))
   done;
+  let ( nb_labels, label_names, label_ids, elbl, out_off, out_csr, in_off,
+        in_csr, out_lbl_csr, dir_off, dir_lbl, dir_start ) =
+    build_index ~nb_nodes ~nb_edges ~src ~tgt ~lbl
+  in
   {
     nb_nodes;
     nb_edges;
@@ -63,6 +165,18 @@ let make ~nodes ~edges =
     edge_ids;
     out_adj;
     in_adj;
+    nb_labels;
+    label_names;
+    label_ids;
+    elbl;
+    out_off;
+    out_csr;
+    in_off;
+    in_csr;
+    out_lbl_csr;
+    dir_off;
+    dir_lbl;
+    dir_start;
   }
 
 let nb_nodes g = g.nb_nodes
@@ -77,8 +191,68 @@ let edge_id g name = Hashtbl.find g.edge_ids name
 let out_edges g n = g.out_adj.(n)
 let in_edges g n = g.in_adj.(n)
 
-let labels g =
-  Array.to_list g.lbl |> List.sort_uniq String.compare
+(* --- interned labels ---------------------------------------------------- *)
+
+let nb_labels g = g.nb_labels
+let label_name g l = g.label_names.(l)
+let label_id_opt g a = Hashtbl.find_opt g.label_ids a
+let edge_label_id g e = g.elbl.(e)
+
+let labels g = Array.to_list g.label_names
+
+(* --- CSR adjacency ------------------------------------------------------ *)
+
+let out_degree g n = g.out_off.(n + 1) - g.out_off.(n)
+let in_degree g n = g.in_off.(n + 1) - g.in_off.(n)
+let out_span g n = (g.out_off.(n), g.out_off.(n + 1))
+let in_span g n = (g.in_off.(n), g.in_off.(n + 1))
+let csr_out_edge g i = g.out_csr.(i)
+let csr_in_edge g i = g.in_csr.(i)
+let csr_out_label_edge g i = g.out_lbl_csr.(i)
+
+let iter_out g n f =
+  for i = g.out_off.(n) to g.out_off.(n + 1) - 1 do
+    f g.out_csr.(i)
+  done
+
+let iter_in g n f =
+  for i = g.in_off.(n) to g.in_off.(n + 1) - 1 do
+    f g.in_csr.(i)
+  done
+
+(* Binary search for [label] in node [n]'s directory slice. *)
+let dir_find g n label =
+  let lo = ref g.dir_off.(n) and hi = ref (g.dir_off.(n + 1) - 1) in
+  let found = ref (-1) in
+  while !found < 0 && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let l = g.dir_lbl.(mid) in
+    if l = label then found := mid
+    else if l < label then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let out_label_span g n ~label =
+  let i = dir_find g n label in
+  if i < 0 then (0, 0)
+  else
+    let start = g.dir_start.(i) in
+    let stop =
+      if i + 1 < g.dir_off.(n + 1) then g.dir_start.(i + 1)
+      else g.out_off.(n + 1)
+    in
+    (start, stop)
+
+let iter_out_label g n ~label f =
+  let lo, hi = out_label_span g n ~label in
+  for i = lo to hi - 1 do
+    f g.out_lbl_csr.(i)
+  done
+
+let out_label_edges g n ~label =
+  let lo, hi = out_label_span g n ~label in
+  List.init (hi - lo) (fun i -> g.out_lbl_csr.(lo + i))
 
 let fold_edges f g acc =
   let acc = ref acc in

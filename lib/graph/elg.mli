@@ -30,13 +30,71 @@ val node_id : t -> string -> int
 
 val edge_id : t -> string -> int
 
-(** Outgoing / incoming edge identifiers of a node. *)
+(** Outgoing / incoming edge identifiers of a node, in declaration
+    order.  These lists are materialized once at {!make}; the CSR
+    accessors below expose the same adjacency without per-call
+    allocation. *)
 val out_edges : t -> int -> int list
 
 val in_edges : t -> int -> int list
 
 (** All distinct edge labels occurring in the graph, sorted. *)
 val labels : t -> string list
+
+(** {1 Interned labels}
+
+    Labels are interned at {!make} time: dense ids [0 .. nb_labels-1]
+    assigned in sorted label order, so ids are stable under edge
+    reordering. *)
+
+val nb_labels : t -> int
+
+(** [label_name g l] is the label with id [l]. *)
+val label_name : t -> int -> string
+
+(** [label_id_opt g a] is [Some l] iff label [a] occurs in the graph. *)
+val label_id_opt : t -> string -> int option
+
+(** [edge_label_id g e] is the interned id of λ(e). *)
+val edge_label_id : t -> int -> int
+
+(** {1 CSR adjacency}
+
+    Immutable compressed-sparse-row adjacency, built once at {!make}.
+    Node [n]'s outgoing edges occupy the half-open span {!out_span}
+    in a flat int array accessed via {!csr_out_edge}; within a span,
+    edges appear in declaration order, matching {!out_edges}.  A second
+    copy of each span ({!csr_out_label_edge}) groups the edges by label
+    id, giving per-[(node, label)] spans via {!out_label_span}. *)
+
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+(** [out_span g n] is [(lo, hi)]: node [n]'s outgoing edges are
+    [csr_out_edge g i] for [lo <= i < hi]. *)
+val out_span : t -> int -> int * int
+
+val in_span : t -> int -> int * int
+val csr_out_edge : t -> int -> int
+val csr_in_edge : t -> int -> int
+
+(** Allocation-free iteration over a node's outgoing / incoming edges
+    (declaration order). *)
+val iter_out : t -> int -> (int -> unit) -> unit
+
+val iter_in : t -> int -> (int -> unit) -> unit
+
+(** [out_label_span g n ~label] is the span of [n]'s outgoing edges
+    carrying the label with id [label], into {!csr_out_label_edge};
+    [(0, 0)] when there are none. *)
+val out_label_span : t -> int -> label:int -> int * int
+
+val csr_out_label_edge : t -> int -> int
+val iter_out_label : t -> int -> label:int -> (int -> unit) -> unit
+
+(** The label-partitioned edges as a list (declaration order within the
+    label). *)
+val out_label_edges : t -> int -> label:int -> int list
 
 val fold_edges : (int -> 'a -> 'a) -> t -> 'a -> 'a
 val fold_nodes : (int -> 'a -> 'a) -> t -> 'a -> 'a

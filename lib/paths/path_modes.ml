@@ -29,8 +29,7 @@ let dfs gov product ~src ~tgt ~max_len ~node_once ~edge_once ~emit =
       if v = tgt && Product.is_final product state then
         if not (emit (List.rev rev_objs)) then stop := true;
       if (not !stop) && len < max_len then
-        List.iter
-          (fun (e, state') ->
+        Product.iter_out product state (fun e state' ->
             let w = Elg.tgt g e in
             let node_ok = (not node_once) || not visited_nodes.(w) in
             let edge_ok = (not edge_once) || not visited_edges.(e) in
@@ -41,7 +40,6 @@ let dfs gov product ~src ~tgt ~max_len ~node_once ~edge_once ~emit =
               if node_once then visited_nodes.(w) <- false;
               if edge_once then visited_edges.(e) <- false
             end)
-          (Product.out product state)
     end
   in
   visited_nodes.(src) <- true;
@@ -64,13 +62,11 @@ let shortest_search gov product ~src ~tgt ~emit =
     (Product.initials_at product src);
   while not (Queue.is_empty queue) && Governor.ok gov do
     let s = Queue.pop queue in
-    List.iter
-      (fun (_, s') ->
+    Product.iter_out product s (fun _ s' ->
         if Governor.tick gov && dist.(s') < 0 then begin
           dist.(s') <- dist.(s) + 1;
           Queue.add s' queue
         end)
-      (Product.out product s)
   done;
   let best = ref max_int in
   for s = 0 to n - 1 do
@@ -87,14 +83,12 @@ let shortest_search gov product ~src ~tgt ~emit =
           ignore (emit (List.rev rev_objs))
       end
       else
-        List.iter
-          (fun (e, state') ->
+        Product.iter_out product state (fun e state' ->
             if
               dist.(state') = len + 1 && dist.(state') <= d
               && Governor.tick gov
             then
               go state' (Path.N (Elg.tgt g e) :: Path.E e :: rev_objs) (len + 1))
-          (Product.out product state)
     in
     List.iter
       (fun s -> if dist.(s) = 0 && Governor.ok gov then go s [ Path.N src ] 0)

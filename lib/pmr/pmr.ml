@@ -42,22 +42,18 @@ let of_product product ~src ~tgt ~keep_edge =
     (Product.initials_at product src);
   while not (Queue.is_empty queue) do
     let s = Queue.pop queue in
-    List.iter
-      (fun (e, s') ->
+    Product.iter_out product s (fun e s' ->
         if keep_edge s e s' && not forward.(s') then begin
           forward.(s') <- true;
           Queue.add s' queue
         end)
-      (Product.out product s)
   done;
   (* Backward pass from accepting states at tgt. *)
   let rev = Array.make (max 1 n) [] in
   for s = 0 to n - 1 do
     if forward.(s) then
-      List.iter
-        (fun (e, s') ->
+      Product.iter_out product s (fun e s' ->
           if keep_edge s e s' && forward.(s') then rev.(s') <- s :: rev.(s'))
-        (Product.out product s)
   done;
   let backward = Array.make (max 1 n) false in
   let queue = Queue.create () in
@@ -93,11 +89,9 @@ let of_product product ~src ~tgt ~keep_edge =
     if useful s then begin
       let v, _ = Product.decode product s in
       gamma_node.(renum.(s)) <- v;
-      List.iter
-        (fun (e, s') ->
+      Product.iter_out product s (fun e s' ->
           if keep_edge s e s' && useful s' then
             edges := (renum.(s), renum.(s'), e) :: !edges)
-        (Product.out product s)
     end
   done;
   let sources =
@@ -141,13 +135,11 @@ let of_rpq_shortest g r ~src ~tgt =
     (Product.initials_at product src);
   while not (Queue.is_empty queue) do
     let s = Queue.pop queue in
-    List.iter
-      (fun (_, s') ->
+    Product.iter_out product s (fun _ s' ->
         if dist.(s') < 0 then begin
           dist.(s') <- dist.(s) + 1;
           Queue.add s' queue
         end)
-      (Product.out product s)
   done;
   let best = ref max_int in
   for s = 0 to n - 1 do

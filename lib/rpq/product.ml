@@ -1,8 +1,14 @@
 type t = {
   graph : Elg.t;
   nfa : Sym.t Nfa.t;
-  out : (int * int) list array;
-  nb_product_edges : int;
+  (* CSR: product state [s] has out-edges [(edge.(i), succ.(i))] for
+     [off.(s) <= i < off.(s+1)], ordered exactly as the original
+     list-based construction: graph edges in declaration order, and for
+     each edge the matching NFA transitions in delta order. *)
+  off : int array;
+  edge : int array;
+  succ : int array;
+  finals : bool array; (* per automaton state, aliased from the NFA *)
 }
 
 let nb_automaton_states t = t.nfa.Nfa.nb_states
@@ -11,41 +17,93 @@ let decode t s = (s / nb_automaton_states t, s mod nb_automaton_states t)
 
 let make graph nfa =
   let nq = nfa.Nfa.nb_states in
+  let nl = Elg.nb_labels graph in
   let nb_states = Elg.nb_nodes graph * nq in
-  let out = Array.make (max 1 nb_states) [] in
-  let count = ref 0 in
-  (* Edges of G× = {(e, (q1,a,q2)) | λ(e) matches a}, per the definition. *)
-  for v = 0 to Elg.nb_nodes graph - 1 do
-    let edges = Elg.out_edges graph v in
-    for q = 0 to nq - 1 do
-      let s = (v * nq) + q in
-      out.(s) <-
-        List.concat_map
-          (fun e ->
-            let lbl = Elg.label graph e in
-            List.filter_map
-              (fun (sym, q') ->
-                if Sym.matches sym lbl then begin
-                  incr count;
-                  Some (e, (Elg.tgt graph e * nq) + q')
-                end
-                else None)
-              nfa.Nfa.delta.(q))
-          edges
+  (* Compile the symbol predicates once per (state, label): [moves]
+     maps [q * nl + l] to the NFA states reached from [q] by an edge
+     carrying label [l], in delta order.  All string matching happens
+     here — O(|delta| * nb_labels) — instead of per (edge, transition). *)
+  let moves = Array.make (max 1 (nq * nl)) [||] in
+  for q = 0 to nq - 1 do
+    for l = 0 to nl - 1 do
+      let a = Elg.label_name graph l in
+      let targets =
+        List.filter_map
+          (fun (sym, q') -> if Sym.matches sym a then Some q' else None)
+          nfa.Nfa.delta.(q)
+      in
+      if targets <> [] then moves.((q * nl) + l) <- Array.of_list targets
     done
   done;
-  { graph; nfa; out; nb_product_edges = !count }
+  (* Two passes over (node, state): count, prefix-sum, fill.  The count
+     pass loads each edge's label once and walks a transposed
+     move-length table ([l * nq + q], contiguous per label). *)
+  let mlen_t = Array.make (max 1 (nq * nl)) 0 in
+  for q = 0 to nq - 1 do
+    for l = 0 to nl - 1 do
+      mlen_t.((l * nq) + q) <- Array.length moves.((q * nl) + l)
+    done
+  done;
+  let off = Array.make (nb_states + 1) 0 in
+  for v = 0 to Elg.nb_nodes graph - 1 do
+    let lo, hi = Elg.out_span graph v in
+    let base = v * nq in
+    for i = lo to hi - 1 do
+      let l = Elg.edge_label_id graph (Elg.csr_out_edge graph i) in
+      let row = l * nq in
+      for q = 0 to nq - 1 do
+        off.(base + q + 1) <- off.(base + q + 1) + mlen_t.(row + q)
+      done
+    done
+  done;
+  for s = 1 to nb_states do
+    off.(s) <- off.(s) + off.(s - 1)
+  done;
+  let nb_product_edges = off.(nb_states) in
+  let edge = Array.make (max 1 nb_product_edges) 0
+  and succ = Array.make (max 1 nb_product_edges) 0 in
+  for v = 0 to Elg.nb_nodes graph - 1 do
+    let lo, hi = Elg.out_span graph v in
+    for q = 0 to nq - 1 do
+      let s = (v * nq) + q in
+      let pos = ref off.(s) in
+      for i = lo to hi - 1 do
+        let e = Elg.csr_out_edge graph i in
+        let l = Elg.edge_label_id graph e in
+        let targets = moves.((q * nl) + l) in
+        let base = Elg.tgt graph e * nq in
+        for j = 0 to Array.length targets - 1 do
+          edge.(!pos) <- e;
+          succ.(!pos) <- base + targets.(j);
+          incr pos
+        done
+      done
+    done
+  done;
+  { graph; nfa; off; edge; succ; finals = nfa.Nfa.finals }
 
 let graph t = t.graph
 let nfa t = t.nfa
 let nb_states t = Elg.nb_nodes t.graph * nb_automaton_states t
-let out t s = t.out.(s)
+
+let out t s =
+  List.init (t.off.(s + 1) - t.off.(s)) (fun i ->
+      let j = t.off.(s) + i in
+      (t.edge.(j), t.succ.(j)))
+
+let out_degree t s = t.off.(s + 1) - t.off.(s)
+let out_span t s = (t.off.(s), t.off.(s + 1))
+let csr_edge t i = t.edge.(i)
+let csr_succ t i = t.succ.(i)
+
+let iter_out t s f =
+  for i = t.off.(s) to t.off.(s + 1) - 1 do
+    f t.edge.(i) t.succ.(i)
+  done
 
 let initials_at t v =
   List.map (fun q0 -> state t ~node:v ~q:q0) t.nfa.Nfa.initials
 
-let is_final t s =
-  let _, q = decode t s in
-  t.nfa.Nfa.finals.(q)
+let is_final t s = t.finals.(s mod nb_automaton_states t)
 
-let nb_product_edges t = t.nb_product_edges
+let nb_product_edges t = t.off.(nb_states t)

@@ -21,8 +21,23 @@ val state : t -> node:int -> q:int -> int
 (** [decode p s] is [(node, q)]. *)
 val decode : t -> int -> int * int
 
-(** Outgoing product edges: [(graph_edge, successor_state)]. *)
+(** Outgoing product edges: [(graph_edge, successor_state)].  A list
+    view over the CSR storage, rebuilt per call; hot loops should use
+    {!iter_out} instead. *)
 val out : t -> int -> (int * int) list
+
+(** Allocation-free iteration: [f graph_edge successor_state] per product
+    edge, in the same order as {!out}. *)
+val iter_out : t -> int -> (int -> int -> unit) -> unit
+
+val out_degree : t -> int -> int
+
+(** [out_span t s] is [(lo, hi)]: state [s]'s product edges are
+    [(csr_edge t i, csr_succ t i)] for [lo <= i < hi]. *)
+val out_span : t -> int -> int * int
+
+val csr_edge : t -> int -> int
+val csr_succ : t -> int -> int
 
 (** Product nodes [(u, q0)] for every initial automaton state. *)
 val initials_at : t -> int -> int list

@@ -1,19 +1,31 @@
-let count_paths_upto g r ~src ~tgt ~max_len =
+(* Compile once per query: the DFA plus a label-id -> class table, so
+   the DP loops look classes up by interned id instead of re-running
+   [Dfa.class_of_label] on the label string of every edge visit. *)
+let compile g r =
   let dfa = Dfa.of_nfa (Nfa.of_regex r) in
-  (* DP over (node, dfa state): counts of paths of the current length.
-     Determinism makes runs and paths one-to-one. *)
+  let lclass =
+    Array.init (max 1 (Elg.nb_labels g)) (fun l ->
+        Dfa.class_of_label dfa (Elg.label_name g l))
+  in
+  (dfa, lclass)
+
+(* DP over (node, dfa state): counts of paths of the current length from
+   [src].  Determinism makes runs and paths one-to-one; [accept v q]
+   selects which states tally into the total at each length. *)
+let count_from g dfa lclass ~src ~max_len accept =
   let nq = dfa.Dfa.nb_states in
   let idx v q = (v * nq) + q in
   let size = Elg.nb_nodes g * nq in
-  let current = Array.make size Nat_big.zero in
-  current.(idx src dfa.Dfa.init) <- Nat_big.one;
   let total = ref Nat_big.zero in
   let add_finals counts =
-    for q = 0 to nq - 1 do
-      if dfa.Dfa.finals.(q) && not (Nat_big.is_zero counts.(idx tgt q)) then
-        total := Nat_big.add !total counts.(idx tgt q)
-    done
+    Array.iteri
+      (fun i c ->
+        if (not (Nat_big.is_zero c)) && accept (i / nq) (i mod nq) then
+          total := Nat_big.add !total c)
+      counts
   in
+  let current = Array.make size Nat_big.zero in
+  current.(idx src dfa.Dfa.init) <- Nat_big.one;
   add_finals current;
   let current = ref current in
   for _ = 1 to max_len do
@@ -22,19 +34,42 @@ let count_paths_upto g r ~src ~tgt ~max_len =
       (fun i count ->
         if not (Nat_big.is_zero count) then begin
           let v = i / nq and q = i mod nq in
-          List.iter
-            (fun e ->
-              let c = Dfa.class_of_label dfa (Elg.label g e) in
-              let q' = dfa.Dfa.next.(q).(c) in
+          Elg.iter_out g v (fun e ->
+              let q' = dfa.Dfa.next.(q).(lclass.(Elg.edge_label_id g e)) in
               let j = idx (Elg.tgt g e) q' in
               next.(j) <- Nat_big.add next.(j) count)
-            (Elg.out_edges g v)
         end)
       !current;
     current := next;
     add_finals next
   done;
   !total
+
+let count_paths_upto g r ~src ~tgt ~max_len =
+  let dfa, lclass = compile g r in
+  count_from g dfa lclass ~src ~max_len (fun v q ->
+      v = tgt && dfa.Dfa.finals.(q))
+
+let total_paths_upto ?pool g r ~max_len =
+  let dfa, lclass = compile g r in
+  let accept _ q = dfa.Dfa.finals.(q) in
+  let n = Elg.nb_nodes g in
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  let width = max 1 (min (Pool.size pool) n) in
+  let partials = Array.make width Nat_big.zero in
+  let next = Atomic.make 0 in
+  Pool.fork_join pool ~width (fun w ->
+      let rec loop () =
+        let src = Atomic.fetch_and_add next 1 in
+        if src < n then begin
+          partials.(w) <-
+            Nat_big.add partials.(w)
+              (count_from g dfa lclass ~src ~max_len accept);
+          loop ()
+        end
+      in
+      loop ());
+  Array.fold_left Nat_big.add Nat_big.zero partials
 
 (* --- Bag-semantics parse counting (Section 6.1, after [9]) ------------- *)
 

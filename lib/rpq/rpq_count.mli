@@ -28,6 +28,12 @@
 val count_paths_upto :
   Elg.t -> Sym.t Regex.t -> src:int -> tgt:int -> max_len:int -> Nat_big.t
 
+(** Number of matching paths of length at most [max_len] over {e all}
+    (source, target) pairs: one DP per source, fanned out across
+    [?pool]'s domains (default pool when omitted). *)
+val total_paths_upto :
+  ?pool:Pool.t -> Elg.t -> Sym.t Regex.t -> max_len:int -> Nat_big.t
+
 (** ALP-style bag-semantics multiplicity of the pair [(src, tgt)].
     Requires at most 62 nodes (visited sets are bitmasks). *)
 val bag_count : Elg.t -> Sym.t Regex.t -> src:int -> tgt:int -> Nat_big.t

@@ -22,13 +22,11 @@ let estimate_pairs g r ~samples ~seed =
         (Product.initials_at product src);
       while not (Queue.is_empty queue) do
         let s = Queue.pop queue in
-        List.iter
-          (fun (_, s') ->
+        Product.iter_out product s (fun _ s' ->
             if not seen.(s') then begin
               seen.(s') <- true;
               Queue.add s' queue
             end)
-          (Product.out product s)
       done;
       let reached = Hashtbl.create 16 in
       Array.iteri

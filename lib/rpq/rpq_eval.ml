@@ -1,43 +1,88 @@
 (* All search loops consult a [Governor.t]: one tick per product-edge
-   relaxation (BFS) or per extension (naive search), one emit per answer.
-   The unbounded API runs the same code under [Governor.unlimited]. *)
+   relaxation (charged per adjacency span in the BFS engines), one emit
+   per answer.  The unbounded API runs the same code under
+   [Governor.unlimited].
 
-let bfs_reachable gov product start_states =
-  let n = Product.nb_states product in
-  let seen = Array.make (max 1 n) false in
-  let queue = Queue.create () in
-  List.iter
-    (fun s ->
-      if not seen.(s) then begin
-        seen.(s) <- true;
-        Queue.add s queue
-      end)
-    start_states;
-  while not (Queue.is_empty queue) && Governor.ok gov do
-    let s = Queue.pop queue in
-    List.iter
-      (fun (_, s') ->
-        if Governor.tick gov && not seen.(s') then begin
-          seen.(s') <- true;
-          Queue.add s' queue
-        end)
-      (Product.out product s)
-  done;
-  seen
+   Multi-source evaluation ([pairs]/[pairs_nfa]) chunks source nodes
+   across a [Pool] of domains: the product is built once and shared
+   read-only, each worker owns its scratch (stamped visited arrays, a
+   flat int queue, an answer buffer), and the governor's atomic counters
+   keep the Complete/Partial contract sound under parallelism. *)
 
-let targets_of_seen product seen =
-  let acc = ref [] in
-  for s = Product.nb_states product - 1 downto 0 do
-    if seen.(s) && Product.is_final product s then begin
-      let v, _ = Product.decode product s in
-      acc := v :: !acc
+(* Growable flat int buffer: answers are collected as [u * n + v] codes,
+   merged across workers and sorted once at the end — replacing the old
+   [acc := x :: !acc] + [List.sort_uniq] accumulation. *)
+module Ibuf = struct
+  type t = { mutable data : int array; mutable len : int }
+
+  let create () = { data = Array.make 64 0; len = 0 }
+
+  let push b x =
+    if b.len = Array.length b.data then begin
+      let d = Array.make (2 * b.len) 0 in
+      Array.blit b.data 0 d 0 b.len;
+      b.data <- d
+    end;
+    b.data.(b.len) <- x;
+    b.len <- b.len + 1
+end
+
+(* Per-worker BFS scratch, reused across sources: stamping replaces the
+   per-source [Array.make _ false] of the old engine, so a search costs
+   memory proportional to what it reaches, not to the product size. *)
+type scratch = {
+  seen : int array; (* product state -> stamp of last visit *)
+  queue : int array; (* flat BFS queue; states enter at most once *)
+  tmark : int array; (* graph node -> stamp when reported as target *)
+  mutable stamp : int;
+}
+
+let scratch_of product =
+  {
+    seen = Array.make (max 1 (Product.nb_states product)) 0;
+    queue = Array.make (max 1 (Product.nb_states product)) 0;
+    tmark = Array.make (max 1 (Elg.nb_nodes (Product.graph product))) 0;
+    stamp = 0;
+  }
+
+(* BFS over the product from [src]'s initial states, invoking
+   [on_target v] once per graph node [v] reached in an accepting state. *)
+let bfs_targets gov product sc ~src on_target =
+  sc.stamp <- sc.stamp + 1;
+  let stamp = sc.stamp in
+  let head = ref 0 and tail = ref 0 in
+  let visit s =
+    if sc.seen.(s) <> stamp then begin
+      sc.seen.(s) <- stamp;
+      sc.queue.(!tail) <- s;
+      incr tail;
+      if Product.is_final product s then begin
+        let v, _ = Product.decode product s in
+        if sc.tmark.(v) <> stamp then begin
+          sc.tmark.(v) <- stamp;
+          on_target v
+        end
+      end
     end
-  done;
-  List.sort_uniq Stdlib.compare !acc
+  in
+  List.iter visit (Product.initials_at product src);
+  let running = ref (Governor.ok gov) in
+  while !running && !head < !tail do
+    let s = sc.queue.(!head) in
+    incr head;
+    let lo, hi = Product.out_span product s in
+    if Governor.tick_many gov (hi - lo) then
+      for i = lo to hi - 1 do
+        visit (Product.csr_succ product i)
+      done
+    else running := false
+  done
 
 let from_source_product ?(gov = Governor.unlimited ()) product ~src =
-  let seen = bfs_reachable gov product (Product.initials_at product src) in
-  targets_of_seen product seen
+  let sc = scratch_of product in
+  let acc = ref [] in
+  bfs_targets gov product sc ~src (fun v -> acc := v :: !acc);
+  List.sort_uniq Stdlib.compare !acc
 
 let from_source_bounded gov g r ~src =
   let product = Product.make g (Nfa.of_regex r) in
@@ -47,30 +92,106 @@ let from_source_bounded gov g r ~src =
 let from_source g r ~src =
   Governor.value (from_source_bounded (Governor.unlimited ()) g r ~src)
 
-let pairs_nfa_gov gov g nfa =
+(* Serial below this much estimated work (sources x product edges):
+   domain spawn/join costs more than it buys on small inputs. *)
+let parallel_work_threshold = 2_000_000
+
+let pairs_nfa_gov ?pool gov g nfa =
   let product = Product.make g nfa in
-  let acc = ref [] in
-  (try
-     Elg.fold_nodes
-       (fun u () ->
-         if not (Governor.ok gov) then raise Exit;
-         List.iter
-           (fun v -> if Governor.emit gov then acc := (u, v) :: !acc)
-           (from_source_product ~gov product ~src:u))
-       g ()
-   with Exit -> ());
-  List.sort_uniq Stdlib.compare !acc
+  let n = Elg.nb_nodes g in
+  if n = 0 then []
+  else begin
+    let pool, width =
+      match pool with
+      | Some p -> (p, min (Pool.size p) n)
+      | None ->
+          let p = Pool.default () in
+          let work = n * max 1 (Product.nb_product_edges product) in
+          if work >= parallel_work_threshold then (p, min (Pool.size p) n)
+          else (p, 1)
+    in
+    let bufs = Array.init width (fun _ -> Ibuf.create ()) in
+    let next = Atomic.make 0 in
+    let chunk = max 8 (n / (8 * width)) in
+    Pool.fork_join pool ~width (fun w ->
+        let sc = scratch_of product in
+        let buf = bufs.(w) in
+        let rec loop () =
+          let lo = Atomic.fetch_and_add next chunk in
+          if lo < n && Governor.ok gov then begin
+            let hi = min n (lo + chunk) in
+            for u = lo to hi - 1 do
+              if Governor.ok gov then
+                bfs_targets gov product sc ~src:u (fun v ->
+                    if Governor.emit gov then Ibuf.push buf ((u * n) + v))
+            done;
+            loop ()
+          end
+        in
+        loop ());
+    let total = Array.fold_left (fun a b -> a + b.Ibuf.len) 0 bufs in
+    let all = Array.make (max 1 total) 0 in
+    let pos = ref 0 in
+    Array.iter
+      (fun b ->
+        Array.blit b.Ibuf.data 0 all !pos b.Ibuf.len;
+        pos := !pos + b.Ibuf.len)
+      bufs;
+    (* Codes sort exactly like (u, v) pairs; sources never collide, so
+       the merge needs no dedup. *)
+    let all = Array.sub all 0 total in
+    Array.sort (fun (a : int) b -> Stdlib.compare a b) all;
+    let rec build i acc =
+      if i < 0 then acc else build (i - 1) ((all.(i) / n, all.(i) mod n) :: acc)
+    in
+    build (total - 1) []
+  end
 
-let pairs_nfa_bounded gov g nfa = Governor.seal gov (pairs_nfa_gov gov g nfa)
+let pairs_nfa_bounded ?pool gov g nfa =
+  Governor.seal gov (pairs_nfa_gov ?pool gov g nfa)
 
-let pairs_nfa g nfa =
-  Governor.value (pairs_nfa_bounded (Governor.unlimited ()) g nfa)
+let pairs_nfa ?pool g nfa =
+  Governor.value (pairs_nfa_bounded ?pool (Governor.unlimited ()) g nfa)
 
-let pairs_bounded gov g r = pairs_nfa_bounded gov g (Nfa.of_regex r)
+let pairs_bounded ?pool gov g r = pairs_nfa_bounded ?pool gov g (Nfa.of_regex r)
 
-let pairs g r = pairs_nfa g (Nfa.of_regex r)
+let pairs ?pool g r = pairs_nfa ?pool g (Nfa.of_regex r)
 
-let check g r ~src ~tgt = List.mem tgt (from_source g r ~src)
+(* Early-exit reachability: BFS the product but stop at the first
+   accepting (tgt, q) instead of materializing the full answer set. *)
+let check_bounded gov g r ~src ~tgt =
+  let product = Product.make g (Nfa.of_regex r) in
+  let n = Product.nb_states product in
+  let seen = Array.make (max 1 n) false in
+  let queue = Array.make (max 1 n) 0 in
+  let head = ref 0 and tail = ref 0 in
+  let found = ref false in
+  let visit s =
+    if not seen.(s) then begin
+      seen.(s) <- true;
+      if Product.is_final product s && fst (Product.decode product s) = tgt
+      then found := true;
+      queue.(!tail) <- s;
+      incr tail
+    end
+  in
+  List.iter visit (Product.initials_at product src);
+  while (not !found) && !head < !tail && Governor.ok gov do
+    let s = queue.(!head) in
+    incr head;
+    let lo, hi = Product.out_span product s in
+    if Governor.tick_many gov (hi - lo) then begin
+      let i = ref lo in
+      while (not !found) && !i < hi do
+        visit (Product.csr_succ product !i);
+        incr i
+      done
+    end
+  done;
+  Governor.seal gov !found
+
+let check g r ~src ~tgt =
+  Governor.value (check_bounded (Governor.unlimited ()) g r ~src ~tgt)
 
 let shortest_witness_gov gov g r ~src ~tgt =
   let product = Product.make g (Nfa.of_regex r) in
@@ -82,22 +203,19 @@ let shortest_witness_gov gov g r ~src ~tgt =
     (fun s ->
       seen.(s) <- true;
       Queue.add s queue)
-    (Product.initials_at product src)
-  |> ignore;
+    (Product.initials_at product src);
   let found = ref None in
   while !found = None && not (Queue.is_empty queue) && Governor.ok gov do
     let s = Queue.pop queue in
     let v, _ = Product.decode product s in
     if v = tgt && Product.is_final product s then found := Some s
     else
-      List.iter
-        (fun (e, s') ->
+      Product.iter_out product s (fun e s' ->
           if Governor.tick gov && not seen.(s') then begin
             seen.(s') <- true;
             pred.(s') <- Some (e, s);
             Queue.add s' queue
           end)
-        (Product.out product s)
   done;
   match !found with
   | None -> None

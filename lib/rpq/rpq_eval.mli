@@ -6,13 +6,23 @@
     charges one step per product-edge relaxation and one result per
     answer, and returns what was computed when a budget trips instead of
     running on.  The unbounded functions are the bounded ones under
-    {!Governor.unlimited}. *)
+    {!Governor.unlimited}.
+
+    Multi-source entry points ([pairs], [pairs_nfa] and their bounded
+    forms) take an optional [?pool]: when given, source nodes are
+    chunked across that {!Pool}'s domains; when omitted, the default
+    pool is used but only once the estimated work (sources × product
+    edges) is large enough to amortize domain spawns.  Results are
+    identical to serial evaluation; under a result budget the kept
+    subset may differ across widths but stays within the
+    Complete/Partial contract. *)
 
 (** [pairs g r] computes ⟦R⟧_G (Example 12).  Polynomial:
     one product-graph BFS per source node. *)
-val pairs : Elg.t -> Sym.t Regex.t -> (int * int) list
+val pairs : ?pool:Pool.t -> Elg.t -> Sym.t Regex.t -> (int * int) list
 
 val pairs_bounded :
+  ?pool:Pool.t ->
   Governor.t -> Elg.t -> Sym.t Regex.t -> (int * int) list Governor.outcome
 
 (** Nodes reachable from [src] along a matching path. *)
@@ -21,13 +31,20 @@ val from_source : Elg.t -> Sym.t Regex.t -> src:int -> int list
 val from_source_bounded :
   Governor.t -> Elg.t -> Sym.t Regex.t -> src:int -> int list Governor.outcome
 
-(** Membership of a single pair. *)
+(** Membership of a single pair.  Early-exits: the product BFS stops at
+    the first accepting [(tgt, q)] state instead of computing the full
+    reachable set. *)
 val check : Elg.t -> Sym.t Regex.t -> src:int -> tgt:int -> bool
 
+val check_bounded :
+  Governor.t -> Elg.t -> Sym.t Regex.t -> src:int -> tgt:int ->
+  bool Governor.outcome
+
 (** As {!pairs} but reusing a compiled automaton. *)
-val pairs_nfa : Elg.t -> Sym.t Nfa.t -> (int * int) list
+val pairs_nfa : ?pool:Pool.t -> Elg.t -> Sym.t Nfa.t -> (int * int) list
 
 val pairs_nfa_bounded :
+  ?pool:Pool.t ->
   Governor.t -> Elg.t -> Sym.t Nfa.t -> (int * int) list Governor.outcome
 
 (** Reachable targets over a prebuilt product, charging the governor.

@@ -51,6 +51,14 @@ run_expect 4 "$GQD" rpq "$tmp/line.graph" 'a*' --timeout 0
 grep -q 'partial result (budget exhausted: deadline)' "$tmp/err" \
   || { echo "smoke: missing deadline report" >&2; exit 1; }
 
+# Parallel evaluation must agree with serial: same pairs, same order,
+# regardless of the domain count.
+run_expect 0 "$GQD" rpq "$tmp/bank.graph" 'Transfer*' --domains 1
+cp "$tmp/out" "$tmp/serial.out"
+run_expect 0 "$GQD" rpq "$tmp/bank.graph" 'Transfer*' --domains 2
+cmp -s "$tmp/serial.out" "$tmp/out" \
+  || { echo "smoke: --domains 2 output differs from --domains 1" >&2; exit 1; }
+
 # Error paths: bad regex is a parse error (1), bad node name too (1),
 # missing file is I/O (3).
 run_expect 1 "$GQD" rpq "$tmp/bank.graph" 'Transfer)('
