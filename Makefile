@@ -14,11 +14,13 @@ test: check
 bench:
 	dune exec bench/main.exe -- --quick
 
-# Quick E17 run; exits nonzero if the indexed or parallel engines ever
-# disagree with the seed baseline.  Also wired into `dune runtest` via
-# the bench-smoke alias in test/dune.
+# Quick E17 run with a span trace; exits nonzero if the indexed or
+# parallel engines ever disagree with the seed baseline, if the JSONL
+# rows carry no counters, or if the trace is empty or malformed.  Also
+# wired into `dune runtest` via test/dune.
 bench-smoke:
-	dune exec bench/main.exe -- E17 --quick
+	dune build bench/main.exe
+	bash test/bench_smoke.sh _build/default/bench/main.exe
 
 clean:
 	dune clean

@@ -7,6 +7,28 @@
 
 let quick = ref false
 
+(* --- telemetry helpers --------------------------------------------------- *)
+
+(* Set by --trace-json=FILE: phase spans from every instrumented run are
+   collected here and written as JSONL at exit. *)
+let trace_path : string option ref = ref None
+let bench_trace : Trace.t option ref = ref None
+
+(* Run [f] against a fresh counter registry (plus the global trace when
+   --trace-json is set); return the result alongside the non-zero
+   counters, ready to embed in a JSONL row next to the timing. *)
+let counted f =
+  let metrics = Metrics.create () in
+  let obs = Obs.make ~metrics ?trace:!bench_trace () in
+  let result = f obs in
+  (result, List.filter (fun (_, v) -> v > 0) (Metrics.counters metrics))
+
+let counters_json counters =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "%S:%d" k v) counters)
+  ^ "}"
+
 (* --- timing helpers ------------------------------------------------------ *)
 
 (* One-shot wall-clock measurement for long-running searches. *)
@@ -179,6 +201,14 @@ let e2 () =
       (Nat_big.to_scientific bag)
       (Nat_big.decimal_digits bag)
   done;
+  (* Counted work for the deepest nesting: the automaton collapses every
+     star, so the product BFS does the same work as for a*. *)
+  let (_, counters), ms =
+    oneshot_ms (fun () -> counted (fun obs -> Rpq_eval.pairs ~obs g (nest 4)))
+  in
+  Printf.printf
+    "  {\"experiment\":\"E2\",\"query\":\"(((a*)*)*)*\",\"elapsed_ms\":%.2f,\"counters\":%s}\n"
+    ms (counters_json counters);
   check "set semantics stays at 36 answers for every nesting depth"
     (List.for_all (fun d -> set_answers d = 36) [ 2; 3; 4 ]);
   check "some nesting depth exceeds the #protons in the observable universe (1e80)"
@@ -202,9 +232,11 @@ let e3 () =
   List.iter
     (fun n ->
       let g = Generators.diamonds n in
-      let pmr =
-        Pmr.of_rpq g (Rpq_parse.parse "a*") ~src:(Elg.node_id g "s")
-          ~tgt:(Elg.node_id g "t")
+      let (pmr, counters), ms =
+        oneshot_ms (fun () ->
+            counted (fun obs ->
+                Pmr.of_rpq ~obs g (Rpq_parse.parse "a*")
+                  ~src:(Elg.node_id g "s") ~tgt:(Elg.node_id g "t")))
       in
       let paths =
         match Pmr.count_paths pmr with
@@ -215,7 +247,10 @@ let e3 () =
       if not (Nat_big.equal paths (Nat_big.pow Nat_big.two n)) then ok := false;
       Printf.printf "  %-4d %-12d %-16s %-10d %.2f\n" n gsize
         (Nat_big.to_string paths) (Pmr.size pmr)
-        (float_of_int (Pmr.size pmr) /. float_of_int gsize))
+        (float_of_int (Pmr.size pmr) /. float_of_int gsize);
+      Printf.printf
+        "  {\"experiment\":\"E3\",\"n\":%d,\"elapsed_ms\":%.2f,\"counters\":%s}\n"
+        n ms (counters_json counters))
     ns;
   check "path count is exactly 2^n for every n" !ok
 
@@ -238,7 +273,9 @@ let e4 () =
     (fun n ->
       let g = Generators.line (2 * n) "a" in
       let src = Elg.node_id g "v0" and tgt = Elg.node_id g (Printf.sprintf "v%d" (2 * n)) in
-      let pmr = Lrpq.to_pmr g expr ~src ~tgt in
+      let (pmr, counters), pmr_ms =
+        oneshot_ms (fun () -> counted (fun obs -> Lrpq.to_pmr ~obs g expr ~src ~tgt))
+      in
       let runs =
         match Pmr.count_paths pmr with
         | `Finite c -> c
@@ -254,7 +291,10 @@ let e4 () =
         if List.length bindings <> (1 lsl n) then ok := false
       end;
       Printf.printf "  %-4d %-16s %-16s %-10d\n" n (Nat_big.to_string runs)
-        (Nat_big.to_string expected) (Pmr.size pmr))
+        (Nat_big.to_string expected) (Pmr.size pmr);
+      Printf.printf
+        "  {\"experiment\":\"E4\",\"n\":%d,\"elapsed_ms\":%.2f,\"counters\":%s}\n"
+        n pmr_ms (counters_json counters))
     ns;
   check "binding count = 2^n (and matches explicit enumeration when feasible)" !ok
 
@@ -557,7 +597,13 @@ let e11 () =
       (* All-pairs = one BFS per source: normalize per source per edge. *)
       let per = ns /. float_of_int n /. float_of_int (max 1 pe) in
       ratios := per :: !ratios;
-      Printf.printf "  %-8d %-8d %-14d %-14.1f %-12.3f\n" n (4 * n) pe (ns /. 1e3) per)
+      Printf.printf "  %-8d %-8d %-14d %-14.1f %-12.3f\n" n (4 * n) pe (ns /. 1e3) per;
+      (* One counted run next to the OLS estimate: how much product work
+         that time buys. *)
+      let _, counters = counted (fun obs -> Rpq_eval.pairs_nfa ~obs g nfa) in
+      Printf.printf
+        "  {\"experiment\":\"E11\",\"nodes\":%d,\"edges\":%d,\"elapsed_us\":%.1f,\"counters\":%s}\n"
+        n (4 * n) (ns /. 1e3) (counters_json counters))
     sizes;
   let mn = List.fold_left min infinity !ratios
   and mx = List.fold_left max 0.0 !ratios in
@@ -732,18 +778,25 @@ let e15 () =
 
 let e16 () =
   header "E16" "resource governor: every engine on Fig. 5 blow-up inputs (JSONL)";
-  (* One machine-readable line per (query, engine) run. *)
-  let jsonl ~query ~engine gov status ms =
+  (* One machine-readable line per (query, engine) run; "reason" names
+     the tripped resource (steps/results/deadline), "none" on Complete. *)
+  let jsonl ~query ~engine gov outcome ms =
+    let reason =
+      match outcome with
+      | Governor.Complete _ -> "none"
+      | Governor.Partial (_, r) | Governor.Aborted r -> Governor.reason_slug r
+    in
     Printf.printf
-      "  {\"query\":%S,\"engine\":%S,\"steps\":%d,\"results\":%d,\"outcome\":%S,\"elapsed_ms\":%.2f}\n"
-      query engine (Governor.steps gov) (Governor.results gov) status ms
+      "  {\"query\":%S,\"engine\":%S,\"steps\":%d,\"results\":%d,\"outcome\":%S,\"reason\":%S,\"elapsed_ms\":%.2f}\n"
+      query engine (Governor.steps gov) (Governor.results gov)
+      (Governor.outcome_status outcome) reason ms
   in
   let budget = if !quick then 20_000 else 100_000 in
   let statuses = ref [] in
   let run ?steps ~query ~engine f =
     let gov = Governor.make ~max_steps:(Option.value steps ~default:budget) () in
     let outcome, ms = oneshot_ms (fun () -> f gov) in
-    jsonl ~query ~engine gov (Governor.outcome_status outcome) ms;
+    jsonl ~query ~engine gov outcome ms;
     statuses := (engine, outcome, ms) :: !statuses
   in
   let big = Generators.diamonds 40 in
@@ -838,8 +891,7 @@ let e16 () =
     | Governor.Complete pairs -> pairs = Rpq_eval.pairs small astar
     | Governor.Partial _ | Governor.Aborted _ -> false
   in
-  jsonl ~query:"diamonds(4) a* pairs" ~engine:"rpq_eval.pairs" gov
-    (Governor.outcome_status bounded) 0.0;
+  jsonl ~query:"diamonds(4) a* pairs" ~engine:"rpq_eval.pairs" gov bounded 0.0;
   check "with an ample budget the outcome is Complete and equals the unbounded run"
     agree
 
@@ -933,11 +985,13 @@ let out_path : string option ref = ref None
 let e17 () =
   header "E17" "indexed CSR + parallel multi-source RPQ vs seed engine (JSONL)";
   let rows = ref [] in
-  let jsonl ~graph ~nodes ~edges ~query ~engine ~answers ms =
+  (* The seed engine is a frozen baseline with no telemetry hooks, so its
+     rows carry an empty counters object. *)
+  let jsonl ~graph ~nodes ~edges ~query ~engine ~answers ?(counters = []) ms =
     let line =
       Printf.sprintf
-        "{\"graph\":%S,\"nodes\":%d,\"edges\":%d,\"query\":%S,\"engine\":%S,\"answers\":%d,\"elapsed_ms\":%.2f}"
-        graph nodes edges query engine answers ms
+        "{\"graph\":%S,\"nodes\":%d,\"edges\":%d,\"query\":%S,\"engine\":%S,\"answers\":%d,\"elapsed_ms\":%.2f,\"counters\":%s}"
+        graph nodes edges query engine answers ms (counters_json counters)
     in
     Printf.printf "  %s\n" line;
     rows := line :: !rows
@@ -958,16 +1012,18 @@ let e17 () =
     let seed_pairs, seed_ms = oneshot_ms (fun () -> Seed_rpq.pairs g nfa) in
     jsonl ~graph:gname ~nodes ~edges ~query ~engine:"seed-serial"
       ~answers:(List.length seed_pairs) seed_ms;
-    let idx_pairs, idx_ms =
-      oneshot_ms (fun () -> Rpq_eval.pairs_nfa ~pool:serial_pool g nfa)
+    let (idx_pairs, idx_counters), idx_ms =
+      oneshot_ms (fun () ->
+          counted (fun obs -> Rpq_eval.pairs_nfa ~pool:serial_pool ~obs g nfa))
     in
     jsonl ~graph:gname ~nodes ~edges ~query ~engine:"indexed-serial"
-      ~answers:(List.length idx_pairs) idx_ms;
-    let par_pairs, par_ms =
-      oneshot_ms (fun () -> Rpq_eval.pairs_nfa ~pool:par_pool g nfa)
+      ~answers:(List.length idx_pairs) ~counters:idx_counters idx_ms;
+    let (par_pairs, par_counters), par_ms =
+      oneshot_ms (fun () ->
+          counted (fun obs -> Rpq_eval.pairs_nfa ~pool:par_pool ~obs g nfa))
     in
     jsonl ~graph:gname ~nodes ~edges ~query ~engine:"indexed-parallel"
-      ~answers:(List.length par_pairs) par_ms;
+      ~answers:(List.length par_pairs) ~counters:par_counters par_ms;
     let case = Printf.sprintf "%s(%d) %s" gname nodes query in
     require (case ^ ": indexed = seed") (idx_pairs = seed_pairs);
     require
@@ -1064,6 +1120,14 @@ let () =
           Some (String.sub f 6 (String.length f - 6))
         else None)
       flags;
+  trace_path :=
+    List.find_map
+      (fun f ->
+        if String.length f > 13 && String.sub f 0 13 = "--trace-json=" then
+          Some (String.sub f 13 (String.length f - 13))
+        else None)
+      flags;
+  if !trace_path <> None then bench_trace := Some (Trace.create ());
   let selected =
     if ids = [] then experiments
     else
@@ -1075,4 +1139,11 @@ let () =
     exit 1
   end;
   List.iter (fun (_, run) -> run ()) selected;
+  (match (!trace_path, !bench_trace) with
+  | Some path, Some t ->
+      let oc = open_out path in
+      Trace.write_jsonl t oc;
+      close_out oc;
+      Printf.printf "wrote trace to %s\n" path
+  | _ -> ());
   print_endline "\nAll selected experiments completed."

@@ -31,17 +31,32 @@ let node_id_or_die g name =
 
 let parse_rpq_or_die src = or_die (Rpq_parse.parse_res src)
 
-(* Print whatever was computed, then fail with exit code 4 if the budget
-   tripped. *)
-let report_outcome print = function
-  | Governor.Complete v -> print v
-  | Governor.Partial (v, r) ->
-      print v;
-      Printf.eprintf "partial result (budget exhausted: %s)\n"
-        (Governor.reason_to_string r);
+(* Telemetry context built from --metrics / --trace-json: the sink the
+   engines record into, and a flush to run once evaluation is done. *)
+type telemetry = { obs : Obs.t; flush : unit -> unit }
+
+let no_telemetry = { obs = Obs.none; flush = (fun () -> ()) }
+
+(* Print whatever was computed, flush telemetry, then fail with exit
+   code 4 if the budget tripped.  The stderr line names the tripped
+   resource and the work done, so partial runs are attributable. *)
+let report_outcome ?(tele = no_telemetry) gov print outcome =
+  Governor.observe ~obs:tele.obs gov;
+  (match outcome with
+  | Governor.Complete v | Governor.Partial (v, _) -> print v
+  | Governor.Aborted _ -> ());
+  tele.flush ();
+  match outcome with
+  | Governor.Complete _ -> ()
+  | Governor.Partial (_, r) ->
+      Printf.eprintf "partial result (budget exhausted: %s; steps=%d, results=%d)\n"
+        (Governor.reason_to_string r) (Governor.steps gov)
+        (Governor.results gov);
       exit (Gq_error.exit_code (Gq_error.Budget r))
   | Governor.Aborted r ->
-      Printf.eprintf "aborted (%s)\n" (Governor.reason_to_string r);
+      Printf.eprintf "aborted (%s; steps=%d, results=%d)\n"
+        (Governor.reason_to_string r) (Governor.steps gov)
+        (Governor.results gov);
       exit (Gq_error.exit_code (Gq_error.Budget r))
 
 (* --- arguments ---------------------------------------------------------- *)
@@ -77,6 +92,45 @@ let governor_term =
   in
   Term.(const make $ max_steps $ max_results $ timeout)
 
+(* Telemetry flags.  --metrics attaches a counter registry and prints
+   its summary to stderr after the run; --trace-json FILE attaches a
+   span collector and writes one JSON line per completed span. *)
+let obs_term =
+  let metrics =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Print engine counters (work done per subsystem) to \
+                   stderr after the run.")
+  in
+  let trace_json =
+    Arg.(value & opt (some string) None
+         & info [ "trace-json" ] ~docv:"FILE"
+             ~doc:"Write evaluation phase spans to $(docv), one JSON \
+                   object per line.")
+  in
+  let make metrics trace_json =
+    if (not metrics) && trace_json = None then no_telemetry
+    else begin
+      let m = if metrics then Some (Metrics.create ()) else None in
+      let tr = Option.map (fun _ -> Trace.create ()) trace_json in
+      let obs = Obs.make ?metrics:m ?trace:tr () in
+      let flush () =
+        if metrics then prerr_string (Obs.summary obs);
+        match (tr, trace_json) with
+        | Some t, Some file -> (
+            try
+              let oc = open_out file in
+              Fun.protect
+                ~finally:(fun () -> close_out oc)
+                (fun () -> Trace.write_jsonl t oc)
+            with Sys_error msg -> or_die (Error (Gq_error.Io msg)))
+        | _, _ -> ()
+      in
+      { obs; flush }
+    end
+  in
+  Term.(const make $ metrics $ trace_json)
+
 (* Evaluation pool: --domains N pins the worker count (1 = serial);
    without it the default pool is used (GQ_DOMAINS or the recommended
    domain count), engaged only on large inputs. *)
@@ -105,22 +159,22 @@ let info_cmd =
 (* --- rpq ---------------------------------------------------------------- *)
 
 let rpq_cmd =
-  let run path regex from gov pool =
+  let run path regex from gov pool tele =
     let pg = load path in
     let g = Pg.elg pg in
     let r = parse_rpq_or_die regex in
     match from with
     | Some src_name ->
         let src = node_id_or_die g src_name in
-        report_outcome
+        report_outcome ~tele gov
           (List.iter (fun v -> print_endline (Elg.node_name g v)))
-          (Rpq_eval.from_source_bounded gov g r ~src)
+          (Rpq_eval.from_source_bounded ~obs:tele.obs gov g r ~src)
     | None ->
-        report_outcome
+        report_outcome ~tele gov
           (List.iter (fun (u, v) ->
                Printf.printf "%s -> %s\n" (Elg.node_name g u)
                  (Elg.node_name g v)))
-          (Rpq_eval.pairs_bounded ?pool gov g r)
+          (Rpq_eval.pairs_bounded ?pool ~obs:tele.obs gov g r)
   in
   let from =
     Arg.(value & opt (some string) None & info [ "from" ] ~docv:"NODE"
@@ -128,42 +182,45 @@ let rpq_cmd =
   in
   Cmd.v
     (Cmd.info "rpq" ~doc:"Evaluate a regular path query (endpoint pairs).")
-    Term.(const run $ graph_arg $ regex_pos 1 $ from $ governor_term $ pool_term)
+    Term.(const run $ graph_arg $ regex_pos 1 $ from $ governor_term $ pool_term
+          $ obs_term)
 
 (* --- shortest ------------------------------------------------------------ *)
 
 let shortest_cmd =
-  let run path regex src_name tgt_name gov =
+  let run path regex src_name tgt_name gov tele =
     let pg = load path in
     let g = Pg.elg pg in
     let r = parse_rpq_or_die regex in
     let src = node_id_or_die g src_name and tgt = node_id_or_die g tgt_name in
-    report_outcome
+    report_outcome ~tele gov
       (function
         | [] ->
             print_endline "no matching path";
             exit 2
         | paths -> List.iter (fun p -> print_endline (Path.to_string g p)) paths)
-      (Path_modes.shortest_bounded gov g r ~src ~tgt)
+      (Path_modes.shortest_bounded ~obs:tele.obs gov g r ~src ~tgt)
   in
   let src = Arg.(required & pos 2 (some string) None & info [] ~docv:"SRC") in
   let tgt = Arg.(required & pos 3 (some string) None & info [] ~docv:"TGT") in
   Cmd.v
     (Cmd.info "shortest" ~doc:"All shortest paths matching an RPQ between two nodes.")
-    Term.(const run $ graph_arg $ regex_pos 1 $ src $ tgt $ governor_term)
+    Term.(const run $ graph_arg $ regex_pos 1 $ src $ tgt $ governor_term
+          $ obs_term)
 
 (* --- gql ----------------------------------------------------------------- *)
 
 let gql_cmd =
-  let run path pattern max_len gov =
+  let run path pattern max_len gov tele =
     let pg = load path in
     let g = Pg.elg pg in
     let pat = or_die (Gql_parse.parse_res pattern) in
-    report_outcome
+    report_outcome ~tele gov
       (List.iter (fun (p, b) ->
            Printf.printf "%s  %s\n" (Path.to_string g p)
              (Gql.binding_to_string g b)))
-      (Gql.matches_bounded gov pg pat ~max_len)
+      (Obs.span tele.obs "gql.match" @@ fun () ->
+       Gql.matches_bounded gov pg pat ~max_len)
   in
   let max_len =
     Arg.(value & opt int 8 & info [ "max-len" ] ~docv:"N"
@@ -175,25 +232,25 @@ let gql_cmd =
   in
   Cmd.v
     (Cmd.info "gql" ~doc:"Match a GQL-style ASCII-art pattern.")
-    Term.(const run $ graph_arg $ pattern $ max_len $ governor_term)
+    Term.(const run $ graph_arg $ pattern $ max_len $ governor_term $ obs_term)
 
 (* --- pmr ----------------------------------------------------------------- *)
 
 let pmr_cmd =
-  let run path regex src_name tgt_name max_len gov =
+  let run path regex src_name tgt_name max_len gov tele =
     let pg = load path in
     let g = Pg.elg pg in
     let r = parse_rpq_or_die regex in
     let src = node_id_or_die g src_name and tgt = node_id_or_die g tgt_name in
-    let pmr = Pmr.of_rpq g r ~src ~tgt in
+    let pmr = Pmr.of_rpq ~obs:tele.obs g r ~src ~tgt in
     Printf.printf "PMR: %d nodes, %d edges; paths: %s\n" pmr.Pmr.nb_nodes
       (Array.length pmr.Pmr.edges)
       (match Pmr.count_paths pmr with
       | `Infinite -> "infinite"
       | `Finite n -> Nat_big.to_string n);
-    report_outcome
+    report_outcome ~tele gov
       (List.iter (fun p -> print_endline (Path.to_string g p)))
-      (Pmr.spaths_upto_bounded gov g pmr ~max_len)
+      (Pmr.spaths_upto_bounded ~obs:tele.obs gov g pmr ~max_len)
   in
   let src = Arg.(required & pos 2 (some string) None & info [] ~docv:"SRC") in
   let tgt = Arg.(required & pos 3 (some string) None & info [] ~docv:"TGT") in
@@ -203,18 +260,21 @@ let pmr_cmd =
   in
   Cmd.v
     (Cmd.info "pmr" ~doc:"Build the path multiset representation of an RPQ result.")
-    Term.(const run $ graph_arg $ regex_pos 1 $ src $ tgt $ max_len $ governor_term)
+    Term.(const run $ graph_arg $ regex_pos 1 $ src $ tgt $ max_len
+          $ governor_term $ obs_term)
 
 (* --- query ----------------------------------------------------------------- *)
 
 let query_cmd =
-  let run path src max_len gov =
+  let run path src max_len gov tele =
     let pg = load path in
     let g = Pg.elg pg in
     let q = or_die (Gql_query.parse_res src) in
-    match Gql_query.eval_bounded ~max_len gov pg q with
+    match Gql_query.eval_bounded ~max_len ~obs:tele.obs gov pg q with
     | outcome ->
-        report_outcome (fun rel -> print_endline (Relation.to_string g rel)) outcome
+        report_outcome ~tele gov
+          (fun rel -> print_endline (Relation.to_string g rel))
+          outcome
     | exception Gql_query.Eval_error msg ->
         or_die (Error (Gq_error.Eval msg))
   in
@@ -228,7 +288,7 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Run a MATCH/RETURN query (with aggregation).")
-    Term.(const run $ graph_arg $ src $ max_len $ governor_term)
+    Term.(const run $ graph_arg $ src $ max_len $ governor_term $ obs_term)
 
 (* --- static -------------------------------------------------------------- *)
 

@@ -41,7 +41,7 @@ let bind_term g asg term node =
   | TVar x -> bind asg x node
   | TConst name -> if Elg.node_id g name = node then Some asg else None
 
-let homomorphisms_gov ?pool gov g q =
+let homomorphisms_gov ?pool ?(obs = Obs.none) gov g q =
   (* Evaluate every atom's pair set (atom materialization fans each
      pair-set's sources across [?pool]), then join smallest-first with a
      depth-first nested-loop join: one tick per candidate pair, one emit
@@ -49,33 +49,53 @@ let homomorphisms_gov ?pool gov g q =
      partial results — an assignment is reported only once it satisfies
      {e every} atom, so a tripped budget yields a subset of the true
      answers, never a superset. *)
+  Obs.span obs "crpq.eval" @@ fun () ->
   let atom_pairs =
+    Obs.span obs "crpq.atoms" @@ fun () ->
     List.map
       (fun a ->
-        (a, Governor.payload ~default:[] (Rpq_eval.pairs_bounded ?pool gov g a.re)))
+        ( a,
+          Governor.payload ~default:[]
+            (Rpq_eval.pairs_bounded ?pool ~obs gov g a.re) ))
       q.atoms
     |> List.sort (fun (_, p1) (_, p2) ->
            Stdlib.compare (List.length p1) (List.length p2))
   in
+  List.iter
+    (fun (_, pairs) -> Obs.add obs "crpq.atom_pairs" (List.length pairs))
+    atom_pairs;
+  Obs.span obs "crpq.join" @@ fun () ->
+  let candidates = Obs.counter_fn obs "crpq.join_candidates" in
+  let considered = ref 0 in
   let results = ref [] in
+  let nb_results = ref 0 in
   let rec extend asg = function
-    | [] -> if Governor.emit gov then results := asg :: !results
+    | [] ->
+        if Governor.emit gov then begin
+          incr nb_results;
+          results := asg :: !results
+        end
     | (a, pairs) :: rest ->
         List.iter
           (fun (u, v) ->
-            if Governor.tick gov then
+            if Governor.tick gov then begin
+              incr considered;
               match bind_term g asg a.x u with
               | None -> ()
               | Some asg -> (
                   match bind_term g asg a.y v with
                   | None -> ()
-                  | Some asg -> extend asg rest))
+                  | Some asg -> extend asg rest)
+            end)
           pairs
   in
   extend [] atom_pairs;
+  candidates !considered;
+  Obs.add obs "crpq.rows" !nb_results;
   List.sort_uniq Stdlib.compare !results
 
-let homomorphisms ?pool g q = homomorphisms_gov ?pool (Governor.unlimited ()) g q
+let homomorphisms ?pool ?obs g q =
+  homomorphisms_gov ?pool ?obs (Governor.unlimited ()) g q
 
 let project_head q homs =
   List.map
@@ -89,11 +109,11 @@ let project_head q homs =
     homs
   |> List.sort_uniq Stdlib.compare
 
-let eval_bounded ?pool gov g q =
-  Governor.seal gov (project_head q (homomorphisms_gov ?pool gov g q))
+let eval_bounded ?pool ?obs gov g q =
+  Governor.seal gov (project_head q (homomorphisms_gov ?pool ?obs gov g q))
 
-let eval ?pool g q =
-  Governor.value (eval_bounded ?pool (Governor.unlimited ()) g q)
+let eval ?pool ?obs g q =
+  Governor.value (eval_bounded ?pool ?obs (Governor.unlimited ()) g q)
 
 let holds g q = homomorphisms g q <> []
 

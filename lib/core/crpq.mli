@@ -21,22 +21,29 @@ val atoms : t -> atom list
 
 (** Output tuples (rows of node identifiers), set semantics, sorted.
     [?pool] parallelizes the per-atom RPQ materialization (see
-    {!Rpq_eval.pairs}); the join itself stays serial. *)
-val eval : ?pool:Pool.t -> Elg.t -> t -> int list list
+    {!Rpq_eval.pairs}); the join itself stays serial.
+
+    [?obs] records [crpq.atom_pairs] (materialized pairs per atom),
+    [crpq.join_candidates] (pairs considered by the nested-loop join)
+    and [crpq.rows] (assignments emitted), inside [crpq.eval] /
+    [crpq.atoms] / [crpq.join] spans. *)
+val eval : ?pool:Pool.t -> ?obs:Obs.t -> Elg.t -> t -> int list list
 
 (** As {!eval} under a governor: one step per candidate pair considered
     in the join, one result per satisfying assignment.  An assignment is
     counted only once it satisfies every atom, so a [Partial] outcome is
     always a subset of the unbounded answer. *)
 val eval_bounded :
-  ?pool:Pool.t -> Governor.t -> Elg.t -> t -> int list list Governor.outcome
+  ?pool:Pool.t -> ?obs:Obs.t ->
+  Governor.t -> Elg.t -> t -> int list list Governor.outcome
 
 (** Boolean evaluation: is the output non-empty? *)
 val holds : Elg.t -> t -> bool
 
 (** All satisfying assignments over every endpoint variable (not just the
     head); used by the l-CRPQ layer and by tests. *)
-val homomorphisms : ?pool:Pool.t -> Elg.t -> t -> (string * int) list list
+val homomorphisms :
+  ?pool:Pool.t -> ?obs:Obs.t -> Elg.t -> t -> (string * int) list list
 
 (** Alternative engine: evaluate each atom to a binary relation and join
     with the relational-algebra substrate — the "relational operations

@@ -9,10 +9,12 @@ type atom_index = {
   loops : int list;  (* sorted n with (n, n) in the relation *)
 }
 
-let build_index ?pool gov g (a : Crpq.atom) =
+let build_index ?pool ?(obs = Obs.none) gov g (a : Crpq.atom) =
   let pairs =
-    Governor.payload ~default:[] (Rpq_eval.pairs_bounded ?pool gov g a.Crpq.re)
+    Governor.payload ~default:[]
+      (Rpq_eval.pairs_bounded ?pool ~obs gov g a.Crpq.re)
   in
+  Obs.add obs "wcoj.index_pairs" (List.length pairs);
   let forward = Hashtbl.create 64 and backward = Hashtbl.create 64 in
   let add tbl k v =
     Hashtbl.replace tbl k (v :: (try Hashtbl.find tbl k with Not_found -> []))
@@ -47,9 +49,13 @@ let rec intersect l1 l2 =
 
 let term_vars = function Crpq.TVar x -> [ x ] | Crpq.TConst _ -> []
 
-let eval_with_stats_gov ?pool gov g q =
+let eval_with_stats_gov ?pool ?(obs = Obs.none) gov g q =
+  Obs.span obs "wcoj.eval" @@ fun () ->
   let atoms = Crpq.atoms q in
-  let indexes = List.map (build_index ?pool gov g) atoms in
+  let indexes =
+    Obs.span obs "wcoj.index" @@ fun () ->
+    List.map (build_index ?pool ~obs gov g) atoms
+  in
   let vars =
     List.concat_map (fun a -> term_vars a.Crpq.x @ term_vars a.Crpq.y) atoms
     |> List.sort_uniq String.compare
@@ -123,16 +129,18 @@ let eval_with_stats_gov ?pool gov g q =
         !results
       |> List.sort_uniq compare
   in
+  Obs.add obs "wcoj.tuples_explored" !explored;
+  Obs.add obs "wcoj.rows" (List.length rows);
   (rows, !explored)
 
 let eval_with_stats g q = eval_with_stats_gov (Governor.unlimited ()) g q
 
-let eval_bounded ?pool gov g q =
-  let rows, _ = eval_with_stats_gov ?pool gov g q in
+let eval_bounded ?pool ?obs gov g q =
+  let rows, _ = eval_with_stats_gov ?pool ?obs gov g q in
   Governor.seal gov rows
 
-let eval ?pool g q =
-  Governor.value (eval_bounded ?pool (Governor.unlimited ()) g q)
+let eval ?pool ?obs g q =
+  Governor.value (eval_bounded ?pool ?obs (Governor.unlimited ()) g q)
 
 let compare_costs g q =
   let _, generic = eval_with_stats g q in

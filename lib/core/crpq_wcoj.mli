@@ -15,14 +15,19 @@
     worst case. *)
 
 (** Same specification as {!Crpq.eval}.  [?pool] parallelizes the
-    per-atom RPQ materialization; the generic join stays serial. *)
-val eval : ?pool:Pool.t -> Elg.t -> Crpq.t -> int list list
+    per-atom RPQ materialization; the generic join stays serial.
+
+    [?obs] records [wcoj.index_pairs] (pairs materialized per atom
+    index), [wcoj.tuples_explored] (candidate extensions tried) and
+    [wcoj.rows], inside [wcoj.eval] / [wcoj.index] spans. *)
+val eval : ?pool:Pool.t -> ?obs:Obs.t -> Elg.t -> Crpq.t -> int list list
 
 (** As {!eval} under a governor: one step per explored tuple extension,
     one result per completed assignment; [Partial] outcomes are subsets
     of the unbounded answer. *)
 val eval_bounded :
-  ?pool:Pool.t -> Governor.t -> Elg.t -> Crpq.t -> int list list Governor.outcome
+  ?pool:Pool.t -> ?obs:Obs.t ->
+  Governor.t -> Elg.t -> Crpq.t -> int list list Governor.outcome
 
 (** Intermediate-result sizes: [(tuples_explored_generic,
     max_intermediate_binary)] for cost reporting in E15. *)

@@ -145,7 +145,8 @@ let eval_mode g r ~mode ~max_len ~src ~tgt =
   Governor.value
     (eval_mode_bounded (Governor.unlimited ()) g r ~mode ~max_len ~src ~tgt)
 
-let to_pmr g r ~src ~tgt = Pmr.of_nfa g (Nfa.map_atoms (fun a -> a.sym) (Nfa.of_regex r)) ~src ~tgt
+let to_pmr ?obs g r ~src ~tgt =
+  Pmr.of_nfa ?obs g (Nfa.map_atoms (fun a -> a.sym) (Nfa.of_regex r)) ~src ~tgt
 
 let atom_to_string a =
   match a.capture with

@@ -94,7 +94,8 @@ val pairs_bounded :
 
 (** Annotated-PMR representation of σ_{src,tgt}(⟦R⟧_G): one PMR path per
     run, i.e. per (path, binding) derivation.  Finite even when the result
-    set is infinite. *)
-val to_pmr : Elg.t -> t -> src:int -> tgt:int -> Pmr.t
+    set is infinite.  [?obs] is forwarded to the PMR construction
+    ([pmr.nodes], [pmr.edges], [pmr.build] span). *)
+val to_pmr : ?obs:Obs.t -> Elg.t -> t -> src:int -> tgt:int -> Pmr.t
 
 val to_string : t -> string

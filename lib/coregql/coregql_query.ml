@@ -38,22 +38,35 @@ let rec pred_holds get = function
    Note [Diff]: a truncated subtrahend could wrongly keep rows, so once
    the budget trips the subtraction yields the empty relation — partial
    answers stay subsets of the true answer. *)
-let rec eval_gov gov pg = function
+let rec eval_gov ?(obs = Obs.none) gov pg = function
   | Rel (pattern, omega) ->
-      Governor.payload
-        ~default:(Relation.make ~schema:[] ~rows:[])
-        (Coregql.output_bounded gov pg pattern omega)
+      let rel =
+        Obs.span obs "coregql.pattern" @@ fun () ->
+        Governor.payload
+          ~default:(Relation.make ~schema:[] ~rows:[])
+          (Coregql.output_bounded gov pg pattern omega)
+      in
+      Obs.add obs "coregql.pattern_rows" (List.length (Relation.rows rel));
+      rel
   | Select (pred, q) ->
-      Relation.select (eval_gov gov pg q) (fun get -> pred_holds get pred)
-  | Project (attrs, q) -> Relation.project (eval_gov gov pg q) attrs
-  | Join (q1, q2) -> Relation.join (eval_gov gov pg q1) (eval_gov gov pg q2)
-  | Union (q1, q2) -> Relation.union (eval_gov gov pg q1) (eval_gov gov pg q2)
+      Relation.select (eval_gov ~obs gov pg q) (fun get -> pred_holds get pred)
+  | Project (attrs, q) -> Relation.project (eval_gov ~obs gov pg q) attrs
+  | Join (q1, q2) ->
+      Relation.join (eval_gov ~obs gov pg q1) (eval_gov ~obs gov pg q2)
+  | Union (q1, q2) ->
+      Relation.union (eval_gov ~obs gov pg q1) (eval_gov ~obs gov pg q2)
   | Diff (q1, q2) ->
-      let r1 = eval_gov gov pg q1 in
-      let r2 = eval_gov gov pg q2 in
+      let r1 = eval_gov ~obs gov pg q1 in
+      let r2 = eval_gov ~obs gov pg q2 in
       if Governor.ok gov then Relation.diff r1 r2
       else Relation.make ~schema:(Relation.schema r1) ~rows:[]
-  | Rename (mapping, q) -> Relation.rename (eval_gov gov pg q) mapping
+  | Rename (mapping, q) -> Relation.rename (eval_gov ~obs gov pg q) mapping
 
-let eval_bounded gov pg q = Governor.seal gov (eval_gov gov pg q)
-let eval pg q = Governor.value (eval_bounded (Governor.unlimited ()) pg q)
+let eval_bounded ?(obs = Obs.none) gov pg q =
+  Obs.span obs "coregql.eval" @@ fun () ->
+  let rel = eval_gov ~obs gov pg q in
+  Obs.add obs "coregql.rows" (List.length (Relation.rows rel));
+  Governor.seal gov rel
+
+let eval ?obs pg q =
+  Governor.value (eval_bounded ?obs (Governor.unlimited ()) pg q)

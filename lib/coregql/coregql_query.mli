@@ -29,11 +29,16 @@ type t =
 
 (** Evaluate to a first-normal-form relation.  Raises [Invalid_argument]
     on schema errors (propagated from {!Relation}) and [Not_found] on
-    predicates over unknown attributes. *)
-val eval : Pg.t -> t -> Relation.t
+    predicates over unknown attributes.
+
+    [?obs] records [coregql.pattern_rows] (rows materialized per pattern
+    leaf) and [coregql.rows] (final output), inside [coregql.eval] /
+    [coregql.pattern] spans. *)
+val eval : ?obs:Obs.t -> Pg.t -> t -> Relation.t
 
 (** As {!eval} under a governor, metering the pattern leaves.  A tripped
     budget under a difference returns the empty relation for that subtree
     (a truncated subtrahend could otherwise wrongly keep rows), so
     [Partial] outcomes never contain rows absent from the true answer. *)
-val eval_bounded : Governor.t -> Pg.t -> t -> Relation.t Governor.outcome
+val eval_bounded :
+  ?obs:Obs.t -> Governor.t -> Pg.t -> t -> Relation.t Governor.outcome

@@ -27,12 +27,20 @@ type t = {
      the counter updates entirely, so an unlimited governor shared by
      many domains costs one atomic read per call and never contends. *)
   limitless : bool;
+  obs : Obs.t;
 }
 
 (* Deadline checks call [Sys.time]; amortize them over this many ticks. *)
 let deadline_mask = 255
 
-let make ?(max_steps = max_int) ?(max_results = max_int) ?timeout ?cancel () =
+let reason_slug = function
+  | Steps -> "steps"
+  | Results -> "results"
+  | Deadline -> "deadline"
+  | Cancelled -> "cancelled"
+
+let make ?(obs = Obs.none) ?(max_steps = max_int) ?(max_results = max_int)
+    ?timeout ?cancel () =
   {
     max_steps;
     max_results;
@@ -44,12 +52,14 @@ let make ?(max_steps = max_int) ?(max_results = max_int) ?timeout ?cancel () =
     limitless =
       max_steps = max_int && max_results = max_int && timeout = None
       && cancel = None;
+    obs;
   }
 
 let unlimited () = make ()
 
 let trip t r =
-  ignore (Atomic.compare_and_set t.tripped None (Some r));
+  if Atomic.compare_and_set t.tripped None (Some r) then
+    Obs.incr t.obs ("governor.trip." ^ reason_slug r);
   false
 
 let deadline_passed t =
@@ -100,6 +110,21 @@ let cancel t =
 let steps t = Atomic.get t.steps
 let results t = Atomic.get t.results
 let tripped t = Atomic.get t.tripped
+
+(* Ticks are counted on the governor's own atomics (shared with the
+   budget logic), not duplicated into the sink per call; a snapshot at
+   the end of an evaluation transfers them.  Call once per governed
+   run — the counters are cumulative adds.  The trip reason was already
+   recorded at trip time when the sink is the governor's own, so it is
+   only re-recorded into a different sink. *)
+let observe ?obs t =
+  let sink = match obs with Some o -> o | None -> t.obs in
+  Obs.add sink "governor.steps" (Atomic.get t.steps);
+  Obs.add sink "governor.results" (Atomic.get t.results);
+  match Atomic.get t.tripped with
+  | Some r when not (sink == t.obs) ->
+      Obs.incr sink ("governor.trip." ^ reason_slug r)
+  | Some _ | None -> ()
 
 let seal t v =
   match Atomic.get t.tripped with

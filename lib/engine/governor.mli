@@ -38,6 +38,9 @@ type t
 
 (** [make ()] builds a governor; omitted limits are infinite.
 
+    - [obs]: telemetry sink; the moment a budget trips, the counter
+      [governor.trip.<steps|results|deadline|cancelled>] is bumped
+      (exactly once, CAS-guarded), so aborted runs are attributable.
     - [max_steps]: cap on {!tick} calls (fuel).
     - [max_results]: cap on results kept ({!emit} returns [false] for the
       result that would exceed it, so at most [max_results] are kept).
@@ -46,6 +49,7 @@ type t
     - [cancel]: a flag that any cooperating party (signal handler,
       another thread of control) may set to [true] to abort. *)
 val make :
+  ?obs:Obs.t ->
   ?max_steps:int ->
   ?max_results:int ->
   ?timeout:float ->
@@ -81,6 +85,16 @@ val results : t -> int
 
 (** The first resource that tripped, if any. *)
 val tripped : t -> reason option
+
+(** Short machine-friendly name of a reason: ["steps"], ["results"],
+    ["deadline"], ["cancelled"] — used in counter names and JSONL rows. *)
+val reason_slug : reason -> string
+
+(** [observe t] snapshots the governor into a sink (default: the sink
+    given to {!make}): adds [governor.steps] / [governor.results] and,
+    when recording into a sink other than the governor's own, the
+    [governor.trip.*] reason.  Call once per governed run. *)
+val observe : ?obs:Obs.t -> t -> unit
 
 (** Wrap a finished computation: [Complete v] if nothing tripped,
     [Aborted Cancelled] on cancellation, [Partial (v, r)] otherwise. *)

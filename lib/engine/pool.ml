@@ -32,10 +32,11 @@ let default () =
 
 let size t = t.size
 
-let fork_join t ~width body =
+let fork_join ?(obs = Obs.none) t ~width body =
   let width = min t.size (max 1 width) in
   if width = 1 then body 0
   else begin
+    Obs.add obs "pool.forks" (width - 1);
     let spawned =
       Array.init (width - 1) (fun i -> Domain.spawn (fun () -> body (i + 1)))
     in
@@ -53,15 +54,20 @@ let fork_join t ~width body =
     match !first_exn with None -> () | Some e -> raise e
   end
 
-let parallel_chunks t ~n ~chunk f =
+let parallel_chunks ?(obs = Obs.none) t ~n ~chunk f =
   if n > 0 then begin
     let chunk = max 1 chunk in
     let nb_chunks = (n + chunk - 1) / chunk in
+    (* One "task" per chunk claimed off the shared queue: under
+       contention this is also the number of successful steals of work a
+       domain did not spawn with. *)
+    let tasks = Obs.counter_fn obs "pool.tasks" in
     let next = Atomic.make 0 in
     let body _w =
       let rec loop () =
         let c = Atomic.fetch_and_add next 1 in
         if c < nb_chunks then begin
+          tasks 1;
           let lo = c * chunk in
           f lo (min n (lo + chunk));
           loop ()
@@ -69,5 +75,5 @@ let parallel_chunks t ~n ~chunk f =
       in
       loop ()
     in
-    fork_join t ~width:nb_chunks body
+    fork_join ~obs t ~width:nb_chunks body
   end

@@ -31,11 +31,17 @@ val size : t -> int
 (** [fork_join pool ~width body] runs [body w] for [w = 0 ..
     min width (size pool) - 1], each in its own domain (worker 0 in the
     calling domain).  Returns when all bodies have; if any raised, one of
-    the exceptions is re-raised after every domain is joined. *)
-val fork_join : t -> width:int -> (int -> unit) -> unit
+    the exceptions is re-raised after every domain is joined.
+
+    [obs] counts spawned domains under [pool.forks]. *)
+val fork_join : ?obs:Obs.t -> t -> width:int -> (int -> unit) -> unit
 
 (** [parallel_chunks pool ~n ~chunk f] partitions [0 .. n-1] into blocks
     of at most [chunk] indices and calls [f lo hi] (half-open) for each,
     dynamically load-balanced across the pool.  [f] must be safe to run
-    concurrently with itself. *)
-val parallel_chunks : t -> n:int -> chunk:int -> (int -> int -> unit) -> unit
+    concurrently with itself.
+
+    [obs] counts claimed chunks under [pool.tasks] (and forks as in
+    {!fork_join}). *)
+val parallel_chunks :
+  ?obs:Obs.t -> t -> n:int -> chunk:int -> (int -> int -> unit) -> unit

@@ -243,15 +243,19 @@ let agg_cell pg rows = function
           Relation.Cval
             (List.fold_left (fun a b -> if Value.test Value.Gt b a then b else a) v rest))
 
-let eval_gov gov ?(max_len = 8) pg q =
+let eval_gov gov ?(max_len = 8) ?(obs = Obs.none) pg q =
+  Obs.span obs "gql.eval" @@ fun () ->
   let matches =
+    Obs.span obs "gql.match" @@ fun () ->
     Governor.payload ~default:[]
       (Gql.matches_bounded ~dedup:q.distinct gov pg q.pattern ~max_len)
   in
+  Obs.add obs "gql.bindings" (List.length matches);
   let bindings = List.map snd matches in
   let schema = List.map item_name q.items in
   let key_items = List.filter (fun it -> not (is_agg it)) q.items in
   let has_agg = List.exists is_agg q.items in
+  let rel =
   if not has_agg then
     let rows =
       List.filter_map
@@ -300,8 +304,12 @@ let eval_gov gov ?(max_len = 8) pg q =
     in
     Relation.make ~schema ~rows
   end
+  in
+  Obs.add obs "gql.rows" (List.length (Relation.rows rel));
+  rel
 
-let eval_bounded ?max_len gov pg q = Governor.seal gov (eval_gov gov ?max_len pg q)
+let eval_bounded ?max_len ?obs gov pg q =
+  Governor.seal gov (eval_gov gov ?max_len ?obs pg q)
 
-let eval ?max_len pg q =
-  Governor.value (eval_bounded ?max_len (Governor.unlimited ()) pg q)
+let eval ?max_len ?obs pg q =
+  Governor.value (eval_bounded ?max_len ?obs (Governor.unlimited ()) pg q)

@@ -51,12 +51,17 @@ val parse_res : string -> (t, Gq_error.t) result
 
 (** [eval pg q ~max_len]: match, project, aggregate.  Raises
     {!Eval_error} on returning a group variable or aggregating over a
-    non-value property. *)
-val eval : ?max_len:int -> Pg.t -> t -> Relation.t
+    non-value property.
+
+    [?obs] records [gql.bindings] (pattern matches) and [gql.rows]
+    (output rows after projection/aggregation), inside [gql.eval] /
+    [gql.match] spans. *)
+val eval : ?max_len:int -> ?obs:Obs.t -> Pg.t -> t -> Relation.t
 
 (** As {!eval} under a governor metering the MATCH phase.  Aggregates in a
     [Partial] outcome are computed over the truncated match set. *)
 val eval_bounded :
-  ?max_len:int -> Governor.t -> Pg.t -> t -> Relation.t Governor.outcome
+  ?max_len:int -> ?obs:Obs.t ->
+  Governor.t -> Pg.t -> t -> Relation.t Governor.outcome
 
 val item_name : item -> string

@@ -1,0 +1,109 @@
+(* Counters are plain atomics, so workers of a [Pool]-parallel
+   evaluation bump a shared counter without locking and no tick is ever
+   lost (test_obs pins sum-of-workers = serial).  The registry itself is
+   mutated only on first registration of a name, which is rare and
+   mutex-protected; reads ([counters]/[histograms]) take the same mutex
+   so a snapshot never observes a half-registered entry. *)
+
+type counter = { cname : string; value : int Atomic.t }
+
+(* Power-of-two buckets: [buckets.(i)] counts observations [v] with
+   [2^(i-1) <= v < 2^i] (bucket 0 holds v <= 0 and v = 1 lands in
+   bucket 1).  63 buckets cover the whole int range, so there is no
+   overflow bucket to special-case. *)
+let nb_buckets = 63
+
+type histogram = {
+  hname : string;
+  buckets : int Atomic.t array;
+  count : int Atomic.t;
+  sum : int Atomic.t;
+}
+
+type t = {
+  mutable cs : counter list;
+  mutable hs : histogram list;
+  lock : Mutex.t;
+}
+
+let create () = { cs = []; hs = []; lock = Mutex.create () }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let counter t name =
+  with_lock t (fun () ->
+      match List.find_opt (fun c -> c.cname = name) t.cs with
+      | Some c -> c
+      | None ->
+          let c = { cname = name; value = Atomic.make 0 } in
+          t.cs <- c :: t.cs;
+          c)
+
+let add c k = ignore (Atomic.fetch_and_add c.value k)
+let incr c = add c 1
+let value c = Atomic.get c.value
+let counter_name c = c.cname
+
+let histogram t name =
+  with_lock t (fun () ->
+      match List.find_opt (fun h -> h.hname = name) t.hs with
+      | Some h -> h
+      | None ->
+          let h =
+            {
+              hname = name;
+              buckets = Array.init nb_buckets (fun _ -> Atomic.make 0);
+              count = Atomic.make 0;
+              sum = Atomic.make 0;
+            }
+          in
+          t.hs <- h :: t.hs;
+          h)
+
+let bucket_of v =
+  if v <= 0 then 0
+  else
+    (* Index of the highest set bit, plus one. *)
+    let rec go v i = if v = 0 then i else go (v lsr 1) (i + 1) in
+    min (nb_buckets - 1) (go v 0)
+
+let observe h v =
+  ignore (Atomic.fetch_and_add h.buckets.(bucket_of v) 1);
+  ignore (Atomic.fetch_and_add h.count 1);
+  ignore (Atomic.fetch_and_add h.sum v)
+
+type histogram_snapshot = {
+  total : int;
+  total_sum : int;
+  nonzero_buckets : (int * int) list;
+}
+
+let snapshot h =
+  {
+    total = Atomic.get h.count;
+    total_sum = Atomic.get h.sum;
+    nonzero_buckets =
+      Array.to_list h.buckets
+      |> List.mapi (fun i c -> (i, Atomic.get c))
+      |> List.filter (fun (_, c) -> c > 0);
+  }
+
+let counters t =
+  with_lock t (fun () -> List.map (fun c -> (c.cname, value c)) t.cs)
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let histograms t =
+  with_lock t (fun () -> List.map (fun h -> (h.hname, snapshot h)) t.hs)
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset t =
+  with_lock t (fun () ->
+      List.iter (fun c -> Atomic.set c.value 0) t.cs;
+      List.iter
+        (fun h ->
+          Array.iter (fun b -> Atomic.set b 0) h.buckets;
+          Atomic.set h.count 0;
+          Atomic.set h.sum 0)
+        t.hs)

@@ -1,0 +1,58 @@
+(** Named atomic counters and histograms.
+
+    A {!t} is a registry: engines look a counter up by name once per
+    evaluation ({!counter} registers on first use) and then bump it
+    lock-free from any domain.  Counters are [Atomic.t], so one registry
+    may be shared by every worker of a parallel evaluation — the sum of
+    per-worker contributions equals the serial count exactly.
+
+    Names are dotted slugs by convention, [subsystem.quantity]:
+    [rpq.product_transitions], [governor.steps], [pool.tasks]. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Counters} *)
+
+type counter
+
+(** Get-or-register; thread-safe.  The handle stays valid for the
+    registry's lifetime — hot loops should look it up once, outside. *)
+val counter : t -> string -> counter
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+val counter_name : counter -> string
+
+(** {1 Histograms}
+
+    Power-of-two buckets: observation [v > 0] lands in the bucket of its
+    bit width, [v <= 0] in bucket 0. *)
+
+type histogram
+
+val histogram : t -> string -> histogram
+val observe : histogram -> int -> unit
+
+type histogram_snapshot = {
+  total : int;  (** number of observations *)
+  total_sum : int;  (** sum of observed values *)
+  nonzero_buckets : (int * int) list;  (** (bucket index, count) *)
+}
+
+val snapshot : histogram -> histogram_snapshot
+
+(** [bucket_of v] is the bucket index an observation of [v] lands in. *)
+val bucket_of : int -> int
+
+(** {1 Snapshots} *)
+
+(** All counters, sorted by name. *)
+val counters : t -> (string * int) list
+
+val histograms : t -> (string * histogram_snapshot) list
+
+(** Zero every counter and histogram (handles stay valid). *)
+val reset : t -> unit

@@ -1,0 +1,56 @@
+type t = { metrics : Metrics.t option; trace : Trace.t option }
+
+let none = { metrics = None; trace = None }
+let make ?metrics ?trace () = { metrics; trace }
+let enabled t = t.metrics <> None || t.trace <> None
+let metrics t = t.metrics
+let trace t = t.trace
+
+let counter t name =
+  match t.metrics with
+  | None -> None
+  | Some m -> Some (Metrics.counter m name)
+
+let noop_add (_ : int) = ()
+
+let counter_fn t name =
+  match t.metrics with
+  | None -> noop_add
+  | Some m ->
+      let c = Metrics.counter m name in
+      fun k -> Metrics.add c k
+
+let add t name k =
+  match t.metrics with
+  | None -> ()
+  | Some m -> Metrics.add (Metrics.counter m name) k
+
+let incr t name = add t name 1
+
+let observe t name v =
+  match t.metrics with
+  | None -> ()
+  | Some m -> Metrics.observe (Metrics.histogram m name) v
+
+let span t name f =
+  match t.trace with None -> f () | Some tr -> Trace.with_span tr name f
+
+let counters t =
+  match t.metrics with None -> [] | Some m -> Metrics.counters m
+
+(* One [name value] line per counter, histograms as [name count sum]:
+   the `gqd --metrics` stderr format, stable for the smoke test. *)
+let summary t =
+  match t.metrics with
+  | None -> ""
+  | Some m ->
+      let buf = Buffer.create 256 in
+      List.iter
+        (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "%s %d\n" name v))
+        (Metrics.counters m);
+      List.iter
+        (fun (name, s) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s %d %d\n" name s.Metrics.total s.Metrics.total_sum))
+        (Metrics.histograms m);
+      Buffer.contents buf

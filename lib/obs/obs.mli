@@ -1,0 +1,54 @@
+(** The telemetry sink threaded through the engines.
+
+    Every instrumented entry point takes [?obs:Obs.t] defaulting to
+    {!none}.  A disabled sink makes every operation here a cheap no-op —
+    one branch on an immutable field — so uninstrumented call sites pay
+    essentially nothing.  An enabled sink routes counter bumps to a
+    {!Metrics.t} registry and phase spans to a {!Trace.t} collector,
+    both safe to share across the domains of a parallel evaluation.
+
+    Hot loops should hoist the counter lookup with {!counter_fn} (one
+    registry lookup per evaluation, one closure call per bump) rather
+    than calling {!add} per iteration. *)
+
+type t
+
+(** The no-op sink: no metrics, no trace. *)
+val none : t
+
+val make : ?metrics:Metrics.t -> ?trace:Trace.t -> unit -> t
+
+(** [false] exactly for {!none}-like sinks (neither metrics nor trace). *)
+val enabled : t -> bool
+
+val metrics : t -> Metrics.t option
+val trace : t -> Trace.t option
+
+(** {1 Counters} *)
+
+(** [None] when the sink has no metrics registry. *)
+val counter : t -> string -> Metrics.counter option
+
+(** Pre-resolved bump function: a shared no-op when disabled, otherwise
+    [Metrics.add] on the named counter.  Hoist out of hot loops. *)
+val counter_fn : t -> string -> int -> unit
+
+val add : t -> string -> int -> unit
+val incr : t -> string -> unit
+val observe : t -> string -> int -> unit
+
+(** {1 Spans} *)
+
+(** [span t name f] runs [f] inside a trace span ([f ()] directly when
+    the sink has no trace). *)
+val span : t -> string -> (unit -> 'a) -> 'a
+
+(** {1 Reporting} *)
+
+(** All counters of the sink's registry, sorted by name; [[]] when
+    disabled. *)
+val counters : t -> (string * int) list
+
+(** Human summary, one [name value] line per counter (histograms as
+    [name count sum]); [""] when disabled. *)
+val summary : t -> string

@@ -1,0 +1,116 @@
+(* Each domain appends to its own buffer, acquired once per domain via a
+   mutex-protected table keyed by [Domain.self ()] — after acquisition,
+   span entry/exit touch only domain-local mutable state, so tracing a
+   parallel evaluation costs no synchronization on the hot path.  The
+   buffers are only read ([events]/JSONL output) after the parallel
+   section has joined; the mutex still guards the table so a late-coming
+   domain cannot race the snapshot. *)
+
+type event = {
+  name : string;
+  domain : int;
+  depth : int;  (* 0 = top-level span within this domain *)
+  t0 : float;
+  t1 : float;
+}
+
+type buffer = {
+  dom : int;
+  mutable stack : (string * float) list;  (* open spans, innermost first *)
+  mutable closed : event list;  (* completed spans, most recent first *)
+}
+
+type t = {
+  clock : unit -> float;
+  epoch : float;
+  buffers : (int, buffer) Hashtbl.t;
+  lock : Mutex.t;
+}
+
+(* [Sys.time] is process CPU time: monotonic, stdlib-only, and coarse
+   (often 1-10 ms granularity).  Callers that need wall-clock precision
+   pass their own [?clock] (gqd uses [Unix.gettimeofday]). *)
+let create ?(clock = Sys.time) () =
+  { clock; epoch = clock (); buffers = Hashtbl.create 8; lock = Mutex.create () }
+
+let buffer_of t =
+  let dom = (Domain.self () :> int) in
+  match Hashtbl.find_opt t.buffers dom with
+  | Some b -> b
+  | None ->
+      Mutex.lock t.lock;
+      let b =
+        match Hashtbl.find_opt t.buffers dom with
+        | Some b -> b
+        | None ->
+            let b = { dom; stack = []; closed = [] } in
+            Hashtbl.add t.buffers dom b;
+            b
+      in
+      Mutex.unlock t.lock;
+      b
+
+type span = { sname : string; buf : buffer }
+
+let enter t name =
+  let b = buffer_of t in
+  b.stack <- (name, t.clock () -. t.epoch) :: b.stack;
+  { sname = name; buf = b }
+
+(* Exits are matched by name against the innermost open span; exiting a
+   span that is not innermost closes the intervening ones too (they
+   cannot outlive their parent), keeping the event stream well-nested
+   even if an engine leaks a span on an error path. *)
+let exit t s =
+  let now = t.clock () -. t.epoch in
+  let b = s.buf in
+  let rec unwind = function
+    | [] -> []
+    | (name, t0) :: rest ->
+        b.closed <-
+          { name; domain = b.dom; depth = List.length rest; t0; t1 = now }
+          :: b.closed;
+        if name = s.sname then rest else unwind rest
+  in
+  b.stack <- unwind b.stack
+
+let with_span t name f =
+  let s = enter t name in
+  Fun.protect ~finally:(fun () -> exit t s) f
+
+let events t =
+  Mutex.lock t.lock;
+  let evs =
+    Hashtbl.fold (fun _ b acc -> List.rev_append b.closed acc) t.buffers []
+  in
+  Mutex.unlock t.lock;
+  List.sort
+    (fun a b ->
+      match compare a.t0 b.t0 with 0 -> compare b.t1 a.t1 | c -> c)
+    evs
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let event_to_json e =
+  Printf.sprintf
+    "{\"span\":\"%s\",\"domain\":%d,\"depth\":%d,\"start_s\":%.6f,\"end_s\":%.6f,\"dur_ms\":%.3f}"
+    (json_escape e.name) e.domain e.depth e.t0 e.t1
+    ((e.t1 -. e.t0) *. 1e3)
+
+let to_jsonl t =
+  String.concat "" (List.map (fun e -> event_to_json e ^ "\n") (events t))
+
+let write_jsonl t oc = output_string oc (to_jsonl t)

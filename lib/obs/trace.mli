@@ -1,0 +1,47 @@
+(** Nestable phase spans, emitted as JSONL.
+
+    A {!t} collects completed spans — parse, compile, automaton build,
+    product BFS, join, enumerate — each with monotonic start/end
+    timestamps (seconds since the trace was created), the id of the
+    domain that ran it, and its nesting depth within that domain.
+    Buffers are per-domain, so tracing inside a {!Pool}-parallel section
+    is safe and costs no synchronization after the first span on each
+    domain; events become visible to {!events} once the parallel section
+    has joined.
+
+    One JSONL line per completed span:
+    [{"span":"rpq.bfs","domain":0,"depth":1,"start_s":0.000123,
+      "end_s":0.004567,"dur_ms":4.444}] *)
+
+type t
+
+(** [create ()] starts the trace clock.  The default clock is
+    [Sys.time] (CPU time: monotonic, stdlib-only, coarse); pass
+    [?clock] for wall-clock precision. *)
+val create : ?clock:(unit -> float) -> unit -> t
+
+type span
+
+val enter : t -> string -> span
+
+(** Closes the span, and any still-open spans nested inside it. *)
+val exit : t -> span -> unit
+
+(** [with_span t name f] runs [f] inside a span; exception-safe. *)
+val with_span : t -> string -> (unit -> 'a) -> 'a
+
+type event = {
+  name : string;
+  domain : int;
+  depth : int;  (** 0 = top-level within its domain *)
+  t0 : float;  (** seconds since trace creation *)
+  t1 : float;
+}
+
+(** Completed spans across all domains, ordered by start time (ties:
+    outermost first). *)
+val events : t -> event list
+
+val event_to_json : event -> string
+val to_jsonl : t -> string
+val write_jsonl : t -> out_channel -> unit

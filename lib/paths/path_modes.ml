@@ -10,7 +10,7 @@ let mode_to_string = function
    path, so searches below never emit duplicates. *)
 let det_nfa r = Dfa.to_nfa (Dfa.minimize (Dfa.of_nfa (Nfa.of_regex r)))
 
-let det_product g r = Product.make g (det_nfa r)
+let det_product ?obs g r = Product.make ?obs g (det_nfa r)
 
 (* Generic bounded DFS over the product graph.  [node_once]/[edge_once]
    enforce simple-path/trail restrictions on the graph projection.
@@ -18,7 +18,10 @@ let det_product g r = Product.make g (det_nfa r)
    The governor is charged one step per product-edge extension; these
    searches are worst-case exponential (experiment E5), so this is the
    choke point that keeps hostile instances from hanging. *)
-let dfs gov product ~src ~tgt ~max_len ~node_once ~edge_once ~emit =
+let dfs ?(obs = Obs.none) gov product ~src ~tgt ~max_len ~node_once
+    ~edge_once ~emit =
+  let expansions = Obs.counter_fn obs "paths.expansions" in
+  let expanded = ref 0 in
   let g = Product.graph product in
   let visited_nodes = Array.make (Elg.nb_nodes g) false in
   let visited_edges = Array.make (max 1 (Elg.nb_edges g)) false in
@@ -34,6 +37,7 @@ let dfs gov product ~src ~tgt ~max_len ~node_once ~edge_once ~emit =
             let node_ok = (not node_once) || not visited_nodes.(w) in
             let edge_ok = (not edge_once) || not visited_edges.(e) in
             if node_ok && edge_ok && Governor.tick gov then begin
+              incr expanded;
               if node_once then visited_nodes.(w) <- true;
               if edge_once then visited_edges.(e) <- true;
               go state' (Path.N w :: Path.E e :: rev_objs) (len + 1);
@@ -45,10 +49,13 @@ let dfs gov product ~src ~tgt ~max_len ~node_once ~edge_once ~emit =
   visited_nodes.(src) <- true;
   List.iter
     (fun state -> if not !stop then go state [ Path.N src ] 0)
-    (Product.initials_at product src)
+    (Product.initials_at product src);
+  expansions !expanded
 
 (* Geodesic DFS: follow only product edges on shortest-path layers. *)
-let shortest_search gov product ~src ~tgt ~emit =
+let shortest_search ?(obs = Obs.none) gov product ~src ~tgt ~emit =
+  let expansions = Obs.counter_fn obs "paths.expansions" in
+  let expanded = ref 0 in
   let g = Product.graph product in
   let n = Product.nb_states product in
   let dist = Array.make (max 1 n) (-1) in
@@ -63,9 +70,12 @@ let shortest_search gov product ~src ~tgt ~emit =
   while not (Queue.is_empty queue) && Governor.ok gov do
     let s = Queue.pop queue in
     Product.iter_out product s (fun _ s' ->
-        if Governor.tick gov && dist.(s') < 0 then begin
-          dist.(s') <- dist.(s) + 1;
-          Queue.add s' queue
+        if Governor.tick gov then begin
+          incr expanded;
+          if dist.(s') < 0 then begin
+            dist.(s') <- dist.(s) + 1;
+            Queue.add s' queue
+          end
         end)
   done;
   let best = ref max_int in
@@ -87,33 +97,43 @@ let shortest_search gov product ~src ~tgt ~emit =
             if
               dist.(state') = len + 1 && dist.(state') <= d
               && Governor.tick gov
-            then
-              go state' (Path.N (Elg.tgt g e) :: Path.E e :: rev_objs) (len + 1))
+            then begin
+              incr expanded;
+              go state' (Path.N (Elg.tgt g e) :: Path.E e :: rev_objs) (len + 1)
+            end)
     in
     List.iter
       (fun s -> if dist.(s) = 0 && Governor.ok gov then go s [ Path.N src ] 0)
       (Product.initials_at product src)
-  end
+  end;
+  expansions !expanded
 
-let shortest_gov gov g r ~src ~tgt =
-  let product = det_product g r in
+let shortest_gov ?(obs = Obs.none) gov g r ~src ~tgt =
+  Obs.span obs "paths.eval" @@ fun () ->
+  let product = det_product ~obs g r in
   let acc = ref [] in
-  shortest_search gov product ~src ~tgt ~emit:(fun objs ->
-      if Governor.emit gov then acc := Path.of_objs_exn g objs :: !acc;
+  let emitted = ref 0 in
+  shortest_search ~obs gov product ~src ~tgt ~emit:(fun objs ->
+      if Governor.emit gov then begin
+        incr emitted;
+        acc := Path.of_objs_exn g objs :: !acc
+      end;
       Governor.ok gov);
+  Obs.add obs "paths.emitted" !emitted;
   List.rev !acc
 
-let shortest_bounded gov g r ~src ~tgt =
-  Governor.seal gov (shortest_gov gov g r ~src ~tgt)
+let shortest_bounded ?obs gov g r ~src ~tgt =
+  Governor.seal gov (shortest_gov ?obs gov g r ~src ~tgt)
 
 let shortest g r ~src ~tgt =
   Governor.value (shortest_bounded (Governor.unlimited ()) g r ~src ~tgt)
 
-let enumerate_gov gov g r ~mode ~max_len ~src ~tgt =
+let enumerate_gov ?(obs = Obs.none) gov g r ~mode ~max_len ~src ~tgt =
   match mode with
-  | Shortest -> shortest_gov gov g r ~src ~tgt
+  | Shortest -> shortest_gov ~obs gov g r ~src ~tgt
   | Simple | Trail | All ->
-      let product = det_product g r in
+      Obs.span obs "paths.eval" @@ fun () ->
+      let product = det_product ~obs g r in
       let node_once = mode = Simple and edge_once = mode = Trail in
       let bound =
         match mode with
@@ -122,14 +142,19 @@ let enumerate_gov gov g r ~mode ~max_len ~src ~tgt =
         | Shortest | All -> max_len
       in
       let acc = ref [] in
-      dfs gov product ~src ~tgt ~max_len:bound ~node_once ~edge_once
+      let emitted = ref 0 in
+      dfs ~obs gov product ~src ~tgt ~max_len:bound ~node_once ~edge_once
         ~emit:(fun objs ->
-          if Governor.emit gov then acc := Path.of_objs_exn g objs :: !acc;
+          if Governor.emit gov then begin
+            incr emitted;
+            acc := Path.of_objs_exn g objs :: !acc
+          end;
           Governor.ok gov);
+      Obs.add obs "paths.emitted" !emitted;
       List.rev !acc
 
-let enumerate_bounded gov g r ~mode ~max_len ~src ~tgt =
-  Governor.seal gov (enumerate_gov gov g r ~mode ~max_len ~src ~tgt)
+let enumerate_bounded ?obs gov g r ~mode ~max_len ~src ~tgt =
+  Governor.seal gov (enumerate_gov ?obs gov g r ~mode ~max_len ~src ~tgt)
 
 let enumerate g r ~mode ~max_len ~src ~tgt =
   Governor.value
@@ -172,31 +197,31 @@ let in_length_order g r ~max_len ~src ~tgt =
 let k_shortest g r ~k ~max_len ~src ~tgt =
   in_length_order g r ~max_len ~src ~tgt |> Seq.take k |> List.of_seq
 
-let count_gov gov g r ~mode ~max_len ~src ~tgt =
+let count_gov ?(obs = Obs.none) gov g r ~mode ~max_len ~src ~tgt =
   match mode with
-  | All -> Rpq_count.count_paths_upto g r ~src ~tgt ~max_len
+  | All -> Rpq_count.count_paths_upto ~obs g r ~src ~tgt ~max_len
   | Shortest ->
-      let product = det_product g r in
+      let product = det_product ~obs g r in
       let n = ref Nat_big.zero in
-      shortest_search gov product ~src ~tgt ~emit:(fun _ ->
+      shortest_search ~obs gov product ~src ~tgt ~emit:(fun _ ->
           n := Nat_big.succ !n;
           Governor.ok gov);
       !n
   | Simple | Trail ->
-      let product = det_product g r in
+      let product = det_product ~obs g r in
       let bound =
         if mode = Simple then min max_len (Elg.nb_nodes g - 1)
         else min max_len (Elg.nb_edges g)
       in
       let n = ref Nat_big.zero in
-      dfs gov product ~src ~tgt ~max_len:bound ~node_once:(mode = Simple)
+      dfs ~obs gov product ~src ~tgt ~max_len:bound ~node_once:(mode = Simple)
         ~edge_once:(mode = Trail) ~emit:(fun _ ->
           n := Nat_big.succ !n;
           Governor.ok gov);
       !n
 
-let count_bounded gov g r ~mode ~max_len ~src ~tgt =
-  Governor.seal gov (count_gov gov g r ~mode ~max_len ~src ~tgt)
+let count_bounded ?obs gov g r ~mode ~max_len ~src ~tgt =
+  Governor.seal gov (count_gov ?obs gov g r ~mode ~max_len ~src ~tgt)
 
 let count g r ~mode ~max_len ~src ~tgt =
   Governor.value

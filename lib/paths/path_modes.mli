@@ -32,7 +32,11 @@ val enumerate :
   tgt:int ->
   Path.t list
 
+(** [?obs] (on the bounded forms) records [paths.expansions]
+    (product-edge extensions tried by the search) and [paths.emitted],
+    inside a [paths.eval] span. *)
 val enumerate_bounded :
+  ?obs:Obs.t ->
   Governor.t ->
   Elg.t ->
   Sym.t Regex.t ->
@@ -47,6 +51,7 @@ val enumerate_bounded :
 val shortest : Elg.t -> Sym.t Regex.t -> src:int -> tgt:int -> Path.t list
 
 val shortest_bounded :
+  ?obs:Obs.t ->
   Governor.t -> Elg.t -> Sym.t Regex.t -> src:int -> tgt:int ->
   Path.t list Governor.outcome
 
@@ -75,6 +80,7 @@ val count :
   Nat_big.t
 
 val count_bounded :
+  ?obs:Obs.t ->
   Governor.t ->
   Elg.t ->
   Sym.t Regex.t ->

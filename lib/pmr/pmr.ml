@@ -31,7 +31,8 @@ let out_adj pmr =
 let det_nfa r = Dfa.to_nfa (Dfa.minimize (Dfa.of_nfa (Nfa.of_regex r)))
 
 (* Useful product states and the trimmed PMR they induce. *)
-let of_product product ~src ~tgt ~keep_edge =
+let of_product ?(obs = Obs.none) product ~src ~tgt ~keep_edge =
+  Obs.span obs "pmr.build" @@ fun () ->
   let n = Product.nb_states product in
   let forward = Array.make (max 1 n) false in
   let queue = Queue.create () in
@@ -105,24 +106,21 @@ let of_product product ~src ~tgt ~keep_edge =
     if useful s && v = tgt && Product.is_final product s then
       targets := renum.(s) :: !targets
   done;
-  {
-    nb_nodes = !count;
-    gamma_node;
-    edges = Array.of_list !edges;
-    sources;
-    targets = !targets;
-  }
+  let edges = Array.of_list !edges in
+  Obs.add obs "pmr.nodes" !count;
+  Obs.add obs "pmr.edges" (Array.length edges);
+  { nb_nodes = !count; gamma_node; edges; sources; targets = !targets }
 
-let of_rpq g r ~src ~tgt =
-  let product = Product.make g (det_nfa r) in
-  of_product product ~src ~tgt ~keep_edge:(fun _ _ _ -> true)
+let of_rpq ?obs g r ~src ~tgt =
+  let product = Product.make ?obs g (det_nfa r) in
+  of_product ?obs product ~src ~tgt ~keep_edge:(fun _ _ _ -> true)
 
-let of_nfa g nfa ~src ~tgt =
-  let product = Product.make g nfa in
-  of_product product ~src ~tgt ~keep_edge:(fun _ _ _ -> true)
+let of_nfa ?obs g nfa ~src ~tgt =
+  let product = Product.make ?obs g nfa in
+  of_product ?obs product ~src ~tgt ~keep_edge:(fun _ _ _ -> true)
 
-let of_rpq_shortest g r ~src ~tgt =
-  let product = Product.make g (det_nfa r) in
+let of_rpq_shortest ?obs g r ~src ~tgt =
+  let product = Product.make ?obs g (det_nfa r) in
   let n = Product.nb_states product in
   let dist = Array.make (max 1 n) (-1) in
   let queue = Queue.create () in
@@ -150,7 +148,7 @@ let of_rpq_shortest g r ~src ~tgt =
   let keep_edge s _ s' =
     dist.(s) >= 0 && dist.(s') = dist.(s) + 1 && dist.(s') <= !best
   in
-  of_product product ~src ~tgt ~keep_edge
+  of_product ?obs product ~src ~tgt ~keep_edge
 
 let count_paths pmr =
   let adj = out_adj pmr in
@@ -199,7 +197,10 @@ let count_paths pmr =
 (* A PMR can represent exponentially (even infinitely) many paths, so the
    unrolling charges the governor: one step per PMR-edge extension, one
    result per represented path. *)
-let spaths_upto_gov gov g pmr ~max_len =
+let spaths_upto_gov ?(obs = Obs.none) gov g pmr ~max_len =
+  Obs.span obs "pmr.unroll" @@ fun () ->
+  let steps = Obs.counter_fn obs "pmr.unroll_steps" in
+  let stepped = ref 0 in
   let adj = out_adj pmr in
   let acc = ref [] in
   let rec go v rev_objs len =
@@ -208,18 +209,21 @@ let spaths_upto_gov gov g pmr ~max_len =
     if len < max_len && Governor.ok gov then
       List.iter
         (fun (w, ge) ->
-          if Governor.tick gov then
-            go w (Path.N pmr.gamma_node.(w) :: Path.E ge :: rev_objs) (len + 1))
+          if Governor.tick gov then begin
+            incr stepped;
+            go w (Path.N pmr.gamma_node.(w) :: Path.E ge :: rev_objs) (len + 1)
+          end)
         adj.(v)
   in
   List.iter
     (fun s -> if Governor.ok gov then go s [ Path.N pmr.gamma_node.(s) ] 0)
     pmr.sources;
+  steps !stepped;
   List.map (Path.of_objs_exn g) !acc
   |> List.sort_uniq Path.compare
 
-let spaths_upto_bounded gov g pmr ~max_len =
-  Governor.seal gov (spaths_upto_gov gov g pmr ~max_len)
+let spaths_upto_bounded ?obs gov g pmr ~max_len =
+  Governor.seal gov (spaths_upto_gov ?obs gov g pmr ~max_len)
 
 let spaths_upto g pmr ~max_len =
   Governor.value (spaths_upto_bounded (Governor.unlimited ()) g pmr ~max_len)

@@ -30,18 +30,23 @@ val check : Elg.t -> t -> bool
 (** The PMR of all matching paths from [src] to [tgt]: the trimmed product
     graph with a deterministic automaton.  Represents exactly
     [{ p | p from src to tgt, elab(p) ∈ L(R) }] — possibly an infinite
-    set. *)
-val of_rpq : Elg.t -> Sym.t Regex.t -> src:int -> tgt:int -> t
+    set.
+
+    [?obs] (here and on the other constructors) records [pmr.nodes] /
+    [pmr.edges] of the trimmed result inside a [pmr.build] span, plus
+    whatever {!Product.make} records. *)
+val of_rpq : ?obs:Obs.t -> Elg.t -> Sym.t Regex.t -> src:int -> tgt:int -> t
 
 (** Like {!of_rpq} but keeping only geodesic edges: represents exactly the
     shortest matching paths. *)
-val of_rpq_shortest : Elg.t -> Sym.t Regex.t -> src:int -> tgt:int -> t
+val of_rpq_shortest :
+  ?obs:Obs.t -> Elg.t -> Sym.t Regex.t -> src:int -> tgt:int -> t
 
 (** Trimmed product with a caller-supplied automaton.  With a
     nondeterministic automaton, PMR paths are in bijection with {e runs},
     not matched paths; this is exactly what annotated representations of
     l-RPQ outputs need (one run = one binding, experiment E4). *)
-val of_nfa : Elg.t -> Sym.t Nfa.t -> src:int -> tgt:int -> t
+val of_nfa : ?obs:Obs.t -> Elg.t -> Sym.t Nfa.t -> src:int -> tgt:int -> t
 
 (** [`Infinite] when a cycle lies on some S→T route. *)
 val count_paths : t -> [ `Finite of Nat_big.t | `Infinite ]
@@ -52,8 +57,10 @@ val spaths_upto : Elg.t -> t -> max_len:int -> Path.t list
 (** As {!spaths_upto} under a governor: a PMR may represent
     exponentially many paths, so the unrolling charges one step per
     PMR-edge extension and one result per path, returning a [Partial]
-    prefix when a budget trips. *)
+    prefix when a budget trips.  [?obs] records [pmr.unroll_steps]
+    inside a [pmr.unroll] span. *)
 val spaths_upto_bounded :
+  ?obs:Obs.t ->
   Governor.t -> Elg.t -> t -> max_len:int -> Path.t list Governor.outcome
 
 (** Is the (node-to-node) path represented? *)

@@ -15,7 +15,8 @@ let nb_automaton_states t = t.nfa.Nfa.nb_states
 let state t ~node ~q = (node * nb_automaton_states t) + q
 let decode t s = (s / nb_automaton_states t, s mod nb_automaton_states t)
 
-let make graph nfa =
+let make ?(obs = Obs.none) graph nfa =
+  Obs.span obs "product.build" @@ fun () ->
   let nq = nfa.Nfa.nb_states in
   let nl = Elg.nb_labels graph in
   let nb_states = Elg.nb_nodes graph * nq in
@@ -80,6 +81,8 @@ let make graph nfa =
       done
     done
   done;
+  Obs.add obs "product.states" nb_states;
+  Obs.add obs "product.edges" nb_product_edges;
   { graph; nfa; off; edge; succ; finals = nfa.Nfa.finals }
 
 let graph t = t.graph

@@ -9,7 +9,9 @@
 
 type t
 
-val make : Elg.t -> Sym.t Nfa.t -> t
+(** [obs]: the construction runs inside a [product.build] span and
+    records [product.states] / [product.edges]. *)
+val make : ?obs:Obs.t -> Elg.t -> Sym.t Nfa.t -> t
 
 val graph : t -> Elg.t
 val nfa : t -> Sym.t Nfa.t

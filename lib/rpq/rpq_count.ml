@@ -12,7 +12,8 @@ let compile g r =
 (* DP over (node, dfa state): counts of paths of the current length from
    [src].  Determinism makes runs and paths one-to-one; [accept v q]
    selects which states tally into the total at each length. *)
-let count_from g dfa lclass ~src ~max_len accept =
+let count_from ?(obs = Obs.none) g dfa lclass ~src ~max_len accept =
+  let relax = Obs.counter_fn obs "rpq_count.relaxations" in
   let nq = dfa.Dfa.nb_states in
   let idx v q = (v * nq) + q in
   let size = Elg.nb_nodes g * nq in
@@ -28,6 +29,7 @@ let count_from g dfa lclass ~src ~max_len accept =
   current.(idx src dfa.Dfa.init) <- Nat_big.one;
   add_finals current;
   let current = ref current in
+  let relaxed = ref 0 in
   for _ = 1 to max_len do
     let next = Array.make size Nat_big.zero in
     Array.iteri
@@ -35,6 +37,7 @@ let count_from g dfa lclass ~src ~max_len accept =
         if not (Nat_big.is_zero count) then begin
           let v = i / nq and q = i mod nq in
           Elg.iter_out g v (fun e ->
+              incr relaxed;
               let q' = dfa.Dfa.next.(q).(lclass.(Elg.edge_label_id g e)) in
               let j = idx (Elg.tgt g e) q' in
               next.(j) <- Nat_big.add next.(j) count)
@@ -43,14 +46,17 @@ let count_from g dfa lclass ~src ~max_len accept =
     current := next;
     add_finals next
   done;
+  relax !relaxed;
   !total
 
-let count_paths_upto g r ~src ~tgt ~max_len =
+let count_paths_upto ?(obs = Obs.none) g r ~src ~tgt ~max_len =
+  Obs.span obs "rpq_count.eval" @@ fun () ->
   let dfa, lclass = compile g r in
-  count_from g dfa lclass ~src ~max_len (fun v q ->
+  count_from ~obs g dfa lclass ~src ~max_len (fun v q ->
       v = tgt && dfa.Dfa.finals.(q))
 
-let total_paths_upto ?pool g r ~max_len =
+let total_paths_upto ?pool ?(obs = Obs.none) g r ~max_len =
+  Obs.span obs "rpq_count.eval" @@ fun () ->
   let dfa, lclass = compile g r in
   let accept _ q = dfa.Dfa.finals.(q) in
   let n = Elg.nb_nodes g in
@@ -58,13 +64,13 @@ let total_paths_upto ?pool g r ~max_len =
   let width = max 1 (min (Pool.size pool) n) in
   let partials = Array.make width Nat_big.zero in
   let next = Atomic.make 0 in
-  Pool.fork_join pool ~width (fun w ->
+  Pool.fork_join ~obs pool ~width (fun w ->
       let rec loop () =
         let src = Atomic.fetch_and_add next 1 in
         if src < n then begin
           partials.(w) <-
             Nat_big.add partials.(w)
-              (count_from g dfa lclass ~src ~max_len accept);
+              (count_from ~obs g dfa lclass ~src ~max_len accept);
           loop ()
         end
       in

@@ -24,15 +24,19 @@
       used as a structural cross-check in tests. *)
 
 (** Number of matching paths from [src] to [tgt] of length at most
-    [max_len]. *)
+    [max_len].  [obs] records [rpq_count.relaxations] (DP edge visits)
+    inside an [rpq_count.eval] span. *)
 val count_paths_upto :
+  ?obs:Obs.t ->
   Elg.t -> Sym.t Regex.t -> src:int -> tgt:int -> max_len:int -> Nat_big.t
 
 (** Number of matching paths of length at most [max_len] over {e all}
     (source, target) pairs: one DP per source, fanned out across
-    [?pool]'s domains (default pool when omitted). *)
+    [?pool]'s domains (default pool when omitted).  [obs] as in
+    {!count_paths_upto}, plus pool counters. *)
 val total_paths_upto :
-  ?pool:Pool.t -> Elg.t -> Sym.t Regex.t -> max_len:int -> Nat_big.t
+  ?pool:Pool.t -> ?obs:Obs.t ->
+  Elg.t -> Sym.t Regex.t -> max_len:int -> Nat_big.t
 
 (** ALP-style bag-semantics multiplicity of the pair [(src, tgt)].
     Requires at most 62 nodes (visited sets are bitmasks). *)

@@ -45,9 +45,25 @@ let scratch_of product =
     stamp = 0;
   }
 
+(* Per-BFS telemetry, accumulated in plain ints and flushed to the
+   (possibly shared, atomic) sink counters once per source — the hot
+   loop pays nothing beyond the additions it already does. *)
+type bfs_stats = {
+  transitions : int -> unit; (* rpq.product_transitions *)
+  states : int -> unit; (* rpq.states_visited *)
+  sources : int -> unit; (* rpq.sources *)
+}
+
+let bfs_stats_of obs =
+  {
+    transitions = Obs.counter_fn obs "rpq.product_transitions";
+    states = Obs.counter_fn obs "rpq.states_visited";
+    sources = Obs.counter_fn obs "rpq.sources";
+  }
+
 (* BFS over the product from [src]'s initial states, invoking
    [on_target v] once per graph node [v] reached in an accepting state. *)
-let bfs_targets gov product sc ~src on_target =
+let bfs_targets gov stats product sc ~src on_target =
   sc.stamp <- sc.stamp + 1;
   let stamp = sc.stamp in
   let head = ref 0 and tail = ref 0 in
@@ -66,38 +82,49 @@ let bfs_targets gov product sc ~src on_target =
     end
   in
   List.iter visit (Product.initials_at product src);
+  let relaxed = ref 0 in
   let running = ref (Governor.ok gov) in
   while !running && !head < !tail do
     let s = sc.queue.(!head) in
     incr head;
     let lo, hi = Product.out_span product s in
-    if Governor.tick_many gov (hi - lo) then
+    if Governor.tick_many gov (hi - lo) then begin
+      relaxed := !relaxed + (hi - lo);
       for i = lo to hi - 1 do
         visit (Product.csr_succ product i)
       done
+    end
     else running := false
-  done
+  done;
+  stats.sources 1;
+  stats.transitions !relaxed;
+  stats.states !tail
 
-let from_source_product ?(gov = Governor.unlimited ()) product ~src =
+let from_source_product ?(gov = Governor.unlimited ()) ?(obs = Obs.none)
+    product ~src =
   let sc = scratch_of product in
   let acc = ref [] in
-  bfs_targets gov product sc ~src (fun v -> acc := v :: !acc);
+  bfs_targets gov (bfs_stats_of obs) product sc ~src (fun v -> acc := v :: !acc);
   List.sort_uniq Stdlib.compare !acc
 
-let from_source_bounded gov g r ~src =
-  let product = Product.make g (Nfa.of_regex r) in
-  let targets = from_source_product ~gov product ~src in
-  Governor.seal gov (Governor.take_results gov targets)
+let from_source_bounded ?(obs = Obs.none) gov g r ~src =
+  Obs.span obs "rpq.eval" @@ fun () ->
+  let product = Product.make ~obs g (Nfa.of_regex r) in
+  let targets = from_source_product ~gov ~obs product ~src in
+  let kept = Governor.take_results gov targets in
+  Obs.add obs "rpq.answers" (List.length kept);
+  Governor.seal gov kept
 
-let from_source g r ~src =
-  Governor.value (from_source_bounded (Governor.unlimited ()) g r ~src)
+let from_source ?obs g r ~src =
+  Governor.value (from_source_bounded ?obs (Governor.unlimited ()) g r ~src)
 
 (* Serial below this much estimated work (sources x product edges):
    domain spawn/join costs more than it buys on small inputs. *)
 let parallel_work_threshold = 2_000_000
 
-let pairs_nfa_gov ?pool gov g nfa =
-  let product = Product.make g nfa in
+let pairs_nfa_gov ?pool ?(obs = Obs.none) gov g nfa =
+  Obs.span obs "rpq.eval" @@ fun () ->
+  let product = Product.make ~obs g nfa in
   let n = Elg.nb_nodes g in
   if n = 0 then []
   else begin
@@ -110,26 +137,30 @@ let pairs_nfa_gov ?pool gov g nfa =
           if work >= parallel_work_threshold then (p, min (Pool.size p) n)
           else (p, 1)
     in
+    let stats = bfs_stats_of obs in
     let bufs = Array.init width (fun _ -> Ibuf.create ()) in
     let next = Atomic.make 0 in
     let chunk = max 8 (n / (8 * width)) in
-    Pool.fork_join pool ~width (fun w ->
-        let sc = scratch_of product in
-        let buf = bufs.(w) in
-        let rec loop () =
-          let lo = Atomic.fetch_and_add next chunk in
-          if lo < n && Governor.ok gov then begin
-            let hi = min n (lo + chunk) in
-            for u = lo to hi - 1 do
-              if Governor.ok gov then
-                bfs_targets gov product sc ~src:u (fun v ->
-                    if Governor.emit gov then Ibuf.push buf ((u * n) + v))
-            done;
-            loop ()
-          end
-        in
-        loop ());
+    Obs.span obs "rpq.bfs" (fun () ->
+        Pool.fork_join ~obs pool ~width (fun w ->
+            let sc = scratch_of product in
+            let buf = bufs.(w) in
+            let rec loop () =
+              let lo = Atomic.fetch_and_add next chunk in
+              if lo < n && Governor.ok gov then begin
+                let hi = min n (lo + chunk) in
+                for u = lo to hi - 1 do
+                  if Governor.ok gov then
+                    bfs_targets gov stats product sc ~src:u (fun v ->
+                        if Governor.emit gov then Ibuf.push buf ((u * n) + v))
+                done;
+                loop ()
+              end
+            in
+            loop ()));
+    Obs.span obs "rpq.merge" @@ fun () ->
     let total = Array.fold_left (fun a b -> a + b.Ibuf.len) 0 bufs in
+    Obs.add obs "rpq.answers" total;
     let all = Array.make (max 1 total) 0 in
     let pos = ref 0 in
     Array.iter
@@ -147,20 +178,21 @@ let pairs_nfa_gov ?pool gov g nfa =
     build (total - 1) []
   end
 
-let pairs_nfa_bounded ?pool gov g nfa =
-  Governor.seal gov (pairs_nfa_gov ?pool gov g nfa)
+let pairs_nfa_bounded ?pool ?obs gov g nfa =
+  Governor.seal gov (pairs_nfa_gov ?pool ?obs gov g nfa)
 
-let pairs_nfa ?pool g nfa =
-  Governor.value (pairs_nfa_bounded ?pool (Governor.unlimited ()) g nfa)
+let pairs_nfa ?pool ?obs g nfa =
+  Governor.value (pairs_nfa_bounded ?pool ?obs (Governor.unlimited ()) g nfa)
 
-let pairs_bounded ?pool gov g r = pairs_nfa_bounded ?pool gov g (Nfa.of_regex r)
+let pairs_bounded ?pool ?obs gov g r =
+  pairs_nfa_bounded ?pool ?obs gov g (Nfa.of_regex r)
 
-let pairs ?pool g r = pairs_nfa ?pool g (Nfa.of_regex r)
+let pairs ?pool ?obs g r = pairs_nfa ?pool ?obs g (Nfa.of_regex r)
 
 (* Early-exit reachability: BFS the product but stop at the first
    accepting (tgt, q) instead of materializing the full answer set. *)
-let check_bounded gov g r ~src ~tgt =
-  let product = Product.make g (Nfa.of_regex r) in
+let check_bounded ?(obs = Obs.none) gov g r ~src ~tgt =
+  let product = Product.make ~obs g (Nfa.of_regex r) in
   let n = Product.nb_states product in
   let seen = Array.make (max 1 n) false in
   let queue = Array.make (max 1 n) 0 in

@@ -15,20 +15,27 @@
     edges) is large enough to amortize domain spawns.  Results are
     identical to serial evaluation; under a result budget the kept
     subset may differ across widths but stays within the
-    Complete/Partial contract. *)
+    Complete/Partial contract.
+
+    Every entry point also takes an optional [?obs] telemetry sink
+    (default {!Obs.none}, one branch of cost): BFS engines record
+    [rpq.product_transitions], [rpq.states_visited], [rpq.sources] and
+    [rpq.answers], and run inside [rpq.eval] / [rpq.bfs] / [rpq.merge]
+    spans (plus whatever {!Product.make} and {!Pool} record). *)
 
 (** [pairs g r] computes ⟦R⟧_G (Example 12).  Polynomial:
     one product-graph BFS per source node. *)
-val pairs : ?pool:Pool.t -> Elg.t -> Sym.t Regex.t -> (int * int) list
+val pairs : ?pool:Pool.t -> ?obs:Obs.t -> Elg.t -> Sym.t Regex.t -> (int * int) list
 
 val pairs_bounded :
-  ?pool:Pool.t ->
+  ?pool:Pool.t -> ?obs:Obs.t ->
   Governor.t -> Elg.t -> Sym.t Regex.t -> (int * int) list Governor.outcome
 
 (** Nodes reachable from [src] along a matching path. *)
-val from_source : Elg.t -> Sym.t Regex.t -> src:int -> int list
+val from_source : ?obs:Obs.t -> Elg.t -> Sym.t Regex.t -> src:int -> int list
 
 val from_source_bounded :
+  ?obs:Obs.t ->
   Governor.t -> Elg.t -> Sym.t Regex.t -> src:int -> int list Governor.outcome
 
 (** Membership of a single pair.  Early-exits: the product BFS stops at
@@ -37,19 +44,21 @@ val from_source_bounded :
 val check : Elg.t -> Sym.t Regex.t -> src:int -> tgt:int -> bool
 
 val check_bounded :
+  ?obs:Obs.t ->
   Governor.t -> Elg.t -> Sym.t Regex.t -> src:int -> tgt:int ->
   bool Governor.outcome
 
 (** As {!pairs} but reusing a compiled automaton. *)
-val pairs_nfa : ?pool:Pool.t -> Elg.t -> Sym.t Nfa.t -> (int * int) list
+val pairs_nfa : ?pool:Pool.t -> ?obs:Obs.t -> Elg.t -> Sym.t Nfa.t -> (int * int) list
 
 val pairs_nfa_bounded :
-  ?pool:Pool.t ->
+  ?pool:Pool.t -> ?obs:Obs.t ->
   Governor.t -> Elg.t -> Sym.t Nfa.t -> (int * int) list Governor.outcome
 
 (** Reachable targets over a prebuilt product, charging the governor.
     Shared with the other engines; exposed for reuse. *)
-val from_source_product : ?gov:Governor.t -> Product.t -> src:int -> int list
+val from_source_product :
+  ?gov:Governor.t -> ?obs:Obs.t -> Product.t -> src:int -> int list
 
 (** A shortest matching path from [src] to [tgt], if any (BFS in G×). *)
 val shortest_witness : Elg.t -> Sym.t Regex.t -> src:int -> tgt:int -> Path.t option

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Bench smoke: a quick E17 run must pass its internal correctness checks
+# (the indexed and parallel engines against the seed baseline), emit
+# JSONL rows carrying engine counters, and write a well-formed span
+# trace when asked.
+set -eu
+
+BENCH="$1"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+"$BENCH" E17 --quick "--trace-json=$tmp/trace.jsonl" > "$tmp/out"
+
+grep -q '"engine":"indexed-serial".*"counters":{"' "$tmp/out" \
+  || { echo "bench-smoke: E17 rows carry no counters" >&2; exit 1; }
+
+[ -s "$tmp/trace.jsonl" ] \
+  || { echo "bench-smoke: --trace-json produced no spans" >&2; exit 1; }
+grep -q '"span":"rpq.eval"' "$tmp/trace.jsonl" \
+  || { echo "bench-smoke: trace is missing the rpq.eval span" >&2; exit 1; }
+if grep -v '^{"span":".*","domain":[0-9]*,"depth":[0-9]*,"start_s":[0-9.]*,"end_s":[0-9.]*,"dur_ms":[0-9.]*}$' "$tmp/trace.jsonl"; then
+  echo "bench-smoke: malformed trace line" >&2
+  exit 1
+fi
+
+echo "bench-smoke: E17 counters and trace OK"

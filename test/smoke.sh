@@ -30,9 +30,10 @@ run_expect 0 "$GQD" rpq "$tmp/bank.graph" 'Transfer*'
 run_expect 0 "$GQD" rpq "$tmp/bank.graph" 'Transfer*' --max-steps 100000 --timeout 10
 grep -q 'a1 -> a2' "$tmp/out" || { echo "smoke: missing pair in output" >&2; exit 1; }
 
-# A tiny step budget yields a partial result and exit 4.
+# A tiny step budget yields a partial result and exit 4; the stderr
+# line names the tripped resource and the work done.
 run_expect 4 "$GQD" rpq "$tmp/bank.graph" 'Transfer*' --max-steps 5
-grep -q 'partial result (budget exhausted: step budget)' "$tmp/err" \
+grep -q 'partial result (budget exhausted: step budget; steps=' "$tmp/err" \
   || { echo "smoke: missing partial-result report" >&2; exit 1; }
 
 # A result cap likewise trips, after printing exactly that many pairs.
@@ -48,7 +49,7 @@ run_expect 4 "$GQD" rpq "$tmp/bank.graph" 'Transfer*' --max-results 3
   while [ "$i" -lt 300 ]; do echo "edge e$i n$i a n$((i + 1))"; i=$((i + 1)); done
 } > "$tmp/line.graph"
 run_expect 4 "$GQD" rpq "$tmp/line.graph" 'a*' --timeout 0
-grep -q 'partial result (budget exhausted: deadline)' "$tmp/err" \
+grep -q 'partial result (budget exhausted: deadline; steps=' "$tmp/err" \
   || { echo "smoke: missing deadline report" >&2; exit 1; }
 
 # Parallel evaluation must agree with serial: same pairs, same order,
@@ -60,9 +61,48 @@ cmp -s "$tmp/serial.out" "$tmp/out" \
   || { echo "smoke: --domains 2 output differs from --domains 1" >&2; exit 1; }
 
 # Error paths: bad regex is a parse error (1), bad node name too (1),
-# missing file is I/O (3).
+# no matching path is an evaluation error (2), missing file is I/O (3).
 run_expect 1 "$GQD" rpq "$tmp/bank.graph" 'Transfer)('
 run_expect 1 "$GQD" rpq "$tmp/bank.graph" 'Transfer*' --from nosuchnode
+run_expect 2 "$GQD" shortest "$tmp/bank.graph" 'NoSuchLabel' a1 a3
 run_expect 3 "$GQD" rpq "$tmp/nosuch.graph" 'Transfer*'
+
+# Golden-file checks: stdout (and --metrics stderr) must match the
+# recorded outputs byte for byte.
+golden="$(dirname "$0")/golden"
+check_golden() {
+  name=$1
+  file=$2
+  diff -u "$golden/$name" "$file" \
+    || { echo "smoke: golden mismatch for $name" >&2; exit 1; }
+}
+
+run_expect 0 "$GQD" info "$tmp/bank.graph"
+check_golden info.out "$tmp/out"
+
+run_expect 0 "$GQD" rpq "$tmp/bank.graph" 'Transfer.Transfer*'
+check_golden rpq_pairs.out "$tmp/out"
+
+run_expect 0 "$GQD" shortest "$tmp/bank.graph" 'Transfer*' a1 a3
+check_golden shortest.out "$tmp/out"
+
+run_expect 0 "$GQD" query "$tmp/bank.graph" \
+  'MATCH (x:Account)-[:Transfer]->(y) RETURN x.owner, y.owner'
+check_golden query.out "$tmp/out"
+
+# --metrics: the counter summary is deterministic on a serial run.
+run_expect 0 "$GQD" rpq "$tmp/bank.graph" 'Transfer.Transfer*' --metrics --domains 1
+check_golden rpq_pairs.out "$tmp/out"
+check_golden metrics.err "$tmp/err"
+
+# --trace-json: every line is a JSON object with the span fields.
+run_expect 0 "$GQD" rpq "$tmp/bank.graph" 'Transfer.Transfer*' \
+  --trace-json "$tmp/trace.jsonl"
+[ -s "$tmp/trace.jsonl" ] || { echo "smoke: empty trace file" >&2; exit 1; }
+grep -cq '"span":"rpq.eval"' "$tmp/trace.jsonl" \
+  || { echo "smoke: missing rpq.eval span" >&2; exit 1; }
+if grep -v '^{"span":".*","domain":[0-9]*,"depth":[0-9]*,"start_s":[0-9.]*,"end_s":[0-9.]*,"dur_ms":[0-9.]*}$' "$tmp/trace.jsonl"; then
+  echo "smoke: malformed trace line" >&2; exit 1
+fi
 
 echo "smoke: all CLI checks passed"

@@ -1,0 +1,252 @@
+(* Cross-engine differential suite: the same query through independent
+   evaluation pipelines must produce identical answer sets, serially and
+   under domain parallelism.
+
+   Three RPQ pipelines are compared:
+   - [Rpq_eval.pairs_nfa] over the Glushkov NFA (the production engine);
+   - the same engine over the minimized-DFA automaton
+     ([Dfa.to_nfa (Dfa.minimize (Dfa.of_nfa nfa))]) — a different
+     automaton for the same language must not change the answers;
+   - two reference implementations that share no code with the product
+     construction: a boolean-matrix semiring evaluator (structural
+     recursion on the regex over n×n reachability matrices) and, on
+     acyclic graphs, [Rpq_eval.pairs_naive] path enumeration.
+
+   CRPQs are run through the pairwise-join engine ([Crpq.eval]) and the
+   generic worst-case-optimal join ([Crpq_wcoj.eval]).
+
+   Every property is checked at pool widths 1 and 4. *)
+
+let pool1 = Pool.create ~size:1 ()
+let pool4 = Pool.create ~size:4 ()
+
+(* --- boolean-matrix semiring oracle -------------------------------------- *)
+
+(* ⟦R⟧_G by structural recursion over n×n boolean matrices: atoms become
+   label-filtered adjacency matrices, concatenation is matrix product,
+   disjunction is union, star is reflexive-transitive closure by fixpoint
+   iteration.  No automaton, no product graph, no BFS. *)
+module Matrix_oracle = struct
+  let mul n a b =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            let rec hit k = k < n && ((a.(i).(k) && b.(k).(j)) || hit (k + 1)) in
+            hit 0))
+
+  let union n a b =
+    Array.init n (fun i -> Array.init n (fun j -> a.(i).(j) || b.(i).(j)))
+
+  let identity n = Array.init n (fun i -> Array.init n (fun j -> i = j))
+
+  let closure n a =
+    let m = ref (identity n) in
+    let stable = ref false in
+    while not !stable do
+      let next = union n !m (mul n !m a) in
+      if next = !m then stable := true else m := next
+    done;
+    !m
+
+  let of_sym g sym =
+    let n = Elg.nb_nodes g in
+    let m = Array.make_matrix n n false in
+    for e = 0 to Elg.nb_edges g - 1 do
+      if Sym.matches sym (Elg.label g e) then
+        m.(Elg.src g e).(Elg.tgt g e) <- true
+    done;
+    m
+
+  let rec eval g = function
+    | Regex.Eps -> identity (Elg.nb_nodes g)
+    | Regex.Atom sym -> of_sym g sym
+    | Regex.Seq (a, b) -> mul (Elg.nb_nodes g) (eval g a) (eval g b)
+    | Regex.Alt (a, b) -> union (Elg.nb_nodes g) (eval g a) (eval g b)
+    | Regex.Star a -> closure (Elg.nb_nodes g) (eval g a)
+
+  let pairs g r =
+    let m = eval g r in
+    let acc = ref [] in
+    for i = Elg.nb_nodes g - 1 downto 0 do
+      for j = Elg.nb_nodes g - 1 downto 0 do
+        if m.(i).(j) then acc := (i, j) :: !acc
+      done
+    done;
+    !acc
+end
+
+(* --- generators ----------------------------------------------------------- *)
+
+let gen_graph =
+  QCheck.Gen.(
+    int_range 1 10_000 >|= fun seed ->
+    Generators.random_graph ~seed ~nodes:5 ~edges:8 ~labels:[ "a"; "b" ])
+
+(* A random DAG: edges only go from lower to higher node ids, so every
+   path has length < n and naive enumeration is exact and cheap. *)
+let gen_dag =
+  QCheck.Gen.(
+    int_range 1 10_000 >|= fun seed ->
+    let st = Random.State.make [| seed |] in
+    let n = 5 in
+    let nodes = List.init n (Printf.sprintf "v%d") in
+    let edges = ref [] in
+    for e = 0 to 7 do
+      let u = Random.State.int st (n - 1) in
+      let v = u + 1 + Random.State.int st (n - 1 - u) in
+      let lbl = if Random.State.bool st then "a" else "b" in
+      edges := (Printf.sprintf "e%d" e, Printf.sprintf "v%d" u, lbl,
+                Printf.sprintf "v%d" v) :: !edges
+    done;
+    Elg.make ~nodes ~edges:!edges)
+
+let gen_regex =
+  QCheck.Gen.(
+    sized_size (int_range 1 7) @@ fix (fun self size ->
+        if size <= 1 then
+          oneof
+            [
+              return Regex.Eps;
+              map (fun l -> Regex.Atom (Sym.Lbl l)) (oneofl [ "a"; "b" ]);
+              return (Regex.Atom Sym.Any);
+            ]
+        else
+          oneof
+            [
+              map2 (fun a b -> Regex.Seq (a, b)) (self (size / 2)) (self (size / 2));
+              map2 (fun a b -> Regex.Alt (a, b)) (self (size / 2)) (self (size / 2));
+              map (fun a -> Regex.Star a) (self (size - 1));
+            ]))
+
+let print_regex = Regex.to_string Sym.to_string
+
+let arb_graph_regex =
+  QCheck.make ~print:(fun (_, r) -> print_regex r)
+    QCheck.Gen.(pair gen_graph gen_regex)
+
+let arb_dag_regex =
+  QCheck.make ~print:(fun (_, r) -> print_regex r)
+    QCheck.Gen.(pair gen_dag gen_regex)
+
+let norm pairs = List.sort_uniq compare pairs
+
+(* --- RPQ: production engine vs matrix oracle, widths 1 and 4 -------------- *)
+
+let prop_rpq_vs_matrix =
+  QCheck.Test.make ~count:120 ~name:"pairs_nfa = matrix oracle (widths 1, 4)"
+    arb_graph_regex
+    (fun (g, r) ->
+      let nfa = Nfa.of_regex r in
+      let oracle = norm (Matrix_oracle.pairs g r) in
+      norm (Rpq_eval.pairs_nfa ~pool:pool1 g nfa) = oracle
+      && norm (Rpq_eval.pairs_nfa ~pool:pool4 g nfa) = oracle)
+
+(* --- RPQ: NFA pipeline vs minimized-DFA pipeline -------------------------- *)
+
+let prop_rpq_nfa_vs_dfa =
+  QCheck.Test.make ~count:120 ~name:"pairs_nfa: Glushkov = minimized DFA (widths 1, 4)"
+    arb_graph_regex
+    (fun (g, r) ->
+      let nfa = Nfa.of_regex r in
+      let dfa_nfa = Dfa.to_nfa (Dfa.minimize (Dfa.of_nfa nfa)) in
+      let reference = norm (Rpq_eval.pairs_nfa ~pool:pool1 g nfa) in
+      norm (Rpq_eval.pairs_nfa ~pool:pool1 g dfa_nfa) = reference
+      && norm (Rpq_eval.pairs_nfa ~pool:pool4 g dfa_nfa) = reference)
+
+(* --- RPQ: product BFS vs naive path enumeration on DAGs ------------------- *)
+
+let prop_rpq_vs_naive_on_dags =
+  QCheck.Test.make ~count:120 ~name:"pairs_nfa = pairs_naive on DAGs (widths 1, 4)"
+    arb_dag_regex
+    (fun (g, r) ->
+      (* Acyclic, so every path has length < nb_nodes: enumeration up to
+         that bound is the complete answer set. *)
+      let naive = norm (Rpq_eval.pairs_naive g r ~max_len:(Elg.nb_nodes g)) in
+      let nfa = Nfa.of_regex r in
+      norm (Rpq_eval.pairs_nfa ~pool:pool1 g nfa) = naive
+      && norm (Rpq_eval.pairs_nfa ~pool:pool4 g nfa) = naive)
+
+(* --- RPQ: naive is sound on cyclic graphs --------------------------------- *)
+
+let prop_naive_sound_on_cycles =
+  QCheck.Test.make ~count:120 ~name:"pairs_naive (bounded) is a subset of pairs_nfa"
+    arb_graph_regex
+    (fun (g, r) ->
+      let full = Rpq_eval.pairs_nfa ~pool:pool1 g (Nfa.of_regex r) in
+      List.for_all
+        (fun uv -> List.mem uv full)
+        (Rpq_eval.pairs_naive g r ~max_len:3))
+
+(* --- CRPQ: pairwise joins vs worst-case-optimal join ---------------------- *)
+
+let gen_crpq =
+  (* 2–3 atoms over up to three variables: cyclic shapes included. *)
+  QCheck.Gen.(
+    let gen_var = oneofl [ "x"; "y"; "z" ] in
+    let gen_atom =
+      map3
+        (fun re x y -> { Crpq.re; x = Crpq.TVar x; y = Crpq.TVar y })
+        gen_regex gen_var gen_var
+    in
+    list_size (int_range 2 3) gen_atom >|= fun atoms ->
+    let vars =
+      List.concat_map
+        (fun a ->
+          List.filter_map
+            (function Crpq.TVar v -> Some v | Crpq.TConst _ -> None)
+            [ a.Crpq.x; a.Crpq.y ])
+        atoms
+      |> List.sort_uniq compare
+    in
+    Crpq.make ~head:vars ~atoms)
+
+let arb_graph_crpq =
+  QCheck.make
+    ~print:(fun (_, q) ->
+      String.concat " , "
+        (List.map (fun a -> print_regex a.Crpq.re) (Crpq.atoms q)))
+    QCheck.Gen.(pair gen_graph gen_crpq)
+
+let prop_crpq_vs_wcoj =
+  QCheck.Test.make ~count:120 ~name:"Crpq.eval = Crpq_wcoj.eval (widths 1, 4)"
+    arb_graph_crpq
+    (fun (g, q) ->
+      let reference = norm (Crpq.eval ~pool:pool1 g q) in
+      norm (Crpq_wcoj.eval ~pool:pool1 g q) = reference
+      && norm (Crpq.eval ~pool:pool4 g q) = reference
+      && norm (Crpq_wcoj.eval ~pool:pool4 g q) = reference)
+
+(* --- telemetry does not change answers ------------------------------------ *)
+
+let prop_obs_transparent =
+  (* An enabled sink must be observation-only: identical answers with and
+     without metrics attached, and the counted work must be non-zero
+     whenever there are answers. *)
+  QCheck.Test.make ~count:120 ~name:"attaching a metrics sink changes nothing"
+    arb_graph_regex
+    (fun (g, r) ->
+      let nfa = Nfa.of_regex r in
+      let plain = Rpq_eval.pairs_nfa ~pool:pool1 g nfa in
+      let metrics = Metrics.create () in
+      let obs = Obs.make ~metrics () in
+      let counted = Rpq_eval.pairs_nfa ~pool:pool1 ~obs g nfa in
+      counted = plain
+      && (plain = []
+         || List.assoc_opt "rpq.answers" (Metrics.counters metrics)
+            = Some (List.length plain)))
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "rpq",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_rpq_vs_matrix;
+            prop_rpq_nfa_vs_dfa;
+            prop_rpq_vs_naive_on_dags;
+            prop_naive_sound_on_cycles;
+          ] );
+      ( "crpq",
+        List.map QCheck_alcotest.to_alcotest [ prop_crpq_vs_wcoj ] );
+      ( "telemetry",
+        List.map QCheck_alcotest.to_alcotest [ prop_obs_transparent ] );
+    ]

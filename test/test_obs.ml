@@ -1,0 +1,246 @@
+(* The telemetry layer itself: counter determinism under sharing, span
+   nesting well-formedness, JSONL output shape, and the atomicity
+   guarantee that per-domain contributions merge without losing ticks. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- counters -------------------------------------------------------------- *)
+
+let test_counter_determinism () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "x.ticks" in
+  for _ = 1 to 100 do Metrics.incr c done;
+  Metrics.add c 23;
+  check_int "100 incrs + add 23" 123 (Metrics.value c);
+  (* Get-or-register: the same name resolves to the same counter. *)
+  Metrics.incr (Metrics.counter m "x.ticks");
+  check_int "same name, same counter" 124 (Metrics.value c);
+  check "snapshot sorted by name"
+    true
+    (let _ = Metrics.counter m "a.first" in
+     List.map fst (Metrics.counters m) = [ "a.first"; "x.ticks" ]);
+  Metrics.reset m;
+  check_int "reset zeroes, handle stays valid" 0 (Metrics.value c);
+  Metrics.incr c;
+  check_int "post-reset bump" 1 (Metrics.value c)
+
+let test_disabled_sink_is_noop () =
+  check "none is disabled" false (Obs.enabled Obs.none);
+  (* Bumping a disabled sink must not raise and must record nothing. *)
+  Obs.add Obs.none "x" 5;
+  Obs.incr Obs.none "x";
+  (Obs.counter_fn Obs.none "x") 7;
+  check "no counters on none" true (Obs.counters Obs.none = []);
+  check "summary empty on none" true (Obs.summary Obs.none = "");
+  let r = Obs.span Obs.none "s" (fun () -> 42) in
+  check_int "span on none runs the body" 42 r
+
+let test_sink_summary () =
+  let m = Metrics.create () in
+  let obs = Obs.make ~metrics:m () in
+  check "make with metrics is enabled" true (Obs.enabled obs);
+  Obs.add obs "b.second" 2;
+  Obs.add obs "a.first" 1;
+  Alcotest.(check string)
+    "summary lines sorted" "a.first 1\nb.second 2\n" (Obs.summary obs)
+
+(* --- spans ----------------------------------------------------------------- *)
+
+let test_span_nesting () =
+  let now = ref 0.0 in
+  let tr = Trace.create ~clock:(fun () -> now := !now +. 1.0; !now) () in
+  Trace.with_span tr "outer" (fun () ->
+      Trace.with_span tr "inner_a" (fun () -> ());
+      Trace.with_span tr "inner_b" (fun () -> ()));
+  let events = Trace.events tr in
+  check_int "three spans" 3 (List.length events);
+  let find name = List.find (fun e -> e.Trace.name = name) events in
+  let outer = find "outer" and a = find "inner_a" and b = find "inner_b" in
+  check_int "outer at depth 0" 0 outer.Trace.depth;
+  check_int "inner_a at depth 1" 1 a.Trace.depth;
+  check_int "inner_b at depth 1" 1 b.Trace.depth;
+  (* Well-formed nesting: children are contained in the parent interval,
+     and siblings do not overlap. *)
+  check "children inside parent" true
+    (outer.Trace.t0 <= a.Trace.t0 && a.Trace.t1 <= outer.Trace.t1
+    && outer.Trace.t0 <= b.Trace.t0 && b.Trace.t1 <= outer.Trace.t1);
+  check "siblings ordered" true (a.Trace.t1 <= b.Trace.t0);
+  check "events ordered by start time" true
+    (let starts = List.map (fun e -> e.Trace.t0) events in
+     starts = List.sort compare starts)
+
+let test_span_exception_safe () =
+  let tr = Trace.create () in
+  (try Trace.with_span tr "boom" (fun () -> failwith "x") with Failure _ -> ());
+  match Trace.events tr with
+  | [ e ] ->
+      check "span closed despite exception" true (e.Trace.t1 >= e.Trace.t0)
+  | evs -> Alcotest.failf "expected one closed span, got %d" (List.length evs)
+
+let test_explicit_exit_closes_nested () =
+  let tr = Trace.create () in
+  let outer = Trace.enter tr "outer" in
+  let _inner = Trace.enter tr "inner" in
+  (* Exiting the outer span force-closes the still-open inner one. *)
+  Trace.exit tr outer;
+  check_int "both spans closed" 2 (List.length (Trace.events tr))
+
+(* --- JSONL shape ----------------------------------------------------------- *)
+
+(* A deliberately tiny JSON object parser: accepts exactly the flat
+   {"k":v,...} lines the tracer emits, with string and number values.
+   Independent of the emitter, so format regressions can't hide. *)
+let parse_json_object line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let fail msg = failwith (Printf.sprintf "%s at %d in %s" msg !pos line) in
+  let peek () = if !pos < n then line.[!pos] else fail "eof" in
+  let eat c = if peek () = c then incr pos else fail (Printf.sprintf "expected %c" c) in
+  let string_lit () =
+    eat '"';
+    let start = !pos in
+    while peek () <> '"' do
+      if peek () = '\\' then incr pos;
+      incr pos
+    done;
+    let s = String.sub line start (!pos - start) in
+    eat '"';
+    s
+  in
+  let number () =
+    let start = !pos in
+    while
+      !pos < n
+      && (match line.[!pos] with
+         | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+         | _ -> false)
+    do
+      incr pos
+    done;
+    if !pos = start then fail "expected number";
+    float_of_string (String.sub line start (!pos - start))
+  in
+  let fields = ref [] in
+  eat '{';
+  let rec field () =
+    let k = string_lit () in
+    eat ':';
+    let v =
+      if peek () = '"' then `String (string_lit ()) else `Number (number ())
+    in
+    fields := (k, v) :: !fields;
+    if peek () = ',' then begin eat ','; field () end
+  in
+  if peek () <> '}' then field ();
+  eat '}';
+  if !pos <> n then fail "trailing input";
+  List.rev !fields
+
+let test_jsonl_parses () =
+  let tr = Trace.create () in
+  Trace.with_span tr "alpha.beta" (fun () ->
+      Trace.with_span tr "gamma" (fun () -> ignore (Sys.opaque_identity 1)));
+  let lines = String.split_on_char '\n' (String.trim (Trace.to_jsonl tr)) in
+  check_int "one line per span" 2 (List.length lines);
+  List.iter
+    (fun line ->
+      let fields = parse_json_object line in
+      let keys = List.map fst fields in
+      check "field order fixed" true
+        (keys = [ "span"; "domain"; "depth"; "start_s"; "end_s"; "dur_ms" ]);
+      match
+        (List.assoc "span" fields, List.assoc "start_s" fields,
+         List.assoc "end_s" fields, List.assoc "dur_ms" fields)
+      with
+      | `String name, `Number t0, `Number t1, `Number dur ->
+          check "span name non-empty" true (String.length name > 0);
+          check "interval well-formed" true (t0 <= t1);
+          check "duration consistent (ms vs s)" true
+            (Float.abs (dur -. ((t1 -. t0) *. 1e3)) < 0.5)
+      | _ -> Alcotest.fail "wrong field types")
+    lines
+
+(* --- parallel merge loses no ticks (QCheck) -------------------------------- *)
+
+let prop_parallel_ticks_merge =
+  QCheck.Test.make ~count:100
+    ~name:"per-domain counter contributions sum exactly"
+    (QCheck.make
+       ~print:(fun (w, ticks) ->
+         Printf.sprintf "width=%d ticks=%s" w
+           (String.concat "," (List.map string_of_int ticks)))
+       QCheck.Gen.(
+         pair (int_range 1 4) (list_size (int_range 1 8) (int_range 0 1_000))))
+    (fun (width, ticks) ->
+      let pool = Pool.create ~size:width () in
+      let m = Metrics.create () in
+      let obs = Obs.make ~metrics:m () in
+      let per_task = Array.of_list ticks in
+      let bump = Obs.counter_fn obs "merge.ticks" in
+      Pool.parallel_chunks pool ~n:(Array.length per_task) ~chunk:1
+        (fun lo hi ->
+          for i = lo to hi - 1 do
+            for _ = 1 to per_task.(i) do bump 1 done
+          done);
+      List.assoc "merge.ticks" (Metrics.counters m)
+      = List.fold_left ( + ) 0 ticks)
+
+type span_tree = Node of span_tree list
+
+let prop_trace_depth_well_formed =
+  (* Random span trees: emitted depths must match the tree depth, and
+     every line of the JSONL output must parse. *)
+  QCheck.Test.make ~count:100 ~name:"random span trees are well-formed"
+    (QCheck.make
+       QCheck.Gen.(
+         sized_size (int_range 1 12)
+         @@ fix (fun self size ->
+                if size <= 1 then return (Node [])
+                else
+                  map (fun l -> Node l)
+                    (list_size (int_range 1 3) (self (size / 3)))))
+       ~print:(fun _ -> "span tree"))
+    (fun tree ->
+      let tr = Trace.create () in
+      let rec run depth (Node children) =
+        List.iteri
+          (fun i sub ->
+            Trace.with_span tr (Printf.sprintf "d%d.%d" depth i) (fun () ->
+                run (depth + 1) sub))
+          children
+      in
+      run 0 tree;
+      let events = Trace.events tr in
+      List.for_all
+        (fun e ->
+          String.length e.Trace.name > 2
+          && e.Trace.depth = int_of_string (String.sub e.Trace.name 1 1)
+          && e.Trace.t0 <= e.Trace.t1)
+        events
+      && List.for_all
+           (fun line -> parse_json_object line <> [])
+           (match String.trim (Trace.to_jsonl tr) with
+           | "" -> []
+           | s -> String.split_on_char '\n' s))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter determinism" `Quick test_counter_determinism;
+          Alcotest.test_case "disabled sink is a no-op" `Quick test_disabled_sink_is_noop;
+          Alcotest.test_case "summary format" `Quick test_sink_summary;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "exception safety" `Quick test_span_exception_safe;
+          Alcotest.test_case "exit closes nested" `Quick test_explicit_exit_closes_nested;
+          Alcotest.test_case "jsonl parses" `Quick test_jsonl_parses;
+        ] );
+      ( "parallel",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_parallel_ticks_merge; prop_trace_depth_well_formed ] );
+    ]
