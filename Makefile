@@ -1,13 +1,26 @@
-.PHONY: all check test bench bench-smoke clean
+.PHONY: all check check-faults test bench bench-smoke clean
 
 all:
 	dune build @all
 
 # The tier-1 gate: build everything (libs, CLI, bench, examples) and run
-# the full test suite, including the CLI smoke test (test/smoke.sh).
+# the full test suite, including the CLI smoke test (test/smoke.sh),
+# then re-run it under a canned fault schedule.
 check:
 	dune build @all
 	dune runtest
+	$(MAKE) check-faults
+
+# The whole suite again with every library failpoint site armed — a
+# delay-only schedule, so checks take the armed slow path (registry
+# lookup, counters, sleeps) without changing any answer; the serve-mode
+# transcripts pin their own GQ_FAILPOINTS on top.  Run at pool widths 1
+# and 4 so the armed sites are also crossed from parallel domains.
+FAULT_SCHEDULE = graph.load=delay:1,rpq.product.build=delay:0,rpq.bfs.step=delay:0,crpq.join.atom=delay:0,pool.fork=delay:0,serve.eval=delay:0
+check-faults:
+	dune build @all
+	GQ_FAILPOINTS="$(FAULT_SCHEDULE)" GQ_DOMAINS=1 dune runtest --force
+	GQ_FAILPOINTS="$(FAULT_SCHEDULE)" GQ_DOMAINS=4 dune runtest --force
 
 test: check
 

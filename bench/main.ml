@@ -1102,11 +1102,89 @@ let e17 () =
     exit 1
   end
 
+(* ======================================================================== *)
+(* E19: fault-injection sweep — outcome mix and tail latency vs fault       *)
+(* probability on the supervised RPQ path (JSONL).                          *)
+(* ======================================================================== *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+let e19 () =
+  header "E19"
+    "fault-injection sweep: completed/degraded/failed and p99 latency vs fault probability (JSONL)";
+  (* E19 manages its own fault schedule; any --failpoints arming is
+     cleared here and not restored. *)
+  let n = if !quick then 300 else 2_000 in
+  let g =
+    Generators.random_graph ~seed:17 ~nodes:n ~edges:(4 * n)
+      ~labels:[ "a"; "b"; "c"; "d" ]
+  in
+  let r = Rpq_parse.parse "a.b*.c" in
+  let queries = if !quick then 40 else 200 in
+  let baseline = Rpq_eval.pairs g r in
+  let retry = { Retry.immediate with Retry.max_attempts = 3 } in
+  let wrong = ref 0 in
+  let sweep p =
+    Failpoint.clear ();
+    (* One check per evaluation attempt (the product is built once per
+       run), so [p] is the per-attempt fault probability and a query
+       fails outright with probability p^max_attempts. *)
+    if p > 0.0 then
+      Failpoint.arm "rpq.product.build" (Fail_prob { p; seed = 1234 });
+    (* A short cooldown so the breaker both trips and recovers within the
+       sweep: the outcome mix shows the degraded plateau, not a flatline. *)
+    let breaker =
+      Breaker.create
+        ~config:{ Breaker.failure_threshold = 5; cooldown = 0.01; success_threshold = 1 }
+        "rpq"
+    in
+    let completed = ref 0 and degraded = ref 0 and failed = ref 0 in
+    let retried = ref 0 in
+    let lats = Array.make queries 0.0 in
+    for q = 0 to queries - 1 do
+      let reply, ms =
+        oneshot_ms (fun () ->
+            Supervise.run ~retry ~sleep:ignore ~breaker
+              ~gov:(fun () -> Governor.make ())
+              (fun gov -> Rpq_eval.pairs_bounded gov g r))
+      in
+      lats.(q) <- ms;
+      if reply.Supervise.attempts > 1 then incr retried;
+      match reply.Supervise.outcome with
+      | Ok _ when reply.Supervise.degraded -> incr degraded
+      | Ok (Governor.Complete ans) ->
+          incr completed;
+          if ans <> baseline then incr wrong
+      | Ok (Governor.Partial _ | Governor.Aborted _) | Error _ -> incr failed
+    done;
+    Array.sort compare lats;
+    Printf.printf
+      "  {\"fault_p\":%g,\"queries\":%d,\"completed\":%d,\"degraded\":%d,\"failed\":%d,\"retried\":%d,\"p50_ms\":%.2f,\"p99_ms\":%.2f}\n"
+      p queries !completed !degraded !failed !retried (percentile lats 0.5)
+      (percentile lats 0.99);
+    (p, !completed, !degraded, !failed, !retried)
+  in
+  let results = List.map sweep [ 0.0; 0.1; 0.2; 0.4; 0.8 ] in
+  Failpoint.clear ();
+  let find p = List.find (fun (p', _, _, _, _) -> p' = p) results in
+  let _, c0, _, f0, _ = find 0.0 in
+  check "p=0: every query completes at full price" (c0 = queries && f0 = 0);
+  let _, _, _, _, retried_hi = find 0.4 in
+  check "p=0.4: the retry layer is exercised" (retried_hi > 0);
+  let _, _, degraded_hi, failed_hi, _ = find 0.8 in
+  check "p=0.8: exhausted retries surface as classified failures or degraded replies"
+    (failed_hi + degraded_hi > 0);
+  check "no fault probability ever changed a completed answer" (!wrong = 0)
+
 let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
     ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
+    ("E19", e19);
   ]
 
 let () =
@@ -1127,6 +1205,17 @@ let () =
           Some (String.sub f 13 (String.length f - 13))
         else None)
       flags;
+  (* --failpoints=SPEC: arm a fault schedule (GQ_FAILPOINTS syntax) for
+     the selected experiments, e.g. E19 ad-hoc runs or stress sweeps. *)
+  List.iter
+    (fun f ->
+      if String.length f > 13 && String.sub f 0 13 = "--failpoints=" then
+        match Failpoint.arm_spec (String.sub f 13 (String.length f - 13)) with
+        | Ok () -> ()
+        | Error msg ->
+            Printf.eprintf "--failpoints: %s\n" msg;
+            exit 1)
+    flags;
   if !trace_path <> None then bench_trace := Some (Trace.create ());
   let selected =
     if ids = [] then experiments

@@ -363,10 +363,88 @@ let demo_cmd =
     (Cmd.info "demo" ~doc:"Print the paper's bank graph in gqd's file format.")
     Term.(const run $ const ())
 
+(* --- serve --------------------------------------------------------------- *)
+
+(* `gqd --serve`: the long-running session mode (see bin/serve.ml).  A
+   flag on the group's default term rather than a subcommand, so the
+   invocation reads as a process mode, not a query.  The session always
+   exits 0 on clean EOF/`quit` — per-query failures are reported in the
+   JSON replies, not the exit status. *)
+let serve_term =
+  let serve =
+    Arg.(value & flag
+         & info [ "serve" ]
+             ~doc:"Run a line-oriented query session on stdin/stdout: one \
+                   command per line in, one JSON reply per line out.  Every \
+                   query is supervised (budgets, retries, circuit breaker); \
+                   the process outlives any individual query and exits 0 on \
+                   EOF or `quit`.")
+  in
+  let retries =
+    Arg.(value & opt int 3
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Total evaluation attempts per query for transient faults \
+                   (default 3).")
+  in
+  let breaker_threshold =
+    Arg.(value & opt int 5
+         & info [ "breaker-threshold" ] ~docv:"K"
+             ~doc:"Consecutive failures (budget exhaustions or faults) of a \
+                   query class that trip its circuit breaker (default 5).")
+  in
+  let breaker_cooldown =
+    Arg.(value & opt float 30.0
+         & info [ "breaker-cooldown" ] ~docv:"SECONDS"
+             ~doc:"Seconds a tripped breaker stays open before admitting a \
+                   probe (default 30).")
+  in
+  let degraded_max_steps =
+    Arg.(value & opt int 1000
+         & info [ "degraded-max-steps" ] ~docv:"N"
+             ~doc:"Step budget of the degraded path served while a breaker \
+                   is open (default 1000).")
+  in
+  let max_steps =
+    Arg.(value & opt (some int) None
+         & info [ "max-steps" ] ~docv:"N" ~doc:"Per-query step budget.")
+  in
+  let max_results =
+    Arg.(value & opt (some int) None
+         & info [ "max-results" ] ~docv:"N" ~doc:"Per-query result cap.")
+  in
+  let timeout =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-query deadline.")
+  in
+  let run serve retries breaker_threshold breaker_cooldown degraded_max_steps
+      max_steps max_results timeout tele =
+    if not serve then `Help (`Pager, None)
+    else begin
+      Serve.run
+        {
+          Serve.retries;
+          breaker_threshold;
+          breaker_cooldown;
+          degraded_max_steps;
+          initial_max_steps = max_steps;
+          initial_max_results = max_results;
+          initial_timeout = timeout;
+          obs = tele.obs;
+        };
+      tele.flush ();
+      `Ok ()
+    end
+  in
+  Term.(
+    ret
+      (const run $ serve $ retries $ breaker_threshold $ breaker_cooldown
+     $ degraded_max_steps $ max_steps $ max_results $ timeout $ obs_term))
+
 let () =
   let doc = "Query graph data: RPQs, path modes, PMRs, GQL-style patterns." in
   let cmd =
-    Cmd.group (Cmd.info "gqd" ~version:"1.0.0" ~doc)
+    Cmd.group ~default:serve_term
+      (Cmd.info "gqd" ~version:"1.0.0" ~doc)
       [ info_cmd; rpq_cmd; shortest_cmd; gql_cmd; query_cmd; pmr_cmd; static_cmd; typecheck_cmd; estimate_cmd; demo_cmd ]
   in
   exit (Cmd.eval cmd)

@@ -1,0 +1,392 @@
+(* gqd --serve: a crash-proof, line-oriented query session.
+
+   Protocol: one command per line on stdin, one JSON object per reply
+   line on stdout.  Blank lines and '#' comments are ignored; every
+   other line gets exactly one reply carrying a monotonically increasing
+   "id".  The process is guaranteed to outlive any individual query:
+   every evaluation runs under Governor budgets inside [Supervise.run]
+   (exceptions classified, transient faults retried, per-query-class
+   circuit breaker), and the loop itself has a catch-all so even a bug
+   in reply rendering answers with a structured error instead of dying.
+   The session exits 0 on EOF or `quit`, regardless of how many queries
+   failed along the way.
+
+   Commands:
+     load PATH                  load (replace) the session graph
+     rpq REGEX                  all endpoint pairs of an RPQ
+     rpq-from NODE REGEX        nodes reachable from NODE
+     shortest SRC TGT REGEX     all shortest matching paths
+     query MATCH ... RETURN ... MATCH/RETURN query over the graph
+     set KEY VALUE              max-steps | max-results | timeout |
+                                retries (VALUE `none` clears a budget)
+     stats                      breaker states per query class
+     ping                       liveness probe
+     quit                       exit 0
+
+   Reply shape (field order fixed; see README "Resilience & fault
+   injection"):
+     {"id":N,"cmd":"rpq","status":"ok|partial|degraded|error","code":C,
+      "degraded":B,"attempts":A[,"reason":R][,"error":{"kind":K,"msg":M}]
+      [,"answers":[...],"count":N]}
+   "code" follows the CLI exit-code contract: 0 ok, 1 parse/unknown
+   node, 2 evaluation/fault, 3 I/O, 4 budget exhausted. *)
+
+type config = {
+  retries : int;
+  breaker_threshold : int;
+  breaker_cooldown : float;
+  degraded_max_steps : int;
+  initial_max_steps : int option;
+  initial_max_results : int option;
+  initial_timeout : float option;
+  obs : Obs.t;
+}
+
+type session = {
+  config : config;
+  mutable retry : Retry.policy;
+  breakers : Breaker.Group.t;
+  mutable pg : Pg.t option;
+  mutable max_steps : int option;
+  mutable max_results : int option;
+  mutable timeout : float option;
+}
+
+(* --- JSON rendering ------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* A reply is an ordered list of key/rendered-value pairs. *)
+type jfield = string * string
+
+let jstr s = Printf.sprintf "\"%s\"" (json_escape s)
+let jint = string_of_int
+let jbool = string_of_bool
+
+let jobj fields =
+  "{"
+  ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ v) fields)
+  ^ "}"
+
+let jarr items = "[" ^ String.concat "," items ^ "]"
+
+let reply id cmd ~status ~code (extra : jfield list) =
+  jobj
+    ((("id", jint id) :: ("cmd", jstr cmd) :: ("status", jstr status)
+     :: ("code", jint code) :: extra))
+
+let error_fields ?(attempts = 0) err =
+  [
+    ("degraded", jbool false);
+    ("attempts", jint attempts);
+    ( "error",
+      jobj
+        [ ("kind", jstr (Gq_error.kind err)); ("msg", jstr (Gq_error.to_string err)) ]
+    );
+  ]
+
+let error_reply id cmd ?attempts err =
+  reply id cmd ~status:"error" ~code:(Gq_error.exit_code err)
+    (error_fields ?attempts err)
+
+(* --- supervised evaluation ----------------------------------------------- *)
+
+let governor_of sess () =
+  Governor.make ~obs:sess.config.obs ?max_steps:sess.max_steps
+    ?max_results:sess.max_results ?timeout:sess.timeout ()
+
+(* Run [body] under the session's budgets, retry policy and the [cls]
+   breaker; render the supervised outcome.  [body] returns the answers
+   as display strings. *)
+let supervised sess id ~cls body =
+  let breaker = Breaker.Group.get sess.breakers cls in
+  let sup =
+    Supervise.run ~obs:sess.config.obs ~retry:sess.retry ~breaker
+      ~degraded_max_steps:sess.config.degraded_max_steps
+      ~gov:(governor_of sess)
+      (fun gov ->
+        Failpoint.check "serve.eval";
+        body gov)
+  in
+  match sup.Supervise.outcome with
+  | Error err -> error_reply id cls ~attempts:sup.Supervise.attempts err
+  | Ok outcome ->
+      let answers = Governor.payload ~default:[] outcome in
+      let status, code, reason =
+        match outcome with
+        | Governor.Complete _ ->
+            ((if sup.Supervise.degraded then "degraded" else "ok"), 0, None)
+        | Governor.Partial (_, r) | Governor.Aborted r ->
+            ( (if sup.Supervise.degraded then "degraded" else "partial"),
+              Gq_error.exit_code (Gq_error.Budget r),
+              Some r )
+      in
+      reply id cls ~status ~code
+        (("degraded", jbool sup.Supervise.degraded)
+        :: ("attempts", jint sup.Supervise.attempts)
+        :: (match reason with
+           | Some r -> [ ("reason", jstr (Governor.reason_slug r)) ]
+           | None -> [])
+        @ [
+            ("answers", jarr (List.map jstr answers));
+            ("count", jint (List.length answers));
+          ])
+
+let graph_or_fail sess =
+  match sess.pg with
+  | Some pg -> pg
+  | None -> raise (Gq_error.Error (Gq_error.Eval "no graph loaded"))
+
+let node_id_or_fail g name =
+  match Elg.node_id g name with
+  | id -> id
+  | exception Not_found -> raise (Gq_error.Error (Gq_error.Unknown_node name))
+
+(* --- commands ------------------------------------------------------------ *)
+
+let cmd_load sess id path =
+  let breaker = Breaker.Group.get sess.breakers "load" in
+  let sup =
+    Supervise.run ~obs:sess.config.obs ~retry:sess.retry ~breaker
+      ~degraded_max_steps:sess.config.degraded_max_steps
+      ~gov:(governor_of sess)
+      (fun _gov ->
+        Failpoint.check "serve.eval";
+        match Graph_io.parse_file_res path with
+        | Ok pg -> Governor.Complete pg
+        | Error err -> raise (Gq_error.Error err))
+  in
+  match sup.Supervise.outcome with
+  | Error err -> error_reply id "load" ~attempts:sup.Supervise.attempts err
+  | Ok outcome -> (
+      match outcome with
+      | Governor.Complete pg | Governor.Partial (pg, _) ->
+          sess.pg <- Some pg;
+          let g = Pg.elg pg in
+          reply id "load" ~status:"ok" ~code:0
+            [
+              ("degraded", jbool sup.Supervise.degraded);
+              ("attempts", jint sup.Supervise.attempts);
+              ("nodes", jint (Elg.nb_nodes g));
+              ("edges", jint (Elg.nb_edges g));
+            ]
+      | Governor.Aborted r ->
+          error_reply id "load" ~attempts:sup.Supervise.attempts
+            (Gq_error.Budget r))
+
+let cmd_rpq sess id src =
+  match Rpq_parse.parse_res src with
+  | Error err -> error_reply id "rpq" err
+  | Ok r ->
+      supervised sess id ~cls:"rpq" (fun gov ->
+          let g = Pg.elg (graph_or_fail sess) in
+          Governor.map
+            (List.map (fun (u, v) ->
+                 Elg.node_name g u ^ " -> " ^ Elg.node_name g v))
+            (Rpq_eval.pairs_bounded ~obs:sess.config.obs gov g r))
+
+let cmd_rpq_from sess id node src =
+  match Rpq_parse.parse_res src with
+  | Error err -> error_reply id "rpq-from" err
+  | Ok r ->
+      supervised sess id ~cls:"rpq-from" (fun gov ->
+          let g = Pg.elg (graph_or_fail sess) in
+          let src_id = node_id_or_fail g node in
+          Governor.map
+            (List.map (Elg.node_name g))
+            (Rpq_eval.from_source_bounded ~obs:sess.config.obs gov g r
+               ~src:src_id))
+
+let cmd_shortest sess id src_name tgt_name regex =
+  match Rpq_parse.parse_res regex with
+  | Error err -> error_reply id "shortest" err
+  | Ok r ->
+      supervised sess id ~cls:"shortest" (fun gov ->
+          let g = Pg.elg (graph_or_fail sess) in
+          let src = node_id_or_fail g src_name in
+          let tgt = node_id_or_fail g tgt_name in
+          Governor.map
+            (List.map (Path.to_string g))
+            (Path_modes.shortest_bounded ~obs:sess.config.obs gov g r ~src ~tgt))
+
+let cmd_query sess id src =
+  match Gql_query.parse_res src with
+  | Error err -> error_reply id "query" err
+  | Ok q ->
+      supervised sess id ~cls:"query" (fun gov ->
+          let pg = graph_or_fail sess in
+          let g = Pg.elg pg in
+          match Gql_query.eval_bounded ~max_len:8 ~obs:sess.config.obs gov pg q with
+          | outcome ->
+              Governor.map
+                (fun rel ->
+                  List.map
+                    (fun row ->
+                      String.concat " | "
+                        (List.map (Relation.cell_to_string g) row))
+                    (Relation.rows rel))
+                outcome
+          | exception Gql_query.Eval_error msg ->
+              raise (Gq_error.Error (Gq_error.Eval msg)))
+
+let cmd_set sess id key value =
+  let ok v = reply id "set" ~status:"ok" ~code:0 [ ("key", jstr key); ("value", jstr v) ] in
+  let bad msg = error_reply id "set" (Gq_error.Parse { what = "set"; msg }) in
+  let int_budget set =
+    if value = "none" then (set None; ok value)
+    else
+      match int_of_string_opt value with
+      | Some n when n >= 0 -> set (Some n); ok value
+      | Some _ | None -> bad (Printf.sprintf "%s: expected a count or none, got %S" key value)
+  in
+  match key with
+  | "max-steps" -> int_budget (fun v -> sess.max_steps <- v)
+  | "max-results" -> int_budget (fun v -> sess.max_results <- v)
+  | "timeout" ->
+      if value = "none" then (sess.timeout <- None; ok value)
+      else (
+        match float_of_string_opt value with
+        | Some t when t >= 0.0 -> sess.timeout <- Some t; ok value
+        | Some _ | None -> bad (Printf.sprintf "timeout: expected seconds or none, got %S" value))
+  | "retries" -> (
+      match int_of_string_opt value with
+      | Some n when n >= 1 ->
+          sess.retry <- { sess.retry with Retry.max_attempts = n };
+          ok value
+      | Some _ | None -> bad (Printf.sprintf "retries: expected attempts >= 1, got %S" value))
+  | _ -> bad (Printf.sprintf "unknown setting %S" key)
+
+let cmd_stats sess id =
+  let breakers =
+    List.map
+      (fun (cls, b) -> (cls, jstr (Breaker.state_to_string (Breaker.state b))))
+      (Breaker.Group.all sess.breakers)
+  in
+  reply id "stats" ~status:"ok" ~code:0
+    [
+      ("graph", jbool (sess.pg <> None));
+      ("breakers", jobj breakers);
+      ( "failpoints",
+        jobj
+          (List.map
+             (fun (site, p) -> (site, jstr (Failpoint.policy_to_string p)))
+             (Failpoint.armed ())) );
+    ]
+
+(* --- dispatch ------------------------------------------------------------ *)
+
+type action = Reply of string | Silent | Quit of string
+
+let split_first line =
+  match String.index_opt line ' ' with
+  | None -> (line, "")
+  | Some i ->
+      ( String.sub line 0 i,
+        String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+
+let parse_error id cmd msg =
+  error_reply id cmd (Gq_error.Parse { what = "command"; msg })
+
+let handle sess id line =
+  let verb, rest = split_first line in
+  match verb with
+  | "ping" -> Reply (reply id "ping" ~status:"ok" ~code:0 [])
+  | "quit" -> Quit (reply id "quit" ~status:"ok" ~code:0 [])
+  | "stats" -> Reply (cmd_stats sess id)
+  | "load" ->
+      if rest = "" then Reply (parse_error id "load" "load: missing path")
+      else Reply (cmd_load sess id rest)
+  | "rpq" ->
+      if rest = "" then Reply (parse_error id "rpq" "rpq: missing regex")
+      else Reply (cmd_rpq sess id rest)
+  | "rpq-from" -> (
+      match split_first rest with
+      | node, regex when node <> "" && regex <> "" ->
+          Reply (cmd_rpq_from sess id node regex)
+      | _ -> Reply (parse_error id "rpq-from" "rpq-from: expected NODE REGEX"))
+  | "shortest" -> (
+      match split_first rest with
+      | src, rest' when src <> "" -> (
+          match split_first rest' with
+          | tgt, regex when tgt <> "" && regex <> "" ->
+              Reply (cmd_shortest sess id src tgt regex)
+          | _ -> Reply (parse_error id "shortest" "shortest: expected SRC TGT REGEX"))
+      | _ -> Reply (parse_error id "shortest" "shortest: expected SRC TGT REGEX"))
+  | "query" ->
+      if rest = "" then Reply (parse_error id "query" "query: missing query text")
+      else Reply (cmd_query sess id rest)
+  | "set" -> (
+      match split_first rest with
+      | key, value when key <> "" && value <> "" -> Reply (cmd_set sess id key value)
+      | _ -> Reply (parse_error id "set" "set: expected KEY VALUE"))
+  | verb -> Reply (parse_error id verb (Printf.sprintf "unknown command %S" verb))
+
+(* The outermost safety net: if command handling itself blows up (a bug,
+   an injected fault at an unsupervised site, a signal-free OOM), the
+   session still answers with a structured error and keeps serving. *)
+let handle_safe sess id line =
+  try handle sess id line
+  with e -> Reply (error_reply id "internal" (Gq_error.of_exn e))
+
+let run config =
+  let sess =
+    {
+      config;
+      retry =
+        {
+          Retry.default with
+          Retry.max_attempts = max 1 config.retries;
+          base_delay = 0.001;
+          max_delay = 0.1;
+          budget = 1.0;
+        };
+      breakers =
+        Breaker.Group.create ~obs:config.obs
+          ~config:
+            {
+              Breaker.failure_threshold = max 1 config.breaker_threshold;
+              cooldown = config.breaker_cooldown;
+              success_threshold = 1;
+            }
+          ();
+      pg = None;
+      max_steps = config.initial_max_steps;
+      max_results = config.initial_max_results;
+      timeout = config.initial_timeout;
+    }
+  in
+  let emit s =
+    print_string s;
+    print_newline ();
+    flush stdout
+  in
+  let rec loop id =
+    match input_line stdin with
+    | exception End_of_file -> ()
+    | line -> (
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then loop id
+        else
+          let id = id + 1 in
+          match handle_safe sess id line with
+          | Silent -> loop id
+          | Reply s ->
+              emit s;
+              loop id
+          | Quit s -> emit s)
+  in
+  loop 0

@@ -54,6 +54,7 @@ let homomorphisms_gov ?pool ?(obs = Obs.none) gov g q =
     Obs.span obs "crpq.atoms" @@ fun () ->
     List.map
       (fun a ->
+        Failpoint.check "crpq.join.atom";
         ( a,
           Governor.payload ~default:[]
             (Rpq_eval.pairs_bounded ?pool ~obs gov g a.re) ))

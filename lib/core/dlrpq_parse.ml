@@ -68,8 +68,14 @@ let tokenize s =
         incr i
       done;
       let text = String.sub s start (!i - start) in
-      if String.contains text '.' then push (Treal (float_of_string text))
-      else push (Tint (int_of_string text))
+      if String.contains text '.' then
+        match float_of_string_opt text with
+        | Some v -> push (Treal v)
+        | None -> fail (Printf.sprintf "bad number %S" text)
+      else
+        match int_of_string_opt text with
+        | Some v -> push (Tint v)
+        | None -> fail (Printf.sprintf "number %s out of range" text)
     end
     else if is_ident_char c then begin
       let start = !i in
@@ -214,6 +220,8 @@ let parse src =
                   | Some (Tint m) ->
                       advance ();
                       expect Trbrace "expected } in repetition";
+                      if m < n then
+                        fail (Printf.sprintf "bad repetition range {%d,%d}" n m);
                       base := Regex.repeat n m !base
                   | _ -> fail "expected upper bound in repetition")
               | _ -> fail "expected , or } in repetition")
@@ -244,4 +252,13 @@ let parse src =
   result
 
 let parse_opt src =
-  match parse src with r -> Ok r | exception Parse_error msg -> Error msg
+  match parse src with
+  | r -> Ok r
+  | exception Parse_error msg -> Error msg
+  | exception Failure msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+
+let parse_res src =
+  match parse_opt src with
+  | Ok r -> Ok r
+  | Error msg -> Error (Gq_error.Parse { what = "dlrpq"; msg })

@@ -24,4 +24,10 @@
 exception Parse_error of string
 
 val parse : string -> Dlrpq.t
+
+(** Total: any malformed input (including out-of-range numbers and bad
+    repetition ranges) is an [Error], never an escaped exception. *)
 val parse_opt : string -> (Dlrpq.t, string) result
+
+(** As {!parse_opt}, with the shared {!Gq_error.t} error type. *)
+val parse_res : string -> (Dlrpq.t, Gq_error.t) result

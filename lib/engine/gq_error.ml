@@ -4,6 +4,9 @@ type t =
   | Eval of string
   | Io of string
   | Budget of Governor.reason
+  | Fault of { site : string; attempts : int }
+
+exception Error of t
 
 let to_string = function
   | Parse { what; msg } -> Printf.sprintf "cannot parse %s: %s" what msg
@@ -12,9 +15,38 @@ let to_string = function
   | Io msg -> msg
   | Budget r ->
       Printf.sprintf "evaluation stopped: %s exhausted" (Governor.reason_to_string r)
+  | Fault { site; attempts } ->
+      Printf.sprintf "transient fault at %s persisted after %d attempt%s" site
+        attempts
+        (if attempts = 1 then "" else "s")
 
 let exit_code = function
   | Parse _ | Unknown_node _ -> 1
-  | Eval _ -> 2
+  | Eval _ | Fault _ -> 2
   | Io _ -> 3
   | Budget _ -> 4
+
+let kind = function
+  | Parse _ -> "parse"
+  | Unknown_node _ -> "unknown-node"
+  | Eval _ -> "eval"
+  | Io _ -> "io"
+  | Budget _ -> "budget"
+  | Fault _ -> "fault"
+
+let classify = function
+  | Fault _ -> Retry.Transient
+  | Parse _ | Unknown_node _ | Eval _ | Io _ | Budget _ -> Retry.Permanent
+
+let classify_exn = function
+  | Failpoint.Injected _ -> Retry.Transient
+  | Out_of_memory -> Retry.Transient
+  | Error e -> classify e
+  | _ -> Retry.Permanent
+
+let of_exn ?(attempts = 1) = function
+  | Error e -> e
+  | Failpoint.Injected site -> Fault { site; attempts }
+  | Out_of_memory -> Eval "out of memory"
+  | Stack_overflow -> Eval "stack overflow"
+  | e -> Eval (Printexc.to_string e)

@@ -16,9 +16,37 @@ type t =
   | Io of string  (** File-system problem. *)
   | Budget of Governor.reason
       (** Evaluation cut short by the resource governor. *)
+  | Fault of { site : string; attempts : int }
+      (** A transient fault (injected or real) that survived [attempts]
+          evaluation attempts — the retry layer gave up. *)
+
+(** [t] as an exception, for code that must funnel a structured error
+    through an exception boundary (e.g. a supervised evaluation body). *)
+exception Error of t
 
 val to_string : t -> string
 
 (** Stable exit code per error class: parse/unknown-node errors 1, eval
-    errors 2, I/O errors 3, exhausted budgets 4. *)
+    errors and exhausted faults 2, I/O errors 3, exhausted budgets 4. *)
 val exit_code : t -> int
+
+(** Machine-friendly slug of the error class, used in serve-mode JSON
+    replies: ["parse"], ["unknown-node"], ["eval"], ["io"], ["budget"],
+    ["fault"]. *)
+val kind : t -> string
+
+(** Whether retrying the same operation could plausibly succeed.
+    Only {!Fault} is transient: every other class is deterministic in
+    the input and budget. *)
+val classify : t -> Retry.error_class
+
+(** Classify an arbitrary exception for a retry layer:
+    [Failpoint.Injected] and [Out_of_memory] are transient, [Error e]
+    defers to {!classify}, anything else is permanent. *)
+val classify_exn : exn -> Retry.error_class
+
+(** Render an exception as a [t]: [Error e] unwraps, [Injected site]
+    becomes [Fault] (with [attempts], the evaluation attempts made),
+    [Out_of_memory]/[Stack_overflow] become [Eval], and any other
+    exception becomes [Eval (Printexc.to_string _)]. *)
+val of_exn : ?attempts:int -> exn -> t

@@ -36,6 +36,7 @@ let fork_join ?(obs = Obs.none) t ~width body =
   let width = min t.size (max 1 width) in
   if width = 1 then body 0
   else begin
+    Failpoint.check "pool.fork";
     Obs.add obs "pool.forks" (width - 1);
     let spawned =
       Array.init (width - 1) (fun i -> Domain.spawn (fun () -> body (i + 1)))

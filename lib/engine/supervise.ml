@@ -1,0 +1,48 @@
+type 'a reply = {
+  outcome : ('a Governor.outcome, Gq_error.t) result;
+  degraded : bool;
+  attempts : int;
+}
+
+let run ?(obs = Obs.none) ?(retry = Retry.default) ?breaker
+    ?(degraded_max_steps = 1000) ?sleep ~gov body =
+  Obs.incr obs "supervise.queries";
+  let admission =
+    match breaker with None -> `Proceed | Some b -> Breaker.acquire b
+  in
+  match admission with
+  | `Reject ->
+      (* Breaker open: still answer, but under a budget small enough that
+         even the query class that tripped it returns promptly. *)
+      Obs.incr obs "supervise.degraded";
+      let g = Governor.make ~obs ~max_steps:degraded_max_steps () in
+      let outcome =
+        match body g with
+        | o -> Ok o
+        | exception e -> Error (Gq_error.of_exn e)
+      in
+      { outcome; degraded = true; attempts = 1 }
+  | `Proceed | `Probe ->
+      let attempts = ref 0 in
+      let result =
+        Retry.run ~obs ~policy:retry ?sleep
+          ~on_retry:(function Out_of_memory -> Gc.compact () | _ -> ())
+          ~classify:Gq_error.classify_exn
+          (fun () ->
+            incr attempts;
+            body (gov ()))
+      in
+      if !attempts > 1 then Obs.incr obs "supervise.retried";
+      let report f = match breaker with Some b -> f b | None -> () in
+      (match result with
+      | Ok o when Governor.is_complete o -> report Breaker.success
+      | Ok _ | Error _ -> report Breaker.failure);
+      (match result with
+      | Ok o -> { outcome = Ok o; degraded = false; attempts = !attempts }
+      | Error e ->
+          Obs.incr obs "supervise.failed";
+          {
+            outcome = Error (Gq_error.of_exn ~attempts:!attempts e);
+            degraded = false;
+            attempts = !attempts;
+          })

@@ -1,0 +1,45 @@
+(** Supervised evaluation: budgets + retry + circuit breaking in one
+    wrapper.
+
+    This is the policy layer that [gqd --serve] (and bench E19) put
+    around every query: the body runs under a fresh {!Governor.t} per
+    attempt, exceptions are caught and classified, transient faults are
+    retried per {!Retry.policy}, and an optional per-query-class
+    {!Breaker.t} converts repeated budget exhaustions or faults into a
+    fast degraded path — the body still runs, but under a small fixed
+    step budget, and the reply is flagged [degraded].
+
+    The process-survival guarantee is structural: {!run} never lets an
+    exception escape.  Every outcome is either a sealed
+    {!Governor.outcome} or a classified {!Gq_error.t}. *)
+
+type 'a reply = {
+  outcome : ('a Governor.outcome, Gq_error.t) result;
+      (** [Ok]: the evaluation finished (possibly [Partial]); [Error]:
+          it kept failing and this is the classified last error. *)
+  degraded : bool;
+      (** The breaker was open: [outcome] comes from the small-budget
+          degraded run, not a full evaluation. *)
+  attempts : int;  (** times the body ran (1 = no retry needed) *)
+}
+
+(** Counters on [obs]: [supervise.queries], [supervise.retried],
+    [supervise.degraded], [supervise.failed], plus whatever the retry
+    layer and breaker record.  Breaker accounting: [Complete] outcomes
+    count as success; [Partial]/[Aborted] outcomes and exceptions count
+    as failure; degraded runs are not reported to the breaker at all
+    (the probe admitted by the half-open state is a normal run).
+
+    - [gov]: builds the fresh governor for each full-price attempt.
+    - [degraded_max_steps]: step budget of the degraded path
+      (default 1000).
+    - [sleep]: forwarded to {!Retry.run} (tests pass [ignore]). *)
+val run :
+  ?obs:Obs.t ->
+  ?retry:Retry.policy ->
+  ?breaker:Breaker.t ->
+  ?degraded_max_steps:int ->
+  ?sleep:(float -> unit) ->
+  gov:(unit -> Governor.t) ->
+  (Governor.t -> 'a Governor.outcome) ->
+  'a reply

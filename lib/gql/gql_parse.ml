@@ -74,8 +74,14 @@ let tokenize s =
         incr i
       done;
       let text = String.sub s start (!i - start) in
-      if String.contains text '.' then push (Treal (float_of_string text))
-      else push (Tint (int_of_string text))
+      if String.contains text '.' then
+        match float_of_string_opt text with
+        | Some v -> push (Treal v)
+        | None -> fail (Printf.sprintf "bad number %S" text)
+      else
+        match int_of_string_opt text with
+        | Some v -> push (Tint v)
+        | None -> fail (Printf.sprintf "number %s out of range" text)
     end
     else if is_ident_char c then begin
       let start = !i in
@@ -190,6 +196,8 @@ let parse s =
                 | Some (Tint m) ->
                     advance ();
                     expect Trbrace "expected } after repetition";
+                    if m < n then
+                      fail (Printf.sprintf "bad repetition range {%d,%d}" n m);
                     Some (Gql.Pquant (p, n, Some m))
                 | Some Trbrace ->
                     advance ();
@@ -290,9 +298,13 @@ let parse s =
   p
 
 let parse_opt s =
-  match parse s with p -> Ok p | exception Parse_error msg -> Error msg
-
-let parse_res s =
   match parse s with
   | p -> Ok p
-  | exception Parse_error msg -> Error (Gq_error.Parse { what = "pattern"; msg })
+  | exception Parse_error msg -> Error msg
+  | exception Failure msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+
+let parse_res s =
+  match parse_opt s with
+  | Ok p -> Ok p
+  | Error msg -> Error (Gq_error.Parse { what = "pattern"; msg })

@@ -70,10 +70,13 @@ let parse_string text =
   Pg.make ~nodes:node_list ~edges:(List.rev !edges)
 
 let parse_file path =
+  Failpoint.check "graph.load";
   let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
   parse_string text
 
 let escape_value v =
@@ -102,13 +105,28 @@ let to_string pg =
   done;
   Buffer.contents buf
 
+(* The [*_res] contract: malformed input is an [Error], never an escaped
+   exception.  [Parse_error] carries the position-tagged message; the
+   [Failure]/[Invalid_argument] arms are a backstop so no stdlib helper
+   reached through parsing can crash a caller that chose the result API.
+   [Failpoint.Injected] deliberately passes through — supervision layers
+   must see injected faults as exceptions to classify and retry. *)
 let parse_res src =
   match parse_string src with
   | pg -> Ok pg
   | exception Parse_error msg -> Error (Gq_error.Parse { what = "graph"; msg })
+  | exception Failure msg ->
+      Error (Gq_error.Parse { what = "graph"; msg })
+  | exception Invalid_argument msg ->
+      Error (Gq_error.Parse { what = "graph"; msg })
 
 let parse_file_res path =
   match parse_file path with
   | pg -> Ok pg
   | exception Parse_error msg -> Error (Gq_error.Parse { what = "graph"; msg })
+  | exception Failure msg -> Error (Gq_error.Parse { what = "graph"; msg })
+  | exception Invalid_argument msg ->
+      Error (Gq_error.Parse { what = "graph"; msg })
   | exception Sys_error msg -> Error (Gq_error.Io msg)
+  | exception End_of_file ->
+      Error (Gq_error.Io (Printf.sprintf "%s: truncated file" path))

@@ -14,10 +14,15 @@
 exception Parse_error of string
 
 val parse_string : string -> Pg.t
+
+(** Carries the failpoint site [graph.load]. *)
 val parse_file : string -> Pg.t
 
-(** Result-returning variants mapping {!Parse_error} (and, for files,
-    [Sys_error]) into the shared {!Gq_error.t}. *)
+(** Result-returning variants.  The contract is total: malformed input of
+    any kind — bad arity, unknown declaration, bad property syntax, a
+    truncated file — returns a position-tagged [Error], never an escaped
+    [Failure]/[Invalid_argument]/[Sys_error].  Only [Failpoint.Injected]
+    passes through, for supervision layers to classify and retry. *)
 val parse_res : string -> (Pg.t, Gq_error.t) result
 val parse_file_res : string -> (Pg.t, Gq_error.t) result
 val to_string : Pg.t -> string

@@ -37,7 +37,12 @@ let tokenize s =
       incr i
     done;
     if start = !i then fail "expected a number in repetition";
-    int_of_string (String.sub s start (!i - start))
+    let text = String.sub s start (!i - start) in
+    (* [int_of_string] raises [Failure] on overflow; the parser must
+       degrade to its own error instead. *)
+    match int_of_string_opt text with
+    | Some v -> v
+    | None -> fail (Printf.sprintf "repetition count %s out of range" text)
   in
   let expect c =
     if !i < n && s.[!i] = c then incr i
@@ -127,6 +132,8 @@ let parse s =
       | Some (Trepeat (lo, hi)) ->
           advance ();
           let hi = match hi with Some h -> h | None -> lo in
+          if hi < lo then
+            fail (Printf.sprintf "bad repetition range {%d,%d}" lo hi);
           b := Regex.repeat lo hi !b
       | _ -> continue := false)
     done;
@@ -162,9 +169,13 @@ let parse s =
   e
 
 let parse_opt s =
-  match parse s with e -> Ok e | exception Parse_error msg -> Error msg
-
-let parse_res s =
   match parse s with
   | e -> Ok e
-  | exception Parse_error msg -> Error (Gq_error.Parse { what = "rpq"; msg })
+  | exception Parse_error msg -> Error msg
+  | exception Failure msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+
+let parse_res s =
+  match parse_opt s with
+  | Ok e -> Ok e
+  | Error msg -> Error (Gq_error.Parse { what = "rpq"; msg })

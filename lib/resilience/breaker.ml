@@ -1,0 +1,127 @@
+type state = Closed | Open | Half_open
+
+let state_to_string = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+type config = {
+  failure_threshold : int;
+  cooldown : float;
+  success_threshold : int;
+}
+
+let default_config = { failure_threshold = 5; cooldown = 30.0; success_threshold = 1 }
+
+type t = {
+  name : string;
+  config : config;
+  clock : unit -> float;
+  obs : Obs.t;
+  lock : Mutex.t;
+  mutable state : state;
+  mutable consecutive_failures : int;
+  mutable probe_successes : int;
+  mutable opened_at : float;
+}
+
+let create ?(obs = Obs.none) ?(config = default_config) ?clock name =
+  {
+    name;
+    config;
+    clock = (match clock with Some c -> c | None -> Unix.gettimeofday);
+    obs;
+    lock = Mutex.create ();
+    state = Closed;
+    consecutive_failures = 0;
+    probe_successes = 0;
+    opened_at = neg_infinity;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let name t = t.name
+let state t = locked t (fun () -> t.state)
+
+let acquire t =
+  locked t @@ fun () ->
+  match t.state with
+  | Closed -> `Proceed
+  | Half_open ->
+      Obs.incr t.obs "breaker.probe";
+      `Probe
+  | Open ->
+      if t.clock () -. t.opened_at >= t.config.cooldown then begin
+        t.state <- Half_open;
+        t.probe_successes <- 0;
+        Obs.incr t.obs "breaker.probe";
+        `Probe
+      end
+      else begin
+        Obs.incr t.obs "breaker.reject";
+        `Reject
+      end
+
+let success t =
+  locked t @@ fun () ->
+  match t.state with
+  | Closed -> t.consecutive_failures <- 0
+  | Half_open ->
+      t.probe_successes <- t.probe_successes + 1;
+      if t.probe_successes >= t.config.success_threshold then begin
+        t.state <- Closed;
+        t.consecutive_failures <- 0;
+        Obs.incr t.obs "breaker.close"
+      end
+  | Open -> ()
+
+let trip t =
+  t.state <- Open;
+  t.opened_at <- t.clock ();
+  t.consecutive_failures <- 0;
+  Obs.incr t.obs "breaker.trip"
+
+let failure t =
+  locked t @@ fun () ->
+  match t.state with
+  | Closed ->
+      t.consecutive_failures <- t.consecutive_failures + 1;
+      if t.consecutive_failures >= t.config.failure_threshold then trip t
+  | Half_open -> trip t
+  | Open -> ()
+
+module Group = struct
+  type breaker = t
+
+  type nonrec t = {
+    make : string -> breaker;
+    lock : Mutex.t;
+    tbl : (string, breaker) Hashtbl.t;
+  }
+
+  let create ?obs ?config ?clock () =
+    {
+      make = (fun cls -> create ?obs ?config ?clock cls);
+      lock = Mutex.create ();
+      tbl = Hashtbl.create 8;
+    }
+
+  let locked g f =
+    Mutex.lock g.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock g.lock) f
+
+  let get g cls =
+    locked g (fun () ->
+        match Hashtbl.find_opt g.tbl cls with
+        | Some b -> b
+        | None ->
+            let b = g.make cls in
+            Hashtbl.add g.tbl cls b;
+            b)
+
+  let all g =
+    locked g (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) g.tbl [])
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+end

@@ -1,0 +1,66 @@
+(** Per-query-class circuit breaker.
+
+    A query class that keeps exhausting its budget (or keeps faulting)
+    should stop being paid for at full price: after
+    [failure_threshold] {e consecutive} failures the breaker {e trips}
+    from [Closed] to [Open], and callers get a fast {!acquire} rejection
+    instead of another expensive evaluation.  After [cooldown] seconds
+    the breaker moves to [Half_open] and admits probe traffic; a probe
+    success (or [success_threshold] of them) closes it again, a probe
+    failure re-opens it.  The transition diagram is exactly
+
+    {v Closed -> Open -> Half_open -> {Closed, Open} v}
+
+    pinned by a QCheck model test in [test/test_resilience.ml].
+
+    What counts as a failure is the caller's choice; the serve-mode
+    supervisor counts budget exhaustions ([Partial]/[Aborted]) and
+    evaluation faults, but not parse errors (those never reach the
+    breaker).  Time is injectable ([clock]) so the state machine is
+    testable without sleeping. *)
+
+type state = Closed | Open | Half_open
+
+val state_to_string : state -> string
+
+type config = {
+  failure_threshold : int;  (** consecutive failures that trip (K) *)
+  cooldown : float;  (** seconds Open before admitting a probe *)
+  success_threshold : int;  (** consecutive probe successes to close *)
+}
+
+(** K = 5, 30s cooldown, 1 probe success closes. *)
+val default_config : config
+
+type t
+
+(** [create name] builds a closed breaker for one query class.
+    [clock] defaults to [Unix.gettimeofday].  Counters on [obs]:
+    [breaker.trip], [breaker.reject], [breaker.probe], [breaker.close]. *)
+val create : ?obs:Obs.t -> ?config:config -> ?clock:(unit -> float) -> string -> t
+
+val name : t -> string
+val state : t -> state
+
+(** Ask to run one evaluation: [`Proceed] (closed), [`Probe] (half-open
+    trial — the cooldown elapsing moves Open to Half_open here), or
+    [`Reject] (open; serve degraded traffic instead).  Callers must
+    report the evaluation back via {!success}/{!failure}. *)
+val acquire : t -> [ `Proceed | `Probe | `Reject ]
+
+val success : t -> unit
+val failure : t -> unit
+
+(** A registry of breakers, one per query class, sharing config/sink. *)
+module Group : sig
+  type breaker := t
+  type t
+
+  val create : ?obs:Obs.t -> ?config:config -> ?clock:(unit -> float) -> unit -> t
+
+  (** Get-or-create the class's breaker; thread-safe. *)
+  val get : t -> string -> breaker
+
+  (** All breakers created so far, sorted by class name. *)
+  val all : t -> (string * breaker) list
+end

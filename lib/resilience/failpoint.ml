@@ -1,0 +1,180 @@
+exception Injected of string
+
+type policy =
+  | Fail_once
+  | Fail_every of int
+  | Fail_prob of { p : float; seed : int }
+  | Delay_ms of float
+
+type site = {
+  policy : policy;
+  hits : int Atomic.t;
+  fired : int Atomic.t;
+  rng : int64 Atomic.t; (* splitmix64 state, for Fail_prob *)
+}
+
+(* The fast path reads one atomic flag: [check] is a single (well
+   predicted) branch whenever nothing is armed anywhere in the process.
+   The table itself is only touched under [lock] — arming happens at
+   startup or from tests, never in hot loops, so serializing the slow
+   path is fine. *)
+let enabled = Atomic.make false
+let lock = Mutex.create ()
+let sites : (string, site) Hashtbl.t = Hashtbl.create 8
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+(* splitmix64: tiny, seedable, and good enough for fault schedules. *)
+let splitmix64 x =
+  let open Int64 in
+  let z = add x 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* Uniform draw in [0,1) from the top 53 bits of a splitmix64 output. *)
+let to_unit_float z =
+  Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992.0
+
+let site_of policy =
+  {
+    policy;
+    hits = Atomic.make 0;
+    fired = Atomic.make 0;
+    rng =
+      Atomic.make
+        (match policy with
+        | Fail_prob { seed; _ } -> Int64.of_int seed
+        | Fail_once | Fail_every _ | Delay_ms _ -> 0L);
+  }
+
+let arm name policy =
+  locked (fun () ->
+      Hashtbl.replace sites name (site_of policy);
+      Atomic.set enabled true)
+
+let disarm name =
+  locked (fun () ->
+      Hashtbl.remove sites name;
+      if Hashtbl.length sites = 0 then Atomic.set enabled false)
+
+let clear () =
+  locked (fun () ->
+      Hashtbl.reset sites;
+      Atomic.set enabled false)
+
+let hits name =
+  locked (fun () ->
+      match Hashtbl.find_opt sites name with
+      | Some s -> Atomic.get s.hits
+      | None -> 0)
+
+let fired name =
+  locked (fun () ->
+      match Hashtbl.find_opt sites name with
+      | Some s -> Atomic.get s.fired
+      | None -> 0)
+
+let armed () =
+  locked (fun () ->
+      Hashtbl.fold (fun name s acc -> (name, s.policy) :: acc) sites []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+
+let fires s =
+  let n = Atomic.fetch_and_add s.hits 1 + 1 in
+  match s.policy with
+  | Fail_once -> n = 1
+  | Fail_every k -> n mod max 1 k = 0
+  | Fail_prob { p; _ } ->
+      (* Advance the per-site PRNG with a CAS so the draw sequence is the
+         seed's, independent of which domain asks. *)
+      let rec draw () =
+        let old = Atomic.get s.rng in
+        let next = splitmix64 old in
+        if Atomic.compare_and_set s.rng old next then to_unit_float next
+        else draw ()
+      in
+      draw () < p
+  | Delay_ms _ -> true
+
+let check_armed name =
+  match locked (fun () -> Hashtbl.find_opt sites name) with
+  | None -> ()
+  | Some s ->
+      if fires s then begin
+        Atomic.incr s.fired;
+        match s.policy with
+        | Delay_ms ms -> if ms > 0.0 then Unix.sleepf (ms /. 1000.0)
+        | Fail_once | Fail_every _ | Fail_prob _ -> raise (Injected name)
+      end
+
+let check name = if Atomic.get enabled then check_armed name
+
+let policy_to_string = function
+  | Fail_once -> "once"
+  | Fail_every n -> Printf.sprintf "every:%d" n
+  | Fail_prob { p; seed } -> Printf.sprintf "prob:%g:%d" p seed
+  | Delay_ms ms -> Printf.sprintf "delay:%g" ms
+
+let policy_of_string s =
+  match String.split_on_char ':' s with
+  | [ "once" ] -> Ok (Some Fail_once)
+  | [ "off" ] -> Ok None
+  | [ "every"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 -> Ok (Some (Fail_every n))
+      | Some _ | None -> Error (Printf.sprintf "every: bad count %S" n))
+  | [ "prob"; p ] | [ "prob"; p; _ ] when float_of_string_opt p = None ->
+      Error (Printf.sprintf "prob: bad probability %S" p)
+  | [ "prob"; p ] ->
+      Ok (Some (Fail_prob { p = Option.get (float_of_string_opt p); seed = 0 }))
+  | [ "prob"; p; seed ] -> (
+      match (float_of_string_opt p, int_of_string_opt seed) with
+      | Some p, Some seed -> Ok (Some (Fail_prob { p; seed }))
+      | _, None -> Error (Printf.sprintf "prob: bad seed %S" seed)
+      | None, _ -> assert false)
+  | [ "delay"; ms ] -> (
+      match float_of_string_opt ms with
+      | Some ms when ms >= 0.0 -> Ok (Some (Delay_ms ms))
+      | Some _ | None -> Error (Printf.sprintf "delay: bad milliseconds %S" ms))
+  | _ -> Error (Printf.sprintf "unknown policy %S" s)
+
+let arm_spec spec =
+  let entries =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun e -> e <> "")
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | entry :: rest -> (
+        match String.index_opt entry '=' with
+        | None -> Error (Printf.sprintf "expected site=policy, got %S" entry)
+        | Some i -> (
+            let name = String.sub entry 0 i in
+            let pol = String.sub entry (i + 1) (String.length entry - i - 1) in
+            if name = "" then Error (Printf.sprintf "empty site name in %S" entry)
+            else
+              match policy_of_string pol with
+              | Error msg -> Error (Printf.sprintf "%s: %s" name msg)
+              | Ok None ->
+                  disarm name;
+                  go rest
+              | Ok (Some p) ->
+                  arm name p;
+                  go rest))
+  in
+  go entries
+
+(* Environment arming happens once, when the library is linked in: a
+   malformed schedule is reported but never fatal — fault injection must
+   not be able to take the process down by itself. *)
+let () =
+  match Sys.getenv_opt "GQ_FAILPOINTS" with
+  | None | Some "" -> ()
+  | Some spec -> (
+      match arm_spec spec with
+      | Ok () -> ()
+      | Error msg -> Printf.eprintf "GQ_FAILPOINTS: ignoring bad entry: %s\n" msg)

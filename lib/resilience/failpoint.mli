@@ -1,0 +1,64 @@
+(** Failpoint registry: named fault-injection sites.
+
+    Hot paths declare injection sites — [Failpoint.check "rpq.bfs.step"]
+    — that compile down to a single branch on a global flag when nothing
+    is armed, so production code pays nothing for being testable.  A test
+    (or the [GQ_FAILPOINTS] environment variable) arms a site with a
+    deterministic policy; armed checks then raise {!Injected} or inject a
+    delay according to that policy, reproducibly: the probabilistic
+    policy runs its own seeded PRNG, so the same seed yields the same
+    fault schedule on every run.
+
+    Sites in this repository (see the README table):
+    - [graph.load] — {!Graph_io.parse_file}, before reading the file
+    - [rpq.product.build] — {!Product.make}, before construction
+    - [rpq.bfs.step] — {!Rpq_eval}, once per source BFS
+    - [crpq.join.atom] — {!Crpq}, once per atom materialization
+    - [pool.fork] — {!Pool.fork_join}, before spawning domains
+    - [serve.eval] — [gqd --serve], once per supervised query attempt
+
+    The registry is process-global and thread-safe; arming is expected at
+    startup or from tests, not from hot loops. *)
+
+(** Raised by {!check} at an armed site whose policy fires.  The payload
+    is the site name.  Classified as transient by
+    [Gq_error.classify_exn], so retry layers treat injected faults like
+    real transient ones. *)
+exception Injected of string
+
+type policy =
+  | Fail_once  (** the first check fails, all later ones pass *)
+  | Fail_every of int  (** every [n]-th check fails (n >= 1) *)
+  | Fail_prob of { p : float; seed : int }
+      (** each check fails with probability [p], drawn from a splitmix64
+          PRNG seeded with [seed] — deterministic per site arming *)
+  | Delay_ms of float  (** sleep that many milliseconds; never fails *)
+
+(** The injection site: a no-op (one branch) unless [name] is armed.
+    @raise Injected when the armed policy fires. *)
+val check : string -> unit
+
+(** Arm [name] with [policy], resetting its hit/fired counters. *)
+val arm : string -> policy -> unit
+
+val disarm : string -> unit
+
+(** Disarm every site, including those armed from [GQ_FAILPOINTS]. *)
+val clear : unit -> unit
+
+(** Parse and arm a comma-separated schedule, the [GQ_FAILPOINTS]
+    syntax: [site=once], [site=every:N], [site=prob:P] or
+    [site=prob:P:SEED], [site=delay:MS], [site=off].
+    E.g. ["serve.eval=every:2,graph.load=delay:1"]. *)
+val arm_spec : string -> (unit, string) result
+
+val policy_to_string : policy -> string
+
+(** Checks seen at an armed site since arming (disarmed sites: 0). *)
+val hits : string -> int
+
+(** Faults (or delays) injected at a site since arming. *)
+val fired : string -> int
+
+(** Armed sites with their policies, sorted by name. *)
+val armed : unit -> (string * policy) list

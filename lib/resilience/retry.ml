@@ -1,0 +1,83 @@
+type error_class = Transient | Permanent
+
+type policy = {
+  max_attempts : int;
+  base_delay : float;
+  max_delay : float;
+  multiplier : float;
+  jitter : float;
+  seed : int;
+  budget : float;
+}
+
+let default =
+  {
+    max_attempts = 3;
+    base_delay = 0.01;
+    max_delay = 1.0;
+    multiplier = 2.0;
+    jitter = 0.2;
+    seed = 0;
+    budget = 5.0;
+  }
+
+let immediate = { default with base_delay = 0.0; max_delay = 0.0; budget = 0.0 }
+
+let splitmix64 x =
+  let open Int64 in
+  let z = add x 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let to_unit_float z =
+  Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992.0
+
+(* Delay before retry [i] (0-based): capped exponential, then jittered
+   into [(1-jitter)*d, d] by the seeded PRNG.  Pure in (policy, i). *)
+let delay_at policy rng i =
+  let d = policy.base_delay *. (policy.multiplier ** float_of_int i) in
+  let d = Float.min d policy.max_delay in
+  let u =
+    rng := splitmix64 !rng;
+    to_unit_float !rng
+  in
+  let jitter = Float.max 0.0 (Float.min 1.0 policy.jitter) in
+  d *. (1.0 -. (jitter *. u))
+
+let delays policy =
+  let rng = ref (Int64.of_int policy.seed) in
+  List.init (max 0 (policy.max_attempts - 1)) (delay_at policy rng)
+
+let run ?(obs = Obs.none) ?(policy = default) ?(sleep = Unix.sleepf)
+    ?(on_retry = fun _ -> ()) ~classify f =
+  let rng = ref (Int64.of_int policy.seed) in
+  let slept = ref 0.0 in
+  let rec attempt i =
+    Obs.incr obs "retry.attempts";
+    let result =
+      if i = 0 then (try Ok (f ()) with e -> Error e)
+      else Obs.span obs "retry.attempt" (fun () -> try Ok (f ()) with e -> Error e)
+    in
+    match result with
+    | Ok v -> Ok v
+    | Error e -> (
+        match classify e with
+        | Permanent ->
+            Obs.incr obs "retry.permanent";
+            Error e
+        | Transient ->
+            let d = delay_at policy rng i in
+            if i + 1 >= policy.max_attempts || !slept +. d > policy.budget then begin
+              Obs.incr obs "retry.exhausted";
+              Error e
+            end
+            else begin
+              Obs.incr obs "retry.retries";
+              on_retry e;
+              if d > 0.0 then sleep d;
+              slept := !slept +. d;
+              attempt (i + 1)
+            end)
+  in
+  attempt 0

@@ -1,0 +1,58 @@
+(** Retry with capped exponential backoff and seeded jitter.
+
+    A retry layer only makes sense for {e transient} faults — injected
+    faults, allocation failures, interrupted I/O.  Deterministic errors
+    (a parse error, an exhausted step budget) would fail identically on
+    every attempt, so the caller classifies: {!run} retries only while
+    [classify] answers {!Transient}.
+
+    The backoff schedule is fully determined by the policy: delay [i] is
+    [base_delay * multiplier^i] capped at [max_delay], then jittered by a
+    seeded splitmix64 PRNG into [[(1-jitter)*d, d]].  {!delays} exposes
+    the schedule so tests can pin it.  A [budget] caps the total time
+    spent sleeping across one {!run}, bounding worst-case added latency
+    regardless of attempt count. *)
+
+type error_class = Transient | Permanent
+
+type policy = {
+  max_attempts : int;  (** total attempts, including the first (>= 1) *)
+  base_delay : float;  (** seconds before the first retry *)
+  max_delay : float;  (** per-retry cap on the backoff delay *)
+  multiplier : float;  (** exponential growth factor *)
+  jitter : float;  (** fraction of each delay randomized away, in [0,1] *)
+  seed : int;  (** jitter PRNG seed — same seed, same schedule *)
+  budget : float;  (** cap on total sleep seconds across one {!run} *)
+}
+
+(** 3 attempts, 10ms base, x2, capped at 1s, 20% jitter, 5s budget. *)
+val default : policy
+
+(** No sleeping at all (every delay 0): the test policy. *)
+val immediate : policy
+
+(** The deterministic backoff schedule: the [max_attempts - 1] jittered
+    delays {!run} would sleep, budget permitting. *)
+val delays : policy -> float list
+
+(** [run ~classify f] calls [f] until it returns, retrying on exceptions
+    classified [Transient] while attempts and sleep budget remain;
+    [Error e] carries the last exception otherwise.  [f] is never called
+    after a [Permanent] classification.
+
+    - [sleep]: override the actual sleeping (tests pass [ignore]).
+    - [on_retry]: called with the exception just before each retry
+      (e.g. to [Gc.compact] after [Out_of_memory]).
+
+    Counters on [obs]: [retry.attempts] (calls of [f]), [retry.retries]
+    (sleep-and-retry transitions), [retry.exhausted] (transient but out
+    of attempts/budget), [retry.permanent].  Each retried attempt runs
+    inside a [retry.attempt] trace span. *)
+val run :
+  ?obs:Obs.t ->
+  ?policy:policy ->
+  ?sleep:(float -> unit) ->
+  ?on_retry:(exn -> unit) ->
+  classify:(exn -> error_class) ->
+  (unit -> 'a) ->
+  ('a, exn) result

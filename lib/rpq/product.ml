@@ -16,6 +16,7 @@ let state t ~node ~q = (node * nb_automaton_states t) + q
 let decode t s = (s / nb_automaton_states t, s mod nb_automaton_states t)
 
 let make ?(obs = Obs.none) graph nfa =
+  Failpoint.check "rpq.product.build";
   Obs.span obs "product.build" @@ fun () ->
   let nq = nfa.Nfa.nb_states in
   let nl = Elg.nb_labels graph in

@@ -64,6 +64,10 @@ let bfs_stats_of obs =
 (* BFS over the product from [src]'s initial states, invoking
    [on_target v] once per graph node [v] reached in an accepting state. *)
 let bfs_targets gov stats product sc ~src on_target =
+  (* One failpoint check per source BFS: cheap enough to leave in the
+     multi-source loop, frequent enough that a probabilistic schedule
+     hits mid-evaluation. *)
+  Failpoint.check "rpq.bfs.step";
   sc.stamp <- sc.stamp + 1;
   let stamp = sc.stamp in
   let head = ref 0 and tail = ref 0 in

@@ -105,4 +105,68 @@ if grep -v '^{"span":".*","domain":[0-9]*,"depth":[0-9]*,"start_s":[0-9.]*,"end_
   echo "smoke: malformed trace line" >&2; exit 1
 fi
 
+# --- gqd --serve: the crash-proof session mode ----------------------------
+# Golden transcripts, run from inside $tmp so file paths in replies are
+# relative and stable.  Each session pins GQ_FAILPOINTS itself (including
+# pinning it empty) so the transcripts hold under `make check-faults`,
+# which runs the whole suite with an ambient fault schedule.
+GQD_ABS=$(cd "$(dirname "$GQD")" && pwd)/$(basename "$GQD")
+
+printf 'node n1 N\nfrobnicate x y\n' > "$tmp/bad.graph"
+
+# Transcript 1: every second supervised evaluation raises an injected
+# transient fault.  The session retries them (the "attempts":2 replies),
+# classifies a malformed graph and a missing file without dying, survives
+# a budget-exhausting query, keeps answering, and exits 0.
+cat > "$tmp/serve_faults.in" <<'EOF'
+ping
+load bank.graph
+rpq Transfer*
+set max-steps 5
+rpq Transfer*
+rpq Transfer)(
+load bad.graph
+load nosuch.graph
+set max-steps none
+rpq-from a1 Transfer*
+quit
+EOF
+set +e
+(cd "$tmp" && GQ_FAILPOINTS="serve.eval=every:2" "$GQD_ABS" --serve \
+  < serve_faults.in > serve_faults.out 2> serve_faults.err)
+code=$?
+set -e
+[ "$code" -eq 0 ] || {
+  echo "smoke: serve fault session exited $code" >&2
+  cat "$tmp/serve_faults.err" >&2
+  exit 1
+}
+check_golden serve_faults.out "$tmp/serve_faults.out"
+[ "$(grep -c '"attempts":2' "$tmp/serve_faults.out")" -ge 3 ] \
+  || { echo "smoke: expected at least 3 retried (injected) faults" >&2; exit 1; }
+
+# Transcript 2: two consecutive budget exhaustions trip the rpq breaker
+# (threshold 2); the third query is served degraded under the small fixed
+# budget, and `stats` reports the open breaker.  No failpoints armed.
+cat > "$tmp/serve_breaker.in" <<'EOF'
+load bank.graph
+set max-steps 2
+rpq Transfer*
+rpq Transfer*
+rpq Transfer*
+stats
+quit
+EOF
+set +e
+(cd "$tmp" && GQ_FAILPOINTS= "$GQD_ABS" --serve --breaker-threshold 2 \
+  < serve_breaker.in > serve_breaker.out 2> serve_breaker.err)
+code=$?
+set -e
+[ "$code" -eq 0 ] || {
+  echo "smoke: serve breaker session exited $code" >&2
+  cat "$tmp/serve_breaker.err" >&2
+  exit 1
+}
+check_golden serve_breaker.out "$tmp/serve_breaker.out"
+
 echo "smoke: all CLI checks passed"

@@ -1,0 +1,590 @@
+(* The resilience layer (robustness tentpole): failpoint registry,
+   retry/backoff, circuit breaker, supervised evaluation, and the
+   hardened parser contracts.
+
+   The three headline QCheck properties:
+
+   - {e transparency}: with failpoints disabled (or armed with
+     non-failing policies) every engine is bit-identical to the seed
+     behavior — injection sites cost a branch, never an answer;
+   - {e no wrong answers}: under any seeded fault schedule a supervised,
+     retried query either equals the fault-free answer or returns a
+     classified error — it never silently returns a different answer;
+   - {e breaker model}: the circuit breaker agrees with a reference
+     state machine on arbitrary operation sequences, and every observed
+     transition is one of closed→open, open→half-open,
+     half-open→{closed,open}. *)
+
+(* Every test that arms failpoints must clean up, or later tests (and
+   later suites in the same binary) would inherit the schedule. *)
+let with_clear f =
+  Failpoint.clear ();
+  Fun.protect ~finally:Failpoint.clear f
+
+let raises_injected name f =
+  match f () with
+  | _ -> false
+  | exception Failpoint.Injected site -> site = name
+
+(* --- failpoint policies --------------------------------------------------- *)
+
+let test_fp_once () =
+  with_clear @@ fun () ->
+  Failpoint.arm "t.once" Fail_once;
+  Alcotest.(check bool) "first check fires" true
+    (raises_injected "t.once" (fun () -> Failpoint.check "t.once"));
+  Failpoint.check "t.once";
+  Failpoint.check "t.once";
+  Alcotest.(check int) "hits counts every check" 3 (Failpoint.hits "t.once");
+  Alcotest.(check int) "fired exactly once" 1 (Failpoint.fired "t.once")
+
+let test_fp_every () =
+  with_clear @@ fun () ->
+  Failpoint.arm "t.every" (Fail_every 3);
+  let fired_at = ref [] in
+  for i = 1 to 9 do
+    match Failpoint.check "t.every" with
+    | () -> ()
+    | exception Failpoint.Injected _ -> fired_at := i :: !fired_at
+  done;
+  Alcotest.(check (list int)) "fires on every 3rd check" [ 3; 6; 9 ]
+    (List.rev !fired_at);
+  Alcotest.(check int) "fired counter agrees" 3 (Failpoint.fired "t.every")
+
+let prob_schedule ~seed ~n =
+  Failpoint.arm "t.prob" (Fail_prob { p = 0.5; seed });
+  List.init n (fun _ ->
+      match Failpoint.check "t.prob" with
+      | () -> false
+      | exception Failpoint.Injected _ -> true)
+
+let test_fp_prob_deterministic () =
+  with_clear @@ fun () ->
+  let s1 = prob_schedule ~seed:42 ~n:64 in
+  let s2 = prob_schedule ~seed:42 ~n:64 in
+  Alcotest.(check (list bool)) "same seed, same fault schedule" s1 s2;
+  let fired = List.length (List.filter Fun.id s1) in
+  Alcotest.(check bool) "p=0.5 fires sometimes, not always" true
+    (fired > 0 && fired < 64);
+  let s3 = prob_schedule ~seed:43 ~n:64 in
+  Alcotest.(check bool) "different seed, different schedule" true (s1 <> s3)
+
+let test_fp_delay_and_disarm () =
+  with_clear @@ fun () ->
+  Failpoint.arm "t.delay" (Delay_ms 0.0);
+  Failpoint.check "t.delay";
+  Failpoint.check "t.delay";
+  Alcotest.(check int) "delay fires without raising" 2 (Failpoint.fired "t.delay");
+  Failpoint.disarm "t.delay";
+  Failpoint.check "t.delay";
+  Alcotest.(check int) "disarmed site no longer counts" 0 (Failpoint.hits "t.delay");
+  Failpoint.clear ();
+  Alcotest.(check (list (pair string string))) "clear empties the registry" []
+    (List.map (fun (n, p) -> (n, Failpoint.policy_to_string p)) (Failpoint.armed ()))
+
+let test_fp_spec () =
+  with_clear @@ fun () ->
+  (match Failpoint.arm_spec "a.b=once, c.d=every:2 ,e.f=prob:0.25:7,g.h=delay:1.5" with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("valid spec rejected: " ^ msg));
+  Alcotest.(check (list (pair string string)))
+    "armed reflects the spec, sorted"
+    [ ("a.b", "once"); ("c.d", "every:2"); ("e.f", "prob:0.25:7"); ("g.h", "delay:1.5") ]
+    (List.map (fun (n, p) -> (n, Failpoint.policy_to_string p)) (Failpoint.armed ()));
+  (match Failpoint.arm_spec "a.b=off" with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("off rejected: " ^ msg));
+  Alcotest.(check bool) "site=off disarms" true
+    (not (List.mem_assoc "a.b" (Failpoint.armed ())));
+  let bad spec =
+    match Failpoint.arm_spec spec with
+    | Ok () -> Alcotest.fail (Printf.sprintf "bad spec %S accepted" spec)
+    | Error _ -> ()
+  in
+  bad "nopolicy";
+  bad "x=bogus";
+  bad "x=every:0";
+  bad "x=every:abc";
+  bad "x=prob:zz";
+  bad "x=delay:-1";
+  bad "=once"
+
+(* --- hardened parsers: total result contracts ----------------------------- *)
+
+let check_parse_error name what = function
+  | Ok _ -> Alcotest.fail (name ^ ": malformed input accepted")
+  | Error (Gq_error.Parse { what = w; _ }) ->
+      Alcotest.(check string) (name ^ ": error language tag") what w
+  | Error e -> Alcotest.fail (name ^ ": wrong error class " ^ Gq_error.to_string e)
+
+let test_graph_io_total () =
+  let cases =
+    [
+      ("bad node arity", "node");
+      ("bad edge arity", "edge e1 a b");
+      ("unknown declaration", "frobnicate x y");
+      ("bad property syntax", "node n1 N owner");
+      ("empty property name", "node n1 N =v");
+    ]
+  in
+  List.iter
+    (fun (name, src) -> check_parse_error name "graph" (Graph_io.parse_res src))
+    cases;
+  (* Position tagging: the error names the offending line. *)
+  (match Graph_io.parse_res "node n1 N\nnode\n" with
+  | Error (Gq_error.Parse { msg; _ }) ->
+      Alcotest.(check bool) "error is position-tagged" true
+        (String.length msg >= 7 && String.sub msg 0 7 = "line 2:")
+  | _ -> Alcotest.fail "expected a parse error on line 2");
+  (* File-level failures are classified I/O, never exceptions. *)
+  (match Graph_io.parse_file_res "/nonexistent/path.graph" with
+  | Error (Gq_error.Io _) -> ()
+  | _ -> Alcotest.fail "missing file should be an Io error");
+  match Graph_io.parse_res "node n1 N\nedge e1 n1 a n2\n" with
+  | Ok pg -> Alcotest.(check int) "well-formed input still parses" 2
+      (Elg.nb_nodes (Pg.elg pg))
+  | Error e -> Alcotest.fail ("well-formed input rejected: " ^ Gq_error.to_string e)
+
+let test_parsers_total () =
+  (* Inputs that historically escaped as [Failure]/[Invalid_argument]:
+     inverted repetition ranges, out-of-range integers, malformed
+     numbers.  Each parser's [_res] entry point must classify them. *)
+  check_parse_error "rpq inverted range" "rpq" (Rpq_parse.parse_res "a{3,1}");
+  check_parse_error "rpq huge count" "rpq"
+    (Rpq_parse.parse_res "a{99999999999999999999}");
+  check_parse_error "rpq unbalanced" "rpq" (Rpq_parse.parse_res "a)(");
+  (match Rpq_parse.parse_res "a{1,3}" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("valid rpq rejected: " ^ Gq_error.to_string e));
+  check_parse_error "dlrpq inverted range" "dlrpq"
+    (Dlrpq_parse.parse_res "(a){3,1}");
+  check_parse_error "dlrpq huge count" "dlrpq"
+    (Dlrpq_parse.parse_res "(a){99999999999999999999}");
+  check_parse_error "dlrpq bad float" "dlrpq"
+    (Dlrpq_parse.parse_res "(date > 1.2.3)");
+  (match Dlrpq_parse.parse_res "(a^z)(x := date)" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("valid dlrpq rejected: " ^ Gq_error.to_string e));
+  check_parse_error "gql inverted range" "pattern"
+    (Gql_parse.parse_res "(x)(()-[:a]->()){3,1}(y)");
+  check_parse_error "gql huge count" "pattern"
+    (Gql_parse.parse_res "(x)(()-[:a]->()){99999999999999999999}(y)");
+  check_parse_error "gql bad float" "pattern"
+    (Gql_parse.parse_res "(x WHERE x.v = 1.2.3)");
+  match Gql_parse.parse_res "(x)(()-[:a]->()){1,3}(y)" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("valid gql pattern rejected: " ^ Gq_error.to_string e)
+
+(* --- retry ---------------------------------------------------------------- *)
+
+let transient_policy n = { Retry.immediate with Retry.max_attempts = n }
+
+let test_retry_delays () =
+  let p =
+    {
+      Retry.max_attempts = 5;
+      base_delay = 0.01;
+      max_delay = 0.04;
+      multiplier = 2.0;
+      jitter = 0.2;
+      seed = 11;
+      budget = 10.0;
+    }
+  in
+  let d1 = Retry.delays p and d2 = Retry.delays p in
+  Alcotest.(check (list (float 1e-12))) "same policy, same schedule" d1 d2;
+  Alcotest.(check int) "one delay per retry" 4 (List.length d1);
+  List.iteri
+    (fun i d ->
+      let raw = Float.min (0.01 *. (2.0 ** float_of_int i)) 0.04 in
+      Alcotest.(check bool)
+        (Printf.sprintf "delay %d capped and jittered into [0.8d, d]" i)
+        true
+        (d <= raw +. 1e-12 && d >= (0.8 *. raw) -. 1e-12))
+    d1;
+  Alcotest.(check bool) "different seed, different jitter" true
+    (Retry.delays p <> Retry.delays { p with Retry.seed = 12 })
+
+let test_retry_transient () =
+  with_clear @@ fun () ->
+  let calls = ref 0 in
+  let result =
+    Retry.run ~policy:(transient_policy 5) ~sleep:ignore
+      ~classify:Gq_error.classify_exn (fun () ->
+        incr calls;
+        if !calls < 3 then raise (Failpoint.Injected "t.site");
+        "done")
+  in
+  Alcotest.(check (result string reject)) "recovers after two faults"
+    (Ok "done") result;
+  Alcotest.(check int) "exactly three attempts" 3 !calls
+
+let test_retry_exhausted () =
+  let calls = ref 0 in
+  (match
+     Retry.run ~policy:(transient_policy 3) ~sleep:ignore
+       ~classify:Gq_error.classify_exn (fun () ->
+         incr calls;
+         raise (Failpoint.Injected "t.site"))
+   with
+  | Ok _ -> Alcotest.fail "expected exhaustion"
+  | Error (Failpoint.Injected "t.site") -> ()
+  | Error e -> Alcotest.fail ("wrong error: " ^ Printexc.to_string e));
+  Alcotest.(check int) "all attempts consumed" 3 !calls
+
+let test_retry_permanent () =
+  let calls = ref 0 in
+  (match
+     Retry.run ~policy:(transient_policy 5) ~sleep:ignore
+       ~classify:Gq_error.classify_exn (fun () ->
+         incr calls;
+         failwith "deterministic")
+   with
+  | Ok _ -> Alcotest.fail "expected failure"
+  | Error (Failure msg) -> Alcotest.(check string) "original error" "deterministic" msg
+  | Error e -> Alcotest.fail ("wrong error: " ^ Printexc.to_string e));
+  Alcotest.(check int) "permanent errors never retry" 1 !calls
+
+let test_retry_budget () =
+  (* A positive first delay against a zero sleep budget: transient, but
+     no retry is affordable. *)
+  let p =
+    { Retry.default with Retry.max_attempts = 5; base_delay = 1.0; budget = 0.0 }
+  in
+  let calls = ref 0 in
+  (match
+     Retry.run ~policy:p ~sleep:ignore ~classify:Gq_error.classify_exn
+       (fun () ->
+         incr calls;
+         raise (Failpoint.Injected "t.site"))
+   with
+  | Ok _ -> Alcotest.fail "expected exhaustion"
+  | Error _ -> ());
+  Alcotest.(check int) "budget 0 means a single attempt" 1 !calls
+
+(* --- supervised evaluation ------------------------------------------------ *)
+
+let gov_ample () = Governor.make ~max_steps:50_000_000 ()
+
+let test_supervise_plain () =
+  with_clear @@ fun () ->
+  let sup =
+    Supervise.run ~retry:(transient_policy 3) ~sleep:ignore ~gov:gov_ample
+      (fun _gov -> Governor.Complete 42)
+  in
+  Alcotest.(check bool) "complete outcome" true
+    (sup.Supervise.outcome = Ok (Governor.Complete 42));
+  Alcotest.(check bool) "not degraded" false sup.Supervise.degraded;
+  Alcotest.(check int) "one attempt" 1 sup.Supervise.attempts
+
+let test_supervise_retries_faults () =
+  with_clear @@ fun () ->
+  let calls = ref 0 in
+  let sup =
+    Supervise.run ~retry:(transient_policy 3) ~sleep:ignore ~gov:gov_ample
+      (fun _gov ->
+        incr calls;
+        if !calls = 1 then raise (Failpoint.Injected "t.site");
+        Governor.Complete "ok")
+  in
+  Alcotest.(check bool) "recovered" true
+    (sup.Supervise.outcome = Ok (Governor.Complete "ok"));
+  Alcotest.(check int) "retried once" 2 sup.Supervise.attempts
+
+let test_supervise_fault_classified () =
+  with_clear @@ fun () ->
+  let sup =
+    Supervise.run ~retry:(transient_policy 3) ~sleep:ignore ~gov:gov_ample
+      (fun _gov -> raise (Failpoint.Injected "t.site"))
+  in
+  (match sup.Supervise.outcome with
+  | Error (Gq_error.Fault { site = "t.site"; attempts = 3 }) -> ()
+  | Error e -> Alcotest.fail ("wrong classification: " ^ Gq_error.to_string e)
+  | Ok _ -> Alcotest.fail "expected a fault error");
+  Alcotest.(check string) "fault kind slug" "fault"
+    (match sup.Supervise.outcome with
+    | Error e -> Gq_error.kind e
+    | Ok _ -> "?");
+  Alcotest.(check int) "exit code 2 for exhausted faults" 2
+    (Gq_error.exit_code (Gq_error.Fault { site = "t.site"; attempts = 3 }))
+
+let test_supervise_never_escapes () =
+  with_clear @@ fun () ->
+  (* Arbitrary exceptions — not just injected ones — become classified
+     errors; [Supervise.run] must never re-raise. *)
+  let sup =
+    Supervise.run ~retry:(transient_policy 2) ~sleep:ignore ~gov:gov_ample
+      (fun _gov -> failwith "boom")
+  in
+  match sup.Supervise.outcome with
+  | Error (Gq_error.Eval _) -> ()
+  | Error e -> Alcotest.fail ("wrong class: " ^ Gq_error.to_string e)
+  | Ok _ -> Alcotest.fail "expected an error"
+
+let test_supervise_breaker_cycle () =
+  with_clear @@ fun () ->
+  let now = ref 0.0 in
+  let b =
+    Breaker.create
+      ~config:{ Breaker.failure_threshold = 2; cooldown = 10.0; success_threshold = 1 }
+      ~clock:(fun () -> !now)
+      "t"
+  in
+  let failing = ref true in
+  let run () =
+    Supervise.run ~retry:(transient_policy 1) ~sleep:ignore ~breaker:b
+      ~degraded_max_steps:100 ~gov:gov_ample (fun _gov ->
+        if !failing then Governor.Partial ([ 1 ], Governor.Steps)
+        else Governor.Complete [ 1; 2 ])
+  in
+  (* Two budget exhaustions trip the breaker. *)
+  let r1 = run () in
+  Alcotest.(check bool) "first partial is full-price" false r1.Supervise.degraded;
+  let _ = run () in
+  Alcotest.(check string) "tripped after threshold" "open"
+    (Breaker.state_to_string (Breaker.state b));
+  (* While open, replies are degraded — the body still runs, under the
+     small budget — and are not reported to the breaker. *)
+  let r3 = run () in
+  Alcotest.(check bool) "open breaker serves degraded" true r3.Supervise.degraded;
+  Alcotest.(check bool) "degraded still answers" true
+    (r3.Supervise.outcome = Ok (Governor.Partial ([ 1 ], Governor.Steps)));
+  Alcotest.(check string) "still open" "open"
+    (Breaker.state_to_string (Breaker.state b));
+  (* After the cooldown, the next run is the half-open probe; a complete
+     outcome closes the breaker again. *)
+  now := 11.0;
+  failing := false;
+  let r4 = run () in
+  Alcotest.(check bool) "probe runs full price" false r4.Supervise.degraded;
+  Alcotest.(check bool) "probe completes" true
+    (r4.Supervise.outcome = Ok (Governor.Complete [ 1; 2 ]));
+  Alcotest.(check string) "probe success closes" "closed"
+    (Breaker.state_to_string (Breaker.state b))
+
+(* --- QCheck: breaker model ------------------------------------------------ *)
+
+type brop = Acquire | Success | Failure | Advance of int
+
+let brop_to_string = function
+  | Acquire -> "acquire"
+  | Success -> "success"
+  | Failure -> "failure"
+  | Advance s -> Printf.sprintf "advance %ds" s
+
+let gen_brops =
+  QCheck.Gen.(
+    list_size (int_range 1 40)
+      (frequency
+         [
+           (3, return Acquire);
+           (2, return Success);
+           (4, return Failure);
+           (2, map (fun s -> Advance s) (int_range 1 15));
+         ]))
+
+let arb_brops =
+  QCheck.make ~print:(fun ops -> String.concat "; " (List.map brop_to_string ops))
+    gen_brops
+
+(* Reference model, transcribed from the documented semantics (not the
+   implementation): trip on K consecutive closed failures or any
+   half-open failure; open admits a probe once the cooldown elapses;
+   [success_threshold] probe successes close. *)
+module Model = struct
+  type t = {
+    mutable st : Breaker.state;
+    mutable consec : int;
+    mutable probes : int;
+    mutable opened_at : float;
+  }
+
+  let create () = { st = Closed; consec = 0; probes = 0; opened_at = neg_infinity }
+
+  let trip m now =
+    m.st <- Open;
+    m.opened_at <- now;
+    m.consec <- 0
+
+  let acquire m ~cfg ~now =
+    match m.st with
+    | Breaker.Closed -> `Proceed
+    | Breaker.Half_open -> `Probe
+    | Breaker.Open ->
+        if now -. m.opened_at >= cfg.Breaker.cooldown then begin
+          m.st <- Half_open;
+          m.probes <- 0;
+          `Probe
+        end
+        else `Reject
+
+  let success m ~cfg =
+    match m.st with
+    | Breaker.Closed -> m.consec <- 0
+    | Breaker.Half_open ->
+        m.probes <- m.probes + 1;
+        if m.probes >= cfg.Breaker.success_threshold then begin
+          m.st <- Closed;
+          m.consec <- 0
+        end
+    | Breaker.Open -> ()
+
+  let failure m ~cfg ~now =
+    match m.st with
+    | Breaker.Closed ->
+        m.consec <- m.consec + 1;
+        if m.consec >= cfg.Breaker.failure_threshold then trip m now
+    | Breaker.Half_open -> trip m now
+    | Breaker.Open -> ()
+end
+
+let legal_transition a b =
+  match (a, b) with
+  | Breaker.Closed, Breaker.Open
+  | Breaker.Open, Breaker.Half_open
+  | Breaker.Half_open, Breaker.Closed
+  | Breaker.Half_open, Breaker.Open -> true
+  | _ -> a = b
+
+let prop_breaker_model ops =
+  let cfg = { Breaker.failure_threshold = 3; cooldown = 10.0; success_threshold = 2 } in
+  let now = ref 0.0 in
+  let b = Breaker.create ~config:cfg ~clock:(fun () -> !now) "model" in
+  let m = Model.create () in
+  List.for_all
+    (fun op ->
+      let before = Breaker.state b in
+      (match op with
+      | Acquire ->
+          let got = Breaker.acquire b in
+          let want = Model.acquire m ~cfg ~now:!now in
+          if got <> want then
+            QCheck.Test.fail_reportf "acquire disagrees in state %s"
+              (Breaker.state_to_string before)
+      | Success ->
+          Breaker.success b;
+          Model.success m ~cfg
+      | Failure ->
+          Breaker.failure b;
+          Model.failure m ~cfg ~now:!now
+      | Advance s -> now := !now +. float_of_int s);
+      let after = Breaker.state b in
+      if after <> m.Model.st then
+        QCheck.Test.fail_reportf "state diverged: breaker %s, model %s"
+          (Breaker.state_to_string after)
+          (Breaker.state_to_string m.Model.st);
+      if not (legal_transition before after) then
+        QCheck.Test.fail_reportf "illegal transition %s -> %s"
+          (Breaker.state_to_string before)
+          (Breaker.state_to_string after);
+      true)
+    ops
+
+(* --- QCheck: transparency and no-wrong-answers ---------------------------- *)
+
+let gen_case =
+  QCheck.Gen.(
+    pair (int_range 1 10_000) (int_range 0 2) >|= fun (seed, shape) ->
+    let g = Generators.random_graph ~seed ~nodes:5 ~edges:8 ~labels:[ "a"; "b" ] in
+    let a = Regex.atom (Sym.Lbl "a") and b = Regex.atom (Sym.Lbl "b") in
+    let r =
+      match shape with
+      | 0 -> Regex.star a
+      | 1 -> Regex.seq (Regex.star a) b
+      | _ -> Regex.star (Regex.alt a b)
+    in
+    (seed, shape, g, r))
+
+let arb_case =
+  QCheck.make
+    ~print:(fun (seed, shape, _, _) ->
+      Printf.sprintf "graph seed %d, regex shape %d" seed shape)
+    gen_case
+
+(* (a) Transparency: armed-but-benign and disarmed sites leave every
+   answer bit-identical.  [Delay_ms 0] exercises the full armed slow
+   path (registry lookup, counters) on the real engine sites. *)
+let prop_failpoints_transparent (_, _, g, r) =
+  with_clear @@ fun () ->
+  let baseline = Rpq_eval.pairs g r in
+  Failpoint.arm "rpq.bfs.step" (Delay_ms 0.0);
+  Failpoint.arm "rpq.product.build" (Delay_ms 0.0);
+  let armed = Rpq_eval.pairs g r in
+  Failpoint.clear ();
+  let cleared = Rpq_eval.pairs g r in
+  if Failpoint.fired "rpq.bfs.step" <> 0 then
+    QCheck.Test.fail_report "armed site did not fire (site name drifted?)";
+  armed = baseline && cleared = baseline
+
+(* (b) No wrong answers: under an arbitrary seeded fault schedule on the
+   BFS site, a supervised query either completes with exactly the
+   fault-free answer or reports a classified transient fault. *)
+let prop_no_wrong_answers ((_, _, g, r), fault_seed) =
+  with_clear @@ fun () ->
+  let expected = Rpq_eval.pairs g r in
+  Failpoint.arm "rpq.bfs.step" (Fail_prob { p = 0.3; seed = fault_seed });
+  let sup =
+    Supervise.run ~retry:(transient_policy 4) ~sleep:ignore ~gov:gov_ample
+      (fun gov -> Rpq_eval.pairs_bounded gov g r)
+  in
+  Failpoint.clear ();
+  match sup.Supervise.outcome with
+  | Ok (Governor.Complete got) ->
+      if got <> expected then
+        QCheck.Test.fail_report "fault schedule changed a completed answer";
+      true
+  | Ok (Governor.Partial _ | Governor.Aborted _) ->
+      QCheck.Test.fail_report "ample budget tripped without faults"
+  | Error e -> (
+      match Gq_error.classify e with
+      | Retry.Transient -> true
+      | Retry.Permanent ->
+          QCheck.Test.fail_reportf "fault surfaced as permanent: %s"
+            (Gq_error.to_string e))
+
+let qcheck ?(count = 200) name prop arb =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+let () =
+  Alcotest.run "resilience"
+    [
+      ( "failpoints",
+        [
+          Alcotest.test_case "fail once" `Quick test_fp_once;
+          Alcotest.test_case "fail every N" `Quick test_fp_every;
+          Alcotest.test_case "seeded probability" `Quick test_fp_prob_deterministic;
+          Alcotest.test_case "delay + disarm + clear" `Quick test_fp_delay_and_disarm;
+          Alcotest.test_case "GQ_FAILPOINTS spec" `Quick test_fp_spec;
+        ] );
+      ( "hardened parsers",
+        [
+          Alcotest.test_case "graph_io is total" `Quick test_graph_io_total;
+          Alcotest.test_case "rpq/dlrpq/gql are total" `Quick test_parsers_total;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "deterministic schedule" `Quick test_retry_delays;
+          Alcotest.test_case "transient recovery" `Quick test_retry_transient;
+          Alcotest.test_case "exhaustion" `Quick test_retry_exhausted;
+          Alcotest.test_case "permanent short-circuits" `Quick test_retry_permanent;
+          Alcotest.test_case "sleep budget" `Quick test_retry_budget;
+        ] );
+      ( "supervise",
+        [
+          Alcotest.test_case "plain completion" `Quick test_supervise_plain;
+          Alcotest.test_case "fault retry" `Quick test_supervise_retries_faults;
+          Alcotest.test_case "fault classification" `Quick test_supervise_fault_classified;
+          Alcotest.test_case "exceptions never escape" `Quick test_supervise_never_escapes;
+          Alcotest.test_case "breaker trip/degrade/probe/close" `Quick
+            test_supervise_breaker_cycle;
+        ] );
+      ( "properties",
+        [
+          qcheck "breaker agrees with reference model" prop_breaker_model arb_brops;
+          qcheck "disabled failpoints are transparent" prop_failpoints_transparent
+            arb_case;
+          qcheck ~count:100 "faults never change a completed answer"
+            prop_no_wrong_answers
+            QCheck.(pair arb_case (QCheck.make QCheck.Gen.(int_range 0 1_000_000)));
+        ] );
+    ]
