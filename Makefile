@@ -1,15 +1,17 @@
-.PHONY: all check check-faults test bench bench-smoke clean
+.PHONY: all check check-faults check-plan test bench bench-smoke clean
 
 all:
 	dune build @all
 
 # The tier-1 gate: build everything (libs, CLI, bench, examples) and run
 # the full test suite, including the CLI smoke test (test/smoke.sh),
-# then re-run it under a canned fault schedule.
+# then re-run it under a canned fault schedule and with the plan layer
+# toggled off and on.
 check:
 	dune build @all
 	dune runtest
 	$(MAKE) check-faults
+	$(MAKE) check-plan
 
 # The whole suite again with every library failpoint site armed — a
 # delay-only schedule, so checks take the armed slow path (registry
@@ -21,6 +23,16 @@ check-faults:
 	dune build @all
 	GQ_FAILPOINTS="$(FAULT_SCHEDULE)" GQ_DOMAINS=1 dune runtest --force
 	GQ_FAILPOINTS="$(FAULT_SCHEDULE)" GQ_DOMAINS=4 dune runtest --force
+
+# The whole suite twice more: once with the plan layer fully disabled
+# (no compilation cache, left-to-right atom order, no backward
+# evaluation) and once pinned on.  The golden files and the differential
+# properties pin the answers, so both runs passing means caching and
+# planning never change results.
+check-plan:
+	dune build @all
+	GQ_PLAN_CACHE=off GQ_PLAN=off dune runtest --force
+	GQ_PLAN_CACHE=on GQ_PLAN=on dune runtest --force
 
 test: check
 

@@ -1004,31 +1004,49 @@ let e17 () =
     if not ok then incr failures
   in
   let serial_pool = Pool.create ~size:1 () in
-  let par_pool = Pool.create ~size:(max 2 (Pool.size (Pool.default ()))) () in
+  (* The "indexed-parallel" rows take the adaptive no-pool path:
+     [Par_policy] picks the fork width from the estimated work and the
+     hardware thread count (serial below the threshold) — the fix for the
+     old regression where a forced >= 2-domain pool lost to serial on a
+     single-core container at every size. *)
   let speedups = ref [] in
+  let par_ratios = ref [] in
   let run_case g ~gname ~query =
     let nfa = Nfa.of_regex (Rpq_parse.parse query) in
     let nodes = Elg.nb_nodes g and edges = Elg.nb_edges g in
     let seed_pairs, seed_ms = oneshot_ms (fun () -> Seed_rpq.pairs g nfa) in
     jsonl ~graph:gname ~nodes ~edges ~query ~engine:"seed-serial"
       ~answers:(List.length seed_pairs) seed_ms;
-    let (idx_pairs, idx_counters), idx_ms =
-      oneshot_ms (fun () ->
-          counted (fun obs -> Rpq_eval.pairs_nfa ~pool:serial_pool ~obs g nfa))
+    (* The two indexed rows report best-of-3, interleaved A B A B A B
+       with a major collection before each timed run: the ratio gate
+       below compares the engines to each other, so both must see the
+       same heap — the first engine's retained answer list (270k pairs
+       at 10k nodes) otherwise taxes only the second engine's GC, and a
+       single draw on a shared container swings ±15% on its own. *)
+    let timed f =
+      Gc.major ();
+      oneshot_ms f
     in
+    let min3 a b c = Float.min a (Float.min b c) in
+    let idx_run () =
+      counted (fun obs -> Rpq_eval.pairs_nfa ~pool:serial_pool ~obs g nfa)
+    in
+    let par_run () = counted (fun obs -> Rpq_eval.pairs_nfa ~obs g nfa) in
+    let (idx_pairs, idx_counters), i1 = timed idx_run in
+    let (par_pairs, par_counters), p1 = timed par_run in
+    let _, i2 = timed idx_run in
+    let _, p2 = timed par_run in
+    let _, i3 = timed idx_run in
+    let _, p3 = timed par_run in
+    let idx_ms = min3 i1 i2 i3 and par_ms = min3 p1 p2 p3 in
     jsonl ~graph:gname ~nodes ~edges ~query ~engine:"indexed-serial"
       ~answers:(List.length idx_pairs) ~counters:idx_counters idx_ms;
-    let (par_pairs, par_counters), par_ms =
-      oneshot_ms (fun () ->
-          counted (fun obs -> Rpq_eval.pairs_nfa ~pool:par_pool ~obs g nfa))
-    in
     jsonl ~graph:gname ~nodes ~edges ~query ~engine:"indexed-parallel"
       ~answers:(List.length par_pairs) ~counters:par_counters par_ms;
     let case = Printf.sprintf "%s(%d) %s" gname nodes query in
     require (case ^ ": indexed = seed") (idx_pairs = seed_pairs);
-    require
-      (case ^ Printf.sprintf ": parallel(%d) = serial" (Pool.size par_pool))
-      (par_pairs = idx_pairs);
+    require (case ^ ": adaptive-parallel = serial") (par_pairs = idx_pairs);
+    par_ratios := (case, idx_ms, par_ms) :: !par_ratios;
     speedups := (gname, nodes, seed_ms /. Float.min idx_ms par_ms) :: !speedups
   in
   let random_sizes = if !quick then [ 200; 500 ] else [ 1_000; 4_000; 10_000 ] in
@@ -1060,6 +1078,18 @@ let e17 () =
     (Elg.nb_edges rich) seed_mk_ms idx_mk_ms (seed_mk_ms /. idx_mk_ms);
   check "indexed product construction is faster on the label-rich graph"
     (idx_mk_ms < seed_mk_ms);
+  (* The regression gate: the adaptive path must track serial (it picks
+     width 1 on small work / small machines).  1 ms of absolute slack so
+     quick-mode noise on sub-millisecond cases cannot flip the check. *)
+  List.iter
+    (fun (case, idx_ms, par_ms) ->
+      Printf.printf "  parallel/serial %-36s %.2fx\n" case (par_ms /. idx_ms))
+    (List.rev !par_ratios);
+  check "adaptive parallel is never worse than ~1.1x serial"
+    (List.for_all
+       (fun ((_ : string), idx_ms, par_ms) ->
+         par_ms <= (1.1 *. idx_ms) +. 1.0)
+       !par_ratios);
   (* Headline: speedup on the largest random_graph instance. *)
   let headline =
     List.fold_left
@@ -1179,12 +1209,144 @@ let e19 () =
     (failed_hi + degraded_hi > 0);
   check "no fault probability ever changed a completed answer" (!wrong = 0)
 
+(* ======================================================================== *)
+(* E20: the plan layer — compilation cache cold vs warm, and the cost-     *)
+(* based CRPQ planner vs left-to-right on a skewed-label graph (JSONL).    *)
+(* ======================================================================== *)
+
+let e20 () =
+  header "E20" "plan cache cold vs warm; planner vs left-to-right on skewed labels (JSONL)";
+  let failures = ref 0 in
+  (* Answer-equality checks are fatal (the acceptance contract for the
+     plan layer); timing ratios are the claims under measurement. *)
+  let require name ok =
+    check name ok;
+    if not ok then incr failures
+  in
+
+  (* --- part A: serve-style repeated requests, cold vs warm cache --------- *)
+  (* Each request compiles an RPQ and runs a single-source evaluation.
+     Cold builds a fresh cache per request, so every request pays parse +
+     Glushkov + product construction; warm shares one cache, so repeats
+     skip straight to the BFS.  The label-rich graph makes the product
+     construction the dominant per-request cost, as in a serve session
+     alternating a few canned queries. *)
+  let n = if !quick then 400 else 2_000 in
+  let g =
+    Generators.random_graph ~seed:23 ~nodes:n ~edges:(8 * n)
+      ~labels:(List.init 64 (Printf.sprintf "l%d"))
+  in
+  let queries = [ "l0.(l1|l2)*.l3"; "(l4|l5).l6*.l7"; "l8*.(l9|l10)" ] in
+  let requests = if !quick then 30 else 90 in
+  let run_requests cache_of =
+    counted (fun obs ->
+        List.init requests (fun i ->
+            let cache = cache_of () in
+            let q = List.nth queries (i mod List.length queries) in
+            match Rpq_compile.compile ~obs cache q with
+            | Error _ -> assert false
+            | Ok c ->
+                Governor.payload ~default:[]
+                  (Rpq_compile.from_source_bounded ~obs cache
+                     (Governor.unlimited ()) g c ~src:(i * 7919 mod n))))
+  in
+  (* Caches are enabled explicitly so the measurement is independent of
+     the ambient GQ_PLAN_CACHE (make check-plan runs the suite with the
+     env switch both ways). *)
+  let (cold_answers, cold_counters), cold_ms =
+    oneshot_ms (fun () -> run_requests (fun () -> Rpq_compile.create ~enabled:true ()))
+  in
+  let warm_cache = Rpq_compile.create ~enabled:true () in
+  let (warm_answers, warm_counters), warm_ms =
+    oneshot_ms (fun () -> run_requests (fun () -> warm_cache))
+  in
+  let row mode ms counters =
+    Printf.printf
+      "  {\"experiment\":\"E20\",\"phase\":\"cache\",\"mode\":%S,\"requests\":%d,\"elapsed_ms\":%.2f,\"ms_per_request\":%.3f,\"counters\":%s}\n"
+      mode requests ms
+      (ms /. float_of_int requests)
+      (counters_json counters)
+  in
+  row "cold" cold_ms cold_counters;
+  row "warm" warm_ms warm_counters;
+  Printf.printf "  warm speedup: %.1fx (plan hits %d, product hits %d)\n"
+    (cold_ms /. warm_ms)
+    (Plan_cache.hits (Rpq_compile.plans warm_cache))
+    (Rpq_compile.product_hits warm_cache);
+  require "cached answers = cold answers on every request"
+    (warm_answers = cold_answers);
+  require "warm cache is >= 3x faster than cold compilation"
+    (cold_ms >= 3.0 *. warm_ms);
+
+  (* --- part B: planner on/off on a skewed-label CRPQ ---------------------- *)
+  (* ~95% of edges carry the label [big] (one giant reachable component,
+     so big* has ~n^2 answers); 30 edges carry [rare].  The query lists
+     the big atom first, so left-to-right materializes big* and then
+     joins 30 rare pairs against it.  The planner orders the rare atom
+     first and turns the big atom into per-binding backward probes. *)
+  let nb = if !quick then 150 else 600 in
+  let st = Random.State.make [| 29 |] in
+  let name i = Printf.sprintf "v%d" i in
+  let skew =
+    Elg.make
+      ~nodes:(List.init nb name)
+      ~edges:
+        (List.init (4 * nb) (fun k ->
+             ( Printf.sprintf "b%d" k,
+               name (Random.State.int st nb),
+               "big",
+               name (Random.State.int st nb) ))
+        @ List.init 30 (fun k ->
+              ( Printf.sprintf "r%d" k,
+                name (Random.State.int st nb),
+                "rare",
+                name (Random.State.int st nb) )))
+  in
+  let q =
+    Crpq.make ~head:[ "x"; "y"; "z" ]
+      ~atoms:
+        [
+          { Crpq.re = Rpq_parse.parse "big*"; x = Crpq.TVar "x"; y = Crpq.TVar "y" };
+          { Crpq.re = Rpq_parse.parse "rare"; x = Crpq.TVar "y"; y = Crpq.TVar "z" };
+        ]
+  in
+  let (rows_off, off_counters), off_ms =
+    oneshot_ms (fun () -> counted (fun obs -> Crpq.eval ~obs ~planner:false skew q))
+  in
+  let (rows_on, on_counters), on_ms =
+    oneshot_ms (fun () -> counted (fun obs -> Crpq.eval ~obs ~planner:true skew q))
+  in
+  let counter cs k = match List.assoc_opt k cs with Some v -> v | None -> 0 in
+  let prow planner rows counters ms =
+    Printf.printf
+      "  {\"experiment\":\"E20\",\"phase\":\"planner\",\"planner\":%b,\"nodes\":%d,\"edges\":%d,\"rows\":%d,\"est_card\":%d,\"actual_card\":%d,\"elapsed_ms\":%.2f,\"counters\":%s}\n"
+      planner (Elg.nb_nodes skew) (Elg.nb_edges skew) (List.length rows)
+      (counter counters "crpq.est_card")
+      (counter counters "crpq.actual_card")
+      ms (counters_json counters)
+  in
+  prow false rows_off off_counters off_ms;
+  prow true rows_on on_counters on_ms;
+  Printf.printf "  plan: %s   speedup: %.1fx\n"
+    (String.concat ", "
+       (List.map
+          (fun (ap, mode) -> Printf.sprintf "atom %d %s" ap.Planner.index mode)
+          (Crpq.explain skew q)))
+    (off_ms /. on_ms);
+  require "planner-on answers = planner-off answers" (rows_on = rows_off);
+  require "planner beats left-to-right on the skewed CRPQ (>= 2x)"
+    (off_ms >= 2.0 *. on_ms);
+  if !failures > 0 then begin
+    Printf.eprintf "E20: %d check(s) failed\n" !failures;
+    exit 1
+  end
+
 let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
     ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
-    ("E19", e19);
+    ("E19", e19); ("E20", e20);
   ]
 
 let () =

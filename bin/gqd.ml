@@ -5,7 +5,7 @@
      edge <name> <src> <label> <tgt> [key=value ...]
 
    Subcommands: info, rpq, shortest, gql, pmr, static, typecheck,
-   estimate, demo.
+   estimate, plan, demo.
 
    Every error funnels through [or_die] and the shared [Gq_error] type,
    so exit codes are stable across subcommands: 1 parse/unknown-node,
@@ -355,6 +355,29 @@ let estimate_cmd =
     (Cmd.info "estimate" ~doc:"Estimate |answers| of an RPQ by source sampling.")
     Term.(const run $ graph_arg $ regex_pos 1 $ samples)
 
+(* --- plan ---------------------------------------------------------------- *)
+
+let plan_cmd =
+  let run path query =
+    let pg = load path in
+    let g = Pg.elg pg in
+    let cache = Rpq_compile.create () in
+    Rpq_compile.set_generation cache (Elg.id g);
+    match Serve.plan_fields cache g query with
+    | Error err -> or_die (Error err)
+    | Ok fields -> print_endline (Serve.jobj fields)
+  in
+  let query =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY"
+           ~doc:"An RPQ, or a CRPQ in 'x -[RE]-> y, ...' syntax.")
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:"EXPLAIN a query: cost estimates, atom order, evaluation \
+             direction and cache status as one JSON object, without \
+             evaluating it.")
+    Term.(const run $ graph_arg $ query)
+
 (* --- demo ---------------------------------------------------------------- *)
 
 let demo_cmd =
@@ -445,6 +468,6 @@ let () =
   let cmd =
     Cmd.group ~default:serve_term
       (Cmd.info "gqd" ~version:"1.0.0" ~doc)
-      [ info_cmd; rpq_cmd; shortest_cmd; gql_cmd; query_cmd; pmr_cmd; static_cmd; typecheck_cmd; estimate_cmd; demo_cmd ]
+      [ info_cmd; rpq_cmd; shortest_cmd; gql_cmd; query_cmd; pmr_cmd; static_cmd; typecheck_cmd; estimate_cmd; plan_cmd; demo_cmd ]
   in
   exit (Cmd.eval cmd)

@@ -17,9 +17,11 @@
      rpq-from NODE REGEX        nodes reachable from NODE
      shortest SRC TGT REGEX     all shortest matching paths
      query MATCH ... RETURN ... MATCH/RETURN query over the graph
+     plan QUERY                 EXPLAIN: cost estimates, atom order,
+                                direction, cache status (no evaluation)
      set KEY VALUE              max-steps | max-results | timeout |
                                 retries (VALUE `none` clears a budget)
-     stats                      breaker states per query class
+     stats                      breaker states + plan-cache counters
      ping                       liveness probe
      quit                       exit 0
 
@@ -50,6 +52,9 @@ type session = {
   mutable max_steps : int option;
   mutable max_results : int option;
   mutable timeout : float option;
+  cache : Rpq_compile.t;
+      (* per-session compilation cache; its graph-dependent entries are
+         generation-invalidated on every [load] *)
 }
 
 (* --- JSON rendering ------------------------------------------------------ *)
@@ -177,6 +182,9 @@ let cmd_load sess id path =
       | Governor.Complete pg | Governor.Partial (pg, _) ->
           sess.pg <- Some pg;
           let g = Pg.elg pg in
+          (* Bump the cache generation: plans (query-only) survive,
+             products built against the previous graph are dropped. *)
+          Rpq_compile.set_generation sess.cache (Elg.id g);
           reply id "load" ~status:"ok" ~code:0
             [
               ("degraded", jbool sup.Supervise.degraded);
@@ -189,27 +197,27 @@ let cmd_load sess id path =
             (Gq_error.Budget r))
 
 let cmd_rpq sess id src =
-  match Rpq_parse.parse_res src with
+  match Rpq_compile.compile ~obs:sess.config.obs sess.cache src with
   | Error err -> error_reply id "rpq" err
-  | Ok r ->
+  | Ok c ->
       supervised sess id ~cls:"rpq" (fun gov ->
           let g = Pg.elg (graph_or_fail sess) in
           Governor.map
             (List.map (fun (u, v) ->
                  Elg.node_name g u ^ " -> " ^ Elg.node_name g v))
-            (Rpq_eval.pairs_bounded ~obs:sess.config.obs gov g r))
+            (Rpq_compile.pairs_bounded ~obs:sess.config.obs sess.cache gov g c))
 
 let cmd_rpq_from sess id node src =
-  match Rpq_parse.parse_res src with
+  match Rpq_compile.compile ~obs:sess.config.obs sess.cache src with
   | Error err -> error_reply id "rpq-from" err
-  | Ok r ->
+  | Ok c ->
       supervised sess id ~cls:"rpq-from" (fun gov ->
           let g = Pg.elg (graph_or_fail sess) in
           let src_id = node_id_or_fail g node in
           Governor.map
             (List.map (Elg.node_name g))
-            (Rpq_eval.from_source_bounded ~obs:sess.config.obs gov g r
-               ~src:src_id))
+            (Rpq_compile.from_source_bounded ~obs:sess.config.obs sess.cache
+               gov g c ~src:src_id))
 
 let cmd_shortest sess id src_name tgt_name regex =
   match Rpq_parse.parse_res regex with
@@ -270,6 +278,21 @@ let cmd_set sess id key value =
       | Some _ | None -> bad (Printf.sprintf "retries: expected attempts >= 1, got %S" value))
   | _ -> bad (Printf.sprintf "unknown setting %S" key)
 
+let plan_cache_fields cache =
+  let plans = Rpq_compile.plans cache in
+  [
+    ("enabled", jbool (Plan_cache.enabled plans));
+    ("compiled", jint (Plan_cache.length plans));
+    ("hits", jint (Plan_cache.hits plans));
+    ("misses", jint (Plan_cache.misses plans));
+    ("evictions", jint (Plan_cache.evictions plans));
+    ("products", jint (Rpq_compile.product_entries cache));
+    ("product_hits", jint (Rpq_compile.product_hits cache));
+    ("product_misses", jint (Rpq_compile.product_misses cache));
+    ("invalidated", jint (Rpq_compile.invalidated cache));
+    ("generation", jint (Rpq_compile.generation cache));
+  ]
+
 let cmd_stats sess id =
   let breakers =
     List.map
@@ -285,7 +308,137 @@ let cmd_stats sess id =
           (List.map
              (fun (site, p) -> (site, jstr (Failpoint.policy_to_string p)))
              (Failpoint.armed ())) );
+      ("plan", jobj (plan_cache_fields sess.cache));
     ]
+
+(* --- plan (EXPLAIN) ------------------------------------------------------ *)
+
+let jfloat x = Printf.sprintf "%.1f" x
+
+let render_term = function
+  | Crpq.TVar v -> v
+  | Crpq.TConst c -> "@" ^ c
+
+let render_atom (a : Crpq.atom) =
+  render_term a.Crpq.x ^ " -[" ^ Regex.to_string Sym.to_string a.Crpq.re
+  ^ "]-> " ^ render_term a.Crpq.y
+
+let est_fields (e : Planner.estimate) =
+  [
+    ("est_card", jfloat e.Planner.card);
+    ("est_sources", jfloat e.Planner.sources);
+    ("est_targets", jfloat e.Planner.targets);
+  ]
+
+(* Product-edge upper estimate for the parallel decision: each NFA
+   transition can pair with every edge its symbol matches. *)
+let est_product_edges st (nfa : Sym.t Nfa.t) =
+  Array.fold_left
+    (fun acc trans ->
+      List.fold_left
+        (fun acc (sym, _) ->
+          acc
+          + Stats.sym_edges st
+              (match sym with
+              | Sym.Lbl a -> Stats.Lbl a
+              | Sym.Any -> Stats.Any
+              | Sym.Not s -> Stats.Not s))
+        acc trans)
+    0 nfa.Nfa.delta
+
+(* The EXPLAIN payload: fields appended to the reply.  Shared by the
+   serve [plan] command and the one-shot [gqd plan] subcommand. *)
+let plan_fields ?(obs = Obs.none) cache g text =
+  let st = Stats.get g in
+  let is_crpq =
+    let n = String.length text in
+    let rec go i = i + 1 < n && ((text.[i] = '-' && text.[i + 1] = '[') || go (i + 1)) in
+    go 0
+  in
+  if is_crpq then
+    match Crpq_parse.parse_res text with
+    | Error err -> Error err
+    | Ok q ->
+        let atoms = Array.of_list (Crpq.atoms q) in
+        let plans = Crpq.explain g q in
+        Ok
+          [
+            ("kind", jstr "crpq");
+            ("planner", jbool (Planner.enabled_from_env ()));
+            ( "cache",
+              jobj
+                [
+                  ( "enabled",
+                    jbool (Plan_cache.enabled (Rpq_compile.plans cache)) );
+                ] );
+            ( "order",
+              jarr
+                (List.map (fun (ap, _) -> jint ap.Planner.index) plans) );
+            ( "atoms",
+              jarr
+                (List.map
+                   (fun (ap, mode) ->
+                     jobj
+                       ([
+                          ("index", jint ap.Planner.index);
+                          ("atom", jstr (render_atom atoms.(ap.Planner.index)));
+                          ("mode", jstr mode);
+                          ( "direction",
+                            jstr (Planner.direction_to_string ap.Planner.direction)
+                          );
+                        ]
+                       @ est_fields ap.Planner.est
+                       @ [ ("cost", jfloat ap.Planner.cost) ]))
+                   plans) );
+          ]
+  else
+    let plan_hit =
+      Plan_cache.was_cached (Rpq_compile.plans cache) ~flags:"rpq" text
+    in
+    match Rpq_compile.compile ~obs cache text with
+    | Error err -> Error err
+    | Ok c ->
+        let product_hit = Rpq_compile.product_cached cache g c in
+        let e = Planner.estimate st c.Plan_cache.ast in
+        let dir = Planner.direction_of st c.Plan_cache.ast in
+        let pe = est_product_edges st c.Plan_cache.nfa in
+        let d =
+          Par_policy.decide
+            ~max_width:(Pool.size (Pool.default ()))
+            ~sources:(int_of_float e.Planner.sources)
+            ~product_edges:pe
+        in
+        Ok
+          ([
+             ("kind", jstr "rpq");
+             ("planner", jbool (Planner.enabled_from_env ()));
+             ( "cache",
+               jobj
+                 [
+                   ("plan", jstr (if plan_hit then "hit" else "miss"));
+                   ("product", jstr (if product_hit then "hit" else "cold"));
+                 ] );
+             ("direction", jstr (Planner.direction_to_string dir));
+           ]
+          @ est_fields e
+          @ [
+              ( "parallel",
+                jobj
+                  [
+                    ("width", jint d.Par_policy.width);
+                    ("work", jint d.Par_policy.work);
+                    ("threshold", jint d.Par_policy.threshold);
+                  ] );
+            ])
+
+let cmd_plan sess id text =
+  match sess.pg with
+  | None ->
+      error_reply id "plan" (Gq_error.Eval "no graph loaded")
+  | Some pg -> (
+      match plan_fields ~obs:sess.config.obs sess.cache (Pg.elg pg) text with
+      | Error err -> error_reply id "plan" err
+      | Ok fields -> reply id "plan" ~status:"ok" ~code:0 fields)
 
 (* --- dispatch ------------------------------------------------------------ *)
 
@@ -329,6 +482,9 @@ let handle sess id line =
   | "query" ->
       if rest = "" then Reply (parse_error id "query" "query: missing query text")
       else Reply (cmd_query sess id rest)
+  | "plan" ->
+      if rest = "" then Reply (parse_error id "plan" "plan: missing query text")
+      else Reply (cmd_plan sess id rest)
   | "set" -> (
       match split_first rest with
       | key, value when key <> "" && value <> "" -> Reply (cmd_set sess id key value)
@@ -367,6 +523,7 @@ let run config =
       max_steps = config.initial_max_steps;
       max_results = config.initial_max_results;
       timeout = config.initial_timeout;
+      cache = Rpq_compile.create ();
     }
   in
   let emit s =

@@ -41,62 +41,221 @@ let bind_term g asg term node =
   | TVar x -> bind asg x node
   | TConst name -> if Elg.node_id g name = node then Some asg else None
 
-let homomorphisms_gov ?pool ?(obs = Obs.none) gov g q =
-  (* Evaluate every atom's pair set (atom materialization fans each
-     pair-set's sources across [?pool]), then join smallest-first with a
-     depth-first nested-loop join: one tick per candidate pair, one emit
-     per completed assignment.  Depth-first matters for soundness of
-     partial results — an assignment is reported only once it satisfies
+let to_planner_atom a =
+  {
+    Planner.re = a.re;
+    x = (match a.x with TVar v -> Planner.Var v | TConst c -> Planner.Const c);
+    y = (match a.y with TVar v -> Planner.Var v | TConst c -> Planner.Const c);
+  }
+
+(* How one planned atom participates in the join: materialized pair set,
+   or — when an endpoint is already bound by earlier atoms (or is a
+   constant) — a per-binding BFS probe over the cached (reversed)
+   product, which never materializes the atom's full relation. *)
+type exec =
+  | Mat of atom * (int * int) list
+  | Probe_fwd of int * atom * Product.t  (* x bound: BFS from h(x) *)
+  | Probe_bwd of int * atom * Product.t  (* y bound: reverse BFS from h(y) *)
+
+let swap_sorted ps =
+  List.sort Stdlib.compare (List.rev_map (fun (v, u) -> (u, v)) ps)
+
+(* Memoized by (regex, direction): a CRPQ with k copies of the same atom
+   compiles and materializes it once (the compilation itself also hits
+   the process-wide Plan_cache). *)
+let materialize_memo ?pool ~obs gov g memo a dir =
+  let key = (Regex.to_string Sym.to_string a.re, dir = Planner.Backward) in
+  match Hashtbl.find_opt memo key with
+  | Some pairs ->
+      Obs.incr obs "crpq.atom_dedup";
+      pairs
+  | None ->
+      let c = Rpq_compile.compile_ast ~obs Rpq_compile.shared a.re in
+      let pairs =
+        Governor.payload ~default:[]
+          (match dir with
+          | Planner.Forward ->
+              Rpq_eval.pairs_product_bounded ?pool ~obs gov
+                (Rpq_compile.product ~obs Rpq_compile.shared g c)
+          | Planner.Backward ->
+              Governor.map swap_sorted
+                (Rpq_eval.pairs_product_bounded ?pool ~obs gov
+                   (Rpq_compile.product_rev ~obs Rpq_compile.shared g c)))
+      in
+      Hashtbl.add memo key pairs;
+      pairs
+
+let homomorphisms_gov ?pool ?(obs = Obs.none) ?planner gov g q =
+  (* Plan the atom order, materialize what must be materialized, then
+     join depth-first: one tick per candidate pair, one emit per
+     completed assignment.  Depth-first matters for soundness of partial
+     results — an assignment is reported only once it satisfies
      {e every} atom, so a tripped budget yields a subset of the true
-     answers, never a superset. *)
+     answers, never a superset.  With the planner off ([GQ_PLAN=off] or
+     [~planner:false]) atoms run in query order, all materialized
+     forward — the baseline the planner is benchmarked against. *)
   Obs.span obs "crpq.eval" @@ fun () ->
-  let atom_pairs =
+  let use_planner =
+    match planner with Some b -> b | None -> Planner.enabled_from_env ()
+  in
+  let memo = Hashtbl.create 8 in
+  let execs =
     Obs.span obs "crpq.atoms" @@ fun () ->
-    List.map
-      (fun a ->
-        Failpoint.check "crpq.join.atom";
-        ( a,
-          Governor.payload ~default:[]
-            (Rpq_eval.pairs_bounded ?pool ~obs gov g a.re) ))
-      q.atoms
-    |> List.sort (fun (_, p1) (_, p2) ->
-           Stdlib.compare (List.length p1) (List.length p2))
+    if not use_planner then
+      List.map
+        (fun a ->
+          Failpoint.check "crpq.join.atom";
+          Mat (a, materialize_memo ?pool ~obs gov g memo a Planner.Forward))
+        q.atoms
+    else begin
+      let st = Stats.get g in
+      let plan = Planner.plan st (List.map to_planner_atom q.atoms) in
+      let atoms_arr = Array.of_list q.atoms in
+      let bound : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+      let is_bound = function
+        | TConst _ -> true
+        | TVar v -> Hashtbl.mem bound v
+      in
+      let note = function
+        | TConst _ -> ()
+        | TVar v -> Hashtbl.replace bound v ()
+      in
+      List.mapi
+        (fun pos ap ->
+          let a = atoms_arr.(ap.Planner.index) in
+          Failpoint.check "crpq.join.atom";
+          let bx = is_bound a.x and by = is_bound a.y in
+          let e =
+            if bx then
+              let c = Rpq_compile.compile_ast ~obs Rpq_compile.shared a.re in
+              Probe_fwd
+                (pos, a, Rpq_compile.product ~obs Rpq_compile.shared g c)
+            else if by then
+              let c = Rpq_compile.compile_ast ~obs Rpq_compile.shared a.re in
+              Probe_bwd
+                (pos, a, Rpq_compile.product_rev ~obs Rpq_compile.shared g c)
+            else begin
+              let pairs =
+                materialize_memo ?pool ~obs gov g memo a ap.Planner.direction
+              in
+              Obs.add obs "crpq.est_card"
+                (int_of_float ap.Planner.est.Planner.card);
+              Obs.add obs "crpq.actual_card" (List.length pairs);
+              Mat (a, pairs)
+            end
+          in
+          note a.x;
+          note a.y;
+          e)
+        plan.Planner.order
+    end
   in
   List.iter
-    (fun (_, pairs) -> Obs.add obs "crpq.atom_pairs" (List.length pairs))
-    atom_pairs;
+    (function
+      | Mat (_, pairs) -> Obs.add obs "crpq.atom_pairs" (List.length pairs)
+      | Probe_fwd _ | Probe_bwd _ -> ())
+    execs;
   Obs.span obs "crpq.join" @@ fun () ->
   let candidates = Obs.counter_fn obs "crpq.join_candidates" in
+  let probe_count = Obs.counter_fn obs "crpq.probes" in
   let considered = ref 0 in
   let results = ref [] in
   let nb_results = ref 0 in
+  (* Reachable sets per (planned atom, start node), shared across join
+     branches that bind the same node. *)
+  let reach_memo = Hashtbl.create 64 in
+  let reach pos product src =
+    match Hashtbl.find_opt reach_memo (pos, src) with
+    | Some ts -> ts
+    | None ->
+        probe_count 1;
+        let ts = Rpq_eval.from_source_product ~gov ~obs product ~src in
+        Hashtbl.add reach_memo (pos, src) ts;
+        ts
+  in
+  let node_of asg = function
+    | TConst name -> Elg.node_id g name
+    | TVar x -> (
+        match lookup asg x with
+        | Some v -> v
+        | None -> assert false (* bound by construction of the plan *))
+  in
   let rec extend asg = function
     | [] ->
         if Governor.emit gov then begin
           incr nb_results;
           results := asg :: !results
         end
-    | (a, pairs) :: rest ->
-        List.iter
-          (fun (u, v) ->
-            if Governor.tick gov then begin
-              incr considered;
-              match bind_term g asg a.x u with
+    | e :: rest -> (
+        let try_pair a asg u v =
+          match bind_term g asg a.x u with
+          | None -> ()
+          | Some asg -> (
+              match bind_term g asg a.y v with
               | None -> ()
-              | Some asg -> (
-                  match bind_term g asg a.y v with
-                  | None -> ()
-                  | Some asg -> extend asg rest)
-            end)
-          pairs
+              | Some asg -> extend asg rest)
+        in
+        match e with
+        | Mat (a, pairs) ->
+            List.iter
+              (fun (u, v) ->
+                if Governor.tick gov then begin
+                  incr considered;
+                  try_pair a asg u v
+                end)
+              pairs
+        | Probe_fwd (pos, a, product) ->
+            let u = node_of asg a.x in
+            List.iter
+              (fun v ->
+                if Governor.tick gov then begin
+                  incr considered;
+                  try_pair a asg u v
+                end)
+              (reach pos product u)
+        | Probe_bwd (pos, a, product) ->
+            let v = node_of asg a.y in
+            List.iter
+              (fun u ->
+                if Governor.tick gov then begin
+                  incr considered;
+                  try_pair a asg u v
+                end)
+              (reach pos product v))
   in
-  extend [] atom_pairs;
+  extend [] execs;
   candidates !considered;
   Obs.add obs "crpq.rows" !nb_results;
   List.sort_uniq Stdlib.compare !results
 
-let homomorphisms ?pool ?obs g q =
-  homomorphisms_gov ?pool ?obs (Governor.unlimited ()) g q
+let homomorphisms ?pool ?obs ?planner g q =
+  homomorphisms_gov ?pool ?obs ?planner (Governor.unlimited ()) g q
+
+(* The static planning decisions, without evaluating anything: the same
+   bound-endpoint walk as [homomorphisms_gov], for EXPLAIN output. *)
+let explain g q =
+  let st = Stats.get g in
+  let plan = Planner.plan st (List.map to_planner_atom q.atoms) in
+  let atoms_arr = Array.of_list q.atoms in
+  let bound : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let is_bound = function TConst _ -> true | TVar v -> Hashtbl.mem bound v in
+  let note = function TConst _ -> () | TVar v -> Hashtbl.replace bound v () in
+  List.map
+    (fun ap ->
+      let a = atoms_arr.(ap.Planner.index) in
+      let bx = is_bound a.x and by = is_bound a.y in
+      let mode =
+        if bx then "probe-forward"
+        else if by then "probe-backward"
+        else
+          match ap.Planner.direction with
+          | Planner.Forward -> "materialize-forward"
+          | Planner.Backward -> "materialize-backward"
+      in
+      note a.x;
+      note a.y;
+      (ap, mode))
+    plan.Planner.order
 
 let project_head q homs =
   List.map
@@ -110,11 +269,12 @@ let project_head q homs =
     homs
   |> List.sort_uniq Stdlib.compare
 
-let eval_bounded ?pool ?obs gov g q =
-  Governor.seal gov (project_head q (homomorphisms_gov ?pool ?obs gov g q))
+let eval_bounded ?pool ?obs ?planner gov g q =
+  Governor.seal gov
+    (project_head q (homomorphisms_gov ?pool ?obs ?planner gov g q))
 
-let eval ?pool ?obs g q =
-  Governor.value (eval_bounded ?pool ?obs (Governor.unlimited ()) g q)
+let eval ?pool ?obs ?planner g q =
+  Governor.value (eval_bounded ?pool ?obs ?planner (Governor.unlimited ()) g q)
 
 let holds g q = homomorphisms g q <> []
 

@@ -23,18 +23,33 @@ val atoms : t -> atom list
     [?pool] parallelizes the per-atom RPQ materialization (see
     {!Rpq_eval.pairs}); the join itself stays serial.
 
+    [?planner] (default: [GQ_PLAN] ≠ ["off"]) selects the cost-based
+    plan: atoms are ordered by estimated selectivity via {!Planner}, and
+    an atom whose endpoint is already bound (by earlier atoms or a
+    constant) is evaluated as a per-binding BFS probe — forward from the
+    bound source, or backward over the reversed graph from the bound
+    target — instead of materializing its full relation.  With the
+    planner off, atoms run in query order, all materialized.  Both modes
+    return identical answers (pinned by [test_plan] and
+    [make check-plan]).  Identical atom regexes are compiled and
+    materialized once per query either way.
+
     [?obs] records [crpq.atom_pairs] (materialized pairs per atom),
-    [crpq.join_candidates] (pairs considered by the nested-loop join)
-    and [crpq.rows] (assignments emitted), inside [crpq.eval] /
+    [crpq.join_candidates] (pairs considered by the nested-loop join),
+    [crpq.probes] (per-binding BFS probes), [crpq.atom_dedup] (repeated
+    atom regexes served from the per-query memo), [crpq.est_card] /
+    [crpq.actual_card] (planner estimates vs. materialized sizes) and
+    [crpq.rows] (assignments emitted), inside [crpq.eval] /
     [crpq.atoms] / [crpq.join] spans. *)
-val eval : ?pool:Pool.t -> ?obs:Obs.t -> Elg.t -> t -> int list list
+val eval :
+  ?pool:Pool.t -> ?obs:Obs.t -> ?planner:bool -> Elg.t -> t -> int list list
 
 (** As {!eval} under a governor: one step per candidate pair considered
     in the join, one result per satisfying assignment.  An assignment is
     counted only once it satisfies every atom, so a [Partial] outcome is
     always a subset of the unbounded answer. *)
 val eval_bounded :
-  ?pool:Pool.t -> ?obs:Obs.t ->
+  ?pool:Pool.t -> ?obs:Obs.t -> ?planner:bool ->
   Governor.t -> Elg.t -> t -> int list list Governor.outcome
 
 (** Boolean evaluation: is the output non-empty? *)
@@ -43,7 +58,19 @@ val holds : Elg.t -> t -> bool
 (** All satisfying assignments over every endpoint variable (not just the
     head); used by the l-CRPQ layer and by tests. *)
 val homomorphisms :
-  ?pool:Pool.t -> ?obs:Obs.t -> Elg.t -> t -> (string * int) list list
+  ?pool:Pool.t -> ?obs:Obs.t -> ?planner:bool ->
+  Elg.t -> t -> (string * int) list list
+
+(** The atom in the {!Planner}'s vocabulary (shared with {!Crpq_wcoj}). *)
+val to_planner_atom : atom -> Planner.atom
+
+(** The static plan, without evaluating anything: atoms in execution
+    order, each with its {!Planner.atom_plan} and execution mode
+    (["materialize-forward"], ["materialize-backward"],
+    ["probe-forward"] or ["probe-backward"]) — the payload of the serve
+    [plan] command.  The [index] fields are a permutation of the query's
+    atom positions. *)
+val explain : Elg.t -> t -> (Planner.atom_plan * string) list
 
 (** Alternative engine: evaluate each atom to a binary relation and join
     with the relational-algebra substrate — the "relational operations

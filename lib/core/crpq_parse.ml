@@ -1,0 +1,101 @@
+let fail msg = Error (Gq_error.Parse { what = "crpq"; msg })
+
+(* Split on top-level commas only: commas inside '{ }' belong to the
+   regex syntax (!{a,b}, r{n,m}). *)
+let split_atoms s =
+  let parts = ref [] and buf = Buffer.create 32 and depth = ref 0 in
+  String.iter
+    (fun c ->
+      match c with
+      | '{' ->
+          incr depth;
+          Buffer.add_char buf c
+      | '}' ->
+          decr depth;
+          Buffer.add_char buf c
+      | ',' when !depth = 0 ->
+          parts := Buffer.contents buf :: !parts;
+          Buffer.clear buf
+      | c -> Buffer.add_char buf c)
+    s;
+  parts := Buffer.contents buf :: !parts;
+  List.rev_map String.trim !parts
+
+let find_sub s sub from =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go from
+
+let is_ident s =
+  s <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_' || c = '-')
+       s
+
+let parse_term s =
+  let s = String.trim s in
+  if s = "" then fail "empty endpoint term"
+  else if s.[0] = '@' then
+    let name = String.sub s 1 (String.length s - 1) in
+    if is_ident name then Ok (Crpq.TConst name)
+    else fail (Printf.sprintf "bad constant %S" s)
+  else if is_ident s then Ok (Crpq.TVar s)
+  else fail (Printf.sprintf "bad variable %S" s)
+
+let parse_atom s =
+  match find_sub s "-[" 0 with
+  | None -> fail (Printf.sprintf "atom %S: expected TERM -[RE]-> TERM" s)
+  | Some i -> (
+      match find_sub s "]->" (i + 2) with
+      | None -> fail (Printf.sprintf "atom %S: missing ]->" s)
+      | Some j -> (
+          let term_x = String.sub s 0 i in
+          let re_src = String.sub s (i + 2) (j - i - 2) in
+          let term_y = String.sub s (j + 3) (String.length s - j - 3) in
+          match parse_term term_x with
+          | Error e -> Error e
+          | Ok x -> (
+              match parse_term term_y with
+              | Error e -> Error e
+              | Ok y -> (
+                  match Rpq_parse.parse_res (String.trim re_src) with
+                  | Error e -> Error e
+                  | Ok re -> Ok { Crpq.re; x; y }))))
+
+let parse_res s =
+  let s = String.trim s in
+  if s = "" then fail "empty query"
+  else
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | part :: rest -> (
+          match parse_atom part with
+          | Error e -> Error e
+          | Ok a -> go (a :: acc) rest)
+    in
+    match go [] (split_atoms s) with
+    | Error e -> Error e
+    | Ok atoms -> (
+        let head =
+          List.concat_map
+            (fun a ->
+              List.concat_map
+                (function Crpq.TVar v -> [ v ] | Crpq.TConst _ -> [])
+                [ a.Crpq.x; a.Crpq.y ])
+            atoms
+          |> List.fold_left
+               (fun acc v -> if List.mem v acc then acc else v :: acc)
+               []
+          |> List.rev
+        in
+        match Crpq.make ~head ~atoms with
+        | q -> Ok q
+        | exception Invalid_argument msg -> fail msg)

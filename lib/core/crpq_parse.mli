@@ -1,0 +1,14 @@
+(** Concrete syntax for CRPQs (the serve [plan] command).
+
+    {v
+    query ::= atom (',' atom)*
+    atom  ::= term '-[' RE ']->' term
+    term  ::= ident          (variable)
+            | '@' ident      (constant: a graph node name)
+    v}
+
+    [RE] is the RPQ syntax of {!Rpq_parse} (commas inside [!{...}] and
+    [{n,m}] do not split atoms).  The head is every variable in order of
+    first appearance. *)
+
+val parse_res : string -> (Crpq.t, Gq_error.t) result

@@ -9,11 +9,27 @@ type atom_index = {
   loops : int list;  (* sorted n with (n, n) in the relation *)
 }
 
-let build_index ?pool ?(obs = Obs.none) gov g (a : Crpq.atom) =
-  let pairs =
-    Governor.payload ~default:[]
-      (Rpq_eval.pairs_bounded ?pool ~obs gov g a.Crpq.re)
-  in
+(* Pair sets are memoized per distinct regex ([memo]): a query with k
+   copies of the same atom compiles and materializes it once; the
+   compilation itself goes through the process-wide Plan_cache. *)
+let atom_pairs ?pool ~obs gov g memo (a : Crpq.atom) =
+  let key = Regex.to_string Sym.to_string a.Crpq.re in
+  match Hashtbl.find_opt memo key with
+  | Some pairs ->
+      Obs.incr obs "wcoj.atom_dedup";
+      pairs
+  | None ->
+      let c = Rpq_compile.compile_ast ~obs Rpq_compile.shared a.Crpq.re in
+      let pairs =
+        Governor.payload ~default:[]
+          (Rpq_eval.pairs_product_bounded ?pool ~obs gov
+             (Rpq_compile.product ~obs Rpq_compile.shared g c))
+      in
+      Hashtbl.add memo key pairs;
+      pairs
+
+let build_index ?pool ?(obs = Obs.none) gov g memo (a : Crpq.atom) =
+  let pairs = atom_pairs ?pool ~obs gov g memo a in
   Obs.add obs "wcoj.index_pairs" (List.length pairs);
   let forward = Hashtbl.create 64 and backward = Hashtbl.create 64 in
   let add tbl k v =
@@ -49,16 +65,26 @@ let rec intersect l1 l2 =
 
 let term_vars = function Crpq.TVar x -> [ x ] | Crpq.TConst _ -> []
 
-let eval_with_stats_gov ?pool ?(obs = Obs.none) gov g q =
+let eval_with_stats_gov ?pool ?(obs = Obs.none) ?planner gov g q =
   Obs.span obs "wcoj.eval" @@ fun () ->
+  let use_planner =
+    match planner with Some b -> b | None -> Planner.enabled_from_env ()
+  in
   let atoms = Crpq.atoms q in
+  let memo = Hashtbl.create 8 in
   let indexes =
     Obs.span obs "wcoj.index" @@ fun () ->
-    List.map (build_index ?pool ~obs gov g) atoms
+    List.map (build_index ?pool ~obs gov g memo) atoms
   in
+  (* Variable elimination order: the planner's first-appearance order
+     along its selectivity-ordered atoms, or sorted names when off. *)
   let vars =
-    List.concat_map (fun a -> term_vars a.Crpq.x @ term_vars a.Crpq.y) atoms
-    |> List.sort_uniq String.compare
+    if use_planner then
+      let p_atoms = List.map Crpq.to_planner_atom atoms in
+      Planner.variable_order p_atoms (Planner.plan (Stats.get g) p_atoms)
+    else
+      List.concat_map (fun a -> term_vars a.Crpq.x @ term_vars a.Crpq.y) atoms
+      |> List.sort_uniq String.compare
   in
   let resolve asg = function
     | Crpq.TConst name -> Some (Elg.node_id g name)
@@ -135,12 +161,12 @@ let eval_with_stats_gov ?pool ?(obs = Obs.none) gov g q =
 
 let eval_with_stats g q = eval_with_stats_gov (Governor.unlimited ()) g q
 
-let eval_bounded ?pool ?obs gov g q =
-  let rows, _ = eval_with_stats_gov ?pool ?obs gov g q in
+let eval_bounded ?pool ?obs ?planner gov g q =
+  let rows, _ = eval_with_stats_gov ?pool ?obs ?planner gov g q in
   Governor.seal gov rows
 
-let eval ?pool ?obs g q =
-  Governor.value (eval_bounded ?pool ?obs (Governor.unlimited ()) g q)
+let eval ?pool ?obs ?planner g q =
+  Governor.value (eval_bounded ?pool ?obs ?planner (Governor.unlimited ()) g q)
 
 let compare_costs g q =
   let _, generic = eval_with_stats g q in

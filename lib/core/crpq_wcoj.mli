@@ -17,16 +17,24 @@
 (** Same specification as {!Crpq.eval}.  [?pool] parallelizes the
     per-atom RPQ materialization; the generic join stays serial.
 
+    [?planner] (default: [GQ_PLAN] ≠ ["off"]) uses the {!Planner}'s
+    first-appearance order along its selectivity-ordered atoms as the
+    variable elimination order (sorted names when off); answers are
+    identical either way.  Identical atom regexes are compiled and
+    materialized once per query.
+
     [?obs] records [wcoj.index_pairs] (pairs materialized per atom
-    index), [wcoj.tuples_explored] (candidate extensions tried) and
-    [wcoj.rows], inside [wcoj.eval] / [wcoj.index] spans. *)
-val eval : ?pool:Pool.t -> ?obs:Obs.t -> Elg.t -> Crpq.t -> int list list
+    index), [wcoj.atom_dedup] (repeated atom regexes served from the
+    per-query memo), [wcoj.tuples_explored] (candidate extensions tried)
+    and [wcoj.rows], inside [wcoj.eval] / [wcoj.index] spans. *)
+val eval :
+  ?pool:Pool.t -> ?obs:Obs.t -> ?planner:bool -> Elg.t -> Crpq.t -> int list list
 
 (** As {!eval} under a governor: one step per explored tuple extension,
     one result per completed assignment; [Partial] outcomes are subsets
     of the unbounded answer. *)
 val eval_bounded :
-  ?pool:Pool.t -> ?obs:Obs.t ->
+  ?pool:Pool.t -> ?obs:Obs.t -> ?planner:bool ->
   Governor.t -> Elg.t -> Crpq.t -> int list list Governor.outcome
 
 (** Intermediate-result sizes: [(tuples_explored_generic,

@@ -1,4 +1,5 @@
 type t = {
+  stamp : int; (* process-unique id; serves as the cache generation *)
   nb_nodes : int;
   nb_edges : int;
   src : int array;
@@ -110,6 +111,10 @@ let build_index ~nb_nodes ~nb_edges ~src ~tgt ~lbl =
   ( nb_labels, label_names, label_ids, elbl, out_off, out_csr, in_off, in_csr,
     out_lbl_csr, dir_off, dir_lbl, dir_start )
 
+(* Each graph value gets a process-unique stamp so caches keyed by graph
+   can tell two loads apart even when the contents coincide. *)
+let next_stamp = Atomic.make 0
+
 let make ~nodes ~edges =
   let nb_nodes = List.length nodes in
   let nb_edges = List.length edges in
@@ -154,6 +159,7 @@ let make ~nodes ~edges =
     build_index ~nb_nodes ~nb_edges ~src ~tgt ~lbl
   in
   {
+    stamp = Atomic.fetch_and_add next_stamp 1;
     nb_nodes;
     nb_edges;
     src;
@@ -179,6 +185,7 @@ let make ~nodes ~edges =
     dir_start;
   }
 
+let id g = g.stamp
 let nb_nodes g = g.nb_nodes
 let nb_edges g = g.nb_edges
 let src g e = g.src.(e)

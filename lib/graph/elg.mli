@@ -13,6 +13,11 @@ type t
     [Invalid_argument] on duplicate names or unknown endpoints. *)
 val make : nodes:string list -> edges:(string * string * string * string) list -> t
 
+(** [id g] is a process-unique stamp assigned at {!make}.  Caches keyed
+    by graph use it as their generation: a fresh [load] yields a fresh
+    id, so entries for earlier graphs can be invalidated wholesale. *)
+val id : t -> int
+
 val nb_nodes : t -> int
 val nb_edges : t -> int
 

@@ -1,0 +1,170 @@
+type t = {
+  graph_id : int;
+  nb_nodes : int;
+  nb_edges : int;
+  nb_labels : int;
+  label_names : string array;
+  label_edges : int array;
+  label_sources : int array;
+  label_targets : int array;
+  nodes_with_out : int;
+  nodes_with_in : int;
+  out_hist : int array;
+  in_hist : int array;
+  max_out_degree : int;
+  max_in_degree : int;
+}
+
+let bucket_of_degree d =
+  if d <= 0 then 0
+  else begin
+    let b = ref 1 and x = ref 1 in
+    (* bucket i covers 2^(i-1) <= d < 2^i *)
+    while d >= 2 * !x do
+      x := 2 * !x;
+      incr b
+    done;
+    !b
+  end
+
+let nb_buckets = 32
+
+let of_elg g =
+  let n = Elg.nb_nodes g and nl = Elg.nb_labels g in
+  let label_edges = Array.make (max 1 nl) 0
+  and label_sources = Array.make (max 1 nl) 0
+  and label_targets = Array.make (max 1 nl) 0 in
+  for e = 0 to Elg.nb_edges g - 1 do
+    let l = Elg.edge_label_id g e in
+    label_edges.(l) <- label_edges.(l) + 1
+  done;
+  (* Distinct sources per label: walk each node's label directory once.
+     The label-partitioned span directory lists each present label once
+     per node, so counting directory entries is exactly "distinct
+     sources"; the symmetric pass over in-edges uses a stamp array. *)
+  let stamp = Array.make (max 1 nl) (-1) in
+  let out_hist = Array.make nb_buckets 0
+  and in_hist = Array.make nb_buckets 0 in
+  let nodes_with_out = ref 0
+  and nodes_with_in = ref 0
+  and max_out = ref 0
+  and max_in = ref 0 in
+  for v = 0 to n - 1 do
+    let dout = Elg.out_degree g v and din = Elg.in_degree g v in
+    out_hist.(bucket_of_degree dout) <- out_hist.(bucket_of_degree dout) + 1;
+    in_hist.(bucket_of_degree din) <- in_hist.(bucket_of_degree din) + 1;
+    if dout > 0 then incr nodes_with_out;
+    if din > 0 then incr nodes_with_in;
+    if dout > !max_out then max_out := dout;
+    if din > !max_in then max_in := din;
+    Elg.iter_out g v (fun e ->
+        let l = Elg.edge_label_id g e in
+        if stamp.(l) <> v then begin
+          stamp.(l) <- v;
+          label_sources.(l) <- label_sources.(l) + 1
+        end)
+  done;
+  Array.fill stamp 0 (Array.length stamp) (-1);
+  for v = 0 to n - 1 do
+    Elg.iter_in g v (fun e ->
+        let l = Elg.edge_label_id g e in
+        if stamp.(l) <> v then begin
+          stamp.(l) <- v;
+          label_targets.(l) <- label_targets.(l) + 1
+        end)
+  done;
+  {
+    graph_id = Elg.id g;
+    nb_nodes = n;
+    nb_edges = Elg.nb_edges g;
+    nb_labels = nl;
+    label_names = Array.of_list (Elg.labels g);
+    label_edges;
+    label_sources;
+    label_targets;
+    nodes_with_out = !nodes_with_out;
+    nodes_with_in = !nodes_with_in;
+    out_hist;
+    in_hist;
+    max_out_degree = !max_out;
+    max_in_degree = !max_in;
+  }
+
+(* --- memo, keyed by graph id -------------------------------------------- *)
+
+let memo_cap = 16
+let memo : (int, t) Hashtbl.t = Hashtbl.create memo_cap
+let memo_order : int Queue.t = Queue.create ()
+let memo_lock = Mutex.create ()
+
+let get g =
+  let gid = Elg.id g in
+  Mutex.lock memo_lock;
+  let cached = Hashtbl.find_opt memo gid in
+  Mutex.unlock memo_lock;
+  match cached with
+  | Some st -> st
+  | None ->
+      let st = of_elg g in
+      Mutex.lock memo_lock;
+      if not (Hashtbl.mem memo gid) then begin
+        if Hashtbl.length memo >= memo_cap then begin
+          let victim = Queue.pop memo_order in
+          Hashtbl.remove memo victim
+        end;
+        Hashtbl.add memo gid st;
+        Queue.push gid memo_order
+      end;
+      Mutex.unlock memo_lock;
+      st
+
+(* --- symbol-level estimates --------------------------------------------- *)
+
+type sym = Lbl of string | Any | Not of string list
+
+(* label_names is sorted, id = index: binary search. *)
+let label_idx st a =
+  let lo = ref 0 and hi = ref (st.nb_labels - 1) and found = ref (-1) in
+  while !found < 0 && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = String.compare st.label_names.(mid) a in
+    if c = 0 then found := mid else if c < 0 then lo := mid + 1 else hi := mid - 1
+  done;
+  if !found < 0 then None else Some !found
+
+let per_label field st = function
+  | Lbl a -> ( match label_idx st a with Some l -> field.(l) | None -> 0)
+  | Any -> Array.fold_left ( + ) 0 (Array.sub field 0 (max 0 st.nb_labels))
+  | Not excluded ->
+      let total = Array.fold_left ( + ) 0 (Array.sub field 0 (max 0 st.nb_labels)) in
+      let gone =
+        List.fold_left
+          (fun acc a ->
+            match label_idx st a with Some l -> acc + field.(l) | None -> acc)
+          0
+          (List.sort_uniq String.compare excluded)
+      in
+      max 0 (total - gone)
+
+let sym_edges st s = per_label st.label_edges st s
+
+let sym_sources st s =
+  match s with
+  | Any | Not _ -> min st.nodes_with_out (per_label st.label_sources st s)
+  | Lbl _ -> per_label st.label_sources st s
+
+let sym_targets st s =
+  match s with
+  | Any | Not _ -> min st.nodes_with_in (per_label st.label_targets st s)
+  | Lbl _ -> per_label st.label_targets st s
+
+let summary st =
+  [
+    ("nodes", st.nb_nodes);
+    ("edges", st.nb_edges);
+    ("labels", st.nb_labels);
+    ("nodes_with_out", st.nodes_with_out);
+    ("nodes_with_in", st.nodes_with_in);
+    ("max_out_degree", st.max_out_degree);
+    ("max_in_degree", st.max_in_degree);
+  ]

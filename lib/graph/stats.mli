@@ -1,0 +1,43 @@
+(** Graph statistics for cost-based planning.
+
+    Computed once per graph from the CSR index built at {!Elg.make}:
+    per-label edge counts, distinct source/target counts per label, and
+    log2-bucketed degree histograms.  [get] memoizes by {!Elg.id} so
+    repeated planning against the same loaded graph pays the scan once. *)
+
+type t = {
+  graph_id : int;
+  nb_nodes : int;
+  nb_edges : int;
+  nb_labels : int;
+  label_names : string array;  (** sorted, id = index (mirrors the graph) *)
+  label_edges : int array;  (** edges per label id *)
+  label_sources : int array;  (** distinct sources per label id *)
+  label_targets : int array;  (** distinct targets per label id *)
+  nodes_with_out : int;  (** nodes with out-degree > 0 *)
+  nodes_with_in : int;  (** nodes with in-degree > 0 *)
+  out_hist : int array;  (** bucket 0 = degree 0; bucket i = 2^(i-1) <= d < 2^i *)
+  in_hist : int array;
+  max_out_degree : int;
+  max_in_degree : int;
+}
+
+val of_elg : Elg.t -> t
+
+(** Memoized [of_elg], keyed by {!Elg.id} (bounded table, thread-safe). *)
+val get : Elg.t -> t
+
+(** {1 Symbol-level estimates}
+
+    Fanouts for regex alphabet symbols: how many edges / distinct
+    sources / distinct targets can match.  Unknown labels contribute 0;
+    wildcards and negated sets fall back to graph-level totals. *)
+
+type sym = Lbl of string | Any | Not of string list
+
+val sym_edges : t -> sym -> int
+val sym_sources : t -> sym -> int
+val sym_targets : t -> sym -> int
+
+(** Flat [(key, value)] rendering for telemetry / EXPLAIN output. *)
+val summary : t -> (string * int) list

@@ -1,0 +1,89 @@
+type ('k, 'v) entry = { value : 'v; gen : int; mutable last_used : int }
+
+type ('k, 'v) t = {
+  capacity : int;
+  table : ('k, ('k, 'v) entry) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable invalidated : int;
+  lock : Mutex.t;
+}
+
+let create ~capacity () =
+  let capacity = max 1 capacity in
+  {
+    capacity;
+    table = Hashtbl.create capacity;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    invalidated = 0;
+    lock = Mutex.create ();
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let capacity t = t.capacity
+let length t = locked t (fun () -> Hashtbl.length t.table)
+
+let find t k =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table k with
+      | Some e ->
+          t.tick <- t.tick + 1;
+          e.last_used <- t.tick;
+          t.hits <- t.hits + 1;
+          Some e.value
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let peek t k =
+  locked t (fun () ->
+      Option.map (fun e -> e.value) (Hashtbl.find_opt t.table k))
+
+let evict_lru t =
+  (* Linear scan for the oldest entry; capacity is small by design. *)
+  let victim = ref None and oldest = ref max_int in
+  Hashtbl.iter
+    (fun k e ->
+      if e.last_used < !oldest then begin
+        oldest := e.last_used;
+        victim := Some k
+      end)
+    t.table;
+  match !victim with
+  | Some k ->
+      Hashtbl.remove t.table k;
+      t.evictions <- t.evictions + 1
+  | None -> ()
+
+let add t ~gen k v =
+  locked t (fun () ->
+      if Hashtbl.mem t.table k then Hashtbl.remove t.table k
+      else if Hashtbl.length t.table >= t.capacity then evict_lru t;
+      t.tick <- t.tick + 1;
+      Hashtbl.add t.table k { value = v; gen; last_used = t.tick })
+
+let drop_generations_except t gen =
+  locked t (fun () ->
+      let doomed =
+        Hashtbl.fold
+          (fun k e acc -> if e.gen <> gen then k :: acc else acc)
+          t.table []
+      in
+      List.iter (Hashtbl.remove t.table) doomed;
+      let n = List.length doomed in
+      t.invalidated <- t.invalidated + n;
+      n)
+
+let clear t = locked t (fun () -> Hashtbl.reset t.table)
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+let invalidated t = t.invalidated

@@ -1,0 +1,27 @@
+type decision = { width : int; work : int; threshold : int; hardware : int }
+
+let default_threshold = 2_000_000
+
+let threshold () =
+  match Sys.getenv_opt "GQ_PAR_THRESHOLD" with
+  | Some s -> ( match int_of_string_opt s with Some n -> max 1 n | None -> default_threshold)
+  | None -> default_threshold
+
+let hw = lazy (max 1 (Domain.recommended_domain_count ()))
+let hardware () = Lazy.force hw
+
+let decide ~max_width ~sources ~product_edges =
+  let threshold = threshold () in
+  let hardware = hardware () in
+  let sources = max 0 sources and product_edges = max 1 product_edges in
+  (* Saturating multiply: sizes are far below sqrt(max_int), but keep it
+     robust anyway. *)
+  let work =
+    if sources > 0 && product_edges > max_int / sources then max_int
+    else sources * product_edges
+  in
+  let width =
+    if work < threshold then 1
+    else max 1 (min (min max_width hardware) (max 1 sources))
+  in
+  { width; work; threshold; hardware }

@@ -1,0 +1,32 @@
+(** Adaptive parallelism policy.
+
+    Forking domains pays a fixed cost (spawn, stop-the-world GC
+    synchronization) that only amortizes when there is real work and
+    real hardware.  The policy estimates work as
+    [sources x product edges] and decides a fork width: serial below the
+    threshold ([GQ_PAR_THRESHOLD], default 2,000,000), and never more
+    domains than the machine has hardware threads — the fix for the
+    BENCH_rpq.json regression, where a forced 2-domain pool lost to
+    serial on a 1-core container at every size.
+
+    An explicit [?pool] argument at an engine entry point bypasses the
+    policy: callers who pin a width (tests pinning determinism across
+    widths, the CLI's [--domains]) keep exactly that width. *)
+
+type decision = {
+  width : int;  (** domains to use; 1 = serial *)
+  work : int;  (** estimated work (sources x product edges) *)
+  threshold : int;  (** work threshold in force *)
+  hardware : int;  (** hardware threads available *)
+}
+
+(** [GQ_PAR_THRESHOLD], defaulting to 2,000,000; clamped to >= 1. *)
+val threshold : unit -> int
+
+(** Cached [Domain.recommended_domain_count ()]. *)
+val hardware : unit -> int
+
+(** [decide ~max_width ~sources ~product_edges] — width 1 when the
+    estimated work is under the threshold, otherwise
+    [min max_width hardware sources] (at least 1). *)
+val decide : max_width:int -> sources:int -> product_edges:int -> decision

@@ -54,6 +54,12 @@ let rec map f = function
   | Alt (r1, r2) -> Alt (map f r1, map f r2)
   | Star r -> Star (map f r)
 
+let rec reverse = function
+  | (Eps | Atom _) as r -> r
+  | Seq (r1, r2) -> Seq (reverse r2, reverse r1)
+  | Alt (r1, r2) -> Alt (reverse r1, reverse r2)
+  | Star r -> Star (reverse r)
+
 let rec nullable = function
   | Eps -> true
   | Atom _ -> false

@@ -49,6 +49,11 @@ val atoms : 'a t -> 'a list
 
 val map : ('a -> 'b) -> 'a t -> 'b t
 
+(** Language reversal: [w ∈ L(reverse r)] iff the mirror of [w] is in
+    [L(r)].  Used to evaluate an RPQ backward — from targets over the
+    reversed graph — when the planner deems that side cheaper. *)
+val reverse : 'a t -> 'a t
+
 (** [ε ∈ L(r)]? *)
 val nullable : 'a t -> bool
 

@@ -1,0 +1,119 @@
+type t = {
+  plans : Plan_cache.t;
+  products : (int * string * bool, Product.t) Lru.t; (* graph id, key, reversed? *)
+  reversed : (int, Elg.t) Lru.t;
+  mutable gen : int; (* last graph id seen by set_generation *)
+  enabled : bool;
+}
+
+let create ?(capacity = 64) ?enabled ?plans () =
+  let enabled =
+    match enabled with Some b -> b | None -> Plan_cache.enabled_from_env ()
+  in
+  let plans =
+    match plans with
+    | Some p -> p
+    | None -> Plan_cache.create ~enabled ()
+  in
+  {
+    plans;
+    products = Lru.create ~capacity ();
+    reversed = Lru.create ~capacity:(max 4 (capacity / 8)) ();
+    gen = -1;
+    enabled;
+  }
+
+let shared = create ~plans:Plan_cache.shared ()
+let plans t = t.plans
+
+let compile ?obs t text =
+  Plan_cache.compile ?obs t.plans ~flags:"rpq" ~parse:Rpq_parse.parse_res text
+
+let compile_ast ?obs t re = Plan_cache.compile_ast ?obs t.plans re
+
+let key_of (c : Plan_cache.compiled) = c.flags ^ ":" ^ c.source
+
+(* Same node/edge names in the same declaration order, so ids coincide
+   with the forward graph and pairs translate back by a plain swap. *)
+let build_reversed g =
+  let nodes = List.init (Elg.nb_nodes g) (Elg.node_name g) in
+  let edges =
+    List.init (Elg.nb_edges g) (fun e ->
+        ( Elg.edge_name g e,
+          Elg.node_name g (Elg.tgt g e),
+          Elg.label g e,
+          Elg.node_name g (Elg.src g e) ))
+  in
+  Elg.make ~nodes ~edges
+
+let reversed_graph t g =
+  let gid = Elg.id g in
+  match if t.enabled then Lru.find t.reversed gid else None with
+  | Some rg -> rg
+  | None ->
+      let rg = build_reversed g in
+      if t.enabled then Lru.add t.reversed ~gen:gid gid rg;
+      rg
+
+let product ?(obs = Obs.none) ?(rev = false) t g (c : Plan_cache.compiled) =
+  let gid = Elg.id g in
+  let key = (gid, key_of c, rev) in
+  match if t.enabled then Lru.find t.products key else None with
+  | Some p ->
+      Obs.incr obs "plan.product.hit";
+      p
+  | None ->
+      Obs.incr obs "plan.product.miss";
+      let p =
+        if rev then
+          Product.make ~obs (reversed_graph t g)
+            (Nfa.of_regex (Regex.reverse c.ast))
+        else Product.make ~obs g c.nfa
+      in
+      if t.enabled then Lru.add t.products ~gen:gid key p;
+      p
+
+let product_rev ?obs t g c = product ?obs ~rev:true t g c
+let product ?obs t g c = product ?obs ~rev:false t g c
+
+let product_cached t g c =
+  t.enabled && Option.is_some (Lru.peek t.products (Elg.id g, key_of c, false))
+
+let set_generation t gen =
+  t.gen <- gen;
+  ignore (Lru.drop_generations_except t.products gen);
+  ignore (Lru.drop_generations_except t.reversed gen)
+
+let generation t = t.gen
+
+(* --- cached evaluation -------------------------------------------------- *)
+
+let pairs_bounded ?pool ?(obs = Obs.none) ?planner t gov g c =
+  let use_planner =
+    match planner with Some b -> b | None -> Planner.enabled_from_env ()
+  in
+  let dir =
+    if use_planner then Planner.direction_of (Stats.get g) c.Plan_cache.ast
+    else Planner.Forward
+  in
+  match dir with
+  | Planner.Forward ->
+      Rpq_eval.pairs_product_bounded ?pool ~obs gov (product ~obs t g c)
+  | Planner.Backward ->
+      Obs.incr obs "plan.backward";
+      Rpq_eval.pairs_product_bounded ?pool ~obs gov (product_rev ~obs t g c)
+      |> Governor.map (fun ps ->
+             List.sort Stdlib.compare (List.rev_map (fun (v, u) -> (u, v)) ps))
+
+let from_source_bounded ?(obs = Obs.none) t gov g c ~src =
+  Obs.span obs "rpq.eval" @@ fun () ->
+  let p = product ~obs t g c in
+  let targets = Rpq_eval.from_source_product ~gov ~obs p ~src in
+  let kept = Governor.take_results gov targets in
+  Obs.add obs "rpq.answers" (List.length kept);
+  Governor.seal gov kept
+
+let product_hits t = Lru.hits t.products
+let product_misses t = Lru.misses t.products
+let product_entries t = Lru.length t.products
+let invalidated t = Lru.invalidated t.products + Lru.invalidated t.reversed

@@ -1,0 +1,83 @@
+(** Cached RPQ compilation pipeline: query text → AST → Glushkov NFA →
+    product graph, each stage memoized.
+
+    Query-only artifacts live in a {!Plan_cache.t} (never invalidated);
+    graph-dependent artifacts — product graphs and reversed graphs — are
+    keyed by {!Elg.id} and generation-invalidated: {!set_generation}
+    (called by the serve session on [load]) drops every entry built
+    against another graph.  The caches make warm serve-mode requests
+    skip parse, Glushkov, and product construction entirely; E20
+    measures the resulting speedup.
+
+    When [GQ_PLAN_CACHE=off] (or [enabled:false]) nothing is stored and
+    every request recompiles — used by [make check-plan] to pin that
+    caching never changes answers. *)
+
+type t
+
+(** [create ()] — [capacity] bounds the product/reversed-graph caches
+    (default 64); [enabled]/[plans] default to a fresh
+    {!Plan_cache.create} honoring [GQ_PLAN_CACHE]. *)
+val create : ?capacity:int -> ?enabled:bool -> ?plans:Plan_cache.t -> unit -> t
+
+(** Process-wide instance (shares {!Plan_cache.shared}). *)
+val shared : t
+
+val plans : t -> Plan_cache.t
+
+(** Parse and compile concrete RPQ syntax, cached under flags ["rpq"]. *)
+val compile :
+  ?obs:Obs.t -> t -> string -> (Plan_cache.compiled, Gq_error.t) result
+
+(** Compile an already-parsed regex (CRPQ atom dedup). *)
+val compile_ast : ?obs:Obs.t -> t -> Sym.t Regex.t -> Plan_cache.compiled
+
+(** [product t g c] — the product of [g] with [c]'s NFA, cached by
+    (graph id, query key).  [obs] counts [plan.product.hit] /
+    [plan.product.miss]. *)
+val product : ?obs:Obs.t -> t -> Elg.t -> Plan_cache.compiled -> Product.t
+
+(** [product_rev t g c] — the product of the {e reversed} graph with the
+    {e reversed} regex's NFA: BFS over it explores matching paths
+    backward from their targets. *)
+val product_rev : ?obs:Obs.t -> t -> Elg.t -> Plan_cache.compiled -> Product.t
+
+(** The edge-reversed twin of [g] (same nodes/labels, src/tgt swapped),
+    cached by graph id. *)
+val reversed_graph : t -> Elg.t -> Elg.t
+
+(** Is the forward product for this compiled query already cached?
+    (No recency bump; for EXPLAIN output.) *)
+val product_cached : t -> Elg.t -> Plan_cache.compiled -> bool
+
+(** [set_generation t gen] — drop graph-dependent entries whose graph id
+    differs from [gen]; serve calls this with [Elg.id g] on [load]. *)
+val set_generation : t -> int -> unit
+
+val generation : t -> int
+
+(** {1 Cached evaluation} *)
+
+(** [pairs_bounded t gov g c] — ⟦c⟧_g through the caches, picking the
+    evaluation direction with the planner (unless [GQ_PLAN=off] or
+    [planner:false]): backward evaluation runs the reversed product and
+    swaps the pairs back.  Answers are always identical to
+    {!Rpq_eval.pairs_bounded}. *)
+val pairs_bounded :
+  ?pool:Pool.t -> ?obs:Obs.t -> ?planner:bool ->
+  t -> Governor.t -> Elg.t -> Plan_cache.compiled ->
+  (int * int) list Governor.outcome
+
+(** [from_source_bounded t gov g c ~src] — reachable targets, through
+    the product cache. *)
+val from_source_bounded :
+  ?obs:Obs.t ->
+  t -> Governor.t -> Elg.t -> Plan_cache.compiled -> src:int ->
+  int list Governor.outcome
+
+(** {1 Counters} (monotone; plan-cache counters via {!plans}) *)
+
+val product_hits : t -> int
+val product_misses : t -> int
+val product_entries : t -> int
+val invalidated : t -> int

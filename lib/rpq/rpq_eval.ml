@@ -122,38 +122,85 @@ let from_source_bounded ?(obs = Obs.none) gov g r ~src =
 let from_source ?obs g r ~src =
   Governor.value (from_source_bounded ?obs (Governor.unlimited ()) g r ~src)
 
-(* Serial below this much estimated work (sources x product edges):
-   domain spawn/join costs more than it buys on small inputs. *)
-let parallel_work_threshold = 2_000_000
-
-let pairs_nfa_gov ?pool ?(obs = Obs.none) gov g nfa =
+let pairs_product_gov ?pool ?(obs = Obs.none) gov product =
   Obs.span obs "rpq.eval" @@ fun () ->
-  let product = Product.make ~obs g nfa in
+  let g = Product.graph product in
+  let nfa = Product.nfa product in
   let n = Elg.nb_nodes g in
   if n = 0 then []
   else begin
+    (* Source pruning: a BFS from [u] can only leave its initial states
+       through an out-edge of [u] matching a symbol on some
+       initial-state transition.  Nodes without one contribute at most
+       the ε self-pair (when an initial state is accepting), which we
+       emit directly — no BFS, no scratch touch. *)
+    let eps_accepting = List.exists (Nfa.is_final nfa) nfa.Nfa.initials in
+    let nl = Elg.nb_labels g in
+    let lbl_ok = Array.make (max 1 nl) false in
+    List.iter
+      (fun q0 ->
+        List.iter
+          (fun (sym, _) ->
+            for l = 0 to nl - 1 do
+              if (not lbl_ok.(l)) && Sym.matches sym (Elg.label_name g l) then
+                lbl_ok.(l) <- true
+            done)
+          nfa.Nfa.delta.(q0))
+      nfa.Nfa.initials;
+    let is_cand = Array.make n false in
+    let cand = Array.make n 0 in
+    let ncand = ref 0 in
+    for u = 0 to n - 1 do
+      let lo, hi = Elg.out_span g u in
+      let i = ref lo in
+      while (not is_cand.(u)) && !i < hi do
+        if lbl_ok.(Elg.edge_label_id g (Elg.csr_out_edge g !i)) then
+          is_cand.(u) <- true;
+        incr i
+      done;
+      if is_cand.(u) then begin
+        cand.(!ncand) <- u;
+        incr ncand
+      end
+    done;
+    let ncand = !ncand in
+    Obs.add obs "rpq.pruned_sources" (n - ncand);
+    (* An explicit pool pins its width (determinism-across-widths tests,
+       --domains); otherwise the adaptive policy picks serial under the
+       work threshold and never more domains than the hardware has. *)
     let pool, width =
       match pool with
       | Some p -> (p, min (Pool.size p) n)
       | None ->
           let p = Pool.default () in
-          let work = n * max 1 (Product.nb_product_edges product) in
-          if work >= parallel_work_threshold then (p, min (Pool.size p) n)
-          else (p, 1)
+          let d =
+            Par_policy.decide ~max_width:(Pool.size p) ~sources:ncand
+              ~product_edges:(Product.nb_product_edges product)
+          in
+          Obs.add obs "rpq.par_width" d.Par_policy.width;
+          (p, d.Par_policy.width)
     in
     let stats = bfs_stats_of obs in
     let bufs = Array.init width (fun _ -> Ibuf.create ()) in
+    if eps_accepting && ncand < n then begin
+      let buf = bufs.(0) in
+      for u = 0 to n - 1 do
+        if (not is_cand.(u)) && Governor.emit gov then
+          Ibuf.push buf ((u * n) + u)
+      done
+    end;
     let next = Atomic.make 0 in
-    let chunk = max 8 (n / (8 * width)) in
+    let chunk = max 8 (ncand / (8 * width)) in
     Obs.span obs "rpq.bfs" (fun () ->
         Pool.fork_join ~obs pool ~width (fun w ->
             let sc = scratch_of product in
             let buf = bufs.(w) in
             let rec loop () =
               let lo = Atomic.fetch_and_add next chunk in
-              if lo < n && Governor.ok gov then begin
-                let hi = min n (lo + chunk) in
-                for u = lo to hi - 1 do
+              if lo < ncand && Governor.ok gov then begin
+                let hi = min ncand (lo + chunk) in
+                for c = lo to hi - 1 do
+                  let u = cand.(c) in
                   if Governor.ok gov then
                     bfs_targets gov stats product sc ~src:u (fun v ->
                         if Governor.emit gov then Ibuf.push buf ((u * n) + v))
@@ -181,6 +228,13 @@ let pairs_nfa_gov ?pool ?(obs = Obs.none) gov g nfa =
     in
     build (total - 1) []
   end
+
+let pairs_nfa_gov ?pool ?obs gov g nfa =
+  let product = Product.make ?obs g nfa in
+  pairs_product_gov ?pool ?obs gov product
+
+let pairs_product_bounded ?pool ?obs gov product =
+  Governor.seal gov (pairs_product_gov ?pool ?obs gov product)
 
 let pairs_nfa_bounded ?pool ?obs gov g nfa =
   Governor.seal gov (pairs_nfa_gov ?pool ?obs gov g nfa)

@@ -55,6 +55,15 @@ val pairs_nfa_bounded :
   ?pool:Pool.t -> ?obs:Obs.t ->
   Governor.t -> Elg.t -> Sym.t Nfa.t -> (int * int) list Governor.outcome
 
+(** As {!pairs_nfa_bounded} over a prebuilt product graph — the entry
+    point the compilation cache uses to skip both automaton and product
+    construction on warm requests.  When [?pool] is omitted the adaptive
+    policy ({!Par_policy}) picks the width: serial below the work
+    threshold, never more domains than hardware threads. *)
+val pairs_product_bounded :
+  ?pool:Pool.t -> ?obs:Obs.t ->
+  Governor.t -> Product.t -> (int * int) list Governor.outcome
+
 (** Reachable targets over a prebuilt product, charging the governor.
     Shared with the other engines; exposed for reuse. *)
 val from_source_product :

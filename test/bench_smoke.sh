@@ -23,4 +23,14 @@ if grep -v '^{"span":".*","domain":[0-9]*,"depth":[0-9]*,"start_s":[0-9.]*,"end_
   exit 1
 fi
 
-echo "bench-smoke: E17 counters and trace OK"
+# E20 enforces its own fatal checks: warm-cache answers equal cold,
+# warm >= 3x faster, planner answers equal left-to-right, planner faster
+# on the skewed graph.  Here we additionally pin the row shape.
+"$BENCH" E20 --quick > "$tmp/e20.out"
+
+grep -q '"phase":"cache","mode":"warm"' "$tmp/e20.out" \
+  || { echo "bench-smoke: E20 emitted no warm-cache row" >&2; exit 1; }
+grep -q '"phase":"planner","planner":true.*"est_card":' "$tmp/e20.out" \
+  || { echo "bench-smoke: E20 planner row carries no estimate" >&2; exit 1; }
+
+echo "bench-smoke: E17 counters/trace and E20 plan checks OK"

@@ -148,6 +148,8 @@ check_golden serve_faults.out "$tmp/serve_faults.out"
 # Transcript 2: two consecutive budget exhaustions trip the rpq breaker
 # (threshold 2); the third query is served degraded under the small fixed
 # budget, and `stats` reports the open breaker.  No failpoints armed.
+# The plan layer is pinned on because `stats` embeds the cache counters
+# and `make check-plan` re-runs the suite with GQ_PLAN_CACHE=off.
 cat > "$tmp/serve_breaker.in" <<'EOF'
 load bank.graph
 set max-steps 2
@@ -158,7 +160,8 @@ stats
 quit
 EOF
 set +e
-(cd "$tmp" && GQ_FAILPOINTS= "$GQD_ABS" --serve --breaker-threshold 2 \
+(cd "$tmp" && GQ_FAILPOINTS= GQ_PLAN=on GQ_PLAN_CACHE=on \
+  "$GQD_ABS" --serve --breaker-threshold 2 \
   < serve_breaker.in > serve_breaker.out 2> serve_breaker.err)
 code=$?
 set -e
@@ -168,5 +171,35 @@ set -e
   exit 1
 }
 check_golden serve_breaker.out "$tmp/serve_breaker.out"
+
+# Transcript 3: the EXPLAIN surface.  The first `plan` is a cold miss,
+# the `rpq` warms both the plan and product caches, the second `plan`
+# reports hits, the CRPQ `plan` shows the selectivity-ordered atoms, and
+# a second `load` bumps the generation: `stats` shows the dropped
+# products and the final `plan` sees the product cold again while the
+# query-only plan survives.  Plan layer pinned on, as above.
+cat > "$tmp/serve_plan.in" <<'EOF'
+load bank.graph
+plan Transfer.Transfer*
+rpq Transfer.Transfer*
+plan Transfer.Transfer*
+plan x -[Transfer*]-> y, y -[isBlocked]-> z
+stats
+load bank.graph
+stats
+plan Transfer.Transfer*
+quit
+EOF
+set +e
+(cd "$tmp" && GQ_FAILPOINTS= GQ_PLAN=on GQ_PLAN_CACHE=on "$GQD_ABS" --serve \
+  < serve_plan.in > serve_plan.out 2> serve_plan.err)
+code=$?
+set -e
+[ "$code" -eq 0 ] || {
+  echo "smoke: serve plan session exited $code" >&2
+  cat "$tmp/serve_plan.err" >&2
+  exit 1
+}
+check_golden serve_plan.out "$tmp/serve_plan.out"
 
 echo "smoke: all CLI checks passed"
