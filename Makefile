@@ -1,4 +1,4 @@
-.PHONY: all check check-faults check-plan test bench bench-smoke clean
+.PHONY: all check check-faults check-plan check-serve test bench bench-smoke clean
 
 all:
 	dune build @all
@@ -12,6 +12,7 @@ check:
 	dune runtest
 	$(MAKE) check-faults
 	$(MAKE) check-plan
+	$(MAKE) check-serve
 
 # The whole suite again with every library failpoint site armed — a
 # delay-only schedule, so checks take the armed slow path (registry
@@ -33,6 +34,15 @@ check-plan:
 	dune build @all
 	GQ_PLAN_CACHE=off GQ_PLAN=off dune runtest --force
 	GQ_PLAN_CACHE=on GQ_PLAN=on dune runtest --force
+
+# Concurrent-load smoke for `gqd --listen` (test/serve_smoke.sh): six
+# synchronous clients and one hostile flooder against one server, fatal
+# on any dropped, garbled, shed or failed well-behaved reply, ending in
+# a SIGTERM drain that must exit 0.  Run single- and multi-worker.
+check-serve:
+	dune build bin/gqd.exe
+	GQ_DOMAINS=1 bash test/serve_smoke.sh _build/default/bin/gqd.exe
+	GQ_DOMAINS=4 bash test/serve_smoke.sh _build/default/bin/gqd.exe
 
 test: check
 

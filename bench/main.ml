@@ -1341,12 +1341,229 @@ let e20 () =
     exit 1
   end
 
+(* ======================================================================== *)
+(* E21: sustained-load serve bench — per-client isolation under a hostile   *)
+(* flood (JSONL; `--out=BENCH_serve.json`).                                 *)
+(* ======================================================================== *)
+
+(* One synchronous serve-protocol client of the in-process server. *)
+module Bclient = struct
+  type t = { fd : Unix.file_descr; ic : in_channel }
+
+  let connect addr =
+    let fd = Server.connect addr in
+    { fd; ic = Unix.in_channel_of_descr fd }
+
+  let send c line = ignore (Wire.write_all c.fd (line ^ "\n"))
+  let recv c = try Some (input_line c.ic) with End_of_file -> None
+
+  let ask c line =
+    send c line;
+    recv c
+
+  let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+end
+
+let has_field line k v =
+  let needle = Printf.sprintf "\"%s\":%s" k v in
+  let rec go i =
+    i + String.length needle <= String.length line
+    && (String.sub line i (String.length needle) = needle || go (i + 1))
+  in
+  go 0
+
+let e21 () =
+  header "E21"
+    "concurrent serve mode: well-behaved latency next to a hostile flood (JSONL)";
+  let failures = ref 0 in
+  let require name ok =
+    check name ok;
+    if not ok then incr failures
+  in
+  let rows = ref [] in
+  (* The isolation recipe under test, on one core as much as on many:
+     a server-wide per-query step ceiling bounds how long any single
+     evaluation can hold a worker, and a per-client token bucket charges
+     each client for the steps it actually spends — so the flood burns
+     its budget and is shed at ~zero cost while paced clients never
+     notice the bucket. *)
+  let n = if !quick then 400 else 1_000 in
+  let requests = if !quick then 100 else 300 in
+  (* The bucket starts full at one second's refill, so its free initial
+     level must stay proportional to the measurement window — quick mode
+     floods for less than half as long and gets less than half the
+     rate, or the warm-up grace dominates the shed ratio. *)
+  let budget_rate = (if !quick then 40_000 else 100_000) and ceiling = 8_000 in
+  let g =
+    Generators.random_pg ~seed:23 ~nodes:n ~edges:(4 * n)
+      ~labels:[ "a"; "b"; "c"; "d" ] ~prop:"w" ~max_value:9
+  in
+  let path = Filename.temp_file "gq_e21" ".graph" in
+  let oc = open_out path in
+  output_string oc (Graph_io.to_string g);
+  close_out oc;
+  let wb_query = "rpq-from v0 a" in
+  let hostile_query = "rpq (a|b|c|d)*" in
+  let ((), counters) =
+    counted (fun obs ->
+        let t =
+          Server.launch
+            {
+              (Server.default_config ~listen:(Server.Tcp ("127.0.0.1", 0))
+                 {
+                   Session.default_config with
+                   Session.obs;
+                   ceiling_max_steps = Some ceiling;
+                   ceiling_max_results = Some 1_000;
+                 })
+              with
+              Server.workers = Some 2;
+              queue_depth = 64;
+              client_steps_per_sec = budget_rate;
+              hard_deadline = Some 2.0;
+            }
+        in
+        let addr = Server.addr t in
+        let loader = Bclient.connect addr in
+        (match Bclient.ask loader (Printf.sprintf "load %s" path) with
+        | Some r when has_field r "status" "\"ok\"" -> ()
+        | _ -> require "graph loaded" false);
+        Bclient.close loader;
+        (* A paced client: one request every 5 ms, like an interactive
+           caller.  Each phase uses a fresh connection so the reply ids
+           line up and the transcripts are comparable verbatim. *)
+        let run_wb () =
+          let wb = Bclient.connect addr in
+          let lat = Array.make requests 0.0 in
+          let replies = Array.make requests "" in
+          for i = 0 to requests - 1 do
+            Unix.sleepf 0.005;
+            let r, ms = oneshot_ms (fun () -> Bclient.ask wb wb_query) in
+            lat.(i) <- ms;
+            replies.(i) <- Option.value r ~default:"<eof>"
+          done;
+          Bclient.close wb;
+          (lat, replies)
+        in
+        let solo_lat, solo_replies = run_wb () in
+        (* The hostile flood: a second client hammering the expensive
+           full-pairs query at ~500 req/s for the whole contended phase,
+           never backing off on shed. *)
+        let stop = Atomic.make false in
+        let hostile_sent = Atomic.make 0 and hostile_shed = Atomic.make 0 in
+        let flooder =
+          Domain.spawn (fun () ->
+              let h = Bclient.connect addr in
+              while not (Atomic.get stop) do
+                Unix.sleepf 0.002;
+                (match Bclient.ask h hostile_query with
+                | Some r when has_field r "status" "\"shed\"" ->
+                    Atomic.incr hostile_shed
+                | _ -> ());
+                Atomic.incr hostile_sent
+              done;
+              Bclient.close h)
+        in
+        Unix.sleepf 0.3 (* burn-in: the flood reaches steady shed state *);
+        let cont_lat, cont_replies = run_wb () in
+        Atomic.set stop true;
+        Domain.join flooder;
+        (* Graceful drain with requests still in flight: every admitted
+           request is answered before the server exits. *)
+        let wb = Bclient.connect addr in
+        let final = 3 in
+        for _ = 1 to final do Bclient.send wb wb_query done;
+        Unix.sleepf 0.02;
+        Server.drain t;
+        Server.await t;
+        let drained = ref 0 in
+        (try
+           while Bclient.recv wb <> None do incr drained done
+         with _ -> ());
+        Bclient.close wb;
+        let pcts lat =
+          let s = Array.copy lat in
+          Array.sort compare s;
+          (percentile s 0.5, percentile s 0.99)
+        in
+        let solo_p50, solo_p99 = pcts solo_lat in
+        let cont_p50, cont_p99 = pcts cont_lat in
+        let count_bad replies =
+          Array.fold_left
+            (fun acc r ->
+              if
+                has_field r "status" "\"shed\""
+                || has_field r "status" "\"error\""
+                || r = "<eof>"
+              then acc + 1
+              else acc)
+            0 replies
+        in
+        let jsonl phase p50 p99 bad extra =
+          let line =
+            Printf.sprintf
+              "{\"experiment\":\"E21\",\"phase\":%S,\"requests\":%d,\"p50_ms\":%.3f,\"p99_ms\":%.3f,\"bad_replies\":%d%s,\"counters\":%s}"
+              phase requests p50 p99 bad extra (counters_json [])
+          in
+          Printf.printf "  %s\n" line;
+          rows := line :: !rows
+        in
+        jsonl "solo" solo_p50 solo_p99 (count_bad solo_replies) "";
+        jsonl "contended" cont_p50 cont_p99
+          (count_bad cont_replies)
+          (Printf.sprintf
+             ",\"hostile_sent\":%d,\"hostile_shed\":%d,\"p99_vs_solo\":%.2f"
+             (Atomic.get hostile_sent) (Atomic.get hostile_shed)
+             (cont_p99 /. Float.max solo_p99 1e-9));
+        Printf.printf
+          "  solo p50/p99 %.3f/%.3f ms   contended p50/p99 %.3f/%.3f ms   hostile %d sent, %d shed\n"
+          solo_p50 solo_p99 cont_p50 cont_p99 (Atomic.get hostile_sent)
+          (Atomic.get hostile_shed);
+        require "well-behaved answers equal solo answers query-by-query"
+          (solo_replies = cont_replies);
+        require "zero well-behaved failures or sheds under the flood"
+          (count_bad solo_replies = 0 && count_bad cont_replies = 0);
+        require "the flood was actually shed (most hostile requests)"
+          (Atomic.get hostile_shed > Atomic.get hostile_sent / 2);
+        require "isolation: contended p99 < 2x solo p99" (cont_p99 < 2.0 *. solo_p99);
+        require "drain answered every in-flight request"
+          (!drained = final))
+  in
+  (* The server-side story in counters: requests/replies/shed.*,
+     bad-frame rejections, watchdog cancellations, peak gauges. *)
+  let counters_row =
+    Printf.sprintf "{\"experiment\":\"E21\",\"phase\":\"counters\",\"counters\":%s}"
+      (counters_json counters)
+  in
+  Printf.printf "  %s\n" counters_row;
+  rows := counters_row :: !rows;
+  (try Sys.remove path with Sys_error _ -> ());
+  (match !out_path with
+  | Some p ->
+      let oc = open_out p in
+      output_string oc "[\n";
+      List.iteri
+        (fun i line ->
+          output_string oc "  ";
+          output_string oc line;
+          if i < List.length !rows - 1 then output_string oc ",";
+          output_string oc "\n")
+        (List.rev !rows);
+      output_string oc "]\n";
+      close_out oc;
+      Printf.printf "  wrote %s\n" p
+  | None -> ());
+  if !failures > 0 then begin
+    Printf.eprintf "E21: %d check(s) failed\n" !failures;
+    exit 1
+  end
+
 let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
     ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
-    ("E19", e19); ("E20", e20);
+    ("E19", e19); ("E20", e20); ("E21", e21);
   ]
 
 let () =

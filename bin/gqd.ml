@@ -363,9 +363,9 @@ let plan_cmd =
     let g = Pg.elg pg in
     let cache = Rpq_compile.create () in
     Rpq_compile.set_generation cache (Elg.id g);
-    match Serve.plan_fields cache g query with
+    match Session.plan_fields cache g query with
     | Error err -> or_die (Error err)
-    | Ok fields -> print_endline (Serve.jobj fields)
+    | Ok fields -> print_endline (Wire.jobj fields)
   in
   let query =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY"
@@ -386,13 +386,81 @@ let demo_cmd =
     (Cmd.info "demo" ~doc:"Print the paper's bank graph in gqd's file format.")
     Term.(const run $ const ())
 
+(* --- client -------------------------------------------------------------- *)
+
+(* `gqd client ADDR`: a serve-protocol client for scripting against
+   `gqd --listen`.  Default mode is synchronous — send one command,
+   print its reply — so transcripts interleave deterministically;
+   --pipeline sends everything first and then prints every reply, which
+   is how quota/shed behaviour is exercised. *)
+let client_cmd =
+  let run addr pipeline =
+    match Server.parse_listen addr with
+    | Error msg -> or_die (Error (Gq_error.Parse { what = "address"; msg }))
+    | Ok a -> (
+        match Server.connect a with
+        | exception Unix.Unix_error (e, _, _) ->
+            or_die (Error (Gq_error.Io (addr ^ ": " ^ Unix.error_message e)))
+        | fd ->
+            Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+            let inc = Unix.in_channel_of_descr fd in
+            let send line = ignore (Wire.write_all fd (line ^ "\n")) in
+            let print_reply () =
+              match input_line inc with
+              | line -> print_endline line; true
+              | exception End_of_file -> false
+              (* A shedding server closes the socket with our unread
+                 commands still buffered — the kernel turns that into a
+                 reset, which reads as an error, not EOF. *)
+              | exception Sys_error _ -> false
+            in
+            let commands = ref [] in
+            (try
+               while true do
+                 let line = String.trim (input_line stdin) in
+                 if line <> "" && line.[0] <> '#' then
+                   commands := line :: !commands
+               done
+             with End_of_file -> ());
+            let commands = List.rev !commands in
+            if pipeline then begin
+              List.iter send commands;
+              (try Unix.shutdown fd Unix.SHUTDOWN_SEND
+               with Unix.Unix_error _ -> ());
+              while print_reply () do () done
+            end
+            else
+              List.iter
+                (fun line ->
+                  send line;
+                  ignore (print_reply ()))
+                commands;
+            try Unix.close fd with Unix.Unix_error _ -> ())
+  in
+  let addr =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ADDR"
+           ~doc:"Server address: unix:PATH, tcp:HOST:PORT, or a socket path.")
+  in
+  let pipeline =
+    Arg.(value & flag
+         & info [ "pipeline" ]
+             ~doc:"Send every command before reading replies (default: one \
+                   command, one reply, in lockstep).")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Connect to a gqd --listen server and run serve-protocol \
+             commands from stdin.")
+    Term.(const run $ addr $ pipeline)
+
 (* --- serve --------------------------------------------------------------- *)
 
-(* `gqd --serve`: the long-running session mode (see bin/serve.ml).  A
-   flag on the group's default term rather than a subcommand, so the
-   invocation reads as a process mode, not a query.  The session always
-   exits 0 on clean EOF/`quit` — per-query failures are reported in the
-   JSON replies, not the exit status. *)
+(* `gqd --serve` / `gqd --listen ADDR`: the long-running session modes
+   (see lib/server).  Flags on the group's default term rather than a
+   subcommand, so the invocation reads as a process mode, not a query.
+   Both always exit 0 on clean shutdown (EOF, `quit`, SIGTERM drain) —
+   per-query failures are reported in the JSON replies, not the exit
+   status. *)
 let serve_term =
   let serve =
     Arg.(value & flag
@@ -402,6 +470,77 @@ let serve_term =
                    query is supervised (budgets, retries, circuit breaker); \
                    the process outlives any individual query and exits 0 on \
                    EOF or `quit`.")
+  in
+  let listen =
+    Arg.(value & opt (some string) None
+         & info [ "listen" ] ~docv:"ADDR"
+             ~doc:"Serve the same protocol to many concurrent clients on \
+                   $(docv) (unix:PATH, tcp:HOST:PORT, or a socket path): \
+                   admission control, per-client quotas and budgets, \
+                   load shedding, graceful drain on SIGTERM/SIGINT.")
+  in
+  let max_clients =
+    Arg.(value & opt int 64
+         & info [ "max-clients" ] ~docv:"N"
+             ~doc:"Connection cap; further connects are shed (default 64).")
+  in
+  let queue_depth =
+    Arg.(value & opt int 128
+         & info [ "queue-depth" ] ~docv:"N"
+             ~doc:"Admission queue bound; a full queue sheds instead of \
+                   growing (default 128).")
+  in
+  let client_inflight =
+    Arg.(value & opt int 4
+         & info [ "client-inflight" ] ~docv:"N"
+             ~doc:"Per-client cap on unanswered requests (default 4).")
+  in
+  let client_budget =
+    Arg.(value & opt int 0
+         & info [ "client-budget" ] ~docv:"STEPS_PER_SEC"
+             ~doc:"Per-client token-bucket budget in governor steps per \
+                   second; clients in debt are shed until it refills \
+                   (default 0 = unlimited).")
+  in
+  let workers =
+    Arg.(value & opt (some int) None
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Worker domains evaluating requests (default: GQ_DOMAINS \
+                   or the recommended domain count).")
+  in
+  let hard_deadline =
+    Arg.(value & opt (some float) None
+         & info [ "hard-deadline" ] ~docv:"SECONDS"
+             ~doc:"Wall-clock watchdog: cancel any evaluation running \
+                   longer than $(docv) seconds.")
+  in
+  let retry_after_ms =
+    Arg.(value & opt int 50
+         & info [ "retry-after-ms" ] ~docv:"MS"
+             ~doc:"Baseline back-off hint carried in shed replies \
+                   (default 50).")
+  in
+  let max_line =
+    Arg.(value & opt int 65536
+         & info [ "max-line" ] ~docv:"BYTES"
+             ~doc:"Longest accepted command line; longer lines are \
+                   rejected with a structured error (default 65536).")
+  in
+  let ceiling_max_steps =
+    Arg.(value & opt (some int) None
+         & info [ "ceiling-max-steps" ] ~docv:"N"
+             ~doc:"Server-wide clamp on per-query step budgets: clients \
+                   cannot raise max-steps above $(docv).")
+  in
+  let ceiling_max_results =
+    Arg.(value & opt (some int) None
+         & info [ "ceiling-max-results" ] ~docv:"N"
+             ~doc:"Server-wide clamp on per-query result caps.")
+  in
+  let ceiling_timeout =
+    Arg.(value & opt (some float) None
+         & info [ "ceiling-timeout" ] ~docv:"SECONDS"
+             ~doc:"Server-wide clamp on per-query deadlines.")
   in
   let retries =
     Arg.(value & opt int 3
@@ -439,35 +578,66 @@ let serve_term =
     Arg.(value & opt (some float) None
          & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-query deadline.")
   in
-  let run serve retries breaker_threshold breaker_cooldown degraded_max_steps
-      max_steps max_results timeout tele =
-    if not serve then `Help (`Pager, None)
-    else begin
-      Serve.run
-        {
-          Serve.retries;
-          breaker_threshold;
-          breaker_cooldown;
-          degraded_max_steps;
-          initial_max_steps = max_steps;
-          initial_max_results = max_results;
-          initial_timeout = timeout;
-          obs = tele.obs;
-        };
-      tele.flush ();
-      `Ok ()
-    end
+  let run serve listen retries breaker_threshold breaker_cooldown
+      degraded_max_steps max_steps max_results timeout ceiling_max_steps
+      ceiling_max_results ceiling_timeout max_clients queue_depth
+      client_inflight client_budget workers hard_deadline retry_after_ms
+      max_line tele =
+    let session =
+      {
+        Session.retries;
+        breaker_threshold;
+        breaker_cooldown;
+        degraded_max_steps;
+        initial_max_steps = max_steps;
+        initial_max_results = max_results;
+        initial_timeout = timeout;
+        ceiling_max_steps;
+        ceiling_max_results;
+        ceiling_timeout;
+        obs = tele.obs;
+      }
+    in
+    match listen with
+    | Some addr_s -> (
+        match Server.parse_listen addr_s with
+        | Error msg -> `Error (false, msg)
+        | Ok listen ->
+            Server.run
+              {
+                (Server.default_config ~listen session) with
+                Server.max_clients;
+                queue_depth;
+                client_inflight;
+                client_steps_per_sec = client_budget;
+                workers;
+                hard_deadline;
+                retry_after_ms;
+                max_line;
+              };
+            tele.flush ();
+            `Ok ())
+    | None ->
+        if not serve then `Help (`Pager, None)
+        else begin
+          Server.run_stdio ~max_line session;
+          tele.flush ();
+          `Ok ()
+        end
   in
   Term.(
     ret
-      (const run $ serve $ retries $ breaker_threshold $ breaker_cooldown
-     $ degraded_max_steps $ max_steps $ max_results $ timeout $ obs_term))
+      (const run $ serve $ listen $ retries $ breaker_threshold
+     $ breaker_cooldown $ degraded_max_steps $ max_steps $ max_results
+     $ timeout $ ceiling_max_steps $ ceiling_max_results $ ceiling_timeout
+     $ max_clients $ queue_depth $ client_inflight $ client_budget $ workers
+     $ hard_deadline $ retry_after_ms $ max_line $ obs_term))
 
 let () =
   let doc = "Query graph data: RPQs, path modes, PMRs, GQL-style patterns." in
   let cmd =
     Cmd.group ~default:serve_term
       (Cmd.info "gqd" ~version:"1.0.0" ~doc)
-      [ info_cmd; rpq_cmd; shortest_cmd; gql_cmd; query_cmd; pmr_cmd; static_cmd; typecheck_cmd; estimate_cmd; plan_cmd; demo_cmd ]
+      [ info_cmd; rpq_cmd; shortest_cmd; gql_cmd; query_cmd; pmr_cmd; static_cmd; typecheck_cmd; estimate_cmd; plan_cmd; demo_cmd; client_cmd ]
   in
   exit (Cmd.eval cmd)

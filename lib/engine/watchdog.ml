@@ -1,0 +1,57 @@
+(* In serve mode, budgets alone cannot stop a runaway query: a client
+   may simply not set one, and the CPU-time deadline of [Governor] is
+   process-wide, so it is meaningless once several clients share the
+   process.  The watchdog is the wall-clock backstop: every supervised
+   evaluation registers its governor with an absolute deadline, and the
+   server's I/O loop periodically calls [sweep], which cancels every
+   governor past its deadline.  Cancellation is cooperative and
+   promptly visible across domains ([Governor.cancel] CASes the atomic
+   trip flag that every [tick]/[emit] reads first), so the runaway
+   evaluation unwinds and answers [Aborted Cancelled] instead of
+   occupying a worker forever.
+
+   The module is clock-agnostic — callers pass [now] (the server uses
+   [Unix.gettimeofday]) — so lib/engine stays free of a unix dependency
+   and tests can drive time by hand. *)
+
+type entry = {
+  gov : Governor.t;
+  deadline : float;
+  mutable cancelled : bool; (* protected by [lock]; counts first cancel only *)
+}
+
+type token = int
+
+let lock = Mutex.create ()
+let entries : (token, entry) Hashtbl.t = Hashtbl.create 16
+let next = ref 0
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let register ~deadline gov =
+  locked (fun () ->
+      incr next;
+      let tok = !next in
+      Hashtbl.replace entries tok { gov; deadline; cancelled = false };
+      tok)
+
+let unregister tok = locked (fun () -> Hashtbl.remove entries tok)
+let watching () = locked (fun () -> Hashtbl.length entries)
+
+(* Cancel every registered governor whose deadline has passed; return
+   how many were newly cancelled by this sweep.  Entries stay registered
+   until their owner unregisters (the evaluation is still unwinding);
+   [cancelled] keeps repeated sweeps from recounting them. *)
+let sweep ~now =
+  locked (fun () ->
+      Hashtbl.fold
+        (fun _ e n ->
+          if (not e.cancelled) && e.deadline <= now then begin
+            e.cancelled <- true;
+            Governor.cancel e.gov;
+            n + 1
+          end
+          else n)
+        entries 0)

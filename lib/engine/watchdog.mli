@@ -1,0 +1,33 @@
+(** Wall-clock watchdog for in-flight governed evaluations.
+
+    The per-query budgets of {!Governor} are cooperative and counted in
+    work units or process CPU time; in a multi-client server neither
+    bounds wall time once domains run concurrently.  The watchdog closes
+    that gap: each supervised evaluation {!register}s its governor with
+    an absolute wall-clock deadline, and a periodic {!sweep} (driven by
+    the server's I/O loop) {!Governor.cancel}s every governor past its
+    deadline, so the evaluation unwinds promptly with
+    [Aborted Cancelled].
+
+    The registry is process-global and mutex-protected; registration
+    and sweeping may happen from different domains.  The module never
+    reads a clock itself — callers pass [now] — so it stays
+    dependency-free and deterministic under test. *)
+
+type token
+
+(** Register a governor to be cancelled once [deadline] (absolute,
+    caller's clock) has passed.  Pair with {!unregister} in a
+    [Fun.protect] finally. *)
+val register : deadline:float -> Governor.t -> token
+
+(** Remove a registration (idempotent). *)
+val unregister : token -> unit
+
+(** Number of currently registered evaluations. *)
+val watching : unit -> int
+
+(** Cancel every registered governor whose deadline is [<= now]; returns
+    how many were newly cancelled.  Sweeping an already-cancelled entry
+    again is a no-op, so callers may sweep at any frequency. *)
+val sweep : now:float -> int

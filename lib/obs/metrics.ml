@@ -20,13 +20,21 @@ type histogram = {
   sum : int Atomic.t;
 }
 
+(* Gauges track a level that goes up and down (queue depth, connected
+   clients, in-flight requests) plus the peak it ever reached — the two
+   numbers a capacity decision needs.  Both are atomics: concurrent
+   add/sub from the serve-mode I/O loop and worker domains never lose an
+   update, and the peak is maintained with a CAS-max. *)
+type gauge = { gname : string; level : int Atomic.t; peak : int Atomic.t }
+
 type t = {
   mutable cs : counter list;
   mutable hs : histogram list;
+  mutable gs : gauge list;
   lock : Mutex.t;
 }
 
-let create () = { cs = []; hs = []; lock = Mutex.create () }
+let create () = { cs = []; hs = []; gs = []; lock = Mutex.create () }
 
 let with_lock t f =
   Mutex.lock t.lock;
@@ -74,6 +82,32 @@ let observe h v =
   ignore (Atomic.fetch_and_add h.count 1);
   ignore (Atomic.fetch_and_add h.sum v)
 
+let gauge t name =
+  with_lock t (fun () ->
+      match List.find_opt (fun g -> g.gname = name) t.gs with
+      | Some g -> g
+      | None ->
+          let g = { gname = name; level = Atomic.make 0; peak = Atomic.make 0 } in
+          t.gs <- g :: t.gs;
+          g)
+
+let rec bump_peak g seen =
+  let p = Atomic.get g.peak in
+  if seen > p && not (Atomic.compare_and_set g.peak p seen) then
+    bump_peak g seen
+
+let gauge_add g k =
+  let now = Atomic.fetch_and_add g.level k + k in
+  if k > 0 then bump_peak g now
+
+let gauge_set g v =
+  Atomic.set g.level v;
+  bump_peak g v
+
+let gauge_level g = Atomic.get g.level
+let gauge_peak g = Atomic.get g.peak
+let gauge_name g = g.gname
+
 type histogram_snapshot = {
   total : int;
   total_sum : int;
@@ -98,6 +132,11 @@ let histograms t =
   with_lock t (fun () -> List.map (fun h -> (h.hname, snapshot h)) t.hs)
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+let gauges t =
+  with_lock t (fun () ->
+      List.map (fun g -> (g.gname, (Atomic.get g.level, Atomic.get g.peak))) t.gs)
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let reset t =
   with_lock t (fun () ->
       List.iter (fun c -> Atomic.set c.value 0) t.cs;
@@ -106,4 +145,9 @@ let reset t =
           Array.iter (fun b -> Atomic.set b 0) h.buckets;
           Atomic.set h.count 0;
           Atomic.set h.sum 0)
-        t.hs)
+        t.hs;
+      List.iter
+        (fun g ->
+          Atomic.set g.level 0;
+          Atomic.set g.peak 0)
+        t.gs)

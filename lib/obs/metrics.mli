@@ -47,12 +47,34 @@ val snapshot : histogram -> histogram_snapshot
 (** [bucket_of v] is the bucket index an observation of [v] lands in. *)
 val bucket_of : int -> int
 
+(** {1 Gauges}
+
+    A level that goes up and down (queue depth, connected clients),
+    tracked together with the peak it ever reached.  Updates are atomic
+    and may come from any domain. *)
+
+type gauge
+
+val gauge : t -> string -> gauge
+
+(** Add [k] (may be negative) to the level; positive moves update the
+    peak with a CAS-max. *)
+val gauge_add : gauge -> int -> unit
+
+val gauge_set : gauge -> int -> unit
+val gauge_level : gauge -> int
+val gauge_peak : gauge -> int
+val gauge_name : gauge -> string
+
 (** {1 Snapshots} *)
 
 (** All counters, sorted by name. *)
 val counters : t -> (string * int) list
 
 val histograms : t -> (string * histogram_snapshot) list
+
+(** All gauges as [(name, (level, peak))], sorted by name. *)
+val gauges : t -> (string * (int * int)) list
 
 (** Zero every counter and histogram (handles stay valid). *)
 val reset : t -> unit

@@ -35,6 +35,26 @@ let observe t name v =
 let span t name f =
   match t.trace with None -> f () | Some tr -> Trace.with_span tr name f
 
+let gauge_fn t name =
+  match t.metrics with
+  | None -> noop_add
+  | Some m ->
+      let g = Metrics.gauge m name in
+      fun k -> Metrics.gauge_add g k
+
+let gauge_add t name k =
+  match t.metrics with
+  | None -> ()
+  | Some m -> Metrics.gauge_add (Metrics.gauge m name) k
+
+let gauge_set t name v =
+  match t.metrics with
+  | None -> ()
+  | Some m -> Metrics.gauge_set (Metrics.gauge m name) v
+
+let gauges t =
+  match t.metrics with None -> [] | Some m -> Metrics.gauges m
+
 let counters t =
   match t.metrics with None -> [] | Some m -> Metrics.counters m
 
@@ -53,4 +73,8 @@ let summary t =
           Buffer.add_string buf
             (Printf.sprintf "%s %d %d\n" name s.Metrics.total s.Metrics.total_sum))
         (Metrics.histograms m);
+      List.iter
+        (fun (name, (level, peak)) ->
+          Buffer.add_string buf (Printf.sprintf "%s %d %d\n" name level peak))
+        (Metrics.gauges m);
       Buffer.contents buf

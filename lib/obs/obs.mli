@@ -37,6 +37,21 @@ val add : t -> string -> int -> unit
 val incr : t -> string -> unit
 val observe : t -> string -> int -> unit
 
+(** {1 Gauges}
+
+    Levels that go up and down (queue depth, connected clients), with
+    peak tracking; no-ops when the sink has no metrics registry. *)
+
+(** Pre-resolved delta function, like {!counter_fn}. *)
+val gauge_fn : t -> string -> int -> unit
+
+val gauge_add : t -> string -> int -> unit
+val gauge_set : t -> string -> int -> unit
+
+(** All gauges as [(name, (level, peak))], sorted by name; [[]] when
+    disabled. *)
+val gauges : t -> (string * (int * int)) list
+
 (** {1 Spans} *)
 
 (** [span t name f] runs [f] inside a trace span ([f ()] directly when
@@ -50,5 +65,6 @@ val span : t -> string -> (unit -> 'a) -> 'a
 val counters : t -> (string * int) list
 
 (** Human summary, one [name value] line per counter (histograms as
-    [name count sum]); [""] when disabled. *)
+    [name count sum], gauges as [name level peak]); [""] when
+    disabled. *)
 val summary : t -> string

@@ -1,13 +1,17 @@
 type ('k, 'v) entry = { value : 'v; gen : int; mutable last_used : int }
 
+(* The table, the logical clock and every entry's recency field are
+   guarded by [lock]; the statistics counters are atomics so concurrent
+   serve-mode sessions can read a live [hits]/[misses] snapshot without
+   taking (or contending on) the table lock. *)
 type ('k, 'v) t = {
   capacity : int;
   table : ('k, ('k, 'v) entry) Hashtbl.t;
   mutable tick : int;
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
-  mutable invalidated : int;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  evictions : int Atomic.t;
+  invalidated : int Atomic.t;
   lock : Mutex.t;
 }
 
@@ -17,10 +21,10 @@ let create ~capacity () =
     capacity;
     table = Hashtbl.create capacity;
     tick = 0;
-    hits = 0;
-    misses = 0;
-    evictions = 0;
-    invalidated = 0;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    evictions = Atomic.make 0;
+    invalidated = Atomic.make 0;
     lock = Mutex.create ();
   }
 
@@ -37,10 +41,10 @@ let find t k =
       | Some e ->
           t.tick <- t.tick + 1;
           e.last_used <- t.tick;
-          t.hits <- t.hits + 1;
+          Atomic.incr t.hits;
           Some e.value
       | None ->
-          t.misses <- t.misses + 1;
+          Atomic.incr t.misses;
           None)
 
 let peek t k =
@@ -60,7 +64,7 @@ let evict_lru t =
   match !victim with
   | Some k ->
       Hashtbl.remove t.table k;
-      t.evictions <- t.evictions + 1
+      Atomic.incr t.evictions
   | None -> ()
 
 let add t ~gen k v =
@@ -79,11 +83,11 @@ let drop_generations_except t gen =
       in
       List.iter (Hashtbl.remove t.table) doomed;
       let n = List.length doomed in
-      t.invalidated <- t.invalidated + n;
+      ignore (Atomic.fetch_and_add t.invalidated n);
       n)
 
 let clear t = locked t (fun () -> Hashtbl.reset t.table)
-let hits t = t.hits
-let misses t = t.misses
-let evictions t = t.evictions
-let invalidated t = t.invalidated
+let hits t = Atomic.get t.hits
+let misses t = Atomic.get t.misses
+let evictions t = Atomic.get t.evictions
+let invalidated t = Atomic.get t.invalidated

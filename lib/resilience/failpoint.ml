@@ -15,16 +15,29 @@ type site = {
 
 (* The fast path reads one atomic flag: [check] is a single (well
    predicted) branch whenever nothing is armed anywhere in the process.
-   The table itself is only touched under [lock] — arming happens at
-   startup or from tests, never in hot loops, so serializing the slow
-   path is fine. *)
+   When sites *are* armed, concurrent serve-mode clients cross them from
+   many domains at once, so the armed lookup must not serialize the
+   whole process on one mutex: the site table is published as an
+   immutable association-list snapshot in an atomic, rebuilt under
+   [lock] on every (rare) arm/disarm, and [check] reads the snapshot
+   lock-free.  Per-site counters are atomics, so firing decisions stay
+   exact under concurrency. *)
 let enabled = Atomic.make false
 let lock = Mutex.create ()
 let sites : (string, site) Hashtbl.t = Hashtbl.create 8
+let snapshot : (string * site) list Atomic.t = Atomic.make []
 
 let locked f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+(* Call only under [lock]: republish the table and the enabled flag.
+   The flag is set after the snapshot, so a racing [check] that sees
+   [enabled] also sees a snapshot at least as recent. *)
+let publish () =
+  let snap = Hashtbl.fold (fun name s acc -> (name, s) :: acc) sites [] in
+  Atomic.set snapshot snap;
+  Atomic.set enabled (snap <> [])
 
 (* splitmix64: tiny, seedable, and good enough for fault schedules. *)
 let splitmix64 x =
@@ -53,17 +66,17 @@ let site_of policy =
 let arm name policy =
   locked (fun () ->
       Hashtbl.replace sites name (site_of policy);
-      Atomic.set enabled true)
+      publish ())
 
 let disarm name =
   locked (fun () ->
       Hashtbl.remove sites name;
-      if Hashtbl.length sites = 0 then Atomic.set enabled false)
+      publish ())
 
 let clear () =
   locked (fun () ->
       Hashtbl.reset sites;
-      Atomic.set enabled false)
+      publish ())
 
 let hits name =
   locked (fun () ->
@@ -100,7 +113,7 @@ let fires s =
   | Delay_ms _ -> true
 
 let check_armed name =
-  match locked (fun () -> Hashtbl.find_opt sites name) with
+  match List.assoc_opt name (Atomic.get snapshot) with
   | None -> ()
   | Some s ->
       if fires s then begin

@@ -2,7 +2,8 @@ type t = {
   plans : Plan_cache.t;
   products : (int * string * bool, Product.t) Lru.t; (* graph id, key, reversed? *)
   reversed : (int, Elg.t) Lru.t;
-  mutable gen : int; (* last graph id seen by set_generation *)
+  gen : int Atomic.t; (* last graph id seen by set_generation *)
+  gen_lock : Mutex.t; (* serializes generation bumps against each other *)
   enabled : bool;
 }
 
@@ -19,7 +20,8 @@ let create ?(capacity = 64) ?enabled ?plans () =
     plans;
     products = Lru.create ~capacity ();
     reversed = Lru.create ~capacity:(max 4 (capacity / 8)) ();
-    gen = -1;
+    gen = Atomic.make (-1);
+    gen_lock = Mutex.create ();
     enabled;
   }
 
@@ -79,12 +81,21 @@ let product ?obs t g c = product ?obs ~rev:false t g c
 let product_cached t g c =
   t.enabled && Option.is_some (Lru.peek t.products (Elg.id g, key_of c, false))
 
+(* Serialized: two concurrent loads must not interleave their drops, or
+   a cache could keep products of a graph that is no longer current.  A
+   product built against the *old* snapshot by an in-flight query may be
+   re-added after the bump; it is keyed by its own graph id, so it can
+   never answer for the new snapshot and is dropped at the next bump. *)
 let set_generation t gen =
-  t.gen <- gen;
-  ignore (Lru.drop_generations_except t.products gen);
-  ignore (Lru.drop_generations_except t.reversed gen)
+  Mutex.lock t.gen_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.gen_lock)
+    (fun () ->
+      Atomic.set t.gen gen;
+      ignore (Lru.drop_generations_except t.products gen);
+      ignore (Lru.drop_generations_except t.reversed gen))
 
-let generation t = t.gen
+let generation t = Atomic.get t.gen
 
 (* --- cached evaluation -------------------------------------------------- *)
 

@@ -1,0 +1,71 @@
+(* The admission queue: a bounded MPMC queue between the server's I/O
+   loop (producer) and its worker domains (consumers).
+
+   The bound is the server's overload valve.  [push] never blocks: when
+   the queue is full the caller sheds the request with a structured
+   "shed" reply instead of queueing unbounded work — bounded queue plus
+   load shedding keeps tail latency flat under overload, where an
+   unbounded queue would grow until every reply is late.  [pop] blocks
+   until work arrives or the queue is closed and drained, which is the
+   worker shutdown path: [close] wakes every waiter, workers finish the
+   remaining backlog, then exit. *)
+
+type 'a t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  items : 'a Queue.t;
+  capacity : int;
+  mutable closed : bool;
+  on_depth : int -> unit;  (* called under [lock]: keep it cheap *)
+}
+
+let create ?(on_depth = fun _ -> ()) ~capacity () =
+  {
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    items = Queue.create ();
+    capacity = max 1 capacity;
+    closed = false;
+    on_depth;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let push t x =
+  locked t (fun () ->
+      if t.closed then `Closed
+      else if Queue.length t.items >= t.capacity then `Full
+      else begin
+        Queue.add x t.items;
+        t.on_depth (Queue.length t.items);
+        Condition.signal t.nonempty;
+        `Ok
+      end)
+
+(* Blocks until an item is available; [None] once closed and drained. *)
+let pop t =
+  locked t (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty t.items) then begin
+          let x = Queue.take t.items in
+          t.on_depth (Queue.length t.items);
+          Some x
+        end
+        else if t.closed then None
+        else begin
+          Condition.wait t.nonempty t.lock;
+          wait ()
+        end
+      in
+      wait ())
+
+let close t =
+  locked t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let depth t = locked t (fun () -> Queue.length t.items)
+let capacity t = t.capacity
+let closed t = locked t (fun () -> t.closed)

@@ -1,0 +1,27 @@
+(** Bounded MPMC request queue between the server's I/O domain and its
+    worker domains — the overload valve of admission control.
+
+    {!push} never blocks: a full queue answers [`Full] and the caller
+    sheds the request with a structured reply, so tail latency stays
+    flat under overload instead of growing with an unbounded backlog.
+    {!pop} blocks until work arrives; after {!close}, workers drain the
+    remaining items and then receive [None] — the graceful-shutdown
+    path. *)
+
+type 'a t
+
+(** [on_depth] is called with the new depth on every push/pop, under
+    the queue lock — keep it cheap (a gauge update). *)
+val create : ?on_depth:(int -> unit) -> capacity:int -> unit -> 'a t
+
+val push : 'a t -> 'a -> [ `Ok | `Full | `Closed ]
+
+(** Blocks; [None] once the queue is closed and drained. *)
+val pop : 'a t -> 'a option
+
+(** Idempotent; wakes every blocked {!pop}. *)
+val close : 'a t -> unit
+
+val depth : 'a t -> int
+val capacity : 'a t -> int
+val closed : 'a t -> bool

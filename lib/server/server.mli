@@ -1,0 +1,73 @@
+(** Concurrent multi-client serve mode ([gqd --listen]) and the
+    hardened single-session stdio loop ([gqd --serve]).
+
+    One I/O domain multiplexes the listener and every client socket;
+    complete frames pass admission control (connection cap, per-client
+    in-flight quota, per-client token-bucket budget, bounded queue —
+    each refusal is a structured ["shed"] reply with a retry hint) into
+    an {!Admission} queue consumed by worker domains running
+    {!Session.handle_safe} over a shared graph snapshot and compilation
+    cache.  A wall-clock {!Watchdog}, swept by the I/O loop, cancels
+    evaluations past [hard_deadline].  SIGTERM/SIGINT drain gracefully:
+    stop accepting, finish (or shed) the backlog, reply to everything
+    admitted, exit 0. *)
+
+type addr = Unix_path of string | Tcp of string * int
+
+val addr_to_string : addr -> string
+
+(** ["unix:PATH"], ["tcp:HOST:PORT"], ["tcp:PORT"] (loopback), or a
+    bare filesystem path. *)
+val parse_listen : string -> (addr, string) result
+
+type config = {
+  listen : addr;
+  max_clients : int;
+  queue_depth : int;
+  client_inflight : int;  (** per-client unanswered-request quota *)
+  client_steps_per_sec : int;
+      (** per-client budget refill rate in governor steps/second;
+          0 disables the bucket.  Charged with the steps each request
+          actually spent, debt capped at two seconds' worth — a
+          pathological client is shed at ~zero CPU cost, which is what
+          isolates the others even on one core. *)
+  workers : int option;  (** [None]: GQ_DOMAINS / recommended *)
+  hard_deadline : float option;
+      (** wall-clock seconds before the watchdog cancels an evaluation *)
+  retry_after_ms : int;  (** baseline back-off hint in shed replies *)
+  max_line : int;
+  session : Session.config;
+}
+
+val default_config : listen:addr -> Session.config -> config
+
+(** Client side: one connected stream socket to [addr] (used by
+    [gqd client], the load smoke test and bench E21). *)
+val connect : addr -> Unix.file_descr
+
+(** {1 Lifecycle} *)
+
+type t
+
+(** Bind, listen, spawn workers and the I/O domain; returns once the
+    socket accepts connections.  Ignores [SIGPIPE] process-wide. *)
+val launch : config -> t
+
+(** The bound address — for [Tcp] with port 0, the actual port. *)
+val addr : t -> addr
+
+(** Begin graceful drain (async-signal-safe: one atomic store). *)
+val drain : t -> unit
+
+(** Block until fully drained and every domain has exited. *)
+val await : t -> unit
+
+(** [launch] + SIGTERM/SIGINT handlers that {!drain} + {!await}. *)
+val run : config -> unit
+
+(** {1 Stdio mode} *)
+
+(** The single-session [gqd --serve] loop on the same wire layer:
+    bounded line length, structured replies to malformed input, writes
+    that survive a closed stdout. *)
+val run_stdio : ?max_line:int -> Session.config -> unit

@@ -1,18 +1,18 @@
-(* gqd --serve: a crash-proof, line-oriented query session.
+(* One serve-protocol session: the command dispatch behind both
+   `gqd --serve` (stdin/stdout, one session) and `gqd --listen` (one
+   session per connected client over a shared graph snapshot and a
+   shared compilation cache).
 
-   Protocol: one command per line on stdin, one JSON object per reply
-   line on stdout.  Blank lines and '#' comments are ignored; every
-   other line gets exactly one reply carrying a monotonically increasing
-   "id".  The process is guaranteed to outlive any individual query:
-   every evaluation runs under Governor budgets inside [Supervise.run]
+   Protocol: one command per line, one JSON object per reply line.
+   Blank lines and '#' comments are ignored; every other line gets
+   exactly one reply carrying a monotonically increasing "id".  Every
+   evaluation runs under Governor budgets inside [Supervise.run]
    (exceptions classified, transient faults retried, per-query-class
-   circuit breaker), and the loop itself has a catch-all so even a bug
-   in reply rendering answers with a structured error instead of dying.
-   The session exits 0 on EOF or `quit`, regardless of how many queries
-   failed along the way.
+   circuit breaker), and dispatch has a catch-all so even a bug in
+   reply rendering answers with a structured error instead of dying.
 
    Commands:
-     load PATH                  load (replace) the session graph
+     load PATH                  load (replace) the graph snapshot
      rpq REGEX                  all endpoint pairs of an RPQ
      rpq-from NODE REGEX        nodes reachable from NODE
      shortest SRC TGT REGEX     all shortest matching paths
@@ -27,11 +27,21 @@
 
    Reply shape (field order fixed; see README "Resilience & fault
    injection"):
-     {"id":N,"cmd":"rpq","status":"ok|partial|degraded|error","code":C,
-      "degraded":B,"attempts":A[,"reason":R][,"error":{"kind":K,"msg":M}]
-      [,"answers":[...],"count":N]}
+     {"id":N,"cmd":"rpq","status":"ok|partial|degraded|error|shed",
+      "code":C,"degraded":B,"attempts":A[,"reason":R]
+      [,"error":{"kind":K,"msg":M}][,"answers":[...],"count":N]}
    "code" follows the CLI exit-code contract: 0 ok, 1 parse/unknown
-   node, 2 evaluation/fault, 3 I/O, 4 budget exhausted. *)
+   node, 2 evaluation/fault, 3 I/O, 4 budget exhausted/shed.
+
+   Concurrency: sessions are confined to one worker domain per request
+   (per-client state is only touched by whichever worker handles that
+   client's current request, and the server's per-client in-flight
+   quota plus command ordering keep those sequential per client).  All
+   cross-client state is the [shared] record: the graph snapshot is an
+   atomic swapped under [graph_lock] together with the cache-generation
+   bump, and the compilation cache is internally synchronised. *)
+
+open Wire
 
 type config = {
   retries : int;
@@ -41,58 +51,110 @@ type config = {
   initial_max_steps : int option;
   initial_max_results : int option;
   initial_timeout : float option;
+  ceiling_max_steps : int option;
+  ceiling_max_results : int option;
+  ceiling_timeout : float option;
   obs : Obs.t;
 }
 
-type session = {
+let default_config =
+  {
+    retries = 3;
+    breaker_threshold = 5;
+    breaker_cooldown = 30.0;
+    degraded_max_steps = 1000;
+    initial_max_steps = None;
+    initial_max_results = None;
+    initial_timeout = None;
+    ceiling_max_steps = None;
+    ceiling_max_results = None;
+    ceiling_timeout = None;
+    obs = Obs.none;
+  }
+
+(* State shared by every session of one server process.  The graph is a
+   published immutable snapshot: [load] parses off to the side, then
+   swaps the atomic and bumps the cache generation under [graph_lock]
+   (so concurrent loads publish snapshot and generation as a pair);
+   readers grab whatever snapshot is current and evaluate against it
+   unlocked — a later load cannot mutate it out from under them. *)
+type shared = {
   config : config;
+  cache : Rpq_compile.t;
+  graph : Pg.t option Atomic.t;
+  graph_lock : Mutex.t;
+}
+
+let make_shared config =
+  {
+    config;
+    cache = Rpq_compile.create ();
+    graph = Atomic.make None;
+    graph_lock = Mutex.create ();
+  }
+
+let shared_config sh = sh.config
+let shared_cache sh = sh.cache
+let graph_loaded sh = Atomic.get sh.graph <> None
+
+type t = {
+  shared : shared;
   mutable retry : Retry.policy;
   breakers : Breaker.Group.t;
-  mutable pg : Pg.t option;
   mutable max_steps : int option;
   mutable max_results : int option;
   mutable timeout : float option;
-  cache : Rpq_compile.t;
-      (* per-session compilation cache; its graph-dependent entries are
-         generation-invalidated on every [load] *)
+  register_gov : Governor.t -> unit -> unit;
+      (* watchdog hook: called with each governor as its evaluation
+         starts, returns the matching unregister thunk *)
+  extra_stats : unit -> jfield list;
 }
 
-(* --- JSON rendering ------------------------------------------------------ *)
+let create ?(register_gov = fun _ () -> ()) ?(extra_stats = fun () -> [])
+    shared =
+  let config = shared.config in
+  {
+    shared;
+    retry =
+      {
+        Retry.default with
+        Retry.max_attempts = max 1 config.retries;
+        base_delay = 0.001;
+        max_delay = 0.1;
+        budget = 1.0;
+      };
+    breakers =
+      Breaker.Group.create ~obs:config.obs
+        ~config:
+          {
+            Breaker.failure_threshold = max 1 config.breaker_threshold;
+            cooldown = config.breaker_cooldown;
+            success_threshold = 1;
+          }
+        ();
+    max_steps = config.initial_max_steps;
+    max_results = config.initial_max_results;
+    timeout = config.initial_timeout;
+    register_gov;
+    extra_stats;
+  }
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+(* Work done by the current request, for the server's per-client budget
+   accounting.  One ctx per request, touched only by the worker domain
+   running it. *)
+type ctx = { mutable spent : int }
 
-(* A reply is an ordered list of key/rendered-value pairs. *)
-type jfield = string * string
-
-let jstr s = Printf.sprintf "\"%s\"" (json_escape s)
-let jint = string_of_int
-let jbool = string_of_bool
-
-let jobj fields =
-  "{"
-  ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ v) fields)
-  ^ "}"
-
-let jarr items = "[" ^ String.concat "," items ^ "]"
+(* --- reply rendering ------------------------------------------------------ *)
 
 let reply id cmd ~status ~code (extra : jfield list) =
+  (* The cmd field echoes client input (e.g. an unknown verb); bound it
+     so a junk line of tens of kilobytes cannot balloon the reply — a
+     flooding client must never dictate how much the server writes
+     back. *)
+  let cmd = if String.length cmd > 64 then String.sub cmd 0 64 else cmd in
   jobj
-    ((("id", jint id) :: ("cmd", jstr cmd) :: ("status", jstr status)
-     :: ("code", jint code) :: extra))
+    (("id", jint id) :: ("cmd", jstr cmd) :: ("status", jstr status)
+    :: ("code", jint code) :: extra)
 
 let error_fields ?(attempts = 0) err =
   [
@@ -108,24 +170,83 @@ let error_reply id cmd ?attempts err =
   reply id cmd ~status:"error" ~code:(Gq_error.exit_code err)
     (error_fields ?attempts err)
 
+(* Structured load-shedding reply: the admission controller answers
+   instead of evaluating.  "code":4 (the budget exit code — the server,
+   not the query, is out of budget); clients should back off for
+   [retry_after_ms] before resending. *)
+let shed_reply ~id ~cmd ~reason ~retry_after_ms =
+  reply id cmd ~status:"shed" ~code:4
+    [
+      ("degraded", jbool true);
+      ("reason", jstr reason);
+      ("retry_after_ms", jint retry_after_ms);
+    ]
+
+let parse_error id cmd msg =
+  error_reply id cmd (Gq_error.Parse { what = "command"; msg })
+
+(* Structured replies for frames the wire layer rejected before they
+   could become commands. *)
+let frame_error_reply ~id frame =
+  match frame with
+  | Wire.Too_long limit ->
+      parse_error id "input" (Printf.sprintf "line exceeds %d bytes" limit)
+  | Wire.Bad_utf8 -> parse_error id "input" "line is not valid UTF-8"
+  | Wire.Line _ -> invalid_arg "frame_error_reply: not an error frame"
+
 (* --- supervised evaluation ----------------------------------------------- *)
 
+let min_opt a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (min a b)
+
+let min_opt_f a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (Float.min a b)
+
+(* Effective budgets: the client's own settings clamped by the
+   server-wide ceilings (a client may lower its budgets below the
+   ceiling, never raise them above it). *)
+(* Session governors always carry a cancel flag: the watchdog may cancel
+   them, and — crucially — a cancellable governor is never [limitless],
+   so its step counter runs even when the client set no caps.  Budget
+   accounting ([ctx.spent], the server's per-client token bucket) relies
+   on that: a hostile client must be charged for work it causes whether
+   or not it opted into limits. *)
 let governor_of sess () =
-  Governor.make ~obs:sess.config.obs ?max_steps:sess.max_steps
-    ?max_results:sess.max_results ?timeout:sess.timeout ()
+  let c = sess.shared.config in
+  Governor.make ~obs:c.obs
+    ?max_steps:(min_opt sess.max_steps c.ceiling_max_steps)
+    ?max_results:(min_opt sess.max_results c.ceiling_max_results)
+    ?timeout:(min_opt_f sess.timeout c.ceiling_timeout)
+    ~cancel:(ref false) ()
+
+(* Wrap [body] so that whatever governor it runs under — per-attempt
+   from [governor_of], or the small degraded governor [Supervise]
+   builds when a breaker rejects — is registered with the watchdog for
+   its duration and has its step count charged to the request. *)
+let governed sess ctx body gov =
+  let unregister = sess.register_gov gov in
+  Fun.protect
+    ~finally:(fun () ->
+      ctx.spent <- ctx.spent + Governor.steps gov;
+      unregister ())
+    (fun () ->
+      Failpoint.check "serve.eval";
+      body gov)
 
 (* Run [body] under the session's budgets, retry policy and the [cls]
    breaker; render the supervised outcome.  [body] returns the answers
    as display strings. *)
-let supervised sess id ~cls body =
+let supervised sess ctx id ~cls body =
   let breaker = Breaker.Group.get sess.breakers cls in
   let sup =
-    Supervise.run ~obs:sess.config.obs ~retry:sess.retry ~breaker
-      ~degraded_max_steps:sess.config.degraded_max_steps
+    Supervise.run ~obs:sess.shared.config.obs ~retry:sess.retry ~breaker
+      ~degraded_max_steps:sess.shared.config.degraded_max_steps
       ~gov:(governor_of sess)
-      (fun gov ->
-        Failpoint.check "serve.eval";
-        body gov)
+      (governed sess ctx body)
   in
   match sup.Supervise.outcome with
   | Error err -> error_reply id cls ~attempts:sup.Supervise.attempts err
@@ -152,7 +273,7 @@ let supervised sess id ~cls body =
           ])
 
 let graph_or_fail sess =
-  match sess.pg with
+  match Atomic.get sess.shared.graph with
   | Some pg -> pg
   | None -> raise (Gq_error.Error (Gq_error.Eval "no graph loaded"))
 
@@ -163,28 +284,32 @@ let node_id_or_fail g name =
 
 (* --- commands ------------------------------------------------------------ *)
 
-let cmd_load sess id path =
+let cmd_load sess ctx id path =
   let breaker = Breaker.Group.get sess.breakers "load" in
   let sup =
-    Supervise.run ~obs:sess.config.obs ~retry:sess.retry ~breaker
-      ~degraded_max_steps:sess.config.degraded_max_steps
+    Supervise.run ~obs:sess.shared.config.obs ~retry:sess.retry ~breaker
+      ~degraded_max_steps:sess.shared.config.degraded_max_steps
       ~gov:(governor_of sess)
-      (fun _gov ->
-        Failpoint.check "serve.eval";
-        match Graph_io.parse_file_res path with
-        | Ok pg -> Governor.Complete pg
-        | Error err -> raise (Gq_error.Error err))
+      (governed sess ctx (fun _gov ->
+           match Graph_io.parse_file_res path with
+           | Ok pg -> Governor.Complete pg
+           | Error err -> raise (Gq_error.Error err)))
   in
   match sup.Supervise.outcome with
   | Error err -> error_reply id "load" ~attempts:sup.Supervise.attempts err
   | Ok outcome -> (
       match outcome with
       | Governor.Complete pg | Governor.Partial (pg, _) ->
-          sess.pg <- Some pg;
           let g = Pg.elg pg in
-          (* Bump the cache generation: plans (query-only) survive,
-             products built against the previous graph are dropped. *)
-          Rpq_compile.set_generation sess.cache (Elg.id g);
+          (* Publish snapshot and cache generation as a pair: plans
+             (query-only) survive, products built against the previous
+             graph are dropped.  Parsing cost isn't governor-ticked, so
+             charge the request its edge count for budget accounting. *)
+          Mutex.lock sess.shared.graph_lock;
+          Atomic.set sess.shared.graph (Some pg);
+          Rpq_compile.set_generation sess.shared.cache (Elg.id g);
+          Mutex.unlock sess.shared.graph_lock;
+          ctx.spent <- ctx.spent + Elg.nb_edges g;
           reply id "load" ~status:"ok" ~code:0
             [
               ("degraded", jbool sup.Supervise.degraded);
@@ -196,49 +321,55 @@ let cmd_load sess id path =
           error_reply id "load" ~attempts:sup.Supervise.attempts
             (Gq_error.Budget r))
 
-let cmd_rpq sess id src =
-  match Rpq_compile.compile ~obs:sess.config.obs sess.cache src with
+let cmd_rpq sess ctx id src =
+  let obs = sess.shared.config.obs in
+  match Rpq_compile.compile ~obs sess.shared.cache src with
   | Error err -> error_reply id "rpq" err
   | Ok c ->
-      supervised sess id ~cls:"rpq" (fun gov ->
+      supervised sess ctx id ~cls:"rpq" (fun gov ->
           let g = Pg.elg (graph_or_fail sess) in
           Governor.map
             (List.map (fun (u, v) ->
                  Elg.node_name g u ^ " -> " ^ Elg.node_name g v))
-            (Rpq_compile.pairs_bounded ~obs:sess.config.obs sess.cache gov g c))
+            (Rpq_compile.pairs_bounded ~obs sess.shared.cache gov g c))
 
-let cmd_rpq_from sess id node src =
-  match Rpq_compile.compile ~obs:sess.config.obs sess.cache src with
+let cmd_rpq_from sess ctx id node src =
+  let obs = sess.shared.config.obs in
+  match Rpq_compile.compile ~obs sess.shared.cache src with
   | Error err -> error_reply id "rpq-from" err
   | Ok c ->
-      supervised sess id ~cls:"rpq-from" (fun gov ->
+      supervised sess ctx id ~cls:"rpq-from" (fun gov ->
           let g = Pg.elg (graph_or_fail sess) in
           let src_id = node_id_or_fail g node in
           Governor.map
             (List.map (Elg.node_name g))
-            (Rpq_compile.from_source_bounded ~obs:sess.config.obs sess.cache
-               gov g c ~src:src_id))
+            (Rpq_compile.from_source_bounded ~obs sess.shared.cache gov g c
+               ~src:src_id))
 
-let cmd_shortest sess id src_name tgt_name regex =
+let cmd_shortest sess ctx id src_name tgt_name regex =
   match Rpq_parse.parse_res regex with
   | Error err -> error_reply id "shortest" err
   | Ok r ->
-      supervised sess id ~cls:"shortest" (fun gov ->
+      supervised sess ctx id ~cls:"shortest" (fun gov ->
           let g = Pg.elg (graph_or_fail sess) in
           let src = node_id_or_fail g src_name in
           let tgt = node_id_or_fail g tgt_name in
           Governor.map
             (List.map (Path.to_string g))
-            (Path_modes.shortest_bounded ~obs:sess.config.obs gov g r ~src ~tgt))
+            (Path_modes.shortest_bounded ~obs:sess.shared.config.obs gov g r
+               ~src ~tgt))
 
-let cmd_query sess id src =
+let cmd_query sess ctx id src =
   match Gql_query.parse_res src with
   | Error err -> error_reply id "query" err
   | Ok q ->
-      supervised sess id ~cls:"query" (fun gov ->
+      supervised sess ctx id ~cls:"query" (fun gov ->
           let pg = graph_or_fail sess in
           let g = Pg.elg pg in
-          match Gql_query.eval_bounded ~max_len:8 ~obs:sess.config.obs gov pg q with
+          match
+            Gql_query.eval_bounded ~max_len:8 ~obs:sess.shared.config.obs gov
+              pg q
+          with
           | outcome ->
               Governor.map
                 (fun rel ->
@@ -300,20 +431,19 @@ let cmd_stats sess id =
       (Breaker.Group.all sess.breakers)
   in
   reply id "stats" ~status:"ok" ~code:0
-    [
-      ("graph", jbool (sess.pg <> None));
-      ("breakers", jobj breakers);
-      ( "failpoints",
-        jobj
-          (List.map
-             (fun (site, p) -> (site, jstr (Failpoint.policy_to_string p)))
-             (Failpoint.armed ())) );
-      ("plan", jobj (plan_cache_fields sess.cache));
-    ]
+    ([
+       ("graph", jbool (graph_loaded sess.shared));
+       ("breakers", jobj breakers);
+       ( "failpoints",
+         jobj
+           (List.map
+              (fun (site, p) -> (site, jstr (Failpoint.policy_to_string p)))
+              (Failpoint.armed ())) );
+       ("plan", jobj (plan_cache_fields sess.shared.cache));
+     ]
+    @ sess.extra_stats ())
 
 (* --- plan (EXPLAIN) ------------------------------------------------------ *)
-
-let jfloat x = Printf.sprintf "%.1f" x
 
 let render_term = function
   | Crpq.TVar v -> v
@@ -432,11 +562,13 @@ let plan_fields ?(obs = Obs.none) cache g text =
             ])
 
 let cmd_plan sess id text =
-  match sess.pg with
-  | None ->
-      error_reply id "plan" (Gq_error.Eval "no graph loaded")
+  match Atomic.get sess.shared.graph with
+  | None -> error_reply id "plan" (Gq_error.Eval "no graph loaded")
   | Some pg -> (
-      match plan_fields ~obs:sess.config.obs sess.cache (Pg.elg pg) text with
+      match
+        plan_fields ~obs:sess.shared.config.obs sess.shared.cache (Pg.elg pg)
+          text
+      with
       | Error err -> error_reply id "plan" err
       | Ok fields -> reply id "plan" ~status:"ok" ~code:0 fields)
 
@@ -451,10 +583,7 @@ let split_first line =
       ( String.sub line 0 i,
         String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
 
-let parse_error id cmd msg =
-  error_reply id cmd (Gq_error.Parse { what = "command"; msg })
-
-let handle sess id line =
+let handle sess ctx id line =
   let verb, rest = split_first line in
   match verb with
   | "ping" -> Reply (reply id "ping" ~status:"ok" ~code:0 [])
@@ -462,26 +591,26 @@ let handle sess id line =
   | "stats" -> Reply (cmd_stats sess id)
   | "load" ->
       if rest = "" then Reply (parse_error id "load" "load: missing path")
-      else Reply (cmd_load sess id rest)
+      else Reply (cmd_load sess ctx id rest)
   | "rpq" ->
       if rest = "" then Reply (parse_error id "rpq" "rpq: missing regex")
-      else Reply (cmd_rpq sess id rest)
+      else Reply (cmd_rpq sess ctx id rest)
   | "rpq-from" -> (
       match split_first rest with
       | node, regex when node <> "" && regex <> "" ->
-          Reply (cmd_rpq_from sess id node regex)
+          Reply (cmd_rpq_from sess ctx id node regex)
       | _ -> Reply (parse_error id "rpq-from" "rpq-from: expected NODE REGEX"))
   | "shortest" -> (
       match split_first rest with
       | src, rest' when src <> "" -> (
           match split_first rest' with
           | tgt, regex when tgt <> "" && regex <> "" ->
-              Reply (cmd_shortest sess id src tgt regex)
+              Reply (cmd_shortest sess ctx id src tgt regex)
           | _ -> Reply (parse_error id "shortest" "shortest: expected SRC TGT REGEX"))
       | _ -> Reply (parse_error id "shortest" "shortest: expected SRC TGT REGEX"))
   | "query" ->
       if rest = "" then Reply (parse_error id "query" "query: missing query text")
-      else Reply (cmd_query sess id rest)
+      else Reply (cmd_query sess ctx id rest)
   | "plan" ->
       if rest = "" then Reply (parse_error id "plan" "plan: missing query text")
       else Reply (cmd_plan sess id rest)
@@ -489,61 +618,23 @@ let handle sess id line =
       match split_first rest with
       | key, value when key <> "" && value <> "" -> Reply (cmd_set sess id key value)
       | _ -> Reply (parse_error id "set" "set: expected KEY VALUE"))
-  | verb -> Reply (parse_error id verb (Printf.sprintf "unknown command %S" verb))
+  | verb ->
+      (* Bound the echoed verb: error messages must stay small no matter
+         how long the junk line was. *)
+      let shown =
+        if String.length verb > 64 then String.sub verb 0 64 ^ "..." else verb
+      in
+      Reply (parse_error id verb (Printf.sprintf "unknown command %S" shown))
 
 (* The outermost safety net: if command handling itself blows up (a bug,
    an injected fault at an unsupervised site, a signal-free OOM), the
-   session still answers with a structured error and keeps serving. *)
-let handle_safe sess id line =
-  try handle sess id line
-  with e -> Reply (error_reply id "internal" (Gq_error.of_exn e))
-
-let run config =
-  let sess =
-    {
-      config;
-      retry =
-        {
-          Retry.default with
-          Retry.max_attempts = max 1 config.retries;
-          base_delay = 0.001;
-          max_delay = 0.1;
-          budget = 1.0;
-        };
-      breakers =
-        Breaker.Group.create ~obs:config.obs
-          ~config:
-            {
-              Breaker.failure_threshold = max 1 config.breaker_threshold;
-              cooldown = config.breaker_cooldown;
-              success_threshold = 1;
-            }
-          ();
-      pg = None;
-      max_steps = config.initial_max_steps;
-      max_results = config.initial_max_results;
-      timeout = config.initial_timeout;
-      cache = Rpq_compile.create ();
-    }
+   session still answers with a structured error and keeps serving.
+   Returns the action plus the governed work (steps) the request spent,
+   for the server's per-client token-bucket accounting. *)
+let handle_safe sess ~id line =
+  let ctx = { spent = 0 } in
+  let action =
+    try handle sess ctx id line
+    with e -> Reply (error_reply id "internal" (Gq_error.of_exn e))
   in
-  let emit s =
-    print_string s;
-    print_newline ();
-    flush stdout
-  in
-  let rec loop id =
-    match input_line stdin with
-    | exception End_of_file -> ()
-    | line -> (
-        let line = String.trim line in
-        if line = "" || line.[0] = '#' then loop id
-        else
-          let id = id + 1 in
-          match handle_safe sess id line with
-          | Silent -> loop id
-          | Reply s ->
-              emit s;
-              loop id
-          | Quit s -> emit s)
-  in
-  loop 0
+  (action, ctx.spent)

@@ -1,0 +1,97 @@
+(** One serve-protocol session: command dispatch behind both
+    [gqd --serve] (single stdio session) and [gqd --listen] (one
+    session per client over shared state).
+
+    A session owns everything one client may mutate — retry policy,
+    budgets, per-query-class breakers — while the graph snapshot and
+    the compilation cache live in the {!shared} record, safe to use
+    from every worker domain: the snapshot is an atomically published
+    immutable value ([load] swaps it together with the cache-generation
+    bump), and the cache synchronises internally.
+
+    Reply shape and field order are fixed (see README "Serving"): the
+    stdio transcripts are byte-stable golden files. *)
+
+(** {1 Configuration and shared state} *)
+
+type config = {
+  retries : int;
+  breaker_threshold : int;
+  breaker_cooldown : float;
+  degraded_max_steps : int;
+  initial_max_steps : int option;
+  initial_max_results : int option;
+  initial_timeout : float option;
+  ceiling_max_steps : int option;
+      (** server-wide clamp: a client's [set max-steps] cannot exceed it *)
+  ceiling_max_results : int option;
+  ceiling_timeout : float option;
+  obs : Obs.t;
+}
+
+val default_config : config
+
+(** State shared by every session of one server process: config, the
+    compilation cache, and the published graph snapshot. *)
+type shared
+
+val make_shared : config -> shared
+val shared_config : shared -> config
+val shared_cache : shared -> Rpq_compile.t
+val graph_loaded : shared -> bool
+
+(** {1 Sessions} *)
+
+type t
+
+(** [register_gov] is the watchdog hook: called with each governor as
+    its evaluation starts (including the degraded rescue governor),
+    returning the matching unregister thunk.  [extra_stats] fields are
+    appended to every [stats] reply (the server adds a ["server"]
+    object). *)
+val create :
+  ?register_gov:(Governor.t -> unit -> unit) ->
+  ?extra_stats:(unit -> Wire.jfield list) ->
+  shared ->
+  t
+
+type action =
+  | Reply of string
+  | Silent
+  | Quit of string  (** final reply; the session is over *)
+
+(** Dispatch one command line.  Never raises: even a bug in handling
+    answers a structured ["internal"] error.  Also returns the governed
+    work (steps) the request spent, for per-client budget accounting. *)
+val handle_safe : t -> id:int -> string -> action * int
+
+(** First space-separated token and trimmed remainder. *)
+val split_first : string -> string * string
+
+(** {1 Reply rendering} *)
+
+val reply :
+  int -> string -> status:string -> code:int -> Wire.jfield list -> string
+
+val error_reply : int -> string -> ?attempts:int -> Gq_error.t -> string
+
+(** Structured load-shedding reply ([status:"shed"], [code:4]): the
+    admission controller answers instead of evaluating; clients should
+    back off [retry_after_ms] before resending. *)
+val shed_reply :
+  id:int -> cmd:string -> reason:string -> retry_after_ms:int -> string
+
+(** Structured reply for a frame the wire layer rejected (over-long or
+    non-UTF-8 input).  @raise Invalid_argument on [Wire.Line]. *)
+val frame_error_reply : id:int -> Wire.frame -> string
+
+(** {1 EXPLAIN} *)
+
+(** The EXPLAIN payload fields, shared by the serve [plan] command and
+    the one-shot [gqd plan] subcommand. *)
+val plan_fields :
+  ?obs:Obs.t ->
+  Rpq_compile.t ->
+  Elg.t ->
+  string ->
+  (Wire.jfield list, Gq_error.t) result

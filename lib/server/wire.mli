@@ -1,0 +1,59 @@
+(** Serve-protocol wire layer: JSON rendering, bounded newline framing,
+    UTF-8 validation, and partial-write-safe output.
+
+    This is the robustness boundary of the server: an endless line
+    cannot grow an unbounded buffer (it becomes one {!Too_long} frame),
+    binary garbage cannot corrupt the JSON reply stream (it becomes
+    {!Bad_utf8}), and a reply spanning several socket buffers is never
+    truncated by a short [write]. *)
+
+(** {1 JSON rendering} *)
+
+(** A reply is an ordered list of key/rendered-value pairs — field
+    order in the output is exactly list order. *)
+type jfield = string * string
+
+val json_escape : string -> string
+val jstr : string -> string
+val jint : int -> string
+val jbool : bool -> string
+val jfloat : float -> string
+val jobj : jfield list -> string
+val jarr : string list -> string
+
+(** {1 Framing} *)
+
+(** [true] iff well-formed UTF-8 (RFC 3629): no overlongs, no
+    surrogates, nothing above U+10FFFF. *)
+val utf8_valid : string -> bool
+
+type frame =
+  | Line of string  (** a complete, length-bounded, valid-UTF-8 line *)
+  | Too_long of int  (** a line exceeded the bound; payload discarded *)
+  | Bad_utf8  (** a complete line that is not well-formed UTF-8 *)
+
+(** Incremental newline framer with a hard per-line length bound. *)
+module Framer : sig
+  type t
+
+  val create : ?max_line:int -> unit -> t
+
+  (** [feed t bytes len] consumes [len] bytes, returning the complete
+      frames oldest-first.  An over-long line buffers at most
+      [max_line] bytes and yields exactly one [Too_long]. *)
+  val feed : t -> bytes -> int -> frame list
+
+  (** At EOF: the unterminated remainder as a final frame, if any — a
+      command file without a trailing newline still runs its last
+      command. *)
+  val flush : t -> frame option
+end
+
+(** {1 Output} *)
+
+(** Write the whole string: loops on short writes, retries [EINTR];
+    [Error `Closed] on any write error ([EPIPE], [ECONNRESET], ...) —
+    the peer is gone, drop that client only.  Serve-mode entry points
+    ignore [SIGPIPE] so the error is reported here instead of killing
+    the process. *)
+val write_all : Unix.file_descr -> string -> (unit, [ `Closed ]) result

@@ -1,0 +1,101 @@
+#!/bin/sh
+# Concurrent-load smoke for `gqd --listen`: one server, one hostile
+# client (expensive queries, oversized lines, binary garbage) and six
+# well-behaved clients hammering it at the same time.  Fatal if any
+# well-behaved reply is dropped, garbled, shed, or an error, and the
+# final SIGTERM drain must exit 0 and unlink the socket.  Run by
+# `make check-serve` at GQ_DOMAINS=1 and 4.
+set -eu
+
+GQD=$1
+GQD_ABS=$(cd "$(dirname "$GQD")" && pwd)/$(basename "$GQD")
+tmp=$(mktemp -d)
+SRV=
+trap 'kill "${SRV:-}" 2> /dev/null || true; rm -rf "$tmp"' EXIT
+
+"$GQD_ABS" demo > "$tmp/bank.graph"
+SOCK="$tmp/gq.sock"
+
+( cd "$tmp" && GQ_FAILPOINTS= exec "$GQD_ABS" --listen "unix:$SOCK" \
+    --queue-depth 256 > /dev/null 2> "$tmp/server.err" ) &
+SRV=$!
+i=0
+while [ ! -S "$SOCK" ]; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] || { echo "serve-smoke: server socket never appeared" >&2; exit 1; }
+  sleep 0.05
+done
+
+# Seed the shared snapshot once; every client then queries it.
+printf 'load bank.graph\n' | "$GQD_ABS" client "unix:$SOCK" > "$tmp/load.out"
+grep -q '"status":"ok"' "$tmp/load.out" \
+  || { echo "serve-smoke: load failed" >&2; cat "$tmp/load.out" >&2; exit 1; }
+
+# The well-behaved mix: synchronous clients, one reply per line.
+j=0
+while [ $j -lt 5 ]; do
+  printf 'ping\nrpq Transfer*\nrpq-from a1 Transfer*\nshortest a1 a3 Transfer*\nquery MATCH (x:Account)-[:Transfer]->(y) RETURN x.owner, y.owner\n'
+  j=$((j + 1))
+done > "$tmp/cmds.txt"
+total=$(wc -l < "$tmp/cmds.txt")
+
+# The hostile pipeline: floods without reading, mixing expensive
+# queries with frames the wire layer must reject.
+k=0
+while [ $k -lt 20 ]; do
+  printf 'rpq (Transfer.Transfer)*\n'
+  head -c 30000 /dev/zero | tr '\0' 'z'
+  printf '\n'
+  printf '\303\050\n'
+  printf 'no-such-command\n'
+  k=$((k + 1))
+done > "$tmp/hostile.txt"
+"$GQD_ABS" client "unix:$SOCK" --pipeline \
+  < "$tmp/hostile.txt" > "$tmp/hostile.out" 2>&1 || true &
+HPID=$!
+
+pids=
+c=0
+while [ $c -lt 6 ]; do
+  "$GQD_ABS" client "unix:$SOCK" < "$tmp/cmds.txt" > "$tmp/wb$c.out" &
+  pids="$pids $!"
+  c=$((c + 1))
+done
+for p in $pids; do
+  wait "$p" || { echo "serve-smoke: well-behaved client exited nonzero" >&2; exit 1; }
+done
+wait "$HPID" || true
+
+# Every well-behaved reply arrived, parses, and succeeded.
+c=0
+while [ $c -lt 6 ]; do
+  got=$(wc -l < "$tmp/wb$c.out")
+  [ "$got" -eq "$total" ] \
+    || { echo "serve-smoke: client $c got $got of $total replies" >&2; exit 1; }
+  bad=$(grep -cv '^{"id":[0-9][0-9]*,"cmd":"[a-z-]*","status":"' "$tmp/wb$c.out" || true)
+  [ "$bad" -eq 0 ] \
+    || { echo "serve-smoke: client $c has $bad garbled replies" >&2; cat "$tmp/wb$c.out" >&2; exit 1; }
+  shed=$(grep -c '"status":"shed"' "$tmp/wb$c.out" || true)
+  [ "$shed" -eq 0 ] \
+    || { echo "serve-smoke: well-behaved client $c was shed $shed times" >&2; exit 1; }
+  errs=$(grep -c '"status":"error"' "$tmp/wb$c.out" || true)
+  [ "$errs" -eq 0 ] \
+    || { echo "serve-smoke: client $c got $errs error replies" >&2; cat "$tmp/wb$c.out" >&2; exit 1; }
+  c=$((c + 1))
+done
+
+# The hostile client was answered, not crashed into: it must have seen
+# at least one structured reply per line it managed to deliver.
+grep -q '"status":"error"' "$tmp/hostile.out" \
+  || { echo "serve-smoke: hostile client saw no structured errors" >&2; exit 1; }
+
+kill -TERM "$SRV"
+wait "$SRV" || {
+  echo "serve-smoke: drain exited nonzero" >&2
+  cat "$tmp/server.err" >&2
+  exit 1
+}
+SRV=
+[ ! -S "$SOCK" ] || { echo "serve-smoke: drain left the socket behind" >&2; exit 1; }
+
+echo "serve-smoke: 6 clients x $total replies clean under hostile load (GQ_DOMAINS=${GQ_DOMAINS:-default})"

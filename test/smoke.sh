@@ -7,7 +7,7 @@ set -eu
 
 GQD="$1"
 tmp=$(mktemp -d)
-trap 'rm -rf "$tmp"' EXIT
+trap 'kill "${SRV:-}" 2> /dev/null || true; rm -rf "$tmp"' EXIT
 
 run_expect() {
   expected=$1
@@ -201,5 +201,76 @@ set -e
   exit 1
 }
 check_golden serve_plan.out "$tmp/serve_plan.out"
+
+# --- gqd --listen: the concurrent multi-client server ---------------------
+# Transcript 4: admission control over a unix socket.  Everything that
+# reaches this transcript is deterministic: sheds are decided by
+# counters (connection cap, in-flight quota), not timing, and the
+# 200 ms evaluation delay only holds a request in flight long enough
+# for the pipelined overflow to arrive behind it.
+
+SOCK="$tmp/gq.sock"
+SRV=
+
+wait_sock() {
+  i=0
+  while [ ! -S "$1" ]; do
+    i=$((i + 1))
+    [ "$i" -le 100 ] || { echo "smoke: server socket never appeared" >&2; exit 1; }
+    sleep 0.05
+  done
+}
+
+: > "$tmp/serve_server.out"
+
+# (a) A zero-capacity server answers the connection itself with a
+#     structured shed reply and closes it; draining it exits 0.
+GQ_FAILPOINTS= GQ_PLAN=on GQ_PLAN_CACHE=on \
+  "$GQD_ABS" --listen "unix:$SOCK" --max-clients 0 \
+  > /dev/null 2> "$tmp/serve_server.err" &
+SRV=$!
+wait_sock "$SOCK"
+printf 'ping\n' | GQ_FAILPOINTS= "$GQD_ABS" client "unix:$SOCK" --pipeline \
+  >> "$tmp/serve_server.out"
+kill -TERM "$SRV"
+wait "$SRV" || {
+  echo "smoke: --max-clients 0 server exited nonzero" >&2
+  cat "$tmp/serve_server.err" >&2
+  exit 1
+}
+
+# (b) One worker, a one-request in-flight quota, and a 200 ms delay per
+#     evaluation: a pipelined burst gets its head admitted and the
+#     overflow shed with structured retry hints.  The graph one client
+#     loads is the shared snapshot — a second client queries it without
+#     loading.  Finally SIGTERM lands while a request is mid-evaluation:
+#     graceful drain still delivers that reply, exits 0, and unlinks
+#     the socket.
+( cd "$tmp" && GQ_FAILPOINTS="serve.eval=delay:200" GQ_PLAN=on GQ_PLAN_CACHE=on \
+  exec "$GQD_ABS" --listen "unix:$SOCK" --workers 1 --client-inflight 1 \
+  > /dev/null 2> "$tmp/serve_server.err" ) &
+SRV=$!
+wait_sock "$SOCK"
+printf 'load bank.graph\nrpq Transfer*\nrpq Transfer*\n' \
+  | GQ_FAILPOINTS= "$GQD_ABS" client "unix:$SOCK" --pipeline \
+  >> "$tmp/serve_server.out"
+printf 'rpq-from a1 Transfer*\n' \
+  | GQ_FAILPOINTS= "$GQD_ABS" client "unix:$SOCK" \
+  >> "$tmp/serve_server.out"
+printf 'shortest a1 a3 Transfer*\n' \
+  | GQ_FAILPOINTS= "$GQD_ABS" client "unix:$SOCK" --pipeline \
+  >> "$tmp/serve_server.out" &
+CLI=$!
+sleep 0.1
+kill -TERM "$SRV"
+wait "$CLI" || { echo "smoke: client lost its in-flight reply" >&2; exit 1; }
+wait "$SRV" || {
+  echo "smoke: drain exited nonzero" >&2
+  cat "$tmp/serve_server.err" >&2
+  exit 1
+}
+[ ! -S "$SOCK" ] || { echo "smoke: drain left the socket behind" >&2; exit 1; }
+SRV=
+check_golden serve_server.out "$tmp/serve_server.out"
 
 echo "smoke: all CLI checks passed"

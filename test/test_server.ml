@@ -1,0 +1,508 @@
+(* Concurrent serve mode: wire framing, the admission queue, the
+   wall-clock watchdog, and whole-server behaviour over real sockets —
+   quotas, shedding, budget isolation, graceful drain — plus a QCheck
+   property pinning the concurrent server to the single-session
+   semantics query by query.
+
+   Every server here listens on a loopback TCP socket with port 0 (the
+   kernel picks a free port), so tests are sandbox-friendly and never
+   collide. *)
+
+let ( let@ ) f x = f x
+
+(* --- fixtures ------------------------------------------------------------- *)
+
+let bank_file =
+  lazy
+    (let path = Filename.temp_file "gq_bank" ".graph" in
+     let oc = open_out path in
+     output_string oc (Graph_io.to_string (Generators.bank_pg ()));
+     close_out oc;
+     path)
+
+(* A 200-edge line graph: enough work that [rpq a*] costs thousands of
+   governor steps — the expensive query of the budget tests. *)
+let line_file =
+  lazy
+    (let path = Filename.temp_file "gq_line" ".graph" in
+     let oc = open_out path in
+     for i = 0 to 200 do Printf.fprintf oc "node n%d N\n" i done;
+     for i = 0 to 199 do Printf.fprintf oc "edge e%d n%d a n%d\n" i i (i + 1) done;
+     close_out oc;
+     path)
+
+(* --- wire ----------------------------------------------------------------- *)
+
+let feed_string ?max_line s =
+  let f = Wire.Framer.create ?max_line () in
+  let frames = Wire.Framer.feed f (Bytes.of_string s) (String.length s) in
+  (frames, Wire.Framer.flush f)
+
+let test_framer_lines () =
+  let frames, tail = feed_string "ping\nstats\n" in
+  Alcotest.(check int) "two frames" 2 (List.length frames);
+  (match frames with
+  | [ Wire.Line a; Wire.Line b ] ->
+      Alcotest.(check string) "first" "ping" a;
+      Alcotest.(check string) "second" "stats" b
+  | _ -> Alcotest.fail "expected two Line frames");
+  Alcotest.(check bool) "no tail" true (tail = None)
+
+let test_framer_split_feed () =
+  let f = Wire.Framer.create () in
+  let all = "load x.graph\nrpq a*\n" in
+  let frames = ref [] in
+  String.iter
+    (fun c ->
+      frames :=
+        !frames @ Wire.Framer.feed f (Bytes.make 1 c) 1)
+    all;
+  match !frames with
+  | [ Wire.Line a; Wire.Line b ] ->
+      Alcotest.(check string) "first" "load x.graph" a;
+      Alcotest.(check string) "second" "rpq a*" b
+  | _ -> Alcotest.fail "byte-by-byte feed must yield the same frames"
+
+let test_framer_too_long () =
+  let frames, _ =
+    feed_string ~max_line:8 (String.make 100 'x' ^ "\nping\n")
+  in
+  match frames with
+  | [ Wire.Too_long n; Wire.Line p ] ->
+      Alcotest.(check int) "reported bound" 8 n;
+      Alcotest.(check string) "next line survives" "ping" p
+  | _ -> Alcotest.fail "expected Too_long then Line"
+
+let test_framer_eof_tail () =
+  let frames, tail = feed_string "quit" in
+  Alcotest.(check int) "no complete frame" 0 (List.length frames);
+  match tail with
+  | Some (Wire.Line l) -> Alcotest.(check string) "flushed tail" "quit" l
+  | _ -> Alcotest.fail "expected flushed Line"
+
+let test_utf8 () =
+  let valid = [ ""; "ascii"; "caf\xc3\xa9"; "\xe2\x82\xac"; "\xf0\x9f\x90\xab" ] in
+  let invalid =
+    [ "\xff"; "\xc0\xaf" (* overlong *); "\xed\xa0\x80" (* surrogate *);
+      "\xf4\x90\x80\x80" (* > U+10FFFF *); "\xc3" (* truncated *) ]
+  in
+  List.iter
+    (fun s -> Alcotest.(check bool) ("valid " ^ String.escaped s) true (Wire.utf8_valid s))
+    valid;
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("invalid " ^ String.escaped s) false (Wire.utf8_valid s))
+    invalid;
+  let frames, _ = feed_string "\xff\xfe\n" in
+  match frames with
+  | [ Wire.Bad_utf8 ] -> ()
+  | _ -> Alcotest.fail "expected Bad_utf8 frame"
+
+(* --- admission ------------------------------------------------------------ *)
+
+let test_admission_bounds () =
+  let q = Admission.create ~capacity:2 () in
+  Alcotest.(check bool) "push 1" true (Admission.push q 1 = `Ok);
+  Alcotest.(check bool) "push 2" true (Admission.push q 2 = `Ok);
+  Alcotest.(check bool) "push 3 full" true (Admission.push q 3 = `Full);
+  Alcotest.(check int) "depth" 2 (Admission.depth q);
+  Alcotest.(check bool) "pop fifo" true (Admission.pop q = Some 1);
+  Alcotest.(check bool) "room again" true (Admission.push q 3 = `Ok);
+  Admission.close q;
+  Alcotest.(check bool) "push after close" true (Admission.push q 4 = `Closed);
+  Alcotest.(check bool) "drain 2" true (Admission.pop q = Some 2);
+  Alcotest.(check bool) "drain 3" true (Admission.pop q = Some 3);
+  Alcotest.(check bool) "closed+empty" true (Admission.pop q = None)
+
+(* Concurrent producers and consumers: every successfully pushed item is
+   popped exactly once, and closing wakes every blocked consumer. *)
+let test_admission_concurrent () =
+  let q = Admission.create ~capacity:8 () in
+  let pushed = Atomic.make 0 and popped = Atomic.make 0 in
+  let sum_pushed = Atomic.make 0 and sum_popped = Atomic.make 0 in
+  let producers =
+    Array.init 3 (fun p ->
+        Domain.spawn (fun () ->
+            for i = 1 to 50 do
+              let v = (p * 1000) + i in
+              let rec go () =
+                match Admission.push q v with
+                | `Ok ->
+                    Atomic.incr pushed;
+                    ignore (Atomic.fetch_and_add sum_pushed v)
+                | `Full -> Domain.cpu_relax (); go ()
+                | `Closed -> ()
+              in
+              go ()
+            done))
+  in
+  let consumers =
+    Array.init 2 (fun _ ->
+        Domain.spawn (fun () ->
+            let rec go () =
+              match Admission.pop q with
+              | Some v ->
+                  Atomic.incr popped;
+                  ignore (Atomic.fetch_and_add sum_popped v);
+                  go ()
+              | None -> ()
+            in
+            go ()))
+  in
+  Array.iter Domain.join producers;
+  Admission.close q;
+  Array.iter Domain.join consumers;
+  Alcotest.(check int) "all pushed" 150 (Atomic.get pushed);
+  Alcotest.(check int) "all popped" (Atomic.get pushed) (Atomic.get popped);
+  Alcotest.(check int) "same items" (Atomic.get sum_pushed) (Atomic.get sum_popped)
+
+(* --- watchdog ------------------------------------------------------------- *)
+
+let test_watchdog () =
+  let gov = Governor.make () in
+  let tok = Watchdog.register ~deadline:10.0 gov in
+  Alcotest.(check int) "watching" 1 (Watchdog.watching ());
+  Alcotest.(check int) "before deadline" 0 (Watchdog.sweep ~now:9.9);
+  Alcotest.(check bool) "still ok" true (Governor.ok gov);
+  Alcotest.(check int) "past deadline" 1 (Watchdog.sweep ~now:10.0);
+  Alcotest.(check bool) "cancelled" false (Governor.tick gov);
+  Alcotest.(check bool) "reason" true
+    (Governor.tripped gov = Some Governor.Cancelled);
+  Alcotest.(check int) "idempotent sweep" 0 (Watchdog.sweep ~now:11.0);
+  Watchdog.unregister tok;
+  Alcotest.(check int) "unregistered" 0 (Watchdog.watching ())
+
+(* --- whole-server tests --------------------------------------------------- *)
+
+let loopback = Server.Tcp ("127.0.0.1", 0)
+
+let base_config ?(workers = 1) ?(client_inflight = 4) ?(queue_depth = 16)
+    ?(client_budget = 0) ?(max_clients = 8) ?hard_deadline ?(max_line = 65536)
+    () =
+  {
+    (Server.default_config ~listen:loopback Session.default_config) with
+    Server.workers = Some workers;
+    client_inflight;
+    queue_depth;
+    client_steps_per_sec = client_budget;
+    max_clients;
+    hard_deadline;
+    max_line;
+    retry_after_ms = 5;
+  }
+
+let with_server cfg f =
+  let t = Server.launch cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.drain t;
+      Server.await t)
+    (fun () -> f t)
+
+let with_delay ms f =
+  Failpoint.arm "serve.eval" (Failpoint.Delay_ms (float_of_int ms));
+  Fun.protect ~finally:(fun () -> Failpoint.disarm "serve.eval") f
+
+type client = { fd : Unix.file_descr; ic : in_channel }
+
+let connect t =
+  let fd = Server.connect (Server.addr t) in
+  { fd; ic = Unix.in_channel_of_descr fd }
+
+let send c line =
+  match Wire.write_all c.fd (line ^ "\n") with
+  | Ok () -> ()
+  | Error `Closed -> Alcotest.fail "server closed the connection mid-send"
+
+let recv c = input_line c.ic
+
+let recv_all c =
+  let rec go acc =
+    match input_line c.ic with
+    | line -> go (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  go []
+
+let close_client c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let has_field line k v =
+  let needle = Printf.sprintf "\"%s\":%s" k v in
+  let rec go i =
+    i + String.length needle <= String.length line
+    && (String.sub line i (String.length needle) = needle || go (i + 1))
+  in
+  go 0
+
+(* Pipelined requests beyond the in-flight quota are shed with the
+   documented reply shape, and every request line still gets exactly one
+   reply. *)
+let test_quota_shed () =
+  let@ () = with_delay 200 in
+  let@ t = with_server (base_config ~workers:1 ~client_inflight:1 ()) in
+  let c = connect t in
+  send c "rpq a*\nrpq b*\nrpq c*";
+  (try Unix.shutdown c.fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+  let replies = recv_all c in
+  close_client c;
+  Alcotest.(check int) "one reply per request" 3 (List.length replies);
+  let shed =
+    List.filter (fun r -> has_field r "status" "\"shed\"") replies
+  in
+  Alcotest.(check int) "two shed" 2 (List.length shed);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "reason" true (has_field r "reason" "\"client-quota\"");
+      Alcotest.(check bool) "code 4" true (has_field r "code" "4");
+      Alcotest.(check bool) "degraded" true (has_field r "degraded" "true"))
+    shed;
+  Alcotest.(check bool) "first request evaluated" true
+    (List.exists (fun r -> has_field r "id" "1" && not (has_field r "status" "\"shed\"")) replies)
+
+(* With a one-slot queue and a busy worker, overflow requests get the
+   queue-full shed reply. *)
+let test_queue_full_shed () =
+  let@ () = with_delay 200 in
+  let@ t =
+    with_server (base_config ~workers:1 ~client_inflight:8 ~queue_depth:1 ())
+  in
+  let c = connect t in
+  (* Let the worker dequeue the first request (it then sleeps in the
+     200ms failpoint) before pipelining the rest — otherwise whether
+     the second request finds the queue slot free is a race between
+     this client and the worker's wakeup. *)
+  send c "rpq a*";
+  Unix.sleepf 0.05;
+  send c "rpq b*\nrpq c*\nrpq d*";
+  (try Unix.shutdown c.fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+  let replies = recv_all c in
+  close_client c;
+  Alcotest.(check int) "one reply per request" 4 (List.length replies);
+  let qfull =
+    List.filter (fun r -> has_field r "reason" "\"queue-full\"") replies
+  in
+  Alcotest.(check int) "two shed on the full queue" 2 (List.length qfull)
+
+(* The per-client token bucket: an expensive query drives the client
+   into debt, and its next request is shed with a computed retry hint —
+   the isolation mechanism of E21. *)
+let test_budget_shed () =
+  let@ t = with_server (base_config ~workers:2 ~client_budget:5000 ()) in
+  let c = connect t in
+  send c (Printf.sprintf "load %s" (Lazy.force line_file));
+  let r1 = recv c in
+  Alcotest.(check bool) "load ok" true (has_field r1 "status" "\"ok\"");
+  send c "rpq a*";
+  let r2 = recv c in
+  Alcotest.(check bool) "expensive rpq evaluated" false
+    (has_field r2 "status" "\"shed\"");
+  send c "ping";
+  let r3 = recv c in
+  Alcotest.(check bool) "now in debt: shed" true
+    (has_field r3 "reason" "\"client-budget\"");
+  close_client c
+
+(* Beyond max-clients, a connection is answered with a structured shed
+   and closed — never silently dropped. *)
+let test_connect_shed () =
+  let@ t = with_server (base_config ~max_clients:0 ()) in
+  let c = connect t in
+  let replies = recv_all c in
+  close_client c;
+  match replies with
+  | [ r ] ->
+      Alcotest.(check bool) "connect shed" true
+        (has_field r "cmd" "\"connect\"" && has_field r "reason" "\"max-clients\"")
+  | _ -> Alcotest.fail "expected exactly the connect-shed reply"
+
+(* Malformed input gets structured errors and never kills the session:
+   an over-long line, binary garbage, then a healthy command. *)
+let test_hostile_input () =
+  let@ t = with_server (base_config ~max_line:64 ()) in
+  let c = connect t in
+  send c (String.make 500 'x');
+  let r1 = recv c in
+  Alcotest.(check bool) "too-long is an error reply" true
+    (has_field r1 "status" "\"error\"" && has_field r1 "id" "1");
+  send c "rpq \xff\xfe";
+  let r2 = recv c in
+  Alcotest.(check bool) "bad utf8 is an error reply" true
+    (has_field r2 "status" "\"error\"" && has_field r2 "id" "2");
+  send c "ping";
+  let r3 = recv c in
+  Alcotest.(check bool) "session survives" true (has_field r3 "status" "\"ok\"");
+  close_client c
+
+(* One hostile client (oversized lines, garbage, a flood of expensive
+   queries) next to K well-behaved clients: every well-behaved request
+   completes ok, none is shed or garbled. *)
+let test_hostile_plus_wellbehaved () =
+  let@ t = with_server (base_config ~workers:2 ~max_clients:8 ()) in
+  let hostile = connect t in
+  send hostile (Printf.sprintf "load %s" (Lazy.force line_file));
+  ignore (recv hostile);
+  send hostile
+    (String.make 100_000 'z' ^ "\n\xff\xfe\nnonsense cmd\nrpq a*\nrpq a*\nrpq a*");
+  let wb = Array.init 3 (fun _ -> connect t) in
+  let n = 10 in
+  Array.iter
+    (fun c ->
+      for i = 1 to n do
+        send c "ping";
+        let r = recv c in
+        Alcotest.(check bool) "wb reply ok" true
+          (has_field r "status" "\"ok\"" && has_field r "id" (string_of_int i))
+      done)
+    wb;
+  Array.iter close_client wb;
+  close_client hostile
+
+(* Graceful drain loses nothing: a request still evaluating when drain
+   begins is finished and answered before the server exits. *)
+let test_drain_keeps_inflight () =
+  let@ () = with_delay 150 in
+  let t = Server.launch (base_config ~workers:1 ()) in
+  let c = connect t in
+  send c "ping";
+  ignore (recv c);
+  send c "rpq a*\nrpq b*";
+  Unix.sleepf 0.05 (* both admitted: one in flight, one queued *);
+  Server.drain t;
+  Server.await t;
+  let replies = recv_all c in
+  close_client c;
+  Alcotest.(check int) "both in-flight requests answered" 2 (List.length replies);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "not dropped" true
+        (has_field r "id" "2" || has_field r "id" "3"))
+    replies
+
+(* The watchdog cancels a query past the hard deadline: the reply is a
+   structured partial with reason "cancelled", not a hung worker. *)
+let test_watchdog_cancels_runaway () =
+  let@ t = with_server (base_config ~workers:1 ~hard_deadline:0.15 ()) in
+  let c = connect t in
+  send c (Printf.sprintf "load %s" (Lazy.force line_file));
+  ignore (recv c);
+  (* ~40k-step query, slowed to a crawl: every bfs step sleeps, so only
+     the watchdog can end it promptly. *)
+  Failpoint.arm "rpq.bfs.step" (Failpoint.Delay_ms 2.0);
+  Fun.protect
+    ~finally:(fun () -> Failpoint.disarm "rpq.bfs.step")
+    (fun () ->
+      send c "rpq a*";
+      let r = recv c in
+      Alcotest.(check bool) "cancelled" true
+        (has_field r "reason" "\"cancelled\"" && has_field r "code" "4"));
+  close_client c
+
+(* stats in listen mode carries the server block. *)
+let test_stats_server_block () =
+  let@ t = with_server (base_config ()) in
+  let c = connect t in
+  send c "stats";
+  let r = recv c in
+  Alcotest.(check bool) "server object present" true
+    (has_field r "clients" "1" && has_field r "draining" "false");
+  close_client c
+
+(* --- property: server sessions = stdio session, query by query ----------- *)
+
+let command_pool =
+  [|
+    "ping";
+    "rpq Transfer*";
+    "rpq Transfer.Transfer*";
+    "rpq-from a1 Transfer*";
+    "shortest a1 a3 Transfer*";
+    "query MATCH (x:Account)-[:Transfer]->(y) RETURN x.owner, y.owner";
+    "set max-steps 40";
+    "set max-steps none";
+    "set max-results 2";
+    "rpq Transfer)(";
+    "rpq-from nosuch Transfer*";
+    "definitely-not-a-command";
+  |]
+
+let gen_commands =
+  QCheck.make
+    ~print:(fun l -> String.concat " ; " l)
+    QCheck.Gen.(
+      map
+        (fun idxs ->
+          List.map (fun i -> command_pool.(i mod Array.length command_pool)) idxs)
+        (list_size (int_range 1 8) (int_bound 1000)))
+
+(* Reference semantics: a fresh single session handling the same lines
+   with the same ids. *)
+let reference_replies commands =
+  let sess = Session.create (Session.make_shared Session.default_config) in
+  List.mapi
+    (fun i line ->
+      match Session.handle_safe sess ~id:(i + 1) line with
+      | Session.Reply s, _ | Session.Quit s, _ -> s
+      | Session.Silent, _ -> "")
+    commands
+
+let prop_server_equals_session =
+  QCheck.Test.make ~count:12 ~name:"server session = stdio session"
+    gen_commands (fun cmds ->
+      let cmds = (Printf.sprintf "load %s" (Lazy.force bank_file)) :: cmds in
+      let expected = reference_replies cmds in
+      let actual =
+        let@ t = with_server (base_config ~workers:2 ()) in
+        let c = connect t in
+        let replies =
+          List.map
+            (fun line ->
+              send c line;
+              recv c)
+            cmds
+        in
+        close_client c;
+        replies
+      in
+      expected = actual)
+
+(* --- suite ---------------------------------------------------------------- *)
+
+let () =
+  (* The ambient fault schedule of `make check-faults` arms serve.eval
+     with a delay; these tests arm and disarm their own failpoints, so
+     start from a clean registry. *)
+  Failpoint.clear ();
+  Alcotest.run "server"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "newline frames" `Quick test_framer_lines;
+          Alcotest.test_case "split feeds" `Quick test_framer_split_feed;
+          Alcotest.test_case "line bound" `Quick test_framer_too_long;
+          Alcotest.test_case "eof tail" `Quick test_framer_eof_tail;
+          Alcotest.test_case "utf8 validation" `Quick test_utf8;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "bounds + close" `Quick test_admission_bounds;
+          Alcotest.test_case "concurrent prod/cons" `Quick test_admission_concurrent;
+        ] );
+      ("watchdog", [ Alcotest.test_case "sweep cancels" `Quick test_watchdog ]);
+      ( "server",
+        [
+          Alcotest.test_case "quota shed" `Quick test_quota_shed;
+          Alcotest.test_case "queue-full shed" `Quick test_queue_full_shed;
+          Alcotest.test_case "budget shed" `Quick test_budget_shed;
+          Alcotest.test_case "connect shed" `Quick test_connect_shed;
+          Alcotest.test_case "hostile input" `Quick test_hostile_input;
+          Alcotest.test_case "hostile + well-behaved" `Quick
+            test_hostile_plus_wellbehaved;
+          Alcotest.test_case "drain keeps in-flight" `Quick
+            test_drain_keeps_inflight;
+          Alcotest.test_case "watchdog cancels runaway" `Quick
+            test_watchdog_cancels_runaway;
+          Alcotest.test_case "stats server block" `Quick test_stats_server_block;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_server_equals_session ] );
+    ]
