@@ -1,4 +1,4 @@
-.PHONY: all check check-faults check-plan check-serve test bench bench-smoke clean
+.PHONY: all check check-faults check-plan check-serve check-bitset test bench bench-smoke clean
 
 all:
 	dune build @all
@@ -13,6 +13,7 @@ check:
 	$(MAKE) check-faults
 	$(MAKE) check-plan
 	$(MAKE) check-serve
+	$(MAKE) check-bitset
 
 # The whole suite again with every library failpoint site armed — a
 # delay-only schedule, so checks take the armed slow path (registry
@@ -43,6 +44,19 @@ check-serve:
 	dune build bin/gqd.exe
 	GQ_DOMAINS=1 bash test/serve_smoke.sh _build/default/bin/gqd.exe
 	GQ_DOMAINS=4 bash test/serve_smoke.sh _build/default/bin/gqd.exe
+
+# The whole suite with the bit-parallel multi-source kernel forced off
+# (scalar stamped-array engine) and forced on, each at pool widths 1 and
+# 4.  The differential properties and the golden files pin the answers,
+# so all four runs passing means the packed kernel is answer-equivalent
+# to the scalar one under every width; kernel-sensitive goldens pin
+# GQ_BITSET themselves.
+check-bitset:
+	dune build @all
+	GQ_BITSET=off GQ_DOMAINS=1 dune runtest --force
+	GQ_BITSET=off GQ_DOMAINS=4 dune runtest --force
+	GQ_BITSET=on GQ_DOMAINS=1 dune runtest --force
+	GQ_BITSET=on GQ_DOMAINS=4 dune runtest --force
 
 test: check
 

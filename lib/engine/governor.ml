@@ -101,6 +101,35 @@ let rec emit t =
         else emit t
       end
 
+(* Bulk admission for the bitset kernel, which discovers a whole block's
+   answers before it gets a chance to emit them.  Admits up to [k]
+   results against the result cap in one CAS and returns the number
+   admitted.  Unlike [emit], a prior *non-result* trip (steps, deadline)
+   does not zero the batch: those answers were computed before the trip,
+   exactly like the scalar engine's answers emitted before its trip, and
+   dropping them would make Partial payloads gratuitously empty.  The
+   result cap itself stays exact, and a [Results]/[Cancelled] trip still
+   admits nothing. *)
+let rec emit_many t k =
+  if k <= 0 then 0
+  else if t.limitless then k
+  else
+    match Atomic.get t.tripped with
+    | Some (Results | Cancelled) -> 0
+    | Some (Steps | Deadline) | None ->
+        let r = Atomic.get t.results in
+        if r >= t.max_results then begin
+          ignore (trip t Results);
+          0
+        end
+        else
+          let adm = min k (t.max_results - r) in
+          if Atomic.compare_and_set t.results r (r + adm) then begin
+            if adm < k then ignore (trip t Results);
+            adm
+          end
+          else emit_many t k
+
 let ok t = Atomic.get t.tripped = None
 
 let cancel t =

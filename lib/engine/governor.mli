@@ -74,6 +74,16 @@ val tick_many : t -> int -> bool
     and the search stopped. *)
 val emit : t -> bool
 
+(** [emit_many t k] admits up to [k] results in one CAS and returns the
+    number admitted (0..k); the result cap stays exact and trips
+    [Results] when it truncates the batch.  Unlike {!emit}, a prior
+    steps/deadline trip does not zero the batch: block kernels discover
+    answers before the trip stops them, and those already-computed facts
+    belong in the Partial payload just like the scalar engine's answers
+    emitted before its trip.  A [Results] or [Cancelled] trip admits
+    nothing. *)
+val emit_many : t -> int -> int
+
 (** [true] while no resource has tripped. *)
 val ok : t -> bool
 

@@ -204,6 +204,46 @@ let dated_line values =
   in
   Pg.make ~nodes ~edges
 
+let hub ~spokes ~core ~targets =
+  let nodes =
+    List.init spokes (Printf.sprintf "s%d")
+    @ List.init core (Printf.sprintf "h%d")
+    @ List.init targets (Printf.sprintf "t%d")
+  in
+  let spoke_edges =
+    List.init spokes (fun i ->
+        ( Printf.sprintf "a%d" i,
+          Printf.sprintf "s%d" i,
+          "a",
+          Printf.sprintf "h%d" (i mod core) ))
+  in
+  let core_edges =
+    List.concat_map
+      (fun i ->
+        List.filter_map
+          (fun j ->
+            if i = j then None
+            else
+              Some
+                ( Printf.sprintf "b%d_%d" i j,
+                  Printf.sprintf "h%d" i,
+                  "b",
+                  Printf.sprintf "h%d" j ))
+          (List.init core Fun.id))
+      (List.init core Fun.id)
+  in
+  let sink_edges =
+    List.concat_map
+      (fun i ->
+        List.init targets (fun j ->
+            ( Printf.sprintf "c%d_%d" i j,
+              Printf.sprintf "h%d" i,
+              "c",
+              Printf.sprintf "t%d" j )))
+      (List.init core Fun.id)
+  in
+  Elg.make ~nodes ~edges:(spoke_edges @ core_edges @ sink_edges)
+
 let random_edge_list st ~nodes ~edges ~labels =
   let labels = Array.of_list labels in
   List.init edges (fun i ->

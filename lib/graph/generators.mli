@@ -54,6 +54,15 @@ val subset_sum : int list -> Pg.t
     node-vs-edge comparisons (Example 3 / Example 21). *)
 val dated_line : int list -> Pg.t
 
+(** [hub ~spokes ~core ~targets] is a hub-and-spoke graph: [spokes] rim
+    nodes each send one ["a"] edge into a shared [core]-node ["b"]
+    clique, and every core node sends a ["c"] edge to each of [targets]
+    sink nodes.  Under [a.b*.c] every spoke reaches every sink through
+    the same dense core, so per-source engines re-traverse the core once
+    per spoke while a multi-source engine crosses it once per batch —
+    the workload where frontier packing collapses work. *)
+val hub : spokes:int -> core:int -> targets:int -> Elg.t
+
 (** [random_graph ~seed ~nodes ~edges ~labels] draws [edges] independent
     uniformly random labeled edges. *)
 val random_graph : seed:int -> nodes:int -> edges:int -> labels:string list -> Elg.t

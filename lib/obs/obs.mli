@@ -9,7 +9,18 @@
 
     Hot loops should hoist the counter lookup with {!counter_fn} (one
     registry lookup per evaluation, one closure call per bump) rather
-    than calling {!add} per iteration. *)
+    than calling {!add} per iteration.
+
+    Counter names are dotted paths owned by the emitting subsystem
+    ([rpq.*], [product.*], [plan.*], [governor.*], [server.*], ...).
+    The ones added with the bit-parallel kernel: [rpq.bitset.blocks] /
+    [rpq.bitset.sweeps] / [rpq.bitset.word_transitions] (packed-kernel
+    work: 63-source blocks, adjacency-span sweeps, word-level edge
+    relaxations), [rpq.par_decision.<reason>] with [rpq.par_width] (why
+    the parallel policy chose its width: [below_threshold],
+    [hardware_serial], [parallel], [pinned]), and [server.batched]
+    (serve-mode requests answered from a coalesced multi-source run
+    rather than a solo evaluation). *)
 
 type t
 

@@ -1,6 +1,30 @@
-type decision = { width : int; work : int; threshold : int; hardware : int }
+type kernel = Scalar | Bitset
 
-let default_threshold = 2_000_000
+type reason = Below_threshold | Hardware_serial | Parallel | Pinned
+
+let reason_slug = function
+  | Below_threshold -> "below_threshold"
+  | Hardware_serial -> "hardware_serial"
+  | Parallel -> "parallel"
+  | Pinned -> "pinned"
+
+type decision = {
+  width : int;
+  units : int;
+  work : int;
+  threshold : int;
+  hardware : int;
+  reason : reason;
+}
+
+(* Calibrated against the bit-parallel kernel: one work unit is one
+   relaxation (a scalar product-edge visit, or one word-sized sweep of a
+   span entry — both a handful of ns), and a domain spawn plus its GC
+   synchronization costs on the order of 100us.  500k units is roughly a
+   millisecond of serial work, the point where forking starts to pay; the
+   old 2M default was tuned to the slower scalar kernel and left mid-size
+   bitset workloads serial on real hardware. *)
+let default_threshold = 500_000
 
 let threshold () =
   match Sys.getenv_opt "GQ_PAR_THRESHOLD" with
@@ -10,18 +34,50 @@ let threshold () =
 let hw = lazy (max 1 (Domain.recommended_domain_count ()))
 let hardware () = Lazy.force hw
 
-let decide ~max_width ~sources ~product_edges =
+(* The most recent decision taken anywhere in the process, for the serve
+   [stats] reply: one atomic write per decision, read without locking. *)
+let last_decision : decision option Atomic.t = Atomic.make None
+let last () = Atomic.get last_decision
+let note d = Atomic.set last_decision (Some d)
+
+let pinned ~width =
+  let d =
+    {
+      width = max 1 width;
+      units = 0;
+      work = 0;
+      threshold = threshold ();
+      hardware = hardware ();
+      reason = Pinned;
+    }
+  in
+  note d;
+  d
+
+let decide ?(obs = Obs.none) ?(kernel = Scalar) ~max_width ~sources
+    ~product_edges () =
   let threshold = threshold () in
   let hardware = hardware () in
   let sources = max 0 sources and product_edges = max 1 product_edges in
+  (* Parallel grain: the scalar kernel forks over sources, the bitset
+     kernel over 63-source blocks — work is units x product edges in
+     both, in comparable relaxation units. *)
+  let units =
+    match kernel with Scalar -> sources | Bitset -> (sources + 62) / 63
+  in
   (* Saturating multiply: sizes are far below sqrt(max_int), but keep it
      robust anyway. *)
   let work =
-    if sources > 0 && product_edges > max_int / sources then max_int
-    else sources * product_edges
+    if units > 0 && product_edges > max_int / units then max_int
+    else units * product_edges
   in
-  let width =
-    if work < threshold then 1
-    else max 1 (min (min max_width hardware) (max 1 sources))
+  let width, reason =
+    if work < threshold then (1, Below_threshold)
+    else
+      let w = max 1 (min (min max_width hardware) (max 1 units)) in
+      (w, if w > 1 then Parallel else Hardware_serial)
   in
-  { width; work; threshold; hardware }
+  let d = { width; units; work; threshold; hardware; reason } in
+  Obs.incr obs ("rpq.par_decision." ^ reason_slug reason);
+  note d;
+  d

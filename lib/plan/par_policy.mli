@@ -2,31 +2,69 @@
 
     Forking domains pays a fixed cost (spawn, stop-the-world GC
     synchronization) that only amortizes when there is real work and
-    real hardware.  The policy estimates work as
-    [sources x product edges] and decides a fork width: serial below the
-    threshold ([GQ_PAR_THRESHOLD], default 2,000,000), and never more
-    domains than the machine has hardware threads — the fix for the
-    BENCH_rpq.json regression, where a forced 2-domain pool lost to
-    serial on a 1-core container at every size.
+    real hardware.  The policy estimates work as [units x product edges]
+    — where a unit is one parallel grain: a source for the scalar
+    kernel, a 63-source block for the bitset kernel — and decides a fork
+    width: serial below the threshold ([GQ_PAR_THRESHOLD], default
+    500,000 relaxations, recalibrated against the bit-parallel kernel),
+    and never more domains than the machine has hardware threads.
+
+    Every decision carries a {!reason}, is counted under
+    [rpq.par_decision.<reason>] when a sink is supplied, and is recorded
+    as the process-wide {!last} decision so serve-mode [stats] replies
+    can explain the width in force.
 
     An explicit [?pool] argument at an engine entry point bypasses the
     policy: callers who pin a width (tests pinning determinism across
-    widths, the CLI's [--domains]) keep exactly that width. *)
+    widths, the CLI's [--domains]) keep exactly that width — engines
+    record it with {!pinned} so telemetry still explains the choice. *)
+
+type kernel = Scalar | Bitset
+
+(** Why the width came out the way it did. *)
+type reason =
+  | Below_threshold  (** estimated work under [GQ_PAR_THRESHOLD] *)
+  | Hardware_serial  (** enough work, but 1 hardware thread / pool slot *)
+  | Parallel  (** width > 1 *)
+  | Pinned  (** explicit pool: the caller chose the width *)
+
+val reason_slug : reason -> string
 
 type decision = {
   width : int;  (** domains to use; 1 = serial *)
-  work : int;  (** estimated work (sources x product edges) *)
+  units : int;  (** parallel grains: sources (scalar) or blocks (bitset) *)
+  work : int;  (** estimated work (units x product edges) *)
   threshold : int;  (** work threshold in force *)
   hardware : int;  (** hardware threads available *)
+  reason : reason;
 }
 
-(** [GQ_PAR_THRESHOLD], defaulting to 2,000,000; clamped to >= 1. *)
+(** [GQ_PAR_THRESHOLD], defaulting to 500,000; clamped to >= 1. *)
 val threshold : unit -> int
 
 (** Cached [Domain.recommended_domain_count ()]. *)
 val hardware : unit -> int
 
-(** [decide ~max_width ~sources ~product_edges] — width 1 when the
+(** [decide ~max_width ~sources ~product_edges ()] — width 1 when the
     estimated work is under the threshold, otherwise
-    [min max_width hardware sources] (at least 1). *)
-val decide : max_width:int -> sources:int -> product_edges:int -> decision
+    [min max_width hardware units] (at least 1).  Bumps
+    [rpq.par_decision.<reason>] on [obs] and records the decision as
+    {!last}. *)
+val decide :
+  ?obs:Obs.t ->
+  ?kernel:kernel ->
+  max_width:int ->
+  sources:int ->
+  product_edges:int ->
+  unit ->
+  decision
+
+(** Record an explicitly pinned width (an engine called with [?pool]) as
+    the {!last} decision. *)
+val pinned : width:int -> decision
+
+(** The most recent decision taken in this process, if any. *)
+val last : unit -> decision option
+
+(** Record [d] as the {!last} decision. *)
+val note : decision -> unit

@@ -1,0 +1,30 @@
+(* Growable flat int buffer, shared by the RPQ engines: answers are
+   collected as [u * n + v] codes (or plain node ids), appended without
+   allocation in the hot loop and consumed in bulk at the end.  Extracted
+   from [Rpq_eval] so the bitset kernel can reuse it. *)
+
+type t = { mutable data : int array; mutable len : int }
+
+let create () = { data = Array.make 64 0; len = 0 }
+
+let push b x =
+  if b.len = Array.length b.data then begin
+    let d = Array.make (2 * b.len) 0 in
+    Array.blit b.data 0 d 0 b.len;
+    b.data <- d
+  end;
+  b.data.(b.len) <- x;
+  b.len <- b.len + 1
+
+let clear b = b.len <- 0
+let length b = b.len
+let get b i = b.data.(i)
+
+let to_array b = Array.sub b.data 0 b.len
+
+(* The contents as a fresh ascending array — per-source target lists are
+   tiny, so a straight sort beats anything clever. *)
+let sorted_array b =
+  let a = to_array b in
+  Array.sort (fun (x : int) y -> Stdlib.compare x y) a;
+  a

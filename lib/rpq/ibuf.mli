@@ -1,0 +1,22 @@
+(** Growable flat int buffer for answer codes and scratch lists.
+
+    Used by both the scalar and the bit-parallel RPQ kernels: pushes are
+    amortized O(1) with no per-element allocation, and the contents are
+    consumed in bulk ([to_array] / [sorted_array]) once a run finishes. *)
+
+type t = { mutable data : int array; mutable len : int }
+
+val create : unit -> t
+val push : t -> int -> unit
+
+(** Forget the contents (capacity is kept). *)
+val clear : t -> unit
+
+val length : t -> int
+val get : t -> int -> int
+
+(** Fresh array of the first [length] elements. *)
+val to_array : t -> int array
+
+(** Like {!to_array}, sorted ascending. *)
+val sorted_array : t -> int array

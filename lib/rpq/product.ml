@@ -99,6 +99,7 @@ let out_degree t s = t.off.(s + 1) - t.off.(s)
 let out_span t s = (t.off.(s), t.off.(s + 1))
 let csr_edge t i = t.edge.(i)
 let csr_succ t i = t.succ.(i)
+let csr t = (t.off, t.succ)
 
 let iter_out t s f =
   for i = t.off.(s) to t.off.(s + 1) - 1 do
@@ -109,5 +110,12 @@ let initials_at t v =
   List.map (fun q0 -> state t ~node:v ~q:q0) t.nfa.Nfa.initials
 
 let is_final t s = t.finals.(s mod nb_automaton_states t)
+
+let final_qs t =
+  let qs = ref [] in
+  for q = Array.length t.finals - 1 downto 0 do
+    if t.finals.(q) then qs := q :: !qs
+  done;
+  Array.of_list !qs
 
 let nb_product_edges t = t.off.(nb_states t)

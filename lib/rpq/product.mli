@@ -41,8 +41,20 @@ val out_span : t -> int -> int * int
 val csr_edge : t -> int -> int
 val csr_succ : t -> int -> int
 
+(** The raw CSR arrays backing {!out_span}/{!csr_succ}: [(off, succ)],
+    for kernel hot loops that cannot afford a call and a pair allocation
+    per popped state.  Aliases into the product, not copies — callers
+    must not mutate them. *)
+val csr : t -> int array * int array
+
 (** Product nodes [(u, q0)] for every initial automaton state. *)
 val initials_at : t -> int -> int list
+
+val nb_automaton_states : t -> int
+
+(** Accepting automaton-state ids, ascending: product state
+    [v * nb_automaton_states + q] is {!is_final} iff [q] is listed. *)
+val final_qs : t -> int array
 
 (** Is the automaton component accepting? *)
 val is_final : t -> int -> bool

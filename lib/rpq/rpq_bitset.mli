@@ -1,0 +1,54 @@
+(** Bit-parallel multi-source RPQ kernel.
+
+    Packs 63 sources per native word: product states carry word-packed
+    visited/frontier bitsets, and expanding a state advances every
+    packed source through its CSR adjacency span in one sweep — the
+    all-pairs BFS as a blocked bit-matrix product over the boolean
+    semiring.  Blocks of 63 sources are distributed over a {!Pool};
+    budgets are charged one {!Governor.tick_many} per span sweep, and
+    answers pass {!Governor.emit_many}, so Complete/Partial stays sound.
+
+    On by default; [GQ_BITSET=off] (or {!set_enabled}[ false]) reverts
+    every multi-source entry point to the scalar stamped-array engine —
+    the parity escape hatch that [make check-bitset] exercises. *)
+
+val word_bits : int
+(** Sources per word (63: an OCaml native int). *)
+
+(** {1 Kernel gate} *)
+
+val enabled : unit -> bool
+(** Runtime override if set, else [GQ_BITSET] (default: on). *)
+
+val set_enabled : bool -> unit
+val clear_enabled : unit -> unit
+
+(** {1 Evaluation} *)
+
+val nb_blocks : int -> int
+(** Number of 63-source blocks covering [n] sources. *)
+
+val pairs_codes :
+  ?obs:Obs.t ->
+  pool:Pool.t ->
+  width:int ->
+  Governor.t ->
+  Product.t ->
+  cand:int array ->
+  ncand:int ->
+  Ibuf.t array
+(** Evaluate all sources [cand.(0 .. ncand-1)] (ascending node ids) and
+    return one buffer per block of answer codes [u * n + v], each sorted
+    ascending — blocks concatenate in order into the globally sorted
+    answer list with no further sort. *)
+
+val targets :
+  ?obs:Obs.t ->
+  ?pool:Pool.t ->
+  Governor.t ->
+  Product.t ->
+  sources:int array ->
+  int list array
+(** Per-source reachable targets (sorted ascending), one packed run for
+    all of [sources] — the serve-mode batching entry point.  Without
+    [?pool], width follows {!Par_policy.decide}. *)

@@ -124,6 +124,34 @@ let from_source_bounded ?(obs = Obs.none) t gov g c ~src =
   Obs.add obs "rpq.answers" (List.length kept);
   Governor.seal gov kept
 
+(* One compiled query, many sources, one evaluation: the serve-mode
+   batching path.  Under the bitset kernel all sources run as one packed
+   multi-source traversal; the scalar fallback loops a per-source BFS
+   over shared compilation artifacts.  Either way the governor spans the
+   whole batch, so budgets cover the coalesced run, not each member. *)
+let from_source_batch ?pool ?(obs = Obs.none) t gov g c ~srcs =
+  Obs.span obs "rpq.eval" @@ fun () ->
+  let p = product ~obs t g c in
+  let out =
+    if Rpq_bitset.enabled () then
+      Rpq_bitset.targets ~obs ?pool gov p ~sources:srcs
+    else begin
+      let res =
+        Array.map
+          (fun src ->
+            if Governor.ok gov then
+              Governor.take_results gov
+                (Rpq_eval.from_source_product ~gov ~obs p ~src)
+            else [])
+          srcs
+      in
+      Obs.add obs "rpq.answers"
+        (Array.fold_left (fun a l -> a + List.length l) 0 res);
+      res
+    end
+  in
+  Governor.seal gov out
+
 let product_hits t = Lru.hits t.products
 let product_misses t = Lru.misses t.products
 let product_entries t = Lru.length t.products

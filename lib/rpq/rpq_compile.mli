@@ -75,6 +75,18 @@ val from_source_bounded :
   t -> Governor.t -> Elg.t -> Plan_cache.compiled -> src:int ->
   int list Governor.outcome
 
+(** [from_source_batch t gov g c ~srcs] — reachable targets for every
+    source in [srcs], as one evaluation: the bitset kernel packs the
+    whole batch into one multi-source traversal (serve-mode request
+    coalescing), the scalar fallback loops per source over the shared
+    product.  [srcs.(i)]'s targets are at index [i], sorted ascending.
+    One governor spans the batch. *)
+val from_source_batch :
+  ?pool:Pool.t ->
+  ?obs:Obs.t ->
+  t -> Governor.t -> Elg.t -> Plan_cache.compiled -> srcs:int array ->
+  int list array Governor.outcome
+
 (** {1 Counters} (monotone; plan-cache counters via {!plans}) *)
 
 val product_hits : t -> int

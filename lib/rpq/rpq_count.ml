@@ -60,8 +60,23 @@ let total_paths_upto ?pool ?(obs = Obs.none) g r ~max_len =
   let dfa, lclass = compile g r in
   let accept _ q = dfa.Dfa.finals.(q) in
   let n = Elg.nb_nodes g in
-  let pool = match pool with Some p -> p | None -> Pool.default () in
-  let width = max 1 (min (Pool.size pool) n) in
+  (* An explicit pool pins its width; otherwise the adaptive policy
+     decides, like the RPQ engines — the DP relaxes every edge once per
+     source per length step, so the work estimate scales accordingly. *)
+  let pool, width =
+    match pool with
+    | Some p ->
+        let w = max 1 (min (Pool.size p) n) in
+        ignore (Par_policy.pinned ~width:w);
+        (p, w)
+    | None ->
+        let p = Pool.default () in
+        let d =
+          Par_policy.decide ~obs ~max_width:(Pool.size p) ~sources:n
+            ~product_edges:(Elg.nb_edges g * max 1 max_len) ()
+        in
+        (p, d.Par_policy.width)
+  in
   let partials = Array.make width Nat_big.zero in
   let next = Atomic.make 0 in
   Pool.fork_join ~obs pool ~width (fun w ->

@@ -9,23 +9,10 @@
    flat int queue, an answer buffer), and the governor's atomic counters
    keep the Complete/Partial contract sound under parallelism. *)
 
-(* Growable flat int buffer: answers are collected as [u * n + v] codes,
-   merged across workers and sorted once at the end — replacing the old
-   [acc := x :: !acc] + [List.sort_uniq] accumulation. *)
-module Ibuf = struct
-  type t = { mutable data : int array; mutable len : int }
-
-  let create () = { data = Array.make 64 0; len = 0 }
-
-  let push b x =
-    if b.len = Array.length b.data then begin
-      let d = Array.make (2 * b.len) 0 in
-      Array.blit b.data 0 d 0 b.len;
-      b.data <- d
-    end;
-    b.data.(b.len) <- x;
-    b.len <- b.len + 1
-end
+(* Answers are collected as [u * n + v] codes in {!Ibuf}s.  The scalar
+   engine merges per-worker buffers and sorts once at the end; the bitset
+   kernel ({!Rpq_bitset}, on by default, [GQ_BITSET=off] to revert)
+   returns per-block buffers that are already globally ordered. *)
 
 (* Per-worker BFS scratch, reused across sources: stamping replaces the
    per-source [Array.make _ false] of the old engine, so a search costs
@@ -165,68 +152,107 @@ let pairs_product_gov ?pool ?(obs = Obs.none) gov product =
     done;
     let ncand = !ncand in
     Obs.add obs "rpq.pruned_sources" (n - ncand);
+    let use_bitset = Rpq_bitset.enabled () in
     (* An explicit pool pins its width (determinism-across-widths tests,
        --domains); otherwise the adaptive policy picks serial under the
        work threshold and never more domains than the hardware has. *)
     let pool, width =
       match pool with
-      | Some p -> (p, min (Pool.size p) n)
+      | Some p ->
+          let w = min (Pool.size p) (max 1 n) in
+          ignore (Par_policy.pinned ~width:w);
+          (p, w)
       | None ->
           let p = Pool.default () in
-          let d =
-            Par_policy.decide ~max_width:(Pool.size p) ~sources:ncand
-              ~product_edges:(Product.nb_product_edges product)
+          let kernel =
+            if use_bitset then Par_policy.Bitset else Par_policy.Scalar
           in
-          Obs.add obs "rpq.par_width" d.Par_policy.width;
+          let d =
+            Par_policy.decide ~obs ~kernel ~max_width:(Pool.size p)
+              ~sources:ncand
+              ~product_edges:(Product.nb_product_edges product) ()
+          in
           (p, d.Par_policy.width)
     in
-    let stats = bfs_stats_of obs in
-    let bufs = Array.init width (fun _ -> Ibuf.create ()) in
-    if eps_accepting && ncand < n then begin
-      let buf = bufs.(0) in
+    Obs.add obs "rpq.par_width" width;
+    (* ε self-pairs of pruned sources: no BFS reaches them, emit
+       directly (and first, like the scalar engine always did). *)
+    let selfs = Ibuf.create () in
+    if eps_accepting && ncand < n then
       for u = 0 to n - 1 do
         if (not is_cand.(u)) && Governor.emit gov then
-          Ibuf.push buf ((u * n) + u)
-      done
-    end;
-    let next = Atomic.make 0 in
-    let chunk = max 8 (ncand / (8 * width)) in
-    Obs.span obs "rpq.bfs" (fun () ->
-        Pool.fork_join ~obs pool ~width (fun w ->
-            let sc = scratch_of product in
-            let buf = bufs.(w) in
-            let rec loop () =
-              let lo = Atomic.fetch_and_add next chunk in
-              if lo < ncand && Governor.ok gov then begin
-                let hi = min ncand (lo + chunk) in
-                for c = lo to hi - 1 do
-                  let u = cand.(c) in
-                  if Governor.ok gov then
-                    bfs_targets gov stats product sc ~src:u (fun v ->
-                        if Governor.emit gov then Ibuf.push buf ((u * n) + v))
-                done;
-                loop ()
-              end
-            in
-            loop ()));
-    Obs.span obs "rpq.merge" @@ fun () ->
-    let total = Array.fold_left (fun a b -> a + b.Ibuf.len) 0 bufs in
-    Obs.add obs "rpq.answers" total;
-    let all = Array.make (max 1 total) 0 in
-    let pos = ref 0 in
-    Array.iter
-      (fun b ->
-        Array.blit b.Ibuf.data 0 all !pos b.Ibuf.len;
-        pos := !pos + b.Ibuf.len)
-      bufs;
-    (* Codes sort exactly like (u, v) pairs; sources never collide, so
-       the merge needs no dedup. *)
-    let all = Array.sub all 0 total in
-    Array.sort (fun (a : int) b -> Stdlib.compare a b) all;
-    let rec build i acc =
-      if i < 0 then acc else build (i - 1) ((all.(i) / n, all.(i) mod n) :: acc)
-    in
-    build (total - 1) []
+          Ibuf.push selfs ((u * n) + u)
+      done;
+    if use_bitset then begin
+      let blocks =
+        Rpq_bitset.pairs_codes ~obs ~pool ~width gov product ~cand ~ncand
+      in
+      Obs.span obs "rpq.merge" @@ fun () ->
+      let btotal = Array.fold_left (fun a b -> a + b.Ibuf.len) 0 blocks in
+      Obs.add obs "rpq.answers" (btotal + selfs.Ibuf.len);
+      let all = Array.make (max 1 btotal) 0 in
+      let pos = ref 0 in
+      Array.iter
+        (fun b ->
+          Array.blit b.Ibuf.data 0 all !pos b.Ibuf.len;
+          pos := !pos + b.Ibuf.len)
+        blocks;
+      (* Both streams are already sorted (blocks cover ascending source
+         ranges; self-pairs were emitted in node order): a single 2-way
+         merge, back to front, replaces the old global sort. *)
+      let sd = selfs.Ibuf.data and slen = selfs.Ibuf.len in
+      let rec build i j acc =
+        if i < 0 && j < 0 then acc
+        else if j < 0 || (i >= 0 && sd.(i) > all.(j)) then
+          build (i - 1) j ((sd.(i) / n, sd.(i) mod n) :: acc)
+        else build i (j - 1) ((all.(j) / n, all.(j) mod n) :: acc)
+      in
+      build (slen - 1) (btotal - 1) []
+    end
+    else begin
+      let stats = bfs_stats_of obs in
+      let bufs = Array.init width (fun _ -> Ibuf.create ()) in
+      bufs.(0) <- selfs;
+      let next = Atomic.make 0 in
+      let chunk = max 8 (ncand / (8 * width)) in
+      Obs.span obs "rpq.bfs" (fun () ->
+          Pool.fork_join ~obs pool ~width (fun w ->
+              let sc = scratch_of product in
+              let buf = bufs.(w) in
+              let rec loop () =
+                let lo = Atomic.fetch_and_add next chunk in
+                if lo < ncand && Governor.ok gov then begin
+                  let hi = min ncand (lo + chunk) in
+                  for c = lo to hi - 1 do
+                    let u = cand.(c) in
+                    if Governor.ok gov then
+                      bfs_targets gov stats product sc ~src:u (fun v ->
+                          if Governor.emit gov then Ibuf.push buf ((u * n) + v))
+                  done;
+                  loop ()
+                end
+              in
+              loop ()));
+      Obs.span obs "rpq.merge" @@ fun () ->
+      let total = Array.fold_left (fun a b -> a + b.Ibuf.len) 0 bufs in
+      Obs.add obs "rpq.answers" total;
+      let all = Array.make (max 1 total) 0 in
+      let pos = ref 0 in
+      Array.iter
+        (fun b ->
+          Array.blit b.Ibuf.data 0 all !pos b.Ibuf.len;
+          pos := !pos + b.Ibuf.len)
+        bufs;
+      (* Codes sort exactly like (u, v) pairs; sources never collide, so
+         the merge needs no dedup. *)
+      let all = Array.sub all 0 total in
+      Array.sort (fun (a : int) b -> Stdlib.compare a b) all;
+      let rec build i acc =
+        if i < 0 then acc
+        else build (i - 1) ((all.(i) / n, all.(i) mod n) :: acc)
+      in
+      build (total - 1) []
+    end
   end
 
 let pairs_nfa_gov ?pool ?obs gov g nfa =

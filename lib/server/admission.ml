@@ -61,6 +61,32 @@ let pop t =
       in
       wait ())
 
+(* Steal up to [limit] queued items matching [f], preserving the order
+   of both the stolen items and the survivors — the batching hook: a
+   worker that just popped a request collects the queued requests its
+   evaluation can also answer.  O(depth) under the lock; depth is
+   bounded by [capacity]. *)
+let take_matching t ~limit ~f =
+  if limit <= 0 then []
+  else
+    locked t (fun () ->
+        let keep = Queue.create () in
+        let taken = ref [] and ntaken = ref 0 in
+        Queue.iter
+          (fun x ->
+            if !ntaken < limit && f x then begin
+              taken := x :: !taken;
+              incr ntaken
+            end
+            else Queue.add x keep)
+          t.items;
+        if !ntaken > 0 then begin
+          Queue.clear t.items;
+          Queue.transfer keep t.items;
+          t.on_depth (Queue.length t.items)
+        end;
+        List.rev !taken)
+
 let close t =
   locked t (fun () ->
       t.closed <- true;

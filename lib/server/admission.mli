@@ -19,6 +19,13 @@ val push : 'a t -> 'a -> [ `Ok | `Full | `Closed ]
 (** Blocks; [None] once the queue is closed and drained. *)
 val pop : 'a t -> 'a option
 
+(** [take_matching t ~limit ~f] — remove and return up to [limit] queued
+    items satisfying [f], oldest first, leaving the rest in order.  The
+    request-batching hook: a worker that popped a request steals the
+    queued requests its evaluation can also answer.  Runs under the
+    queue lock; [f] must be cheap and must not touch the queue. *)
+val take_matching : 'a t -> limit:int -> f:('a -> bool) -> 'a list
+
 (** Idempotent; wakes every blocked {!pop}. *)
 val close : 'a t -> unit
 

@@ -157,6 +157,7 @@ type state = {
   draining : bool Atomic.t;
   stopped : bool Atomic.t;
   nclients : int Atomic.t;
+  batched : int Atomic.t;  (* requests answered from a coalesced run *)
   workers_done : int Atomic.t;
   nworkers : int;
   rbuf : Bytes.t;  (* I/O domain read scratch *)
@@ -255,29 +256,68 @@ let shed st c ~id ~cmd ~reason ~retry_after_ms =
 
 (* --- worker domains ------------------------------------------------------- *)
 
+(* One batch fills at most one bitset word: a leader plus 62 stolen
+   requests pack 63 sources into a single multi-source sweep. *)
+let max_batch = 63
+
 let worker st () =
   let gauge_inflight = Obs.gauge_fn st.obs "server.inflight" in
+  let finish c =
+    (* Decrement last: while a request is in flight its client's fd
+       is never closed, so a worker can never write into a reused
+       descriptor. *)
+    ignore (Atomic.fetch_and_add c.inflight (-1));
+    gauge_inflight (-1)
+  in
+  let solo c rid rline =
+    let action, spent = Session.handle_safe c.session ~id:rid rline in
+    (match c.bucket with
+    | Some b when spent > 0 -> bucket_charge b spent
+    | _ -> ());
+    match action with
+    | Session.Silent -> ()
+    | Session.Reply s -> send st c s
+    | Session.Quit s ->
+        send st c s;
+        Atomic.set c.closing true
+  in
+  let batched lead rid rline key =
+    match
+      Admission.take_matching st.queue ~limit:(max_batch - 1) ~f:(fun r ->
+          Atomic.get r.rc.alive
+          && Session.batch_key r.rc.session r.rline = Some key)
+    with
+    | [] -> solo lead rid rline
+    | stolen ->
+        let members = { rc = lead; rid; rline } :: stolen in
+        ignore (Atomic.fetch_and_add st.batched (List.length members));
+        Obs.add st.obs "server.batched" (List.length members);
+        let replies, spents =
+          Session.handle_batch
+            (List.map (fun r -> (r.rc.session, r.rid, r.rline)) members)
+        in
+        List.iter2
+          (fun r (reply, spent) ->
+            (match r.rc.bucket with
+            | Some b when spent > 0 -> bucket_charge b spent
+            | _ -> ());
+            send st r.rc reply)
+          members
+          (List.combine replies spents);
+        (* The leader's inflight is decremented by the pop loop; stolen
+           requests are finished here (per request, not per client — a
+           pipelining client may own several members of one batch). *)
+        List.iter (fun r -> finish r.rc) stolen
+  in
   let rec loop () =
     match Admission.pop st.queue with
     | None -> ()
     | Some { rc = c; rid; rline } ->
-        (if Atomic.get c.alive then begin
-           let action, spent = Session.handle_safe c.session ~id:rid rline in
-           (match c.bucket with
-           | Some b when spent > 0 -> bucket_charge b spent
-           | _ -> ());
-           match action with
-           | Session.Silent -> ()
-           | Session.Reply s -> send st c s
-           | Session.Quit s ->
-               send st c s;
-               Atomic.set c.closing true
-         end);
-        (* Decrement last: while a request is in flight its client's fd
-           is never closed, so a worker can never write into a reused
-           descriptor. *)
-        ignore (Atomic.fetch_and_add c.inflight (-1));
-        gauge_inflight (-1);
+        (if Atomic.get c.alive then
+           match Session.batch_key c.session rline with
+           | Some key -> batched c rid rline key
+           | None -> solo c rid rline);
+        finish c;
         loop ()
   in
   loop ();
@@ -350,6 +390,7 @@ let server_stats st () =
         [
           ("clients", Wire.jint (Atomic.get st.nclients));
           ("queue", Wire.jint (Admission.depth st.queue));
+          ("batched", Wire.jint (Atomic.get st.batched));
           ("draining", Wire.jbool (Atomic.get st.draining));
         ] );
   ]
@@ -610,6 +651,7 @@ let launch cfg =
       draining = Atomic.make false;
       stopped = Atomic.make false;
       nclients = Atomic.make 0;
+      batched = Atomic.make 0;
       workers_done = Atomic.make 0;
       nworkers;
       rbuf = Bytes.create 8192;

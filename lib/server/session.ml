@@ -238,20 +238,24 @@ let governed sess ctx body gov =
       body gov)
 
 (* Run [body] under the session's budgets, retry policy and the [cls]
-   breaker; render the supervised outcome.  [body] returns the answers
-   as display strings. *)
-let supervised sess ctx id ~cls body =
+   breaker.  Split from reply rendering so a batched evaluation can run
+   once and render per member. *)
+let supervised_outcome sess ctx ~cls body =
   let breaker = Breaker.Group.get sess.breakers cls in
-  let sup =
-    Supervise.run ~obs:sess.shared.config.obs ~retry:sess.retry ~breaker
-      ~degraded_max_steps:sess.shared.config.degraded_max_steps
-      ~gov:(governor_of sess)
-      (governed sess ctx body)
-  in
+  Supervise.run ~obs:sess.shared.config.obs ~retry:sess.retry ~breaker
+    ~degraded_max_steps:sess.shared.config.degraded_max_steps
+    ~gov:(governor_of sess)
+    (governed sess ctx body)
+
+(* Render one supervised outcome as [id]'s reply.  [answers_of] projects
+   the payload to this request's display strings — identity for a solo
+   request, the member's slice for a batched one; it must be total on
+   [default] (the [Aborted] payload). *)
+let outcome_reply id ~cls sup ~default ~answers_of =
   match sup.Supervise.outcome with
   | Error err -> error_reply id cls ~attempts:sup.Supervise.attempts err
   | Ok outcome ->
-      let answers = Governor.payload ~default:[] outcome in
+      let answers = answers_of (Governor.payload ~default outcome) in
       let status, code, reason =
         match outcome with
         | Governor.Complete _ ->
@@ -271,6 +275,11 @@ let supervised sess ctx id ~cls body =
             ("answers", jarr (List.map jstr answers));
             ("count", jint (List.length answers));
           ])
+
+(* [body] returns the answers as display strings. *)
+let supervised sess ctx id ~cls body =
+  let sup = supervised_outcome sess ctx ~cls body in
+  outcome_reply id ~cls sup ~default:[] ~answers_of:Fun.id
 
 let graph_or_fail sess =
   match Atomic.get sess.shared.graph with
@@ -440,6 +449,20 @@ let cmd_stats sess id =
               (fun (site, p) -> (site, jstr (Failpoint.policy_to_string p)))
               (Failpoint.armed ())) );
        ("plan", jobj (plan_cache_fields sess.shared.cache));
+       (* The parallelism decision in force: kernel gate plus the last
+          width the policy (or a pinning caller) chose. *)
+       ( "par",
+         jobj
+           (( "kernel",
+              jstr (if Rpq_bitset.enabled () then "bitset" else "scalar") )
+           ::
+           (match Par_policy.last () with
+           | None -> []
+           | Some d ->
+               [
+                 ("width", jint d.Par_policy.width);
+                 ("reason", jstr (Par_policy.reason_slug d.Par_policy.reason));
+               ])) );
      ]
     @ sess.extra_stats ())
 
@@ -532,11 +555,15 @@ let plan_fields ?(obs = Obs.none) cache g text =
         let e = Planner.estimate st c.Plan_cache.ast in
         let dir = Planner.direction_of st c.Plan_cache.ast in
         let pe = est_product_edges st c.Plan_cache.nfa in
+        let kernel =
+          if Rpq_bitset.enabled () then Par_policy.Bitset
+          else Par_policy.Scalar
+        in
         let d =
-          Par_policy.decide
+          Par_policy.decide ~kernel
             ~max_width:(Pool.size (Pool.default ()))
             ~sources:(int_of_float e.Planner.sources)
-            ~product_edges:pe
+            ~product_edges:pe ()
         in
         Ok
           ([
@@ -555,9 +582,15 @@ let plan_fields ?(obs = Obs.none) cache g text =
               ( "parallel",
                 jobj
                   [
+                    ( "kernel",
+                      jstr
+                        (match kernel with
+                        | Par_policy.Bitset -> "bitset"
+                        | Par_policy.Scalar -> "scalar") );
                     ("width", jint d.Par_policy.width);
                     ("work", jint d.Par_policy.work);
                     ("threshold", jint d.Par_policy.threshold);
+                    ("reason", jstr (Par_policy.reason_slug d.Par_policy.reason));
                   ] );
             ])
 
@@ -638,3 +671,148 @@ let handle_safe sess ~id line =
     with e -> Reply (error_reply id "internal" (Gq_error.of_exn e))
   in
   (action, ctx.spent)
+
+(* --- request batching ----------------------------------------------------- *)
+
+(* Requests coalesce when one evaluation can answer all of them: same
+   verb, same regex (hence the same plan-cache entry and compiled
+   automaton), same effective budgets and retry policy, and the same
+   breaker state for the class — so the shared supervised run behaves
+   exactly as each member's solo run would have.  The graph snapshot is
+   read once inside the run, which is also what each queued member would
+   have seen unbatched.  [rpq-from] keys ignore the source node: the
+   bitset kernel packs all the batch's sources into one multi-source
+   traversal. *)
+let budget_signature sess cls =
+  let io = function None -> "-" | Some n -> string_of_int n in
+  let fo = function None -> "-" | Some f -> Printf.sprintf "%h" f in
+  String.concat ","
+    [
+      io sess.max_steps;
+      io sess.max_results;
+      fo sess.timeout;
+      string_of_int sess.retry.Retry.max_attempts;
+      Breaker.state_to_string
+        (Breaker.state (Breaker.Group.get sess.breakers cls));
+    ]
+
+let batch_key sess line =
+  if not (graph_loaded sess.shared) then None
+  else
+    match split_first line with
+    | "rpq", regex when regex <> "" ->
+        Some ("rpq|" ^ regex ^ "|" ^ budget_signature sess "rpq")
+    | "rpq-from", rest -> (
+        match split_first rest with
+        | node, regex when node <> "" && regex <> "" ->
+            Some ("rpq-from|" ^ regex ^ "|" ^ budget_signature sess "rpq-from")
+        | _ -> None)
+    | _ -> None
+
+(* One evaluation, one reply per member, each carrying its own id. *)
+let rpq_batch lead ctx members regex =
+  let obs = lead.shared.config.obs in
+  match Rpq_compile.compile ~obs lead.shared.cache regex with
+  | Error err -> List.map (fun (_, id, _) -> error_reply id "rpq" err) members
+  | Ok c ->
+      let sup =
+        supervised_outcome lead ctx ~cls:"rpq" (fun gov ->
+            let g = Pg.elg (graph_or_fail lead) in
+            Governor.map
+              (List.map (fun (u, v) ->
+                   Elg.node_name g u ^ " -> " ^ Elg.node_name g v))
+              (Rpq_compile.pairs_bounded ~obs lead.shared.cache gov g c))
+      in
+      List.map
+        (fun (_, id, _) ->
+          outcome_reply id ~cls:"rpq" sup ~default:[] ~answers_of:Fun.id)
+        members
+
+(* Distinct source nodes packed into one multi-source run; members with
+   an unknown node get their solo error reply without spoiling the
+   batch, and duplicate nodes share one slot (and its answers). *)
+let rpq_from_batch lead ctx members regex =
+  let obs = lead.shared.config.obs in
+  match Rpq_compile.compile ~obs lead.shared.cache regex with
+  | Error err ->
+      List.map (fun (_, id, _) -> error_reply id "rpq-from" err) members
+  | Ok c -> (
+      match Atomic.get lead.shared.graph with
+      | None ->
+          (* [batch_key] requires a loaded graph; unreachable. *)
+          List.map
+            (fun (_, id, _) ->
+              error_reply id "rpq-from" (Gq_error.Eval "no graph loaded"))
+            members
+      | Some pg ->
+          let g = Pg.elg pg in
+          let slot = Hashtbl.create 8 in
+          let srcs = ref [] and nsrc = ref 0 in
+          let resolved =
+            List.map
+              (fun (_, id, line) ->
+                let node, _ = split_first (snd (split_first line)) in
+                match Elg.node_id g node with
+                | sid ->
+                    let k =
+                      match Hashtbl.find_opt slot sid with
+                      | Some k -> k
+                      | None ->
+                          let k = !nsrc in
+                          Hashtbl.add slot sid k;
+                          srcs := sid :: !srcs;
+                          incr nsrc;
+                          k
+                    in
+                    Ok (id, k)
+                | exception Not_found -> Error (id, node))
+              members
+          in
+          let srcs = Array.of_list (List.rev !srcs) in
+          let sup =
+            supervised_outcome lead ctx ~cls:"rpq-from" (fun gov ->
+                Rpq_compile.from_source_batch ~obs lead.shared.cache gov g c
+                  ~srcs)
+          in
+          List.map
+            (function
+              | Error (id, node) ->
+                  error_reply id "rpq-from" ~attempts:1
+                    (Gq_error.Unknown_node node)
+              | Ok (id, k) ->
+                  outcome_reply id ~cls:"rpq-from" sup ~default:[||]
+                    ~answers_of:(fun arr ->
+                      if k < Array.length arr then
+                        List.map (Elg.node_name g) arr.(k)
+                      else []))
+            resolved)
+
+let handle_batch members =
+  match members with
+  | [] -> ([], [])
+  | (lead, _, line) :: _ ->
+      let ctx = { spent = 0 } in
+      let verb, rest = split_first line in
+      let replies =
+        match verb with
+        | "rpq" -> rpq_batch lead ctx members rest
+        | "rpq-from" -> rpq_from_batch lead ctx members (snd (split_first rest))
+        | _ ->
+            (* [batch_key] only keys rpq/rpq-from; fall back per member. *)
+            List.map
+              (fun (sess, id, l) ->
+                let action, spent = handle_safe sess ~id l in
+                ctx.spent <- ctx.spent + spent;
+                match action with Reply r | Quit r -> r | Silent -> "")
+              members
+      in
+      (* Split the governed work across the coalesced requests: every
+         member's client is charged a fair share of the one run. *)
+      let n = List.length members in
+      let share = ctx.spent / n in
+      let spents =
+        List.mapi
+          (fun i _ -> if i = 0 then ctx.spent - (share * (n - 1)) else share)
+          members
+      in
+      (replies, spents)

@@ -68,6 +68,27 @@ val handle_safe : t -> id:int -> string -> action * int
 (** First space-separated token and trimmed remainder. *)
 val split_first : string -> string * string
 
+(** {1 Request batching}
+
+    Queued requests that would run the same compiled automaton under the
+    same budgets coalesce into one evaluation, fanned back out per
+    client (the serve-mode face of the multi-source bitset kernel). *)
+
+(** [batch_key sess line] — [Some key] when [line] is batchable for this
+    session: rpq / rpq-from with the key covering verb, regex, effective
+    budgets, retry policy and breaker state (rpq-from keys ignore the
+    source node — sources pack into one multi-source run).  [None] for
+    everything else, including when no graph is loaded. *)
+val batch_key : t -> string -> string option
+
+(** [handle_batch members] — evaluate a batch of key-equal requests
+    [(session, id, line)] once and render one reply per member, in
+    order, each under its own id; the second list is each member's share
+    of the governed work (for token-bucket charging).  The first member
+    is the leader: its session's budgets/retry/breaker drive the run
+    (equal across members by construction of the key). *)
+val handle_batch : (t * int * string) list -> string list * int list
+
 (** {1 Reply rendering} *)
 
 val reply :

@@ -23,6 +23,19 @@ if grep -v '^{"span":".*","domain":[0-9]*,"depth":[0-9]*,"start_s":[0-9.]*,"end_
   exit 1
 fi
 
+# E22 is fatal on any disagreement between the packed kernel (serial or
+# width-2) and the scalar indexed engine, so a zero exit is itself the
+# parity gate; additionally pin that the rows carry the packed-kernel
+# counters and a genuine width-2 row.
+"$BENCH" E22 --quick > "$tmp/e22.out"
+
+grep -q '"engine":"bitset-serial".*"rpq.bitset.sweeps":' "$tmp/e22.out" \
+  || { echo "bench-smoke: E22 bitset row carries no packed-kernel counters" >&2; exit 1; }
+grep -q '"engine":"bitset-parallel".*"rpq.par_width":2' "$tmp/e22.out" \
+  || { echo "bench-smoke: E22 has no width-2 row" >&2; exit 1; }
+grep -q '"graph":"hub".*"engine":"bitset-serial"' "$tmp/e22.out" \
+  || { echo "bench-smoke: E22 is missing the hub workload" >&2; exit 1; }
+
 # E20 enforces its own fatal checks: warm-cache answers equal cold,
 # warm >= 3x faster, planner answers equal left-to-right, planner faster
 # on the skewed graph.  Here we additionally pin the row shape.
@@ -33,4 +46,4 @@ grep -q '"phase":"cache","mode":"warm"' "$tmp/e20.out" \
 grep -q '"phase":"planner","planner":true.*"est_card":' "$tmp/e20.out" \
   || { echo "bench-smoke: E20 planner row carries no estimate" >&2; exit 1; }
 
-echo "bench-smoke: E17 counters/trace and E20 plan checks OK"
+echo "bench-smoke: E17 counters/trace, E22 kernel parity and E20 plan checks OK"

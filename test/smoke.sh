@@ -90,10 +90,19 @@ run_expect 0 "$GQD" query "$tmp/bank.graph" \
   'MATCH (x:Account)-[:Transfer]->(y) RETURN x.owner, y.owner'
 check_golden query.out "$tmp/out"
 
-# --metrics: the counter summary is deterministic on a serial run.
-run_expect 0 "$GQD" rpq "$tmp/bank.graph" 'Transfer.Transfer*' --metrics --domains 1
+# --metrics: the counter summary is deterministic on a serial run.  The
+# kernel is pinned because the packed and scalar engines count different
+# work (span sweeps vs per-source pushes) and `make check-bitset` re-runs
+# this suite under both GQ_BITSET settings; each kernel has its own golden.
+run_expect 0 env GQ_BITSET=on "$GQD" rpq "$tmp/bank.graph" 'Transfer.Transfer*' \
+  --metrics --domains 1
 check_golden rpq_pairs.out "$tmp/out"
 check_golden metrics.err "$tmp/err"
+
+run_expect 0 env GQ_BITSET=off "$GQD" rpq "$tmp/bank.graph" 'Transfer.Transfer*' \
+  --metrics --domains 1
+check_golden rpq_pairs.out "$tmp/out"
+check_golden metrics_scalar.err "$tmp/err"
 
 # --trace-json: every line is a JSON object with the span fields.
 run_expect 0 "$GQD" rpq "$tmp/bank.graph" 'Transfer.Transfer*' \
@@ -109,7 +118,9 @@ fi
 # Golden transcripts, run from inside $tmp so file paths in replies are
 # relative and stable.  Each session pins GQ_FAILPOINTS itself (including
 # pinning it empty) so the transcripts hold under `make check-faults`,
-# which runs the whole suite with an ambient fault schedule.
+# which runs the whole suite with an ambient fault schedule, and pins
+# GQ_BITSET=on because partial payloads and the `stats` kernel field are
+# kernel-sensitive and `make check-bitset` re-runs the suite with it off.
 GQD_ABS=$(cd "$(dirname "$GQD")" && pwd)/$(basename "$GQD")
 
 printf 'node n1 N\nfrobnicate x y\n' > "$tmp/bad.graph"
@@ -132,7 +143,7 @@ rpq-from a1 Transfer*
 quit
 EOF
 set +e
-(cd "$tmp" && GQ_FAILPOINTS="serve.eval=every:2" "$GQD_ABS" --serve \
+(cd "$tmp" && GQ_FAILPOINTS="serve.eval=every:2" GQ_BITSET=on "$GQD_ABS" --serve \
   < serve_faults.in > serve_faults.out 2> serve_faults.err)
 code=$?
 set -e
@@ -160,7 +171,7 @@ stats
 quit
 EOF
 set +e
-(cd "$tmp" && GQ_FAILPOINTS= GQ_PLAN=on GQ_PLAN_CACHE=on \
+(cd "$tmp" && GQ_FAILPOINTS= GQ_PLAN=on GQ_PLAN_CACHE=on GQ_BITSET=on \
   "$GQD_ABS" --serve --breaker-threshold 2 \
   < serve_breaker.in > serve_breaker.out 2> serve_breaker.err)
 code=$?
@@ -191,7 +202,7 @@ plan Transfer.Transfer*
 quit
 EOF
 set +e
-(cd "$tmp" && GQ_FAILPOINTS= GQ_PLAN=on GQ_PLAN_CACHE=on "$GQD_ABS" --serve \
+(cd "$tmp" && GQ_FAILPOINTS= GQ_PLAN=on GQ_PLAN_CACHE=on GQ_BITSET=on "$GQD_ABS" --serve \
   < serve_plan.in > serve_plan.out 2> serve_plan.err)
 code=$?
 set -e
@@ -225,7 +236,7 @@ wait_sock() {
 
 # (a) A zero-capacity server answers the connection itself with a
 #     structured shed reply and closes it; draining it exits 0.
-GQ_FAILPOINTS= GQ_PLAN=on GQ_PLAN_CACHE=on \
+GQ_FAILPOINTS= GQ_PLAN=on GQ_PLAN_CACHE=on GQ_BITSET=on \
   "$GQD_ABS" --listen "unix:$SOCK" --max-clients 0 \
   > /dev/null 2> "$tmp/serve_server.err" &
 SRV=$!
@@ -246,7 +257,7 @@ wait "$SRV" || {
 #     loading.  Finally SIGTERM lands while a request is mid-evaluation:
 #     graceful drain still delivers that reply, exits 0, and unlinks
 #     the socket.
-( cd "$tmp" && GQ_FAILPOINTS="serve.eval=delay:200" GQ_PLAN=on GQ_PLAN_CACHE=on \
+( cd "$tmp" && GQ_FAILPOINTS="serve.eval=delay:200" GQ_PLAN=on GQ_PLAN_CACHE=on GQ_BITSET=on \
   exec "$GQD_ABS" --listen "unix:$SOCK" --workers 1 --client-inflight 1 \
   > /dev/null 2> "$tmp/serve_server.err" ) &
 SRV=$!
@@ -272,5 +283,43 @@ wait "$SRV" || {
 [ ! -S "$SOCK" ] || { echo "smoke: drain left the socket behind" >&2; exit 1; }
 SRV=
 check_golden serve_server.out "$tmp/serve_server.out"
+
+# Transcript 5: request batching.  One worker and a 300 ms evaluation
+# delay hold the first client's `load` in flight while both clients'
+# identical cached `rpq` requests queue behind it; the worker then pops
+# one, steals the other (same plan-cache entry, same budgets) and
+# answers both from a single multi-source run.  Each client's transcript
+# must be byte-identical to what a solo run would have answered, under
+# its own request id, and `stats` afterwards counts both batch members.
+( cd "$tmp" && GQ_FAILPOINTS="serve.eval=delay:300" GQ_PLAN=on GQ_PLAN_CACHE=on GQ_BITSET=on \
+  exec "$GQD_ABS" --listen "unix:$SOCK" --workers 1 \
+  > /dev/null 2> "$tmp/serve_batch.err" ) &
+SRV=$!
+wait_sock "$SOCK"
+printf 'load bank.graph\nrpq Transfer.Transfer*\n' \
+  | GQ_FAILPOINTS= "$GQD_ABS" client "unix:$SOCK" --pipeline \
+  > "$tmp/serve_batch_a.out" &
+CLI_A=$!
+sleep 0.1
+printf 'rpq Transfer.Transfer*\n' \
+  | GQ_FAILPOINTS= "$GQD_ABS" client "unix:$SOCK" --pipeline \
+  > "$tmp/serve_batch_b.out" &
+CLI_B=$!
+wait "$CLI_A" || { echo "smoke: batch leader client failed" >&2; exit 1; }
+wait "$CLI_B" || { echo "smoke: batch follower client failed" >&2; exit 1; }
+printf 'stats\n' | GQ_FAILPOINTS= "$GQD_ABS" client "unix:$SOCK" \
+  > "$tmp/serve_batch_stats.out"
+kill -TERM "$SRV"
+wait "$SRV" || {
+  echo "smoke: batch server exited nonzero" >&2
+  cat "$tmp/serve_batch.err" >&2
+  exit 1
+}
+SRV=
+check_golden serve_batch_a.out "$tmp/serve_batch_a.out"
+check_golden serve_batch_b.out "$tmp/serve_batch_b.out"
+grep -q '"batched":2' "$tmp/serve_batch_stats.out" \
+  || { echo "smoke: stats did not report 2 batched requests" >&2
+       cat "$tmp/serve_batch_stats.out" >&2; exit 1; }
 
 echo "smoke: all CLI checks passed"

@@ -138,19 +138,39 @@ let test_stats () =
 (* --- Par_policy ---------------------------------------------------------- *)
 
 let test_par_policy () =
-  let d = Par_policy.decide ~max_width:8 ~sources:10 ~product_edges:10 in
+  let d = Par_policy.decide ~max_width:8 ~sources:10 ~product_edges:10 () in
   Alcotest.(check int) "tiny work stays serial" 1 d.Par_policy.width;
   Alcotest.(check int) "work = sources x edges" 100 d.Par_policy.work;
+  Alcotest.(check bool) "below-threshold reason" true
+    (d.Par_policy.reason = Par_policy.Below_threshold);
   let d2 =
     Par_policy.decide ~max_width:8 ~sources:1_000_000 ~product_edges:1_000_000
+      ()
   in
   Alcotest.(check bool) "work saturates without overflow" true
     (d2.Par_policy.work > 0);
   Alcotest.(check int) "wide work forks up to hardware"
     (max 1 (min 8 (Par_policy.hardware ())))
     d2.Par_policy.width;
-  let d3 = Par_policy.decide ~max_width:1 ~sources:max_int ~product_edges:2 in
-  Alcotest.(check int) "max_width caps the decision" 1 d3.Par_policy.width
+  let d3 =
+    Par_policy.decide ~max_width:1 ~sources:max_int ~product_edges:2 ()
+  in
+  Alcotest.(check int) "max_width caps the decision" 1 d3.Par_policy.width;
+  (* Bitset work is counted in 63-source blocks. *)
+  let db =
+    Par_policy.decide ~kernel:Par_policy.Bitset ~max_width:8 ~sources:126
+      ~product_edges:10 ()
+  in
+  Alcotest.(check int) "bitset units are blocks" 2 db.Par_policy.units;
+  Alcotest.(check int) "bitset work = blocks x edges" 20 db.Par_policy.work;
+  (* The last decision is recorded for serve stats. *)
+  (match Par_policy.last () with
+  | Some l -> Alcotest.(check int) "last records the decision" 20 l.Par_policy.work
+  | None -> Alcotest.fail "expected a last decision");
+  let dp = Par_policy.pinned ~width:4 in
+  Alcotest.(check bool) "pinned reason" true
+    (dp.Par_policy.reason = Par_policy.Pinned);
+  Alcotest.(check int) "pinned width" 4 dp.Par_policy.width
 
 (* --- Planner: pins ------------------------------------------------------- *)
 

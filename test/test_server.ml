@@ -287,7 +287,10 @@ let test_queue_full_shed () =
    into debt, and its next request is shed with a computed retry hint —
    the isolation mechanism of E21. *)
 let test_budget_shed () =
-  let@ t = with_server (base_config ~workers:2 ~client_budget:5000 ()) in
+  (* Budget below the cost of [rpq a*] on the line graph under either
+     kernel: the bitset engine charges one tick per span *sweep*, so the
+     same query costs ~63x fewer steps than the scalar engine's ~40k. *)
+  let@ t = with_server (base_config ~workers:2 ~client_budget:500 ()) in
   let c = connect t in
   send c (Printf.sprintf "load %s" (Lazy.force line_file));
   let r1 = recv c in
@@ -407,6 +410,61 @@ let test_stats_server_block () =
     (has_field r "clients" "1" && has_field r "draining" "false");
   close_client c
 
+(* --- request batching: attribution and parity ----------------------------- *)
+
+(* Two pipelined clients issuing the identical cached query must get
+   byte-identical, correctly-attributed replies from one batched run —
+   each exactly what a fresh solo session would have answered under its
+   own id. *)
+let test_session_batching () =
+  let shared = Session.make_shared Session.default_config in
+  let sa = Session.create shared and sb = Session.create shared in
+  Alcotest.(check bool) "not batchable before load" true
+    (Session.batch_key sa "rpq Transfer*" = None);
+  (match Session.handle_safe sa ~id:1 (Printf.sprintf "load %s" (Lazy.force bank_file)) with
+  | Session.Reply _, _ -> ()
+  | _ -> Alcotest.fail "load failed");
+  Alcotest.(check bool) "rpq batchable" true
+    (Session.batch_key sa "rpq Transfer*" <> None);
+  Alcotest.(check bool) "key equal across sessions" true
+    (Session.batch_key sa "rpq Transfer*" = Session.batch_key sb "rpq Transfer*");
+  Alcotest.(check bool) "different regex, different key" true
+    (Session.batch_key sa "rpq Transfer*" <> Session.batch_key sa "rpq Transfer");
+  Alcotest.(check bool) "ping not batchable" true
+    (Session.batch_key sa "ping" = None);
+  (* Reference: what a fresh solo session answers for [line] under [id]. *)
+  let solo id line =
+    match Session.handle_safe (Session.create shared) ~id line with
+    | Session.Reply r, _ -> r
+    | _ -> Alcotest.fail "expected a reply"
+  in
+  let replies, spents =
+    Session.handle_batch [ (sa, 5, "rpq Transfer*"); (sb, 9, "rpq Transfer*") ]
+  in
+  (match replies with
+  | [ ra; rb ] ->
+      Alcotest.(check string) "leader attributed" (solo 5 "rpq Transfer*") ra;
+      Alcotest.(check string) "follower attributed" (solo 9 "rpq Transfer*") rb
+  | _ -> Alcotest.fail "expected two replies");
+  Alcotest.(check int) "one spent share per member" 2 (List.length spents);
+  (* rpq-from: distinct sources pack into one multi-source run; a repeat
+     source dedups; an unknown source gets its own structured error. *)
+  let lines =
+    [
+      (sa, 11, "rpq-from a1 Transfer*");
+      (sb, 12, "rpq-from a2 Transfer*");
+      (sa, 13, "rpq-from a1 Transfer*");
+      (sb, 14, "rpq-from nosuch Transfer*");
+    ]
+  in
+  let replies, spents = Session.handle_batch lines in
+  Alcotest.(check int) "four replies" 4 (List.length replies);
+  Alcotest.(check int) "four spent shares" 4 (List.length spents);
+  List.iter2
+    (fun (_, id, line) r ->
+      Alcotest.(check string) (Printf.sprintf "rpq-from id %d" id) (solo id line) r)
+    lines replies
+
 (* --- property: server sessions = stdio session, query by query ----------- *)
 
 let command_pool =
@@ -502,6 +560,8 @@ let () =
           Alcotest.test_case "watchdog cancels runaway" `Quick
             test_watchdog_cancels_runaway;
           Alcotest.test_case "stats server block" `Quick test_stats_server_block;
+          Alcotest.test_case "batched replies attributed" `Quick
+            test_session_batching;
         ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest prop_server_equals_session ] );
