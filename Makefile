@@ -1,4 +1,4 @@
-.PHONY: all check check-faults check-plan check-serve check-bitset test bench bench-smoke clean
+.PHONY: all check check-faults check-plan check-serve check-bitset check-updates test bench bench-smoke clean
 
 all:
 	dune build @all
@@ -14,13 +14,14 @@ check:
 	$(MAKE) check-plan
 	$(MAKE) check-serve
 	$(MAKE) check-bitset
+	$(MAKE) check-updates
 
 # The whole suite again with every library failpoint site armed — a
 # delay-only schedule, so checks take the armed slow path (registry
 # lookup, counters, sleeps) without changing any answer; the serve-mode
 # transcripts pin their own GQ_FAILPOINTS on top.  Run at pool widths 1
 # and 4 so the armed sites are also crossed from parallel domains.
-FAULT_SCHEDULE = graph.load=delay:1,rpq.product.build=delay:0,rpq.bfs.step=delay:0,crpq.join.atom=delay:0,pool.fork=delay:0,serve.eval=delay:0
+FAULT_SCHEDULE = graph.load=delay:1,graph.delta=delay:0,graph.save=delay:0,rpq.product.build=delay:0,rpq.bfs.step=delay:0,crpq.join.atom=delay:0,pool.fork=delay:0,serve.eval=delay:0
 check-faults:
 	dune build @all
 	GQ_FAILPOINTS="$(FAULT_SCHEDULE)" GQ_DOMAINS=1 dune runtest --force
@@ -57,6 +58,17 @@ check-bitset:
 	GQ_BITSET=off GQ_DOMAINS=4 dune runtest --force
 	GQ_BITSET=on GQ_DOMAINS=1 dune runtest --force
 	GQ_BITSET=on GQ_DOMAINS=4 dune runtest --force
+
+# The update/persistence suite (test/test_updates.ml) under the armed
+# delta/save failpoint sites, at pool widths 1 and 4: the model-based
+# properties must hold when incremental application is crossed from
+# parallel domains and every update-path failpoint takes the armed
+# slow path.
+UPDATE_SCHEDULE = graph.delta=delay:0,graph.save=delay:0,graph.load=delay:0
+check-updates:
+	dune build test/test_updates.exe
+	GQ_FAILPOINTS="$(UPDATE_SCHEDULE)" GQ_DOMAINS=1 dune exec test/test_updates.exe
+	GQ_FAILPOINTS="$(UPDATE_SCHEDULE)" GQ_DOMAINS=4 dune exec test/test_updates.exe
 
 test: check
 

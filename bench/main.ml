@@ -1662,12 +1662,169 @@ let e22 () =
     exit 1
   end
 
+(* ======================================================================== *)
+(* E23: interleaved update/query stream — incremental delta application     *)
+(* with label-keyed cache invalidation vs a full text-reload baseline       *)
+(* (JSONL; `--out=BENCH_updates.json`).                                     *)
+(* ======================================================================== *)
+
+let e23 () =
+  header "E23"
+    "interleaved updates: incremental apply + label-keyed invalidation vs full reload (JSONL)";
+  let failures = ref 0 in
+  (* Answer equality between the two pipelines is the acceptance contract
+     and fatal; the hit-rate and timing rows are the claims under
+     measurement. *)
+  let require name ok =
+    check name ok;
+    if not ok then incr failures
+  in
+  let n = if !quick then 300 else 1_500 in
+  let rounds = if !quick then 10 else 40 in
+  let g0 =
+    Generators.random_pg ~seed:31 ~nodes:n ~edges:(5 * n)
+      ~labels:[ "a"; "b"; "c"; "d" ] ~prop:"w" ~max_value:9
+  in
+  (* The query stream mentions only labels a..c; every delta touches only
+     label d and only existing nodes, so the label-keyed sweep keeps each
+     query's product warm across every round, while the full-reload
+     baseline — serialize, reparse, drop the whole graph-keyed cache, as
+     an operator without delta support would — recompiles it each time.
+     The planner is pinned off so both pipelines evaluate forward
+     products only (backward evaluation would rebuild the reversed
+     graph, which invalidation always drops). *)
+  let queries = [ "a.b*"; "(a|b).c"; "b*.c"; "a.(b|c)*" ] in
+  let nq = List.length queries in
+  let delta_ops r =
+    (* One fresh d-edge between existing nodes per round; the previous
+       round's d-edge is deleted in the same batch, so the graph size
+       stays flat and every round genuinely touches the CSR. *)
+    let src = r * 7919 mod n and tgt = r * 104_729 mod n in
+    let add = Printf.sprintf "add u%d v%d d v%d" r src tgt in
+    let text = if r = 0 then add else Printf.sprintf "%s\ndel u%d" add (r - 1) in
+    match Delta.parse_res text with Ok ops -> ops | Error _ -> assert false
+  in
+  let run_mode on_delta =
+    let cache = Rpq_compile.create ~enabled:true () in
+    let lats = Array.make (rounds * nq) 0.0 in
+    let ((answers, final_pg), counters), total_ms =
+      oneshot_ms (fun () ->
+          counted (fun obs ->
+              let pg = ref g0 in
+              Rpq_compile.set_generation cache (Elg.id (Pg.elg !pg));
+              let answers = ref [] in
+              for r = 0 to rounds - 1 do
+                (match Delta.apply_res !pg (delta_ops r) with
+                | Error _ -> assert false
+                | Ok applied -> pg := on_delta cache obs ~old:!pg applied);
+                List.iteri
+                  (fun qi q ->
+                    match Rpq_compile.compile ~obs cache q with
+                    | Error _ -> assert false
+                    | Ok c ->
+                        let ans, ms =
+                          oneshot_ms (fun () ->
+                              Governor.payload ~default:[]
+                                (Rpq_compile.pairs_bounded ~obs ~planner:false
+                                   cache (Governor.unlimited ()) (Pg.elg !pg) c))
+                        in
+                        lats.((r * nq) + qi) <- ms;
+                        answers := ans :: !answers)
+                  queries
+              done;
+              (List.rev !answers, !pg)))
+    in
+    Array.sort compare lats;
+    (answers, final_pg, counters, total_ms, lats, cache)
+  in
+  let incremental cache obs ~old applied =
+    let s = applied.Delta.summary in
+    Rpq_compile.apply_delta ~obs cache ~old_graph:(Pg.elg old)
+      ~new_graph:(Pg.elg applied.Delta.pg)
+      ~touched_labels:s.Elg.touched_labels
+      ~nodes_stable:(s.Elg.added_nodes = 0);
+    applied.Delta.pg
+  in
+  let full_reload cache _obs ~old:_ applied =
+    match Graph_io.parse_res (Graph_io.to_string applied.Delta.pg) with
+    | Error _ -> assert false
+    | Ok pg ->
+        Rpq_compile.set_generation cache (Elg.id (Pg.elg pg));
+        pg
+  in
+  let inc_answers, final_pg, inc_counters, inc_ms, inc_lats, inc_cache =
+    run_mode incremental
+  in
+  let base_answers, _, base_counters, base_ms, base_lats, base_cache =
+    run_mode full_reload
+  in
+  let hit_rate cache =
+    let h = Rpq_compile.product_hits cache
+    and m = Rpq_compile.product_misses cache in
+    if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m)
+  in
+  let row mode ms lats cache counters =
+    emit_row
+      (Printf.sprintf
+         "{\"experiment\":\"E23\",\"mode\":%S,\"rounds\":%d,\"queries\":%d,\"elapsed_ms\":%.2f,\"p50_ms\":%.3f,\"p99_ms\":%.3f,\"product_hits\":%d,\"product_misses\":%d,\"hit_rate\":%.3f,\"retained\":%d,\"invalidated_by_label\":%d,\"counters\":%s}"
+         mode rounds (rounds * nq) ms (percentile lats 0.5)
+         (percentile lats 0.99)
+         (Rpq_compile.product_hits cache)
+         (Rpq_compile.product_misses cache)
+         (hit_rate cache) (Rpq_compile.retained cache)
+         (Rpq_compile.invalidated_by_label cache)
+         (counters_json counters))
+  in
+  row "incremental" inc_ms inc_lats inc_cache inc_counters;
+  row "full_reload" base_ms base_lats base_cache base_counters;
+  Printf.printf "  stream speedup: %.1fx (hit rate %.2f vs %.2f)\n"
+    (base_ms /. inc_ms) (hit_rate inc_cache) (hit_rate base_cache);
+  require "incremental and full-reload answers are identical on every query"
+    (inc_answers = base_answers);
+  require "incremental product hit-rate strictly above the full-reload baseline"
+    (hit_rate inc_cache > hit_rate base_cache);
+  require "label-disjoint products migrated warm across the deltas"
+    (Rpq_compile.retained inc_cache > 0);
+
+  (* --- persistence: GQB1 binary snapshot vs the text format --------------- *)
+  let iters = if !quick then 10 else 30 in
+  let txt = Graph_io.to_string final_pg in
+  let bin = Graph_io.to_bin_string final_pg in
+  let load_text s = match Graph_io.parse_res s with Ok pg -> pg | Error _ -> assert false in
+  let load_bin s =
+    match Graph_io.of_bin_string_res s with Ok pg -> pg | Error _ -> assert false
+  in
+  let _, txt_ms =
+    oneshot_ms (fun () -> for _ = 1 to iters do ignore (load_text txt) done)
+  in
+  let _, bin_ms =
+    oneshot_ms (fun () -> for _ = 1 to iters do ignore (load_bin bin) done)
+  in
+  let prow fmt bytes ms =
+    emit_row
+      (Printf.sprintf
+         "{\"experiment\":\"E23\",\"phase\":\"persistence\",\"format\":%S,\"bytes\":%d,\"load_ms_per_iter\":%.3f}"
+         fmt bytes (ms /. float_of_int iters))
+  in
+  prow "text" (String.length txt) txt_ms;
+  prow "binary" (String.length bin) bin_ms;
+  Printf.printf "  binary load: %.1fx text parse (%d vs %d bytes)\n"
+    (txt_ms /. bin_ms) (String.length bin) (String.length txt);
+  let rt = load_bin bin in
+  require "binary round-trip reproduces the graph exactly"
+    (Graph_io.to_string rt = txt);
+  require "binary load beats text parse" (bin_ms < txt_ms);
+  if !failures > 0 then begin
+    Printf.eprintf "E23: %d check(s) failed\n" !failures;
+    exit 1
+  end
+
 let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
     ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
-    ("E19", e19); ("E20", e20); ("E21", e21); ("E22", e22);
+    ("E19", e19); ("E20", e20); ("E21", e21); ("E22", e22); ("E23", e23);
   ]
 
 let () =

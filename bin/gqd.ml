@@ -5,7 +5,9 @@
      edge <name> <src> <label> <tgt> [key=value ...]
 
    Subcommands: info, rpq, shortest, gql, pmr, static, typecheck,
-   estimate, plan, demo.
+   estimate, plan, demo, save-bin, add-edge, del-edge, delta-load.
+   Graph-reading subcommands accept either the text format or the GQB1
+   binary snapshot (sniffed by magic).
 
    Every error funnels through [or_die] and the shared [Gq_error] type,
    so exit codes are stable across subcommands: 1 parse/unknown-node,
@@ -22,7 +24,7 @@ let or_die = function
       Printf.eprintf "error: %s\n" (Gq_error.to_string err);
       exit (Gq_error.exit_code err)
 
-let load path = or_die (Graph_io.parse_file_res path)
+let load path = or_die (Graph_io.load_file_res path)
 
 let node_id_or_die g name =
   match Elg.node_id g name with
@@ -378,6 +380,105 @@ let plan_cmd =
              evaluating it.")
     Term.(const run $ graph_arg $ query)
 
+(* --- updates & persistence ------------------------------------------------ *)
+
+let save_bin_cmd =
+  let run path out =
+    let pg = load path in
+    let bytes = or_die (Graph_io.save_bin_res pg out) in
+    let g = Pg.elg pg in
+    Printf.printf "wrote %s: %d nodes, %d edges, %d bytes\n" out
+      (Elg.nb_nodes g) (Elg.nb_edges g) bytes
+  in
+  let out =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT"
+           ~doc:"Output file for the binary snapshot.")
+  in
+  Cmd.v
+    (Cmd.info "save-bin"
+       ~doc:"Write the graph as a GQB1 binary snapshot (checksummed; \
+             loads an order of magnitude faster than the text format).")
+    Term.(const run $ graph_arg $ out)
+
+let delta_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "out"; "o" ] ~docv:"FILE"
+           ~doc:"Write the updated graph to $(docv) (text format, or GQB1 \
+                 binary with --binary).")
+
+let delta_binary_arg =
+  Arg.(value & flag
+       & info [ "binary" ] ~doc:"With --out, write the GQB1 binary format.")
+
+let write_graph pg ~binary path =
+  if binary then ignore (or_die (Graph_io.save_bin_res pg path))
+  else
+    try
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Graph_io.to_string pg))
+    with Sys_error msg -> or_die (Error (Gq_error.Io msg))
+
+(* Shared tail of the one-shot delta subcommands: apply, optionally
+   persist, report the delta summary. *)
+let run_delta path ops out binary =
+  let pg = load path in
+  let applied = or_die (Delta.apply_res pg ops) in
+  (match out with
+  | Some p -> write_graph applied.Delta.pg ~binary p
+  | None -> ());
+  let g = Pg.elg applied.Delta.pg in
+  let s = applied.Delta.summary in
+  Printf.printf "nodes:   %d\nedges:   %d\nadded:   %d\nremoved: %d\n"
+    (Elg.nb_nodes g) (Elg.nb_edges g) s.Elg.added_edges s.Elg.removed_edges
+
+let add_edge_cmd =
+  let run path name src label tgt props out binary =
+    let line = String.concat " " ("add" :: name :: src :: label :: tgt :: props) in
+    run_delta path (or_die (Delta.parse_res line)) out binary
+  in
+  let name_a = Arg.(required & pos 1 (some string) None & info [] ~docv:"NAME") in
+  let src_a = Arg.(required & pos 2 (some string) None & info [] ~docv:"SRC") in
+  let label_a = Arg.(required & pos 3 (some string) None & info [] ~docv:"LABEL") in
+  let tgt_a = Arg.(required & pos 4 (some string) None & info [] ~docv:"TGT") in
+  let props_a =
+    Arg.(value & pos_right 4 string [] & info [] ~docv:"KEY=VALUE"
+           ~doc:"Edge properties.")
+  in
+  Cmd.v
+    (Cmd.info "add-edge"
+       ~doc:"Insert one edge (implicitly creating absent endpoints) and \
+             report the updated graph; --out persists it.")
+    Term.(const run $ graph_arg $ name_a $ src_a $ label_a $ tgt_a $ props_a
+          $ delta_out_arg $ delta_binary_arg)
+
+let del_edge_cmd =
+  let run path name out binary =
+    run_delta path [ Pg.Del_edge name ] out binary
+  in
+  let name_a = Arg.(required & pos 1 (some string) None & info [] ~docv:"NAME") in
+  Cmd.v
+    (Cmd.info "del-edge"
+       ~doc:"Delete one edge by name (nodes are never deleted); --out \
+             persists the updated graph.")
+    Term.(const run $ graph_arg $ name_a $ delta_out_arg $ delta_binary_arg)
+
+let delta_load_cmd =
+  let run path delta out binary =
+    run_delta path (or_die (Delta.parse_file_res delta)) out binary
+  in
+  let delta =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"DELTA"
+           ~doc:"Delta file: one `add NAME SRC LABEL TGT [key=value ...]` \
+                 or `del NAME` per line.")
+  in
+  Cmd.v
+    (Cmd.info "delta-load"
+       ~doc:"Apply a batch of edge insertions/deletions (sequential \
+             semantics) incrementally; --out persists the result.")
+    Term.(const run $ graph_arg $ delta $ delta_out_arg $ delta_binary_arg)
+
 (* --- demo ---------------------------------------------------------------- *)
 
 let demo_cmd =
@@ -638,6 +739,6 @@ let () =
   let cmd =
     Cmd.group ~default:serve_term
       (Cmd.info "gqd" ~version:"1.0.0" ~doc)
-      [ info_cmd; rpq_cmd; shortest_cmd; gql_cmd; query_cmd; pmr_cmd; static_cmd; typecheck_cmd; estimate_cmd; plan_cmd; demo_cmd; client_cmd ]
+      [ info_cmd; rpq_cmd; shortest_cmd; gql_cmd; query_cmd; pmr_cmd; static_cmd; typecheck_cmd; estimate_cmd; plan_cmd; save_bin_cmd; add_edge_cmd; del_edge_cmd; delta_load_cmd; demo_cmd; client_cmd ]
   in
   exit (Cmd.eval cmd)

@@ -1,0 +1,50 @@
+(** Delta mutations: edge insertions/deletions applied incrementally.
+
+    The textual delta format, one op per line:
+
+    {v
+    # comment
+    add <name> <src> <label> <tgt> [key=value ...]
+    del <name>
+    v}
+
+    Nodes mentioned by [add] and absent from the graph are created
+    implicitly (as in the graph text format).  A batch has sequential
+    semantics; see {!Pg.apply_delta_res}.
+
+    Application goes through {!Elg.apply_delta} (shared node arrays and
+    label table where untouched, counting-pass index rebuild — no
+    reparse, no re-interning) and maintains {!Stats} *incrementally*:
+    per-label counters adjust by the touched edges, degree histograms by
+    the touched endpoints, with a full rescan only for a dethroned
+    maximum degree.  The resulting statistics are registered in the
+    {!Stats.get} memo, so post-delta planning pays no scan.
+
+    Carries the failpoint site [graph.delta] (checked before any work).
+
+    The model-based suite in [test/test_updates.ml] pins the whole
+    pipeline against a from-scratch rebuild: identical CSR adjacency,
+    interned-label order, statistics, and query answers. *)
+
+exception Parse_error of string
+
+(** Total parsers for the delta text format ([Error] carries
+    [Gq_error.Parse {what = "delta"}]; file errors map to [Io]). *)
+val parse_res : string -> (Pg.delta_op list, Gq_error.t) result
+
+val parse_file_res : string -> (Pg.delta_op list, Gq_error.t) result
+
+type applied = {
+  pg : Pg.t;  (** the new snapshot; the input graph is untouched *)
+  summary : Elg.delta_summary;
+  stats : Stats.t;  (** incrementally maintained, already registered *)
+}
+
+(** Apply a batch.  Total: bad ops (unknown/duplicate names) return
+    [Error (Parse {what = "delta"})] and leave the input graph and the
+    statistics memo untouched.  Only [Failpoint.Injected] escapes, for
+    supervision layers to classify. *)
+val apply_res : Pg.t -> Pg.delta_op list -> (applied, Gq_error.t) result
+
+(** [parse_file_res] then [apply_res]. *)
+val apply_file_res : Pg.t -> string -> (applied, Gq_error.t) result

@@ -33,16 +33,10 @@ type t = {
   dir_start : int array;
 }
 
-let build_index ~nb_nodes ~nb_edges ~src ~tgt ~lbl =
-  (* Interning: dense ids in sorted label order, so ids are stable under
-     edge reordering and [labels] stays the sorted list it always was. *)
-  let label_names =
-    Array.to_list lbl |> List.sort_uniq String.compare |> Array.of_list
-  in
-  let nb_labels = Array.length label_names in
-  let label_ids = Hashtbl.create (max 8 nb_labels) in
-  Array.iteri (fun i a -> Hashtbl.add label_ids a i) label_names;
-  let elbl = Array.map (fun a -> Hashtbl.find label_ids a) lbl in
+(* CSR + label partition from already-interned arrays.  Split out of
+   [build_index] so delta application and the binary loader can rebuild
+   the index with pure counting passes — no string hashing or sorting. *)
+let index_of_elbl ~nb_nodes ~nb_edges ~src ~tgt ~elbl ~nb_labels =
   (* Plain CSR by counting sort: stable, so each node's span lists its
      edges in declaration order, matching the legacy adjacency lists. *)
   let csr_of key =
@@ -108,6 +102,22 @@ let build_index ~nb_nodes ~nb_edges ~src ~tgt ~lbl =
       dir_lbl.(j) <- l;
       dir_start.(j) <- s)
     !rev_entries;
+  (out_off, out_csr, in_off, in_csr, out_lbl_csr, dir_off, dir_lbl, dir_start)
+
+let build_index ~nb_nodes ~nb_edges ~src ~tgt ~lbl =
+  (* Interning: dense ids in sorted label order, so ids are stable under
+     edge reordering and [labels] stays the sorted list it always was. *)
+  let label_names =
+    Array.to_list lbl |> List.sort_uniq String.compare |> Array.of_list
+  in
+  let nb_labels = Array.length label_names in
+  let label_ids = Hashtbl.create (max 8 nb_labels) in
+  Array.iteri (fun i a -> Hashtbl.add label_ids a i) label_names;
+  let elbl = Array.map (fun a -> Hashtbl.find label_ids a) lbl in
+  let out_off, out_csr, in_off, in_csr, out_lbl_csr, dir_off, dir_lbl, dir_start
+      =
+    index_of_elbl ~nb_nodes ~nb_edges ~src ~tgt ~elbl ~nb_labels
+  in
   ( nb_labels, label_names, label_ids, elbl, out_off, out_csr, in_off, in_csr,
     out_lbl_csr, dir_off, dir_lbl, dir_start )
 
@@ -276,6 +286,319 @@ let fold_nodes f g acc =
   !acc
 
 let edges_between g u v = List.filter (fun e -> g.tgt.(e) = v) g.out_adj.(u)
+
+(* --- shared assembly from interned arrays ------------------------------- *)
+
+(* Adjacency lists in declaration order (cons'd in reverse edge order). *)
+let adj_of_arrays ~nb_nodes ~nb_edges ~src ~tgt =
+  let out_adj = Array.make (max 1 nb_nodes) []
+  and in_adj = Array.make (max 1 nb_nodes) [] in
+  for e = nb_edges - 1 downto 0 do
+    out_adj.(src.(e)) <- e :: out_adj.(src.(e));
+    in_adj.(tgt.(e)) <- e :: in_adj.(tgt.(e))
+  done;
+  (out_adj, in_adj)
+
+(* Assemble a graph from trusted, already-interned arrays: rebuilds only
+   the CSR index and adjacency lists (counting passes over int arrays —
+   no string hashing, no sorting). *)
+let assemble ~node_names ~node_ids ~edge_names ~edge_ids ~src ~tgt ~lbl ~elbl
+    ~label_names ~label_ids =
+  let nb_nodes = Array.length node_names in
+  let nb_edges = Array.length edge_names in
+  let nb_labels = Array.length label_names in
+  let out_adj, in_adj = adj_of_arrays ~nb_nodes ~nb_edges ~src ~tgt in
+  let out_off, out_csr, in_off, in_csr, out_lbl_csr, dir_off, dir_lbl, dir_start
+      =
+    index_of_elbl ~nb_nodes ~nb_edges ~src ~tgt ~elbl ~nb_labels
+  in
+  {
+    stamp = Atomic.fetch_and_add next_stamp 1;
+    nb_nodes;
+    nb_edges;
+    src;
+    tgt;
+    lbl;
+    node_names;
+    edge_names;
+    node_ids;
+    edge_ids;
+    out_adj;
+    in_adj;
+    nb_labels;
+    label_names;
+    label_ids;
+    elbl;
+    out_off;
+    out_csr;
+    in_off;
+    in_csr;
+    out_lbl_csr;
+    dir_off;
+    dir_lbl;
+    dir_start;
+  }
+
+(* --- delta application --------------------------------------------------- *)
+
+type delta_summary = {
+  added_nodes : int;
+  added_edges : int;
+  removed_edges : int;
+  touched_labels : string list;
+  relabeled : bool;
+}
+
+let ids_of names =
+  let h = Hashtbl.create (max 8 (Array.length names)) in
+  Array.iteri (fun i a -> Hashtbl.add h a i) names;
+  h
+
+let apply_delta g ~new_nodes ~add_edges ~del_edges =
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  (* Nodes: existing arrays and the name table are shared verbatim when
+     the delta declares none. *)
+  let nb_new = List.length new_nodes in
+  let* node_names, node_ids =
+    if nb_new = 0 then Ok (g.node_names, g.node_ids)
+    else begin
+      let names = Array.make (g.nb_nodes + nb_new) "" in
+      Array.blit g.node_names 0 names 0 g.nb_nodes;
+      let ids = Hashtbl.copy g.node_ids in
+      let rec go i = function
+        | [] -> Ok (names, ids)
+        | name :: rest ->
+            if Hashtbl.mem ids name then err "duplicate node %s" name
+            else begin
+              names.(i) <- name;
+              Hashtbl.add ids name i;
+              go (i + 1) rest
+            end
+      in
+      go g.nb_nodes new_nodes
+    end
+  in
+  (* Deletions: mark dense edge ids dead; ids of survivors compact. *)
+  let dead = Array.make (max 1 g.nb_edges) false in
+  let* nb_del =
+    let rec go k = function
+      | [] -> Ok k
+      | name :: rest -> (
+          match Hashtbl.find_opt g.edge_ids name with
+          | None -> err "unknown edge %s" name
+          | Some e ->
+              if dead.(e) then err "duplicate delete of edge %s" name
+              else begin
+                dead.(e) <- true;
+                go (k + 1) rest
+              end)
+    in
+    go 0 del_edges
+  in
+  let nb_add = List.length add_edges in
+  let nb_edges = g.nb_edges - nb_del + nb_add in
+  let src = Array.make nb_edges 0
+  and tgt = Array.make nb_edges 0
+  and lbl = Array.make nb_edges ""
+  and edge_names = Array.make nb_edges "" in
+  (* Survivors keep their relative order (matching a from-scratch build
+     over the surviving declaration sequence). *)
+  let k = ref 0 in
+  for e = 0 to g.nb_edges - 1 do
+    if not dead.(e) then begin
+      src.(!k) <- g.src.(e);
+      tgt.(!k) <- g.tgt.(e);
+      lbl.(!k) <- g.lbl.(e);
+      edge_names.(!k) <- g.edge_names.(e);
+      incr k
+    end
+  done;
+  (* With no deletions the edge-name table is an O(m) shallow copy; any
+     deletion renumbers the dense ids, forcing a rehash of survivors. *)
+  let edge_ids =
+    if nb_del = 0 then Hashtbl.copy g.edge_ids
+    else begin
+      let h = Hashtbl.create (max 8 nb_edges) in
+      for e = 0 to !k - 1 do
+        Hashtbl.add h edge_names.(e) e
+      done;
+      h
+    end
+  in
+  let* () =
+    let rec go i = function
+      | [] -> Ok ()
+      | (name, s, a, t) :: rest -> (
+          if Hashtbl.mem edge_ids name then err "duplicate edge %s" name
+          else
+            match
+              (Hashtbl.find_opt node_ids s, Hashtbl.find_opt node_ids t)
+            with
+            | None, _ -> err "unknown node %s" s
+            | _, None -> err "unknown node %s" t
+            | Some si, Some ti ->
+                Hashtbl.add edge_ids name i;
+                edge_names.(i) <- name;
+                src.(i) <- si;
+                tgt.(i) <- ti;
+                lbl.(i) <- a;
+                go (i + 1) rest)
+    in
+    go !k add_edges
+  in
+  (* Interning: the label table is shared when every added label is
+     already interned and no deletion emptied a label; otherwise the
+     sorted table is rebuilt and survivor ids remapped (a new or vanished
+     label shifts every id after it in sort order). *)
+  let old_cnt = Array.make (max 1 g.nb_labels) 0 in
+  for e = 0 to g.nb_edges - 1 do
+    if not dead.(e) then old_cnt.(g.elbl.(e)) <- old_cnt.(g.elbl.(e)) + 1
+  done;
+  (* [old_cnt] now counts surviving edges per old label id. *)
+  let fresh_label =
+    List.exists (fun (_, _, a, _) -> not (Hashtbl.mem g.label_ids a)) add_edges
+  in
+  let emptied = ref false in
+  List.iter
+    (fun name ->
+      let e = Hashtbl.find g.edge_ids name in
+      let l = g.elbl.(e) in
+      if
+        old_cnt.(l) = 0
+        && not (List.exists (fun (_, _, a, _) -> a = g.lbl.(e)) add_edges)
+      then emptied := true)
+    del_edges;
+  let relabeled = fresh_label || !emptied in
+  let label_names, label_ids =
+    if not relabeled then (g.label_names, g.label_ids)
+    else begin
+      let survivors = ref [] in
+      for l = g.nb_labels - 1 downto 0 do
+        if old_cnt.(l) > 0 then survivors := g.label_names.(l) :: !survivors
+      done;
+      let names =
+        List.rev_append
+          (List.rev_map (fun (_, _, a, _) -> a) add_edges)
+          !survivors
+        |> List.sort_uniq String.compare
+        |> Array.of_list
+      in
+      (names, ids_of names)
+    end
+  in
+  let elbl =
+    if not relabeled && nb_del = 0 && nb_add = 0 then g.elbl
+    else begin
+      let a = Array.make nb_edges 0 in
+      if relabeled then
+        for e = 0 to nb_edges - 1 do
+          a.(e) <- Hashtbl.find label_ids lbl.(e)
+        done
+      else begin
+        (* survivors keep their old ids; only added edges need lookup *)
+        let k = ref 0 in
+        for e = 0 to g.nb_edges - 1 do
+          if not dead.(e) then begin
+            a.(!k) <- g.elbl.(e);
+            incr k
+          end
+        done;
+        for e = !k to nb_edges - 1 do
+          a.(e) <- Hashtbl.find label_ids lbl.(e)
+        done
+      end;
+      a
+    end
+  in
+  let touched_labels =
+    List.rev_append
+      (List.rev_map (fun (_, _, a, _) -> a) add_edges)
+      (List.map (fun name -> g.lbl.(Hashtbl.find g.edge_ids name)) del_edges)
+    |> List.sort_uniq String.compare
+  in
+  let g' =
+    assemble ~node_names ~node_ids ~edge_names ~edge_ids ~src ~tgt ~lbl ~elbl
+      ~label_names ~label_ids
+  in
+  Ok
+    ( g',
+      {
+        added_nodes = nb_new;
+        added_edges = nb_add;
+        removed_edges = nb_del;
+        touched_labels;
+        relabeled;
+      } )
+
+(* --- binary pack --------------------------------------------------------- *)
+
+type pack = {
+  pk_nodes : string array;
+  pk_edges : string array;
+  pk_src : int array;
+  pk_tgt : int array;
+  pk_labels : string array;
+  pk_elbl : int array;
+}
+
+let pack g =
+  {
+    pk_nodes = g.node_names;
+    pk_edges = g.edge_names;
+    pk_src = g.src;
+    pk_tgt = g.tgt;
+    pk_labels = g.label_names;
+    pk_elbl = g.elbl;
+  }
+
+let of_pack_res p =
+  let exception Bad of string in
+  let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt in
+  let nb_nodes = Array.length p.pk_nodes in
+  let nb_edges = Array.length p.pk_edges in
+  let nb_labels = Array.length p.pk_labels in
+  try
+    if
+      Array.length p.pk_src <> nb_edges
+      || Array.length p.pk_tgt <> nb_edges
+      || Array.length p.pk_elbl <> nb_edges
+    then bad "edge array lengths disagree";
+    for l = 1 to nb_labels - 1 do
+      if String.compare p.pk_labels.(l - 1) p.pk_labels.(l) >= 0 then
+        bad "label table not strictly sorted"
+    done;
+    let used = Array.make (max 1 nb_labels) false in
+    for e = 0 to nb_edges - 1 do
+      let l = p.pk_elbl.(e) in
+      if l < 0 || l >= nb_labels then bad "edge %d: label id out of range" e;
+      used.(l) <- true;
+      if p.pk_src.(e) < 0 || p.pk_src.(e) >= nb_nodes then
+        bad "edge %d: source out of range" e;
+      if p.pk_tgt.(e) < 0 || p.pk_tgt.(e) >= nb_nodes then
+        bad "edge %d: target out of range" e
+    done;
+    for l = 0 to nb_labels - 1 do
+      if not used.(l) then bad "unused label %s in table" p.pk_labels.(l)
+    done;
+    let node_ids = Hashtbl.create (max 8 nb_nodes) in
+    Array.iteri
+      (fun i a ->
+        if Hashtbl.mem node_ids a then bad "duplicate node %s" a
+        else Hashtbl.add node_ids a i)
+      p.pk_nodes;
+    let edge_ids = Hashtbl.create (max 8 nb_edges) in
+    Array.iteri
+      (fun i a ->
+        if Hashtbl.mem edge_ids a then bad "duplicate edge %s" a
+        else Hashtbl.add edge_ids a i)
+      p.pk_edges;
+    let lbl = Array.map (fun l -> p.pk_labels.(l)) p.pk_elbl in
+    Ok
+      (assemble ~node_names:p.pk_nodes ~node_ids ~edge_names:p.pk_edges
+         ~edge_ids ~src:p.pk_src ~tgt:p.pk_tgt ~lbl ~elbl:p.pk_elbl
+         ~label_names:p.pk_labels ~label_ids:(ids_of p.pk_labels))
+  with Bad s -> Error s
 
 let pp fmt g =
   Format.fprintf fmt "@[<v>graph (%d nodes, %d edges)@," g.nb_nodes g.nb_edges;

@@ -108,3 +108,57 @@ val fold_nodes : (int -> 'a -> 'a) -> t -> 'a -> 'a
 val edges_between : t -> int -> int -> int list
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Delta application}
+
+    [apply_delta] builds a new graph from an existing one plus a batch
+    of edge insertions/deletions, without reparsing or re-interning:
+    node arrays and the label table are shared when untouched, and the
+    CSR index is rebuilt with pure counting passes over int arrays.  The
+    result is indistinguishable from a from-scratch {!make} over the
+    surviving declaration sequence (same dense ids, same interned label
+    order, same CSR spans) — the model-based update suite pins this. *)
+
+type delta_summary = {
+  added_nodes : int;
+  added_edges : int;
+  removed_edges : int;
+  touched_labels : string list;
+      (** sorted distinct labels of the inserted and deleted edges *)
+  relabeled : bool;
+      (** the interned label table changed (a label appeared or vanished),
+          shifting dense label ids *)
+}
+
+(** [apply_delta g ~new_nodes ~add_edges ~del_edges] — [new_nodes] are
+    appended after the existing nodes in list order; [del_edges] names
+    existing edges (survivors keep their relative declaration order and
+    compact to dense ids); [add_edges] append after the survivors.
+    Total: returns [Error msg] on unknown/duplicate names, leaving [g]
+    untouched. *)
+val apply_delta :
+  t ->
+  new_nodes:string list ->
+  add_edges:(string * string * string * string) list ->
+  del_edges:string list ->
+  (t * delta_summary, string) result
+
+(** {1 Binary pack}
+
+    The primal arrays of a graph, exactly what the binary snapshot
+    format persists.  [of_pack_res] validates structure totally
+    (lengths, id ranges, sorted label table, duplicate names) and
+    rebuilds the index and name tables; the pack arrays are adopted,
+    not copied. *)
+
+type pack = {
+  pk_nodes : string array;
+  pk_edges : string array;
+  pk_src : int array;
+  pk_tgt : int array;
+  pk_labels : string array;  (** sorted distinct, every entry used *)
+  pk_elbl : int array;
+}
+
+val pack : t -> pack
+val of_pack_res : pack -> (t, string) result

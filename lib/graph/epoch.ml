@@ -1,0 +1,11 @@
+type 'a t = { cur : (int * 'a) option Atomic.t }
+
+let create () = { cur = Atomic.make None }
+let current t = Atomic.get t.cur
+let snapshot t = Option.map snd (Atomic.get t.cur)
+let epoch t = match Atomic.get t.cur with None -> 0 | Some (e, _) -> e
+
+let rec publish t v =
+  let old = Atomic.get t.cur in
+  let e = (match old with None -> 0 | Some (e, _) -> e) + 1 in
+  if Atomic.compare_and_set t.cur old (Some (e, v)) then e else publish t v

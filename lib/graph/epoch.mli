@@ -1,0 +1,26 @@
+(** Epoch-published snapshots.
+
+    A cell holding the current (epoch, value) pair, advanced atomically
+    by a writer and read wait-free by any number of readers.  The value
+    is expected to be immutable (a graph snapshot): a reader that grabbed
+    epoch [e] keeps evaluating against that exact value even while the
+    writer publishes [e+1] — copy-on-write isolation with no locks on
+    the read side.  Epochs start at 1 ({!epoch} is 0 while the cell is
+    empty) and only ever grow. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** The current pair, or [None] before the first {!publish}. *)
+val current : 'a t -> (int * 'a) option
+
+val snapshot : 'a t -> 'a option
+
+(** 0 while empty. *)
+val epoch : 'a t -> int
+
+(** Install a new value, returning its (freshly incremented) epoch.
+    Lock-free; concurrent publishers serialize via CAS retry, though the
+    server serializes writers externally anyway. *)
+val publish : 'a t -> 'a -> int

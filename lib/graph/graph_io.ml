@@ -130,3 +130,243 @@ let parse_file_res path =
   | exception Sys_error msg -> Error (Gq_error.Io msg)
   | exception End_of_file ->
       Error (Gq_error.Io (Printf.sprintf "%s: truncated file" path))
+
+(* --- binary snapshot format (GQB1) --------------------------------------- *)
+
+(* Layout (all integers little-endian):
+     bytes 0..3   magic "GQB1" (format + version)
+     bytes 4..11  u64 payload length
+     bytes 12..19 u64 FNV-1a of the payload
+     bytes 20..   payload:
+       u32 nb_nodes | u32 nb_edges | u32 nb_labels
+       labels   nl x str                       (sorted intern table)
+       nodes    n  x (str name | str label | props)
+       edges    m  x (str name | u32 src | u32 tgt | u32 lbl_id | props)
+     str   = u32 length | bytes
+     props = u16 count x (str key | u8 tag | payload)
+             tag 0 = Int i64, 1 = Real float64 bits, 2 = Text str,
+             3 = Bool u8
+   A truncated file fails the length check, a flipped bit fails the
+   checksum, and a payload that decodes but violates graph structure is
+   rejected by [Pg.of_pack_res] — corruption never escapes as an
+   exception through the [*_res] loaders. *)
+
+let bin_magic = "GQB1"
+
+let fnv1a64 s =
+  let open Int64 in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := logxor !h (of_int (Char.code c));
+      h := mul !h 0x100000001b3L)
+    s;
+  !h
+
+let to_bin_string pg =
+  let p = Pg.pack pg in
+  let e = p.Pg.pk_elg in
+  let buf = Buffer.create 4096 in
+  let u32 n = Buffer.add_int32_le buf (Int32.of_int n) in
+  let str s =
+    u32 (String.length s);
+    Buffer.add_string buf s
+  in
+  let props ps =
+    Buffer.add_uint16_le buf (List.length ps);
+    List.iter
+      (fun (k, v) ->
+        str k;
+        match (v : Value.t) with
+        | Int i ->
+            Buffer.add_uint8 buf 0;
+            Buffer.add_int64_le buf (Int64.of_int i)
+        | Real r ->
+            Buffer.add_uint8 buf 1;
+            Buffer.add_int64_le buf (Int64.bits_of_float r)
+        | Text s ->
+            Buffer.add_uint8 buf 2;
+            str s
+        | Bool b ->
+            Buffer.add_uint8 buf 3;
+            Buffer.add_uint8 buf (if b then 1 else 0))
+      ps
+  in
+  let n = Array.length p.Pg.pk_node_lbl in
+  let m = Array.length e.Elg.pk_edges in
+  u32 n;
+  u32 m;
+  u32 (Array.length e.Elg.pk_labels);
+  Array.iter str e.Elg.pk_labels;
+  for v = 0 to n - 1 do
+    str e.Elg.pk_nodes.(v);
+    str p.Pg.pk_node_lbl.(v);
+    props p.Pg.pk_node_props.(v)
+  done;
+  for i = 0 to m - 1 do
+    str e.Elg.pk_edges.(i);
+    u32 e.Elg.pk_src.(i);
+    u32 e.Elg.pk_tgt.(i);
+    u32 e.Elg.pk_elbl.(i);
+    props p.Pg.pk_edge_props.(i)
+  done;
+  let payload = Buffer.contents buf in
+  let hdr = Bytes.create 20 in
+  Bytes.blit_string bin_magic 0 hdr 0 4;
+  Bytes.set_int64_le hdr 4 (Int64.of_int (String.length payload));
+  Bytes.set_int64_le hdr 12 (fnv1a64 payload);
+  Bytes.to_string hdr ^ payload
+
+exception Corrupt of string
+
+let of_bin_string_res s =
+  let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt in
+  let err msg = Error (Gq_error.Parse { what = "binary graph"; msg }) in
+  try
+    if String.length s < 20 then corrupt "truncated header (%d bytes)"
+        (String.length s);
+    if String.sub s 0 4 <> bin_magic then
+      corrupt "bad magic %S (want %S)" (String.sub s 0 4) bin_magic;
+    (* Compare at full u64 width: [Int64.to_int] drops bit 63 on 63-bit
+       native ints, which would let a flip of the length field's top bit
+       slip past an int-level comparison. *)
+    let plen64 = String.get_int64_le s 4 in
+    if plen64 <> Int64.of_int (String.length s - 20) then
+      corrupt "payload length %Ld disagrees with file size %d" plen64
+        (String.length s - 20);
+    let plen = Int64.to_int plen64 in
+    let payload = String.sub s 20 plen in
+    let want = String.get_int64_le s 12 in
+    let got = fnv1a64 payload in
+    if want <> got then
+      corrupt "checksum mismatch (stored %Lx, computed %Lx)" want got;
+    let pos = ref 0 in
+    let need k what =
+      if !pos + k > plen then corrupt "truncated payload reading %s" what
+    in
+    let u32 what =
+      need 4 what;
+      let v = Int32.to_int (String.get_int32_le payload !pos) in
+      pos := !pos + 4;
+      if v < 0 then corrupt "negative %s" what;
+      v
+    in
+    let u8 what =
+      need 1 what;
+      let v = Char.code payload.[!pos] in
+      incr pos;
+      v
+    in
+    let u16 what =
+      need 2 what;
+      let v = String.get_uint16_le payload !pos in
+      pos := !pos + 2;
+      v
+    in
+    let i64 what =
+      need 8 what;
+      let v = String.get_int64_le payload !pos in
+      pos := !pos + 8;
+      v
+    in
+    let str what =
+      let k = u32 what in
+      need k what;
+      let v = String.sub payload !pos k in
+      pos := !pos + k;
+      v
+    in
+    let props what =
+      let k = u16 what in
+      List.init k (fun _ ->
+          let key = str what in
+          let v =
+            match u8 what with
+            | 0 -> Value.Int (Int64.to_int (i64 what))
+            | 1 -> Value.Real (Int64.float_of_bits (i64 what))
+            | 2 -> Value.Text (str what)
+            | 3 -> Value.Bool (u8 what <> 0)
+            | t -> corrupt "unknown value tag %d in %s" t what
+          in
+          (key, v))
+    in
+    let n = u32 "node count" in
+    let m = u32 "edge count" in
+    let nl = u32 "label count" in
+    (* Cheap structural sanity before allocating: every node and edge
+       costs at least 4 bytes of name length in the payload. *)
+    if n > plen || m > plen || nl > plen then corrupt "counts exceed payload";
+    let labels = Array.init nl (fun _ -> str "label") in
+    let node_names = Array.make n "" in
+    let node_lbl = Array.make n "" in
+    let node_props = Array.make n [] in
+    for v = 0 to n - 1 do
+      node_names.(v) <- str "node name";
+      node_lbl.(v) <- str "node label";
+      node_props.(v) <- props "node props"
+    done;
+    let edge_names = Array.make m "" in
+    let src = Array.make m 0
+    and tgt = Array.make m 0
+    and elbl = Array.make m 0 in
+    let edge_props = Array.make m [] in
+    for i = 0 to m - 1 do
+      edge_names.(i) <- str "edge name";
+      src.(i) <- u32 "edge source";
+      tgt.(i) <- u32 "edge target";
+      elbl.(i) <- u32 "edge label id";
+      edge_props.(i) <- props "edge props"
+    done;
+    if !pos <> plen then corrupt "%d trailing bytes" (plen - !pos);
+    match
+      Pg.of_pack_res
+        {
+          Pg.pk_elg =
+            {
+              Elg.pk_nodes = node_names;
+              pk_edges = edge_names;
+              pk_src = src;
+              pk_tgt = tgt;
+              pk_labels = labels;
+              pk_elbl = elbl;
+            };
+          pk_node_lbl = node_lbl;
+          pk_node_props = node_props;
+          pk_edge_props = edge_props;
+        }
+    with
+    | Ok pg -> Ok pg
+    | Error msg -> err msg
+  with Corrupt msg -> err msg
+
+let save_bin_res pg path =
+  Failpoint.check "graph.save";
+  match
+    let s = to_bin_string pg in
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc s);
+    String.length s
+  with
+  | bytes -> Ok bytes
+  | exception Sys_error msg -> Error (Gq_error.Io msg)
+
+(* Format-sniffing loader: every load path — CLI subcommands, [load] in
+   serve mode — accepts both the text format and GQB1 binary, dispatching
+   on the magic bytes.  Carries the [graph.load] failpoint site. *)
+let load_file_res path =
+  Failpoint.check "graph.load";
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error (Gq_error.Io msg)
+  | exception End_of_file ->
+      Error (Gq_error.Io (Printf.sprintf "%s: truncated file" path))
+  | text ->
+      if String.length text >= 4 && String.sub text 0 4 = bin_magic then
+        of_bin_string_res text
+      else parse_res text

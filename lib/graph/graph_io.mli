@@ -26,3 +26,28 @@ val parse_file : string -> Pg.t
 val parse_res : string -> (Pg.t, Gq_error.t) result
 val parse_file_res : string -> (Pg.t, Gq_error.t) result
 val to_string : Pg.t -> string
+
+(** {1 Binary snapshot format (GQB1)}
+
+    A compact, versioned, checksummed binary serialization of a property
+    graph: magic ["GQB1"], a u64 payload length, a u64 FNV-1a checksum,
+    then the primal arrays (label table, nodes, edges, properties) in
+    little-endian layout — see the format comment in the implementation
+    and DESIGN.md.  Loading validates the header, the checksum, and the
+    graph structure ({!Pg.of_pack_res}) and rebuilds only the index:
+    no text parsing, no re-interning.  Truncated or bit-flipped files
+    are rejected with [Error (Parse {what = "binary graph"})]; no
+    exception escapes the [*_res] loaders. *)
+
+val to_bin_string : Pg.t -> string
+val of_bin_string_res : string -> (Pg.t, Gq_error.t) result
+
+(** [save_bin_res pg path] writes the snapshot, returning the byte
+    count.  Carries the failpoint site [graph.save]; I/O failures map to
+    [Error (Io _)]. *)
+val save_bin_res : Pg.t -> string -> (int, Gq_error.t) result
+
+(** Format-sniffing loader: dispatches on the magic bytes, so every load
+    path accepts both text and binary graphs.  Carries the failpoint
+    site [graph.load]. *)
+val load_file_res : string -> (Pg.t, Gq_error.t) result

@@ -51,6 +51,176 @@ let active_domain g =
   let vals = Array.fold_left add vals g.edge_props in
   List.sort_uniq Value.compare vals
 
+(* --- delta application --------------------------------------------------- *)
+
+type delta_op =
+  | Add_edge of {
+      name : string;
+      src : string;
+      label : string;
+      tgt : string;
+      props : (string * Value.t) list;
+    }
+  | Del_edge of string
+
+type add = {
+  a_name : string;
+  a_src : string;
+  a_label : string;
+  a_tgt : string;
+  a_props : (string * Value.t) list;
+}
+
+type applied = {
+  ap_pg : t;
+  ap_summary : Elg.delta_summary;
+  ap_adds : (string * string * string * string) list;
+  ap_dels : string list;
+}
+
+let apply_delta_res g ops =
+  let elg0 = g.elg in
+  let exception Bad of string in
+  let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt in
+  try
+    (* Sequential semantics over the batch: [add e] then [del e] nets out
+       (though implicit nodes the add introduced persist, exactly as under
+       op-at-a-time application); [del e] frees the name for a later add. *)
+    let in_base name =
+      match Elg.edge_id elg0 name with
+      | _ -> true
+      | exception Not_found -> false
+    in
+    let node_in_base name =
+      match Elg.node_id elg0 name with
+      | _ -> true
+      | exception Not_found -> false
+    in
+    let deleted = Hashtbl.create 8 in
+    let dels = ref [] in
+    let pending = Hashtbl.create 8 in
+    let adds = ref [] (* newest first *) in
+    let new_node_set = Hashtbl.create 8 in
+    let new_nodes = ref [] (* newest first *) in
+    let note_node name =
+      if not (node_in_base name || Hashtbl.mem new_node_set name) then begin
+        Hashtbl.add new_node_set name ();
+        new_nodes := name :: !new_nodes
+      end
+    in
+    List.iter
+      (function
+        | Add_edge { name; src; label; tgt; props } ->
+            if
+              (in_base name && not (Hashtbl.mem deleted name))
+              || Hashtbl.mem pending name
+            then bad "duplicate edge %s" name;
+            note_node src;
+            note_node tgt;
+            Hashtbl.add pending name ();
+            adds :=
+              {
+                a_name = name;
+                a_src = src;
+                a_label = label;
+                a_tgt = tgt;
+                a_props = props;
+              }
+              :: !adds
+        | Del_edge name ->
+            if Hashtbl.mem pending name then begin
+              Hashtbl.remove pending name;
+              adds := List.filter (fun a -> a.a_name <> name) !adds
+            end
+            else if in_base name && not (Hashtbl.mem deleted name) then begin
+              Hashtbl.add deleted name ();
+              dels := name :: !dels
+            end
+            else bad "unknown edge %s" name)
+      ops;
+    let add_edges =
+      List.rev_map (fun a -> (a.a_name, a.a_src, a.a_label, a.a_tgt)) !adds
+    in
+    match
+      Elg.apply_delta elg0 ~new_nodes:(List.rev !new_nodes)
+        ~add_edges ~del_edges:(List.rev !dels)
+    with
+    | Error e -> Error e
+    | Ok (elg, summary) ->
+        (* Node-side arrays are shared when no node was introduced;
+           implicit nodes get the empty label and no properties, matching
+           the text format. *)
+        let node_lbl, node_props =
+          if summary.Elg.added_nodes = 0 then (g.node_lbl, g.node_props)
+          else begin
+            let n = Elg.nb_nodes elg in
+            let lbls = Array.make n "" and props = Array.make n [] in
+            Array.blit g.node_lbl 0 lbls 0 (Array.length g.node_lbl);
+            Array.blit g.node_props 0 props 0 (Array.length g.node_props);
+            (lbls, props)
+          end
+        in
+        let edge_props = Array.make (Elg.nb_edges elg) [] in
+        let dead = Array.make (max 1 (Elg.nb_edges elg0)) false in
+        List.iter
+          (fun name -> dead.(Elg.edge_id elg0 name) <- true)
+          !dels;
+        let k = ref 0 in
+        for e = 0 to Elg.nb_edges elg0 - 1 do
+          if not dead.(e) then begin
+            edge_props.(!k) <- g.edge_props.(e);
+            incr k
+          end
+        done;
+        List.iter
+          (fun a ->
+            edge_props.(!k) <- a.a_props;
+            incr k)
+          (List.rev !adds);
+        Ok
+          {
+            ap_pg = { elg; node_lbl; node_props; edge_props };
+            ap_summary = summary;
+            ap_adds = add_edges;
+            ap_dels = List.rev !dels;
+          }
+  with Bad s -> Error s
+
+(* --- binary pack --------------------------------------------------------- *)
+
+type pack = {
+  pk_elg : Elg.pack;
+  pk_node_lbl : string array;
+  pk_node_props : (string * Value.t) list array;
+  pk_edge_props : (string * Value.t) list array;
+}
+
+let pack g =
+  {
+    pk_elg = Elg.pack g.elg;
+    pk_node_lbl = g.node_lbl;
+    pk_node_props = g.node_props;
+    pk_edge_props = g.edge_props;
+  }
+
+let of_pack_res p =
+  match Elg.of_pack_res p.pk_elg with
+  | Error _ as e -> e
+  | Ok elg ->
+      if
+        Array.length p.pk_node_lbl <> Elg.nb_nodes elg
+        || Array.length p.pk_node_props <> Elg.nb_nodes elg
+        || Array.length p.pk_edge_props <> Elg.nb_edges elg
+      then Error "property array lengths disagree"
+      else
+        Ok
+          {
+            elg;
+            node_lbl = p.pk_node_lbl;
+            node_props = p.pk_node_props;
+            edge_props = p.pk_edge_props;
+          }
+
 let pp fmt g =
   let e = g.elg in
   Format.fprintf fmt "@[<v>property graph (%d nodes, %d edges)@,"

@@ -38,3 +38,50 @@ val props_of : t -> Path.obj -> (string * Value.t) list
 val active_domain : t -> Value.t list
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Delta application}
+
+    Property-graph face of {!Elg.apply_delta}: a batch of edge
+    insertions/deletions applied with *sequential* semantics ([add e]
+    then [del e] in one batch nets out, though implicit nodes the add
+    introduced persist; [del e] frees the name for a later add).  Nodes
+    mentioned by an added edge but absent from the graph are created
+    implicitly (empty label, no properties), in first-mention order —
+    exactly as the text format declares them.  Total: [Error msg] on
+    duplicate/unknown names, leaving the graph untouched. *)
+
+type delta_op =
+  | Add_edge of {
+      name : string;
+      src : string;
+      label : string;
+      tgt : string;
+      props : (string * Value.t) list;
+    }
+  | Del_edge of string
+
+(** Result of a delta: the new graph, the {!Elg.delta_summary}, and the
+    *net* operations that took effect after sequential normalization
+    ([ap_adds] in op order as [(name, src, label, tgt)]; [ap_dels] the
+    base edge names removed) — what incremental statistics maintenance
+    and cache invalidation key on. *)
+type applied = {
+  ap_pg : t;
+  ap_summary : Elg.delta_summary;
+  ap_adds : (string * string * string * string) list;
+  ap_dels : string list;
+}
+
+val apply_delta_res : t -> delta_op list -> (applied, string) result
+
+(** {1 Binary pack} *)
+
+type pack = {
+  pk_elg : Elg.pack;
+  pk_node_lbl : string array;
+  pk_node_props : (string * Value.t) list array;
+  pk_edge_props : (string * Value.t) list array;
+}
+
+val pack : t -> pack
+val of_pack_res : pack -> (t, string) result

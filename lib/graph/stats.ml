@@ -118,6 +118,21 @@ let get g =
       Mutex.unlock memo_lock;
       st
 
+(* [register] seeds the memo with statistics maintained incrementally by
+   delta application, so planning against the post-delta graph pays no
+   full scan. *)
+let register st =
+  Mutex.lock memo_lock;
+  if not (Hashtbl.mem memo st.graph_id) then begin
+    if Hashtbl.length memo >= memo_cap then begin
+      let victim = Queue.pop memo_order in
+      Hashtbl.remove memo victim
+    end;
+    Hashtbl.add memo st.graph_id st;
+    Queue.push st.graph_id memo_order
+  end;
+  Mutex.unlock memo_lock
+
 (* --- symbol-level estimates --------------------------------------------- *)
 
 type sym = Lbl of string | Any | Not of string list

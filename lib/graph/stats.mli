@@ -27,6 +27,18 @@ val of_elg : Elg.t -> t
 (** Memoized [of_elg], keyed by {!Elg.id} (bounded table, thread-safe). *)
 val get : Elg.t -> t
 
+(** Seed the memo with already-computed statistics (delta application
+    maintains them incrementally); a later {!get} on that graph returns
+    them without a scan. *)
+val register : t -> unit
+
+(** The degree-histogram bucket function: bucket 0 is degree 0, bucket
+    [i >= 1] covers [2^(i-1) <= d < 2^i].  Exposed for the incremental
+    maintenance in {!Delta}. *)
+val bucket_of_degree : int -> int
+
+val nb_buckets : int
+
 (** {1 Symbol-level estimates}
 
     Fanouts for regex alphabet symbols: how many edges / distinct

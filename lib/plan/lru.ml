@@ -86,6 +86,31 @@ let drop_generations_except t gen =
       ignore (Atomic.fetch_and_add t.invalidated n);
       n)
 
+let sweep t ~f =
+  locked t (fun () ->
+      (* Collect verdicts first: the callback must not observe a table
+         mid-mutation, and rekeys must not collide with entries not yet
+         visited. *)
+      let actions =
+        Hashtbl.fold (fun k e acc -> (k, e, f k e.value) :: acc) t.table []
+      in
+      let dropped = ref 0 and rekeyed = ref 0 in
+      List.iter
+        (fun (k, (e : (_, _) entry), verdict) ->
+          match verdict with
+          | `Keep -> ()
+          | `Drop ->
+              Hashtbl.remove t.table k;
+              incr dropped
+          | `Rekey (k', gen) ->
+              Hashtbl.remove t.table k;
+              Hashtbl.replace t.table k'
+                { value = e.value; gen; last_used = e.last_used };
+              incr rekeyed)
+        actions;
+      ignore (Atomic.fetch_and_add t.invalidated !dropped);
+      (!dropped, !rekeyed))
+
 let clear t = locked t (fun () -> Hashtbl.reset t.table)
 let hits t = Atomic.get t.hits
 let misses t = Atomic.get t.misses

@@ -32,6 +32,17 @@ val add : ('k, 'v) t -> gen:int -> 'k -> 'v -> unit
     in {!invalidated}). *)
 val drop_generations_except : ('k, 'v) t -> int -> int
 
+(** [sweep t ~f] visits every entry and applies [f]'s verdict: keep it,
+    drop it (counted into {!invalidated}), or move it to a new key and
+    generation, preserving the value and its recency — how delta
+    application migrates still-valid product-cache entries to the new
+    graph id instead of rebuilding them.  Returns
+    [(dropped, rekeyed)]. *)
+val sweep :
+  ('k, 'v) t ->
+  f:('k -> 'v -> [ `Keep | `Drop | `Rekey of 'k * int ]) ->
+  int * int
+
 val clear : ('k, 'v) t -> unit
 
 (** {1 Counters} — monotone over the cache's lifetime. *)

@@ -1,10 +1,22 @@
+(* A cached product carries the labels its query mentions (and whether
+   it uses a wildcard/negated symbol), so delta application can decide
+   per entry: disjoint from the touched labels means the product is
+   still exact on the new graph and migrates to the new graph id. *)
+type pentry = {
+  prod : Product.t;
+  psyms : string list; (* sorted labels the query mentions *)
+  pwild : bool; (* query matches labels beyond [psyms] (Any / Not) *)
+}
+
 type t = {
   plans : Plan_cache.t;
-  products : (int * string * bool, Product.t) Lru.t; (* graph id, key, reversed? *)
+  products : (int * string * bool, pentry) Lru.t; (* graph id, key, reversed? *)
   reversed : (int, Elg.t) Lru.t;
   gen : int Atomic.t; (* last graph id seen by set_generation *)
   gen_lock : Mutex.t; (* serializes generation bumps against each other *)
   enabled : bool;
+  by_label : int Atomic.t; (* entries dropped because labels intersected a delta *)
+  retained : int Atomic.t; (* entries migrated across a delta *)
 }
 
 let create ?(capacity = 64) ?enabled ?plans () =
@@ -23,6 +35,8 @@ let create ?(capacity = 64) ?enabled ?plans () =
     gen = Atomic.make (-1);
     gen_lock = Mutex.create ();
     enabled;
+    by_label = Atomic.make 0;
+    retained = Atomic.make 0;
   }
 
 let shared = create ~plans:Plan_cache.shared ()
@@ -57,13 +71,21 @@ let reversed_graph t g =
       if t.enabled then Lru.add t.reversed ~gen:gid gid rg;
       rg
 
+(* [Sym.mentioned] is empty for [Any] and lists the excluded labels for
+   [Not], so symbol-intersection alone would wrongly keep wildcard
+   products warm across a delta; they get an explicit flag instead. *)
+let wildcard (c : Plan_cache.compiled) =
+  List.exists
+    (function Sym.Lbl _ -> false | Sym.Any | Sym.Not _ -> true)
+    (Regex.atoms c.ast)
+
 let product ?(obs = Obs.none) ?(rev = false) t g (c : Plan_cache.compiled) =
   let gid = Elg.id g in
   let key = (gid, key_of c, rev) in
   match if t.enabled then Lru.find t.products key else None with
-  | Some p ->
+  | Some e ->
       Obs.incr obs "plan.product.hit";
-      p
+      e.prod
   | None ->
       Obs.incr obs "plan.product.miss";
       let p =
@@ -72,7 +94,9 @@ let product ?(obs = Obs.none) ?(rev = false) t g (c : Plan_cache.compiled) =
             (Nfa.of_regex (Regex.reverse c.ast))
         else Product.make ~obs g c.nfa
       in
-      if t.enabled then Lru.add t.products ~gen:gid key p;
+      if t.enabled then
+        Lru.add t.products ~gen:gid key
+          { prod = p; psyms = c.symbols; pwild = wildcard c };
       p
 
 let product_rev ?obs t g c = product ?obs ~rev:true t g c
@@ -96,6 +120,49 @@ let set_generation t gen =
       ignore (Lru.drop_generations_except t.reversed gen))
 
 let generation t = Atomic.get t.gen
+
+(* Fine-grained invalidation across a delta.  A cached product embeds
+   its source graph, and every cached-evaluation path reads only that
+   embedded graph (node count, labels, successor spans) — so an entry
+   stays exact on the post-delta graph when (a) the node set is
+   unchanged (dense ids and the ε self-pair range coincide), and (b)
+   its query can only match labels disjoint from the touched set (no
+   wildcard/negation, no mentioned label in the delta): no edge the
+   query can traverse was added or removed.  Such entries migrate to
+   the new graph id, keeping the cache warm under a live update
+   stream; everything else built against the old snapshot drops.
+   Reversed graphs always drop — they mirror the whole edge set. *)
+let apply_delta ?(obs = Obs.none) t ~old_graph ~new_graph ~touched_labels
+    ~nodes_stable =
+  let old_gid = Elg.id old_graph and new_gid = Elg.id new_graph in
+  Mutex.lock t.gen_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.gen_lock)
+    (fun () ->
+      Atomic.set t.gen new_gid;
+      let by_label = ref 0 and kept = ref 0 in
+      ignore
+        (Lru.sweep t.products ~f:(fun (gid, key, rev) e ->
+             if gid <> old_gid then `Drop
+             else if
+               (not nodes_stable) || e.pwild
+               || List.exists (fun a -> List.mem a touched_labels) e.psyms
+             then begin
+               incr by_label;
+               `Drop
+             end
+             else begin
+               incr kept;
+               `Rekey ((new_gid, key, rev), new_gid)
+             end));
+      ignore (Lru.drop_generations_except t.reversed new_gid);
+      ignore (Atomic.fetch_and_add t.by_label !by_label);
+      ignore (Atomic.fetch_and_add t.retained !kept);
+      Obs.add obs "plan.invalidated_by_label" !by_label;
+      Obs.add obs "plan.retained" !kept)
+
+let invalidated_by_label t = Atomic.get t.by_label
+let retained t = Atomic.get t.retained
 
 (* --- cached evaluation -------------------------------------------------- *)
 

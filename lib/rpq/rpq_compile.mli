@@ -56,6 +56,33 @@ val set_generation : t -> int -> unit
 
 val generation : t -> int
 
+(** [apply_delta t ~old_graph ~new_graph ~touched_labels ~nodes_stable]
+    — fine-grained invalidation for a delta from [old_graph] to
+    [new_graph]: cached products whose queries mention only labels
+    disjoint from [touched_labels] (and no wildcard/negated symbol)
+    stay warm, migrated to the new graph id — valid because cached
+    evaluation reads only the product's embedded graph and, with the
+    node set unchanged ([nodes_stable]) and no traversable edge
+    touched, its answers on the new graph are unchanged.  Everything
+    else from [old_graph] drops ([plan.invalidated_by_label] /
+    [plan.retained] count the split); reversed graphs always drop.
+    Serialized with {!set_generation} under the same lock. *)
+val apply_delta :
+  ?obs:Obs.t ->
+  t ->
+  old_graph:Elg.t ->
+  new_graph:Elg.t ->
+  touched_labels:string list ->
+  nodes_stable:bool ->
+  unit
+
+(** Entries dropped by {!apply_delta} because their labels intersected a
+    delta (or they could not be proven disjoint). *)
+val invalidated_by_label : t -> int
+
+(** Entries migrated warm across a delta by {!apply_delta}. *)
+val retained : t -> int
+
 (** {1 Cached evaluation} *)
 
 (** [pairs_bounded t gov g c] — ⟦c⟧_g through the caches, picking the

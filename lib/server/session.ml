@@ -12,7 +12,13 @@
    reply rendering answers with a structured error instead of dying.
 
    Commands:
-     load PATH                  load (replace) the graph snapshot
+     load PATH                  load (replace) the graph snapshot;
+                                accepts text or GQB1 binary
+     add-edge NAME SRC LABEL TGT [k=v ...]
+                                insert one edge (implicit nodes created)
+     del-edge NAME              delete one edge by name
+     delta-load PATH            apply a batch of add/del ops from a file
+     save-bin PATH              write the snapshot as a GQB1 binary file
      rpq REGEX                  all endpoint pairs of an RPQ
      rpq-from NODE REGEX        nodes reachable from NODE
      shortest SRC TGT REGEX     all shortest matching paths
@@ -72,30 +78,34 @@ let default_config =
     obs = Obs.none;
   }
 
-(* State shared by every session of one server process.  The graph is a
-   published immutable snapshot: [load] parses off to the side, then
-   swaps the atomic and bumps the cache generation under [graph_lock]
-   (so concurrent loads publish snapshot and generation as a pair);
-   readers grab whatever snapshot is current and evaluate against it
-   unlocked — a later load cannot mutate it out from under them. *)
+(* State shared by every session of one server process.  The graph is an
+   epoch-published immutable snapshot: [load] parses (and deltas apply)
+   off to the side, then publish the new snapshot and bump the cache
+   generation under [graph_lock] (so concurrent writers publish snapshot
+   and generation as a pair); readers grab whatever epoch is current and
+   evaluate against that exact value unlocked — a later load or delta
+   cannot mutate it out from under them. *)
 type shared = {
   config : config;
   cache : Rpq_compile.t;
-  graph : Pg.t option Atomic.t;
+  graph : Pg.t Epoch.t;
   graph_lock : Mutex.t;
+  deltas : int Atomic.t; (* delta batches applied since startup *)
 }
 
 let make_shared config =
   {
     config;
     cache = Rpq_compile.create ();
-    graph = Atomic.make None;
+    graph = Epoch.create ();
     graph_lock = Mutex.create ();
+    deltas = Atomic.make 0;
   }
 
 let shared_config sh = sh.config
 let shared_cache sh = sh.cache
-let graph_loaded sh = Atomic.get sh.graph <> None
+let graph_loaded sh = Epoch.snapshot sh.graph <> None
+let shared_epoch sh = Epoch.epoch sh.graph
 
 type t = {
   shared : shared;
@@ -282,7 +292,7 @@ let supervised sess ctx id ~cls body =
   outcome_reply id ~cls sup ~default:[] ~answers_of:Fun.id
 
 let graph_or_fail sess =
-  match Atomic.get sess.shared.graph with
+  match Epoch.snapshot sess.shared.graph with
   | Some pg -> pg
   | None -> raise (Gq_error.Error (Gq_error.Eval "no graph loaded"))
 
@@ -300,7 +310,7 @@ let cmd_load sess ctx id path =
       ~degraded_max_steps:sess.shared.config.degraded_max_steps
       ~gov:(governor_of sess)
       (governed sess ctx (fun _gov ->
-           match Graph_io.parse_file_res path with
+           match Graph_io.load_file_res path with
            | Ok pg -> Governor.Complete pg
            | Error err -> raise (Gq_error.Error err)))
   in
@@ -315,7 +325,7 @@ let cmd_load sess ctx id path =
              graph are dropped.  Parsing cost isn't governor-ticked, so
              charge the request its edge count for budget accounting. *)
           Mutex.lock sess.shared.graph_lock;
-          Atomic.set sess.shared.graph (Some pg);
+          ignore (Epoch.publish sess.shared.graph pg);
           Rpq_compile.set_generation sess.shared.cache (Elg.id g);
           Mutex.unlock sess.shared.graph_lock;
           ctx.spent <- ctx.spent + Elg.nb_edges g;
@@ -328,6 +338,107 @@ let cmd_load sess ctx id path =
             ]
       | Governor.Aborted r ->
           error_reply id "load" ~attempts:sup.Supervise.attempts
+            (Gq_error.Budget r))
+
+(* Apply a delta batch and publish the successor snapshot.  The whole
+   apply runs under [graph_lock], serializing writers against [load] and
+   each other; readers never take the lock — an in-flight query keeps
+   its epoch.  Publishing pairs the snapshot with fine-grained cache
+   invalidation: products over labels disjoint from the delta migrate
+   warm to the new graph id ([Rpq_compile.apply_delta]).  A failed or
+   faulted apply publishes nothing — the current epoch stands. *)
+let cmd_delta sess ctx id verb ops =
+  let breaker = Breaker.Group.get sess.breakers "update" in
+  let sup =
+    Supervise.run ~obs:sess.shared.config.obs ~retry:sess.retry ~breaker
+      ~degraded_max_steps:sess.shared.config.degraded_max_steps
+      ~gov:(governor_of sess)
+      (governed sess ctx (fun _gov ->
+           Mutex.lock sess.shared.graph_lock;
+           Fun.protect
+             ~finally:(fun () -> Mutex.unlock sess.shared.graph_lock)
+             (fun () ->
+               match Epoch.snapshot sess.shared.graph with
+               | None ->
+                   raise (Gq_error.Error (Gq_error.Eval "no graph loaded"))
+               | Some pg -> (
+                   match Delta.apply_res pg ops with
+                   | Error err -> raise (Gq_error.Error err)
+                   | Ok applied ->
+                       let s = applied.Delta.summary in
+                       Rpq_compile.apply_delta ~obs:sess.shared.config.obs
+                         sess.shared.cache ~old_graph:(Pg.elg pg)
+                         ~new_graph:(Pg.elg applied.Delta.pg)
+                         ~touched_labels:s.Elg.touched_labels
+                         ~nodes_stable:(s.Elg.added_nodes = 0);
+                       let epoch =
+                         Epoch.publish sess.shared.graph applied.Delta.pg
+                       in
+                       Atomic.incr sess.shared.deltas;
+                       Governor.Complete (applied, epoch)))))
+  in
+  match sup.Supervise.outcome with
+  | Error err -> error_reply id verb ~attempts:sup.Supervise.attempts err
+  | Ok outcome -> (
+      match outcome with
+      | Governor.Complete (applied, epoch) | Governor.Partial ((applied, epoch), _)
+        ->
+          let g = Pg.elg applied.Delta.pg in
+          let s = applied.Delta.summary in
+          (* Deltas aren't governor-ticked; charge the touched volume. *)
+          ctx.spent <-
+            ctx.spent + s.Elg.added_edges + s.Elg.removed_edges
+            + s.Elg.added_nodes + 1;
+          reply id verb ~status:"ok" ~code:0
+            [
+              ("degraded", jbool sup.Supervise.degraded);
+              ("attempts", jint sup.Supervise.attempts);
+              ("nodes", jint (Elg.nb_nodes g));
+              ("edges", jint (Elg.nb_edges g));
+              ("epoch", jint epoch);
+              ("added", jint s.Elg.added_edges);
+              ("removed", jint s.Elg.removed_edges);
+              ( "touched",
+                jarr (List.map jstr s.Elg.touched_labels) );
+            ]
+      | Governor.Aborted r ->
+          error_reply id verb ~attempts:sup.Supervise.attempts
+            (Gq_error.Budget r))
+
+(* Serialize the *current* snapshot; no lock — a concurrent delta just
+   means the file captures the epoch that was current when we started,
+   which is all copy-on-write can promise anyway. *)
+let cmd_save_bin sess ctx id path =
+  let breaker = Breaker.Group.get sess.breakers "save-bin" in
+  let sup =
+    Supervise.run ~obs:sess.shared.config.obs ~retry:sess.retry ~breaker
+      ~degraded_max_steps:sess.shared.config.degraded_max_steps
+      ~gov:(governor_of sess)
+      (governed sess ctx (fun _gov ->
+           match Epoch.current sess.shared.graph with
+           | None -> raise (Gq_error.Error (Gq_error.Eval "no graph loaded"))
+           | Some (epoch, pg) -> (
+               match Graph_io.save_bin_res pg path with
+               | Ok bytes ->
+                   ctx.spent <- ctx.spent + Elg.nb_edges (Pg.elg pg);
+                   Governor.Complete (epoch, bytes)
+               | Error err -> raise (Gq_error.Error err))))
+  in
+  match sup.Supervise.outcome with
+  | Error err -> error_reply id "save-bin" ~attempts:sup.Supervise.attempts err
+  | Ok outcome -> (
+      match outcome with
+      | Governor.Complete (epoch, bytes) | Governor.Partial ((epoch, bytes), _)
+        ->
+          reply id "save-bin" ~status:"ok" ~code:0
+            [
+              ("degraded", jbool sup.Supervise.degraded);
+              ("attempts", jint sup.Supervise.attempts);
+              ("bytes", jint bytes);
+              ("epoch", jint epoch);
+            ]
+      | Governor.Aborted r ->
+          error_reply id "save-bin" ~attempts:sup.Supervise.attempts
             (Gq_error.Budget r))
 
 let cmd_rpq sess ctx id src =
@@ -430,6 +541,8 @@ let plan_cache_fields cache =
     ("product_hits", jint (Rpq_compile.product_hits cache));
     ("product_misses", jint (Rpq_compile.product_misses cache));
     ("invalidated", jint (Rpq_compile.invalidated cache));
+    ("invalidated_by_label", jint (Rpq_compile.invalidated_by_label cache));
+    ("retained", jint (Rpq_compile.retained cache));
     ("generation", jint (Rpq_compile.generation cache));
   ]
 
@@ -442,6 +555,8 @@ let cmd_stats sess id =
   reply id "stats" ~status:"ok" ~code:0
     ([
        ("graph", jbool (graph_loaded sess.shared));
+       ("epoch", jint (Epoch.epoch sess.shared.graph));
+       ("deltas", jint (Atomic.get sess.shared.deltas));
        ("breakers", jobj breakers);
        ( "failpoints",
          jobj
@@ -595,7 +710,7 @@ let plan_fields ?(obs = Obs.none) cache g text =
             ])
 
 let cmd_plan sess id text =
-  match Atomic.get sess.shared.graph with
+  match Epoch.snapshot sess.shared.graph with
   | None -> error_reply id "plan" (Gq_error.Eval "no graph loaded")
   | Some pg -> (
       match
@@ -625,6 +740,36 @@ let handle sess ctx id line =
   | "load" ->
       if rest = "" then Reply (parse_error id "load" "load: missing path")
       else Reply (cmd_load sess ctx id rest)
+  | "add-edge" ->
+      if rest = "" then
+        Reply
+          (parse_error id "add-edge"
+             "add-edge: expected NAME SRC LABEL TGT [key=value ...]")
+      else
+        Reply
+          (match Delta.parse_res ("add " ^ rest) with
+          | Error err -> error_reply id "add-edge" err
+          | Ok ops -> cmd_delta sess ctx id "add-edge" ops)
+  | "del-edge" ->
+      if rest = "" then
+        Reply (parse_error id "del-edge" "del-edge: expected NAME")
+      else
+        Reply
+          (match Delta.parse_res ("del " ^ rest) with
+          | Error err -> error_reply id "del-edge" err
+          | Ok ops -> cmd_delta sess ctx id "del-edge" ops)
+  | "delta-load" ->
+      if rest = "" then
+        Reply (parse_error id "delta-load" "delta-load: missing path")
+      else
+        Reply
+          (match Delta.parse_file_res rest with
+          | Error err -> error_reply id "delta-load" err
+          | Ok ops -> cmd_delta sess ctx id "delta-load" ops)
+  | "save-bin" ->
+      if rest = "" then
+        Reply (parse_error id "save-bin" "save-bin: missing path")
+      else Reply (cmd_save_bin sess ctx id rest)
   | "rpq" ->
       if rest = "" then Reply (parse_error id "rpq" "rpq: missing regex")
       else Reply (cmd_rpq sess ctx id rest)
@@ -737,7 +882,7 @@ let rpq_from_batch lead ctx members regex =
   | Error err ->
       List.map (fun (_, id, _) -> error_reply id "rpq-from" err) members
   | Ok c -> (
-      match Atomic.get lead.shared.graph with
+      match Epoch.snapshot lead.shared.graph with
       | None ->
           (* [batch_key] requires a loaded graph; unreachable. *)
           List.map

@@ -5,9 +5,12 @@
     A session owns everything one client may mutate — retry policy,
     budgets, per-query-class breakers — while the graph snapshot and
     the compilation cache live in the {!shared} record, safe to use
-    from every worker domain: the snapshot is an atomically published
-    immutable value ([load] swaps it together with the cache-generation
-    bump), and the cache synchronises internally.
+    from every worker domain: the snapshot is an {!Epoch}-published
+    immutable value ([load] replaces it wholesale; [add-edge] /
+    [del-edge] / [delta-load] publish an incrementally-built successor,
+    each paired with its cache invalidation under one writer lock), and
+    the cache synchronises internally.  Readers never block on writers:
+    an in-flight query keeps evaluating against the epoch it grabbed.
 
     Reply shape and field order are fixed (see README "Serving"): the
     stdio transcripts are byte-stable golden files. *)
@@ -39,6 +42,9 @@ val make_shared : config -> shared
 val shared_config : shared -> config
 val shared_cache : shared -> Rpq_compile.t
 val graph_loaded : shared -> bool
+
+(** Current snapshot epoch (0 before the first [load]). *)
+val shared_epoch : shared -> int
 
 (** {1 Sessions} *)
 

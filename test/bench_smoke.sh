@@ -46,4 +46,23 @@ grep -q '"phase":"cache","mode":"warm"' "$tmp/e20.out" \
 grep -q '"phase":"planner","planner":true.*"est_card":' "$tmp/e20.out" \
   || { echo "bench-smoke: E20 planner row carries no estimate" >&2; exit 1; }
 
-echo "bench-smoke: E17 counters/trace, E22 kernel parity and E20 plan checks OK"
+# E23 is fatal on any divergence between the incremental-update pipeline
+# and the full-reload baseline (answer equality, hit-rate strictly
+# above, warm migration, binary round-trip), so a zero exit is itself
+# the gate; additionally pin that the incremental row shows retained
+# products and a non-zero hit rate while the baseline shows none, and
+# that both persistence formats emitted a timing row.
+"$BENCH" E23 --quick > "$tmp/e23.out"
+
+grep -q '"mode":"incremental".*"hit_rate":0\.[1-9].*"invalidated_by_label":0' "$tmp/e23.out" \
+  || { echo "bench-smoke: E23 incremental row shows no warm hit rate" >&2; exit 1; }
+grep -q '"mode":"incremental".*"retained":[1-9]' "$tmp/e23.out" \
+  || { echo "bench-smoke: E23 incremental row retained nothing" >&2; exit 1; }
+grep -q '"mode":"full_reload".*"hit_rate":0\.000' "$tmp/e23.out" \
+  || { echo "bench-smoke: E23 baseline row is not cache-cold" >&2; exit 1; }
+grep -q '"phase":"persistence","format":"binary"' "$tmp/e23.out" \
+  || { echo "bench-smoke: E23 emitted no binary persistence row" >&2; exit 1; }
+grep -q '"phase":"persistence","format":"text"' "$tmp/e23.out" \
+  || { echo "bench-smoke: E23 emitted no text persistence row" >&2; exit 1; }
+
+echo "bench-smoke: E17 counters/trace, E22 kernel parity, E20 plan and E23 update checks OK"

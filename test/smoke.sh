@@ -322,4 +322,92 @@ grep -q '"batched":2' "$tmp/serve_batch_stats.out" \
   || { echo "smoke: stats did not report 2 batched requests" >&2
        cat "$tmp/serve_batch_stats.out" >&2; exit 1; }
 
+# --- binary persistence & one-shot deltas ---------------------------------
+
+# Round-trip: save-bin writes a GQB1 snapshot; every graph-reading
+# subcommand sniffs the magic and accepts it, with byte-identical output.
+run_expect 0 "$GQD" save-bin "$tmp/bank.graph" "$tmp/bank.gqb"
+grep -q 'nodes, 10 edges,' "$tmp/out" \
+  || { echo "smoke: save-bin summary missing" >&2; exit 1; }
+run_expect 0 "$GQD" info "$tmp/bank.gqb"
+check_golden info.out "$tmp/out"
+run_expect 0 "$GQD" rpq "$tmp/bank.gqb" 'Transfer.Transfer*'
+check_golden rpq_pairs.out "$tmp/out"
+
+# Corruption is rejected with the structured parse error (exit 1), never
+# a crash: a truncated file fails the length check, a scribbled payload
+# fails the checksum.
+head -c 40 "$tmp/bank.gqb" > "$tmp/trunc.gqb"
+run_expect 1 "$GQD" info "$tmp/trunc.gqb"
+grep -q 'error: cannot parse binary graph' "$tmp/err" \
+  || { echo "smoke: truncated binary not rejected cleanly" >&2; cat "$tmp/err" >&2; exit 1; }
+cp "$tmp/bank.gqb" "$tmp/flip.gqb"
+printf 'XXXX' | dd of="$tmp/flip.gqb" bs=1 seek=40 count=4 conv=notrunc 2> /dev/null
+run_expect 1 "$GQD" info "$tmp/flip.gqb"
+grep -q 'error: cannot parse binary graph' "$tmp/err" \
+  || { echo "smoke: corrupted binary not rejected cleanly" >&2; cat "$tmp/err" >&2; exit 1; }
+
+# One-shot deltas: add-edge/del-edge/delta-load apply incrementally and
+# report the delta; --out persists, and errors keep the exit-code
+# contract (unknown edge name is a parse error).
+run_expect 0 "$GQD" add-edge "$tmp/bank.graph" t99 a4 Transfer a1 amount=5 \
+  --out "$tmp/bank_upd.graph"
+check_golden delta_add.out "$tmp/out"
+run_expect 0 "$GQD" del-edge "$tmp/bank_upd.graph" t99
+check_golden delta_del.out "$tmp/out"
+printf 'add x1 a1 Transfer a3\ndel t1\n' > "$tmp/batch.delta"
+run_expect 0 "$GQD" delta-load "$tmp/bank.graph" "$tmp/batch.delta" \
+  --out "$tmp/bank_delta.gqb" --binary
+run_expect 0 "$GQD" info "$tmp/bank_delta.gqb"
+run_expect 1 "$GQD" del-edge "$tmp/bank.graph" nosuch
+run_expect 0 "$GQD" delta-load "$tmp/bank.graph" /dev/null # empty batch is a no-op
+run_expect 3 "$GQD" delta-load "$tmp/bank.graph" "$tmp/nosuch.delta"
+
+# Transcript 6: snapshot isolation under a live update stream.  Two
+# workers; the scalar engine is pinned (GQ_BITSET=off) and every source
+# BFS sleeps 400 ms, so client A's `rpq` holds its epoch-1 snapshot for
+# ~2.4 s.  Mid-flight, client B applies add-edge/del-edge (epochs 2 and
+# 3) — A's answers must be byte-identical to a pre-delta run, while
+# client C, arriving after the writes, sees the updated graph, and
+# `stats` reports the final epoch, the delta count, and the label-keyed
+# invalidation of the Transfer product that was warm when the first
+# write landed.
+( cd "$tmp" && GQ_FAILPOINTS="rpq.bfs.step=delay:400" GQ_PLAN=on GQ_PLAN_CACHE=on GQ_BITSET=off \
+  exec "$GQD_ABS" --listen "unix:$SOCK" --workers 2 \
+  > /dev/null 2> "$tmp/serve_update.err" ) &
+SRV=$!
+wait_sock "$SOCK"
+printf 'load bank.graph\nrpq Transfer*\n' \
+  | GQ_FAILPOINTS= "$GQD_ABS" client "unix:$SOCK" --pipeline \
+  > "$tmp/serve_update_a.out" &
+CLI_A=$!
+sleep 0.4
+printf 'add-edge t11 a4 Transfer a1\ndel-edge t1\nsave-bin snap.gqb\n' \
+  | GQ_FAILPOINTS= "$GQD_ABS" client "unix:$SOCK" \
+  > "$tmp/serve_update_b.out"
+printf 'rpq Transfer*\n' | GQ_FAILPOINTS= "$GQD_ABS" client "unix:$SOCK" \
+  > "$tmp/serve_update_c.out"
+printf 'stats\n' | GQ_FAILPOINTS= "$GQD_ABS" client "unix:$SOCK" \
+  > "$tmp/serve_update_stats.out"
+wait "$CLI_A" || { echo "smoke: pinned reader lost its reply" >&2; exit 1; }
+kill -TERM "$SRV"
+wait "$SRV" || {
+  echo "smoke: update server exited nonzero" >&2
+  cat "$tmp/serve_update.err" >&2
+  exit 1
+}
+SRV=
+check_golden serve_update_a.out "$tmp/serve_update_a.out"
+check_golden serve_update_b.out "$tmp/serve_update_b.out"
+check_golden serve_update_c.out "$tmp/serve_update_c.out"
+"$GQD_ABS" info "$tmp/snap.gqb" > "$tmp/snap.info"
+grep -q 'edges:  10' "$tmp/snap.info" \
+  || { echo "smoke: mid-stream binary snapshot wrong" >&2; cat "$tmp/snap.info" >&2; exit 1; }
+grep -q '"epoch":3' "$tmp/serve_update_stats.out" \
+  || { echo "smoke: stats missing final epoch" >&2; cat "$tmp/serve_update_stats.out" >&2; exit 1; }
+grep -q '"deltas":2' "$tmp/serve_update_stats.out" \
+  || { echo "smoke: stats missing delta count" >&2; cat "$tmp/serve_update_stats.out" >&2; exit 1; }
+grep -q '"invalidated_by_label":1' "$tmp/serve_update_stats.out" \
+  || { echo "smoke: stats missing label invalidation" >&2; cat "$tmp/serve_update_stats.out" >&2; exit 1; }
+
 echo "smoke: all CLI checks passed"
