@@ -1,4 +1,4 @@
-.PHONY: all check check-faults check-plan check-serve check-bitset check-updates test bench bench-smoke clean
+.PHONY: all check check-faults check-plan check-serve check-bitset check-updates check-recovery test bench bench-smoke clean
 
 all:
 	dune build @all
@@ -15,13 +15,14 @@ check:
 	$(MAKE) check-serve
 	$(MAKE) check-bitset
 	$(MAKE) check-updates
+	$(MAKE) check-recovery
 
 # The whole suite again with every library failpoint site armed — a
 # delay-only schedule, so checks take the armed slow path (registry
 # lookup, counters, sleeps) without changing any answer; the serve-mode
 # transcripts pin their own GQ_FAILPOINTS on top.  Run at pool widths 1
 # and 4 so the armed sites are also crossed from parallel domains.
-FAULT_SCHEDULE = graph.load=delay:1,graph.delta=delay:0,graph.save=delay:0,rpq.product.build=delay:0,rpq.bfs.step=delay:0,crpq.join.atom=delay:0,pool.fork=delay:0,serve.eval=delay:0
+FAULT_SCHEDULE = graph.load=delay:1,graph.delta=delay:0,graph.save=delay:0,rpq.product.build=delay:0,rpq.bfs.step=delay:0,crpq.join.atom=delay:0,pool.fork=delay:0,serve.eval=delay:0,wal.append=delay:0,wal.fsync=delay:0,wal.checkpoint=delay:0,wal.rotate=delay:0
 check-faults:
 	dune build @all
 	GQ_FAILPOINTS="$(FAULT_SCHEDULE)" GQ_DOMAINS=1 dune runtest --force
@@ -69,6 +70,18 @@ check-updates:
 	dune build test/test_updates.exe
 	GQ_FAILPOINTS="$(UPDATE_SCHEDULE)" GQ_DOMAINS=1 dune exec test/test_updates.exe
 	GQ_FAILPOINTS="$(UPDATE_SCHEDULE)" GQ_DOMAINS=4 dune exec test/test_updates.exe
+
+# The WAL crash-recovery suite (test/test_wal.ml: model-based recovery
+# properties, torn tails, injected faults, every recovery edge case)
+# plus the SIGKILL smoke (test/recover_smoke.sh), both with the WAL
+# failpoint sites armed on the delay slow path, at pool widths 1 and 4.
+RECOVERY_SCHEDULE = wal.append=delay:0,wal.fsync=delay:0,wal.checkpoint=delay:0,wal.rotate=delay:0,graph.save=delay:0,graph.delta=delay:0
+check-recovery:
+	dune build test/test_wal.exe bin/gqd.exe
+	GQ_FAILPOINTS="$(RECOVERY_SCHEDULE)" GQ_DOMAINS=1 dune exec test/test_wal.exe
+	GQ_FAILPOINTS="$(RECOVERY_SCHEDULE)" GQ_DOMAINS=4 dune exec test/test_wal.exe
+	GQ_FAILPOINTS="$(RECOVERY_SCHEDULE)" GQ_DOMAINS=1 bash test/recover_smoke.sh _build/default/bin/gqd.exe
+	GQ_FAILPOINTS="$(RECOVERY_SCHEDULE)" GQ_DOMAINS=4 bash test/recover_smoke.sh _build/default/bin/gqd.exe
 
 test: check
 

@@ -1742,7 +1742,7 @@ let e23 () =
     Rpq_compile.apply_delta ~obs cache ~old_graph:(Pg.elg old)
       ~new_graph:(Pg.elg applied.Delta.pg)
       ~touched_labels:s.Elg.touched_labels
-      ~nodes_stable:(s.Elg.added_nodes = 0);
+      ~nodes_stable:(s.Elg.added_nodes = 0 && s.Elg.removed_nodes = 0);
     applied.Delta.pg
   in
   let full_reload cache _obs ~old:_ applied =
@@ -1819,12 +1819,160 @@ let e23 () =
     exit 1
   end
 
+(* ======================================================================== *)
+(* E24: WAL durability — append overhead per group-commit fsync policy and  *)
+(* recovery time vs log length (JSONL; `--out=BENCH_wal.json`).             *)
+(* ======================================================================== *)
+
+let e24 () =
+  header "E24"
+    "WAL durability: append overhead per fsync policy, recovery time vs log length (JSONL)";
+  let failures = ref 0 in
+  (* Structural invariants (fsync counts per policy, recovered state
+     identical to the acknowledged state) are the acceptance contract and
+     fatal; the per-batch and recovery timings are the claims under
+     measurement. *)
+  let require name ok =
+    check name ok;
+    if not ok then incr failures
+  in
+  let ok_exn = function
+    | Ok v -> v
+    | Error e -> failwith (Gq_error.to_string e)
+  in
+  let with_tmpdir f =
+    let dir = Filename.temp_file "gq_e24" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o700;
+    Fun.protect
+      ~finally:(fun () ->
+        Array.iter
+          (fun e -> try Sys.remove (Filename.concat dir e) with Sys_error _ -> ())
+          (try Sys.readdir dir with Sys_error _ -> [||]);
+        try Unix.rmdir dir with Unix.Unix_error _ -> ())
+      (fun () -> f dir)
+  in
+  let n = if !quick then 200 else 1_000 in
+  let base =
+    Generators.random_pg ~seed:47 ~nodes:n ~edges:(4 * n)
+      ~labels:[ "a"; "b"; "c" ] ~prop:"w" ~max_value:9
+  in
+  (* Each batch adds one fresh c-edge between existing nodes, so any
+     prefix of the log is applicable in sequence — the same shape the
+     serve-mode writer appends. *)
+  let batch r =
+    let src = r * 7919 mod n and tgt = r * 104_729 mod n in
+    match Delta.parse_res (Printf.sprintf "add w%d v%d c v%d" r src tgt) with
+    | Ok ops -> ops
+    | Error _ -> assert false
+  in
+
+  (* --- append overhead per fsync policy ----------------------------------- *)
+  let batches = if !quick then 100 else 2_000 in
+  let ops = Array.init batches (fun i -> batch i) in
+  let append_run policy =
+    with_tmpdir (fun dir ->
+        let w, _ = ok_exn (Wal.open_res ~policy dir) in
+        ignore (ok_exn (Wal.checkpoint_res w base));
+        let (), ms =
+          oneshot_ms (fun () ->
+              Array.iter (fun b -> ignore (ok_exn (Wal.append_res w b))) ops)
+        in
+        let c = Wal.counters w in
+        ignore (ok_exn (Wal.flush_res w));
+        Wal.close w;
+        (ms, c))
+  in
+  let rows =
+    List.map
+      (fun policy ->
+        let ms, c = append_run policy in
+        emit_row
+          (Printf.sprintf
+             "{\"experiment\":\"E24\",\"phase\":\"append\",\"policy\":%S,\"batches\":%d,\"ms_per_batch\":%.4f,\"fsyncs\":%d,\"log_bytes\":%d}"
+             (Wal.fsync_policy_to_string policy)
+             batches
+             (ms /. float_of_int batches)
+             c.Wal.c_fsyncs c.Wal.c_bytes);
+        (policy, ms, c))
+      [ Wal.Always; Wal.Interval 5.; Wal.Never ]
+  in
+  (match rows with
+  | [ (_, always_ms, ac); (_, _, ic); (_, never_ms, nc) ] ->
+      require "always policy fsyncs every append"
+        (ac.Wal.c_fsyncs >= batches);
+      require "interval policy group-commits (fewer fsyncs than always)"
+        (ic.Wal.c_fsyncs < ac.Wal.c_fsyncs);
+      require "never policy issues no fsyncs during appends"
+        (nc.Wal.c_fsyncs = 0);
+      require "every policy logged every batch"
+        (ac.Wal.c_appends = batches && ic.Wal.c_appends = batches
+        && nc.Wal.c_appends = batches);
+      Printf.printf "  fsync cost: always %.1fx never (%.4f vs %.4f ms/batch)\n"
+        (always_ms /. Float.max never_ms 1e-6)
+        (always_ms /. float_of_int batches)
+        (never_ms /. float_of_int batches)
+  | _ -> assert false);
+
+  (* --- recovery time vs log length ---------------------------------------- *)
+  let queries =
+    Regex.
+      [
+        Atom (Sym.Lbl "a");
+        Seq (Atom (Sym.Lbl "a"), Star (Atom (Sym.Lbl "b")));
+        Seq (Star (Atom (Sym.Lbl "c")), Atom (Sym.Lbl "b"));
+      ]
+  in
+  let sizes = if !quick then [ 50; 200 ] else [ 500; 2_000; 8_000 ] in
+  List.iter
+    (fun k ->
+      with_tmpdir (fun dir ->
+          let w, _ = ok_exn (Wal.open_res ~policy:Wal.Never dir) in
+          ignore (ok_exn (Wal.checkpoint_res w base));
+          let live = ref base in
+          for r = 0 to k - 1 do
+            let b = batch r in
+            let applied = ok_exn (Delta.apply_res !live b) in
+            ignore (ok_exn (Wal.append_res w b));
+            live := applied.Delta.pg
+          done;
+          Wal.close w;
+          let r, ms = oneshot_ms (fun () -> ok_exn (Wal.recover_res dir)) in
+          let recovered =
+            match r.Wal.rc_graph with Some pg -> pg | None -> assert false
+          in
+          emit_row
+            (Printf.sprintf
+               "{\"experiment\":\"E24\",\"phase\":\"recovery\",\"records\":%d,\"recovery_ms\":%.2f,\"ms_per_record\":%.4f,\"nodes\":%d,\"edges\":%d}"
+               k ms
+               (ms /. float_of_int k)
+               (Elg.nb_nodes (Pg.elg recovered))
+               (Elg.nb_edges (Pg.elg recovered)));
+          require
+            (Printf.sprintf "recovery replayed all %d records" k)
+            (r.Wal.rc_replayed = k && not r.Wal.rc_truncated);
+          require
+            (Printf.sprintf
+               "recovered graph answers every query like the live graph (%d records)"
+               k)
+            (List.for_all
+               (fun q ->
+                 Rpq_eval.pairs (Pg.elg recovered) q
+                 = Rpq_eval.pairs (Pg.elg !live) q)
+               queries)))
+    sizes;
+  if !failures > 0 then begin
+    Printf.eprintf "E24: %d check(s) failed\n" !failures;
+    exit 1
+  end
+
 let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
     ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
     ("E19", e19); ("E20", e20); ("E21", e21); ("E22", e22); ("E23", e23);
+    ("E24", e24);
   ]
 
 let () =

@@ -5,7 +5,8 @@
      edge <name> <src> <label> <tgt> [key=value ...]
 
    Subcommands: info, rpq, shortest, gql, pmr, static, typecheck,
-   estimate, plan, demo, save-bin, add-edge, del-edge, delta-load.
+   estimate, plan, demo, save-bin, add-edge, del-edge, del-node,
+   delta-load, client, recover, wal-dump.
    Graph-reading subcommands accept either the text format or the GQB1
    binary snapshot (sniffed by magic).
 
@@ -460,7 +461,18 @@ let del_edge_cmd =
   let name_a = Arg.(required & pos 1 (some string) None & info [] ~docv:"NAME") in
   Cmd.v
     (Cmd.info "del-edge"
-       ~doc:"Delete one edge by name (nodes are never deleted); --out \
+       ~doc:"Delete one edge by name (nodes survive); --out persists the \
+             updated graph.")
+    Term.(const run $ graph_arg $ name_a $ delta_out_arg $ delta_binary_arg)
+
+let del_node_cmd =
+  let run path name out binary =
+    run_delta path [ Pg.Del_node name ] out binary
+  in
+  let name_a = Arg.(required & pos 1 (some string) None & info [] ~docv:"NAME") in
+  Cmd.v
+    (Cmd.info "del-node"
+       ~doc:"Delete one node together with every incident edge; --out \
              persists the updated graph.")
     Term.(const run $ graph_arg $ name_a $ delta_out_arg $ delta_binary_arg)
 
@@ -470,14 +482,92 @@ let delta_load_cmd =
   in
   let delta =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"DELTA"
-           ~doc:"Delta file: one `add NAME SRC LABEL TGT [key=value ...]` \
-                 or `del NAME` per line.")
+           ~doc:"Delta file: one `add NAME SRC LABEL TGT [key=value ...]`, \
+                 `del NAME` or `deln NODE` per line.")
   in
   Cmd.v
     (Cmd.info "delta-load"
-       ~doc:"Apply a batch of edge insertions/deletions (sequential \
-             semantics) incrementally; --out persists the result.")
+       ~doc:"Apply a batch of edge/node insertions and deletions \
+             (sequential semantics) incrementally; --out persists the \
+             result.")
     Term.(const run $ graph_arg $ delta $ delta_out_arg $ delta_binary_arg)
+
+(* --- WAL inspection ------------------------------------------------------- *)
+
+(* `gqd recover DIR`: offline crash recovery — load the newest valid
+   checkpoint, replay the log tail, report what happened as one JSON
+   object (and optionally write the recovered graph).  Exit codes follow
+   the house contract: a corrupt mid-log record is a parse error (1), an
+   unreadable directory is I/O (3). *)
+let recover_cmd =
+  let run dir out binary =
+    let r = or_die (Wal.recover_res dir) in
+    List.iter (fun w -> Printf.eprintf "warning: %s\n" w) r.Wal.rc_warnings;
+    (match (out, r.Wal.rc_graph) with
+    | Some p, Some pg -> write_graph pg ~binary p
+    | Some _, None ->
+        or_die (Error (Gq_error.Io (dir ^ ": nothing to recover")))
+    | None, _ -> ());
+    let nodes, edges =
+      match r.Wal.rc_graph with
+      | Some pg ->
+          let g = Pg.elg pg in
+          (Elg.nb_nodes g, Elg.nb_edges g)
+      | None -> (0, 0)
+    in
+    print_endline
+      (Wire.jobj
+         [
+           ("dir", Wire.jstr dir);
+           ("generation", Wire.jint r.Wal.rc_gen);
+           ("base_generation", Wire.jint r.Wal.rc_base_gen);
+           ("next_lsn", Wire.jint (Int64.to_int r.Wal.rc_next_lsn));
+           ("replayed", Wire.jint r.Wal.rc_replayed);
+           ("truncated", Wire.jbool r.Wal.rc_truncated);
+           ("graph", Wire.jbool (r.Wal.rc_graph <> None));
+           ("nodes", Wire.jint nodes);
+           ("edges", Wire.jint edges);
+           ("warnings", Wire.jarr (List.map Wire.jstr r.Wal.rc_warnings));
+         ])
+  in
+  let dir =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"
+           ~doc:"WAL directory (as given to --wal).")
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:"Recover a graph from a write-ahead log directory: newest \
+             valid checkpoint plus replayed log tail.  Prints a JSON \
+             summary; --out writes the recovered graph.")
+    Term.(const run $ dir $ delta_out_arg $ delta_binary_arg)
+
+(* `gqd wal-dump DIR`: every log record as one JSON object per line,
+   oldest first — the operator's view of exactly what would replay. *)
+let wal_dump_cmd =
+  let run dir =
+    let recs, warns = or_die (Wal.dump_res dir) in
+    List.iter (fun w -> Printf.eprintf "warning: %s\n" w) warns;
+    List.iter
+      (fun r ->
+        print_endline
+          (Wire.jobj
+             [
+               ("gen", Wire.jint r.Wal.r_gen);
+               ("lsn", Wire.jint (Int64.to_int r.Wal.r_lsn));
+               ("bytes", Wire.jint r.Wal.r_bytes);
+               ("payload", Wire.jstr r.Wal.r_payload);
+             ]))
+      recs
+  in
+  let dir =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"
+           ~doc:"WAL directory (as given to --wal).")
+  in
+  Cmd.v
+    (Cmd.info "wal-dump"
+       ~doc:"Print every write-ahead log record (generation, LSN, delta \
+             payload) as JSON lines; torn tails are warnings on stderr.")
+    Term.(const run $ dir)
 
 (* --- demo ---------------------------------------------------------------- *)
 
@@ -679,11 +769,33 @@ let serve_term =
     Arg.(value & opt (some float) None
          & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-query deadline.")
   in
+  let wal_dir =
+    Arg.(value & opt (some string) None
+         & info [ "wal" ] ~docv:"DIR"
+             ~doc:"Durability: append every update to a write-ahead log \
+                   in $(docv) (created if missing), recover its contents \
+                   at startup, and checkpoint on load and rotation.  \
+                   Update replies gain durable/wal_lsn fields; `gqd \
+                   recover` replays the directory offline.")
+  in
+  let fsync =
+    Arg.(value & opt string "always"
+         & info [ "fsync" ] ~docv:"POLICY"
+             ~doc:"WAL group-commit policy: `always` (fsync every \
+                   append), `interval:MS` (bounded loss window), or \
+                   `never` (OS-paced).  Default always.")
+  in
+  let checkpoint_every =
+    Arg.(value & opt int 1000
+         & info [ "checkpoint-every" ] ~docv:"N"
+             ~doc:"Checkpoint and rotate the WAL after $(docv) appended \
+                   records (default 1000).")
+  in
   let run serve listen retries breaker_threshold breaker_cooldown
       degraded_max_steps max_steps max_results timeout ceiling_max_steps
       ceiling_max_results ceiling_timeout max_clients queue_depth
       client_inflight client_budget workers hard_deadline retry_after_ms
-      max_line tele =
+      max_line wal_dir fsync checkpoint_every tele =
     let session =
       {
         Session.retries;
@@ -699,32 +811,66 @@ let serve_term =
         obs = tele.obs;
       }
     in
-    match listen with
-    | Some addr_s -> (
-        match Server.parse_listen addr_s with
-        | Error msg -> `Error (false, msg)
-        | Ok listen ->
-            Server.run
-              {
-                (Server.default_config ~listen session) with
-                Server.max_clients;
-                queue_depth;
-                client_inflight;
-                client_steps_per_sec = client_budget;
-                workers;
-                hard_deadline;
-                retry_after_ms;
-                max_line;
-              };
-            tele.flush ();
-            `Ok ())
-    | None ->
-        if not serve then `Help (`Pager, None)
-        else begin
-          Server.run_stdio ~max_line session;
-          tele.flush ();
-          `Ok ()
-        end
+    (* Open the WAL (running recovery) before binding any socket: a
+       refused recovery must fail startup, not strand a listener. *)
+    let wal_setup =
+      match wal_dir with
+      | None -> Ok (None, None)
+      | Some dir -> (
+          match Wal.fsync_policy_of_string fsync with
+          | Error msg -> Error (`Usage msg)
+          | Ok policy -> (
+              match Wal.open_res ~obs:tele.obs ~policy ~checkpoint_every dir with
+              | Error e -> Error (`Fatal e)
+              | Ok (w, r) ->
+                  List.iter
+                    (fun m -> Printf.eprintf "wal: %s\n%!" m)
+                    r.Wal.rc_warnings;
+                  if r.Wal.rc_truncated then
+                    prerr_endline "wal: torn final record truncated";
+                  (match r.Wal.rc_graph with
+                  | Some pg ->
+                      let g = Pg.elg pg in
+                      Printf.eprintf
+                        "wal: recovered %d nodes, %d edges (generation %d, \
+                         %d records replayed, next LSN %Ld)\n%!"
+                        (Elg.nb_nodes g) (Elg.nb_edges g) r.Wal.rc_gen
+                        r.Wal.rc_replayed r.Wal.rc_next_lsn
+                  | None -> ());
+                  Ok (Some w, r.Wal.rc_graph)))
+    in
+    match wal_setup with
+    | Error (`Usage msg) -> `Error (false, msg)
+    | Error (`Fatal e) ->
+        Printf.eprintf "error: %s\n" (Gq_error.to_string e);
+        exit (Gq_error.exit_code e)
+    | Ok (wal, initial) -> (
+        match listen with
+        | Some addr_s -> (
+            match Server.parse_listen addr_s with
+            | Error msg -> `Error (false, msg)
+            | Ok listen ->
+                Server.run ?wal ?initial
+                  {
+                    (Server.default_config ~listen session) with
+                    Server.max_clients;
+                    queue_depth;
+                    client_inflight;
+                    client_steps_per_sec = client_budget;
+                    workers;
+                    hard_deadline;
+                    retry_after_ms;
+                    max_line;
+                  };
+                tele.flush ();
+                `Ok ())
+        | None ->
+            if not serve then `Help (`Pager, None)
+            else begin
+              Server.run_stdio ~max_line ?wal ?initial session;
+              tele.flush ();
+              `Ok ()
+            end)
   in
   Term.(
     ret
@@ -732,13 +878,14 @@ let serve_term =
      $ breaker_cooldown $ degraded_max_steps $ max_steps $ max_results
      $ timeout $ ceiling_max_steps $ ceiling_max_results $ ceiling_timeout
      $ max_clients $ queue_depth $ client_inflight $ client_budget $ workers
-     $ hard_deadline $ retry_after_ms $ max_line $ obs_term))
+     $ hard_deadline $ retry_after_ms $ max_line $ wal_dir $ fsync
+     $ checkpoint_every $ obs_term))
 
 let () =
   let doc = "Query graph data: RPQs, path modes, PMRs, GQL-style patterns." in
   let cmd =
     Cmd.group ~default:serve_term
       (Cmd.info "gqd" ~version:"1.0.0" ~doc)
-      [ info_cmd; rpq_cmd; shortest_cmd; gql_cmd; query_cmd; pmr_cmd; static_cmd; typecheck_cmd; estimate_cmd; plan_cmd; save_bin_cmd; add_edge_cmd; del_edge_cmd; delta_load_cmd; demo_cmd; client_cmd ]
+      [ info_cmd; rpq_cmd; shortest_cmd; gql_cmd; query_cmd; pmr_cmd; static_cmd; typecheck_cmd; estimate_cmd; plan_cmd; save_bin_cmd; add_edge_cmd; del_edge_cmd; del_node_cmd; delta_load_cmd; demo_cmd; client_cmd; recover_cmd; wal_dump_cmd ]
   in
   exit (Cmd.eval cmd)

@@ -40,9 +40,39 @@ let parse_string text =
       | "add" :: _ -> fail lineno "add: expected <name> <src> <label> <tgt>"
       | [ "del"; name ] -> ops := Pg.Del_edge name :: !ops
       | "del" :: _ -> fail lineno "del: expected <name>"
+      | [ "deln"; name ] -> ops := Pg.Del_node name :: !ops
+      | "deln" :: _ -> fail lineno "deln: expected <name>"
       | tok :: _ -> fail lineno (Printf.sprintf "unknown delta op %S" tok))
     lines;
   List.rev !ops
+
+(* Inverse of [parse_string] on its own image: names never contain
+   whitespace or '#' (they came from whitespace-split parsing), and
+   property values printed with [Value.to_string] re-parse to the same
+   value under [Value.of_string_guess]. *)
+let render_op = function
+  | Pg.Add_edge { name; src; label; tgt; props } ->
+      let b = Buffer.create 64 in
+      Buffer.add_string b "add ";
+      Buffer.add_string b name;
+      Buffer.add_char b ' ';
+      Buffer.add_string b src;
+      Buffer.add_char b ' ';
+      Buffer.add_string b label;
+      Buffer.add_char b ' ';
+      Buffer.add_string b tgt;
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_char b ' ';
+          Buffer.add_string b k;
+          Buffer.add_char b '=';
+          Buffer.add_string b (Value.to_string v))
+        props;
+      Buffer.contents b
+  | Pg.Del_edge name -> "del " ^ name
+  | Pg.Del_node name -> "deln " ^ name
+
+let render ops = String.concat "\n" (List.map render_op ops)
 
 let parse_res src =
   match parse_string src with
@@ -259,8 +289,14 @@ let apply_res pg ops =
   | Ok { Pg.ap_pg; ap_summary; ap_adds; ap_dels } ->
       let new_g = Pg.elg ap_pg in
       let stats =
-        stats_after ~old_g ~old_st:(Stats.get old_g) ~new_g ~adds:ap_adds
-          ~dels:ap_dels
+        (* Incremental maintenance keys touched nodes by their old dense
+           ids, which node deletion invalidates (survivors compact); a
+           batch that removed nodes falls back to the O(n + m) fresh
+           scan — the same asymptotics as the CSR rebuild it rides on. *)
+        if ap_summary.Elg.removed_nodes > 0 then Stats.of_elg new_g
+        else
+          stats_after ~old_g ~old_st:(Stats.get old_g) ~new_g ~adds:ap_adds
+            ~dels:ap_dels
       in
       Stats.register stats;
       Ok { pg = ap_pg; summary = ap_summary; stats }

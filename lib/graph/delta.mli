@@ -6,11 +6,13 @@
     # comment
     add <name> <src> <label> <tgt> [key=value ...]
     del <name>
+    deln <node>
     v}
 
     Nodes mentioned by [add] and absent from the graph are created
-    implicitly (as in the graph text format).  A batch has sequential
-    semantics; see {!Pg.apply_delta_res}.
+    implicitly (as in the graph text format); [deln] drops a node and
+    every incident edge.  A batch has sequential semantics; see
+    {!Pg.apply_delta_res}.
 
     Application goes through {!Elg.apply_delta} (shared node arrays and
     label table where untouched, counting-pass index rebuild — no
@@ -33,6 +35,12 @@ exception Parse_error of string
 val parse_res : string -> (Pg.delta_op list, Gq_error.t) result
 
 val parse_file_res : string -> (Pg.delta_op list, Gq_error.t) result
+
+(** Render a batch back to the textual format, newline-separated —
+    inverse of {!parse_res} on its own image (the write-ahead log
+    persists delta records this way, so replay reuses the total
+    parser). *)
+val render : Pg.delta_op list -> string
 
 type applied = {
   pg : Pg.t;  (** the new snapshot; the input graph is untouched *)

@@ -343,6 +343,7 @@ let assemble ~node_names ~node_ids ~edge_names ~edge_ids ~src ~tgt ~lbl ~elbl
 
 type delta_summary = {
   added_nodes : int;
+  removed_nodes : int;
   added_edges : int;
   removed_edges : int;
   touched_labels : string list;
@@ -354,20 +355,39 @@ let ids_of names =
   Array.iteri (fun i a -> Hashtbl.add h a i) names;
   h
 
-let apply_delta g ~new_nodes ~add_edges ~del_edges =
+let apply_delta g ~new_nodes ~add_edges ~del_edges ~del_nodes =
   let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
   let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  (* Node deletions: mark dense node ids dead; survivors compact,
+     keeping their relative declaration order. *)
+  let dead_node = Array.make (max 1 g.nb_nodes) false in
+  let* nb_del_nodes =
+    let rec go k = function
+      | [] -> Ok k
+      | name :: rest -> (
+          match Hashtbl.find_opt g.node_ids name with
+          | None -> err "unknown node %s" name
+          | Some v ->
+              if dead_node.(v) then err "duplicate delete of node %s" name
+              else begin
+                dead_node.(v) <- true;
+                go (k + 1) rest
+              end)
+    in
+    go 0 del_nodes
+  in
   (* Nodes: existing arrays and the name table are shared verbatim when
-     the delta declares none. *)
+     the delta neither declares nor deletes any; with deletions the
+     survivors compact and every old id is remapped. *)
   let nb_new = List.length new_nodes in
-  let* node_names, node_ids =
-    if nb_new = 0 then Ok (g.node_names, g.node_ids)
-    else begin
+  let* node_names, node_ids, node_remap =
+    if nb_del_nodes = 0 && nb_new = 0 then Ok (g.node_names, g.node_ids, None)
+    else if nb_del_nodes = 0 then begin
       let names = Array.make (g.nb_nodes + nb_new) "" in
       Array.blit g.node_names 0 names 0 g.nb_nodes;
       let ids = Hashtbl.copy g.node_ids in
       let rec go i = function
-        | [] -> Ok (names, ids)
+        | [] -> Ok (names, ids, None)
         | name :: rest ->
             if Hashtbl.mem ids name then err "duplicate node %s" name
             else begin
@@ -377,6 +397,34 @@ let apply_delta g ~new_nodes ~add_edges ~del_edges =
             end
       in
       go g.nb_nodes new_nodes
+    end
+    else begin
+      let nb_nodes' = g.nb_nodes - nb_del_nodes + nb_new in
+      let names = Array.make nb_nodes' "" in
+      let remap = Array.make (max 1 g.nb_nodes) (-1) in
+      let k = ref 0 in
+      for v = 0 to g.nb_nodes - 1 do
+        if not dead_node.(v) then begin
+          names.(!k) <- g.node_names.(v);
+          remap.(v) <- !k;
+          incr k
+        end
+      done;
+      let ids = Hashtbl.create (max 8 nb_nodes') in
+      for v = 0 to !k - 1 do
+        Hashtbl.add ids names.(v) v
+      done;
+      let rec go i = function
+        | [] -> Ok (names, ids, Some remap)
+        | name :: rest ->
+            if Hashtbl.mem ids name then err "duplicate node %s" name
+            else begin
+              names.(i) <- name;
+              Hashtbl.add ids name i;
+              go (i + 1) rest
+            end
+      in
+      go !k new_nodes
     end
   in
   (* Deletions: mark dense edge ids dead; ids of survivors compact. *)
@@ -396,6 +444,26 @@ let apply_delta g ~new_nodes ~add_edges ~del_edges =
     in
     go 0 del_edges
   in
+  (* A deleted node takes its incident edges with it; the caller is
+     expected to list them in [del_edges] (the Pg layer does), so a
+     survivor touching a dead node is an internal-invariant breach. *)
+  let* () =
+    if nb_del_nodes = 0 then Ok ()
+    else begin
+      let bad = ref None in
+      for e = 0 to g.nb_edges - 1 do
+        if
+          (not dead.(e))
+          && !bad = None
+          && (dead_node.(g.src.(e)) || dead_node.(g.tgt.(e)))
+        then bad := Some g.edge_names.(e)
+      done;
+      match !bad with
+      | Some name -> err "deleted node still has incident edge %s" name
+      | None -> Ok ()
+    end
+  in
+  let remap_node v = match node_remap with None -> v | Some r -> r.(v) in
   let nb_add = List.length add_edges in
   let nb_edges = g.nb_edges - nb_del + nb_add in
   let src = Array.make nb_edges 0
@@ -407,8 +475,8 @@ let apply_delta g ~new_nodes ~add_edges ~del_edges =
   let k = ref 0 in
   for e = 0 to g.nb_edges - 1 do
     if not dead.(e) then begin
-      src.(!k) <- g.src.(e);
-      tgt.(!k) <- g.tgt.(e);
+      src.(!k) <- remap_node g.src.(e);
+      tgt.(!k) <- remap_node g.tgt.(e);
       lbl.(!k) <- g.lbl.(e);
       edge_names.(!k) <- g.edge_names.(e);
       incr k
@@ -525,6 +593,7 @@ let apply_delta g ~new_nodes ~add_edges ~del_edges =
     ( g',
       {
         added_nodes = nb_new;
+        removed_nodes = nb_del_nodes;
         added_edges = nb_add;
         removed_edges = nb_del;
         touched_labels;

@@ -121,6 +121,7 @@ val pp : Format.formatter -> t -> unit
 
 type delta_summary = {
   added_nodes : int;
+  removed_nodes : int;
   added_edges : int;
   removed_edges : int;
   touched_labels : string list;
@@ -130,10 +131,13 @@ type delta_summary = {
           shifting dense label ids *)
 }
 
-(** [apply_delta g ~new_nodes ~add_edges ~del_edges] — [new_nodes] are
-    appended after the existing nodes in list order; [del_edges] names
-    existing edges (survivors keep their relative declaration order and
-    compact to dense ids); [add_edges] append after the survivors.
+(** [apply_delta g ~new_nodes ~add_edges ~del_edges ~del_nodes] —
+    [new_nodes] are appended after the surviving nodes in list order;
+    [del_nodes] names existing nodes (survivors keep their relative
+    declaration order and compact to dense ids — deleting a node
+    *requires* every incident edge to appear in [del_edges], which the
+    Pg layer arranges); [del_edges] names existing edges (survivors
+    compact likewise); [add_edges] append after the surviving edges.
     Total: returns [Error msg] on unknown/duplicate names, leaving [g]
     untouched. *)
 val apply_delta :
@@ -141,6 +145,7 @@ val apply_delta :
   new_nodes:string list ->
   add_edges:(string * string * string * string) list ->
   del_edges:string list ->
+  del_nodes:string list ->
   (t * delta_summary, string) result
 
 (** {1 Binary pack}

@@ -339,18 +339,52 @@ let of_bin_string_res s =
     | Error msg -> err msg
   with Corrupt msg -> err msg
 
+(* Durability helper: fsync a directory so a just-renamed entry survives
+   a crash.  Best-effort — some filesystems refuse directory fsync. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+
+(* Crash-safe snapshot write: the bytes go to a fresh temp file in the
+   target directory, are fsynced, and only then renamed over the
+   destination (atomic on POSIX), followed by a directory fsync — a
+   crash at any point leaves either the old snapshot or the new one,
+   never a torn file.  The write-ahead log's checkpointer leans on
+   exactly this guarantee. *)
 let save_bin_res pg path =
   Failpoint.check "graph.save";
   match
     let s = to_bin_string pg in
-    let oc = open_out_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () -> output_string oc s);
+    let dir = Filename.dirname path in
+    let tmp =
+      Filename.temp_file ~temp_dir:dir
+        ("." ^ Filename.basename path ^ ".")
+        ".tmp"
+    in
+    (try
+       let oc = open_out_bin tmp in
+       Fun.protect
+         ~finally:(fun () -> close_out_noerr oc)
+         (fun () ->
+           output_string oc s;
+           flush oc;
+           Unix.fsync (Unix.descr_of_out_channel oc));
+       Sys.rename tmp path;
+       fsync_dir dir
+     with e ->
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise e);
     String.length s
   with
   | bytes -> Ok bytes
   | exception Sys_error msg -> Error (Gq_error.Io msg)
+  | exception Unix.Unix_error (e, fn, arg) ->
+      Error
+        (Gq_error.Io
+           (Printf.sprintf "%s: %s: %s" fn arg (Unix.error_message e)))
 
 (* Format-sniffing loader: every load path — CLI subcommands, [load] in
    serve mode — accepts both the text format and GQB1 binary, dispatching

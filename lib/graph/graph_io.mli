@@ -42,9 +42,15 @@ val to_string : Pg.t -> string
 val to_bin_string : Pg.t -> string
 val of_bin_string_res : string -> (Pg.t, Gq_error.t) result
 
-(** [save_bin_res pg path] writes the snapshot, returning the byte
-    count.  Carries the failpoint site [graph.save]; I/O failures map to
-    [Error (Io _)]. *)
+(** The FNV-1a 64-bit hash the GQB1 checksum uses (the write-ahead log
+    shares it for its record checksums). *)
+val fnv1a64 : string -> int64
+
+(** [save_bin_res pg path] writes the snapshot crash-safely — temp file
+    in the target directory, fsync, atomic rename over [path], directory
+    fsync — returning the byte count; a crash mid-save can never destroy
+    the previous snapshot.  Carries the failpoint site [graph.save]; I/O
+    failures map to [Error (Io _)]. *)
 val save_bin_res : Pg.t -> string -> (int, Gq_error.t) result
 
 (** Format-sniffing loader: dispatches on the magic bytes, so every load

@@ -62,6 +62,7 @@ type delta_op =
       props : (string * Value.t) list;
     }
   | Del_edge of string
+  | Del_node of string
 
 type add = {
   a_name : string;
@@ -85,7 +86,10 @@ let apply_delta_res g ops =
   try
     (* Sequential semantics over the batch: [add e] then [del e] nets out
        (though implicit nodes the add introduced persist, exactly as under
-       op-at-a-time application); [del e] frees the name for a later add. *)
+       op-at-a-time application); [del e] frees the name for a later add.
+       [deln v] drops the node together with every incident edge that is
+       alive at that point — pending adds touching it are cancelled, and
+       its name is freed for a later implicit re-creation. *)
     let in_base name =
       match Elg.edge_id elg0 name with
       | _ -> true
@@ -102,11 +106,30 @@ let apply_delta_res g ops =
     let adds = ref [] (* newest first *) in
     let new_node_set = Hashtbl.create 8 in
     let new_nodes = ref [] (* newest first *) in
+    let deleted_nodes = Hashtbl.create 8 in
+    let del_nodes = ref [] (* newest first *) in
     let note_node name =
-      if not (node_in_base name || Hashtbl.mem new_node_set name) then begin
+      if
+        not
+          ((node_in_base name && not (Hashtbl.mem deleted_nodes name))
+          || Hashtbl.mem new_node_set name)
+      then begin
         Hashtbl.add new_node_set name ();
         new_nodes := name :: !new_nodes
       end
+    in
+    (* Drop every pending add touching [name] (its incident unapplied
+       edges die with it). *)
+    let cancel_incident name =
+      adds :=
+        List.filter
+          (fun a ->
+            if a.a_src = name || a.a_tgt = name then begin
+              Hashtbl.remove pending a.a_name;
+              false
+            end
+            else true)
+          !adds
     in
     List.iter
       (function
@@ -136,7 +159,33 @@ let apply_delta_res g ops =
               Hashtbl.add deleted name ();
               dels := name :: !dels
             end
-            else bad "unknown edge %s" name)
+            else bad "unknown edge %s" name
+        | Del_node name ->
+            if Hashtbl.mem new_node_set name then begin
+              (* A node this very batch introduced: cancel it and its
+                 pending edges; nothing reaches the base graph. *)
+              Hashtbl.remove new_node_set name;
+              new_nodes := List.filter (fun n -> n <> name) !new_nodes;
+              cancel_incident name
+            end
+            else if node_in_base name && not (Hashtbl.mem deleted_nodes name)
+            then begin
+              Hashtbl.add deleted_nodes name ();
+              del_nodes := name :: !del_nodes;
+              cancel_incident name;
+              (* Surviving base edges incident to the node die with it. *)
+              let v = Elg.node_id elg0 name in
+              let bury e =
+                let en = Elg.edge_name elg0 e in
+                if not (Hashtbl.mem deleted en) then begin
+                  Hashtbl.add deleted en ();
+                  dels := en :: !dels
+                end
+              in
+              List.iter bury (Elg.out_edges elg0 v);
+              List.iter bury (Elg.in_edges elg0 v)
+            end
+            else bad "unknown node %s" name)
       ops;
     let add_edges =
       List.rev_map (fun a -> (a.a_name, a.a_src, a.a_label, a.a_tgt)) !adds
@@ -144,19 +193,32 @@ let apply_delta_res g ops =
     match
       Elg.apply_delta elg0 ~new_nodes:(List.rev !new_nodes)
         ~add_edges ~del_edges:(List.rev !dels)
+        ~del_nodes:(List.rev !del_nodes)
     with
     | Error e -> Error e
     | Ok (elg, summary) ->
-        (* Node-side arrays are shared when no node was introduced;
-           implicit nodes get the empty label and no properties, matching
-           the text format. *)
+        (* Node-side arrays are shared when no node was introduced or
+           removed; otherwise survivors compact exactly as in
+           {!Elg.apply_delta} and implicit nodes get the empty label and
+           no properties, matching the text format. *)
         let node_lbl, node_props =
-          if summary.Elg.added_nodes = 0 then (g.node_lbl, g.node_props)
+          if summary.Elg.added_nodes = 0 && summary.Elg.removed_nodes = 0 then
+            (g.node_lbl, g.node_props)
           else begin
             let n = Elg.nb_nodes elg in
             let lbls = Array.make n "" and props = Array.make n [] in
-            Array.blit g.node_lbl 0 lbls 0 (Array.length g.node_lbl);
-            Array.blit g.node_props 0 props 0 (Array.length g.node_props);
+            let dead_node = Array.make (max 1 (Elg.nb_nodes elg0)) false in
+            List.iter
+              (fun name -> dead_node.(Elg.node_id elg0 name) <- true)
+              !del_nodes;
+            let k = ref 0 in
+            for v = 0 to Elg.nb_nodes elg0 - 1 do
+              if not dead_node.(v) then begin
+                lbls.(!k) <- g.node_lbl.(v);
+                props.(!k) <- g.node_props.(v);
+                incr k
+              end
+            done;
             (lbls, props)
           end
         in

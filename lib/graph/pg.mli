@@ -42,13 +42,17 @@ val pp : Format.formatter -> t -> unit
 (** {1 Delta application}
 
     Property-graph face of {!Elg.apply_delta}: a batch of edge
-    insertions/deletions applied with *sequential* semantics ([add e]
-    then [del e] in one batch nets out, though implicit nodes the add
-    introduced persist; [del e] frees the name for a later add).  Nodes
-    mentioned by an added edge but absent from the graph are created
-    implicitly (empty label, no properties), in first-mention order —
-    exactly as the text format declares them.  Total: [Error msg] on
-    duplicate/unknown names, leaving the graph untouched. *)
+    insertions/deletions and node deletions applied with *sequential*
+    semantics ([add e] then [del e] in one batch nets out, though
+    implicit nodes the add introduced persist; [del e] frees the name
+    for a later add).  Nodes mentioned by an added edge but absent from
+    the graph are created implicitly (empty label, no properties), in
+    first-mention order — exactly as the text format declares them.
+    [Del_node v] drops the node together with every edge incident to it
+    at that point in the batch (pending adds touching it are cancelled;
+    surviving base edges are deleted), and frees the name for a later
+    implicit re-creation.  Total: [Error msg] on duplicate/unknown
+    names, leaving the graph untouched. *)
 
 type delta_op =
   | Add_edge of {
@@ -59,6 +63,7 @@ type delta_op =
       props : (string * Value.t) list;
     }
   | Del_edge of string
+  | Del_node of string
 
 (** Result of a delta: the new graph, the {!Elg.delta_summary}, and the
     *net* operations that took effect after sequential normalization

@@ -518,6 +518,9 @@ let io_main st workers =
     let now = Unix.gettimeofday () in
     let cancelled = Watchdog.sweep ~now in
     if cancelled > 0 then Obs.add st.obs "server.watchdog.cancelled" cancelled;
+    (* Interval-policy group commit: bound the unsynced window even when
+       no new update arrives to trigger the fsync. *)
+    Session.wal_tick st.shared;
     let keep, dead = List.partition (fun c -> not (reapable c)) !clients in
     List.iter (close_client st) dead;
     clients := keep;
@@ -579,6 +582,8 @@ let io_main st workers =
     end
   done;
   Array.iter Domain.join workers;
+  (* Workers are gone: nothing can append any more; flush and close. *)
+  Session.wal_close st.shared;
   close_listener st;
   Atomic.set st.stopped true
 
@@ -624,7 +629,7 @@ let connect = function
        with Unix.Unix_error _ -> ());
       fd
 
-let launch cfg =
+let launch ?wal ?initial cfg =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let listen_fd, actual = make_listener cfg.listen in
   let obs = cfg.session.Session.obs in
@@ -635,11 +640,15 @@ let launch cfg =
   in
   let gauge_depth = Obs.gauge_fn obs "server.queue.depth" in
   let depth_seen = ref 0 in
+  let shared = Session.make_shared ?wal cfg.session in
+  (* A recovered snapshot (gqd --wal) is live before the first client
+     connects. *)
+  Option.iter (Session.publish_initial shared) initial;
   let st =
     {
       cfg;
       obs;
-      shared = Session.make_shared cfg.session;
+      shared;
       queue =
         Admission.create ~capacity:cfg.queue_depth
           ~on_depth:(fun d ->
@@ -675,8 +684,8 @@ let await t =
   done;
   Domain.join t.io
 
-let run cfg =
-  let t = launch cfg in
+let run ?wal ?initial cfg =
+  let t = launch ?wal ?initial cfg in
   let stop _ = drain t in
   Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
   Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
@@ -688,9 +697,10 @@ let run cfg =
    length is bounded, malformed UTF-8 gets a structured reply, and
    writes survive short writes / a closed stdout (exit instead of
    SIGPIPE death). *)
-let run_stdio ?(max_line = 65536) scfg =
+let run_stdio ?(max_line = 65536) ?wal ?initial scfg =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  let shared = Session.make_shared scfg in
+  let shared = Session.make_shared ?wal scfg in
+  Option.iter (Session.publish_initial shared) initial;
   let sess = Session.create shared in
   let framer = Wire.Framer.create ~max_line () in
   let buf = Bytes.create 8192 in
@@ -734,4 +744,5 @@ let run_stdio ?(max_line = 65536) scfg =
         in
         go (Wire.Framer.feed framer buf n)
   in
-  serve ()
+  serve ();
+  Session.wal_close shared

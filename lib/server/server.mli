@@ -50,8 +50,11 @@ val connect : addr -> Unix.file_descr
 type t
 
 (** Bind, listen, spawn workers and the I/O domain; returns once the
-    socket accepts connections.  Ignores [SIGPIPE] process-wide. *)
-val launch : config -> t
+    socket accepts connections.  Ignores [SIGPIPE] process-wide.
+    [wal] makes updates durable (see {!Session.make_shared}); the I/O
+    loop runs its interval fsync tick and shutdown closes it.
+    [initial] publishes a recovered snapshot before serving starts. *)
+val launch : ?wal:Wal.t -> ?initial:Pg.t -> config -> t
 
 (** The bound address — for [Tcp] with port 0, the actual port. *)
 val addr : t -> addr
@@ -63,11 +66,12 @@ val drain : t -> unit
 val await : t -> unit
 
 (** [launch] + SIGTERM/SIGINT handlers that {!drain} + {!await}. *)
-val run : config -> unit
+val run : ?wal:Wal.t -> ?initial:Pg.t -> config -> unit
 
 (** {1 Stdio mode} *)
 
 (** The single-session [gqd --serve] loop on the same wire layer:
     bounded line length, structured replies to malformed input, writes
-    that survive a closed stdout. *)
-val run_stdio : ?max_line:int -> Session.config -> unit
+    that survive a closed stdout.  [wal] / [initial] as in {!launch}. *)
+val run_stdio :
+  ?max_line:int -> ?wal:Wal.t -> ?initial:Pg.t -> Session.config -> unit

@@ -17,7 +17,8 @@
      add-edge NAME SRC LABEL TGT [k=v ...]
                                 insert one edge (implicit nodes created)
      del-edge NAME              delete one edge by name
-     delta-load PATH            apply a batch of add/del ops from a file
+     del-node NAME              delete one node and its incident edges
+     delta-load PATH            apply a batch of add/del/deln ops from a file
      save-bin PATH              write the snapshot as a GQB1 binary file
      rpq REGEX                  all endpoint pairs of an RPQ
      rpq-from NODE REGEX        nodes reachable from NODE
@@ -91,21 +92,51 @@ type shared = {
   graph : Pg.t Epoch.t;
   graph_lock : Mutex.t;
   deltas : int Atomic.t; (* delta batches applied since startup *)
+  wal : Wal.t option;
+      (* durability: updates append here (under [graph_lock], before
+         publishing) when serve mode was started with --wal *)
 }
 
-let make_shared config =
+let make_shared ?wal config =
   {
     config;
     cache = Rpq_compile.create ();
     graph = Epoch.create ();
     graph_lock = Mutex.create ();
     deltas = Atomic.make 0;
+    wal;
   }
 
 let shared_config sh = sh.config
 let shared_cache sh = sh.cache
 let graph_loaded sh = Epoch.snapshot sh.graph <> None
 let shared_epoch sh = Epoch.epoch sh.graph
+
+(* Publish a recovered snapshot before serving starts (gqd --wal):
+   exactly what [load] does, minus the file read. *)
+let publish_initial sh pg =
+  Mutex.lock sh.graph_lock;
+  ignore (Epoch.publish sh.graph pg);
+  Rpq_compile.set_generation sh.cache (Elg.id (Pg.elg pg));
+  Mutex.unlock sh.graph_lock
+
+(* Periodic WAL housekeeping (interval fsync policy), called from the
+   server's I/O loop under the writer lock — [Wal.t] is single-writer. *)
+let wal_tick sh =
+  match sh.wal with
+  | None -> ()
+  | Some w ->
+      Mutex.lock sh.graph_lock;
+      (match Wal.tick_res w with Ok _ | Error _ -> ());
+      Mutex.unlock sh.graph_lock
+
+let wal_close sh =
+  match sh.wal with
+  | None -> ()
+  | Some w ->
+      Mutex.lock sh.graph_lock;
+      Wal.close w;
+      Mutex.unlock sh.graph_lock
 
 type t = {
   shared : shared;
@@ -318,24 +349,49 @@ let cmd_load sess ctx id path =
   | Error err -> error_reply id "load" ~attempts:sup.Supervise.attempts err
   | Ok outcome -> (
       match outcome with
-      | Governor.Complete pg | Governor.Partial (pg, _) ->
+      | Governor.Complete pg | Governor.Partial (pg, _) -> (
           let g = Pg.elg pg in
           (* Publish snapshot and cache generation as a pair: plans
              (query-only) survive, products built against the previous
              graph are dropped.  Parsing cost isn't governor-ticked, so
-             charge the request its edge count for budget accounting. *)
+             charge the request its edge count for budget accounting.
+
+             With a WAL, the load must checkpoint *before* publishing: a
+             load is not in the log, so serving a graph the log cannot
+             reconstruct would break the recovery invariant.  A failed
+             checkpoint therefore fails the load and keeps the previous
+             epoch. *)
           Mutex.lock sess.shared.graph_lock;
-          ignore (Epoch.publish sess.shared.graph pg);
-          Rpq_compile.set_generation sess.shared.cache (Elg.id g);
+          let ckpt =
+            match sess.shared.wal with
+            | None -> Ok ()
+            | Some w -> (
+                match Wal.checkpoint_res w pg with
+                | Ok _gen -> Ok ()
+                | Error e ->
+                    Wal.note_checkpoint_error w;
+                    Error e
+                | exception e ->
+                    Wal.note_checkpoint_error w;
+                    Error (Gq_error.of_exn e))
+          in
+          (match ckpt with
+          | Ok () ->
+              ignore (Epoch.publish sess.shared.graph pg);
+              Rpq_compile.set_generation sess.shared.cache (Elg.id g)
+          | Error _ -> ());
           Mutex.unlock sess.shared.graph_lock;
-          ctx.spent <- ctx.spent + Elg.nb_edges g;
-          reply id "load" ~status:"ok" ~code:0
-            [
-              ("degraded", jbool sup.Supervise.degraded);
-              ("attempts", jint sup.Supervise.attempts);
-              ("nodes", jint (Elg.nb_nodes g));
-              ("edges", jint (Elg.nb_edges g));
-            ]
+          match ckpt with
+          | Error err -> error_reply id "load" ~attempts:sup.Supervise.attempts err
+          | Ok () ->
+              ctx.spent <- ctx.spent + Elg.nb_edges g;
+              reply id "load" ~status:"ok" ~code:0
+                [
+                  ("degraded", jbool sup.Supervise.degraded);
+                  ("attempts", jint sup.Supervise.attempts);
+                  ("nodes", jint (Elg.nb_nodes g));
+                  ("edges", jint (Elg.nb_edges g));
+                ])
       | Governor.Aborted r ->
           error_reply id "load" ~attempts:sup.Supervise.attempts
             (Gq_error.Budget r))
@@ -365,24 +421,49 @@ let cmd_delta sess ctx id verb ops =
                    match Delta.apply_res pg ops with
                    | Error err -> raise (Gq_error.Error err)
                    | Ok applied ->
+                       (* Durability point: the record hits the log (and,
+                          under fsync=always, the disk) before the epoch
+                          is published — an acknowledged write is in the
+                          log, a failed append publishes nothing.  A
+                          failed append also rolled the segment back, so
+                          a supervised retry re-runs the whole body
+                          without duplicating the record. *)
+                       let wal =
+                         match sess.shared.wal with
+                         | None -> None
+                         | Some w -> (
+                             match Wal.append_res w ops with
+                             | Ok (lsn, synced) -> Some (lsn, synced)
+                             | Error err -> raise (Gq_error.Error err))
+                       in
                        let s = applied.Delta.summary in
                        Rpq_compile.apply_delta ~obs:sess.shared.config.obs
                          sess.shared.cache ~old_graph:(Pg.elg pg)
                          ~new_graph:(Pg.elg applied.Delta.pg)
                          ~touched_labels:s.Elg.touched_labels
-                         ~nodes_stable:(s.Elg.added_nodes = 0);
+                         ~nodes_stable:(s.Elg.added_nodes = 0 && s.Elg.removed_nodes = 0);
                        let epoch =
                          Epoch.publish sess.shared.graph applied.Delta.pg
                        in
                        Atomic.incr sess.shared.deltas;
-                       Governor.Complete (applied, epoch)))))
+                       (* Rotation runs after publish: a checkpoint
+                          failure is tolerated (the log still holds every
+                          record) but counted and surfaced in stats. *)
+                       (match sess.shared.wal with
+                       | None -> ()
+                       | Some w -> (
+                           match Wal.maybe_checkpoint_res w applied.Delta.pg with
+                           | Ok _ -> ()
+                           | Error _ -> Wal.note_checkpoint_error w
+                           | exception _ -> Wal.note_checkpoint_error w));
+                       Governor.Complete (applied, epoch, wal)))))
   in
   match sup.Supervise.outcome with
   | Error err -> error_reply id verb ~attempts:sup.Supervise.attempts err
   | Ok outcome -> (
       match outcome with
-      | Governor.Complete (applied, epoch) | Governor.Partial ((applied, epoch), _)
-        ->
+      | Governor.Complete (applied, epoch, wal)
+      | Governor.Partial ((applied, epoch, wal), _) ->
           let g = Pg.elg applied.Delta.pg in
           let s = applied.Delta.summary in
           (* Deltas aren't governor-ticked; charge the touched volume. *)
@@ -390,17 +471,27 @@ let cmd_delta sess ctx id verb ops =
             ctx.spent + s.Elg.added_edges + s.Elg.removed_edges
             + s.Elg.added_nodes + 1;
           reply id verb ~status:"ok" ~code:0
-            [
-              ("degraded", jbool sup.Supervise.degraded);
-              ("attempts", jint sup.Supervise.attempts);
-              ("nodes", jint (Elg.nb_nodes g));
-              ("edges", jint (Elg.nb_edges g));
-              ("epoch", jint epoch);
-              ("added", jint s.Elg.added_edges);
-              ("removed", jint s.Elg.removed_edges);
-              ( "touched",
-                jarr (List.map jstr s.Elg.touched_labels) );
-            ]
+            ([
+               ("degraded", jbool sup.Supervise.degraded);
+               ("attempts", jint sup.Supervise.attempts);
+               ("nodes", jint (Elg.nb_nodes g));
+               ("edges", jint (Elg.nb_edges g));
+               ("epoch", jint epoch);
+               ("added", jint s.Elg.added_edges);
+               ("removed", jint s.Elg.removed_edges);
+               ( "touched",
+                 jarr (List.map jstr s.Elg.touched_labels) );
+             ]
+            @
+            (* Only in --wal mode: the golden stdio transcripts (no WAL)
+               stay byte-stable. *)
+            match wal with
+            | None -> []
+            | Some (lsn, synced) ->
+                [
+                  ("durable", jbool synced);
+                  ("wal_lsn", jint (Int64.to_int lsn));
+                ])
       | Governor.Aborted r ->
           error_reply id verb ~attempts:sup.Supervise.attempts
             (Gq_error.Budget r))
@@ -546,6 +637,25 @@ let plan_cache_fields cache =
     ("generation", jint (Rpq_compile.generation cache));
   ]
 
+(* WAL health for `stats`, only present in --wal mode (golden
+   transcripts are recorded without a WAL). *)
+let wal_fields w =
+  let c = Wal.counters w in
+  [
+    ("generation", jint c.Wal.c_gen);
+    ("next_lsn", jint (Int64.to_int c.Wal.c_next_lsn));
+    ("read_only", jbool c.Wal.c_read_only);
+    ("policy", jstr (Wal.fsync_policy_to_string (Wal.policy w)));
+    ("records", jint c.Wal.c_records);
+    ("bytes", jint c.Wal.c_bytes);
+    ("appends", jint c.Wal.c_appends);
+    ("fsyncs", jint c.Wal.c_fsyncs);
+    ("checkpoints", jint c.Wal.c_checkpoints);
+    ("rotations", jint c.Wal.c_rotations);
+    ("replayed", jint c.Wal.c_replayed);
+    ("checkpoint_errors", jint c.Wal.c_checkpoint_errors);
+  ]
+
 let cmd_stats sess id =
   let breakers =
     List.map
@@ -579,6 +689,9 @@ let cmd_stats sess id =
                  ("reason", jstr (Par_policy.reason_slug d.Par_policy.reason));
                ])) );
      ]
+    @ (match sess.shared.wal with
+      | None -> []
+      | Some w -> [ ("wal", jobj (wal_fields w)) ])
     @ sess.extra_stats ())
 
 (* --- plan (EXPLAIN) ------------------------------------------------------ *)
@@ -758,6 +871,14 @@ let handle sess ctx id line =
           (match Delta.parse_res ("del " ^ rest) with
           | Error err -> error_reply id "del-edge" err
           | Ok ops -> cmd_delta sess ctx id "del-edge" ops)
+  | "del-node" ->
+      if rest = "" then
+        Reply (parse_error id "del-node" "del-node: expected NAME")
+      else
+        Reply
+          (match Delta.parse_res ("deln " ^ rest) with
+          | Error err -> error_reply id "del-node" err
+          | Ok ops -> cmd_delta sess ctx id "del-node" ops)
   | "delta-load" ->
       if rest = "" then
         Reply (parse_error id "delta-load" "delta-load: missing path")

@@ -38,13 +38,29 @@ val default_config : config
     compilation cache, and the published graph snapshot. *)
 type shared
 
-val make_shared : config -> shared
+(** [wal] makes every update durable: [add-edge] / [del-edge] /
+    [del-node] / [delta-load] append to the log (under the writer lock,
+    before publishing) and reply with [durable] / [wal_lsn]; [load]
+    checkpoints; [stats] gains a ["wal"] object. *)
+val make_shared : ?wal:Wal.t -> config -> shared
+
 val shared_config : shared -> config
 val shared_cache : shared -> Rpq_compile.t
 val graph_loaded : shared -> bool
 
 (** Current snapshot epoch (0 before the first [load]). *)
 val shared_epoch : shared -> int
+
+(** Publish a recovered snapshot before serving starts (what [load]
+    does, minus the file read and the checkpoint). *)
+val publish_initial : shared -> Pg.t -> unit
+
+(** Periodic WAL housekeeping (interval-policy fsync), from the server's
+    I/O loop; takes the writer lock.  No-op without a WAL. *)
+val wal_tick : shared -> unit
+
+(** Flush and close the WAL at shutdown.  No-op without a WAL. *)
+val wal_close : shared -> unit
 
 (** {1 Sessions} *)
 

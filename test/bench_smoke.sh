@@ -65,4 +65,20 @@ grep -q '"phase":"persistence","format":"binary"' "$tmp/e23.out" \
 grep -q '"phase":"persistence","format":"text"' "$tmp/e23.out" \
   || { echo "bench-smoke: E23 emitted no text persistence row" >&2; exit 1; }
 
-echo "bench-smoke: E17 counters/trace, E22 kernel parity, E20 plan and E23 update checks OK"
+# E24 is fatal on its structural invariants (always fsyncs every
+# append, the weaker policies group-commit, recovery replays every
+# record and answers queries like the live graph), so a zero exit is
+# itself the gate; additionally pin that all three policy rows and the
+# recovery rows were emitted.
+"$BENCH" E24 --quick > "$tmp/e24.out"
+
+grep -q '"phase":"append","policy":"always".*"fsyncs":[1-9]' "$tmp/e24.out" \
+  || { echo "bench-smoke: E24 always row shows no fsyncs" >&2; exit 1; }
+grep -q '"phase":"append","policy":"interval:5"' "$tmp/e24.out" \
+  || { echo "bench-smoke: E24 emitted no interval policy row" >&2; exit 1; }
+grep -q '"phase":"append","policy":"never".*"fsyncs":0' "$tmp/e24.out" \
+  || { echo "bench-smoke: E24 never row is not fsync-free" >&2; exit 1; }
+grep -q '"phase":"recovery","records":[1-9]' "$tmp/e24.out" \
+  || { echo "bench-smoke: E24 emitted no recovery row" >&2; exit 1; }
+
+echo "bench-smoke: E17 counters/trace, E22 kernel parity, E20 plan, E23 update and E24 durability checks OK"

@@ -1,0 +1,155 @@
+#!/bin/sh
+# Crash-recovery smoke for `gqd --listen --wal`: seed a server, stream
+# synchronous add-edge writes recording every acknowledgement, SIGKILL
+# the server mid-stream, then prove the durability contract offline and
+# on restart:
+#   - every acknowledged write is present after recovery;
+#   - nothing beyond the acknowledged prefix survives except at most the
+#     single in-flight write the kill interrupted (appended+fsynced but
+#     unacknowledged — durable-but-unreported is allowed, loss is not);
+#   - a server restarted on the same WAL directory serves the recovered
+#     state and continues the LSN sequence.
+# Run by `make check-recovery` at GQ_DOMAINS=1 and 4.
+set -eu
+
+GQD=$1
+GQD_ABS=$(cd "$(dirname "$GQD")" && pwd)/$(basename "$GQD")
+tmp=$(mktemp -d)
+SRV=
+trap 'kill "${SRV:-}" 2> /dev/null || true; rm -rf "$tmp"' EXIT
+
+fail() {
+  echo "recover-smoke: $1" >&2
+  shift
+  for f in "$@"; do cat "$f" >&2 || true; done
+  exit 1
+}
+
+json_int() { # json_int FILE KEY
+  sed -n "s/.*\"$2\":\\([0-9][0-9]*\\).*/\\1/p" "$1" | head -n 1
+}
+
+"$GQD_ABS" demo > "$tmp/bank.graph"
+SOCK="$tmp/gq.sock"
+WAL="$tmp/wal"
+
+( cd "$tmp" && exec "$GQD_ABS" --listen "unix:$SOCK" \
+    --wal "$WAL" --fsync always \
+    > /dev/null 2> "$tmp/server.err" ) &
+SRV=$!
+i=0
+while [ ! -S "$SOCK" ]; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] || fail "server socket never appeared" "$tmp/server.err"
+  sleep 0.05
+done
+
+printf 'load bank.graph\n' | "$GQD_ABS" client "unix:$SOCK" > "$tmp/load.out"
+grep -q '"status":"ok"' "$tmp/load.out" \
+  || fail "load failed" "$tmp/load.out" "$tmp/server.err"
+[ -f "$WAL/checkpoint-1.gqb" ] || fail "load wrote no checkpoint"
+
+# Sequential writer: one connection per write, so at most one write is
+# ever in flight.  Reply N in acked.jsonl acknowledges edge rN.
+: > "$tmp/acked.jsonl"
+(
+  set +e
+  i=1
+  while [ $i -le 500 ]; do
+    out=$(printf 'add-edge r%d s%d Transfer t%d\n' "$i" "$i" "$i" \
+      | "$GQD_ABS" client "unix:$SOCK" 2> /dev/null) || break
+    [ -n "$out" ] || break
+    printf '%s\n' "$out" >> "$tmp/acked.jsonl"
+    i=$((i + 1))
+  done
+) &
+WRITER=$!
+
+# Kill -9 once a healthy prefix is acknowledged, mid-stream.
+i=0
+while :; do
+  n=$(wc -l < "$tmp/acked.jsonl")
+  [ "$n" -ge 15 ] && break
+  i=$((i + 1))
+  [ "$i" -le 200 ] || fail "writer never reached 15 acks" "$tmp/server.err"
+  sleep 0.05
+done
+kill -9 "$SRV"
+wait "$SRV" 2> /dev/null || true
+SRV=
+wait "$WRITER" 2> /dev/null || true
+
+acked=$(grep -c '"status":"ok"' "$tmp/acked.jsonl")
+[ "$acked" -eq "$(wc -l < "$tmp/acked.jsonl")" ] \
+  || fail "a write was acknowledged with an error" "$tmp/acked.jsonl"
+grep -q '"durable":true' "$tmp/acked.jsonl" \
+  || fail "acks carry no durable:true" "$tmp/acked.jsonl"
+[ "$acked" -lt 500 ] || fail "writer finished before the kill (not mid-stream)"
+echo "recover-smoke: $acked writes acknowledged before SIGKILL"
+
+# Offline recovery: acked prefix intact, no phantoms beyond one in-flight.
+"$GQD_ABS" recover "$WAL" --out "$tmp/recovered.graph" \
+  > "$tmp/recover.json" 2> "$tmp/recover.err" \
+  || fail "offline recovery failed" "$tmp/recover.err"
+i=1
+while [ $i -le "$acked" ]; do
+  grep -q "^edge r$i " "$tmp/recovered.graph" \
+    || fail "acknowledged write r$i lost (acked=$acked)" "$tmp/recover.json"
+  i=$((i + 1))
+done
+recovered_r=$(grep -c '^edge r' "$tmp/recovered.graph")
+extra=$((recovered_r - acked))
+{ [ "$extra" -eq 0 ] || [ "$extra" -eq 1 ]; } \
+  || fail "$extra phantom writes beyond the acked prefix (acked=$acked)" \
+       "$tmp/recover.json"
+if [ "$extra" -eq 1 ]; then
+  next=$((acked + 1))
+  grep -q "^edge r$next " "$tmp/recovered.graph" \
+    || fail "phantom write is not the in-flight r$next"
+fi
+replayed=$(json_int "$tmp/recover.json" replayed)
+next_lsn=$(json_int "$tmp/recover.json" next_lsn)
+nodes=$(json_int "$tmp/recover.json" nodes)
+edges=$(json_int "$tmp/recover.json" edges)
+[ "$replayed" -ge "$acked" ] || fail "replayed $replayed < acked $acked"
+echo "recover-smoke: recovered $nodes nodes, $edges edges ($replayed records, $extra in-flight)"
+
+# wal-dump agrees on the record count.
+dumped=$("$GQD_ABS" wal-dump "$WAL" 2> /dev/null | wc -l)
+[ "$dumped" -ge "$acked" ] || fail "wal-dump shows $dumped < acked $acked"
+
+# Restart on the same directory: recovered state served, LSNs continue.
+SOCK2="$tmp/gq2.sock"
+( cd "$tmp" && exec "$GQD_ABS" --listen "unix:$SOCK2" \
+    --wal "$WAL" --fsync always \
+    > /dev/null 2> "$tmp/server2.err" ) &
+SRV=$!
+i=0
+while [ ! -S "$SOCK2" ]; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] || fail "restarted server never came up" "$tmp/server2.err"
+  sleep 0.05
+done
+grep -q 'wal: recovered' "$tmp/server2.err" \
+  || fail "restart printed no recovery banner" "$tmp/server2.err"
+
+printf 'add-edge probe1 pA Transfer pB\nstats\n' \
+  | "$GQD_ABS" client "unix:$SOCK2" > "$tmp/probe.out"
+probe=$(head -n 1 "$tmp/probe.out")
+printf '%s\n' "$probe" | grep -q '"status":"ok"' \
+  || fail "probe write failed after restart" "$tmp/probe.out" "$tmp/server2.err"
+printf '%s\n' "$probe" > "$tmp/probe.json"
+p_nodes=$(json_int "$tmp/probe.json" nodes)
+p_edges=$(json_int "$tmp/probe.json" edges)
+p_lsn=$(json_int "$tmp/probe.json" wal_lsn)
+[ "$p_nodes" -eq $((nodes + 2)) ] && [ "$p_edges" -eq $((edges + 1)) ] \
+  || fail "served state $p_nodes/$p_edges != recovered $nodes+2/$edges+1" \
+       "$tmp/probe.out"
+[ "$p_lsn" -eq "$next_lsn" ] \
+  || fail "restart assigned LSN $p_lsn, recovery promised $next_lsn"
+grep -q '"wal":{' "$tmp/probe.out" || fail "stats carry no wal object" "$tmp/probe.out"
+
+kill "$SRV"
+wait "$SRV" || fail "graceful drain exited nonzero" "$tmp/server2.err"
+SRV=
+echo "recover-smoke: ok (acked=$acked, restart lsn=$p_lsn)"

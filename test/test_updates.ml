@@ -28,9 +28,10 @@ let model_has_edge m name =
 
 (* Sequential-batch semantics, one op at a time: an add appends its edge
    (and any implicitly created endpoints, in first-mention order); a del
-   removes the edge wherever it sits — nodes are never deleted.  Implicit
-   nodes survive even when their add is later cancelled, which is why the
-   model applies ops eagerly rather than netting the batch first. *)
+   removes the edge wherever it sits; a deln removes the node and every
+   incident edge, freeing all their names.  Implicit nodes survive even
+   when their add is later cancelled, which is why the model applies ops
+   eagerly rather than netting the batch first. *)
 let model_apply m (op : Pg.delta_op) =
   match op with
   | Pg.Add_edge { name; src; label; tgt; props } ->
@@ -42,6 +43,17 @@ let model_apply m (op : Pg.delta_op) =
   | Pg.Del_edge name ->
       m.m_edges <- List.filter (fun (n, _, _, _, _) -> n <> name) m.m_edges;
       m.m_deleted <- name :: m.m_deleted
+  | Pg.Del_node name ->
+      m.m_nodes <- List.filter (fun (n, _, _) -> n <> name) m.m_nodes;
+      m.m_edges <-
+        List.filter
+          (fun (en, s, _, t, _) ->
+            if s = name || t = name then begin
+              m.m_deleted <- en :: m.m_deleted;
+              false
+            end
+            else true)
+          m.m_edges
 
 let model_rebuild m = Pg.make ~nodes:m.m_nodes ~edges:m.m_edges
 
@@ -69,8 +81,13 @@ let gen_batch st m =
   let nops = 1 + Random.State.int st 5 in
   List.init nops (fun _ ->
       let can_del = m.m_edges <> [] in
+      let can_deln = m.m_nodes <> [] in
+      let roll = Random.State.int st 10 in
       let op =
-        if (not can_del) || Random.State.int st 10 < 6 then begin
+        if can_deln && roll >= 9 then
+          (* Occasionally drop a whole node (and its incident edges). *)
+          Pg.Del_node ((fun (n, _, _) -> n) (pick st m.m_nodes))
+        else if (not can_del) || roll < 6 then begin
           (* An add: mostly existing endpoints, sometimes an implicit
              node, occasionally a fresh label or a recycled edge name. *)
           let endpoint () =
@@ -302,7 +319,7 @@ let prop_cache_consistency =
             let s = applied.Delta.summary in
             Rpq_compile.apply_delta t ~old_graph:old_g ~new_graph:new_g
               ~touched_labels:s.Elg.touched_labels
-              ~nodes_stable:(s.Elg.added_nodes = 0);
+              ~nodes_stable:(s.Elg.added_nodes = 0 && s.Elg.removed_nodes = 0);
             pg := applied.Delta.pg;
             List.iter
               (fun c ->
@@ -544,7 +561,7 @@ let test_untouched_label_stays_warm () =
     Rpq_compile.apply_delta t ~old_graph:(Pg.elg !pg)
       ~new_graph:(Pg.elg applied.Delta.pg)
       ~touched_labels:s.Elg.touched_labels
-      ~nodes_stable:(s.Elg.added_nodes = 0);
+      ~nodes_stable:(s.Elg.added_nodes = 0 && s.Elg.removed_nodes = 0);
     pg := applied.Delta.pg
   done;
   Alcotest.(check bool) "still warm after 100 deltas" true
@@ -564,7 +581,7 @@ let test_untouched_label_stays_warm () =
   Rpq_compile.apply_delta t ~old_graph:(Pg.elg !pg)
     ~new_graph:(Pg.elg applied.Delta.pg)
     ~touched_labels:s.Elg.touched_labels
-    ~nodes_stable:(s.Elg.added_nodes = 0);
+    ~nodes_stable:(s.Elg.added_nodes = 0 && s.Elg.removed_nodes = 0);
   Alcotest.(check bool) "touched label drops" false
     (Rpq_compile.product_cached t (Pg.elg applied.Delta.pg) c);
   Alcotest.(check int) "counted as label invalidation" 1

@@ -1,0 +1,720 @@
+(* Crash-recovery properties for the write-ahead log (lib/wal).
+
+   The core property: whatever interleaving of delta appends,
+   checkpoints, torn tails and injected faults a run suffers, recovery
+   must reproduce exactly the acknowledged prefix — same node/edge/label
+   order, same CSR adjacency, same statistics, same RPQ/CRPQ answers as
+   the graph the writer had published when the last acknowledged append
+   returned.  Un-acknowledged work (a rolled-back append, a torn final
+   record) must be atomically absent; damage anywhere else in the log
+   must be refused with a structured parse error, never silently
+   skipped. *)
+
+let seed_arb = QCheck.(make ~print:string_of_int Gen.(int_range 0 1_000_000))
+
+(* --- scratch directories -------------------------------------------------- *)
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "gq_wal" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.chmod dir 0o700 with Unix.Unix_error _ -> ());
+      Array.iter
+        (fun e -> try Sys.remove (Filename.concat dir e) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+(* --- reference model (as in test_updates) --------------------------------- *)
+
+type model = {
+  mutable m_nodes : (string * string * (string * Value.t) list) list;
+  mutable m_edges :
+    (string * string * string * string * (string * Value.t) list) list;
+  mutable m_fresh : int;
+}
+
+let model_has_node m name = List.exists (fun (n, _, _) -> n = name) m.m_nodes
+
+let model_apply m (op : Pg.delta_op) =
+  match op with
+  | Pg.Add_edge { name; src; label; tgt; props } ->
+      if not (model_has_node m src) then
+        m.m_nodes <- m.m_nodes @ [ (src, "", []) ];
+      if not (model_has_node m tgt) then
+        m.m_nodes <- m.m_nodes @ [ (tgt, "", []) ];
+      m.m_edges <- m.m_edges @ [ (name, src, label, tgt, props) ]
+  | Pg.Del_edge name ->
+      m.m_edges <- List.filter (fun (n, _, _, _, _) -> n <> name) m.m_edges
+  | Pg.Del_node name ->
+      m.m_nodes <- List.filter (fun (n, _, _) -> n <> name) m.m_nodes;
+      m.m_edges <-
+        List.filter (fun (_, s, _, t, _) -> s <> name && t <> name) m.m_edges
+
+let model_rebuild m = Pg.make ~nodes:m.m_nodes ~edges:m.m_edges
+
+let pick st l = List.nth l (Random.State.int st (List.length l))
+
+let gen_base st =
+  let nb = 3 + Random.State.int st 4 in
+  let nodes = List.init nb (fun i -> (Printf.sprintf "n%d" i, "", [])) in
+  let labels = [ "a"; "b"; "c" ] in
+  let ne = Random.State.int st 8 in
+  let edges =
+    List.init ne (fun i ->
+        ( Printf.sprintf "e%d" i,
+          Printf.sprintf "n%d" (Random.State.int st nb),
+          pick st labels,
+          Printf.sprintf "n%d" (Random.State.int st nb),
+          if Random.State.bool st then [ ("w", Value.Int i) ] else [] ))
+  in
+  { m_nodes = nodes; m_edges = edges; m_fresh = 0 }
+
+(* One valid batch, replayed into the model as it is generated.  Every
+   op shape that can appear in the log: adds (implicit endpoints,
+   properties whose textual rendering must round-trip), edge deletes,
+   node deletes. *)
+let gen_batch st m =
+  let nops = 1 + Random.State.int st 4 in
+  List.init nops (fun _ ->
+      let can_del = m.m_edges <> [] in
+      let can_deln = m.m_nodes <> [] in
+      let roll = Random.State.int st 10 in
+      let op =
+        if can_deln && roll >= 9 then
+          Pg.Del_node ((fun (n, _, _) -> n) (pick st m.m_nodes))
+        else if (not can_del) || roll < 6 then begin
+          let endpoint () =
+            if m.m_nodes <> [] && Random.State.int st 10 < 8 then
+              (fun (n, _, _) -> n) (pick st m.m_nodes)
+            else begin
+              m.m_fresh <- m.m_fresh + 1;
+              Printf.sprintf "m%d" m.m_fresh
+            end
+          in
+          m.m_fresh <- m.m_fresh + 1;
+          Pg.Add_edge
+            {
+              name = Printf.sprintf "x%d" m.m_fresh;
+              src = endpoint ();
+              label = pick st [ "a"; "b"; "c" ];
+              tgt = endpoint ();
+              props =
+                (match Random.State.int st 3 with
+                | 0 -> [ ("w", Value.Int m.m_fresh) ]
+                | 1 -> [ ("tag", Value.Text "hot"); ("ok", Value.Bool true) ]
+                | _ -> []);
+            }
+        end
+        else Pg.Del_edge ((fun (n, _, _, _, _) -> n) (pick st m.m_edges))
+      in
+      model_apply m op;
+      op)
+
+(* --- equivalence ---------------------------------------------------------- *)
+
+let names_out g v = List.map (Elg.edge_name g) (Elg.out_edges g v)
+let names_in g v = List.map (Elg.edge_name g) (Elg.in_edges g v)
+
+let check_graph_eq msg inc ref_pg =
+  let gi = Pg.elg inc and gr = Pg.elg ref_pg in
+  Alcotest.(check int) (msg ^ ": nodes") (Elg.nb_nodes gr) (Elg.nb_nodes gi);
+  Alcotest.(check int) (msg ^ ": edges") (Elg.nb_edges gr) (Elg.nb_edges gi);
+  Alcotest.(check (list string))
+    (msg ^ ": node order")
+    (List.init (Elg.nb_nodes gr) (Elg.node_name gr))
+    (List.init (Elg.nb_nodes gi) (Elg.node_name gi));
+  Alcotest.(check (list string))
+    (msg ^ ": edge order")
+    (List.init (Elg.nb_edges gr) (Elg.edge_name gr))
+    (List.init (Elg.nb_edges gi) (Elg.edge_name gi));
+  Alcotest.(check (list string))
+    (msg ^ ": interned labels") (Elg.labels gr) (Elg.labels gi);
+  for e = 0 to Elg.nb_edges gr - 1 do
+    Alcotest.(check (pair int int))
+      (msg ^ ": endpoints")
+      (Elg.src gr e, Elg.tgt gr e)
+      (Elg.src gi e, Elg.tgt gi e)
+  done;
+  for v = 0 to Elg.nb_nodes gr - 1 do
+    Alcotest.(check (list string))
+      (msg ^ ": out adjacency") (names_out gr v) (names_out gi v);
+    Alcotest.(check (list string))
+      (msg ^ ": in adjacency") (names_in gr v) (names_in gi v);
+    Alcotest.(check bool)
+      (msg ^ ": node props") true
+      (Pg.props_of ref_pg (Path.N v) = Pg.props_of inc (Path.N v))
+  done;
+  for e = 0 to Elg.nb_edges gr - 1 do
+    Alcotest.(check bool)
+      (msg ^ ": edge props") true
+      (Pg.props_of ref_pg (Path.E e) = Pg.props_of inc (Path.E e))
+  done
+
+(* Statistics, field for field except [graph_id] (distinct instances). *)
+let check_stats_like msg (got : Stats.t) (want : Stats.t) =
+  Alcotest.(check int) (msg ^ ": nb_nodes") want.Stats.nb_nodes got.Stats.nb_nodes;
+  Alcotest.(check int) (msg ^ ": nb_edges") want.nb_edges got.nb_edges;
+  Alcotest.(check int) (msg ^ ": nb_labels") want.nb_labels got.nb_labels;
+  Alcotest.(check (array string))
+    (msg ^ ": label_names") want.label_names got.label_names;
+  Alcotest.(check (array int))
+    (msg ^ ": label_edges") want.label_edges got.label_edges;
+  Alcotest.(check (array int))
+    (msg ^ ": label_sources") want.label_sources got.label_sources;
+  Alcotest.(check (array int))
+    (msg ^ ": label_targets") want.label_targets got.label_targets;
+  Alcotest.(check (array int)) (msg ^ ": out_hist") want.out_hist got.out_hist;
+  Alcotest.(check (array int)) (msg ^ ": in_hist") want.in_hist got.in_hist
+
+let queries =
+  Regex.
+    [
+      Atom (Sym.Lbl "a");
+      Seq (Atom (Sym.Lbl "a"), Star (Atom (Sym.Lbl "b")));
+      Star (Alt (Atom (Sym.Lbl "a"), Atom (Sym.Lbl "c")));
+      Star (Atom Sym.Any);
+    ]
+
+let crpq =
+  Crpq.make ~head:[ "x"; "z" ]
+    ~atoms:
+      [
+        {
+          Crpq.re = Regex.Star (Regex.Atom (Sym.Lbl "a"));
+          x = Crpq.TVar "x";
+          y = Crpq.TVar "y";
+        };
+        {
+          Crpq.re = Regex.Atom (Sym.Lbl "b");
+          x = Crpq.TVar "y";
+          y = Crpq.TVar "z";
+        };
+      ]
+
+let check_equiv msg recovered reference =
+  check_graph_eq msg recovered reference;
+  check_stats_like msg
+    (Stats.get (Pg.elg recovered))
+    (Stats.of_elg (Pg.elg reference));
+  let gi = Pg.elg recovered and gr = Pg.elg reference in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (msg ^ ": rpq answers") true
+        (Rpq_eval.pairs gi r = Rpq_eval.pairs gr r))
+    queries;
+  Alcotest.(check bool)
+    (msg ^ ": crpq answers") true
+    (Crpq.eval gi crpq = Crpq.eval gr crpq)
+
+let ok_exn what = function
+  | Ok v -> v
+  | Error err -> Alcotest.failf "%s: %s" what (Gq_error.to_string err)
+
+let recover_exn dir = ok_exn "recover" (Wal.recover_res dir)
+
+let recovered_graph (r : Wal.recovery) =
+  match r.Wal.rc_graph with
+  | Some pg -> pg
+  | None -> Alcotest.fail "recovery produced no graph"
+
+(* --- property: clean shutdown and reopen ---------------------------------- *)
+
+(* Random append/checkpoint interleavings, clean close: recovery (both
+   offline [recover_res] and a fresh [open_res]) must reproduce the
+   final published graph exactly, and a second recovery must agree with
+   the first (replay is idempotent — it re-reads the same immutable
+   prefix). *)
+let prop_recovery_equals_reference =
+  QCheck.Test.make ~count:60 ~name:"recovery = last acknowledged state"
+    seed_arb (fun seed ->
+      let st = Random.State.make [| seed |] in
+      with_tmpdir (fun dir ->
+          let m = gen_base st in
+          let base = model_rebuild m in
+          let w, _ = ok_exn "open" (Wal.open_res ~policy:Wal.Always dir) in
+          ignore (ok_exn "bootstrap checkpoint" (Wal.checkpoint_res w base));
+          let live = ref base in
+          let appends = ref 0 in
+          let batches = 2 + Random.State.int st 6 in
+          for _ = 1 to batches do
+            let ops = gen_batch st m in
+            let applied = ok_exn "apply" (Delta.apply_res !live ops) in
+            let _lsn, synced = ok_exn "append" (Wal.append_res w ops) in
+            Alcotest.(check bool) "always policy syncs" true synced;
+            incr appends;
+            live := applied.Delta.pg;
+            if Random.State.int st 4 = 0 then
+              ignore (ok_exn "checkpoint" (Wal.checkpoint_res w !live))
+          done;
+          Wal.close w;
+          let r1 = recover_exn dir in
+          check_equiv "offline recovery" (recovered_graph r1) !live;
+          Alcotest.(check bool)
+            "next lsn past every append" true
+            (r1.Wal.rc_next_lsn = Int64.of_int (!appends + 1));
+          (* Idempotence: a second pass over the same directory. *)
+          let r2 = recover_exn dir in
+          check_equiv "second recovery" (recovered_graph r2) (recovered_graph r1);
+          Alcotest.(check bool)
+            "identical lsn/generation" true
+            (r1.Wal.rc_next_lsn = r2.Wal.rc_next_lsn
+            && r1.Wal.rc_gen = r2.Wal.rc_gen
+            && r1.Wal.rc_replayed = r2.Wal.rc_replayed);
+          (* Reopening for serving resumes where the log ends. *)
+          let w2, r3 = ok_exn "reopen" (Wal.open_res dir) in
+          check_equiv "reopen" (recovered_graph r3) !live;
+          Alcotest.(check bool)
+            "reopen lsn" true
+            (Wal.next_lsn w2 = Int64.of_int (!appends + 1));
+          Wal.close w2);
+      true)
+
+(* --- property: torn tails -------------------------------------------------- *)
+
+(* Truncate the final segment at a random byte.  Recovery must come back
+   with exactly the record-aligned prefix: every record wholly before
+   the cut survives, the first record the cut bites into disappears
+   together with everything after it, and [rc_truncated] fires iff the
+   cut left a partial record (or a torn segment header) behind. *)
+let prop_torn_tail_prefix =
+  QCheck.Test.make ~count:60 ~name:"torn tail recovers the exact prefix"
+    seed_arb (fun seed ->
+      let st = Random.State.make [| seed |] in
+      with_tmpdir (fun dir ->
+          let m = gen_base st in
+          let base = model_rebuild m in
+          let w, _ = ok_exn "open" (Wal.open_res ~policy:Wal.Never dir) in
+          ignore (ok_exn "bootstrap" (Wal.checkpoint_res w base));
+          let live = ref base in
+          (* States of the *current* segment: (valid bytes, graph) after
+             each append, reset at each rotation; [anchor] is the state
+             the newest checkpoint captured. *)
+          let anchor = ref base in
+          let marks = ref [] in
+          let batches = 2 + Random.State.int st 6 in
+          for _ = 1 to batches do
+            let ops = gen_batch st m in
+            let applied = ok_exn "apply" (Delta.apply_res !live ops) in
+            ignore (ok_exn "append" (Wal.append_res w ops));
+            live := applied.Delta.pg;
+            marks := ((Wal.counters w).Wal.c_bytes, !live) :: !marks;
+            if Random.State.int st 5 = 0 then begin
+              ignore (ok_exn "checkpoint" (Wal.checkpoint_res w !live));
+              anchor := !live;
+              marks := []
+            end
+          done;
+          let gen = Wal.generation w in
+          Wal.close w;
+          let seg = Filename.concat dir (Printf.sprintf "wal-%d.log" gen) in
+          let len = (Unix.stat seg).Unix.st_size in
+          let cut = Random.State.int st (len + 1) in
+          let fd = Unix.openfile seg [ Unix.O_WRONLY ] 0 in
+          Unix.ftruncate fd cut;
+          Unix.close fd;
+          let header_len = 20 in
+          let expected, survivors =
+            List.fold_left
+              (fun (best, n) (bytes, pg) ->
+                if bytes <= cut then
+                  match best with
+                  | Some (b, _) when b >= bytes -> (best, n + 1)
+                  | _ -> (Some (bytes, pg), n + 1)
+                else (best, n))
+              (None, 0) !marks
+          in
+          let expected_pg =
+            match expected with Some (_, pg) -> pg | None -> !anchor
+          in
+          let torn_expected =
+            if cut = len then false
+            else if cut = 0 then false
+            else if cut < header_len then true
+            else cut <> header_len && not (List.mem_assoc cut !marks)
+          in
+          let r = recover_exn dir in
+          check_equiv
+            (Printf.sprintf "cut at %d/%d (%d of %d records survive)" cut len
+               survivors (List.length !marks))
+            (recovered_graph r) expected_pg;
+          Alcotest.(check bool)
+            (Printf.sprintf "truncated flag (cut %d/%d)" cut len)
+            torn_expected r.Wal.rc_truncated);
+      true)
+
+(* --- property: injected faults are crashes --------------------------------- *)
+
+exception Crash
+
+let fault_sites = [ "wal.append"; "wal.fsync"; "wal.checkpoint"; "wal.rotate" ]
+
+(* Arm one failpoint site mid-run, treat the first injected fault (or
+   any error it surfaces as) as the crash: the process stops on the
+   spot, nothing is rolled forward, and recovery must land exactly on
+   the acknowledged prefix — a failed append was rolled back, so it
+   must be absent; a failed checkpoint leaves the log authoritative. *)
+let prop_fault_injection_crash =
+  QCheck.Test.make ~count:80 ~name:"injected fault = crash at the ack boundary"
+    seed_arb (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let site = pick st fault_sites in
+      with_tmpdir (fun dir ->
+          Fun.protect ~finally:Failpoint.clear (fun () ->
+              let m = gen_base st in
+              let base = model_rebuild m in
+              let w, _ = ok_exn "open" (Wal.open_res ~policy:Wal.Always dir) in
+              ignore (ok_exn "bootstrap" (Wal.checkpoint_res w base));
+              let live = ref base in
+              let acked = ref base in
+              let batches = 3 + Random.State.int st 5 in
+              let crash_at = 1 + Random.State.int st batches in
+              (try
+                 for i = 1 to batches do
+                   if i = crash_at then Failpoint.arm site Failpoint.Fail_once;
+                   let ops = gen_batch st m in
+                   let applied = ok_exn "apply" (Delta.apply_res !live ops) in
+                   (match Wal.append_res w ops with
+                   | Ok _ ->
+                       live := applied.Delta.pg;
+                       acked := !live
+                   | Error _ -> raise Crash
+                   | exception _ -> raise Crash);
+                   if i mod 3 = 0 then
+                     match Wal.checkpoint_res w !live with
+                     | Ok _ -> ()
+                     | Error _ -> raise Crash
+                     | exception _ -> raise Crash
+                 done
+               with Crash -> ());
+              (* No clean close: the crash leaves the descriptor behind. *)
+              let r = recover_exn dir in
+              check_equiv
+                (Printf.sprintf "site %s, crash at %d" site crash_at)
+                (recovered_graph r) !acked));
+      true)
+
+(* --- pins: recovery edge cases --------------------------------------------- *)
+
+let test_empty_dir () =
+  with_tmpdir (fun dir ->
+      let r = recover_exn dir in
+      Alcotest.(check bool) "no graph" true (r.Wal.rc_graph = None);
+      Alcotest.(check int) "generation" 0 r.Wal.rc_gen;
+      Alcotest.(check bool) "lsn" true (r.Wal.rc_next_lsn = 1L);
+      Alcotest.(check int) "replayed" 0 r.Wal.rc_replayed;
+      Alcotest.(check bool) "no warnings" true (r.Wal.rc_warnings = []));
+  (* A directory that does not exist at all recovers to the same. *)
+  let r = recover_exn "/nonexistent/gq-wal-nowhere" in
+  Alcotest.(check bool) "missing dir: no graph" true (r.Wal.rc_graph = None)
+
+let bank () = Generators.bank_pg ()
+
+let test_checkpoint_only () =
+  with_tmpdir (fun dir ->
+      let pg = bank () in
+      let w, _ = ok_exn "open" (Wal.open_res dir) in
+      ignore (ok_exn "checkpoint" (Wal.checkpoint_res w pg));
+      Wal.close w;
+      let r = recover_exn dir in
+      check_equiv "checkpoint only" (recovered_graph r) pg;
+      Alcotest.(check int) "replayed" 0 r.Wal.rc_replayed;
+      Alcotest.(check bool) "not truncated" false r.Wal.rc_truncated)
+
+let test_torn_header_only () =
+  with_tmpdir (fun dir ->
+      let pg = bank () in
+      let w, _ = ok_exn "open" (Wal.open_res dir) in
+      ignore (ok_exn "checkpoint" (Wal.checkpoint_res w pg));
+      Wal.close w;
+      (* Tear the segment down to a 7-byte header stub. *)
+      let seg = Filename.concat dir "wal-1.log" in
+      let fd = Unix.openfile seg [ Unix.O_WRONLY ] 0 in
+      Unix.ftruncate fd 7;
+      Unix.close fd;
+      let r = recover_exn dir in
+      check_equiv "torn header" (recovered_graph r) pg;
+      Alcotest.(check bool) "flagged truncated" true r.Wal.rc_truncated;
+      (* Reopening rewrites the header and serves. *)
+      let w2, _ = ok_exn "reopen" (Wal.open_res dir) in
+      Alcotest.(check bool) "writable again" false (Wal.read_only w2);
+      ignore
+        (ok_exn "append after repair"
+           (Wal.append_res w2
+              [
+                Pg.Add_edge
+                  {
+                    name = "wrepair1";
+                    src = "p";
+                    label = "z";
+                    tgt = "q";
+                    props = [];
+                  };
+              ]));
+      Wal.close w2;
+      let r2 = recover_exn dir in
+      Alcotest.(check int) "replays the repaired record" 1 r2.Wal.rc_replayed)
+
+let append_simple w i =
+  ok_exn "append"
+    (Wal.append_res w
+       [
+         Pg.Add_edge
+           {
+             name = Printf.sprintf "s%d" i;
+             src = "u";
+             label = "a";
+             tgt = Printf.sprintf "v%d" i;
+             props = [];
+           };
+       ])
+
+let test_midlog_corruption_refused () =
+  with_tmpdir (fun dir ->
+      let pg = Pg.make ~nodes:[ ("u", "", []) ] ~edges:[] in
+      let w, _ = ok_exn "open" (Wal.open_res dir) in
+      ignore (ok_exn "checkpoint" (Wal.checkpoint_res w pg));
+      for i = 1 to 3 do
+        ignore (append_simple w i)
+      done;
+      Wal.close w;
+      (* Flip a payload byte of the *first* record: valid records follow,
+         so this is corruption, not a tear. *)
+      let seg = Filename.concat dir "wal-1.log" in
+      let fd = Unix.openfile seg [ Unix.O_RDWR ] 0 in
+      ignore (Unix.lseek fd 41 Unix.SEEK_SET);
+      ignore (Unix.write fd (Bytes.of_string "#") 0 1);
+      Unix.close fd;
+      (match Wal.recover_res dir with
+      | Error (Gq_error.Parse { what = "wal"; _ }) -> ()
+      | Error err ->
+          Alcotest.failf "wrong error shape: %s" (Gq_error.to_string err)
+      | Ok _ -> Alcotest.fail "corrupt mid-log record accepted");
+      (* Serving must refuse too, not truncate valid acknowledged data. *)
+      match Wal.open_res dir with
+      | Error (Gq_error.Parse { what = "wal"; _ }) -> ()
+      | Error err ->
+          Alcotest.failf "open: wrong error shape: %s" (Gq_error.to_string err)
+      | Ok _ -> Alcotest.fail "open over corruption succeeded")
+
+let test_garbage_checkpoint_falls_back () =
+  with_tmpdir (fun dir ->
+      let pg = Pg.make ~nodes:[ ("u", "", []) ] ~edges:[] in
+      let w, _ = ok_exn "open" (Wal.open_res dir) in
+      ignore (ok_exn "checkpoint" (Wal.checkpoint_res w pg));
+      ignore (append_simple w 1);
+      let applied =
+        ok_exn "apply"
+          (Delta.apply_res pg
+             [
+               Pg.Add_edge
+                 { name = "s1"; src = "u"; label = "a"; tgt = "v1"; props = [] };
+             ])
+      in
+      ignore (ok_exn "checkpoint 2" (Wal.checkpoint_res w applied.Delta.pg));
+      ignore (append_simple w 2);
+      let final =
+        ok_exn "apply 2"
+          (Delta.apply_res applied.Delta.pg
+             [
+               Pg.Add_edge
+                 { name = "s2"; src = "u"; label = "a"; tgt = "v2"; props = [] };
+             ])
+      in
+      Wal.close w;
+      (* Generation 2's snapshot rots to zero bytes: recovery must fall
+         back to generation 1 and still reach the same final state by
+         replaying both segments. *)
+      let cp2 = Filename.concat dir "checkpoint-2.gqb" in
+      let fd = Unix.openfile cp2 [ Unix.O_WRONLY; Unix.O_TRUNC ] 0 in
+      Unix.close fd;
+      let r = recover_exn dir in
+      Alcotest.(check int) "anchored at generation 1" 1 r.Wal.rc_base_gen;
+      Alcotest.(check int) "replayed both segments" 2 r.Wal.rc_replayed;
+      Alcotest.(check bool) "warned" true (r.Wal.rc_warnings <> []);
+      check_equiv "fallback" (recovered_graph r) final.Delta.pg)
+
+let test_read_only_mode () =
+  with_tmpdir (fun dir ->
+      let pg = bank () in
+      let w, _ = ok_exn "open" (Wal.open_res dir) in
+      ignore (ok_exn "checkpoint" (Wal.checkpoint_res w pg));
+      ignore (append_simple w 1);
+      Wal.close w;
+      (* Forced inspection mode: recovery runs, appends are refused. *)
+      let w2, r = ok_exn "open ro" (Wal.open_res ~read_only:true dir) in
+      Alcotest.(check bool) "read_only" true (Wal.read_only w2);
+      Alcotest.(check int) "recovered" 1 r.Wal.rc_replayed;
+      (match Wal.append_res w2 [ Pg.Del_edge "s1" ] with
+      | Error (Gq_error.Io _) -> ()
+      | Error err -> Alcotest.failf "wrong error: %s" (Gq_error.to_string err)
+      | Ok _ -> Alcotest.fail "append accepted in read-only mode");
+      (match Wal.checkpoint_res w2 pg with
+      | Error (Gq_error.Io _) -> ()
+      | Error err -> Alcotest.failf "wrong error: %s" (Gq_error.to_string err)
+      | Ok _ -> Alcotest.fail "checkpoint accepted in read-only mode");
+      Wal.close w2;
+      (* An unwritable directory degrades to the same mode with a
+         structured warning (root bypasses permission checks, so this
+         branch only runs unprivileged). *)
+      if Unix.geteuid () <> 0 then begin
+        Unix.chmod dir 0o500;
+        let w3, r3 = ok_exn "open unwritable" (Wal.open_res dir) in
+        Alcotest.(check bool) "degraded to read-only" true (Wal.read_only w3);
+        Alcotest.(check bool)
+          "warning names the degradation" true
+          (List.exists
+             (fun m ->
+               let has_sub sub s =
+                 let n = String.length sub and l = String.length s in
+                 let rec go i =
+                   i + n <= l && (String.sub s i n = sub || go (i + 1))
+                 in
+                 go 0
+               in
+               has_sub "read-only" m)
+             r3.Wal.rc_warnings);
+        Wal.close w3;
+        Unix.chmod dir 0o700
+      end)
+
+let test_append_requires_checkpoint () =
+  with_tmpdir (fun dir ->
+      let w, r = ok_exn "open" (Wal.open_res dir) in
+      Alcotest.(check bool) "empty recovery" true (r.Wal.rc_graph = None);
+      (match Wal.append_res w [ Pg.Del_edge "e" ] with
+      | Error (Gq_error.Io _) -> ()
+      | Error err -> Alcotest.failf "wrong error: %s" (Gq_error.to_string err)
+      | Ok _ -> Alcotest.fail "append accepted before any checkpoint");
+      Wal.close w)
+
+let test_rotation_and_retention () =
+  with_tmpdir (fun dir ->
+      let pg = Pg.make ~nodes:[ ("u", "", []) ] ~edges:[] in
+      let w, _ = ok_exn "open" (Wal.open_res ~checkpoint_every:2 dir) in
+      ignore (ok_exn "bootstrap" (Wal.checkpoint_res w pg));
+      let live = ref pg in
+      for i = 1 to 8 do
+        let ops =
+          [
+            Pg.Add_edge
+              {
+                name = Printf.sprintf "s%d" i;
+                src = "u";
+                label = "a";
+                tgt = Printf.sprintf "v%d" i;
+                props = [];
+              };
+          ]
+        in
+        let applied = ok_exn "apply" (Delta.apply_res !live ops) in
+        ignore (ok_exn "append" (Wal.append_res w ops));
+        live := applied.Delta.pg;
+        ignore (ok_exn "maybe" (Wal.maybe_checkpoint_res w !live))
+      done;
+      (* Every 2 appends rotated: bootstrap gen 1 + 4 rotations. *)
+      Alcotest.(check int) "generation" 5 (Wal.generation w);
+      Wal.close w;
+      (* Retention: only the current and previous generations remain. *)
+      let entries = Array.to_list (Sys.readdir dir) in
+      List.iter
+        (fun g ->
+          Alcotest.(check bool)
+            (Printf.sprintf "generation %d deleted" g)
+            false
+            (List.mem (Printf.sprintf "checkpoint-%d.gqb" g) entries
+            || List.mem (Printf.sprintf "wal-%d.log" g) entries))
+        [ 1; 2; 3 ];
+      List.iter
+        (fun f ->
+          Alcotest.(check bool) (f ^ " kept") true (List.mem f entries))
+        [ "checkpoint-4.gqb"; "wal-4.log"; "checkpoint-5.gqb"; "wal-5.log" ];
+      let r = recover_exn dir in
+      check_equiv "post-rotation recovery" (recovered_graph r) !live)
+
+let test_fsync_policies () =
+  (match Wal.fsync_policy_of_string "always" with
+  | Ok Wal.Always -> ()
+  | _ -> Alcotest.fail "always");
+  (match Wal.fsync_policy_of_string "never" with
+  | Ok Wal.Never -> ()
+  | _ -> Alcotest.fail "never");
+  (match Wal.fsync_policy_of_string "interval:25" with
+  | Ok (Wal.Interval ms) -> Alcotest.(check bool) "ms" true (ms = 25.)
+  | _ -> Alcotest.fail "interval");
+  (match Wal.fsync_policy_of_string "interval:nope" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad interval accepted");
+  (match Wal.fsync_policy_of_string "sometimes" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown policy accepted");
+  with_tmpdir (fun dir ->
+      let pg = Pg.make ~nodes:[ ("u", "", []) ] ~edges:[] in
+      let w, _ =
+        ok_exn "open" (Wal.open_res ~policy:(Wal.Interval 60_000.) dir)
+      in
+      ignore (ok_exn "bootstrap" (Wal.checkpoint_res w pg));
+      let _lsn, synced = append_simple w 1 in
+      Alcotest.(check bool) "interval defers the fsync" false synced;
+      Alcotest.(check bool) "flush syncs" true (ok_exn "flush" (Wal.flush_res w));
+      Alcotest.(check bool)
+        "second flush is clean" false
+        (ok_exn "flush2" (Wal.flush_res w));
+      Wal.close w;
+      let r = recover_exn dir in
+      Alcotest.(check int) "deferred record recovered" 1 r.Wal.rc_replayed)
+
+let test_dump () =
+  with_tmpdir (fun dir ->
+      let pg = Pg.make ~nodes:[ ("u", "", []) ] ~edges:[] in
+      let w, _ = ok_exn "open" (Wal.open_res dir) in
+      ignore (ok_exn "bootstrap" (Wal.checkpoint_res w pg));
+      for i = 1 to 3 do
+        ignore (append_simple w i)
+      done;
+      Wal.close w;
+      let recs, warns = ok_exn "dump" (Wal.dump_res dir) in
+      Alcotest.(check int) "records" 3 (List.length recs);
+      Alcotest.(check bool) "no warnings" true (warns = []);
+      Alcotest.(check (list int))
+        "lsns in order" [ 1; 2; 3 ]
+        (List.map (fun r -> Int64.to_int r.Wal.r_lsn) recs);
+      List.iteri
+        (fun i r ->
+          Alcotest.(check string)
+            "payload round-trips"
+            (Printf.sprintf "add s%d u a v%d" (i + 1) (i + 1))
+            r.Wal.r_payload)
+        recs)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "wal"
+    [
+      ( "crash-recovery",
+        [
+          qt prop_recovery_equals_reference;
+          qt prop_torn_tail_prefix;
+          qt prop_fault_injection_crash;
+        ] );
+      ( "edge-cases",
+        [
+          Alcotest.test_case "empty directory" `Quick test_empty_dir;
+          Alcotest.test_case "checkpoint only" `Quick test_checkpoint_only;
+          Alcotest.test_case "torn header only" `Quick test_torn_header_only;
+          Alcotest.test_case "mid-log corruption refused" `Quick
+            test_midlog_corruption_refused;
+          Alcotest.test_case "garbage checkpoint falls back" `Quick
+            test_garbage_checkpoint_falls_back;
+          Alcotest.test_case "read-only mode" `Quick test_read_only_mode;
+          Alcotest.test_case "append requires checkpoint" `Quick
+            test_append_requires_checkpoint;
+          Alcotest.test_case "rotation and retention" `Quick
+            test_rotation_and_retention;
+          Alcotest.test_case "fsync policies" `Quick test_fsync_policies;
+          Alcotest.test_case "wal-dump" `Quick test_dump;
+        ] );
+    ]
