@@ -729,7 +729,26 @@ let run_stdio ?(max_line = 65536) ?wal ?initial scfg =
               false
         end
   in
+  (* Under fsync=interval the bounded-loss window must hold even when
+     the client goes quiet: poll stdin with a timeout and tick the WAL
+     while idle, mirroring [io_main]'s periodic sweep.  Other policies
+     (and no WAL) keep the plain blocking read. *)
+  let interval_wal =
+    match wal with
+    | Some w -> ( match Wal.policy w with Wal.Interval _ -> true | _ -> false)
+    | None -> false
+  in
   let rec serve () =
+    if interval_wal then begin
+      match Unix.select [ Unix.stdin ] [] [] 0.05 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> serve ()
+      | [], _, _ ->
+          Session.wal_tick shared;
+          serve ()
+      | _ -> read_once ()
+    end
+    else read_once ()
+  and read_once () =
     match Unix.read Unix.stdin buf 0 (Bytes.length buf) with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> serve ()
     | exception Unix.Unix_error (_, _, _) -> ()

@@ -436,27 +436,42 @@ let cmd_delta sess ctx id verb ops =
                              | Ok (lsn, synced) -> Some (lsn, synced)
                              | Error err -> raise (Gq_error.Error err))
                        in
-                       let s = applied.Delta.summary in
-                       Rpq_compile.apply_delta ~obs:sess.shared.config.obs
-                         sess.shared.cache ~old_graph:(Pg.elg pg)
-                         ~new_graph:(Pg.elg applied.Delta.pg)
-                         ~touched_labels:s.Elg.touched_labels
-                         ~nodes_stable:(s.Elg.added_nodes = 0 && s.Elg.removed_nodes = 0);
-                       let epoch =
-                         Epoch.publish sess.shared.graph applied.Delta.pg
-                       in
-                       Atomic.incr sess.shared.deltas;
-                       (* Rotation runs after publish: a checkpoint
-                          failure is tolerated (the log still holds every
-                          record) but counted and surfaced in stats. *)
-                       (match sess.shared.wal with
-                       | None -> ()
-                       | Some w -> (
-                           match Wal.maybe_checkpoint_res w applied.Delta.pg with
-                           | Ok _ -> ()
-                           | Error _ -> Wal.note_checkpoint_error w
-                           | exception _ -> Wal.note_checkpoint_error w));
-                       Governor.Complete (applied, epoch, wal)))))
+                       let published = ref false in
+                       try
+                         let s = applied.Delta.summary in
+                         Rpq_compile.apply_delta ~obs:sess.shared.config.obs
+                           sess.shared.cache ~old_graph:(Pg.elg pg)
+                           ~new_graph:(Pg.elg applied.Delta.pg)
+                           ~touched_labels:s.Elg.touched_labels
+                           ~nodes_stable:(s.Elg.added_nodes = 0 && s.Elg.removed_nodes = 0);
+                         let epoch =
+                           Epoch.publish sess.shared.graph applied.Delta.pg
+                         in
+                         published := true;
+                         Atomic.incr sess.shared.deltas;
+                         (* Rotation runs after publish: a checkpoint
+                            failure is tolerated (the log still holds every
+                            record) but counted and surfaced in stats. *)
+                         (match sess.shared.wal with
+                         | None -> ()
+                         | Some w -> (
+                             match Wal.maybe_checkpoint_res w applied.Delta.pg with
+                             | Ok _ -> ()
+                             | Error _ -> Wal.note_checkpoint_error w
+                             | exception _ -> Wal.note_checkpoint_error w));
+                         Governor.Complete (applied, epoch, wal)
+                       with e ->
+                         (* Publishing failed after the record hit the
+                            log: take it back out before the supervised
+                            retry re-runs this body, or the batch would
+                            be appended (and replayed) twice. *)
+                         (if not !published then
+                            match (sess.shared.wal, wal) with
+                            | Some w, Some (lsn, _) -> (
+                                match Wal.undo_append_res w lsn with
+                                | Ok _ | Error _ -> ())
+                            | _ -> ());
+                         raise e))))
   in
   match sup.Supervise.outcome with
   | Error err -> error_reply id verb ~attempts:sup.Supervise.attempts err

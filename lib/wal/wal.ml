@@ -41,6 +41,9 @@ type t = {
   mutable last_fsync : float;
   mutable dirty : bool;
   mutable ro : bool;
+  mutable last_append : (int64 * int) option;
+      (* (lsn, pre-append byte length) of the newest record in the
+         current segment, for [undo_append_res]; cleared at rotation *)
   mutable appends : int;
   mutable fsyncs : int;
   mutable checkpoints : int;
@@ -240,11 +243,17 @@ let scan_segment ~gen ~allow_torn path =
 
 (* End LSN of a segment (base + records), tolerating a torn tail —
    used to place the next LSN when the current segment is missing
-   (crash between checkpoint and rotation). *)
+   (crash between checkpoint and rotation).  A torn tail record had its
+   LSN assigned by the writer before the crash; count it, so that LSN is
+   never reissued to a new write in a later generation — the torn bytes
+   stay behind in the abandoned segment, and reuse would break LSN
+   uniqueness across the retained log history (visible in wal-dump). *)
 let scan_end_lsn ~gen path =
   let* sc = scan_segment ~gen ~allow_torn:true path in
   if sc.sg_base < 0L then Ok None
-  else Ok (Some (Int64.add sc.sg_base (Int64.of_int (List.length sc.sg_recs))))
+  else
+    let n = List.length sc.sg_recs + if sc.sg_torn then 1 else 0 in
+    Ok (Some (Int64.add sc.sg_base (Int64.of_int n)))
 
 (* --- recovery ------------------------------------------------------------ *)
 
@@ -465,6 +474,7 @@ let open_res ?(obs = Obs.none) ?(policy = Always) ?(checkpoint_every = 1000)
         last_fsync = Unix.gettimeofday ();
         dirty = false;
         ro = read_only;
+        last_append = None;
         appends = 0;
         fsyncs = 0;
         checkpoints = 0;
@@ -558,6 +568,7 @@ let append_res t ops =
           synced
         with
         | synced ->
+            t.last_append <- Some (lsn, t.bytes);
             t.lsn <- Int64.add lsn 1L;
             t.records <- t.records + 1;
             t.bytes <- t.bytes + String.length rec_bytes;
@@ -573,6 +584,39 @@ let append_res t ops =
                supervision layer classify. *)
             rollback ();
             raise e)
+
+(* Undo the most recent successful append, under the same writer lock
+   that issued it: truncate the segment back and rewind the LSN.  The
+   serve path calls this when publishing the already-appended delta
+   fails — without it, a supervised retry of the append-then-publish
+   body would write the batch a second time under a fresh LSN, and
+   replay would apply the ops twice (a duplicate add-edge then bricks
+   recovery with a parse error).  [Ok false] when [lsn] is not the
+   newest append (a rotation or another append intervened) — nothing is
+   touched.  If the truncate itself fails the log flips read-only:
+   appending past a record that was never acknowledged would make
+   replay apply it anyway. *)
+let undo_append_res t lsn =
+  match (t.fd, t.last_append) with
+  | Some fd, Some (l, prev) when l = lsn && Int64.add l 1L = t.lsn -> (
+      match Unix.ftruncate fd prev with
+      | () ->
+          (* O_APPEND puts the retry's write back at the truncated EOF,
+             re-using this LSN — exactly the rolled-back layout. *)
+          (if t.pol = Always && not t.dirty then
+             try Unix.fsync fd with Unix.Unix_error _ -> ());
+          t.lsn <- l;
+          t.records <- t.records - 1;
+          t.bytes <- prev;
+          t.appends <- t.appends - 1;
+          t.last_append <- None;
+          Obs.incr t.obs "wal.undone";
+          Ok true
+      | exception Unix.Unix_error (e, fn, arg) ->
+          t.ro <- true;
+          err_io "wal: undo of LSN %Ld failed (%s); log now read-only" lsn
+            (unix_msg e fn arg))
+  | _ -> Ok false
 
 let flush_res t =
   match t.fd with
@@ -612,8 +656,21 @@ let checkpoint_res t pg =
   else
     let gen' = t.gen + 1 in
     let* _bytes = Graph_io.save_bin_res pg (checkpoint_path t.dir gen') in
-    Failpoint.check "wal.rotate";
+    (* From here checkpoint-<gen'> is durably on disk.  If the rotation
+       below fails it must not stay: recovery anchors at the newest
+       checkpoint and replays only segments >= its generation, so an
+       orphaned checkpoint-<gen'> would silently drop every append a
+       surviving writer acks into wal-<gen> afterwards.  Unlink the
+       orphan (and fsync the directory) before surfacing the error; if
+       even the unlink fails, flip read-only — refusing further appends
+       beats acknowledging writes the next recovery would not replay. *)
+    let abandon () =
+      match Sys.remove (checkpoint_path t.dir gen') with
+      | () -> fsync_dir t.dir
+      | exception Sys_error _ -> t.ro <- true
+    in
     match
+      Failpoint.check "wal.rotate";
       (* Flush the old segment before abandoning it, then cut over. *)
       (match t.fd with
       | Some fd when t.dirty -> fsync_now t fd
@@ -629,13 +686,21 @@ let checkpoint_res t pg =
         t.records <- 0;
         t.bytes <- len;
         t.dirty <- false;
+        t.last_append <- None;
         t.checkpoints <- t.checkpoints + 1;
         t.rotations <- t.rotations + 1;
         Obs.incr t.obs "wal.checkpoints";
         Obs.incr t.obs "wal.rotations";
         delete_old_generations t;
         Ok gen'
-    | exception Unix.Unix_error (e, fn, arg) -> err_io "%s" (unix_msg e fn arg)
+    | exception Unix.Unix_error (e, fn, arg) ->
+        abandon ();
+        err_io "%s" (unix_msg e fn arg)
+    | exception e ->
+        (* Injected faults and friends: remove the orphan, then let the
+           supervision layer classify the original failure. *)
+        abandon ();
+        raise e
 
 let maybe_checkpoint_res t pg =
   if

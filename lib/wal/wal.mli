@@ -86,9 +86,24 @@ val open_res :
     the first checkpoint. *)
 val append_res : t -> Pg.delta_op list -> (int64 * bool, Gq_error.t) result
 
+(** Undo the most recent successful append (same writer-lock scope as
+    the append): truncate the segment back and rewind the LSN, so a
+    caller whose post-append publish failed can retry the whole
+    append-then-publish body without writing the batch twice.  [Ok
+    false] when [lsn] is not the newest append (nothing is touched);
+    [Error (Io _)] — and the log flips read-only — when the truncate
+    itself fails, since appending past an unacknowledged record would
+    make replay apply it anyway. *)
+val undo_append_res : t -> int64 -> (bool, Gq_error.t) result
+
 (** Snapshot [pg] as the next generation and rotate to a fresh segment;
     returns the new generation.  Also the bootstrap path: the first
-    checkpoint (e.g. serve-mode [load]) creates generation 1. *)
+    checkpoint (e.g. serve-mode [load]) creates generation 1.  If the
+    rotation fails after the snapshot file was written, the orphaned
+    checkpoint is unlinked again before the error surfaces — recovery
+    anchors at the newest checkpoint and skips older segments, so an
+    orphan would silently drop every append acknowledged afterwards; if
+    even that unlink fails, the log flips read-only. *)
 val checkpoint_res : t -> Pg.t -> (int, Gq_error.t) result
 
 (** {!checkpoint_res} when a rotation threshold is crossed; [Ok true]

@@ -397,6 +397,53 @@ let prop_fault_injection_crash =
                 (recovered_graph r) !acked));
       true)
 
+(* --- property: tolerated checkpoint failures -------------------------------- *)
+
+(* The serve path tolerates a failed rotation (cmd_delta counts it and
+   keeps acking appends into the old segment).  That is only sound if
+   the failure left no orphaned checkpoint-<gen+1> behind: recovery
+   anchors at the newest checkpoint and skips older segments, so an
+   orphan would silently drop every append acked after the failure.
+   Here the writer survives the injected fault, keeps appending, then
+   crashes — recovery must still land on the full acked state. *)
+let prop_survive_failed_rotation =
+  QCheck.Test.make ~count:60
+    ~name:"appends acked after a tolerated checkpoint failure survive"
+    seed_arb (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let site = pick st [ "wal.checkpoint"; "wal.rotate" ] in
+      with_tmpdir (fun dir ->
+          Fun.protect ~finally:Failpoint.clear (fun () ->
+              let m = gen_base st in
+              let base = model_rebuild m in
+              let w, _ = ok_exn "open" (Wal.open_res ~policy:Wal.Always dir) in
+              ignore (ok_exn "bootstrap" (Wal.checkpoint_res w base));
+              let live = ref base in
+              let batches = 3 + Random.State.int st 5 in
+              let fail_at = 1 + Random.State.int st batches in
+              for i = 1 to batches do
+                let ops = gen_batch st m in
+                let applied = ok_exn "apply" (Delta.apply_res !live ops) in
+                ignore (ok_exn "append" (Wal.append_res w ops));
+                live := applied.Delta.pg;
+                if i = fail_at then begin
+                  Failpoint.arm site Failpoint.Fail_once;
+                  match Wal.checkpoint_res w !live with
+                  | Ok _ ->
+                      Alcotest.fail "checkpoint succeeded under armed failpoint"
+                  | Error _ -> ()
+                  | exception Failpoint.Injected _ -> ()
+                end
+                else if Random.State.int st 4 = 0 then
+                  ignore (ok_exn "checkpoint" (Wal.checkpoint_res w !live))
+              done;
+              (* Crash: no clean close. *)
+              let r = recover_exn dir in
+              check_equiv
+                (Printf.sprintf "site %s, tolerated failure at %d" site fail_at)
+                (recovered_graph r) !live));
+      true)
+
 (* --- pins: recovery edge cases --------------------------------------------- *)
 
 let test_empty_dir () =
@@ -635,6 +682,103 @@ let test_rotation_and_retention () =
       let r = recover_exn dir in
       check_equiv "post-rotation recovery" (recovered_graph r) !live)
 
+let simple_op i =
+  Pg.Add_edge
+    {
+      name = Printf.sprintf "s%d" i;
+      src = "u";
+      label = "a";
+      tgt = Printf.sprintf "v%d" i;
+      props = [];
+    }
+
+let test_failed_rotation_unlinks_orphan () =
+  with_tmpdir (fun dir ->
+      Fun.protect ~finally:Failpoint.clear (fun () ->
+          let pg = Pg.make ~nodes:[ ("u", "", []) ] ~edges:[] in
+          let w, _ = ok_exn "open" (Wal.open_res dir) in
+          ignore (ok_exn "bootstrap" (Wal.checkpoint_res w pg));
+          ignore (append_simple w 1);
+          let live1 = ok_exn "apply" (Delta.apply_res pg [ simple_op 1 ]) in
+          (* Rotation fails after the snapshot file was written: the
+             orphan must go, and the generation must not advance. *)
+          Failpoint.arm "wal.rotate" Failpoint.Fail_once;
+          (match Wal.checkpoint_res w live1.Delta.pg with
+          | Ok _ -> Alcotest.fail "checkpoint succeeded under injected fault"
+          | Error _ -> ()
+          | exception Failpoint.Injected _ -> ());
+          Alcotest.(check bool)
+            "orphan checkpoint removed" false
+            (Sys.file_exists (Filename.concat dir "checkpoint-2.gqb"));
+          Alcotest.(check int) "generation unchanged" 1 (Wal.generation w);
+          Alcotest.(check bool) "still writable" false (Wal.read_only w);
+          (* The survivor keeps acking appends into the old segment... *)
+          ignore (append_simple w 2);
+          let live2 =
+            ok_exn "apply 2" (Delta.apply_res live1.Delta.pg [ simple_op 2 ])
+          in
+          Wal.close w;
+          (* ...and the next recovery must replay them all. *)
+          let r = recover_exn dir in
+          Alcotest.(check int) "both appends recovered" 2 r.Wal.rc_replayed;
+          check_equiv "log authoritative after failed rotation"
+            (recovered_graph r) live2.Delta.pg))
+
+let test_undo_append () =
+  with_tmpdir (fun dir ->
+      let pg = Pg.make ~nodes:[ ("u", "", []) ] ~edges:[] in
+      let w, _ = ok_exn "open" (Wal.open_res dir) in
+      ignore (ok_exn "bootstrap" (Wal.checkpoint_res w pg));
+      let lsn1, _ = append_simple w 1 in
+      (* Publishing failed: the caller takes the record back out. *)
+      Alcotest.(check bool)
+        "undone" true
+        (ok_exn "undo" (Wal.undo_append_res w lsn1));
+      Alcotest.(check bool) "lsn rewound" true (Wal.next_lsn w = lsn1);
+      (* A stale undo is a no-op — no double rollback. *)
+      Alcotest.(check bool)
+        "stale undo refused" false
+        (ok_exn "undo2" (Wal.undo_append_res w lsn1));
+      (* The retry re-appends under the same LSN at the same offset. *)
+      let lsn2, _ = append_simple w 1 in
+      Alcotest.(check bool) "lsn reused by the retry" true (lsn1 = lsn2);
+      Wal.close w;
+      let r = recover_exn dir in
+      Alcotest.(check int) "exactly one record replays" 1 r.Wal.rc_replayed;
+      let live = ok_exn "apply" (Delta.apply_res pg [ simple_op 1 ]) in
+      check_equiv "undo then retry" (recovered_graph r) live.Delta.pg)
+
+let test_lsn_monotone_after_lost_rotation () =
+  with_tmpdir (fun dir ->
+      let pg = Pg.make ~nodes:[ ("u", "", []) ] ~edges:[] in
+      let w, _ = ok_exn "open" (Wal.open_res dir) in
+      ignore (ok_exn "bootstrap" (Wal.checkpoint_res w pg));
+      ignore (append_simple w 1);
+      let live1 = ok_exn "apply" (Delta.apply_res pg [ simple_op 1 ]) in
+      ignore (append_simple w 2);
+      let live2 =
+        ok_exn "apply 2" (Delta.apply_res live1.Delta.pg [ simple_op 2 ])
+      in
+      ignore (ok_exn "checkpoint" (Wal.checkpoint_res w live2.Delta.pg));
+      Wal.close w;
+      (* Simulate a crash between checkpoint and rotation: the new
+         segment never made it, and the old one lost part of its final
+         record (fsync=never tear). *)
+      Sys.remove (Filename.concat dir "wal-2.log");
+      let seg = Filename.concat dir "wal-1.log" in
+      let len = (Unix.stat seg).Unix.st_size in
+      let fd = Unix.openfile seg [ Unix.O_WRONLY ] 0 in
+      Unix.ftruncate fd (len - 3);
+      Unix.close fd;
+      let r = recover_exn dir in
+      check_equiv "anchored at the checkpoint" (recovered_graph r)
+        live2.Delta.pg;
+      (* LSN 2 was assigned to the (now torn) record; it must not be
+         reissued to a new write in generation 2. *)
+      Alcotest.(check bool)
+        "next lsn skips the torn record" true
+        (r.Wal.rc_next_lsn = 3L))
+
 let test_fsync_policies () =
   (match Wal.fsync_policy_of_string "always" with
   | Ok Wal.Always -> ()
@@ -699,6 +843,7 @@ let () =
           qt prop_recovery_equals_reference;
           qt prop_torn_tail_prefix;
           qt prop_fault_injection_crash;
+          qt prop_survive_failed_rotation;
         ] );
       ( "edge-cases",
         [
@@ -714,6 +859,11 @@ let () =
             test_append_requires_checkpoint;
           Alcotest.test_case "rotation and retention" `Quick
             test_rotation_and_retention;
+          Alcotest.test_case "failed rotation unlinks the orphan" `Quick
+            test_failed_rotation_unlinks_orphan;
+          Alcotest.test_case "undo append" `Quick test_undo_append;
+          Alcotest.test_case "lsn monotone after lost rotation" `Quick
+            test_lsn_monotone_after_lost_rotation;
           Alcotest.test_case "fsync policies" `Quick test_fsync_policies;
           Alcotest.test_case "wal-dump" `Quick test_dump;
         ] );
