@@ -1,4 +1,4 @@
-.PHONY: all check check-faults check-plan check-serve check-bitset check-updates check-recovery test bench bench-smoke clean
+.PHONY: all check check-faults check-plan check-serve check-bitset check-kernel check-updates check-recovery test bench bench-smoke clean
 
 all:
 	dune build @all
@@ -14,6 +14,7 @@ check:
 	$(MAKE) check-plan
 	$(MAKE) check-serve
 	$(MAKE) check-bitset
+	$(MAKE) check-kernel
 	$(MAKE) check-updates
 	$(MAKE) check-recovery
 
@@ -59,6 +60,22 @@ check-bitset:
 	GQ_BITSET=off GQ_DOMAINS=4 dune runtest --force
 	GQ_BITSET=on GQ_DOMAINS=1 dune runtest --force
 	GQ_BITSET=on GQ_DOMAINS=4 dune runtest --force
+
+# The whole suite with the packed kernel on and the sweep direction
+# pinned to push-only, pull-only, and the adaptive heuristic, each at
+# pool widths 1 and 4.  The differential properties and goldens pin the
+# answers, so all six runs passing means the pull direction and the
+# per-sweep switching never change results under any width; goldens
+# whose counters are direction-sensitive pin GQ_PULL_THRESHOLD
+# themselves (empty = adaptive default).
+check-kernel:
+	dune build @all
+	GQ_BITSET=on GQ_PULL_THRESHOLD=push GQ_DOMAINS=1 dune runtest --force
+	GQ_BITSET=on GQ_PULL_THRESHOLD=push GQ_DOMAINS=4 dune runtest --force
+	GQ_BITSET=on GQ_PULL_THRESHOLD=pull GQ_DOMAINS=1 dune runtest --force
+	GQ_BITSET=on GQ_PULL_THRESHOLD=pull GQ_DOMAINS=4 dune runtest --force
+	GQ_BITSET=on GQ_PULL_THRESHOLD= GQ_DOMAINS=1 dune runtest --force
+	GQ_BITSET=on GQ_PULL_THRESHOLD= GQ_DOMAINS=4 dune runtest --force
 
 # The update/persistence suite (test/test_updates.ml) under the armed
 # delta/save failpoint sites, at pool widths 1 and 4: the model-based

@@ -1937,20 +1937,40 @@ let e24 () =
             live := applied.Delta.pg
           done;
           Wal.close w;
-          let r, ms = oneshot_ms (fun () -> ok_exn (Wal.recover_res dir)) in
+          (* Default replay coalesces each segment into one delta batch
+             (one CSR rebuild per segment); the per-record run is the
+             old code path, kept timed so the speedup stays measured. *)
+          let r, ms =
+            oneshot_ms (fun () -> ok_exn (Wal.recover_res ~coalesce:true dir))
+          in
+          let rp, per_ms =
+            oneshot_ms (fun () -> ok_exn (Wal.recover_res ~coalesce:false dir))
+          in
           let recovered =
             match r.Wal.rc_graph with Some pg -> pg | None -> assert false
           in
           emit_row
             (Printf.sprintf
-               "{\"experiment\":\"E24\",\"phase\":\"recovery\",\"records\":%d,\"recovery_ms\":%.2f,\"ms_per_record\":%.4f,\"nodes\":%d,\"edges\":%d}"
-               k ms
+               "{\"experiment\":\"E24\",\"phase\":\"recovery\",\"records\":%d,\"recovery_ms\":%.2f,\"per_record_ms\":%.2f,\"batch_speedup\":%.1f,\"ms_per_record\":%.4f,\"nodes\":%d,\"edges\":%d}"
+               k ms per_ms (per_ms /. Float.max ms 1e-6)
                (ms /. float_of_int k)
                (Elg.nb_nodes (Pg.elg recovered))
                (Elg.nb_edges (Pg.elg recovered)));
           require
             (Printf.sprintf "recovery replayed all %d records" k)
             (r.Wal.rc_replayed = k && not r.Wal.rc_truncated);
+          require
+            (Printf.sprintf "batched replay = per-record replay (%d records)" k)
+            (rp.Wal.rc_replayed = r.Wal.rc_replayed
+            && rp.Wal.rc_next_lsn = r.Wal.rc_next_lsn
+            && (match rp.Wal.rc_graph with
+               | Some pg ->
+                   List.for_all
+                     (fun q ->
+                       Rpq_eval.pairs (Pg.elg pg) q
+                       = Rpq_eval.pairs (Pg.elg recovered) q)
+                     queries
+               | None -> false));
           require
             (Printf.sprintf
                "recovered graph answers every query like the live graph (%d records)"
@@ -1966,13 +1986,278 @@ let e24 () =
     exit 1
   end
 
+(* ======================================================================== *)
+(* E25: direction-optimizing push/pull kernel + streaming answer emission   *)
+(* (JSONL; rides in `--out=BENCH_rpq.json` next to E17/E22).                *)
+(* ======================================================================== *)
+
+let e25 () =
+  header "E25"
+    "direction-optimizing push/pull kernel + streaming emission (JSONL)";
+  let failures = ref 0 in
+  let require name ok =
+    check name ok;
+    if not ok then incr failures
+  in
+  let serial_pool = Pool.create ~size:1 () in
+  let with_kernel f =
+    Rpq_bitset.set_enabled true;
+    Fun.protect ~finally:Rpq_bitset.clear_enabled f
+  in
+  let with_mode mode f =
+    Rpq_bitset.set_pull_mode mode;
+    Fun.protect ~finally:Rpq_bitset.clear_pull_mode f
+  in
+  let timed f =
+    Gc.major ();
+    oneshot_ms f
+  in
+  let best3 f =
+    let r1, m1 = timed f in
+    let _, m2 = timed f in
+    let _, m3 = timed f in
+    (r1, Float.min m1 (Float.min m2 m3))
+  in
+  (* Best-of-3 with the modes interleaved round-robin (the E22
+     discipline): all modes see the same heap at the same ages, so a GC
+     or scheduler hiccup cannot charge one mode 20% on identical work. *)
+  let best3_interleaved runs =
+    let n = List.length runs in
+    let results = Array.make n None in
+    for _ = 1 to 3 do
+      List.iteri
+        (fun i f ->
+          let r, ms = timed f in
+          results.(i) <-
+            (match results.(i) with
+            | None -> Some (r, ms)
+            | Some (r0, m0) -> Some (r0, Float.min m0 ms)))
+        runs
+    done;
+    Array.to_list (Array.map Option.get results)
+  in
+  let modes =
+    [
+      ("push", Rpq_bitset.Always_push);
+      ("pull", Rpq_bitset.Always_pull);
+      ("adaptive", Rpq_bitset.Adaptive Rpq_bitset.default_pull_alpha);
+    ]
+  in
+  (* A zero counter is filtered out of the row, so "absent or 0" is the
+     O(blocks) allocation pin and any positive value is a violation. *)
+  let materialized counters =
+    match List.assoc_opt "rpq.bitset.materialized" counters with
+    | None -> 0
+    | Some v -> v
+  in
+
+  (* --- streaming emission: the E22 headline row, re-measured --------------
+     Node-ordered per-block emission replaced the sort-on-concat answer
+     assembly; the committed pre-streaming bitset-serial time on this
+     exact workload is the fixed baseline the >= 2x gate points at. *)
+  let committed_baseline_ms = 972.09 in
+  let n = if !quick then 2_000 else 25_000 in
+  let g =
+    Generators.random_graph ~seed:11 ~nodes:n ~edges:(4 * n)
+      ~labels:[ "a"; "b"; "c"; "d" ]
+  in
+  let nfa = Nfa.of_regex (Rpq_parse.parse "a.b*.c") in
+  let scalar_pairs =
+    Rpq_bitset.set_enabled false;
+    Fun.protect ~finally:Rpq_bitset.clear_enabled (fun () ->
+        Rpq_eval.pairs_nfa ~pool:serial_pool g nfa)
+  in
+  let stream_run mode () =
+    with_kernel (fun () ->
+        with_mode mode (fun () ->
+            counted (fun obs ->
+                Rpq_eval.pairs_nfa ~pool:serial_pool ~obs g nfa)))
+  in
+  let stream_report (label, _) ((pairs, counters), ms) =
+    emit_row
+      (Printf.sprintf
+         "{\"experiment\":\"E25\",\"phase\":\"stream\",\"graph\":\"random_graph\",\"nodes\":%d,\"edges\":%d,\"query\":\"a.b*.c\",\"mode\":%S,\"answers\":%d,\"elapsed_ms\":%.2f,\"counters\":%s}"
+         n (4 * n) label (List.length pairs) ms (counters_json counters));
+    Printf.printf "  stream %-9s %8.2f ms  (%d answers)\n" label ms
+      (List.length pairs);
+    require (Printf.sprintf "stream %s answers = scalar answers" label)
+      (pairs = scalar_pairs);
+    require (Printf.sprintf "stream %s emission is counted" label)
+      (materialized counters = List.length pairs);
+    ms
+  in
+  (* Always_pull is left out on purpose: each pull sweep scans all
+     product states, which on this sparse low-reach workload is the
+     pathological direction (tens of seconds) — exactly what the
+     adaptive heuristic exists to avoid. *)
+  let stream_modes = [ List.nth modes 0; List.nth modes 2 ] in
+  let stream_results =
+    best3_interleaved (List.map (fun (_, m) -> stream_run m) stream_modes)
+  in
+  let push_ms, adaptive_ms =
+    match List.map2 stream_report stream_modes stream_results with
+    | [ p; a ] -> (p, a)
+    | _ -> assert false
+  in
+  require "adaptive within 10% of push on the stream row"
+    (adaptive_ms <= 1.10 *. push_ms);
+  if not !quick then begin
+    Printf.printf
+      "  headline: %.2f ms vs committed %.2f ms pre-streaming baseline (%.2fx)\n"
+      adaptive_ms committed_baseline_ms
+      (committed_baseline_ms /. adaptive_ms);
+    require ">= 2x the committed pre-streaming bitset-serial baseline"
+      (Float.min push_ms adaptive_ms <= committed_baseline_ms /. 2.0)
+  end;
+
+  (* --- pull direction: dense closure, count-only ---------------------------
+     (a|b)* on a degree-40 random graph reaches nearly every pair, so
+     mid-BFS the frontier carries most of the edges while few states
+     remain unvisited: the pull direction's saturation early-exit wins.
+     Count-only keeps emission out of the measurement (and is itself the
+     streaming fast path: popcount per block, no pair materialized). *)
+  let dn, ddeg = if !quick then (600, 20) else (5_000, 40) in
+  let dense =
+    Generators.random_graph ~seed:7 ~nodes:dn ~edges:(ddeg * dn)
+      ~labels:[ "a"; "b" ]
+  in
+  let closure = Rpq_parse.parse "(a|b)*" in
+  let count_results =
+    best3_interleaved
+      (List.map
+         (fun (_, mode) () ->
+           with_kernel (fun () ->
+               with_mode mode (fun () ->
+                   counted (fun obs ->
+                       Rpq_count.count_answers ~pool:serial_pool ~obs dense
+                         closure))))
+         modes)
+  in
+  let count_rows =
+    List.map2
+      (fun (label, mode) ((count, counters), ms) ->
+        emit_row
+          (Printf.sprintf
+             "{\"experiment\":\"E25\",\"phase\":\"count_pull\",\"graph\":\"random_graph\",\"nodes\":%d,\"edges\":%d,\"query\":\"(a|b)*\",\"mode\":%S,\"count\":%d,\"elapsed_ms\":%.2f,\"counters\":%s}"
+             dn (ddeg * dn) label count ms (counters_json counters));
+        Printf.printf "  count  %-9s %8.2f ms  (count %d)\n" label ms count;
+        require (Printf.sprintf "count-only %s materializes no pairs" label)
+          (materialized counters = 0);
+        (label, mode, count, ms))
+      modes count_results
+  in
+  (match count_rows with
+  | [ (_, _, cpush, push_ms); (_, _, cpull, pull_ms); (_, _, cad, ad_ms) ] ->
+      require "push/pull/adaptive counts agree" (cpush = cpull && cpull = cad);
+      Printf.printf "  pull direction: %.2fx push on the dense closure\n"
+        (push_ms /. pull_ms);
+      if not !quick then begin
+        require "pull beats push on the dense closure" (pull_ms < push_ms);
+        require "adaptive within 10% of the best direction"
+          (ad_ms <= 1.10 *. Float.min push_ms pull_ms)
+      end
+  | _ -> assert false);
+
+  (* --- parallel policy: the serial gates, deterministically ----------------
+     [?hardware] pins the machine shape, [record] injects measurements,
+     so the three decision paths are reproducible on any runner. *)
+  Par_policy.reset_calibration ();
+  let policy_row case d =
+    emit_row
+      (Printf.sprintf
+         "{\"experiment\":\"E25\",\"phase\":\"policy\",\"case\":%S,\"width\":%d,\"units\":%d,\"reason\":%S}"
+         case d.Par_policy.width d.Par_policy.units
+         (Par_policy.reason_slug d.Par_policy.reason))
+  in
+  let df =
+    Par_policy.decide ~kernel:Par_policy.Bitset ~hardware:2 ~max_width:8
+      ~sources:180 ~product_edges:1_000_000 ()
+  in
+  policy_row "3 blocks / 2 cores" df;
+  require "3 blocks over 2 cores stay serial (few_units)"
+    (df.Par_policy.width = 1 && df.Par_policy.reason = Par_policy.Few_units);
+  Par_policy.record ~kernel:Par_policy.Bitset ~width:1 ~sources:(63 * 16)
+    ~product_edges:1_000_000 ~elapsed:0.10 ();
+  Par_policy.record ~kernel:Par_policy.Bitset ~width:2 ~sources:(63 * 16)
+    ~product_edges:1_000_000 ~elapsed:0.11 ();
+  let dc =
+    Par_policy.decide ~kernel:Par_policy.Bitset ~hardware:2 ~max_width:8
+      ~sources:(63 * 16) ~product_edges:1_000_000 ()
+  in
+  policy_row "measured width-2 loss" dc;
+  require "a measured width-2 loss pins serial (calibrated_serial)"
+    (dc.Par_policy.width = 1
+    && dc.Par_policy.reason = Par_policy.Calibrated_serial);
+  Par_policy.reset_calibration ();
+  let dw =
+    Par_policy.decide ~kernel:Par_policy.Bitset ~hardware:2 ~max_width:8
+      ~sources:(63 * 16) ~product_edges:1_000_000 ()
+  in
+  policy_row "16 blocks / 2 cores" dw;
+  require "16 blocks over 2 cores fork width 2"
+    (dw.Par_policy.width = 2 && dw.Par_policy.reason = Par_policy.Parallel);
+  Par_policy.reset_calibration ();
+
+  (* --- persistence at the million-edge mark --------------------------------
+     The E23 persistence comparison, rerun at load-bearing scale: GQB1
+     snapshot load vs text parse, through actual files. *)
+  let pn, pe = if !quick then (12_500, 50_000) else (250_000, 1_000_000) in
+  let big =
+    Generators.random_pg ~seed:23 ~nodes:pn ~edges:pe ~labels:[ "a"; "b"; "c" ]
+      ~prop:"w" ~max_value:9
+  in
+  let ok_exn = function
+    | Ok v -> v
+    | Error e -> failwith (Gq_error.to_string e)
+  in
+  let bin_path = Filename.temp_file "gq_e25" ".gqb" in
+  let txt_path = Filename.temp_file "gq_e25" ".graph" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ bin_path; txt_path ])
+    (fun () ->
+      let bin_bytes = ok_exn (Graph_io.save_bin_res big bin_path) in
+      let txt = Graph_io.to_string big in
+      let oc = open_out txt_path in
+      output_string oc txt;
+      close_out oc;
+      let loaded, bin_ms =
+        best3 (fun () -> ok_exn (Graph_io.load_file_res bin_path))
+      in
+      let parsed, txt_ms =
+        best3 (fun () -> ok_exn (Graph_io.parse_file_res txt_path))
+      in
+      let prow fmt bytes ms =
+        emit_row
+          (Printf.sprintf
+             "{\"experiment\":\"E25\",\"phase\":\"persistence\",\"format\":%S,\"nodes\":%d,\"edges\":%d,\"bytes\":%d,\"load_ms\":%.2f}"
+             fmt pn pe bytes ms)
+      in
+      prow "binary" bin_bytes bin_ms;
+      prow "text" (String.length txt) txt_ms;
+      Printf.printf
+        "  %d-edge load: binary %.1f ms vs text %.1f ms (%.1fx)\n" pe bin_ms
+        txt_ms (txt_ms /. bin_ms);
+      require "binary load reproduces the graph"
+        (Elg.nb_nodes (Pg.elg loaded) = pn
+        && Elg.nb_edges (Pg.elg loaded) = pe
+        && Graph_io.to_string loaded = Graph_io.to_string parsed);
+      require "binary load beats text parse at the million-edge mark"
+        (bin_ms < txt_ms));
+  if !failures > 0 then begin
+    Printf.eprintf "E25: %d check(s) failed\n" !failures;
+    exit 1
+  end
+
 let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
     ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
     ("E19", e19); ("E20", e20); ("E21", e21); ("E22", e22); ("E23", e23);
-    ("E24", e24);
+    ("E24", e24); ("E25", e25);
   ]
 
 let () =

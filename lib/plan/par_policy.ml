@@ -1,10 +1,18 @@
 type kernel = Scalar | Bitset
 
-type reason = Below_threshold | Hardware_serial | Parallel | Pinned
+type reason =
+  | Below_threshold
+  | Hardware_serial
+  | Few_units
+  | Calibrated_serial
+  | Parallel
+  | Pinned
 
 let reason_slug = function
   | Below_threshold -> "below_threshold"
   | Hardware_serial -> "hardware_serial"
+  | Few_units -> "few_units"
+  | Calibrated_serial -> "calibrated_serial"
   | Parallel -> "parallel"
   | Pinned -> "pinned"
 
@@ -31,8 +39,80 @@ let threshold () =
   | Some s -> ( match int_of_string_opt s with Some n -> max 1 n | None -> default_threshold)
   | None -> default_threshold
 
+(* Forking below this many parallel grains per worker never amortizes
+   the spawn + stop-the-world cost: a width-2 run over three bitset
+   blocks leaves one worker idle half the time while both pay the GC
+   synchronization.  The committed E22 rows where width 2 lost to serial
+   all sit under this grain count. *)
+let default_min_units_per_worker = 4
+
+let min_units_per_worker () =
+  match Sys.getenv_opt "GQ_PAR_MIN_UNITS" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n -> max 1 n
+      | None -> default_min_units_per_worker)
+  | None -> default_min_units_per_worker
+
 let hw = lazy (max 1 (Domain.recommended_domain_count ()))
 let hardware () = Lazy.force hw
+
+let now () = Unix.gettimeofday ()
+
+(* --- measured calibration ------------------------------------------------ *)
+
+(* Engines report completed runs ({!record}); [decide] only keeps a
+   width > 1 verdict when a measured run at that width actually beat the
+   measured serial rate.  Rates are seconds per estimated work unit,
+   EMA-smoothed, keyed by (kernel, width) — a process-wide memory, so a
+   long-lived serve process (or a bench that runs serial and parallel
+   phases) stops re-picking a width it has watched lose.  Workload shape
+   drifts, so this is a heuristic: the 5% slack and the work floor keep
+   one noisy tiny run from flipping the decision. *)
+
+let calib_lock = Mutex.create ()
+let calib : (kernel * int, float) Hashtbl.t = Hashtbl.create 8
+
+(* Runs too small to time meaningfully would poison the EMA. *)
+let calib_min_work = 50_000
+let calib_min_elapsed = 1e-4
+
+let calibration_enabled () =
+  match Sys.getenv_opt "GQ_PAR_CALIBRATE" with
+  | Some ("off" | "0" | "false" | "no") -> false
+  | Some _ | None -> true
+
+let units_of ~kernel ~sources =
+  match kernel with Scalar -> sources | Bitset -> (sources + 62) / 63
+
+let record ?(kernel = Scalar) ~width ~sources ~product_edges ~elapsed () =
+  if calibration_enabled () then begin
+    let units = units_of ~kernel ~sources in
+    let work = units * max 1 product_edges in
+    if work >= calib_min_work && elapsed >= calib_min_elapsed then begin
+      let r = elapsed /. float_of_int work in
+      Mutex.lock calib_lock;
+      let key = (kernel, max 1 width) in
+      let r' =
+        match Hashtbl.find_opt calib key with
+        | Some prev -> (0.7 *. prev) +. (0.3 *. r)
+        | None -> r
+      in
+      Hashtbl.replace calib key r';
+      Mutex.unlock calib_lock
+    end
+  end
+
+let calibrated_rate ~kernel ~width =
+  Mutex.lock calib_lock;
+  let r = Hashtbl.find_opt calib (kernel, width) in
+  Mutex.unlock calib_lock;
+  r
+
+let reset_calibration () =
+  Mutex.lock calib_lock;
+  Hashtbl.reset calib;
+  Mutex.unlock calib_lock
 
 (* The most recent decision taken anywhere in the process, for the serve
    [stats] reply: one atomic write per decision, read without locking. *)
@@ -54,17 +134,15 @@ let pinned ~width =
   note d;
   d
 
-let decide ?(obs = Obs.none) ?(kernel = Scalar) ~max_width ~sources
+let decide ?(obs = Obs.none) ?(kernel = Scalar) ?hardware:hw ~max_width ~sources
     ~product_edges () =
   let threshold = threshold () in
-  let hardware = hardware () in
+  let hardware = match hw with Some h -> max 1 h | None -> hardware () in
   let sources = max 0 sources and product_edges = max 1 product_edges in
   (* Parallel grain: the scalar kernel forks over sources, the bitset
      kernel over 63-source blocks — work is units x product edges in
      both, in comparable relaxation units. *)
-  let units =
-    match kernel with Scalar -> sources | Bitset -> (sources + 62) / 63
-  in
+  let units = units_of ~kernel ~sources in
   (* Saturating multiply: sizes are far below sqrt(max_int), but keep it
      robust anyway. *)
   let work =
@@ -73,9 +151,21 @@ let decide ?(obs = Obs.none) ?(kernel = Scalar) ~max_width ~sources
   in
   let width, reason =
     if work < threshold then (1, Below_threshold)
-    else
-      let w = max 1 (min (min max_width hardware) (max 1 units)) in
-      (w, if w > 1 then Parallel else Hardware_serial)
+    else begin
+      let cap = min max_width hardware in
+      if cap <= 1 then (1, Hardware_serial)
+      else begin
+        let w = min cap (units / min_units_per_worker ()) in
+        if w <= 1 then (1, Few_units)
+        else
+          match
+            (calibrated_rate ~kernel ~width:1, calibrated_rate ~kernel ~width:w)
+          with
+          | Some serial, Some par when par >= serial *. 0.95 ->
+              (1, Calibrated_serial)
+          | _ -> (w, Parallel)
+      end
+    end
   in
   let d = { width; units; work; threshold; hardware; reason } in
   Obs.incr obs ("rpq.par_decision." ^ reason_slug reason);

@@ -25,6 +25,11 @@ type kernel = Scalar | Bitset
 type reason =
   | Below_threshold  (** estimated work under [GQ_PAR_THRESHOLD] *)
   | Hardware_serial  (** enough work, but 1 hardware thread / pool slot *)
+  | Few_units
+      (** enough work and hardware, but too few parallel grains to give
+          each worker [GQ_PAR_MIN_UNITS] of them *)
+  | Calibrated_serial
+      (** measured runs ({!record}) show this width losing to serial *)
   | Parallel  (** width > 1 *)
   | Pinned  (** explicit pool: the caller chose the width *)
 
@@ -46,13 +51,18 @@ val threshold : unit -> int
 val hardware : unit -> int
 
 (** [decide ~max_width ~sources ~product_edges ()] — width 1 when the
-    estimated work is under the threshold, otherwise
-    [min max_width hardware units] (at least 1).  Bumps
-    [rpq.par_decision.<reason>] on [obs] and records the decision as
-    {!last}. *)
+    estimated work is under the threshold, when only one hardware thread
+    or pool slot is available, when there are fewer than
+    [GQ_PAR_MIN_UNITS] parallel grains per prospective worker, or when
+    calibration ({!record}) measured the candidate width losing to
+    serial; otherwise [min max_width hardware (units / min_units)].
+    Bumps [rpq.par_decision.<reason>] on [obs] and records the decision
+    as {!last}.  [?hardware] overrides the detected thread count
+    (tests / bench demos on fixed hardware). *)
 val decide :
   ?obs:Obs.t ->
   ?kernel:kernel ->
+  ?hardware:int ->
   max_width:int ->
   sources:int ->
   product_edges:int ->
@@ -68,3 +78,33 @@ val last : unit -> decision option
 
 (** Record [d] as the {!last} decision. *)
 val note : decision -> unit
+
+(** {1 Measured calibration} *)
+
+(** Wall clock for timing engine runs (engines have no other monotonic
+    source below the CLI layer). *)
+val now : unit -> float
+
+(** [GQ_PAR_MIN_UNITS] (default 4): parallel grains each worker must
+    receive before forking is worth it. *)
+val min_units_per_worker : unit -> int
+
+(** [record ~width ~sources ~product_edges ~elapsed] — report a
+    completed run; feeds the per-(kernel, width) seconds-per-work-unit
+    EMA that {!decide} consults before keeping a parallel width.  Runs
+    under the work/time floor are ignored; [GQ_PAR_CALIBRATE=off]
+    disables recording. *)
+val record :
+  ?kernel:kernel ->
+  width:int ->
+  sources:int ->
+  product_edges:int ->
+  elapsed:float ->
+  unit ->
+  unit
+
+(** Measured EMA rate for (kernel, width), if any run was recorded. *)
+val calibrated_rate : kernel:kernel -> width:int -> float option
+
+(** Forget all recorded rates (bench phase isolation, tests). *)
+val reset_calibration : unit -> unit

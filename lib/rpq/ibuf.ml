@@ -21,6 +21,40 @@ let length b = b.len
 let get b i = b.data.(i)
 
 let to_array b = Array.sub b.data 0 b.len
+let sub b k = Array.sub b.data 0 (min k b.len)
+
+(* Bulk-write protocol for hot emission loops: [reserve b k] grows the
+   backing array to hold [len + k] more elements and returns it; the
+   caller writes [data.(len) .. data.(len + k - 1)] directly and then
+   [set_len b (len + k)] — no per-element capacity check or call. *)
+let reserve b k =
+  let need = b.len + k in
+  if need > Array.length b.data then begin
+    let cap = ref (max 64 (Array.length b.data)) in
+    while !cap < need do
+      cap := 2 * !cap
+    done;
+    let d = Array.make !cap 0 in
+    Array.blit b.data 0 d 0 b.len;
+    b.data <- d
+  end;
+  b.data
+
+let set_len b n = b.len <- n
+
+let append dst src =
+  let need = dst.len + src.len in
+  if need > Array.length dst.data then begin
+    let cap = ref (max 64 (Array.length dst.data)) in
+    while !cap < need do
+      cap := 2 * !cap
+    done;
+    let d = Array.make !cap 0 in
+    Array.blit dst.data 0 d 0 dst.len;
+    dst.data <- d
+  end;
+  Array.blit src.data 0 dst.data dst.len src.len;
+  dst.len <- need
 
 (* The contents as a fresh ascending array — per-source target lists are
    tiny, so a straight sort beats anything clever. *)

@@ -18,5 +18,21 @@ val get : t -> int -> int
 (** Fresh array of the first [length] elements. *)
 val to_array : t -> int array
 
+(** [sub b k] — fresh array of the first [min k (length b)] elements
+    (the admitted prefix of a target buffer). *)
+val sub : t -> int -> int array
+
+(** [append dst src] — bulk blit of [src]'s contents onto [dst]; one
+    capacity check per call instead of one per element. *)
+val append : t -> t -> unit
+
+(** [reserve b k] — ensure capacity for [length b + k] elements and
+    return the backing array: the bulk-write protocol for hot emission
+    loops.  Write [data.(length b) ..] directly, then {!set_len}. *)
+val reserve : t -> int -> int array
+
+(** Commit writes made through {!reserve}. *)
+val set_len : t -> int -> unit
+
 (** Like {!to_array}, sorted ascending. *)
 val sorted_array : t -> int array

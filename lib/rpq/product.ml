@@ -9,6 +9,13 @@ type t = {
   edge : int array;
   succ : int array;
   finals : bool array; (* per automaton state, aliased from the NFA *)
+  (* Reverse CSR (pull adjacency), built lazily on the first pull sweep
+     and kept for the product's lifetime — the plan cache retains it per
+     graph generation alongside the forward arrays.  Guarded by [rlock]
+     so concurrent pool workers build it once; readers go through the
+     atomic and never take the lock after publication. *)
+  rev : (int array * int array) option Atomic.t;
+  rlock : Mutex.t;
 }
 
 let nb_automaton_states t = t.nfa.Nfa.nb_states
@@ -84,7 +91,16 @@ let make ?(obs = Obs.none) graph nfa =
   done;
   Obs.add obs "product.states" nb_states;
   Obs.add obs "product.edges" nb_product_edges;
-  { graph; nfa; off; edge; succ; finals = nfa.Nfa.finals }
+  {
+    graph;
+    nfa;
+    off;
+    edge;
+    succ;
+    finals = nfa.Nfa.finals;
+    rev = Atomic.make None;
+    rlock = Mutex.create ();
+  }
 
 let graph t = t.graph
 let nfa t = t.nfa
@@ -119,3 +135,44 @@ let final_qs t =
   Array.of_list !qs
 
 let nb_product_edges t = t.off.(nb_states t)
+
+(* Counting sort of [succ] by target: [rin_pred.(rin_off.(s) ..
+   rin_off.(s+1) - 1)] are the predecessors of [s], each listed once per
+   parallel product edge, ascending (the forward fill visits sources in
+   order).  One O(V + E) pass, same asymptotics as the forward build. *)
+let build_rev t =
+  let ns = nb_states t in
+  let m = t.off.(ns) in
+  let rin_off = Array.make (ns + 1) 0 in
+  for i = 0 to m - 1 do
+    let s = t.succ.(i) in
+    rin_off.(s + 1) <- rin_off.(s + 1) + 1
+  done;
+  for s = 1 to ns do
+    rin_off.(s) <- rin_off.(s) + rin_off.(s - 1)
+  done;
+  let pos = Array.copy rin_off in
+  let rin_pred = Array.make (max 1 m) 0 in
+  for src = 0 to ns - 1 do
+    for i = t.off.(src) to t.off.(src + 1) - 1 do
+      let s = t.succ.(i) in
+      rin_pred.(pos.(s)) <- src;
+      pos.(s) <- pos.(s) + 1
+    done
+  done;
+  (rin_off, rin_pred)
+
+let rev_csr t =
+  match Atomic.get t.rev with
+  | Some r -> r
+  | None ->
+      Mutex.lock t.rlock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.rlock)
+        (fun () ->
+          match Atomic.get t.rev with
+          | Some r -> r
+          | None ->
+              let r = build_rev t in
+              Atomic.set t.rev (Some r);
+              r)

@@ -61,3 +61,12 @@ val is_final : t -> int -> bool
 
 (** Number of materialized product edges (for size reporting). *)
 val nb_product_edges : t -> int
+
+(** Reverse CSR (pull adjacency): [(rin_off, rin_pred)] where state
+    [s]'s predecessors are [rin_pred.(i)] for
+    [rin_off.(s) <= i < rin_off.(s + 1)], one entry per product edge.
+    Built lazily on first use (one counting-sort pass over the forward
+    arrays, thread-safe) and cached for the product's lifetime, so the
+    plan cache keeps it warm per graph generation.  Aliases, not copies —
+    callers must not mutate. *)
+val rev_csr : t -> int array * int array

@@ -1,12 +1,22 @@
-(** Bit-parallel multi-source RPQ kernel.
+(** Bit-parallel, direction-optimizing multi-source RPQ kernel.
 
     Packs 63 sources per native word: product states carry word-packed
-    visited/frontier bitsets, and expanding a state advances every
-    packed source through its CSR adjacency span in one sweep — the
-    all-pairs BFS as a blocked bit-matrix product over the boolean
-    semiring.  Blocks of 63 sources are distributed over a {!Pool};
-    budgets are charged one {!Governor.tick_many} per span sweep, and
-    answers pass {!Governor.emit_many}, so Complete/Partial stays sound.
+    visited/frontier bitsets, and one sweep advances every packed source
+    at once — the all-pairs BFS as a blocked bit-matrix product over the
+    boolean semiring.  The BFS is level-synchronous and switches
+    per-level between *push* (scan frontier out-edges) and *pull* (scan
+    incomplete states' in-edges over the reverse product CSR, gathering
+    frontier bits with early exit) by a Beamer-style density heuristic.
+    Blocks of 63 sources are distributed over a {!Pool}; budgets are
+    charged one {!Governor.tick_many} per span scanned, and answers pass
+    {!Governor.emit_many}, so Complete/Partial stays sound in both
+    directions.
+
+    Emission is node-ordered by construction (dense node scan or
+    answered-bitmap walk) — per-source target buffers come out ascending
+    and per-block outputs concatenate into the globally sorted answer
+    list with no sort.  {!count_pairs} and {!check} never materialize
+    answers at all.
 
     On by default; [GQ_BITSET=off] (or {!set_enabled}[ false]) reverts
     every multi-source entry point to the scalar stamped-array engine —
@@ -22,6 +32,25 @@ val enabled : unit -> bool
 
 val set_enabled : bool -> unit
 val clear_enabled : unit -> unit
+
+(** {1 Push/pull policy} *)
+
+(** [Adaptive alpha] pulls on a level when
+    [alpha * frontier_out_edges >= unexplored_out_edges + product_states];
+    [Always_push]/[Always_pull] pin the direction (differential tests,
+    [make check-kernel]). *)
+type pull_mode = Adaptive of int | Always_push | Always_pull
+
+val default_pull_alpha : int
+
+val pull_mode : unit -> pull_mode
+(** Runtime override if set, else [GQ_PULL_THRESHOLD]: ["push"]/["off"]
+    pins push, ["pull"]/["always"] pins pull, an integer sets the
+    adaptive ratio (default {!default_pull_alpha}). *)
+
+val pull_mode_of_string : string -> pull_mode
+val set_pull_mode : pull_mode -> unit
+val clear_pull_mode : unit -> unit
 
 (** {1 Evaluation} *)
 
@@ -42,13 +71,35 @@ val pairs_codes :
     ascending — blocks concatenate in order into the globally sorted
     answer list with no further sort. *)
 
+val count_pairs :
+  ?obs:Obs.t ->
+  pool:Pool.t ->
+  width:int ->
+  Governor.t ->
+  Product.t ->
+  cand:int array ->
+  ncand:int ->
+  int
+(** Number of distinct [(source, target)] answers, without materializing
+    any: allocation is O(blocks), pinned by the [rpq.bitset.materialized]
+    counter staying at zero.  Result budgets still apply — the count is
+    the number of answers the governor admitted. *)
+
 val targets :
   ?obs:Obs.t ->
   ?pool:Pool.t ->
   Governor.t ->
   Product.t ->
   sources:int array ->
-  int list array
+  int array array
 (** Per-source reachable targets (sorted ascending), one packed run for
-    all of [sources] — the serve-mode batching entry point.  Without
-    [?pool], width follows {!Par_policy.decide}. *)
+    all of [sources] — the serve-mode batching entry point; each row is
+    a fresh array sliced straight from the kernel's per-source buffer.
+    Without [?pool], width follows {!Par_policy.decide}, and the run is
+    reported to {!Par_policy.record} for calibration. *)
+
+val check :
+  ?obs:Obs.t -> Governor.t -> Product.t -> src:int -> tgt:int -> bool
+(** Single-source early-exit reachability (the first-k fast path):
+    probes [tgt]'s accepting rows between levels and stops at the first
+    hit — no answer materialization. *)

@@ -207,17 +207,24 @@ let from_source_batch ?pool ?(obs = Obs.none) t gov g c ~srcs =
         Array.map
           (fun src ->
             if Governor.ok gov then
-              Governor.take_results gov
-                (Rpq_eval.from_source_product ~gov ~obs p ~src)
-            else [])
+              Array.of_list
+                (Governor.take_results gov
+                   (Rpq_eval.from_source_product ~gov ~obs p ~src))
+            else [||])
           srcs
       in
       Obs.add obs "rpq.answers"
-        (Array.fold_left (fun a l -> a + List.length l) 0 res);
+        (Array.fold_left (fun a l -> a + Array.length l) 0 res);
       res
     end
   in
   Governor.seal gov out
+
+(* Distinct-pair counting through the caches: the planner direction
+   choice is irrelevant (|⟦c⟧_g| is symmetric), so always forward —
+   keeping the forward product warm for the queries that follow. *)
+let count_pairs_bounded ?pool ?(obs = Obs.none) t gov g c =
+  Rpq_eval.count_pairs_product_bounded ?pool ~obs gov (product ~obs t g c)
 
 let product_hits t = Lru.hits t.products
 let product_misses t = Lru.misses t.products

@@ -106,13 +106,22 @@ val from_source_bounded :
     source in [srcs], as one evaluation: the bitset kernel packs the
     whole batch into one multi-source traversal (serve-mode request
     coalescing), the scalar fallback loops per source over the shared
-    product.  [srcs.(i)]'s targets are at index [i], sorted ascending.
-    One governor spans the batch. *)
+    product.  [srcs.(i)]'s targets are at index [i], sorted ascending —
+    each row sliced straight from the kernel's per-source emission
+    buffer (no list rebuild).  One governor spans the batch. *)
 val from_source_batch :
   ?pool:Pool.t ->
   ?obs:Obs.t ->
   t -> Governor.t -> Elg.t -> Plan_cache.compiled -> srcs:int array ->
-  int list array Governor.outcome
+  int array array Governor.outcome
+
+(** [count_pairs_bounded t gov g c] — |⟦c⟧_g| through the caches via the
+    kernel's count-only mode: no answer is ever materialized (O(blocks)
+    allocation).  Under a result budget the count is the number of
+    admitted answers, exactly as {!pairs_bounded} would have kept. *)
+val count_pairs_bounded :
+  ?pool:Pool.t -> ?obs:Obs.t ->
+  t -> Governor.t -> Elg.t -> Plan_cache.compiled -> int Governor.outcome
 
 (** {1 Counters} (monotone; plan-cache counters via {!plans}) *)
 

@@ -92,6 +92,15 @@ let total_paths_upto ?pool ?(obs = Obs.none) g r ~max_len =
       loop ());
   Array.fold_left Nat_big.add Nat_big.zero partials
 
+(* Set-semantics cardinality — COUNT(DISTINCT (u, v)) — delegated to the
+   evaluation engines' count-only mode: under the bitset kernel the
+   answer pairs are popcounted out of the visited words per block and
+   never materialized (O(blocks) allocation however many answers). *)
+let count_answers ?pool ?obs g r = Rpq_eval.count_pairs ?pool ?obs g r
+
+let count_answers_bounded ?pool ?obs gov g r =
+  Rpq_eval.count_pairs_bounded ?pool ?obs gov g r
+
 (* --- Bag-semantics parse counting (Section 6.1, after [9]) ------------- *)
 
 (* Subexpression tree with ids for memoization keys. *)

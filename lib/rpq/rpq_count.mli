@@ -38,6 +38,17 @@ val total_paths_upto :
   ?pool:Pool.t -> ?obs:Obs.t ->
   Elg.t -> Sym.t Regex.t -> max_len:int -> Nat_big.t
 
+(** Set-semantics cardinality |⟦R⟧_G| — COUNT(DISTINCT (u, v)).  Unlike
+    the path counters above this needs no length bound: it delegates to
+    the evaluation engines' count-only mode, which under the bitset
+    kernel popcounts answers straight out of the visited words without
+    materializing a single pair (O(blocks) allocation). *)
+val count_answers : ?pool:Pool.t -> ?obs:Obs.t -> Elg.t -> Sym.t Regex.t -> int
+
+val count_answers_bounded :
+  ?pool:Pool.t -> ?obs:Obs.t ->
+  Governor.t -> Elg.t -> Sym.t Regex.t -> int Governor.outcome
+
 (** ALP-style bag-semantics multiplicity of the pair [(src, tgt)].
     Requires at most 62 nodes (visited sets are bitmasks). *)
 val bag_count : Elg.t -> Sym.t Regex.t -> src:int -> tgt:int -> Nat_big.t

@@ -64,6 +64,29 @@ val pairs_product_bounded :
   ?pool:Pool.t -> ?obs:Obs.t ->
   Governor.t -> Product.t -> (int * int) list Governor.outcome
 
+(** Stream the answers of a prebuilt product in globally sorted order
+    without building the pair list: [f acc u v] per answer.  Under the
+    bitset kernel the fold walks the per-block emission buffers in
+    place, so allocation beyond them is whatever [f] does. *)
+val fold_pairs_product_gov :
+  ?pool:Pool.t -> ?obs:Obs.t ->
+  Governor.t -> Product.t -> init:'a -> f:('a -> int -> int -> 'a) -> 'a
+
+(** Number of distinct answers, never materializing any (the kernel's
+    count-only mode: O(blocks) allocation however many answers).  Under
+    a result budget the count is the number of admitted answers. *)
+val count_pairs_product_gov :
+  ?pool:Pool.t -> ?obs:Obs.t -> Governor.t -> Product.t -> int
+
+val count_pairs_product_bounded :
+  ?pool:Pool.t -> ?obs:Obs.t -> Governor.t -> Product.t -> int Governor.outcome
+
+val count_pairs_bounded :
+  ?pool:Pool.t -> ?obs:Obs.t ->
+  Governor.t -> Elg.t -> Sym.t Regex.t -> int Governor.outcome
+
+val count_pairs : ?pool:Pool.t -> ?obs:Obs.t -> Elg.t -> Sym.t Regex.t -> int
+
 (** Reachable targets over a prebuilt product, charging the governor.
     Shared with the other engines; exposed for reuse. *)
 val from_source_product :

@@ -288,15 +288,14 @@ let supervised_outcome sess ctx ~cls body =
     ~gov:(governor_of sess)
     (governed sess ctx body)
 
-(* Render one supervised outcome as [id]'s reply.  [answers_of] projects
-   the payload to this request's display strings — identity for a solo
-   request, the member's slice for a batched one; it must be total on
-   [default] (the [Aborted] payload). *)
-let outcome_reply id ~cls sup ~default ~answers_of =
+(* Render one supervised outcome as [id]'s reply.  [render] turns the
+   outcome into the pre-rendered answers JSON array and its count — it
+   must be total on the [Aborted] payload. *)
+let outcome_reply_render id ~cls sup ~render =
   match sup.Supervise.outcome with
   | Error err -> error_reply id cls ~attempts:sup.Supervise.attempts err
   | Ok outcome ->
-      let answers = answers_of (Governor.payload ~default outcome) in
+      let answers_json, count = render outcome in
       let status, code, reason =
         match outcome with
         | Governor.Complete _ ->
@@ -312,10 +311,14 @@ let outcome_reply id ~cls sup ~default ~answers_of =
         :: (match reason with
            | Some r -> [ ("reason", jstr (Governor.reason_slug r)) ]
            | None -> [])
-        @ [
-            ("answers", jarr (List.map jstr answers));
-            ("count", jint (List.length answers));
-          ])
+        @ [ ("answers", answers_json); ("count", jint count) ])
+
+(* [answers_of] projects the payload to this request's display strings —
+   identity for a solo request, the member's slice for a batched one. *)
+let outcome_reply id ~cls sup ~default ~answers_of =
+  outcome_reply_render id ~cls sup ~render:(fun outcome ->
+      let answers = answers_of (Governor.payload ~default outcome) in
+      (jarr (List.map jstr answers), List.length answers))
 
 (* [body] returns the answers as display strings. *)
 let supervised sess ctx id ~cls body =
@@ -1061,11 +1064,26 @@ let rpq_from_batch lead ctx members regex =
                   error_reply id "rpq-from" ~attempts:1
                     (Gq_error.Unknown_node node)
               | Ok (id, k) ->
-                  outcome_reply id ~cls:"rpq-from" sup ~default:[||]
-                    ~answers_of:(fun arr ->
-                      if k < Array.length arr then
-                        List.map (Elg.node_name g) arr.(k)
-                      else []))
+                  (* Render the member's slice straight off the kernel's
+                     per-source array — no intermediate id or name
+                     lists between the packed run and the wire. *)
+                  outcome_reply_render id ~cls:"rpq-from" sup
+                    ~render:(fun outcome ->
+                      let arr = Governor.payload ~default:[||] outcome in
+                      if k < Array.length arr && Array.length arr.(k) > 0
+                      then begin
+                        let row = arr.(k) in
+                        let b = Buffer.create ((16 * Array.length row) + 2) in
+                        Buffer.add_char b '[';
+                        Array.iteri
+                          (fun i v ->
+                            if i > 0 then Buffer.add_char b ',';
+                            Buffer.add_string b (jstr (Elg.node_name g v)))
+                          row;
+                        Buffer.add_char b ']';
+                        (Buffer.contents b, Array.length row)
+                      end
+                      else ("[]", 0)))
             resolved)
 
 let handle_batch members =

@@ -268,10 +268,28 @@ let empty_recovery =
     rc_warnings = [];
   }
 
+(* Replay coalescing: by default every segment's records are parsed
+   up front and applied as ONE [Delta.apply_res] batch — one counting-pass
+   CSR rebuild per segment instead of one per record, which turns
+   recovery of an n-record segment from O(n * (V + E)) into O(V + E + n).
+   [Pg.apply_delta_res] gives batches sequential semantics (an op sees
+   the effects of every earlier op, within and across record boundaries),
+   so the recovered state is identical to per-record replay — pinned by
+   test_wal.  [GQ_WAL_COALESCE=off] forces the per-record path (also the
+   fallback whenever a batched apply fails, so errors still name the
+   exact LSN). *)
+let coalesce_from_env () =
+  match Sys.getenv_opt "GQ_WAL_COALESCE" with
+  | Some ("off" | "0" | "false" | "no") -> false
+  | Some _ | None -> true
+
 (* Internal recovery, also returning the valid byte length and record
    count of the current segment so [open_res] can truncate a torn tail
    and resume its rotation-threshold bookkeeping. *)
-let recover_internal dir =
+let recover_internal ?coalesce dir =
+  let coalesce =
+    match coalesce with Some b -> b | None -> coalesce_from_env ()
+  in
   if not (Sys.file_exists dir) then Ok (empty_recovery, 0, 0)
   else
     let* cps, segs = list_gens dir in
@@ -338,13 +356,8 @@ let recover_internal dir =
                       "%s: segment %d starts at LSN %Ld, expected %Ld (missing segment?)"
                       dir g sc.sg_base l
                 | _ ->
-                    let rec apply = function
-                      | [] ->
-                          next :=
-                            Some
-                              (Int64.add sc.sg_base
-                                 (Int64.of_int (List.length sc.sg_recs)));
-                          replay rest
+                    let rec per_record = function
+                      | [] -> Ok ()
                       | (lsn, payload) :: more -> (
                           match
                             let* ops = Delta.parse_res payload in
@@ -353,12 +366,45 @@ let recover_internal dir =
                           | Ok applied ->
                               graph := applied.Delta.pg;
                               incr replayed;
-                              apply more
+                              per_record more
                           | Error e ->
                               err_parse "%s: replaying LSN %Ld: %s" dir lsn
                                 (Gq_error.to_string e))
                     in
-                    apply sc.sg_recs
+                    let batched recs =
+                      match
+                        let* parsed =
+                          List.fold_left
+                            (fun acc (lsn, payload) ->
+                              let* acc = acc in
+                              match Delta.parse_res payload with
+                              | Ok ops -> Ok (ops :: acc)
+                              | Error e ->
+                                  err_parse "%s: replaying LSN %Ld: %s" dir
+                                    lsn (Gq_error.to_string e))
+                            (Ok []) recs
+                        in
+                        Delta.apply_res !graph
+                          (List.concat (List.rev parsed))
+                      with
+                      | Ok applied ->
+                          graph := applied.Delta.pg;
+                          replayed := !replayed + List.length recs;
+                          Ok ()
+                      | Error _ ->
+                          (* Re-run record by record so the error names
+                             the exact LSN (recovery aborts either way). *)
+                          per_record recs
+                    in
+                    let* () =
+                      if coalesce then batched sc.sg_recs
+                      else per_record sc.sg_recs
+                    in
+                    next :=
+                      Some
+                        (Int64.add sc.sg_base
+                           (Int64.of_int (List.length sc.sg_recs)));
+                    replay rest
               end
               else replay rest
         in
@@ -389,8 +435,8 @@ let recover_internal dir =
             !cur_valid,
             !cur_records )
 
-let recover_res dir =
-  let* r, _, _ = recover_internal dir in
+let recover_res ?coalesce dir =
+  let* r, _, _ = recover_internal ?coalesce dir in
   Ok r
 
 (* --- open ---------------------------------------------------------------- *)

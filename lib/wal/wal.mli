@@ -60,8 +60,16 @@ type recovery = {
   rc_warnings : string list;
 }
 
-(** Offline recovery: read-only, touches nothing on disk. *)
-val recover_res : string -> (recovery, Gq_error.t) result
+(** Offline recovery: read-only, touches nothing on disk.
+
+    Replay coalesces each segment's records into one {!Delta.apply_res}
+    batch — one counting-pass CSR rebuild per segment instead of one per
+    record.  Batches have sequential semantics, so the recovered state
+    is identical to per-record replay; a failing batch is re-run record
+    by record so the error names the exact LSN.  [?coalesce] (default:
+    on unless [GQ_WAL_COALESCE=off]) pins the strategy — tests pin
+    batched == per-record with it. *)
+val recover_res : ?coalesce:bool -> string -> (recovery, Gq_error.t) result
 
 (** Open a WAL directory for serving: runs recovery, truncates a torn
     tail, opens (or re-creates) the current segment for appending.  The

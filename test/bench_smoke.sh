@@ -36,6 +36,46 @@ grep -q '"engine":"bitset-parallel".*"rpq.par_width":2' "$tmp/e22.out" \
 grep -q '"graph":"hub".*"engine":"bitset-serial"' "$tmp/e22.out" \
   || { echo "bench-smoke: E22 is missing the hub workload" >&2; exit 1; }
 
+# E25 is fatal on answer equality between push, pull, adaptive and the
+# scalar engine, on the count-only O(blocks) pin, and on the policy
+# gating cases, so a zero exit is itself the gate; additionally pin the
+# row shapes and — since E25 shares the kernel with E22 — a fatal
+# no-regression gate on the E22 hub row measured above: the packed
+# kernel must still beat the scalar engine on the hub workload.
+"$BENCH" E25 --quick > "$tmp/e25.out"
+
+grep -q '"phase":"stream","graph":"random_graph".*"mode":"push".*"rpq.bitset.materialized":[1-9]' "$tmp/e25.out" \
+  || { echo "bench-smoke: E25 stream row carries no emission counter" >&2; exit 1; }
+grep -q '"phase":"stream".*"mode":"adaptive"' "$tmp/e25.out" \
+  || { echo "bench-smoke: E25 emitted no adaptive stream row" >&2; exit 1; }
+grep -q '"phase":"count_pull".*"mode":"pull".*"rpq.bitset.pull_sweeps":[1-9]' "$tmp/e25.out" \
+  || { echo "bench-smoke: E25 pull row did not pull" >&2; exit 1; }
+if grep '"phase":"count_pull"' "$tmp/e25.out" | grep -q '"rpq.bitset.materialized"'; then
+  echo "bench-smoke: E25 count-only row materialized pairs" >&2; exit 1
+fi
+grep -q '"phase":"policy".*"reason":"few_units"' "$tmp/e25.out" \
+  || { echo "bench-smoke: E25 emitted no few_units policy row" >&2; exit 1; }
+grep -q '"phase":"policy".*"reason":"calibrated_serial"' "$tmp/e25.out" \
+  || { echo "bench-smoke: E25 emitted no calibrated_serial policy row" >&2; exit 1; }
+grep -q '"phase":"persistence","format":"binary"' "$tmp/e25.out" \
+  || { echo "bench-smoke: E25 emitted no binary persistence row" >&2; exit 1; }
+
+hub_regressed=$(awk '
+  /"graph":"hub"/ && /"engine":"scalar-serial"/ {
+    if (match($0, /"elapsed_ms":[0-9.]+/))
+      scalar = substr($0, RSTART + 13, RLENGTH - 13)
+  }
+  /"graph":"hub"/ && /"engine":"bitset-serial"/ {
+    if (match($0, /"elapsed_ms":[0-9.]+/))
+      bitset = substr($0, RSTART + 13, RLENGTH - 13)
+  }
+  END {
+    if (scalar == "" || bitset == "") { print "missing"; exit }
+    if (bitset + 0 < scalar + 0) print "ok"; else print "regressed"
+  }' "$tmp/e22.out")
+[ "$hub_regressed" = "ok" ] \
+  || { echo "bench-smoke: E22 hub row regressed ($hub_regressed): packed kernel no longer beats scalar" >&2; exit 1; }
+
 # E20 enforces its own fatal checks: warm-cache answers equal cold,
 # warm >= 3x faster, planner answers equal left-to-right, planner faster
 # on the skewed graph.  Here we additionally pin the row shape.
@@ -81,4 +121,4 @@ grep -q '"phase":"append","policy":"never".*"fsyncs":0' "$tmp/e24.out" \
 grep -q '"phase":"recovery","records":[1-9]' "$tmp/e24.out" \
   || { echo "bench-smoke: E24 emitted no recovery row" >&2; exit 1; }
 
-echo "bench-smoke: E17 counters/trace, E22 kernel parity, E20 plan, E23 update and E24 durability checks OK"
+echo "bench-smoke: E17 counters/trace, E22 kernel parity, E25 push/pull + streaming, E20 plan, E23 update and E24 durability checks OK"

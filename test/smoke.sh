@@ -94,12 +94,12 @@ check_golden query.out "$tmp/out"
 # kernel is pinned because the packed and scalar engines count different
 # work (span sweeps vs per-source pushes) and `make check-bitset` re-runs
 # this suite under both GQ_BITSET settings; each kernel has its own golden.
-run_expect 0 env GQ_BITSET=on "$GQD" rpq "$tmp/bank.graph" 'Transfer.Transfer*' \
+run_expect 0 env GQ_BITSET=on GQ_PULL_THRESHOLD= "$GQD" rpq "$tmp/bank.graph" 'Transfer.Transfer*' \
   --metrics --domains 1
 check_golden rpq_pairs.out "$tmp/out"
 check_golden metrics.err "$tmp/err"
 
-run_expect 0 env GQ_BITSET=off "$GQD" rpq "$tmp/bank.graph" 'Transfer.Transfer*' \
+run_expect 0 env GQ_BITSET=off GQ_PULL_THRESHOLD= "$GQD" rpq "$tmp/bank.graph" 'Transfer.Transfer*' \
   --metrics --domains 1
 check_golden rpq_pairs.out "$tmp/out"
 check_golden metrics_scalar.err "$tmp/err"
@@ -119,7 +119,7 @@ fi
 # relative and stable.  Each session pins GQ_FAILPOINTS itself (including
 # pinning it empty) so the transcripts hold under `make check-faults`,
 # which runs the whole suite with an ambient fault schedule, and pins
-# GQ_BITSET=on because partial payloads and the `stats` kernel field are
+# GQ_BITSET=on GQ_PULL_THRESHOLD= because partial payloads and the `stats` kernel field are
 # kernel-sensitive and `make check-bitset` re-runs the suite with it off.
 GQD_ABS=$(cd "$(dirname "$GQD")" && pwd)/$(basename "$GQD")
 
@@ -143,7 +143,7 @@ rpq-from a1 Transfer*
 quit
 EOF
 set +e
-(cd "$tmp" && GQ_FAILPOINTS="serve.eval=every:2" GQ_BITSET=on "$GQD_ABS" --serve \
+(cd "$tmp" && GQ_FAILPOINTS="serve.eval=every:2" GQ_BITSET=on GQ_PULL_THRESHOLD= "$GQD_ABS" --serve \
   < serve_faults.in > serve_faults.out 2> serve_faults.err)
 code=$?
 set -e
@@ -171,7 +171,7 @@ stats
 quit
 EOF
 set +e
-(cd "$tmp" && GQ_FAILPOINTS= GQ_PLAN=on GQ_PLAN_CACHE=on GQ_BITSET=on \
+(cd "$tmp" && GQ_FAILPOINTS= GQ_PLAN=on GQ_PLAN_CACHE=on GQ_BITSET=on GQ_PULL_THRESHOLD= \
   "$GQD_ABS" --serve --breaker-threshold 2 \
   < serve_breaker.in > serve_breaker.out 2> serve_breaker.err)
 code=$?
@@ -202,7 +202,7 @@ plan Transfer.Transfer*
 quit
 EOF
 set +e
-(cd "$tmp" && GQ_FAILPOINTS= GQ_PLAN=on GQ_PLAN_CACHE=on GQ_BITSET=on "$GQD_ABS" --serve \
+(cd "$tmp" && GQ_FAILPOINTS= GQ_PLAN=on GQ_PLAN_CACHE=on GQ_BITSET=on GQ_PULL_THRESHOLD= "$GQD_ABS" --serve \
   < serve_plan.in > serve_plan.out 2> serve_plan.err)
 code=$?
 set -e
@@ -236,7 +236,7 @@ wait_sock() {
 
 # (a) A zero-capacity server answers the connection itself with a
 #     structured shed reply and closes it; draining it exits 0.
-GQ_FAILPOINTS= GQ_PLAN=on GQ_PLAN_CACHE=on GQ_BITSET=on \
+GQ_FAILPOINTS= GQ_PLAN=on GQ_PLAN_CACHE=on GQ_BITSET=on GQ_PULL_THRESHOLD= \
   "$GQD_ABS" --listen "unix:$SOCK" --max-clients 0 \
   > /dev/null 2> "$tmp/serve_server.err" &
 SRV=$!
@@ -257,7 +257,7 @@ wait "$SRV" || {
 #     loading.  Finally SIGTERM lands while a request is mid-evaluation:
 #     graceful drain still delivers that reply, exits 0, and unlinks
 #     the socket.
-( cd "$tmp" && GQ_FAILPOINTS="serve.eval=delay:200" GQ_PLAN=on GQ_PLAN_CACHE=on GQ_BITSET=on \
+( cd "$tmp" && GQ_FAILPOINTS="serve.eval=delay:200" GQ_PLAN=on GQ_PLAN_CACHE=on GQ_BITSET=on GQ_PULL_THRESHOLD= \
   exec "$GQD_ABS" --listen "unix:$SOCK" --workers 1 --client-inflight 1 \
   > /dev/null 2> "$tmp/serve_server.err" ) &
 SRV=$!
@@ -291,7 +291,7 @@ check_golden serve_server.out "$tmp/serve_server.out"
 # answers both from a single multi-source run.  Each client's transcript
 # must be byte-identical to what a solo run would have answered, under
 # its own request id, and `stats` afterwards counts both batch members.
-( cd "$tmp" && GQ_FAILPOINTS="serve.eval=delay:300" GQ_PLAN=on GQ_PLAN_CACHE=on GQ_BITSET=on \
+( cd "$tmp" && GQ_FAILPOINTS="serve.eval=delay:300" GQ_PLAN=on GQ_PLAN_CACHE=on GQ_BITSET=on GQ_PULL_THRESHOLD= \
   exec "$GQD_ABS" --listen "unix:$SOCK" --workers 1 \
   > /dev/null 2> "$tmp/serve_batch.err" ) &
 SRV=$!
@@ -364,7 +364,7 @@ run_expect 0 "$GQD" delta-load "$tmp/bank.graph" /dev/null # empty batch is a no
 run_expect 3 "$GQD" delta-load "$tmp/bank.graph" "$tmp/nosuch.delta"
 
 # Transcript 6: snapshot isolation under a live update stream.  Two
-# workers; the scalar engine is pinned (GQ_BITSET=off) and every source
+# workers; the scalar engine is pinned (GQ_BITSET=off GQ_PULL_THRESHOLD=) and every source
 # BFS sleeps 400 ms, so client A's `rpq` holds its epoch-1 snapshot for
 # ~2.4 s.  Mid-flight, client B applies add-edge/del-edge (epochs 2 and
 # 3) — A's answers must be byte-identical to a pre-delta run, while
@@ -372,7 +372,7 @@ run_expect 3 "$GQD" delta-load "$tmp/bank.graph" "$tmp/nosuch.delta"
 # `stats` reports the final epoch, the delta count, and the label-keyed
 # invalidation of the Transfer product that was warm when the first
 # write landed.
-( cd "$tmp" && GQ_FAILPOINTS="rpq.bfs.step=delay:400" GQ_PLAN=on GQ_PLAN_CACHE=on GQ_BITSET=off \
+( cd "$tmp" && GQ_FAILPOINTS="rpq.bfs.step=delay:400" GQ_PLAN=on GQ_PLAN_CACHE=on GQ_BITSET=off GQ_PULL_THRESHOLD= \
   exec "$GQD_ABS" --listen "unix:$SOCK" --workers 2 \
   > /dev/null 2> "$tmp/serve_update.err" ) &
 SRV=$!

@@ -1,10 +1,13 @@
 (* Bit-parallel kernel suite: the word-packed multi-source engine
    ([Rpq_bitset]) must be answer-for-answer interchangeable with the
    scalar stamped-array engine and with the boolean-matrix semiring
-   oracle, at pool widths 1 and 4; under a budget its Partial payload
-   must be a subset of the full answer set; and the 63-sources-per-word
-   packing must be exercised right at the block boundaries
-   (62/63/64/65 sources). *)
+   oracle — at pool widths 1 and 4, and under every frontier direction
+   (forced push, forced pull, adaptive); under a budget its Partial
+   payload must be a subset of the full answer set (in pull sweeps
+   too); the 63-sources-per-word packing must be exercised right at the
+   block boundaries (62/63/64/65 sources) in both directions; and the
+   count-only mode must count without materializing (the
+   [rpq.bitset.materialized] counter stays at zero). *)
 
 let pool1 = Pool.create ~size:1 ()
 let pool4 = Pool.create ~size:4 ()
@@ -14,6 +17,21 @@ let pool4 = Pool.create ~size:4 ()
 let with_bitset b f =
   Rpq_bitset.set_enabled b;
   Fun.protect ~finally:Rpq_bitset.clear_enabled f
+
+(* Pin the frontier direction for the extent of [f]. *)
+let with_pull m f =
+  Rpq_bitset.set_pull_mode m;
+  Fun.protect ~finally:Rpq_bitset.clear_pull_mode f
+
+let pull_modes =
+  [
+    ("push", Rpq_bitset.Always_push);
+    ("pull", Rpq_bitset.Always_pull);
+    ("adaptive", Rpq_bitset.Adaptive Rpq_bitset.default_pull_alpha);
+    (* An aggressive ratio so adaptive runs actually mix directions on
+       tiny graphs instead of degenerating to all-push. *)
+    ("adaptive-eager", Rpq_bitset.Adaptive 1_000);
+  ]
 
 (* --- boolean-matrix semiring oracle (no automaton, no BFS) ---------------- *)
 
@@ -102,20 +120,24 @@ let norm pairs = List.sort_uniq compare pairs
 
 let prop_bitset_vs_scalar_vs_matrix =
   QCheck.Test.make ~count:150
-    ~name:"bitset = scalar = matrix oracle (widths 1, 4)" arb_graph_regex
+    ~name:"bitset (push/pull/adaptive) = scalar = matrix oracle (widths 1, 4)"
+    arb_graph_regex
     (fun (g, r) ->
       let oracle = norm (Matrix_oracle.pairs g r) in
       let nfa = Nfa.of_regex r in
-      let bit1 =
-        with_bitset true (fun () -> norm (Rpq_eval.pairs_nfa ~pool:pool1 g nfa))
-      and bit4 =
-        with_bitset true (fun () -> norm (Rpq_eval.pairs_nfa ~pool:pool4 g nfa))
-      and sca1 =
+      let sca1 =
         with_bitset false (fun () -> norm (Rpq_eval.pairs_nfa ~pool:pool1 g nfa))
       and sca4 =
         with_bitset false (fun () -> norm (Rpq_eval.pairs_nfa ~pool:pool4 g nfa))
       in
-      bit1 = oracle && bit4 = oracle && sca1 = oracle && sca4 = oracle)
+      sca1 = oracle && sca4 = oracle
+      && List.for_all
+           (fun (_, m) ->
+             with_bitset true (fun () ->
+                 with_pull m (fun () ->
+                     norm (Rpq_eval.pairs_nfa ~pool:pool1 g nfa) = oracle
+                     && norm (Rpq_eval.pairs_nfa ~pool:pool4 g nfa) = oracle)))
+           pull_modes)
 
 (* --- budgets: Partial is a subset, Complete is everything ------------------ *)
 
@@ -137,6 +159,82 @@ let prop_partial_subset_under_budget =
           | Governor.Partial (ps, _) ->
               List.for_all (fun uv -> List.mem uv full) ps
           | Governor.Aborted _ -> true))
+
+let prop_partial_subset_under_budget_pull =
+  (* A budget trip mid-pull-sweep must also leave only true
+     reachability facts behind. *)
+  QCheck.Test.make ~count:150
+    ~name:"pull sweeps under step budget: Partial subset / Complete equal"
+    arb_budgeted
+    (fun ((g, r), max_steps) ->
+      with_bitset true (fun () ->
+          with_pull Rpq_bitset.Always_pull (fun () ->
+              let full = norm (Rpq_eval.pairs g r) in
+              let gov = Governor.make ~max_steps () in
+              match Rpq_eval.pairs_bounded gov g r with
+              | Governor.Complete ps -> norm ps = full
+              | Governor.Partial (ps, _) ->
+                  List.for_all (fun uv -> List.mem uv full) ps
+              | Governor.Aborted _ -> true)))
+
+let prop_count_matches_pairs =
+  (* Count-only mode: same cardinality as the materializing run, zero
+     materialized answers (the O(blocks) allocation claim), under every
+     direction. *)
+  QCheck.Test.make ~count:150 ~name:"count-only = |pairs|, materializes nothing"
+    arb_graph_regex
+    (fun (g, r) ->
+      let expected = List.length (norm (Matrix_oracle.pairs g r)) in
+      List.for_all
+        (fun (_, m) ->
+          with_bitset true (fun () ->
+              with_pull m (fun () ->
+                  let metrics = Metrics.create () in
+                  let obs = Obs.make ~metrics () in
+                  let got = Rpq_eval.count_pairs ~pool:pool1 ~obs g r in
+                  got = expected
+                  && Option.value ~default:0
+                       (List.assoc_opt "rpq.bitset.materialized"
+                          (Metrics.counters metrics))
+                     = 0)))
+        pull_modes)
+
+let prop_count_result_cap =
+  QCheck.Test.make ~count:100 ~name:"count-only respects the result cap"
+    arb_graph_regex
+    (fun (g, r) ->
+      let full = List.length (norm (Matrix_oracle.pairs g r)) in
+      with_bitset true (fun () ->
+          let cap = 3 in
+          let gov = Governor.make ~max_results:cap () in
+          let got =
+            Governor.payload ~default:0
+              (Rpq_eval.count_pairs_bounded ~pool:pool1 gov g r)
+          in
+          got = min cap full))
+
+let prop_check_matches_oracle =
+  (* The kernel first-k path behind [check]: membership must agree with
+     the oracle and the scalar fallback for every (src, tgt). *)
+  QCheck.Test.make ~count:75 ~name:"kernel check = scalar check = oracle"
+    arb_graph_regex
+    (fun (g, r) ->
+      let oracle = norm (Matrix_oracle.pairs g r) in
+      let n = Elg.nb_nodes g in
+      let ok = ref true in
+      for src = 0 to n - 1 do
+        for tgt = 0 to n - 1 do
+          let expected = List.mem (src, tgt) oracle in
+          let kern =
+            with_bitset true (fun () -> Rpq_eval.check g r ~src ~tgt)
+          in
+          let scal =
+            with_bitset false (fun () -> Rpq_eval.check g r ~src ~tgt)
+          in
+          if kern <> expected || scal <> expected then ok := false
+        done
+      done;
+      !ok)
 
 let prop_result_cap_exact =
   (* [emit_many] must admit exactly up to the cap, not a word-granular
@@ -192,56 +290,78 @@ let test_hub_equivalence () =
 
 let test_block_boundaries () =
   List.iter
-    (fun m ->
-      let g = star m in
-      let t = Elg.node_id g "t" in
-      let expected =
-        norm (List.init m (fun i -> (Elg.node_id g (Printf.sprintf "s%d" i), t)))
-      in
-      let metrics = Metrics.create () in
-      let obs = Obs.make ~metrics () in
-      let got =
-        with_bitset true (fun () ->
-            norm (Rpq_eval.pairs ~pool:pool4 ~obs g re_ab))
-      in
-      Alcotest.(check bool)
-        (Printf.sprintf "answers at %d sources" m)
-        true (got = expected);
-      Alcotest.(check (option int))
-        (Printf.sprintf "blocks at %d sources" m)
-        (Some (Rpq_bitset.nb_blocks m))
-        (List.assoc_opt "rpq.bitset.blocks" (Metrics.counters metrics)))
-    [ 62; 63; 64; 65 ]
+    (fun (mname, pm) ->
+      List.iter
+        (fun m ->
+          let g = star m in
+          let t = Elg.node_id g "t" in
+          let expected =
+            norm
+              (List.init m (fun i -> (Elg.node_id g (Printf.sprintf "s%d" i), t)))
+          in
+          let metrics = Metrics.create () in
+          let obs = Obs.make ~metrics () in
+          let got =
+            with_bitset true (fun () ->
+                with_pull pm (fun () ->
+                    norm (Rpq_eval.pairs ~pool:pool4 ~obs g re_ab)))
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "answers at %d sources (%s)" m mname)
+            true (got = expected);
+          Alcotest.(check (option int))
+            (Printf.sprintf "blocks at %d sources (%s)" m mname)
+            (Some (Rpq_bitset.nb_blocks m))
+            (List.assoc_opt "rpq.bitset.blocks" (Metrics.counters metrics));
+          (* Positive control for the count-only O(blocks) pin: a
+             materializing run on an ε-free query must account for every
+             answer under [rpq.bitset.materialized]. *)
+          Alcotest.(check (option int))
+            (Printf.sprintf "materialized at %d sources (%s)" m mname)
+            (Some m)
+            (List.assoc_opt "rpq.bitset.materialized"
+               (Metrics.counters metrics)))
+        [ 62; 63; 64; 65 ])
+    [ ("push", Rpq_bitset.Always_push); ("pull", Rpq_bitset.Always_pull) ]
 
 let test_targets_boundaries () =
   (* The serve-mode entry point: per-source target slices must line up
-     with their sources across the word boundary. *)
+     with their sources across the word boundary, in both directions. *)
   List.iter
-    (fun m ->
-      let g = star m in
-      let t = Elg.node_id g "t" in
-      let hub = Elg.node_id g "hub" in
-      let p = Product.make g (Nfa.of_regex re_ab) in
-      let sources =
-        Array.append
-          (Array.init m (fun i -> Elg.node_id g (Printf.sprintf "s%d" i)))
-          [| hub; t |]
-      in
-      let out =
-        with_bitset true (fun () ->
-            Rpq_bitset.targets (Governor.unlimited ()) p ~sources)
-      in
-      Alcotest.(check int)
-        (Printf.sprintf "slices at %d spokes" m)
-        (m + 2) (Array.length out);
-      for i = 0 to m - 1 do
-        Alcotest.(check (list int))
-          (Printf.sprintf "spoke %d of %d" i m)
-          [ t ] out.(i)
-      done;
-      Alcotest.(check (list int)) "hub reaches nothing" [] out.(m);
-      Alcotest.(check (list int)) "t reaches nothing" [] out.(m + 1))
-    [ 62; 63; 64; 65 ]
+    (fun (mname, pm) ->
+      List.iter
+        (fun m ->
+          let g = star m in
+          let t = Elg.node_id g "t" in
+          let hub = Elg.node_id g "hub" in
+          let p = Product.make g (Nfa.of_regex re_ab) in
+          let sources =
+            Array.append
+              (Array.init m (fun i -> Elg.node_id g (Printf.sprintf "s%d" i)))
+              [| hub; t |]
+          in
+          let out =
+            with_bitset true (fun () ->
+                with_pull pm (fun () ->
+                    Rpq_bitset.targets (Governor.unlimited ()) p ~sources))
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "slices at %d spokes (%s)" m mname)
+            (m + 2) (Array.length out);
+          for i = 0 to m - 1 do
+            Alcotest.(check (array int))
+              (Printf.sprintf "spoke %d of %d (%s)" i m mname)
+              [| t |] out.(i)
+          done;
+          Alcotest.(check (array int))
+            (Printf.sprintf "hub reaches nothing (%s)" mname)
+            [||] out.(m);
+          Alcotest.(check (array int))
+            (Printf.sprintf "t reaches nothing (%s)" mname)
+            [||]
+            out.(m + 1))
+        [ 62; 63; 64; 65 ])
+    [ ("push", Rpq_bitset.Always_push); ("pull", Rpq_bitset.Always_pull) ]
 
 let () =
   Alcotest.run "bitset"
@@ -251,7 +371,11 @@ let () =
           [
             prop_bitset_vs_scalar_vs_matrix;
             prop_partial_subset_under_budget;
+            prop_partial_subset_under_budget_pull;
             prop_result_cap_exact;
+            prop_count_matches_pairs;
+            prop_count_result_cap;
+            prop_check_matches_oracle;
           ] );
       ( "blocks",
         [

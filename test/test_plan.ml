@@ -172,6 +172,63 @@ let test_par_policy () =
     (dp.Par_policy.reason = Par_policy.Pinned);
   Alcotest.(check int) "pinned width" 4 dp.Par_policy.width
 
+(* The two serial gates that sit between "work is big enough" and
+   "fork": too few parallel grains per worker, and a calibration memory
+   that has watched this width lose.  [?hardware] pins the machine shape
+   so the test is deterministic on any runner. *)
+let test_par_policy_gating () =
+  Par_policy.reset_calibration ();
+  let m = Metrics.create () in
+  let obs = Obs.make ~metrics:m () in
+  (* 3 bitset blocks of work over 2 claimed cores: under the default
+     4-units-per-worker floor, forking leaves a worker idle — serial. *)
+  let df =
+    Par_policy.decide ~obs ~kernel:Par_policy.Bitset ~hardware:2 ~max_width:8
+      ~sources:180 ~product_edges:1_000_000 ()
+  in
+  Alcotest.(check int) "few units stay serial" 1 df.Par_policy.width;
+  Alcotest.(check bool) "few-units reason" true
+    (df.Par_policy.reason = Par_policy.Few_units);
+  (* Plenty of blocks: same shape forks once the grain count clears. *)
+  let dw =
+    Par_policy.decide ~obs ~kernel:Par_policy.Bitset ~hardware:2 ~max_width:8
+      ~sources:(63 * 16) ~product_edges:1_000_000 ()
+  in
+  Alcotest.(check int) "ample units fork" 2 dw.Par_policy.width;
+  (* Inject measurements: width 2 ran no faster than serial, so the
+     calibration memory overrides the static verdict. *)
+  Par_policy.record ~kernel:Par_policy.Bitset ~width:1 ~sources:(63 * 16)
+    ~product_edges:1_000_000 ~elapsed:0.10 ();
+  Par_policy.record ~kernel:Par_policy.Bitset ~width:2 ~sources:(63 * 16)
+    ~product_edges:1_000_000 ~elapsed:0.11 ();
+  let dc =
+    Par_policy.decide ~obs ~kernel:Par_policy.Bitset ~hardware:2 ~max_width:8
+      ~sources:(63 * 16) ~product_edges:1_000_000 ()
+  in
+  Alcotest.(check int) "calibrated loser stays serial" 1 dc.Par_policy.width;
+  Alcotest.(check bool) "calibrated-serial reason" true
+    (dc.Par_policy.reason = Par_policy.Calibrated_serial);
+  (* A measured parallel win (beats serial by > 5%) re-enables forking. *)
+  Par_policy.record ~kernel:Par_policy.Bitset ~width:2 ~sources:(63 * 16)
+    ~product_edges:1_000_000 ~elapsed:0.02 ();
+  Par_policy.record ~kernel:Par_policy.Bitset ~width:2 ~sources:(63 * 16)
+    ~product_edges:1_000_000 ~elapsed:0.02 ();
+  Par_policy.record ~kernel:Par_policy.Bitset ~width:2 ~sources:(63 * 16)
+    ~product_edges:1_000_000 ~elapsed:0.02 ();
+  let dr =
+    Par_policy.decide ~obs ~kernel:Par_policy.Bitset ~hardware:2 ~max_width:8
+      ~sources:(63 * 16) ~product_edges:1_000_000 ()
+  in
+  Alcotest.(check int) "measured win re-forks" 2 dr.Par_policy.width;
+  (* Each gate left its audit trail in the decision counters. *)
+  let counters = Metrics.counters m in
+  let c name = match List.assoc_opt name counters with Some n -> n | None -> 0 in
+  Alcotest.(check int) "few_units counted" 1 (c "rpq.par_decision.few_units");
+  Alcotest.(check int) "calibrated_serial counted" 1
+    (c "rpq.par_decision.calibrated_serial");
+  Alcotest.(check int) "parallel counted" 2 (c "rpq.par_decision.parallel");
+  Par_policy.reset_calibration ()
+
 (* --- Planner: pins ------------------------------------------------------- *)
 
 let v x = Planner.Var x
@@ -347,6 +404,8 @@ let () =
         [
           Alcotest.test_case "bank statistics" `Quick test_stats;
           Alcotest.test_case "parallelism policy" `Quick test_par_policy;
+          Alcotest.test_case "serial gates + calibration" `Quick
+            test_par_policy_gating;
         ] );
       ( "planner",
         [
